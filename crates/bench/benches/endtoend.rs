@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the end-to-end pipeline and the distributed
+//! executor — the headline costs a downstream user pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_alloc_core::mpc_exec::{run_mpc, MpcExecConfig};
+use sparse_alloc_core::pipeline::{solve, PipelineConfig};
+use sparse_alloc_core::sampled::SampleBudget;
+use sparse_alloc_graph::generators::{escape_blocks, union_of_spanning_trees};
+use sparse_alloc_mpc::MpcConfig;
+
+fn pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_solve");
+    group.sample_size(10);
+    for &scale in &[5_000usize, 20_000] {
+        let g = union_of_spanning_trees(scale, scale, 4, 2, 13).graph;
+        group.bench_with_input(BenchmarkId::from_parameter(g.m()), &g, |b, g| {
+            b.iter(|| solve(g, &PipelineConfig::default()).assignment.size())
+        });
+    }
+    group.finish();
+}
+
+fn distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_exec_phase");
+    group.sample_size(10);
+    let g = escape_blocks(8, 4).graph;
+    group.bench_with_input(BenchmarkId::from_parameter(g.n()), &g, |b, g| {
+        b.iter(|| {
+            run_mpc(
+                g,
+                &MpcExecConfig {
+                    eps: 0.15,
+                    phase_len: 2,
+                    tau: 6,
+                    budget: SampleBudget::Fixed(2),
+                    seed: 3,
+                    check_termination: false,
+                    mpc: MpcConfig::lenient(8, usize::MAX / 4),
+                },
+            )
+            .unwrap()
+            .rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline, distributed);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the round engines: the per-round cost of
+//! Algorithm 1's aggregation passes (the inner loop of every LOCAL
+//! measurement) and the generic LOCAL message engine running BFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_alloc_core::algo1::{self, ProportionalConfig};
+use sparse_alloc_core::params::Schedule;
+use sparse_alloc_local::programs::bfs::BfsProgram;
+use sparse_alloc_local::LocalEngine;
+use sparse_alloc_graph::generators::union_of_spanning_trees;
+
+fn algo1_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algo1_10_rounds");
+    for &scale in &[10_000usize, 40_000, 160_000] {
+        let g = union_of_spanning_trees(scale, scale, 4, 2, 7).graph;
+        group.bench_with_input(BenchmarkId::from_parameter(g.m()), &g, |b, g| {
+            b.iter(|| {
+                algo1::run(
+                    g,
+                    &ProportionalConfig {
+                        eps: 0.1,
+                        schedule: Schedule::Fixed(10),
+                        track_history: false,
+                    },
+                )
+                .match_weight
+            })
+        });
+    }
+    group.finish();
+}
+
+fn local_engine_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_engine_bfs");
+    for &scale in &[5_000usize, 20_000] {
+        let g = union_of_spanning_trees(scale, scale, 2, 1, 3).graph;
+        let mut left_sources = vec![false; g.n_left()];
+        left_sources[0] = true;
+        let program = BfsProgram {
+            left_sources,
+            right_sources: vec![false; g.n_right()],
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(g.n()), &g, |b, g| {
+            let engine = LocalEngine::new(g);
+            b.iter(|| engine.run(&program, 64).metrics.rounds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algo1_rounds, local_engine_bfs);
+criterion_main!(benches);

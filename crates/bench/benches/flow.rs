@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the exact/baseline solvers: the two
+//! max-flow backends on allocation networks and the greedy baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_alloc_flow::greedy::greedy_allocation;
+use sparse_alloc_flow::opt::{opt_value, opt_value_with};
+use sparse_alloc_flow::PushRelabel;
+use sparse_alloc_graph::generators::union_of_spanning_trees;
+
+fn opt_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic_opt");
+    group.sample_size(20);
+    for &scale in &[2_000usize, 8_000, 32_000] {
+        let g = union_of_spanning_trees(scale, scale, 4, 2, 11).graph;
+        group.bench_with_input(BenchmarkId::from_parameter(g.m()), &g, |b, g| {
+            b.iter(|| opt_value(g))
+        });
+    }
+    group.finish();
+}
+
+fn opt_oracle_push_relabel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_relabel_opt");
+    group.sample_size(20);
+    for &scale in &[2_000usize, 8_000, 32_000] {
+        let g = union_of_spanning_trees(scale, scale, 4, 2, 11).graph;
+        group.bench_with_input(BenchmarkId::from_parameter(g.m()), &g, |b, g| {
+            b.iter(|| opt_value_with::<PushRelabel>(g))
+        });
+    }
+    group.finish();
+}
+
+fn greedy_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_allocation");
+    for &scale in &[8_000usize, 32_000] {
+        let g = union_of_spanning_trees(scale, scale, 4, 2, 11).graph;
+        group.bench_with_input(BenchmarkId::from_parameter(g.m()), &g, |b, g| {
+            b.iter(|| greedy_allocation(g).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, opt_oracle, opt_oracle_push_relabel, greedy_baseline);
+criterion_main!(benches);

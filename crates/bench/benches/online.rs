@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the online allocation layer: per-arrival
+//! decision cost of each rule, and the full-stream cost relative to one
+//! offline re-solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_alloc_graph::capacities::CapacityModel;
+use sparse_alloc_graph::generators::{power_law, PowerLawParams};
+use sparse_alloc_graph::Bipartite;
+use sparse_alloc_online::arrival;
+use sparse_alloc_online::balance::Balance;
+use sparse_alloc_online::driver::{run_online, OnlineAllocator};
+use sparse_alloc_online::greedy::{FirstFit, RandomFit};
+use sparse_alloc_online::primal_dual::DualDescent;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn workload(n_left: usize) -> Bipartite {
+    let mut rng = SmallRng::seed_from_u64(5);
+    CapacityModel::PowerLaw { alpha: 1.1, max: 64 }.apply(
+        &power_law(
+            &PowerLawParams {
+                n_left,
+                n_right: (n_left / 10).max(4),
+                exponent: 1.3,
+                min_degree: 2,
+                max_degree: 64,
+                cap: 1,
+            },
+            17,
+        )
+        .graph,
+        &mut rng,
+    )
+}
+
+fn full_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_full_stream");
+    for &n in &[10_000usize, 40_000] {
+        let g = workload(n);
+        let order = arrival::random(&g, 1);
+        let eta = 1.0 / (n as f64).sqrt();
+        let mut algos: Vec<(&str, Box<dyn OnlineAllocator>)> = vec![
+            ("first_fit", Box::new(FirstFit::new())),
+            ("random_fit", Box::new(RandomFit::new(2))),
+            ("balance", Box::new(Balance::new())),
+            ("dual_descent", Box::new(DualDescent::new(eta, false))),
+        ];
+        for (name, algo) in &mut algos {
+            group.bench_with_input(
+                BenchmarkId::new(*name, g.n_left()),
+                &g,
+                |b, g| b.iter(|| run_online(g, &order, algo.as_mut()).size()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_stream);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the MPC primitives: sample sort,
+//! aggregate-by-key, and graph exponentiation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse_alloc_mpc::primitives::ball::{grow_balls, BallInput};
+use sparse_alloc_mpc::primitives::{aggregate_by_key, sort_by_key};
+use sparse_alloc_mpc::{Cluster, MpcConfig};
+
+fn sample_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_sample_sort");
+    for &n in &[10_000usize, 100_000] {
+        let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| {
+                let c =
+                    Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items.clone())
+                        .unwrap();
+                sort_by_key(c, |&x| x).unwrap().total_items()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_aggregate_by_key");
+    for &n in &[10_000usize, 100_000] {
+        let items: Vec<(u32, u64)> = (0..n).map(|i| ((i % 977) as u32, 1u64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| {
+                let c =
+                    Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items.clone())
+                        .unwrap();
+                aggregate_by_key(c, |a, b| a + b).unwrap().total_items()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn exponentiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_ball_doubling_r4");
+    group.sample_size(20);
+    for &n in &[1_000u32, 4_000] {
+        // Bounded-degree ring-with-chords graph: balls stay small.
+        let adjacency: Vec<BallInput> = (0..n)
+            .map(|v| BallInput {
+                vertex: v,
+                neighbors: vec![(v + 1) % n, (v + n - 1) % n, (v * 7 + 3) % n],
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &adjacency,
+            |b, adjacency| {
+                b.iter(|| {
+                    grow_balls(MpcConfig::lenient(8, usize::MAX / 4), adjacency.clone(), 4)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sample_sort, aggregate, exponentiation);
+criterion_main!(benches);

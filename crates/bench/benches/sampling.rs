@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the Lemma 11 machinery: plan drawing and
+//! evaluation (the numerical kernel of Algorithm 2) and the plain
+//! estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparse_alloc_core::estimator::{lemma11_estimate, sample_rng, GroupedNeighborhood};
+use sparse_alloc_graph::Side;
+
+fn plan_draw_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_draw_eval");
+    for &deg in &[64usize, 512, 4096] {
+        let neighbors: Vec<u32> = (0..deg as u32).collect();
+        let grouped = GroupedNeighborhood::build(&neighbors, |w| (w % 11) as i64);
+        group.bench_with_input(BenchmarkId::from_parameter(deg), &grouped, |b, grouped| {
+            b.iter(|| {
+                grouped.estimate_sum(
+                    8,
+                    |key| sample_rng(1, 0, 0, Side::Left, 7, key),
+                    |w| w as f64 * 0.5,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn plain_estimator(c: &mut Criterion) {
+    let values: Vec<f64> = (0..100_000).map(|i| 1.0 + (i % 7) as f64).collect();
+    let mut group = c.benchmark_group("lemma11_estimate");
+    for &s in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            b.iter(|| lemma11_estimate(&values, s, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, plan_draw_eval, plain_estimator);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Experiment runner: regenerates every validated claim of the paper.
+//!
+//! ```sh
+//! cargo run --release -p sparse-alloc-bench --bin experiments -- all
+//! cargo run --release -p sparse-alloc-bench --bin experiments -- e1 e4 e9
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <e1..e16 | all> [more ids…]");
+        std::process::exit(2);
+    }
+    for id in &args {
+        if let Err(msg) = sparse_alloc_bench::experiments::dispatch(id) {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        println!();
+    }
+}

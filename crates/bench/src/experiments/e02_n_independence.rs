@@ -1,0 +1,45 @@
+//! E2 — §1.1: at fixed arboricity, convergence does not grow with `n`
+//! (the prior state of the art needed `O(log n)`; AZM18's own schedule is
+//! `O(log n/ε²)`).
+//!
+//! Workload: `escape(λ = 8)` with a growing number of blocks — the
+//! per-block contention is identical, so the measured convergence (`t90`)
+//! must stay flat while `n` grows 64×; the AZM schedule column keeps
+//! climbing with `n`.
+
+use sparse_alloc_core::algo1::{self, ProportionalConfig};
+use sparse_alloc_core::params::{tau_azm, tau_known_lambda, Schedule};
+use sparse_alloc_graph::generators::escape_blocks;
+
+use super::e01_rounds_vs_lambda::t90;
+use crate::table::{f3, Table};
+
+/// Run E2 and print its table.
+pub fn run() {
+    let eps = 0.1;
+    let lambda = 8u32;
+    println!("E2 — n-independence at λ = {lambda} (escape blocks; vs AZM18's O(log n/ε²)); ε = {eps}");
+    let mut table = Table::new(&["blocks", "n", "t90", "τ(λ=8) bound", "AZM τ(n)", "ratio"]);
+    let tau = tau_known_lambda(eps, lambda);
+    for blocks in [2usize, 8, 32, 128] {
+        let g = escape_blocks(lambda, blocks).graph;
+        let res = algo1::run(
+            &g,
+            &ProportionalConfig {
+                eps,
+                schedule: Schedule::Fixed(tau),
+                track_history: true,
+            },
+        );
+        let opt = g.n_left() as u64;
+        table.row(vec![
+            blocks.to_string(),
+            g.n().to_string(),
+            t90(&res.history).to_string(),
+            tau.to_string(),
+            tau_azm(eps, g.n_right()).to_string(),
+            f3(algo1::ratio(opt, res.match_weight)),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,67 @@
+//! E3 — Lemma 7: after any `τ ≥ 1` rounds, every vertex *not* in the top
+//! level set satisfies `alloc_v ≥ C_v/(1+3ε)` and every vertex *not* in
+//! the bottom level set satisfies `alloc_v ≤ C_v(1+3ε)`.
+//!
+//! Paper-shape check: the "violations" column is identically 0 and the
+//! measured worst ratios respect the `1/(1+3ε)` / `(1+3ε)` envelopes.
+
+use sparse_alloc_core::algo1::{self, ProportionalConfig};
+use sparse_alloc_core::params::Schedule;
+use sparse_alloc_graph::generators::{
+    dense_core_sparse_fringe, power_law, LayeredParams, PowerLawParams,
+};
+
+use crate::table::{f3, Table};
+
+/// Run E3 and print its table.
+pub fn run() {
+    let eps = 0.2;
+    println!("E3 — Lemma 7 level-set invariants; ε = {eps}, bounds [1/(1+3ε), 1+3ε] = [{:.3}, {:.3}]",
+        1.0 / (1.0 + 3.0 * eps), 1.0 + 3.0 * eps);
+    let mut table = Table::new(&[
+        "instance", "τ", "min alloc/C off-top", "max alloc/C off-bottom", "violations",
+    ]);
+
+    let layered = dense_core_sparse_fringe(&LayeredParams::default(), 5).graph;
+    let ads = power_law(&PowerLawParams::default(), 9).graph;
+    for (name, g) in [("layered", &layered), ("power-law", &ads)] {
+        for tau in [3usize, 10, 25, 60] {
+            let res = algo1::run(
+                g,
+                &ProportionalConfig {
+                    eps,
+                    schedule: Schedule::Fixed(tau),
+                    track_history: false,
+                },
+            );
+            let r = tau as i64;
+            let mut min_off_top = f64::INFINITY;
+            let mut max_off_bottom: f64 = 0.0;
+            let mut violations = 0usize;
+            for v in 0..g.n_right() {
+                let c = g.capacity(v as u32) as f64;
+                let ratio = res.alloc[v] / c;
+                if res.levels[v] < r {
+                    min_off_top = min_off_top.min(ratio);
+                    if ratio < 1.0 / (1.0 + 3.0 * eps) - 1e-9 {
+                        violations += 1;
+                    }
+                }
+                if res.levels[v] > -r {
+                    max_off_bottom = max_off_bottom.max(ratio);
+                    if ratio > (1.0 + 3.0 * eps) + 1e-9 {
+                        violations += 1;
+                    }
+                }
+            }
+            table.row(vec![
+                name.to_string(),
+                tau.to_string(),
+                f3(min_off_top),
+                f3(max_off_bottom),
+                violations.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}

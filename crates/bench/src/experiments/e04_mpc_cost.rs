@@ -1,0 +1,77 @@
+//! E4 — Theorem 3/10: the distributed execution's measured cost.
+//!
+//! Two sweeps on tight (escape) instances, both read straight off the
+//! cluster ledger:
+//!
+//! * **λ sweep** with `B = ⌈√(log₂ λ)⌉`: MPC rounds grow like
+//!   `(τ_conv/B)·(c + log B) = O(√(log λ)·log log λ)` — far slower than
+//!   the LOCAL rounds column.
+//! * **B sweep** at fixed λ: phase compression trades `1/B` fewer phases
+//!   for `+log B` exponentiation rounds per phase — the paper's §3.2.1
+//!   trade-off, visible in the "rounds/phase" column.
+//!
+//! Storage peaks are reported against the `λ·n` yardstick of the
+//! `Õ(λn)` total-memory claim.
+
+use sparse_alloc_core::mpc_exec::{run_mpc, MpcExecConfig};
+use sparse_alloc_core::sampled::SampleBudget;
+use sparse_alloc_graph::generators::escape_blocks;
+use sparse_alloc_mpc::MpcConfig;
+
+use crate::table::{f1, Table};
+
+fn run_row(lambda: u32, blocks: usize, b: usize, table: &mut Table) {
+    let eps = 0.15;
+    let g = escape_blocks(lambda, blocks).graph;
+    let cfg = MpcExecConfig {
+        eps,
+        phase_len: b,
+        tau: 10_000,
+        budget: SampleBudget::Fixed(2),
+        seed: 9,
+        check_termination: true,
+        mpc: MpcConfig::lenient(8, usize::MAX / 4),
+    };
+    let res = run_mpc(&g, &cfg).expect("lenient run");
+    let l = &res.ledger;
+    table.row(vec![
+        lambda.to_string(),
+        b.to_string(),
+        g.n().to_string(),
+        res.rounds.to_string(),
+        res.phases.to_string(),
+        l.rounds.to_string(),
+        f1(l.rounds as f64 / res.phases.max(1) as f64),
+        l.words_total.to_string(),
+        l.peak_storage.to_string(),
+        l.peak_total_storage.to_string(),
+        (lambda as u64 * g.n() as u64).to_string(),
+    ]);
+}
+
+/// Run E4 and print its table.
+pub fn run() {
+    println!("E4 — distributed Algorithm 2 cost (Theorem 10); escape instances, ε = 0.15, 8 machines");
+    let mut table = Table::new(&[
+        "λ", "B", "n", "LOCAL rounds", "phases", "MPC rounds", "rounds/phase", "words moved",
+        "peak storage", "total storage", "λ·n",
+    ]);
+    // λ sweep at B = ⌈√log₂ λ⌉.
+    run_row(2, 24, 1, &mut table);
+    run_row(4, 12, 2, &mut table);
+    run_row(16, 2, 2, &mut table);
+    table.print();
+
+    println!("\nB sweep at λ = 16 (phase compression vs exponentiation overhead):");
+    let mut table_b = Table::new(&[
+        "λ", "B", "n", "LOCAL rounds", "phases", "MPC rounds", "rounds/phase", "words moved",
+        "peak storage", "total storage", "λ·n",
+    ]);
+    for b in [1usize, 2, 4] {
+        run_row(16, 2, b, &mut table_b);
+    }
+    table_b.print();
+    println!(
+        "per-phase rounds = levels(1)+keys(1)+home(1)+2⌈log₂2B⌉ exponentiation+hydrate(2)+term(3)."
+    );
+}

@@ -1,0 +1,60 @@
+//! E5 — Lemma 11: `s ≥ 20·t²·log n/ε⁴` uniform samples estimate the sum of
+//! an `n`-element population with spread `t²` within `1 ± 4ε` whp.
+//!
+//! Paper-shape check: at the lemma's sample count the worst observed error
+//! over 50 trials is below `4ε`; smaller budgets degrade gracefully, and
+//! error grows with the spread at a fixed budget.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparse_alloc_core::estimator::{lemma11_estimate, lemma11_samples};
+
+use crate::table::{f3, Table};
+
+/// Run E5 and print its table.
+pub fn run() {
+    let eps = 0.25;
+    let n = 20_000usize;
+    println!("E5 — Lemma 11 estimator concentration; population n = {n}, ε = {eps}, 50 trials");
+    let mut table = Table::new(&[
+        "spread t", "samples s", "worst rel err", "mean rel err", "4ε bound", "s = lemma?",
+    ]);
+    for t_spread in [2.0f64, 4.0, 8.0] {
+        // Population spanning [1/t, t] (spread t²), deterministic shape.
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 * 0.618_033_988).fract();
+                (1.0 / t_spread) * (t_spread * t_spread).powf(u)
+            })
+            .collect();
+        let exact: f64 = values.iter().sum();
+        let lemma_s = lemma11_samples(t_spread, n, eps);
+        for (s, is_lemma) in [
+            (64usize, false),
+            (512, false),
+            (4096, false),
+            (lemma_s, true),
+        ] {
+            let mut worst: f64 = 0.0;
+            let mut mean = 0.0;
+            let trials = 50;
+            for seed in 0..trials {
+                let mut rng = SmallRng::seed_from_u64(1_000 + seed);
+                let est = lemma11_estimate(&values, s, &mut rng);
+                let err = (est - exact).abs() / exact;
+                worst = worst.max(err);
+                mean += err;
+            }
+            mean /= trials as f64;
+            table.row(vec![
+                format!("{t_spread}"),
+                s.to_string(),
+                f3(worst),
+                f3(mean),
+                f3(4.0 * eps),
+                if is_lemma { "yes".into() } else { "no".into() },
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,42 @@
+//! E10 — Remark 1: the vertex-split reduction from allocation to plain
+//! matching blows the arboricity up from `Θ(1)` to `Θ(n)` on stars, so the
+//! `O(log λ)` result cannot be obtained through the reduction.
+//!
+//! Paper-shape check: λ(G) columns stay at 1 while λ(split G) grows
+//! linearly with the star size, certified from below by the exact
+//! flow-based densest-subgraph bound.
+
+use sparse_alloc_flow::densest::densest_subgraph;
+use sparse_alloc_graph::generators::star;
+use sparse_alloc_graph::reduction::vertex_split;
+use sparse_alloc_graph::sparsity::arboricity_bracket;
+
+use crate::table::{f1, Table};
+
+/// Run E10 and print its table.
+pub fn run() {
+    println!("E10 — Remark 1: arboricity blow-up of the vertex-split reduction");
+    let mut table = Table::new(&[
+        "star leaves", "λ(G) lo", "λ(G) hi", "split m", "λ(split) lo", "λ(split) hi",
+        "flow cert λ ≥", "densest ρ*",
+    ]);
+    for n in [32usize, 64, 128, 256] {
+        let g = star(n, (n - 1) as u64).graph;
+        let before = arboricity_bracket(&g);
+        let split = vertex_split(&g, u64::MAX);
+        let after = arboricity_bracket(&split.graph);
+        let dens = densest_subgraph(&split.graph);
+        table.row(vec![
+            n.to_string(),
+            before.lower.to_string(),
+            before.upper.to_string(),
+            split.graph.m().to_string(),
+            after.lower.to_string(),
+            after.upper.to_string(),
+            dens.arboricity_lower_bound().to_string(),
+            f1(dens.density()),
+        ]);
+    }
+    table.print();
+    println!("λ(G) = 1 for every star; λ(split G) grows ~n/2 — the blow-up of Remark 1.");
+}

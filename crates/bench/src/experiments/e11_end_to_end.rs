@@ -1,0 +1,107 @@
+//! E11 — Theorems 1/3 end-to-end: the full pipeline (fractional → §6
+//! rounding → Appendix-B boosting) against OPT and the baselines, on the
+//! three workload shapes the paper motivates.
+//!
+//! Paper-shape check: the pipeline column sits within `1+ε`-ish of OPT on
+//! every workload and above both baselines; the paper-faithful stage
+//! combination (sampling rounder + layered booster) lands close behind the
+//! engineering default.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
+use sparse_alloc_flow::auction::{auction_allocation, AuctionParams};
+use sparse_alloc_flow::greedy::greedy_allocation;
+use sparse_alloc_flow::opt::opt_value;
+use sparse_alloc_graph::capacities::CapacityModel;
+use sparse_alloc_graph::generators::{
+    dense_core_sparse_fringe, power_law, rmat, union_of_spanning_trees, LayeredParams,
+    PowerLawParams, RmatParams,
+};
+use sparse_alloc_graph::Bipartite;
+
+use crate::table::{f3, Table};
+
+fn workloads() -> Vec<(&'static str, Bipartite)> {
+    let forest = union_of_spanning_trees(4000, 3200, 4, 2, 3).graph;
+    let mut rng = SmallRng::seed_from_u64(8);
+    let ads = CapacityModel::PowerLaw { alpha: 1.1, max: 64 }.apply(
+        &power_law(
+            &PowerLawParams {
+                n_left: 6000,
+                n_right: 600,
+                exponent: 1.3,
+                min_degree: 2,
+                max_degree: 128,
+                cap: 1,
+            },
+            21,
+        )
+        .graph,
+        &mut rng,
+    );
+    let fleet = dense_core_sparse_fringe(&LayeredParams::default(), 13).graph;
+    let web = rmat(&RmatParams::default(), 29).graph;
+    vec![
+        ("forest λ=4", forest),
+        ("ad power-law", ads),
+        ("core+fringe", fleet),
+        ("rmat web", web),
+    ]
+}
+
+/// Run E11 and print its table.
+pub fn run() {
+    println!("E11 — end-to-end (1+ε) pipeline vs baselines (Theorems 1/3); ε = 0.1");
+    let mut table = Table::new(&[
+        "workload", "OPT", "pipeline", "frac-of-OPT", "paper-stages", "frac", "greedy", "frac",
+        "auction", "frac",
+    ]);
+    for (name, g) in workloads() {
+        let opt = opt_value(&g);
+        let denom = opt.max(1) as f64;
+
+        let default_out = solve(&g, &PipelineConfig::default());
+        default_out.assignment.validate(&g).expect("feasible");
+
+        let paper_out = solve(
+            &g,
+            &PipelineConfig {
+                eps: 0.1,
+                schedule: None,
+                rounder: Rounder::BestOfSampling {
+                    repetitions: (g.n() as f64).log2().ceil() as usize,
+                },
+                booster: Booster::Layered {
+                    k: 5,
+                    iterations: 400,
+                },
+                seed: 2,
+            },
+        );
+        paper_out.assignment.validate(&g).expect("feasible");
+
+        let greedy = greedy_allocation(&g);
+        let auction = auction_allocation(
+            &g,
+            AuctionParams {
+                eps: 0.05,
+                max_rounds: 5_000,
+            },
+        );
+
+        table.row(vec![
+            name.to_string(),
+            opt.to_string(),
+            default_out.assignment.size().to_string(),
+            f3(default_out.assignment.size() as f64 / denom),
+            paper_out.assignment.size().to_string(),
+            f3(paper_out.assignment.size() as f64 / denom),
+            greedy.size().to_string(),
+            f3(greedy.size() as f64 / denom),
+            auction.assignment.size().to_string(),
+            f3(auction.assignment.size() as f64 / denom),
+        ]);
+    }
+    table.print();
+}

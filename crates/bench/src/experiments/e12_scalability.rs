@@ -1,0 +1,65 @@
+//! E12 — engineering: rayon scalability of the per-round aggregation
+//! engine (the substrate all LOCAL measurements stand on).
+//!
+//! Shape check: wall-clock per round drops with threads on a large
+//! instance, and the result is bit-identical at every thread count
+//! (determinism is part of the cross-path equality contract).
+
+use std::time::Instant;
+
+use sparse_alloc_core::algo1::{self, ProportionalConfig};
+use sparse_alloc_core::params::Schedule;
+use sparse_alloc_graph::generators::union_of_spanning_trees;
+
+use crate::table::{f1, f3, Table};
+
+/// Run E12 and print its table.
+pub fn run() {
+    let g = union_of_spanning_trees(150_000, 120_000, 6, 2, 5).graph;
+    let rounds = 25usize;
+    println!(
+        "E12 — engine scalability; n = {}, m = {}, {rounds} rounds of Algorithm 1",
+        g.n(),
+        g.m()
+    );
+    let cfg = ProportionalConfig {
+        eps: 0.1,
+        schedule: Schedule::Fixed(rounds),
+        track_history: false,
+    };
+
+    // Warm-up pass: page in the graph and JIT-warm the allocator so the
+    // first measured run is not penalized.
+    let _ = algo1::run(&g, &cfg);
+
+    let mut table = Table::new(&["threads", "ms total", "ms/round", "speedup", "levels equal"]);
+    let mut base_ms = 0.0f64;
+    let mut reference: Option<Vec<i64>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let start = Instant::now();
+        let res = pool.install(|| algo1::run(&g, &cfg));
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            base_ms = ms;
+        }
+        let equal = match &reference {
+            None => {
+                reference = Some(res.levels.clone());
+                true
+            }
+            Some(r) => r == &res.levels,
+        };
+        table.row(vec![
+            threads.to_string(),
+            f1(ms),
+            f3(ms / rounds as f64),
+            f3(base_ms / ms),
+            equal.to_string(),
+        ]);
+    }
+    table.print();
+}

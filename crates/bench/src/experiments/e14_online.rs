@@ -1,0 +1,169 @@
+//! E14 — the application framing of §1: online allocation vs the paper's
+//! offline `(1+ε)` MPC pipeline.
+//!
+//! The paper motivates allocation through online ads (MSVV07, FKM+09,
+//! BLM23). The classical online algorithms are *competitively bounded
+//! away from optimal* — first-fit at 1/2, deterministic BALANCE at
+//! `1 − 1/e` — while the paper's offline algorithm re-solves the full
+//! instance to `1/(1+ε)`. This experiment regenerates those separations:
+//!
+//! * on the textbook adversarial instances the online ratios pin to their
+//!   theoretical constants while the pipeline stays near 1;
+//! * on the power-law ad workload, random arrival order (the stochastic
+//!   regime) lifts the online rules close to 1, shrinking the offline
+//!   advantage — the crossover practitioners actually observe.
+
+use sparse_alloc_core::guessing::run_with_guessing;
+use sparse_alloc_core::pipeline::{solve, PipelineConfig};
+use sparse_alloc_flow::opt::opt_value;
+use sparse_alloc_graph::capacities::CapacityModel;
+use sparse_alloc_graph::generators::{power_law, PowerLawParams};
+use sparse_alloc_graph::{Bipartite, LeftId};
+use sparse_alloc_online::adversarial::{greedy_trap, suffix_phases};
+use sparse_alloc_online::arrival;
+use sparse_alloc_online::balance::Balance;
+use sparse_alloc_online::driver::{run_online, OnlineAllocator};
+use sparse_alloc_online::greedy::{FirstFit, RandomFit};
+use sparse_alloc_online::primal_dual::DualDescent;
+use sparse_alloc_online::proportional_serve::{ProportionalServe, ServeMode};
+use sparse_alloc_online::ranking::Ranking;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::table::{f3, Table};
+
+fn ratio(value: usize, opt: u64) -> f64 {
+    value as f64 / opt.max(1) as f64
+}
+
+/// All online rules compared in E14, in column order. `prop-serve` runs
+/// from the paper algorithm's offline fractional `x` — the AZM18
+/// "high-entropy serving" deployment the introduction motivates.
+fn online_ratios(g: &Bipartite, order: &[LeftId], opt: u64) -> Vec<(String, f64)> {
+    let eta = 1.0 / (g.n_left() as f64).sqrt();
+    let frac_x = run_with_guessing(g, 0.1).result.fractional.x;
+    let mut algos: Vec<Box<dyn OnlineAllocator>> = vec![
+        Box::new(FirstFit::new()),
+        Box::new(RandomFit::new(17)),
+        Box::new(Balance::new()),
+        Box::new(Ranking::new(17)),
+        Box::new(DualDescent::new(eta, false)),
+        Box::new(ProportionalServe::new(frac_x, ServeMode::Sample, 17)),
+    ];
+    algos
+        .iter_mut()
+        .map(|a| {
+            let size = run_online(g, order, a.as_mut()).size();
+            (a.name().to_string(), ratio(size, opt))
+        })
+        .collect()
+}
+
+fn offline_ratio(g: &Bipartite, opt: u64) -> f64 {
+    let out = solve(g, &PipelineConfig::default());
+    out.assignment.validate(g).expect("pipeline feasible");
+    ratio(out.assignment.size(), opt)
+}
+
+/// Run E14 and print its tables.
+pub fn run() {
+    println!("E14 — online allocation vs the offline (1+ε) pipeline (§1 application)");
+    println!("\nAdversarial arrival (theoretical separations; trap c=64, suffix k=16 c=64):");
+    let mut t = Table::new(&[
+        "instance",
+        "OPT",
+        "first-fit",
+        "random-fit",
+        "balance",
+        "ranking",
+        "dual-descent",
+        "prop-serve",
+        "offline(1+ε)",
+    ]);
+    for (name, inst) in [
+        ("greedy-trap", greedy_trap(64)),
+        ("suffix-phases", suffix_phases(16, 64)),
+    ] {
+        let ratios = online_ratios(&inst.graph, &inst.order, inst.opt);
+        let mut row = vec![name.to_string(), inst.opt.to_string()];
+        row.extend(ratios.iter().map(|(_, r)| f3(*r)));
+        row.push(f3(offline_ratio(&inst.graph, inst.opt)));
+        t.row(row);
+    }
+    t.print();
+    println!(
+        "  shape: first-fit → 1/2 on the trap; balance → 3/4 (trap) and toward 1−1/e ≈ 0.632 \
+         (suffix); ranking beats 1/2 in expectation; prop-serve (the paper's offline x served \
+         online) and the offline pipeline ≈ 1."
+    );
+
+    println!("\nAd power-law workload (2000×200, skewed budgets), arrival-order sweep:");
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = CapacityModel::PowerLaw { alpha: 1.1, max: 64 }.apply(
+        &power_law(
+            &PowerLawParams {
+                n_left: 2000,
+                n_right: 200,
+                exponent: 1.3,
+                min_degree: 2,
+                max_degree: 64,
+                cap: 1,
+            },
+            11,
+        )
+        .graph,
+        &mut rng,
+    );
+    let opt = opt_value(&g);
+    let mut t = Table::new(&[
+        "arrival order",
+        "first-fit",
+        "random-fit",
+        "balance",
+        "ranking",
+        "dual-descent",
+        "prop-serve",
+        "offline(1+ε)",
+    ]);
+    let offline = offline_ratio(&g, opt);
+    for (name, order) in [
+        ("natural", arrival::natural(&g)),
+        ("degree-desc", arrival::by_degree_descending(&g)),
+        ("degree-asc", arrival::by_degree_ascending(&g)),
+        ("random(s=1)", arrival::random(&g, 1)),
+        ("random(s=2)", arrival::random(&g, 2)),
+    ] {
+        let ratios = online_ratios(&g, &order, opt);
+        let mut row = vec![name.to_string()];
+        row.extend(ratios.iter().map(|(_, r)| f3(*r)));
+        row.push(f3(offline));
+        t.row(row);
+    }
+    t.print();
+    println!(
+        "  shape: pure online rules approach 1 under random order but stay below the offline \
+         column; prop-serve closes most of the gap using only the offline fractional x; the \
+         offline pipeline is order-independent (OPT = {opt})."
+    );
+
+    // Part 3: the *diversity* claim from AZM18's title ("… diverse matching
+    // with high entropy"), which the SPAA paper's algorithm inherits: the
+    // fractional x spreads each impression across advertisers, while any
+    // integral policy is a point mass.
+    use sparse_alloc_flow::greedy::greedy_allocation;
+    use sparse_alloc_online::proportional_serve::{indicator_weights, serving_entropy};
+    let frac_x = run_with_guessing(&g, 0.1).result.fractional.x;
+    let greedy = greedy_allocation(&g);
+    let h_prop = serving_entropy(&g, &frac_x);
+    let h_greedy = serving_entropy(&g, &indicator_weights(&g, &greedy.mate));
+    let h_uniform = serving_entropy(&g, &vec![1.0; g.m()]);
+    println!("\nServing diversity (mean per-impression entropy, nats):");
+    println!("  proportional x (paper)   {h_prop:.3}");
+    println!("  uniform over neighbors   {h_uniform:.3}  (upper reference)");
+    println!("  deterministic greedy     {h_greedy:.3}  (any integral policy)");
+    println!(
+        "  shape: the fractional solution retains most of the uniform entropy while greedy \
+         collapses to 0 — the AZM18 diversity property at (2+ε)-quality allocations."
+    );
+}

@@ -1,0 +1,104 @@
+//! E16 — ablation (DESIGN §6 honesty note): does capacity heterogeneity
+//! change the convergence or quality picture?
+//!
+//! The paper's bounds depend on the arboricity `λ` and ε only — the
+//! capacity profile appears nowhere in Theorem 9's round bound. That is a
+//! *claim to test*: skewed capacities change which vertices saturate and
+//! how fast β-levels separate, so we fix one topology (power-law ad graph,
+//! λ fixed) and sweep the capacity model from unit through heavy-tail.
+//!
+//! Shape claim: the λ-oblivious round count stays flat (within the
+//! doubling-schedule quantization) across capacity models, and the
+//! fractional ratio stays within `2 + 10ε` everywhere — i.e. the paper's
+//! capacity-independence is real, not an artifact of uniform-capacity
+//! benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparse_alloc_core::algo1;
+use sparse_alloc_core::guessing::run_with_guessing;
+use sparse_alloc_core::pipeline::{solve, PipelineConfig};
+use sparse_alloc_flow::opt::opt_value;
+use sparse_alloc_graph::capacities::CapacityModel;
+use sparse_alloc_graph::generators::{power_law, PowerLawParams};
+use sparse_alloc_graph::sparsity::arboricity_bracket;
+
+use crate::table::{f3, Table};
+
+/// Run E16 and print its table.
+pub fn run() {
+    let eps = 0.1;
+    println!("E16 — capacity-skew ablation at fixed topology (Theorem 9 independence); ε = {eps}");
+    let base = power_law(
+        &PowerLawParams {
+            n_left: 3000,
+            n_right: 300,
+            exponent: 1.3,
+            min_degree: 2,
+            max_degree: 96,
+            cap: 1,
+        },
+        31,
+    )
+    .graph;
+    let bracket = arboricity_bracket(&base);
+    println!(
+        "  topology: {}×{} m={} arboricity ∈ [{}, {}]",
+        base.n_left(),
+        base.n_right(),
+        base.m(),
+        bracket.lower,
+        bracket.upper
+    );
+
+    let models: Vec<(&str, CapacityModel)> = vec![
+        ("unit", CapacityModel::Unit),
+        ("uniform(4)", CapacityModel::Uniform(4)),
+        ("uniform(32)", CapacityModel::Uniform(32)),
+        (
+            "deg-prop(0.5)",
+            CapacityModel::DegreeProportional { scale: 0.5 },
+        ),
+        (
+            "power-law(1.0)",
+            CapacityModel::PowerLaw {
+                alpha: 1.0,
+                max: 256,
+            },
+        ),
+        ("range[1,8]", CapacityModel::UniformRange { lo: 1, hi: 8 }),
+    ];
+
+    let mut t = Table::new(&[
+        "capacity model",
+        "ΣC",
+        "OPT",
+        "rounds(λ-obliv)",
+        "frac ratio",
+        "2+10ε",
+        "pipeline ratio",
+    ]);
+    for (name, model) in models {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let g = model.apply(&base, &mut rng);
+        let opt = opt_value(&g);
+        let guess = run_with_guessing(&g, eps);
+        let frac_ratio = algo1::ratio(opt, guess.result.match_weight);
+        let out = solve(&g, &PipelineConfig::default());
+        out.assignment.validate(&g).expect("pipeline feasible");
+        t.row(vec![
+            name.to_string(),
+            g.total_capacity().to_string(),
+            opt.to_string(),
+            guess.total_rounds.to_string(),
+            f3(frac_ratio),
+            f3(2.0 + 10.0 * eps),
+            f3(out.assignment.size() as f64 / opt.max(1) as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "  shape: rounds flat across capacity models at fixed λ; fractional ratio ≤ 2+10ε \
+         everywhere; pipeline ratio ≈ 1 regardless of skew."
+    );
+}

@@ -1,0 +1,18 @@
+//! Experiment harness for the `sparse-alloc` reproduction.
+//!
+//! The paper is pure theory (no tables or figures), so deliverable (d) is
+//! realized as experiments **E1–E16**, each validating one theorem, lemma,
+//! remark, application claim, or ablation; see `DESIGN.md` §5 for the
+//! index and `EXPERIMENTS.md` for measured results. Run them with:
+//!
+//! ```sh
+//! cargo run --release -p sparse-alloc-bench --bin experiments -- all
+//! cargo run --release -p sparse-alloc-bench --bin experiments -- e4
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

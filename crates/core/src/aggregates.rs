@@ -1,0 +1,275 @@
+//! The two aggregation passes at the heart of every round of Algorithm 1/3:
+//! `β_u = Σ_{v∈N_u} β_v` for `u ∈ L`, and
+//! `alloc_v = Σ_{u∈N_v} β_v / β_u` for `v ∈ R` (§5's reformulation of
+//! lines 2–3 of Algorithm 1).
+//!
+//! Sums are locally normalized by the maximum level in each neighborhood
+//! (see [`crate::levels`]), computed in CSR order so results are identical
+//! regardless of rayon thread count.
+
+use rayon::prelude::*;
+use sparse_alloc_graph::Bipartite;
+
+use crate::levels::PowTable;
+
+/// The left-side aggregate for one `u ∈ L`:
+/// `β_u = (1+ε)^{max_level} · norm_sum`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeftAggregate {
+    /// `max_{v ∈ N_u} level_v` (meaningless if `deg(u) = 0`).
+    pub max_level: i64,
+    /// `Σ_{v ∈ N_u} (1+ε)^{level_v − max_level}` — in `[1, deg(u)]`.
+    pub norm_sum: f64,
+}
+
+impl LeftAggregate {
+    const EMPTY: LeftAggregate = LeftAggregate {
+        max_level: i64::MIN,
+        norm_sum: 0.0,
+    };
+}
+
+/// Compute all left aggregates for the given right-side levels. `O(m)`.
+pub fn left_aggregates(g: &Bipartite, levels: &[i64], pows: &PowTable) -> Vec<LeftAggregate> {
+    (0..g.n_left() as u32)
+        .into_par_iter()
+        .map(|u| {
+            let neigh = g.left_neighbors(u);
+            if neigh.is_empty() {
+                return LeftAggregate::EMPTY;
+            }
+            let max_level = neigh
+                .iter()
+                .map(|&v| levels[v as usize])
+                .max()
+                .expect("non-empty");
+            let norm_sum: f64 = neigh
+                .iter()
+                .map(|&v| pows.pow_diff(levels[v as usize] - max_level))
+                .sum();
+            LeftAggregate {
+                max_level,
+                norm_sum,
+            }
+        })
+        .collect()
+}
+
+/// Compute `alloc_v = Σ_{u ∈ N_v} x_{u,v}` with
+/// `x_{u,v} = β_v / β_u = (1+ε)^{level_v − max_level_u} / norm_sum_u`.
+/// `O(m)`.
+pub fn right_allocs(
+    g: &Bipartite,
+    levels: &[i64],
+    lefts: &[LeftAggregate],
+    pows: &PowTable,
+) -> Vec<f64> {
+    (0..g.n_right() as u32)
+        .into_par_iter()
+        .map(|v| {
+            let lv = levels[v as usize];
+            g.right_neighbors(v)
+                .iter()
+                .map(|&u| {
+                    let agg = &lefts[u as usize];
+                    debug_assert!(lv <= agg.max_level, "v ∈ N_u ⇒ level_v ≤ max");
+                    pows.pow_diff(lv - agg.max_level) / agg.norm_sum
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Per-edge fractional values `x_{u,v}` (the line-2 quantities of
+/// Algorithm 1), indexed by edge id. `O(m)`.
+pub fn edge_fractions(
+    g: &Bipartite,
+    levels: &[i64],
+    lefts: &[LeftAggregate],
+    pows: &PowTable,
+) -> Vec<f64> {
+    let mut x = vec![0.0f64; g.m()];
+    // Parallelize over left vertices; each writes its own contiguous edge
+    // range.
+    let chunks: Vec<(u32, std::ops::Range<usize>)> = (0..g.n_left() as u32)
+        .map(|u| (u, g.left_edge_range(u)))
+        .collect();
+    // Split x into per-vertex slices in order.
+    let mut rest: &mut [f64] = &mut x;
+    let mut slices: Vec<(u32, &mut [f64])> = Vec::with_capacity(chunks.len());
+    let mut cursor = 0usize;
+    for (u, range) in chunks {
+        let (head, tail) = rest.split_at_mut(range.end - cursor);
+        slices.push((u, head));
+        rest = tail;
+        cursor = range.end;
+    }
+    slices.into_par_iter().for_each(|(u, xs)| {
+        let agg = &lefts[u as usize];
+        for (&v, slot) in g.left_neighbors(u).iter().zip(xs.iter_mut()) {
+            *slot = pows.pow_diff(levels[v as usize] - agg.max_level) / agg.norm_sum;
+        }
+    });
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    fn toy() -> Bipartite {
+        // L = {0,1}, R = {0,1,2}; u0 ~ {v0, v1}, u1 ~ {v1, v2}.
+        let mut b = BipartiteBuilder::new(2, 3);
+        for (u, v) in [(0u32, 0u32), (0, 1), (1, 1), (1, 2)] {
+            b.add_edge(u, v);
+        }
+        b.build_with_uniform_capacity(1).unwrap()
+    }
+
+    #[test]
+    fn uniform_levels_give_proportional_split() {
+        let g = toy();
+        let pows = PowTable::new(0.5);
+        let levels = vec![0i64, 0, 0];
+        let lefts = left_aggregates(&g, &levels, &pows);
+        // Each u has two neighbors with equal β ⇒ norm_sum = 2.
+        assert!((lefts[0].norm_sum - 2.0).abs() < 1e-12);
+        let allocs = right_allocs(&g, &levels, &lefts, &pows);
+        // v0 gets ½ from u0; v1 gets ½ + ½; v2 gets ½.
+        assert!((allocs[0] - 0.5).abs() < 1e-12);
+        assert!((allocs[1] - 1.0).abs() < 1e-12);
+        assert!((allocs[2] - 0.5).abs() < 1e-12);
+        let x = edge_fractions(&g, &levels, &lefts, &pows);
+        assert!(x.iter().all(|&xi| (xi - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn skewed_levels_shift_mass() {
+        let g = toy();
+        let eps = 1.0; // β = 2^level for easy arithmetic
+        let pows = PowTable::new(eps);
+        let levels = vec![1i64, 0, 0]; // β = [2, 1, 1]
+        let lefts = left_aggregates(&g, &levels, &pows);
+        // u0: max level 1, norm_sum = 1 + 1/2 = 1.5 ⇒ β_u0 = 3.
+        assert_eq!(lefts[0].max_level, 1);
+        assert!((lefts[0].norm_sum - 1.5).abs() < 1e-12);
+        let allocs = right_allocs(&g, &levels, &lefts, &pows);
+        // x_{u0,v0} = 2/3, x_{u0,v1} = 1/3, x_{u1,v1} = x_{u1,v2} = 1/2.
+        assert!((allocs[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((allocs[1] - (1.0 / 3.0 + 0.5)).abs() < 1e-12);
+        assert!((allocs[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_left_sum_is_one() {
+        // Fractions from each left vertex always sum to 1 (they are a
+        // proportional split).
+        let g = toy();
+        let pows = PowTable::new(0.25);
+        let levels = vec![5i64, -3, 12];
+        let lefts = left_aggregates(&g, &levels, &pows);
+        let x = edge_fractions(&g, &levels, &lefts, &pows);
+        for u in 0..g.n_left() as u32 {
+            let s: f64 = g.left_edge_range(u).map(|e| x[e]).sum();
+            assert!((s - 1.0).abs() < 1e-9, "u = {u}, s = {s}");
+        }
+    }
+
+    #[test]
+    fn huge_level_gaps_underflow_gracefully() {
+        let g = toy();
+        let pows = PowTable::new(0.5);
+        // v2's level is astronomically below v1: its share underflows to 0.
+        let levels = vec![0i64, 0, -100_000];
+        let lefts = left_aggregates(&g, &levels, &pows);
+        let allocs = right_allocs(&g, &levels, &lefts, &pows);
+        assert_eq!(allocs[2], 0.0);
+        assert!((allocs[1] - 1.5).abs() < 1e-12); // u1 gives ~all to v1
+        assert!(allocs.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn isolated_left_vertex_is_skipped() {
+        let mut b = BipartiteBuilder::new(2, 1);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let pows = PowTable::new(0.5);
+        let lefts = left_aggregates(&g, &[0], &pows);
+        assert_eq!(lefts[1].norm_sum, 0.0);
+        let allocs = right_allocs(&g, &[0], &lefts, &pows);
+        assert!((allocs[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_textbook_brute_force() {
+        // The normalized computation must equal the literal textbook
+        // formulas (raw (1+ε)^level powers) wherever the latter are
+        // representable.
+        let g = sparse_alloc_graph::generators::random_bipartite(30, 25, 140, 2, 12).graph;
+        let eps = 0.3;
+        let pows = PowTable::new(eps);
+        let levels: Vec<i64> = (0..25).map(|v| ((v * 7) % 11) as i64 - 5).collect();
+        let beta = |l: i64| (1.0 + eps).powi(l as i32);
+
+        let lefts = left_aggregates(&g, &levels, &pows);
+        let allocs = right_allocs(&g, &levels, &lefts, &pows);
+        let x = edge_fractions(&g, &levels, &lefts, &pows);
+
+        // Brute force per edge and per right vertex.
+        for u in 0..g.n_left() as u32 {
+            let denom: f64 = g
+                .left_neighbors(u)
+                .iter()
+                .map(|&v| beta(levels[v as usize]))
+                .sum();
+            for (e, &v) in g.left_edge_range(u).zip(g.left_neighbors(u)) {
+                let expect = beta(levels[v as usize]) / denom;
+                assert!(
+                    (x[e] - expect).abs() <= 1e-12 * expect.max(1e-300),
+                    "edge ({u},{v}): {} vs {expect}",
+                    x[e]
+                );
+            }
+        }
+        for v in 0..g.n_right() as u32 {
+            let expect: f64 = g
+                .right_neighbors(v)
+                .iter()
+                .map(|&u| {
+                    let denom: f64 = g
+                        .left_neighbors(u)
+                        .iter()
+                        .map(|&w| beta(levels[w as usize]))
+                        .sum();
+                    beta(levels[v as usize]) / denom
+                })
+                .sum();
+            assert!(
+                (allocs[v as usize] - expect).abs() <= 1e-11 * expect.max(1e-300),
+                "alloc {v}: {} vs {expect}",
+                allocs[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = sparse_alloc_graph::generators::random_bipartite(200, 150, 900, 2, 3).graph;
+        let pows = PowTable::new(0.1);
+        let levels: Vec<i64> = (0..150).map(|v| (v % 7) as i64 - 3).collect();
+        let compute = || {
+            let lefts = left_aggregates(&g, &levels, &pows);
+            let allocs = right_allocs(&g, &levels, &lefts, &pows);
+            let x = edge_fractions(&g, &levels, &lefts, &pows);
+            (allocs, x)
+        };
+        let a = compute();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let b = pool.install(compute);
+        assert_eq!(a, b);
+    }
+}

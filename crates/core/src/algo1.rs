@@ -1,0 +1,394 @@
+//! Algorithm 1 — the proportional-allocation LOCAL algorithm of
+//! Agrawal–Zadimoghaddam–Mirrokni, with the paper's `O(log λ)` analysis.
+//!
+//! Per round, each `u ∈ L` splits its unit proportionally to neighbor
+//! priorities (`x_{u,v} = β_v / Σ_{v'} β_{v'}`), each `v ∈ R` compares its
+//! incoming mass to its capacity and nudges `β_v` by a `(1+ε)` factor.
+//! Theorem 9: after `τ = ⌈log_{1+ε}(4λ/ε)⌉ + 1` rounds, the scaled output
+//! is a `(2+10ε)`-approximate fractional allocation; with the AZM schedule
+//! `τ = O(log(|R|/ε)/ε²)` it is `(1+O(ε))`-approximate.
+//!
+//! This is the *exact* (non-sampled) solver. The sampled MPC execution
+//! lives in [`crate::sampled`] / [`crate::mpc_exec`] and is validated
+//! against this one.
+
+use sparse_alloc_graph::Bipartite;
+
+use crate::aggregates::{left_aggregates, right_allocs};
+use crate::fractional::{finalize, FractionalAllocation};
+use crate::levels::{update_level, PowTable};
+use crate::params::Schedule;
+use crate::termination::{self, TerminationCheck};
+
+/// Configuration of a run.
+#[derive(Debug, Clone)]
+pub struct ProportionalConfig {
+    /// The `(1+ε)` step parameter. Approximation factors are stated in
+    /// terms of this ε.
+    pub eps: f64,
+    /// Round schedule (fixed, known-λ, until-termination, or AZM).
+    pub schedule: Schedule,
+    /// Record per-round statistics (costs one `O(n_R)` pass per round).
+    pub track_history: bool,
+}
+
+/// Per-round statistics for convergence experiments (E1/E2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundStats {
+    /// Round number (1-based).
+    pub round: usize,
+    /// `Σ_v min(C_v, alloc_v)` for this round's allocation.
+    pub match_weight: f64,
+    /// Size of the top level set (post-update).
+    pub top_size: usize,
+    /// Size of the bottom level set (post-update).
+    pub bottom_size: usize,
+    /// Did the §4 termination condition hold at this round?
+    pub terminated: bool,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct ProportionalResult {
+    /// Levels at the *end* of the last round (define the level sets).
+    pub levels: Vec<i64>,
+    /// Levels at the *start* of the last round (define the output `x`).
+    pub pre_levels: Vec<i64>,
+    /// Allocation masses computed in the last round.
+    pub alloc: Vec<f64>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// `Σ_v min(C_v, alloc_v)`.
+    pub match_weight: f64,
+    /// The feasible fractional allocation (lines 5–6 of Algorithm 1).
+    pub fractional: FractionalAllocation,
+    /// The final termination check, if the schedule evaluated it.
+    pub termination: Option<TerminationCheck>,
+    /// Per-round history (empty unless `track_history`).
+    pub history: Vec<RoundStats>,
+}
+
+/// Run Algorithm 1 (all thresholds `k_{v,r} = 1`).
+pub fn run(g: &Bipartite, config: &ProportionalConfig) -> ProportionalResult {
+    crate::algo3::run_with_thresholds(g, config, &crate::algo3::unit_thresholds())
+}
+
+/// Run Algorithm 1 with a per-round observer: called after every round's
+/// update with `(round, post-update levels, this round's alloc)` — the
+/// hook behind [`crate::trace`] and custom convergence instrumentation.
+pub fn run_with_observer<F>(
+    g: &Bipartite,
+    config: &ProportionalConfig,
+    observer: F,
+) -> ProportionalResult
+where
+    F: FnMut(usize, &[i64], &[f64]),
+{
+    let (max_rounds, check_termination) = config.schedule.resolve(config.eps, g.n_right());
+    run_loop(
+        g,
+        config.eps,
+        max_rounds,
+        check_termination,
+        config.track_history,
+        |_, _| (1.0, 1.0),
+        observer,
+    )
+}
+
+/// Convenience: the approximation-ratio denominator
+/// `ratio = opt / match_weight` guarded against degenerate zero instances.
+pub fn ratio(opt: u64, match_weight: f64) -> f64 {
+    if opt == 0 {
+        1.0
+    } else {
+        opt as f64 / match_weight.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Compute the exact allocation masses for a level vector (one aggregation
+/// pass) — the quantity `alloc_v` that level updates compare against.
+pub fn allocs_for_levels(g: &Bipartite, levels: &[i64], eps: f64) -> Vec<f64> {
+    let pows = PowTable::new(eps);
+    let lefts = left_aggregates(g, levels, &pows);
+    right_allocs(g, levels, &lefts, &pows)
+}
+
+pub(crate) fn run_loop<F, O>(
+    g: &Bipartite,
+    eps: f64,
+    max_rounds: usize,
+    check_termination: bool,
+    track_history: bool,
+    mut threshold: F,
+    mut observer: O,
+) -> ProportionalResult
+where
+    F: FnMut(u32, usize) -> (f64, f64),
+    O: FnMut(usize, &[i64], &[f64]),
+{
+    let pows = PowTable::new(eps);
+    let nr = g.n_right();
+    let mut levels = vec![0i64; nr];
+    let mut pre_levels = levels.clone();
+    let mut last_lefts = left_aggregates(g, &levels, &pows);
+    let mut last_alloc = right_allocs(g, &levels, &last_lefts, &pows);
+    let mut history = Vec::new();
+    let mut rounds = 0usize;
+    let mut termination_check = None;
+
+    for r in 1..=max_rounds {
+        // Round r computes from the current levels…
+        let lefts = left_aggregates(g, &levels, &pows);
+        let alloc = right_allocs(g, &levels, &lefts, &pows);
+        pre_levels.copy_from_slice(&levels);
+        // …then updates the priorities.
+        for v in 0..nr {
+            let (k_lo, k_hi) = threshold(v as u32, r);
+            levels[v] += update_level(alloc[v], g.capacity(v as u32), eps, k_lo, k_hi);
+        }
+        rounds = r;
+        last_lefts = lefts;
+        last_alloc = alloc;
+        observer(r, &levels, &last_alloc);
+
+        if check_termination || track_history {
+            let t = termination::check(g, &levels, &last_alloc, r, eps);
+            let terminated = t.terminated;
+            if track_history {
+                history.push(RoundStats {
+                    round: r,
+                    match_weight: match_weight_of(g, &last_alloc),
+                    top_size: t.top_size,
+                    bottom_size: t.bottom_size,
+                    terminated,
+                });
+            }
+            if check_termination {
+                termination_check = Some(t);
+                if terminated {
+                    break;
+                }
+            }
+        }
+    }
+
+    let match_weight = match_weight_of(g, &last_alloc);
+    let fractional = finalize(g, &pre_levels, &last_lefts, &last_alloc, &pows);
+    ProportionalResult {
+        levels,
+        pre_levels,
+        alloc: last_alloc,
+        rounds,
+        match_weight,
+        fractional,
+        termination: termination_check,
+        history,
+    }
+}
+
+/// `Σ_v min(C_v, alloc_v)`.
+pub fn match_weight_of(g: &Bipartite, alloc: &[f64]) -> f64 {
+    alloc
+        .iter()
+        .zip(g.capacities())
+        .map(|(&a, &c)| a.min(c as f64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{tau_known_lambda, Schedule};
+    use sparse_alloc_flow::opt::opt_value;
+    use sparse_alloc_graph::generators::{
+        dense_core_sparse_fringe, random_bipartite, star, union_of_spanning_trees, LayeredParams,
+    };
+
+    fn cfg(eps: f64, schedule: Schedule) -> ProportionalConfig {
+        ProportionalConfig {
+            eps,
+            schedule,
+            track_history: false,
+        }
+    }
+
+    #[test]
+    fn perfectly_matchable_instance_converges() {
+        // Disjoint edges: OPT = n, algorithm should allocate everything.
+        let mut b = sparse_alloc_graph::BipartiteBuilder::new(8, 8);
+        for i in 0..8u32 {
+            b.add_edge(i, i);
+        }
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let res = run(&g, &cfg(0.1, Schedule::Fixed(5)));
+        assert!((res.match_weight - 8.0).abs() < 1e-9);
+        res.fractional.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn star_converges_to_capacity() {
+        let g = star(20, 5).graph;
+        let res = run(&g, &cfg(0.1, Schedule::KnownLambda(1)));
+        // OPT = 5; 2+10ε = 3 ⇒ need ≥ 5/3.
+        assert!(
+            res.match_weight >= 5.0 / 3.0,
+            "match weight {}",
+            res.match_weight
+        );
+        res.fractional.validate(&g, 1e-9).unwrap();
+        // The star actually converges to ~C: every leaf splits nothing (one
+        // neighbor) so alloc = 20 > 5·1.1 every round — center's β only
+        // falls, x stays 1 per leaf, scaled output = exactly C.
+        assert!((res.match_weight - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem9_ratio_on_forest_unions() {
+        let eps = 0.1;
+        for (k, seed) in [(1u32, 11u64), (3, 12), (6, 13)] {
+            let g = union_of_spanning_trees(120, 100, k, 2, seed).graph;
+            let res = run(&g, &cfg(eps, Schedule::KnownLambda(k)));
+            let opt = opt_value(&g);
+            let ratio = ratio(opt, res.match_weight);
+            assert!(
+                ratio <= 2.0 + 10.0 * eps + 1e-9,
+                "k={k}: ratio {ratio} exceeds 2+10ε (OPT {opt}, MW {})",
+                res.match_weight
+            );
+            res.fractional.validate(&g, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn azm_schedule_reaches_near_optimal() {
+        let eps = 0.25; // keep τ = O(log(R)/ε²) manageable
+        let g = union_of_spanning_trees(60, 50, 2, 2, 3).graph;
+        let res = run(&g, &cfg(eps, Schedule::Azm));
+        let opt = opt_value(&g);
+        let ratio = ratio(opt, res.match_weight);
+        assert!(
+            ratio <= 1.0 + 18.0 * eps + 1e-9,
+            "ratio {ratio} exceeds 1+18ε"
+        );
+    }
+
+    #[test]
+    fn termination_condition_fires_within_tau() {
+        let eps = 0.1;
+        let k = 4u32;
+        let g = union_of_spanning_trees(150, 120, k, 2, 21).graph;
+        let res = run(
+            &g,
+            &cfg(
+                eps,
+                Schedule::UntilTermination {
+                    max_rounds: 10 * tau_known_lambda(eps, k),
+                },
+            ),
+        );
+        let t = res.termination.expect("schedule checks termination");
+        assert!(t.terminated, "condition must fire by O(log λ) rounds");
+        assert!(
+            res.rounds <= tau_known_lambda(eps, k),
+            "terminated at {} but τ(λ={k}) = {}",
+            res.rounds,
+            tau_known_lambda(eps, k)
+        );
+        // Theorem 9 guarantee applies at the termination point.
+        let opt = opt_value(&g);
+        assert!(ratio(opt, res.match_weight) <= 2.0 + 10.0 * eps + 1e-9);
+    }
+
+    #[test]
+    fn lemma7_invariants_hold() {
+        // After any τ ≥ 1 rounds: vertices not in the top set have
+        // alloc ≥ C/(1+3ε); not in the bottom set have alloc ≤ C(1+3ε).
+        let eps = 0.2;
+        let g = dense_core_sparse_fringe(&LayeredParams::default(), 5).graph;
+        for tau in [3usize, 8, 15] {
+            let res = run(&g, &cfg(eps, Schedule::Fixed(tau)));
+            let r = tau as i64;
+            for v in 0..g.n_right() {
+                let c = g.capacity(v as u32) as f64;
+                if res.levels[v] < r {
+                    assert!(
+                        res.alloc[v] >= c / (1.0 + 3.0 * eps) - 1e-9,
+                        "τ={tau} v={v}: under-allocation bound violated: alloc {} C {c}",
+                        res.alloc[v]
+                    );
+                }
+                if res.levels[v] > -r {
+                    assert!(
+                        res.alloc[v] <= c * (1.0 + 3.0 * eps) + 1e-9,
+                        "τ={tau} v={v}: over-allocation bound violated: alloc {} C {c}",
+                        res.alloc[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn history_tracks_rounds() {
+        let g = random_bipartite(30, 25, 120, 2, 8).graph;
+        let res = run(
+            &g,
+            &ProportionalConfig {
+                eps: 0.2,
+                schedule: Schedule::Fixed(6),
+                track_history: true,
+            },
+        );
+        assert_eq!(res.history.len(), 6);
+        assert_eq!(res.history.last().unwrap().round, 6);
+        // Match weight is non-trivial and ≤ trivial bound.
+        for h in &res.history {
+            assert!(h.match_weight >= 0.0);
+            assert!(h.match_weight <= g.n_left() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rounds_independent_of_n_at_fixed_lambda() {
+        // The λ-schedule's round count must not grow with n.
+        let eps = 0.1;
+        let t_small = {
+            let g = union_of_spanning_trees(100, 100, 3, 2, 2).graph;
+            run(
+                &g,
+                &cfg(eps, Schedule::UntilTermination { max_rounds: 10_000 }),
+            )
+            .rounds
+        };
+        let t_large = {
+            let g = union_of_spanning_trees(1600, 1600, 3, 2, 2).graph;
+            run(
+                &g,
+                &cfg(eps, Schedule::UntilTermination { max_rounds: 10_000 }),
+            )
+            .rounds
+        };
+        let tau = tau_known_lambda(eps, 3);
+        assert!(t_small <= tau && t_large <= tau);
+    }
+
+    #[test]
+    fn zero_edge_graph() {
+        let g = sparse_alloc_graph::BipartiteBuilder::new(5, 5)
+            .build_with_uniform_capacity(2)
+            .unwrap();
+        let res = run(&g, &cfg(0.1, Schedule::Fixed(3)));
+        assert_eq!(res.match_weight, 0.0);
+        res.fractional.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = union_of_spanning_trees(80, 60, 3, 2, 14).graph;
+        let a = run(&g, &cfg(0.1, Schedule::Fixed(20)));
+        let b = run(&g, &cfg(0.1, Schedule::Fixed(20)));
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.fractional, b.fractional);
+    }
+}

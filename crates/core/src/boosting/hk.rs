@@ -1,0 +1,299 @@
+//! Capacitated Hopcroft–Karp with a walk-length budget.
+//!
+//! Augmenting walks for allocation alternate unmatched/matched edges,
+//! starting at an unmatched `u ∈ L` and ending at a `v ∈ R` with residual
+//! capacity. A phase runs a BFS from all free left vertices (levels count
+//! matched hops), then a DFS extracts a maximal set of disjoint shortest
+//! walks and flips them. Shortest walk length strictly grows between
+//! phases, so stopping when it exceeds `2k−1` needs at most `k` phases and
+//! leaves an allocation of size ≥ `k/(k+1) · OPT`.
+
+use sparse_alloc_graph::{Assignment, Bipartite};
+
+/// Statistics from a [`boost_hk`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HkStats {
+    /// BFS/DFS phases executed.
+    pub phases: usize,
+    /// Total walks augmented.
+    pub augmentations: usize,
+    /// Size before boosting.
+    pub size_before: usize,
+    /// Size after boosting.
+    pub size_after: usize,
+}
+
+struct State<'g> {
+    g: &'g Bipartite,
+    mate: Vec<Option<u32>>,
+    /// Matched left partners per right vertex.
+    matched_at: Vec<Vec<u32>>,
+    /// Residual capacity per right vertex.
+    residual: Vec<u64>,
+}
+
+impl<'g> State<'g> {
+    fn new(g: &'g Bipartite, a: &Assignment) -> Self {
+        let mut matched_at: Vec<Vec<u32>> = vec![Vec::new(); g.n_right()];
+        let mut residual: Vec<u64> = g.capacities().to_vec();
+        for (u, m) in a.mate.iter().enumerate() {
+            if let Some(v) = m {
+                matched_at[*v as usize].push(u as u32);
+                residual[*v as usize] -= 1;
+            }
+        }
+        State {
+            g,
+            mate: a.mate.clone(),
+            matched_at,
+            residual,
+        }
+    }
+
+    /// BFS from free left vertices; `dist[u]` counts matched edges used to
+    /// reach `u`. Returns whether some right vertex with residual capacity
+    /// is reachable within `max_depth` matched hops.
+    fn bfs(&self, dist: &mut [u32], max_depth: u32) -> bool {
+        const INF: u32 = u32::MAX;
+        dist.iter_mut().for_each(|d| *d = INF);
+        let mut queue = std::collections::VecDeque::new();
+        for (u, m) in self.mate.iter().enumerate() {
+            if m.is_none() && self.g.left_degree(u as u32) > 0 {
+                dist[u] = 0;
+                queue.push_back(u as u32);
+            }
+        }
+        let mut reachable = false;
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u as usize];
+            for &v in self.g.left_neighbors(u) {
+                if self.residual[v as usize] > 0 {
+                    // A walk may end at a free vertex from any depth ≤ the
+                    // budget (ending costs no matched hop).
+                    reachable = true;
+                    continue;
+                }
+                if d < max_depth {
+                    for &u2 in &self.matched_at[v as usize] {
+                        if dist[u2 as usize] == u32::MAX {
+                            dist[u2 as usize] = d + 1;
+                            queue.push_back(u2);
+                        }
+                    }
+                }
+            }
+        }
+        reachable
+    }
+
+    /// DFS: extend an alternating walk from `u`; on success the walk has
+    /// been flipped and `u` is matched.
+    fn dfs(&mut self, u: u32, dist: &[u32], iter: &mut [usize], budget: u32) -> bool {
+        let du = dist[u as usize];
+        while iter[u as usize] < self.g.left_degree(u) {
+            let slot = iter[u as usize];
+            iter[u as usize] += 1;
+            let v = self.g.left_neighbors(u)[slot];
+            if self.residual[v as usize] > 0 {
+                self.mate[u as usize] = Some(v);
+                self.matched_at[v as usize].push(u);
+                self.residual[v as usize] -= 1;
+                return true;
+            }
+            if du + 1 > budget {
+                continue;
+            }
+            // Try to push out one of v's matched partners at the next level.
+            let partners = self.matched_at[v as usize].clone();
+            for u2 in partners {
+                if dist[u2 as usize] == du + 1 && self.dfs(u2, dist, iter, budget) {
+                    // u2 has been re-matched elsewhere; u takes its slot.
+                    let pos = self.matched_at[v as usize]
+                        .iter()
+                        .position(|&x| x == u2)
+                        .expect("u2 was matched at v");
+                    self.matched_at[v as usize][pos] = u;
+                    self.mate[u as usize] = Some(v);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Eliminate all augmenting walks of length ≤ `2k−1` from `a` (at most `k`
+/// matched hops per walk, i.e. BFS depth < `k`).
+///
+/// The result is a valid allocation of size ≥ `k/(k+1) · OPT`.
+pub fn boost_hk(g: &Bipartite, a: &Assignment, k: usize) -> (Assignment, HkStats) {
+    assert!(k >= 1, "walk budget k ≥ 1");
+    let mut st = State::new(g, a);
+    let mut stats = HkStats {
+        size_before: a.size(),
+        ..Default::default()
+    };
+    let mut dist = vec![0u32; g.n_left()];
+    let budget = (k - 1) as u32; // matched hops allowed per walk
+
+    loop {
+        if !st.bfs(&mut dist, budget) {
+            break;
+        }
+        stats.phases += 1;
+        let mut iter = vec![0usize; g.n_left()];
+        let mut augmented_this_phase = 0usize;
+        for u in 0..g.n_left() as u32 {
+            if st.mate[u as usize].is_none()
+                && dist[u as usize] == 0
+                && st.dfs(u, &dist, &mut iter, budget)
+            {
+                augmented_this_phase += 1;
+            }
+        }
+        stats.augmentations += augmented_this_phase;
+        if augmented_this_phase == 0 {
+            break;
+        }
+    }
+
+    let out = Assignment { mate: st.mate };
+    stats.size_after = out.size();
+    (out, stats)
+}
+
+/// Length (in edges) of the shortest augmenting walk, if any — the
+/// certificate behind the `k/(k+1)` guarantee. `None` means `a` is maximum.
+pub fn shortest_augmenting_walk(g: &Bipartite, a: &Assignment) -> Option<usize> {
+    let st = State::new(g, a);
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; g.n_left()];
+    let mut queue = std::collections::VecDeque::new();
+    for (u, m) in st.mate.iter().enumerate() {
+        if m.is_none() && g.left_degree(u as u32) > 0 {
+            dist[u] = 0;
+            queue.push_back(u as u32);
+        }
+    }
+    let mut best: Option<u32> = None;
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        if let Some(b) = best {
+            if d >= b {
+                continue;
+            }
+        }
+        for &v in g.left_neighbors(u) {
+            if st.residual[v as usize] > 0 {
+                best = Some(best.map_or(d, |b| b.min(d)));
+                continue;
+            }
+            for &u2 in &st.matched_at[v as usize] {
+                if dist[u2 as usize] == INF {
+                    dist[u2 as usize] = d + 1;
+                    queue.push_back(u2);
+                }
+            }
+        }
+    }
+    best.map(|matched_hops| 2 * matched_hops as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_flow::greedy::greedy_allocation;
+    use sparse_alloc_flow::opt::opt_value;
+    use sparse_alloc_graph::generators::{random_bipartite, union_of_spanning_trees};
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    #[test]
+    fn fixes_the_classic_trap() {
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let greedy = greedy_allocation(&g); // size 1
+        let (boosted, stats) = boost_hk(&g, &greedy, 2);
+        boosted.validate(&g).unwrap();
+        assert_eq!(boosted.size(), 2);
+        assert_eq!(stats.size_before, 1);
+        assert_eq!(stats.size_after, 2);
+        assert!(stats.augmentations >= 1);
+    }
+
+    #[test]
+    fn guarantee_k_over_k_plus_one() {
+        for seed in 0..6u64 {
+            let g = union_of_spanning_trees(80, 60, 3, 2, seed).graph;
+            let opt = opt_value(&g);
+            let start = greedy_allocation(&g);
+            for k in [1usize, 2, 3, 5] {
+                let (boosted, _) = boost_hk(&g, &start, k);
+                boosted.validate(&g).unwrap();
+                let bound = (k as f64) / (k as f64 + 1.0) * opt as f64;
+                assert!(
+                    boosted.size() as f64 >= bound - 1e-9,
+                    "seed {seed} k {k}: {} < {bound} (OPT {opt})",
+                    boosted.size()
+                );
+                // Certificate: no augmenting walk of length ≤ 2k−1 remains.
+                if let Some(len) = shortest_augmenting_walk(&g, &boosted) {
+                    assert!(len > 2 * k - 1, "walk of length {len} remains at k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_k_reaches_optimum() {
+        for seed in 0..4u64 {
+            let g = random_bipartite(60, 40, 300, 3, seed).graph;
+            let opt = opt_value(&g);
+            let (boosted, _) = boost_hk(&g, &Assignment::empty(g.n_left()), 1_000);
+            assert_eq!(boosted.size() as u64, opt, "seed {seed}");
+            boosted.validate(&g).unwrap();
+            assert_eq!(shortest_augmenting_walk(&g, &boosted), None);
+        }
+    }
+
+    #[test]
+    fn respects_capacities_throughout() {
+        let g = union_of_spanning_trees(50, 20, 2, 3, 7).graph;
+        let (boosted, _) = boost_hk(&g, &Assignment::empty(g.n_left()), 4);
+        boosted.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let g = random_bipartite(70, 50, 350, 2, 9).graph;
+        let start = greedy_allocation(&g);
+        let mut last = 0usize;
+        for k in [1usize, 2, 4, 8] {
+            let (boosted, _) = boost_hk(&g, &start, k);
+            assert!(boosted.size() >= last, "k={k} shrank the allocation");
+            last = boosted.size();
+        }
+    }
+
+    #[test]
+    fn never_decreases() {
+        let g = random_bipartite(40, 30, 150, 2, 3).graph;
+        let start = greedy_allocation(&g);
+        let (boosted, stats) = boost_hk(&g, &start, 3);
+        assert!(boosted.size() >= start.size());
+        assert_eq!(stats.size_after - stats.size_before, stats.augmentations);
+    }
+
+    #[test]
+    fn shortest_walk_on_empty_allocation_is_one() {
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        assert_eq!(
+            shortest_augmenting_walk(&g, &Assignment::empty(2)),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Boosting a constant-factor allocation to `(1+ε)` (paper, Appendix B).
+//!
+//! The paper plugs its constant-approximate allocation into the framework
+//! of Ghaffari–Grunau–Mitrović \[GGM22\]: repeatedly find short augmenting
+//! walks (length ≤ `2k+1`, `k = O(1/ε)`) and flip them. The observable
+//! contract is classical: **an allocation admitting no augmenting walk of
+//! length ≤ `2k−1` is a `k/(k+1)`-fraction of optimal**, so eliminating
+//! short walks boosts any constant factor to `1 + O(1/k)`.
+//!
+//! Two implementations (see `DESIGN.md`, substitutions):
+//!
+//! * [`hk`] — deterministic capacitated Hopcroft–Karp: BFS/DFS phases that
+//!   find maximal sets of disjoint shortest augmenting walks, stopping once
+//!   the shortest exceeds the budget. This is the behavioral equivalent of
+//!   what GGM22's framework guarantees, minus the MPC round compression.
+//! * [`layered`] — the randomized layered-graph construction of
+//!   [GGM22, §4] as specialized in Appendix B (vertex copies, random layer
+//!   assignment, orientation `R→L` for matched and `L→R` for unmatched
+//!   edges), finding walks layer by layer. Matches the paper's actual
+//!   construction; needs `exp(O(k))` iterations to catch walks whp.
+
+pub mod hk;
+pub mod layered;
+
+pub use hk::{boost_hk, shortest_augmenting_walk, HkStats};
+pub use layered::{boost_layered, LayeredConfig};

@@ -1,0 +1,333 @@
+//! The Lemma 11 sampling machinery.
+//!
+//! Lemma 11: for a population of `n` values within a spread factor `t²` of
+//! each other, `s ≥ 20·t²·log n/ε⁴` uniform samples (with replacement,
+//! rescaled by `n/s`) estimate the sum within `1 ± 4ε` with high
+//! probability. Algorithm 2 applies it *stratified*: neighbors are grouped
+//! by β-level at phase start; within a group values stay within `(1+ε)^{2B}`
+//! of each other across a `B`-round phase, so per-group budgets of
+//! `t = (1+ε)^{2B}·ε⁻⁵·log n` suffice for the whole phase — with **fresh
+//! independent samples per simulated round** (the paper's emphasis).
+//!
+//! This module provides the counter-based deterministic RNG (the device
+//! that makes the shared-memory and distributed executions bit-identical),
+//! the grouped-neighborhood structure, and the plain Lemma 11 estimator
+//! that experiment E5 stress-tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparse_alloc_graph::Side;
+
+/// Counter-based RNG: a fixed function of
+/// `(seed, phase, round, side, vertex, group_key)`. Both execution paths of
+/// Algorithm 2 derive their sample draws from this, which is what makes
+/// them comparable bit-for-bit.
+pub fn sample_rng(
+    seed: u64,
+    phase: usize,
+    round_in_phase: usize,
+    side: Side,
+    vertex: u32,
+    group_key: i64,
+) -> SmallRng {
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let side_tag = match side {
+        Side::Left => 1u64,
+        Side::Right => 2u64,
+    };
+    let mut h = seed ^ GOLDEN;
+    for x in [
+        phase as u64,
+        round_in_phase as u64,
+        side_tag,
+        vertex as u64,
+        group_key as u64,
+    ] {
+        h = mix(h ^ x.wrapping_mul(GOLDEN));
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// A neighborhood partitioned into β-level groups (per vertex, per phase).
+///
+/// Groups are stored sorted by key; members keep adjacency order. Both
+/// properties are load-bearing for cross-path determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupedNeighborhood {
+    /// Sorted, distinct group keys.
+    pub keys: Vec<i64>,
+    /// CSR offsets into `members` (length `keys.len() + 1`).
+    pub offsets: Vec<u32>,
+    /// Neighbor ids, grouped by key.
+    pub members: Vec<u32>,
+}
+
+impl GroupedNeighborhood {
+    /// Partition `neighbors` by `key_of`.
+    pub fn build(neighbors: &[u32], key_of: impl Fn(u32) -> i64) -> Self {
+        let mut pairs: Vec<(i64, u32)> = neighbors.iter().map(|&w| (key_of(w), w)).collect();
+        // Stable by construction: sort by key, ties keep adjacency order.
+        pairs.sort_by_key(|&(k, _)| k);
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut members = Vec::with_capacity(pairs.len());
+        for (k, w) in pairs {
+            if keys.last() != Some(&k) {
+                keys.push(k);
+                offsets.push(members.len() as u32);
+                *offsets.last_mut().expect("just pushed") = members.len() as u32;
+            }
+            members.push(w);
+            *offsets.last_mut().expect("non-empty") = members.len() as u32;
+        }
+        GroupedNeighborhood {
+            keys,
+            offsets,
+            members,
+        }
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Members of group `i`.
+    pub fn group(&self, i: usize) -> &[u32] {
+        &self.members[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The largest group key (`None` if the neighborhood is empty).
+    pub fn max_key(&self) -> Option<i64> {
+        self.keys.last().copied()
+    }
+
+    /// Draw the per-round sampling plan for this neighborhood: per group,
+    /// `min(t, |G|)` members — all of them when the group fits the budget
+    /// (factor 1), otherwise `t` uniform draws *with replacement* rescaled
+    /// by `|G|/t`.
+    ///
+    /// `rng_for(group_key)` supplies the per-group counter RNG. Plans are
+    /// the unit shipped into MPC balls; evaluating a plan with
+    /// [`RoundPlan::eval`] is *the* numerical kernel of Algorithm 2 — both
+    /// execution paths use it, so their float operations agree bit-for-bit.
+    pub fn draw_plan(&self, t: usize, mut rng_for: impl FnMut(i64) -> SmallRng) -> RoundPlan {
+        debug_assert!(t >= 1);
+        let mut per_group = Vec::with_capacity(self.n_groups());
+        for (i, &key) in self.keys.iter().enumerate() {
+            let group = self.group(i);
+            if group.len() <= t {
+                per_group.push(PlanGroup {
+                    key,
+                    factor: 1.0,
+                    drawn: group.to_vec(),
+                });
+            } else {
+                let mut rng = rng_for(key);
+                let drawn: Vec<u32> = (0..t)
+                    .map(|_| group[rng.gen_range(0..group.len())])
+                    .collect();
+                per_group.push(PlanGroup {
+                    key,
+                    factor: group.len() as f64 / t as f64,
+                    drawn,
+                });
+            }
+        }
+        RoundPlan { per_group }
+    }
+
+    /// Stratified sum estimate: draw a plan and evaluate it.
+    pub fn estimate_sum(
+        &self,
+        t: usize,
+        rng_for: impl FnMut(i64) -> SmallRng,
+        f: impl FnMut(u32) -> f64,
+    ) -> f64 {
+        self.draw_plan(t, rng_for).eval(f)
+    }
+}
+
+/// One group's share of a sampling plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanGroup {
+    /// The group's β-level key.
+    pub key: i64,
+    /// Rescale factor `|G| / samples` (1.0 for exhaustive groups).
+    pub factor: f64,
+    /// The drawn members (with multiplicity when sampled).
+    pub drawn: Vec<u32>,
+}
+
+/// A per-(vertex, round) sampling plan: the sparsified view of a
+/// neighborhood that Algorithm 2 ships into balls.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundPlan {
+    /// Groups in ascending key order.
+    pub per_group: Vec<PlanGroup>,
+}
+
+impl RoundPlan {
+    /// Evaluate `Σ_groups factor · Σ_{drawn} f(member)`.
+    ///
+    /// The accumulation structure (per-group partial sums, groups in key
+    /// order) is part of the cross-path equality contract — do not "just
+    /// sum everything".
+    pub fn eval(&self, mut f: impl FnMut(u32) -> f64) -> f64 {
+        let mut total = 0.0f64;
+        for g in &self.per_group {
+            let mut acc = 0.0f64;
+            for &w in &g.drawn {
+                acc += f(w);
+            }
+            total += g.factor * acc;
+        }
+        total
+    }
+
+    /// All distinct members referenced by this plan.
+    pub fn members(&self) -> impl Iterator<Item = u32> + '_ {
+        self.per_group.iter().flat_map(|g| g.drawn.iter().copied())
+    }
+}
+
+/// The plain Lemma 11 estimator: `s` uniform samples with replacement from
+/// `values`, rescaled by `n/s`. Exposed for experiment E5.
+pub fn lemma11_estimate(values: &[f64], s: usize, rng: &mut SmallRng) -> f64 {
+    assert!(s >= 1 && !values.is_empty());
+    let n = values.len();
+    let sum: f64 = (0..s).map(|_| values[rng.gen_range(0..n)]).sum();
+    sum * n as f64 / s as f64
+}
+
+/// The Lemma 11 sample-count bound `s ≥ 20·t²·log n/ε⁴`.
+pub fn lemma11_samples(t_spread: f64, n: usize, eps: f64) -> usize {
+    (20.0 * t_spread * t_spread * (n.max(2) as f64).ln() / eps.powi(4)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rng_is_a_pure_function() {
+        let a: Vec<u64> = {
+            let mut r = sample_rng(7, 1, 2, Side::Left, 42, -3);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = sample_rng(7, 1, 2, Side::Left, 42, -3);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        // Any coordinate change gives a different stream.
+        for variant in [
+            sample_rng(8, 1, 2, Side::Left, 42, -3),
+            sample_rng(7, 2, 2, Side::Left, 42, -3),
+            sample_rng(7, 1, 3, Side::Left, 42, -3),
+            sample_rng(7, 1, 2, Side::Right, 42, -3),
+            sample_rng(7, 1, 2, Side::Left, 43, -3),
+            sample_rng(7, 1, 2, Side::Left, 42, -2),
+        ] {
+            let mut v = variant;
+            let first: u64 = v.gen();
+            let mut orig = sample_rng(7, 1, 2, Side::Left, 42, -3);
+            let orig_first: u64 = orig.gen();
+            assert_ne!(first, orig_first);
+        }
+    }
+
+    #[test]
+    fn grouping_partitions_and_sorts() {
+        let neighbors = [10u32, 11, 12, 13, 14];
+        let keys = [3i64, -1, 3, 0, -1];
+        let g = GroupedNeighborhood::build(&neighbors, |w| keys[(w - 10) as usize]);
+        assert_eq!(g.keys, vec![-1, 0, 3]);
+        assert_eq!(g.group(0), &[11, 14]);
+        assert_eq!(g.group(1), &[13]);
+        assert_eq!(g.group(2), &[10, 12]);
+        assert_eq!(g.max_key(), Some(3));
+        assert_eq!(g.n_groups(), 3);
+    }
+
+    #[test]
+    fn empty_neighborhood() {
+        let g = GroupedNeighborhood::build(&[], |_| 0);
+        assert_eq!(g.n_groups(), 0);
+        assert_eq!(g.max_key(), None);
+        let est = g.estimate_sum(5, |_| SmallRng::seed_from_u64(0), |_| 1.0);
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn small_groups_are_exact() {
+        let neighbors: Vec<u32> = (0..20).collect();
+        let g = GroupedNeighborhood::build(&neighbors, |w| (w % 4) as i64);
+        // Budget 5 = group size ⇒ exact.
+        let est = g.estimate_sum(5, |_| SmallRng::seed_from_u64(1), |w| w as f64);
+        let exact: f64 = (0..20).map(|w| w as f64).sum();
+        assert!((est - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_estimate_concentrates() {
+        // One big group with values within a 2× spread; many samples ⇒
+        // small relative error.
+        let neighbors: Vec<u32> = (0..10_000).collect();
+        let value = |w: u32| 1.0 + ((w as f64 * 0.618).fract()); // [1, 2)
+        let g = GroupedNeighborhood::build(&neighbors, |_| 0);
+        let exact: f64 = neighbors.iter().map(|&w| value(w)).sum();
+        let mut worst: f64 = 0.0;
+        for seed in 0..10u64 {
+            let est = g.estimate_sum(
+                2_000,
+                |k| sample_rng(seed, 0, 0, Side::Left, 0, k),
+                value,
+            );
+            worst = worst.max((est - exact).abs() / exact);
+        }
+        assert!(worst < 0.05, "relative error {worst}");
+    }
+
+    #[test]
+    fn lemma11_bound_is_sufficient() {
+        // Spread t = 4 population; s from the lemma ⇒ error ≤ 4ε whp.
+        let eps = 0.5; // keep s small enough for a fast test
+        let values: Vec<f64> = (0..5_000)
+            .map(|i| 0.5 * (1.0 + 15.0 * ((i as f64 * 0.37).fract())))
+            .collect(); // range [0.5, 8] = spread 16 = t² for t = 4
+        let s = lemma11_samples(4.0, values.len(), eps);
+        let exact: f64 = values.iter().sum();
+        let mut failures = 0;
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let est = lemma11_estimate(&values, s, &mut rng);
+            if (est - exact).abs() > 4.0 * eps * exact {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "Lemma 11 bound violated {failures}/20 times");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_in_the_mean() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 7) as f64 + 1.0).collect();
+        let exact: f64 = values.iter().sum();
+        let mut mean = 0.0;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(seed as u64);
+            mean += lemma11_estimate(&values, 50, &mut rng);
+        }
+        mean /= trials as f64;
+        assert!(
+            (mean - exact).abs() / exact < 0.02,
+            "mean {mean} vs exact {exact}"
+        );
+    }
+}

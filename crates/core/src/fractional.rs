@@ -1,0 +1,192 @@
+//! Fractional allocations: the output object of Algorithms 1/2/3.
+//!
+//! Lines 5–6 of Algorithm 1 turn the raw proportional fractions `x` into a
+//! feasible fractional allocation `x'` by scaling each over-allocated right
+//! vertex back to its capacity: `x'_{u,v} = min(1, C_v/alloc_v) · x_{u,v}`.
+//! The objective is `MatchWeight = Σ_v min(C_v, alloc_v)`.
+
+use sparse_alloc_graph::Bipartite;
+
+use crate::aggregates::{edge_fractions, left_aggregates, right_allocs, LeftAggregate};
+use crate::levels::PowTable;
+
+/// A feasible fractional allocation with its per-edge values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalAllocation {
+    /// Per-edge values `x'_{u,v} ∈ [0, 1]`, indexed by edge id.
+    pub x: Vec<f64>,
+    /// The objective `Σ_e x'_e` (equals `Σ_v min(C_v, alloc_v)` up to
+    /// floating error when produced by the solvers).
+    pub weight: f64,
+}
+
+impl FractionalAllocation {
+    /// Validate feasibility within tolerance `tol`:
+    /// every `x ∈ [0, 1+tol]`, left sums ≤ `1+tol`, right sums ≤
+    /// `C_v(1+tol)`.
+    pub fn validate(&self, g: &Bipartite, tol: f64) -> Result<(), String> {
+        if self.x.len() != g.m() {
+            return Err(format!(
+                "x has {} entries for {} edges",
+                self.x.len(),
+                g.m()
+            ));
+        }
+        if let Some((e, &xe)) = self
+            .x
+            .iter()
+            .enumerate()
+            .find(|(_, &xe)| !(0.0..=1.0 + tol).contains(&xe) || !xe.is_finite())
+        {
+            return Err(format!("x[{e}] = {xe} out of [0, 1]"));
+        }
+        for u in 0..g.n_left() as u32 {
+            let s: f64 = g.left_edge_range(u).map(|e| self.x[e]).sum();
+            if s > 1.0 + tol {
+                return Err(format!("left {u} total {s} exceeds 1"));
+            }
+        }
+        for v in 0..g.n_right() as u32 {
+            let s: f64 = g.right_edge_ids(v).iter().map(|&e| self.x[e as usize]).sum();
+            let c = g.capacity(v) as f64;
+            if s > c * (1.0 + tol) + tol {
+                return Err(format!("right {v} total {s} exceeds capacity {c}"));
+            }
+        }
+        let total: f64 = self.x.iter().sum();
+        if (total - self.weight).abs() > tol * total.max(1.0) {
+            return Err(format!(
+                "declared weight {} but Σx = {total}",
+                self.weight
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Apply lines 5–6 of Algorithm 1: from final levels, produce the feasible
+/// fractional allocation and its weight.
+///
+/// `alloc` must be the exact allocation masses for `levels` (one extra
+/// aggregation pass, which is how the MPC version finishes too — an `O(1)`
+/// round exact aggregation).
+pub fn finalize(
+    g: &Bipartite,
+    levels: &[i64],
+    lefts: &[LeftAggregate],
+    alloc: &[f64],
+    pows: &PowTable,
+) -> FractionalAllocation {
+    let mut x = edge_fractions(g, levels, lefts, pows);
+    // Scale each over-allocated right vertex down to capacity.
+    for v in 0..g.n_right() as u32 {
+        let a = alloc[v as usize];
+        let c = g.capacity(v) as f64;
+        if a > c {
+            let scale = c / a;
+            for &e in g.right_edge_ids(v) {
+                x[e as usize] *= scale;
+            }
+        }
+    }
+    let weight: f64 = alloc
+        .iter()
+        .zip(g.capacities())
+        .map(|(&a, &c)| a.min(c as f64))
+        .sum();
+    FractionalAllocation { x, weight }
+}
+
+/// Compute the full output for a level vector in one call (used by solvers
+/// and tests): exact aggregates, alloc, and the finalized allocation.
+pub fn finalize_from_levels(g: &Bipartite, levels: &[i64], eps: f64) -> FractionalAllocation {
+    let pows = PowTable::new(eps);
+    let lefts = left_aggregates(g, levels, &pows);
+    let alloc = right_allocs(g, levels, &lefts, &pows);
+    finalize(g, levels, &lefts, &alloc, &pows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::generators::{random_bipartite, star};
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    #[test]
+    fn uniform_star_scales_to_capacity() {
+        // Star: 6 leaves, capacity 2. All levels equal ⇒ every leaf sends 1
+        // to the center (deg 1 each): alloc = 6 > C = 2 ⇒ scale 1/3.
+        let g = star(6, 2).graph;
+        let fa = finalize_from_levels(&g, &[0], 0.5);
+        fa.validate(&g, 1e-9).unwrap();
+        assert!((fa.weight - 2.0).abs() < 1e-9);
+        assert!(fa.x.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn under_allocated_untouched() {
+        // Two leaves, capacity 5: alloc = 2 < 5, no scaling.
+        let g = star(2, 5).graph;
+        let fa = finalize_from_levels(&g, &[0], 0.5);
+        fa.validate(&g, 1e-9).unwrap();
+        assert!((fa.weight - 2.0).abs() < 1e-9);
+        assert!(fa.x.iter().all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let mut b = BipartiteBuilder::new(2, 1);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        // Right vertex total = 1.6 > C = 1.
+        let bad = FractionalAllocation {
+            x: vec![0.8, 0.8],
+            weight: 1.6,
+        };
+        assert!(bad.validate(&g, 1e-9).is_err());
+        // Left vertex total > 1.
+        let mut b = BipartiteBuilder::new(1, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build_with_uniform_capacity(5).unwrap();
+        let bad = FractionalAllocation {
+            x: vec![0.7, 0.7],
+            weight: 1.4,
+        };
+        assert!(bad.validate(&g, 1e-9).is_err());
+        // Wrong declared weight.
+        let bad = FractionalAllocation {
+            x: vec![0.3, 0.3],
+            weight: 2.0,
+        };
+        assert!(bad.validate(&g, 1e-9).is_err());
+        // NaN.
+        let bad = FractionalAllocation {
+            x: vec![f64::NAN, 0.0],
+            weight: 0.0,
+        };
+        assert!(bad.validate(&g, 1e-9).is_err());
+    }
+
+    #[test]
+    fn arbitrary_levels_always_feasible() {
+        let g = random_bipartite(40, 30, 200, 3, 9).graph;
+        for (seed, eps) in [(1u64, 0.1f64), (2, 0.5), (3, 1.0)] {
+            let levels: Vec<i64> = (0..30)
+                .map(|v| ((v as u64 * seed * 2654435761) % 13) as i64 - 6)
+                .collect();
+            let fa = finalize_from_levels(&g, &levels, eps);
+            fa.validate(&g, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed} eps {eps}: {e}"));
+        }
+    }
+
+    #[test]
+    fn weight_equals_sum_of_x() {
+        let g = random_bipartite(25, 20, 100, 2, 4).graph;
+        let fa = finalize_from_levels(&g, &[0; 20], 0.25);
+        let total: f64 = fa.x.iter().sum();
+        assert!((total - fa.weight).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Integer β-levels and the negative-power lookup table.
+//!
+//! Algorithm 1 only ever multiplies or divides a priority `β_v` by `(1+ε)`,
+//! so `β_v = (1+ε)^{level_v}` with an *integer* level is an exact
+//! representation: level-set membership (`L_0 … L_{2τ}`, §4) becomes integer
+//! comparison and no float drift can move a vertex across level sets.
+//!
+//! All β arithmetic in the solvers is *locally normalized*: a sum
+//! `Σ_v (1+ε)^{level_v}` is evaluated as
+//! `(1+ε)^{m} · Σ_v (1+ε)^{level_v − m}` with `m = max level`, so only
+//! non-positive exponents are materialized. That keeps every computation in
+//! range no matter how far absolute levels drift (proportional shares are
+//! invariant under a global β rescaling), and exponents below the f64
+//! denormal range honestly underflow to the 0 they mathematically round to.
+
+/// Lookup table for `(1+ε)^{-i}`, `i ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct PowTable {
+    eps: f64,
+    neg: Vec<f64>,
+}
+
+impl PowTable {
+    /// Build a table for the given ε. The table extends to the underflow
+    /// horizon (`(1+ε)^{-i} < 1e-320`), beyond which powers are exactly 0.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε ∈ (0, 1]");
+        let base = 1.0 + eps;
+        let horizon = (737.0 / base.ln()).ceil() as usize + 2;
+        let mut neg = Vec::with_capacity(horizon);
+        let mut x = 1.0f64;
+        for _ in 0..horizon {
+            neg.push(x);
+            x /= base;
+        }
+        PowTable { eps, neg }
+    }
+
+    /// The ε this table was built for.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// `(1+ε)^{-i}` (0.0 past the underflow horizon).
+    #[inline]
+    pub fn pow_neg(&self, i: u64) -> f64 {
+        self.neg.get(i as usize).copied().unwrap_or(0.0)
+    }
+
+    /// `(1+ε)^{d}` for `d ≤ 0` given as the difference `level − max_level`.
+    #[inline]
+    pub fn pow_diff(&self, diff: i64) -> f64 {
+        debug_assert!(diff <= 0, "pow_diff expects non-positive exponent");
+        self.pow_neg((-diff) as u64)
+    }
+}
+
+/// The level update rule: `β ← β(1+ε)` iff `alloc ≤ C/(1+k_lo·ε)`,
+/// `β ← β/(1+ε)` iff `alloc ≥ C·(1+k_hi·ε)`, else unchanged.
+///
+/// Algorithm 1 is the special case `k_lo = k_hi = 1`; Algorithm 3 allows
+/// `k ∈ [1/4, 4]` (Lemma 13).
+#[inline]
+pub fn update_level(alloc: f64, capacity: u64, eps: f64, k_lo: f64, k_hi: f64) -> i64 {
+    let c = capacity as f64;
+    if alloc <= c / (1.0 + k_lo * eps) {
+        1
+    } else if alloc >= c * (1.0 + k_hi * eps) {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Level-set snapshot after `rounds` rounds: the top set `L_{2τ}` (vertices
+/// whose β rose every round) and the bottom set `L_0` (fell every round).
+#[derive(Debug, Clone, Default)]
+pub struct LevelSets {
+    /// Right vertices with `level == rounds`.
+    pub top: Vec<u32>,
+    /// Right vertices with `level == −rounds`.
+    pub bottom: Vec<u32>,
+}
+
+/// Extract the extreme level sets from the level vector.
+pub fn extreme_level_sets(levels: &[i64], rounds: usize) -> LevelSets {
+    let r = rounds as i64;
+    let mut sets = LevelSets::default();
+    for (v, &l) in levels.iter().enumerate() {
+        if l == r {
+            sets.top.push(v as u32);
+        } else if l == -r {
+            sets.bottom.push(v as u32);
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_table_values() {
+        let t = PowTable::new(0.5);
+        assert_eq!(t.pow_neg(0), 1.0);
+        assert!((t.pow_neg(1) - 1.0 / 1.5).abs() < 1e-15);
+        assert!((t.pow_neg(10) - 1.5f64.powi(-10)).abs() < 1e-15);
+        assert_eq!(t.pow_diff(0), 1.0);
+        assert!((t.pow_diff(-3) - 1.5f64.powi(-3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pow_table_underflows_to_zero() {
+        let t = PowTable::new(1.0);
+        // 2^{-2000} is far past the f64 denormal range.
+        assert_eq!(t.pow_neg(2000), 0.0);
+        // But values near the horizon are still monotone non-negative.
+        assert!(t.pow_neg(1000) >= 0.0);
+    }
+
+    #[test]
+    fn update_level_rule() {
+        // C = 10, ε = 0.1: low threshold 10/1.1 ≈ 9.09, high 11.
+        assert_eq!(update_level(5.0, 10, 0.1, 1.0, 1.0), 1);
+        assert_eq!(update_level(9.0909, 10, 0.1, 1.0, 1.0), 1);
+        assert_eq!(update_level(10.0, 10, 0.1, 1.0, 1.0), 0);
+        assert_eq!(update_level(11.0, 10, 0.1, 1.0, 1.0), -1);
+        assert_eq!(update_level(15.0, 10, 0.1, 1.0, 1.0), -1);
+    }
+
+    #[test]
+    fn update_level_with_k() {
+        // k_lo = 4 widens the increase region: 10/1.4 ≈ 7.14.
+        assert_eq!(update_level(7.0, 10, 0.1, 4.0, 1.0), 1);
+        assert_eq!(update_level(7.2, 10, 0.1, 4.0, 1.0), 0);
+        // k_hi = 1/4 narrows the decrease threshold: 10·1.025.
+        assert_eq!(update_level(10.3, 10, 0.1, 1.0, 0.25), -1);
+        assert_eq!(update_level(10.3, 10, 0.1, 1.0, 1.0), 0);
+    }
+
+    #[test]
+    fn extreme_sets() {
+        let levels = vec![3, -3, 0, 3, -2];
+        let s = extreme_level_sets(&levels, 3);
+        assert_eq!(s.top, vec![0, 3]);
+        assert_eq!(s.bottom, vec![1]);
+        let s0 = extreme_level_sets(&levels, 5);
+        assert!(s0.top.is_empty() && s0.bottom.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's contribution: `(1+ε)`-approximate allocation in uniformly
+//! sparse graphs, in LOCAL `O_ε(log λ)` rounds and sublinear-space MPC
+//! `O_ε(√(log λ)·log log λ)` rounds.
+//!
+//! Reproduction of *Faster MPC Algorithms for Approximate Allocation in
+//! Uniformly Sparse Graphs* (Łącki–Mitrović–Ramachandran–Sheu, SPAA 2025,
+//! arXiv:2506.04524).
+//!
+//! # Map from paper to modules
+//!
+//! | paper | module |
+//! |---|---|
+//! | Algorithm 1 (proportional allocation, \[AZM18\]) | [`algo1`] |
+//! | Algorithm 3 (perturbed thresholds, Appendix A) | [`algo3`] |
+//! | Level sets `L_0 … L_{2τ}`, β arithmetic | [`levels`], [`aggregates`] |
+//! | §4 termination condition (λ-oblivious stopping) | [`termination`] |
+//! | Lemma 11 sampling estimator | [`estimator`] |
+//! | Algorithm 2 (phase-compressed sampled execution) | [`sampled`] |
+//! | Algorithm 2 on the MPC cluster (Theorem 10) | [`mpc_exec`] |
+//! | §3.2.2 λ-guessing driver | [`guessing`] |
+//! | §6 rounding (fractional → integral) | [`rounding`] |
+//! | Appendix B boosting to `(1+ε)` | [`boosting`] |
+//! | τ / B / t schedules (eq. 4 etc.) | [`params`] |
+//! | AZM18 `O(log n/ε²)` baseline schedule | [`params`] |
+//! | End-to-end Theorem 1 / Theorem 3 pipeline | [`pipeline`] |
+//! | §1 application: load balancing \[ALPZ21\] | [`loadbalance`] |
+//! | §1.2.1 extension: b-matching | [`extensions`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use sparse_alloc_graph::generators::union_of_spanning_trees;
+//! use sparse_alloc_core::{algo1, params::Schedule, pipeline};
+//!
+//! // A graph with arboricity ≤ 4 and capacities 2.
+//! let g = union_of_spanning_trees(200, 150, 4, 2, 7).graph;
+//!
+//! // (2+10ε)-approximate fractional allocation in O(log λ) LOCAL rounds.
+//! let res = algo1::run(&g, &algo1::ProportionalConfig {
+//!     eps: 0.1,
+//!     schedule: Schedule::KnownLambda(4),
+//!     track_history: false,
+//! });
+//! assert!(res.match_weight > 0.0);
+//!
+//! // Full pipeline: fractional → rounding → boosting ⇒ integral allocation.
+//! let out = pipeline::solve(&g, &pipeline::PipelineConfig::default());
+//! out.assignment.validate(&g).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregates;
+pub mod algo1;
+pub mod algo3;
+pub mod boosting;
+pub mod estimator;
+pub mod extensions;
+pub mod fractional;
+pub mod guessing;
+pub mod levels;
+pub mod loadbalance;
+pub mod mpc_exec;
+pub mod params;
+pub mod pipeline;
+pub mod rounding;
+pub mod sampled;
+pub mod termination;
+pub mod trace;
+
+pub use fractional::FractionalAllocation;
+pub use params::Schedule;

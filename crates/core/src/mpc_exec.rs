@@ -1,0 +1,928 @@
+//! Algorithm 2 on the MPC cluster — Theorem 10, measured.
+//!
+//! This module executes the same numerical process as [`crate::sampled`]
+//! but distributed over the [`sparse_alloc_mpc::Cluster`], paying for every
+//! communication round and every word of machine space:
+//!
+//! per phase (`B` simulated LOCAL rounds):
+//!
+//! 1. **level dissemination** — right records send their β-level to each
+//!    left neighbor's home (1 round);
+//! 2. left records rebuild their exact `β_u` aggregate and group key, and
+//!    send the key to each right neighbor's home (1 round);
+//! 3. both sides draw their per-round **sampling plans** (Lemma 11
+//!    budgets; 0 rounds) — the sparsified communication graph `H` is the
+//!    union of plan members;
+//! 4. **graph exponentiation** on `H` to radius `2B` (one simulated round
+//!    consumes two hops: `v` reads `β̂_u`, which reads neighbor levels),
+//!    `2⌈log₂ 2B⌉` rounds — the §3.2.1 ball collection;
+//! 5. **hydration** — ball members' sparsified records (levels, plans,
+//!    rescale factors) ship to each center's home (2 rounds); this volume
+//!    is the paper's `n·2^{O(B²)}` memory term and is enforced against `S`
+//!    in strict mode;
+//! 6. **local simulation** — every machine replays the `B` rounds for its
+//!    hosted right vertices inside their balls (0 rounds).
+//!
+//! The §4 termination test costs 3 more rounds per checkpoint (two exact
+//! aggregation exchanges + a reduce).
+//!
+//! **Equality contract**: with the same seed/budget/phase length, the final
+//! levels equal [`crate::sampled::run_sampled`]'s bit-for-bit — the
+//! cone-of-influence inside the radius-`2B` ball contains every input of
+//! the center's trajectory, and both paths evaluate the identical
+//! [`crate::estimator::RoundPlan`] kernel in the identical order. Tests
+//! assert this.
+
+use std::collections::HashMap;
+
+use sparse_alloc_graph::{Bipartite, Side};
+use sparse_alloc_mpc::primitives::ball::{grow_balls, BallInput};
+use sparse_alloc_mpc::{Cluster, Ledger, MpcConfig, MpcError, Words};
+
+use crate::aggregates::LeftAggregate;
+use crate::estimator::{sample_rng, GroupedNeighborhood, RoundPlan};
+use crate::fractional::{finalize_from_levels, FractionalAllocation};
+use crate::levels::{update_level, PowTable};
+use crate::sampled::{left_key, SampleBudget};
+use crate::termination::{self, TerminationCheck};
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone)]
+pub struct MpcExecConfig {
+    /// The `(1+ε)` parameter.
+    pub eps: f64,
+    /// Phase length `B`.
+    pub phase_len: usize,
+    /// Total LOCAL rounds to simulate.
+    pub tau: usize,
+    /// Per-group sample budget.
+    pub budget: SampleBudget,
+    /// Counter-RNG seed (must match the shared-memory run to compare).
+    pub seed: u64,
+    /// Evaluate the §4 termination condition at phase ends.
+    pub check_termination: bool,
+    /// The cluster to run on.
+    pub mpc: MpcConfig,
+}
+
+/// Result of a distributed run.
+#[derive(Debug)]
+pub struct MpcExecResult {
+    /// Final β-levels per right vertex.
+    pub levels: Vec<i64>,
+    /// LOCAL rounds simulated.
+    pub rounds: usize,
+    /// Phases executed.
+    pub phases: usize,
+    /// Exact allocation masses for the final levels.
+    pub alloc: Vec<f64>,
+    /// `Σ_v min(C_v, alloc_v)`.
+    pub match_weight: f64,
+    /// Feasible fractional output.
+    pub fractional: FractionalAllocation,
+    /// Termination info if a checkpoint fired.
+    pub termination: Option<TerminationCheck>,
+    /// The full MPC accounting: rounds, words, space peaks.
+    pub ledger: Ledger,
+}
+
+/// The sparsified per-vertex record shipped inside balls.
+#[derive(Debug, Clone, PartialEq)]
+struct Slim {
+    gid: u32,
+    side: Side,
+    capacity: u64,
+    level: i64,
+    ceiling: i64,
+    plans: Vec<RoundPlan>,
+}
+
+impl Words for Slim {
+    fn words(&self) -> usize {
+        5 + plans_words(&self.plans)
+    }
+}
+
+fn plans_words(plans: &[RoundPlan]) -> usize {
+    plans
+        .iter()
+        .map(|p| {
+            1 + p
+                .per_group
+                .iter()
+                .map(|g| 2 + g.drawn.len())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// A vertex's home record.
+#[derive(Debug, Clone)]
+struct Record {
+    gid: u32,
+    /// Side-local id (`u` for left, `v` for right).
+    vid: u32,
+    side: Side,
+    capacity: u64,
+    level: i64,
+    /// Neighbor gids, ascending (CSR order).
+    neighbors: Vec<u32>,
+    /// Phase scratch: neighbor levels (left records) / left keys (right
+    /// records), aligned with `neighbors`.
+    neighbor_data: Vec<i64>,
+    /// Phase scratch: exponent ceiling (left) / unused (right).
+    ceiling: i64,
+    /// Phase scratch: this vertex's group key (left only).
+    key: i64,
+    /// Phase scratch: per-round sampling plans.
+    plans: Vec<RoundPlan>,
+    /// Phase scratch: hydration requesters.
+    pending: Vec<u32>,
+    /// Phase scratch: ball member ids (right only).
+    ball_ids: Vec<u32>,
+    /// Phase scratch: hydrated ball records (right only).
+    ball: Vec<Slim>,
+    /// Termination scratch: exact left aggregate `(max_level, norm_sum)`.
+    exact_agg: (i64, f64),
+    /// Termination scratch: exact alloc (right only).
+    exact_alloc: f64,
+}
+
+impl Words for Record {
+    fn words(&self) -> usize {
+        8 + self.neighbors.len()
+            + self.neighbor_data.len()
+            + plans_words(&self.plans)
+            + self.pending.len()
+            + self.ball_ids.len()
+            + self.ball.iter().map(Words::words).sum::<usize>()
+    }
+}
+
+fn home(gid: u32, p: usize) -> usize {
+    gid as usize % p
+}
+
+fn build_records(g: &Bipartite) -> Vec<Record> {
+    let nl = g.n_left() as u32;
+    let blank = |gid: u32, vid: u32, side: Side, capacity: u64, neighbors: Vec<u32>| Record {
+        gid,
+        vid,
+        side,
+        capacity,
+        level: 0,
+        neighbors,
+        neighbor_data: Vec::new(),
+        ceiling: 0,
+        key: 0,
+        plans: Vec::new(),
+        pending: Vec::new(),
+        ball_ids: Vec::new(),
+        ball: Vec::new(),
+        exact_agg: (i64::MIN, 0.0),
+        exact_alloc: 0.0,
+    };
+    let mut records = Vec::with_capacity(g.n());
+    for u in 0..nl {
+        let neighbors: Vec<u32> = g.left_neighbors(u).iter().map(|&v| nl + v).collect();
+        records.push(blank(u, u, Side::Left, 0, neighbors));
+    }
+    for v in 0..g.n_right() as u32 {
+        let neighbors: Vec<u32> = g.right_neighbors(v).to_vec();
+        records.push(blank(nl + v, v, Side::Right, g.capacity(v), neighbors));
+    }
+    records
+}
+
+/// Disseminate right levels to left homes (1 round); left records rebuild
+/// their exact aggregate `(max_level, norm_sum)`, group key, and exponent
+/// ceiling from the refreshed neighbor levels.
+fn levels_to_left(
+    cluster: &mut Cluster<Record>,
+    label: &'static str,
+    p: usize,
+    pows: &PowTable,
+    eps: f64,
+    phase_len: usize,
+) -> Result<(), MpcError> {
+    cluster.side_channel(
+        label,
+        |_, items| {
+            let mut out = Vec::new();
+            for r in items {
+                if r.side == Side::Right {
+                    for &u in &r.neighbors {
+                        out.push((home(u, p), (u, r.gid, r.level)));
+                    }
+                }
+            }
+            out
+        },
+        |_, items, msgs| {
+            let mut by_target: HashMap<u32, Vec<(u32, i64)>> = HashMap::new();
+            for (u, v_gid, level) in msgs {
+                by_target.entry(u).or_default().push((v_gid, level));
+            }
+            for r in items.iter_mut() {
+                if r.side != Side::Left {
+                    continue;
+                }
+                let Some(incoming) = by_target.get(&r.gid) else {
+                    r.neighbor_data.clear();
+                    continue;
+                };
+                r.neighbor_data = vec![0i64; r.neighbors.len()];
+                for &(v_gid, level) in incoming {
+                    let idx = r
+                        .neighbors
+                        .binary_search(&v_gid)
+                        .expect("message from a neighbor");
+                    r.neighbor_data[idx] = level;
+                }
+                // Exact aggregate in CSR order (bit-identical to
+                // `aggregates::left_aggregates`).
+                let max_level = r.neighbor_data.iter().copied().max().unwrap_or(i64::MIN);
+                let norm_sum: f64 = r
+                    .neighbor_data
+                    .iter()
+                    .map(|&l| pows.pow_diff(l - max_level))
+                    .sum();
+                r.exact_agg = (max_level, norm_sum);
+                if norm_sum > 0.0 {
+                    r.key = left_key(
+                        &LeftAggregate {
+                            max_level,
+                            norm_sum,
+                        },
+                        eps,
+                    );
+                }
+                r.ceiling = max_level + phase_len as i64;
+            }
+        },
+    )
+}
+
+/// Disseminate left keys (or exact aggregates) to right homes (1 round).
+fn keys_to_right(
+    cluster: &mut Cluster<Record>,
+    label: &'static str,
+    p: usize,
+    exact: bool,
+    pows: &PowTable,
+) -> Result<(), MpcError> {
+    cluster.side_channel(
+        label,
+        |_, items| {
+            let mut out = Vec::new();
+            for r in items {
+                if r.side == Side::Left && !r.neighbors.is_empty() {
+                    for &v in &r.neighbors {
+                        // (target, source, key, max_level, norm_sum)
+                        out.push((
+                            home(v, p),
+                            (v, r.gid, r.key, r.exact_agg.0, r.exact_agg.1),
+                        ));
+                    }
+                }
+            }
+            out
+        },
+        |_, items, msgs| {
+            let mut by_target: HashMap<u32, Vec<(u32, i64, i64, f64)>> = HashMap::new();
+            for (v, u_gid, key, m, s) in msgs {
+                by_target.entry(v).or_default().push((u_gid, key, m, s));
+            }
+            for r in items.iter_mut() {
+                if r.side != Side::Right {
+                    continue;
+                }
+                let Some(incoming) = by_target.get(&r.gid) else {
+                    r.neighbor_data.clear();
+                    r.exact_alloc = 0.0;
+                    continue;
+                };
+                r.neighbor_data = vec![0i64; r.neighbors.len()];
+                let mut aggs: Vec<(i64, f64)> = vec![(i64::MIN, 0.0); r.neighbors.len()];
+                for &(u_gid, key, m, s) in incoming {
+                    let idx = r
+                        .neighbors
+                        .binary_search(&u_gid)
+                        .expect("message from a neighbor");
+                    r.neighbor_data[idx] = key;
+                    aggs[idx] = (m, s);
+                }
+                if exact {
+                    // Exact alloc in CSR order, matching
+                    // `aggregates::right_allocs` bit-for-bit.
+                    r.exact_alloc = aggs
+                        .iter()
+                        .map(|&(m, s)| pows.pow_diff(r.level - m) / s)
+                        .sum();
+                }
+            }
+        },
+    )
+}
+
+/// Gather `(level, alloc)` per right vertex to evaluate the termination
+/// condition; charges one reduce round.
+fn gather_right_state(
+    cluster: &mut Cluster<Record>,
+    n_right: usize,
+    nl: u32,
+) -> Result<(Vec<i64>, Vec<f64>), MpcError> {
+    // Model the reduce: every machine ships its right summaries to machine
+    // 0 (3 words per right vertex).
+    cluster.side_channel(
+        "reduce",
+        |_, items| {
+            items
+                .iter()
+                .filter(|r| r.side == Side::Right)
+                .map(|r| (0usize, (r.gid, r.level, r.exact_alloc)))
+                .collect()
+        },
+        |_, _, _| {},
+    )?;
+    // Simulation-side collection (deterministic; the data just moved to
+    // machine 0 in the model above).
+    let mut levels = vec![0i64; n_right];
+    let mut alloc = vec![0f64; n_right];
+    for r in cluster.iter_items() {
+        if r.side == Side::Right {
+            levels[(r.gid - nl) as usize] = r.level;
+            alloc[(r.gid - nl) as usize] = r.exact_alloc;
+        }
+    }
+    Ok((levels, alloc))
+}
+
+/// Run Algorithm 2 distributed. See the module docs for the round budget.
+pub fn run_mpc(g: &Bipartite, config: &MpcExecConfig) -> Result<MpcExecResult, MpcError> {
+    assert!(config.phase_len >= 1);
+    let eps = config.eps;
+    let pows = PowTable::new(eps);
+    let nl = g.n_left() as u32;
+    let p = config.mpc.machines;
+    let t_budget = config.budget.resolve(eps, config.phase_len, g.n());
+
+    let mut cluster = Cluster::from_items(config.mpc.clone(), build_records(g))?;
+    cluster = cluster.exchange_by("load", |r| home(r.gid, p))?;
+
+    let mut rounds = 0usize;
+    let mut phases = 0usize;
+    let mut termination_info: Option<TerminationCheck> = None;
+
+    while rounds < config.tau {
+        let b_this = config.phase_len.min(config.tau - rounds);
+
+        // Steps 1–2: refresh levels and keys.
+        levels_to_left(&mut cluster, "phase-levels", p, &pows, eps, config.phase_len)?;
+        keys_to_right(&mut cluster, "phase-keys", p, false, &pows)?;
+
+        // Step 3: draw plans (0 rounds).
+        let (seed, phase) = (config.seed, phases);
+        cluster.update_local("draw-plans", |_, items| {
+            for r in items.iter_mut() {
+                if r.neighbors.is_empty() {
+                    r.plans.clear();
+                    continue;
+                }
+                let key_of: HashMap<u32, i64> = r
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .zip(r.neighbor_data.iter().copied())
+                    .collect();
+                let groups = GroupedNeighborhood::build(&r.neighbors, |w| key_of[&w]);
+                r.plans = (0..b_this)
+                    .map(|s| {
+                        groups.draw_plan(t_budget, |key| {
+                            sample_rng(seed, phase, s, r.side, r.vid, key)
+                        })
+                    })
+                    .collect();
+            }
+        })?;
+
+        // Step 4: graph exponentiation on the sampled union graph H.
+        let adjacency: Vec<BallInput> = cluster
+            .iter_items()
+            .map(|r| {
+                let mut out: Vec<u32> = r.plans.iter().flat_map(|p| p.members()).collect();
+                out.sort_unstable();
+                out.dedup();
+                BallInput {
+                    vertex: r.gid,
+                    neighbors: out,
+                }
+            })
+            .collect();
+        let (balls, ball_ledger) = grow_balls(config.mpc.clone(), adjacency, 2 * b_this as u32)?;
+        cluster.absorb_ledger(&ball_ledger);
+        let ball_map: HashMap<u32, Vec<u32>> =
+            balls.into_iter().map(|b| (b.center, b.members)).collect();
+        cluster.update_local("store-balls", |_, items| {
+            for r in items.iter_mut() {
+                if r.side == Side::Right {
+                    r.ball_ids = ball_map.get(&r.gid).cloned().unwrap_or_default();
+                }
+                r.pending.clear();
+                r.ball.clear();
+            }
+        })?;
+
+        // Step 5: hydration (request + reply rounds).
+        cluster.side_channel(
+            "hydrate-request",
+            |_, items| {
+                let mut out = Vec::new();
+                for r in items {
+                    if r.side == Side::Right {
+                        for &w in &r.ball_ids {
+                            out.push((home(w, p), (w, r.gid)));
+                        }
+                    }
+                }
+                out
+            },
+            |_, items, msgs| {
+                let mut by_target: HashMap<u32, Vec<u32>> = HashMap::new();
+                for (w, requester) in msgs {
+                    by_target.entry(w).or_default().push(requester);
+                }
+                for r in items.iter_mut() {
+                    if let Some(reqs) = by_target.get(&r.gid) {
+                        r.pending = reqs.clone();
+                    }
+                }
+            },
+        )?;
+        cluster.side_channel(
+            "hydrate-reply",
+            |_, items| {
+                let mut out = Vec::new();
+                for r in items {
+                    if r.pending.is_empty() {
+                        continue;
+                    }
+                    let slim = Slim {
+                        gid: r.gid,
+                        side: r.side,
+                        capacity: r.capacity,
+                        level: r.level,
+                        ceiling: r.ceiling,
+                        plans: r.plans.clone(),
+                    };
+                    for &requester in &r.pending {
+                        out.push((home(requester, p), (requester, slim.clone())));
+                    }
+                }
+                out
+            },
+            |_, items, msgs| {
+                let mut by_target: HashMap<u32, Vec<Slim>> = HashMap::new();
+                for (requester, slim) in msgs {
+                    by_target.entry(requester).or_default().push(slim);
+                }
+                for r in items.iter_mut() {
+                    if r.side == Side::Right {
+                        if let Some(mut slims) = by_target.remove(&r.gid) {
+                            slims.sort_by_key(|s| s.gid);
+                            r.ball = slims;
+                        }
+                    }
+                }
+            },
+        )?;
+
+        // Step 6: local simulation of the phase (0 rounds).
+        cluster.update_local("simulate", |_, items| {
+            for r in items.iter_mut() {
+                if r.side != Side::Right {
+                    continue;
+                }
+                r.level = simulate_center(r, b_this, &pows, eps);
+            }
+            // Clear phase scratch (peaks already recorded by the ledger).
+            for r in items.iter_mut() {
+                r.plans.clear();
+                r.pending.clear();
+                r.ball_ids.clear();
+                r.ball.clear();
+            }
+        })?;
+
+        rounds += b_this;
+        phases += 1;
+
+        if config.check_termination {
+            levels_to_left(&mut cluster, "term-levels", p, &pows, eps, config.phase_len)?;
+            keys_to_right(&mut cluster, "term-alloc", p, true, &pows)?;
+            let (levels, alloc) = gather_right_state(&mut cluster, g.n_right(), nl)?;
+            let t = termination::check(g, &levels, &alloc, rounds, eps);
+            let stop = t.terminated;
+            termination_info = Some(t);
+            if stop {
+                break;
+            }
+        }
+    }
+
+    // Final exact output (2 aggregation rounds + reduce).
+    levels_to_left(&mut cluster, "final-levels", p, &pows, eps, config.phase_len)?;
+    keys_to_right(&mut cluster, "final-alloc", p, true, &pows)?;
+    let (levels, alloc) = gather_right_state(&mut cluster, g.n_right(), nl)?;
+    let match_weight = crate::algo1::match_weight_of(g, &alloc);
+    let fractional = finalize_from_levels(g, &levels, eps);
+    let (_, ledger) = cluster.into_items();
+
+    Ok(MpcExecResult {
+        levels,
+        rounds,
+        phases,
+        alloc,
+        match_weight,
+        fractional,
+        termination: termination_info,
+        ledger,
+    })
+}
+
+/// Result of the distributed λ-oblivious driver.
+#[derive(Debug)]
+pub struct MpcGuessingResult {
+    /// The accepted trial's result (its ledger covers only that trial).
+    pub result: MpcExecResult,
+    /// λ guesses tried, in order.
+    pub guesses: Vec<u32>,
+    /// Combined accounting across all trials.
+    pub total_ledger: Ledger,
+    /// Total LOCAL rounds simulated across trials.
+    pub total_rounds: usize,
+}
+
+/// Theorem 3 end-to-end: run the distributed Algorithm 2 **without knowing
+/// λ**, guessing `√(log λ_i) = 2^i` and doubling on failure (§3.2.2).
+///
+/// Trial `i` simulates up to `τ(λ_i)` LOCAL rounds with phase length
+/// `B_i = 2^i` (the guess *also* sets the compression depth, per the
+/// paper), evaluating the §4 condition at every phase boundary; an
+/// unterminated trial is discarded and the guess doubles. Costs are
+/// geometric, so `total_ledger.rounds` is a constant factor over the final
+/// trial's.
+pub fn run_mpc_with_guessing(
+    g: &Bipartite,
+    base: &MpcExecConfig,
+) -> Result<MpcGuessingResult, MpcError> {
+    let azm_cap = crate::params::tau_azm(base.eps, g.n_right());
+    let mut guesses = Vec::new();
+    let mut total_ledger = Ledger::default();
+    let mut total_rounds = 0usize;
+
+    for i in 0.. {
+        let lambda_i = crate::params::lambda_guess(i);
+        let tau_i = crate::params::tau_known_lambda(base.eps, lambda_i).min(azm_cap);
+        let capped = tau_i >= azm_cap;
+        guesses.push(lambda_i);
+
+        let cfg = MpcExecConfig {
+            tau: tau_i,
+            phase_len: 1usize << i.min(4),
+            check_termination: true,
+            ..base.clone()
+        };
+        let result = run_mpc(g, &cfg)?;
+        total_rounds += result.rounds;
+        total_ledger.absorb(&result.ledger);
+
+        let terminated = result
+            .termination
+            .as_ref()
+            .map(|t| t.terminated)
+            .unwrap_or(false);
+        if terminated || capped {
+            return Ok(MpcGuessingResult {
+                result,
+                guesses,
+                total_ledger,
+                total_rounds,
+            });
+        }
+    }
+    unreachable!("the AZM cap guarantees termination")
+}
+
+/// Replay `b` rounds for one right vertex inside its hydrated ball.
+///
+/// Levels of ball members evolve locally; a member's value is only used
+/// while its cone of influence stays inside the ball, which the radius-`2B`
+/// collection guarantees for the center.
+fn simulate_center(center: &Record, b: usize, pows: &PowTable, eps: f64) -> i64 {
+    // Local views: self + ball members.
+    let self_slim = Slim {
+        gid: center.gid,
+        side: center.side,
+        capacity: center.capacity,
+        level: center.level,
+        ceiling: center.ceiling,
+        plans: center.plans.clone(),
+    };
+    let mut slims: HashMap<u32, &Slim> = center.ball.iter().map(|s| (s.gid, s)).collect();
+    slims.insert(center.gid, &self_slim);
+
+    // Level state for right members; validity horizon bookkeeping.
+    let mut level: HashMap<u32, i64> = slims
+        .values()
+        .filter(|s| s.side == Side::Right)
+        .map(|s| (s.gid, s.level))
+        .collect();
+    let mut valid: HashMap<u32, bool> = level.keys().map(|&gid| (gid, true)).collect();
+
+    for s in 0..b {
+        // Left estimates are pure functions of current levels; memoize per
+        // round. `None` marks "not computable inside this ball".
+        let mut left_cache: HashMap<u32, Option<(i64, f64)>> = HashMap::new();
+        let mut left_estimate = |u: u32,
+                                 slims: &HashMap<u32, &Slim>,
+                                 level: &HashMap<u32, i64>,
+                                 valid: &HashMap<u32, bool>|
+         -> Option<(i64, f64)> {
+            if let Some(cached) = left_cache.get(&u) {
+                return *cached;
+            }
+            let est = (|| {
+                let rec = slims.get(&u)?;
+                let plan = rec.plans.get(s)?;
+                // All inputs must be valid right members.
+                for v in plan.members() {
+                    if !valid.get(&v).copied().unwrap_or(false) {
+                        return None;
+                    }
+                }
+                let ceiling = rec.ceiling;
+                let sum = plan.eval(|v| pows.pow_diff(level[&v] - ceiling));
+                Some((ceiling, sum))
+            })();
+            left_cache.insert(u, est);
+            est
+        };
+
+        // Simultaneous update: compute all new levels from the old state.
+        let mut new_level: HashMap<u32, i64> = HashMap::with_capacity(level.len());
+        let mut new_valid: HashMap<u32, bool> = HashMap::with_capacity(valid.len());
+        for (&gid, &lv) in &level {
+            if !valid[&gid] {
+                new_level.insert(gid, lv);
+                new_valid.insert(gid, false);
+                continue;
+            }
+            let rec = slims[&gid];
+            // A record with no plan for this round is an *isolated* vertex
+            // (plans are drawn for every simulated round whenever the
+            // vertex has neighbors): its allocation is exactly 0, matching
+            // the shared-memory path's empty-groups estimate.
+            let computable = match rec.plans.get(s) {
+                None => (true, 0.0),
+                Some(plan) => {
+                    let mut ok = true;
+                    let alloc = plan.eval(|u| {
+                        match left_estimate(u, &slims, &level, &valid) {
+                            Some((m_u, s_u)) => pows.pow_diff(lv - m_u) / s_u,
+                            None => {
+                                ok = false;
+                                0.0
+                            }
+                        }
+                    });
+                    (ok, alloc)
+                }
+            };
+            match computable {
+                (true, alloc) => {
+                    new_level.insert(gid, lv + update_level(alloc, rec.capacity, eps, 1.0, 1.0));
+                    new_valid.insert(gid, true);
+                }
+                _ => {
+                    new_level.insert(gid, lv);
+                    new_valid.insert(gid, false);
+                }
+            }
+        }
+        level = new_level;
+        valid = new_valid;
+    }
+
+    assert!(
+        valid[&center.gid],
+        "ball radius must cover the center's cone of influence"
+    );
+    level[&center.gid]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampled::{run_sampled, SampledConfig};
+    use sparse_alloc_graph::generators::{random_bipartite, union_of_spanning_trees};
+
+    fn shared_cfg(eps: f64, tau: usize, b: usize, budget: SampleBudget, term: bool) -> SampledConfig {
+        SampledConfig {
+            eps,
+            phase_len: b,
+            tau,
+            budget,
+            seed: 42,
+            check_termination: term,
+        }
+    }
+
+    fn mpc_cfg(
+        eps: f64,
+        tau: usize,
+        b: usize,
+        budget: SampleBudget,
+        term: bool,
+        machines: usize,
+    ) -> MpcExecConfig {
+        MpcExecConfig {
+            eps,
+            phase_len: b,
+            tau,
+            budget,
+            seed: 42,
+            check_termination: term,
+            mpc: MpcConfig::lenient(machines, usize::MAX / 4),
+        }
+    }
+
+    #[test]
+    fn equals_shared_memory_exact_budget() {
+        let g = union_of_spanning_trees(40, 35, 2, 2, 5).graph;
+        let eps = 0.2;
+        let shared = run_sampled(&g, &shared_cfg(eps, 8, 2, SampleBudget::Paper, false));
+        let dist = run_mpc(&g, &mpc_cfg(eps, 8, 2, SampleBudget::Paper, false, 4)).unwrap();
+        assert_eq!(shared.levels, dist.levels);
+        assert_eq!(shared.rounds, dist.rounds);
+        assert_eq!(shared.phases, dist.phases);
+        assert_eq!(shared.alloc, dist.alloc);
+        assert_eq!(shared.fractional, dist.fractional);
+    }
+
+    #[test]
+    fn equals_shared_memory_sampling_budget() {
+        // Small fixed budget forces real sampling — the hard equality case.
+        let g = random_bipartite(60, 50, 240, 2, 9).graph;
+        let eps = 0.25;
+        let budget = SampleBudget::Fixed(3);
+        let shared = run_sampled(&g, &shared_cfg(eps, 6, 2, budget, false));
+        let dist = run_mpc(&g, &mpc_cfg(eps, 6, 2, budget, false, 5)).unwrap();
+        assert_eq!(shared.levels, dist.levels, "sampled paths diverged");
+        assert_eq!(shared.match_weight, dist.match_weight);
+    }
+
+    #[test]
+    fn equals_shared_memory_with_termination() {
+        let g = union_of_spanning_trees(80, 70, 2, 2, 7).graph;
+        let eps = 0.15;
+        let shared = run_sampled(&g, &shared_cfg(eps, 200, 2, SampleBudget::Scaled(1.0), true));
+        let dist = run_mpc(&g, &mpc_cfg(eps, 200, 2, SampleBudget::Scaled(1.0), true, 4)).unwrap();
+        assert_eq!(shared.levels, dist.levels);
+        assert_eq!(shared.rounds, dist.rounds);
+        assert_eq!(
+            shared.termination.map(|t| t.terminated),
+            dist.termination.map(|t| t.terminated)
+        );
+    }
+
+    #[test]
+    fn machine_count_does_not_change_results() {
+        let g = random_bipartite(50, 40, 200, 3, 11).graph;
+        let eps = 0.2;
+        let budget = SampleBudget::Fixed(4);
+        let a = run_mpc(&g, &mpc_cfg(eps, 6, 3, budget, false, 2)).unwrap();
+        let b = run_mpc(&g, &mpc_cfg(eps, 6, 3, budget, false, 8)).unwrap();
+        assert_eq!(a.levels, b.levels);
+        // Costs differ, results don't.
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn ledger_accounts_phases_and_balls() {
+        let g = union_of_spanning_trees(60, 50, 2, 2, 3).graph;
+        let res = run_mpc(
+            &g,
+            &mpc_cfg(0.2, 8, 4, SampleBudget::Fixed(2), false, 4),
+        )
+        .unwrap();
+        let l = &res.ledger;
+        assert_eq!(res.phases, 2);
+        // Per phase: levels + keys + ball rounds + request + reply; plus
+        // load and the final aggregation.
+        assert!(l.rounds_labeled("phase-levels") == 2);
+        assert!(l.rounds_labeled("phase-keys") == 2);
+        assert!(l.rounds_labeled("hydrate-request") == 2);
+        assert!(l.rounds_labeled("hydrate-reply") == 2);
+        assert!(l.rounds_labeled("final-levels") == 1);
+        assert!(l.rounds >= 10);
+        assert!(l.words_total > 0);
+        assert!(l.peak_storage > 0);
+    }
+
+    #[test]
+    fn strict_space_violation_is_surfaced() {
+        // A tiny space budget cannot hold the records: structured error,
+        // not a wrong answer.
+        let g = random_bipartite(100, 80, 600, 2, 2).graph;
+        let cfg = MpcExecConfig {
+            eps: 0.2,
+            phase_len: 2,
+            tau: 4,
+            budget: SampleBudget::Fixed(4),
+            seed: 1,
+            check_termination: false,
+            mpc: MpcConfig::strict(4, 64),
+        };
+        assert!(matches!(
+            run_mpc(&g, &cfg),
+            Err(MpcError::SpaceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn lambda_oblivious_distributed_driver() {
+        use sparse_alloc_flow::opt::opt_value;
+        let eps = 0.15;
+        let g = union_of_spanning_trees(120, 100, 3, 2, 19).graph;
+        let base = mpc_cfg(eps, 0 /* overridden */, 1, SampleBudget::Scaled(1.0), true, 4);
+        let out = run_mpc_with_guessing(&g, &base).unwrap();
+        assert!(!out.guesses.is_empty());
+        assert!(out.total_ledger.rounds >= out.result.ledger.rounds);
+        assert!(out.total_rounds >= out.result.rounds);
+        // The accepted trial certifies (2+10ε) — with sampling slack, test
+        // the looser Theorem 17 envelope.
+        let opt = opt_value(&g);
+        let ratio = crate::algo1::ratio(opt, out.result.match_weight);
+        assert!(ratio <= 2.0 + 16.0 * eps + 1e-9, "ratio {ratio}");
+        out.result.fractional.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn phase_longer_than_tau_truncates() {
+        // B = 8 but τ = 3: one truncated phase, still equal to the
+        // shared-memory path.
+        let g = union_of_spanning_trees(30, 25, 2, 2, 3).graph;
+        let eps = 0.3;
+        let budget = SampleBudget::Fixed(2);
+        let shared = run_sampled(&g, &shared_cfg(eps, 3, 8, budget, false));
+        let dist = run_mpc(&g, &mpc_cfg(eps, 3, 8, budget, false, 3)).unwrap();
+        assert_eq!(shared.levels, dist.levels);
+        assert_eq!(dist.phases, 1);
+        assert_eq!(dist.rounds, 3);
+    }
+
+    #[test]
+    fn boundary_eps_equality() {
+        // ε = 1.0 is the largest step the update rule admits.
+        let g = random_bipartite(40, 30, 150, 2, 21).graph;
+        let budget = SampleBudget::Fixed(3);
+        let shared = run_sampled(&g, &shared_cfg(1.0, 6, 2, budget, false));
+        let dist = run_mpc(&g, &mpc_cfg(1.0, 6, 2, budget, false, 4)).unwrap();
+        assert_eq!(shared.levels, dist.levels);
+        shared.fractional.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn disconnected_components_and_isolated_vertices() {
+        // Two disjoint stars plus isolated vertices on both sides.
+        let mut b = sparse_alloc_graph::BipartiteBuilder::new(10, 6);
+        for u in 0..4u32 {
+            b.add_edge(u, 0);
+        }
+        for u in 4..8u32 {
+            b.add_edge(u, 1);
+        }
+        // u8, u9 isolated; v2..v5 isolated.
+        let g = b.build_with_uniform_capacity(2).unwrap();
+        let budget = SampleBudget::Fixed(2);
+        let shared = run_sampled(&g, &shared_cfg(0.25, 5, 2, budget, false));
+        let dist = run_mpc(&g, &mpc_cfg(0.25, 5, 2, budget, false, 3)).unwrap();
+        assert_eq!(shared.levels, dist.levels);
+        dist.fractional.validate(&g, 1e-9).unwrap();
+        // The two stars saturate their capacity-2 centers.
+        assert!((dist.match_weight - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_output_is_feasible() {
+        let g = union_of_spanning_trees(70, 60, 3, 2, 13).graph;
+        let res = run_mpc(
+            &g,
+            &mpc_cfg(0.2, 10, 2, SampleBudget::Fixed(3), false, 4),
+        )
+        .unwrap();
+        res.fractional.validate(&g, 1e-9).unwrap();
+        assert!(res.match_weight > 0.0);
+    }
+}

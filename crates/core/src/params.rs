@@ -1,0 +1,171 @@
+//! Round schedules and sampling budgets — every constant the paper pins
+//! down, in one place.
+
+/// τ for the known-λ schedule (Theorem 9):
+/// `τ = ⌈log_{1+ε}(4λ/ε)⌉ + 1` rounds guarantee a `(2+10ε)`-approximate
+/// fractional allocation.
+pub fn tau_known_lambda(eps: f64, lambda: u32) -> usize {
+    assert!(eps > 0.0 && eps <= 1.0, "ε ∈ (0, 1]");
+    let lambda = lambda.max(1) as f64;
+    ((4.0 * lambda / eps).ln() / (1.0 + eps).ln()).ceil() as usize + 1
+}
+
+/// τ for the AZM18 / Theorem 20 schedule:
+/// `τ = ⌈2·log(2|R|/ε)/ε²⌉ + ⌈1/ε⌉` rounds guarantee a `(1+18ε)`-approximate
+/// fractional allocation on *any* bipartite graph (no arboricity needed).
+pub fn tau_azm(eps: f64, n_right: usize) -> usize {
+    assert!(eps > 0.0 && eps <= 1.0, "ε ∈ (0, 1]");
+    let r = (n_right.max(1)) as f64;
+    (2.0 * (2.0 * r / eps).ln() / (eps * eps)).ceil() as usize + (1.0 / eps).ceil() as usize
+}
+
+/// The paper-faithful phase length of eq. (4):
+/// `B_ε = min(√(α·log n), √(log λ)) / √(8ε)`, divided by 48 for the
+/// correctness proof. For any machine-scale input this is ≤ 1 — a constants
+/// artifact the paper acknowledges ("we are concerned only with
+/// asymptotics"); see `DESIGN.md` §6.
+pub fn phase_len_paper(eps: f64, n: usize, lambda: u32, alpha: f64) -> usize {
+    assert!(eps > 0.0 && eps <= 1.0);
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let log_n = (n.max(2) as f64).log2();
+    let log_lambda = (lambda.max(2) as f64).log2();
+    let b = ((alpha * log_n).sqrt().min(log_lambda.sqrt())) / (8.0 * eps).sqrt();
+    ((b / 48.0).floor() as usize).max(1)
+}
+
+/// The practical phase length used by the experiment sweeps: the same
+/// `√(min(α log n, log λ))` shape without the analysis constants.
+pub fn phase_len_practical(eps: f64, n: usize, lambda: u32, alpha: f64) -> usize {
+    assert!(eps > 0.0 && eps <= 1.0);
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let log_n = (n.max(2) as f64).log2();
+    let log_lambda = (lambda.max(2) as f64).log2();
+    ((alpha * log_n).min(log_lambda).sqrt().floor() as usize).max(1)
+}
+
+/// The paper's per-group sample budget: `t = (1+ε)^{2B} · ε⁻⁵ · log n`
+/// (§5, parameters of Algorithm 2).
+pub fn sample_budget_paper(eps: f64, b: usize, n: usize) -> usize {
+    let t = (1.0 + eps).powi(2 * b as i32) * eps.powi(-5) * (n.max(2) as f64).ln();
+    t.ceil() as usize
+}
+
+/// A scaled sample budget, `scale · (1+ε)^{2B} · log₂ n`, for sweeps that
+/// keep the `(1+ε)^{2B}` spread-compensation (the load-bearing part of
+/// Lemma 11) while dropping the `ε⁻⁵` analysis constant.
+pub fn sample_budget_scaled(eps: f64, b: usize, n: usize, scale: f64) -> usize {
+    let t = scale * (1.0 + eps).powi(2 * b as i32) * (n.max(2) as f64).log2();
+    (t.ceil() as usize).max(1)
+}
+
+/// How many LOCAL rounds the algorithms run / simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Exactly this many rounds.
+    Fixed(usize),
+    /// `τ = ⌈log_{1+ε}(4λ/ε)⌉ + 1` from a known arboricity bound
+    /// (Theorem 9).
+    KnownLambda(u32),
+    /// Run until the §4 termination condition holds (checked every round),
+    /// with a hard cap.
+    UntilTermination {
+        /// Upper bound on rounds (the AZM schedule is a natural cap).
+        max_rounds: usize,
+    },
+    /// The AZM18 `(1+18ε)` schedule, `τ = O(log(|R|/ε)/ε²)` (Theorem 20).
+    Azm,
+}
+
+impl Schedule {
+    /// Resolve to a concrete `(max_rounds, check_termination)` pair.
+    pub fn resolve(&self, eps: f64, n_right: usize) -> (usize, bool) {
+        match *self {
+            Schedule::Fixed(r) => (r, false),
+            Schedule::KnownLambda(lambda) => (tau_known_lambda(eps, lambda), false),
+            Schedule::UntilTermination { max_rounds } => (max_rounds, true),
+            Schedule::Azm => (tau_azm(eps, n_right), false),
+        }
+    }
+}
+
+/// Guess sequence for the λ-oblivious driver (§3.2.2): the `i`-th trial uses
+/// `√(log λ_i) = 2^i`, i.e. `λ_i = 2^{4^i}`, so the work is geometric and
+/// dominated by the final trial.
+pub fn lambda_guess(i: u32) -> u32 {
+    let exp = 4u64.saturating_pow(i).min(31);
+    2u32.saturating_pow(exp as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_grows_with_lambda_not_n() {
+        let t1 = tau_known_lambda(0.1, 1);
+        let t16 = tau_known_lambda(0.1, 16);
+        let t256 = tau_known_lambda(0.1, 256);
+        assert!(t1 < t16 && t16 < t256);
+        // Doubling λ adds ~log_{1+ε}2 ≈ 7.3 rounds at ε=0.1: check additive.
+        let d1 = tau_known_lambda(0.1, 32) as i64 - tau_known_lambda(0.1, 16) as i64;
+        let d2 = tau_known_lambda(0.1, 64) as i64 - tau_known_lambda(0.1, 32) as i64;
+        assert!((d1 - d2).abs() <= 1, "log growth should be additive per doubling");
+    }
+
+    #[test]
+    fn tau_azm_grows_with_n() {
+        assert!(tau_azm(0.1, 1_000) < tau_azm(0.1, 1_000_000));
+        // And it dwarfs the λ schedule for small λ.
+        assert!(tau_azm(0.1, 1_000_000) > 10 * tau_known_lambda(0.1, 4));
+    }
+
+    #[test]
+    fn paper_phase_len_degenerates_to_one() {
+        // The ÷48 constant forces B = 1 at machine scale — documented.
+        assert_eq!(phase_len_paper(0.1, 1 << 20, 16, 0.5), 1);
+    }
+
+    #[test]
+    fn practical_phase_len_tracks_sqrt_log_lambda() {
+        let b4 = phase_len_practical(0.1, 1 << 30, 16, 0.9); // √log₂16 = 2
+        let b16 = phase_len_practical(0.1, 1 << 30, 1 << 16, 0.9); // √16 = 4
+        assert_eq!(b4, 2);
+        assert_eq!(b16, 4);
+    }
+
+    #[test]
+    fn sample_budgets_ordered() {
+        let paper = sample_budget_paper(0.25, 2, 1 << 16);
+        let scaled = sample_budget_scaled(0.25, 2, 1 << 16, 1.0);
+        assert!(paper > scaled, "paper budget {paper} should exceed scaled {scaled}");
+        assert!(scaled >= 16);
+    }
+
+    #[test]
+    fn guess_sequence() {
+        assert_eq!(lambda_guess(0), 2);
+        assert_eq!(lambda_guess(1), 16);
+        assert_eq!(lambda_guess(2), 65536);
+        // i = 3 would be 2^64: saturates instead of overflowing.
+        assert_eq!(lambda_guess(3), 2147483648);
+    }
+
+    #[test]
+    fn schedule_resolution() {
+        assert_eq!(Schedule::Fixed(7).resolve(0.1, 100), (7, false));
+        let (r, term) = Schedule::KnownLambda(4).resolve(0.1, 100);
+        assert_eq!(r, tau_known_lambda(0.1, 4));
+        assert!(!term);
+        assert_eq!(
+            Schedule::UntilTermination { max_rounds: 99 }.resolve(0.1, 100),
+            (99, true)
+        );
+        assert_eq!(Schedule::Azm.resolve(0.2, 500).0, tau_azm(0.2, 500));
+    }
+
+    #[test]
+    #[should_panic(expected = "ε ∈ (0, 1]")]
+    fn zero_eps_rejected() {
+        tau_known_lambda(0.0, 4);
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end solver: Theorem 1 / Theorem 3 as a single call.
+//!
+//! `fractional (2+ε, O(log λ) rounds) → rounding (§6) → boosting
+//! (Appendix B)` ⇒ a `(1+O(ε))`-approximate integral allocation. Every
+//! stage is swappable so experiments can ablate them (E11).
+
+use sparse_alloc_graph::{Assignment, Bipartite};
+
+use crate::algo1::{self, ProportionalConfig};
+use crate::boosting::{boost_hk, boost_layered, LayeredConfig};
+use crate::guessing;
+use crate::params::Schedule;
+use crate::rounding;
+
+/// Which rounding stage to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounder {
+    /// Deterministic greedy rounding by decreasing `x_e` (default; not in
+    /// the paper but dominant in practice).
+    Greedy,
+    /// The paper's §6 sampling rounder, best of `k` repetitions.
+    BestOfSampling {
+        /// Repetitions (`O(log n)` for the whp guarantee).
+        repetitions: usize,
+    },
+}
+
+/// Which boosting stage to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Booster {
+    /// Capacitated Hopcroft–Karp with walk budget `2k−1`.
+    Hk {
+        /// Walk budget parameter (`k ≈ 1/ε`).
+        k: usize,
+    },
+    /// GGM22-style randomized layered walks.
+    Layered {
+        /// Matched layers.
+        k: usize,
+        /// Random layerings to try.
+        iterations: usize,
+    },
+    /// No boosting (ablation).
+    None,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The `(1+ε)` parameter driving every stage's schedule.
+    pub eps: f64,
+    /// Fractional-stage schedule; `None` = λ-oblivious guessing driver
+    /// (the paper's headline mode).
+    pub schedule: Option<Schedule>,
+    /// Rounding stage.
+    pub rounder: Rounder,
+    /// Boosting stage.
+    pub booster: Booster,
+    /// Seed for the randomized stages.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            eps: 0.1,
+            schedule: None,
+            rounder: Rounder::Greedy,
+            booster: Booster::Hk { k: 10 },
+            seed: 1,
+        }
+    }
+}
+
+/// Pipeline output with per-stage diagnostics.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The final integral allocation.
+    pub assignment: Assignment,
+    /// Weight of the fractional stage's output.
+    pub fractional_weight: f64,
+    /// Size after rounding, before boosting.
+    pub rounded_size: usize,
+    /// LOCAL rounds spent in the fractional stage (across guesses if the
+    /// λ-oblivious driver ran).
+    pub fractional_rounds: usize,
+}
+
+/// Run the full pipeline.
+pub fn solve(g: &Bipartite, config: &PipelineConfig) -> PipelineResult {
+    // Stage 1: fractional allocation.
+    let (frac, rounds) = match config.schedule {
+        Some(schedule) => {
+            let res = algo1::run(
+                g,
+                &ProportionalConfig {
+                    eps: config.eps,
+                    schedule,
+                    track_history: false,
+                },
+            );
+            (res.fractional, res.rounds)
+        }
+        None => {
+            let out = guessing::run_with_guessing(g, config.eps);
+            (out.result.fractional, out.total_rounds)
+        }
+    };
+    let fractional_weight = frac.weight;
+
+    // Stage 2: rounding.
+    let rounded = match config.rounder {
+        Rounder::Greedy => rounding::round_greedy(g, &frac),
+        Rounder::BestOfSampling { repetitions } => {
+            rounding::round_best_of(g, &frac, repetitions, config.seed)
+        }
+    };
+    let rounded_size = rounded.size();
+
+    // Stage 3: boosting.
+    let assignment = match config.booster {
+        Booster::Hk { k } => boost_hk(g, &rounded, k).0,
+        Booster::Layered { k, iterations } => {
+            boost_layered(
+                g,
+                &rounded,
+                &LayeredConfig {
+                    k,
+                    iterations,
+                    seed: config.seed,
+                },
+            )
+            .0
+        }
+        Booster::None => rounded,
+    };
+
+    PipelineResult {
+        assignment,
+        fractional_weight,
+        rounded_size,
+        fractional_rounds: rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_flow::opt::opt_value;
+    use sparse_alloc_graph::generators::{
+        power_law, star, union_of_spanning_trees, PowerLawParams,
+    };
+
+    #[test]
+    fn default_pipeline_is_near_optimal_on_sparse() {
+        for seed in [1u64, 2, 3] {
+            let g = union_of_spanning_trees(150, 120, 3, 2, seed).graph;
+            let out = solve(&g, &PipelineConfig::default());
+            out.assignment.validate(&g).unwrap();
+            let opt = opt_value(&g);
+            let ratio = opt as f64 / out.assignment.size().max(1) as f64;
+            // k = 10 boosting ⇒ within 1 + 1/10 of optimal.
+            assert!(
+                ratio <= 1.1 + 1e-9,
+                "seed {seed}: ratio {ratio} (size {} vs OPT {opt})",
+                out.assignment.size()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_faithful_stages_work() {
+        let g = union_of_spanning_trees(120, 100, 2, 2, 5).graph;
+        let cfg = PipelineConfig {
+            eps: 0.1,
+            schedule: Some(Schedule::KnownLambda(2)),
+            rounder: Rounder::BestOfSampling { repetitions: 24 },
+            booster: Booster::Layered {
+                k: 4,
+                iterations: 300,
+            },
+            seed: 7,
+        };
+        let out = solve(&g, &cfg);
+        out.assignment.validate(&g).unwrap();
+        let opt = opt_value(&g);
+        assert!(
+            out.assignment.size() as f64 >= 0.85 * opt as f64,
+            "size {} vs OPT {opt}",
+            out.assignment.size()
+        );
+        // Diagnostics are populated and consistent.
+        assert!(out.fractional_weight > 0.0);
+        assert!(out.rounded_size <= out.assignment.size());
+        assert!(out.fractional_rounds > 0);
+    }
+
+    #[test]
+    fn ablation_no_boost_is_weaker_or_equal() {
+        let g = union_of_spanning_trees(100, 80, 3, 2, 9).graph;
+        let mut cfg = PipelineConfig::default();
+        let boosted = solve(&g, &cfg);
+        cfg.booster = Booster::None;
+        let unboosted = solve(&g, &cfg);
+        assert!(boosted.assignment.size() >= unboosted.assignment.size());
+    }
+
+    #[test]
+    fn star_pipeline_exact() {
+        let g = star(40, 7).graph;
+        let out = solve(&g, &PipelineConfig::default());
+        out.assignment.validate(&g).unwrap();
+        assert_eq!(out.assignment.size(), 7);
+    }
+
+    #[test]
+    fn power_law_workload() {
+        let g = power_law(
+            &PowerLawParams {
+                n_left: 400,
+                n_right: 80,
+                exponent: 1.2,
+                min_degree: 2,
+                max_degree: 64,
+                cap: 4,
+            },
+            3,
+        )
+        .graph;
+        let out = solve(&g, &PipelineConfig::default());
+        out.assignment.validate(&g).unwrap();
+        let opt = opt_value(&g);
+        assert!(
+            out.assignment.size() as f64 >= opt as f64 / 1.1 - 1.0,
+            "size {} vs OPT {opt}",
+            out.assignment.size()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = union_of_spanning_trees(80, 70, 2, 2, 11).graph;
+        let a = solve(&g, &PipelineConfig::default());
+        let b = solve(&g, &PipelineConfig::default());
+        assert_eq!(a.assignment.mate, b.assignment.mate);
+    }
+}

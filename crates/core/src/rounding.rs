@@ -1,0 +1,207 @@
+//! §6 — from fractional to integral allocation.
+//!
+//! The paper's randomized rounding: sample each edge independently with
+//! probability `x_e/6`; call a vertex *heavy* if it ends up with more
+//! sampled edges than its capacity (for `u ∈ L` the capacity is 1), and
+//! drop **all** sampled edges at heavy vertices. §6 proves
+//! `E[|M|] ≥ wt(M_f)/9`, so a constant fraction survives in expectation;
+//! running `O(log n)` independent copies and keeping the best gives a
+//! `Θ(1)`-approximation with high probability.
+//!
+//! `round_greedy` is an additional deterministic rounder (not from the
+//! paper): scan edges by decreasing `x_e` and keep every edge that still
+//! fits. It dominates the sampling rounder in practice and the pipeline
+//! uses it by default; experiments report both.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparse_alloc_graph::{Assignment, Bipartite};
+
+use crate::fractional::FractionalAllocation;
+
+/// One run of the §6 sampling rounder.
+pub fn round_sampling(g: &Bipartite, frac: &FractionalAllocation, seed: u64) -> Assignment {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rights = g.edge_right_endpoints();
+
+    // Sample edges with probability x_e / 6.
+    let mut sampled_at_left: Vec<u32> = vec![0; g.n_left()];
+    let mut sampled_at_right: Vec<u64> = vec![0; g.n_right()];
+    let mut sampled_edges: Vec<(u32, u32)> = Vec::new();
+    for u in 0..g.n_left() as u32 {
+        for e in g.left_edge_range(u) {
+            let x = frac.x[e];
+            if x > 0.0 && rng.gen_bool((x / 6.0).clamp(0.0, 1.0)) {
+                let v = rights[e];
+                sampled_at_left[u as usize] += 1;
+                sampled_at_right[v as usize] += 1;
+                sampled_edges.push((u, v));
+            }
+        }
+    }
+
+    // Drop all edges at heavy vertices.
+    let mut assignment = Assignment::empty(g.n_left());
+    for (u, v) in sampled_edges {
+        let left_heavy = sampled_at_left[u as usize] > 1;
+        let right_heavy = sampled_at_right[v as usize] > g.capacity(v);
+        if !left_heavy && !right_heavy {
+            assignment.mate[u as usize] = Some(v);
+        }
+    }
+    assignment
+}
+
+/// Best of `k` independent sampling rounds (the paper's whp amplification;
+/// `k = O(log n)`).
+pub fn round_best_of(g: &Bipartite, frac: &FractionalAllocation, k: usize, seed: u64) -> Assignment {
+    assert!(k >= 1);
+    let mut best: Option<Assignment> = None;
+    for i in 0..k {
+        let candidate = round_sampling(g, frac, seed.wrapping_add(i as u64));
+        let better = best
+            .as_ref()
+            .map(|b| candidate.size() > b.size())
+            .unwrap_or(true);
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("k ≥ 1")
+}
+
+/// Deterministic greedy rounding by decreasing fractional value.
+pub fn round_greedy(g: &Bipartite, frac: &FractionalAllocation) -> Assignment {
+    let rights = g.edge_right_endpoints();
+    let lefts = g.edge_left_endpoints();
+    let mut order: Vec<u32> = (0..g.m() as u32).collect();
+    order.sort_by(|&a, &b| {
+        frac.x[b as usize]
+            .partial_cmp(&frac.x[a as usize])
+            .expect("x values are finite")
+            .then(a.cmp(&b))
+    });
+    let mut residual: Vec<u64> = g.capacities().to_vec();
+    let mut assignment = Assignment::empty(g.n_left());
+    for e in order {
+        if frac.x[e as usize] <= 0.0 {
+            break;
+        }
+        let (u, v) = (lefts[e as usize], rights[e as usize]);
+        if assignment.mate[u as usize].is_none() && residual[v as usize] > 0 {
+            assignment.mate[u as usize] = Some(v);
+            residual[v as usize] -= 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo1::{self, ProportionalConfig};
+    use crate::params::Schedule;
+    use sparse_alloc_graph::generators::{star, union_of_spanning_trees};
+
+    fn fractional_for(g: &Bipartite, eps: f64, lambda: u32) -> FractionalAllocation {
+        algo1::run(
+            g,
+            &ProportionalConfig {
+                eps,
+                schedule: Schedule::KnownLambda(lambda),
+                track_history: false,
+            },
+        )
+        .fractional
+    }
+
+    #[test]
+    fn sampled_rounding_is_feasible() {
+        let g = union_of_spanning_trees(120, 100, 3, 2, 4).graph;
+        let frac = fractional_for(&g, 0.1, 3);
+        for seed in 0..10 {
+            round_sampling(&g, &frac, seed).validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn expectation_bound_holds_empirically() {
+        // E[|M|] ≥ wt(M_f)/9: average over many seeds must clear the bound
+        // with slack (we use /10 to absorb sampling noise).
+        let g = union_of_spanning_trees(400, 300, 3, 2, 11).graph;
+        let frac = fractional_for(&g, 0.1, 3);
+        let trials = 60;
+        let mean: f64 = (0..trials)
+            .map(|s| round_sampling(&g, &frac, s).size() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            mean >= frac.weight / 10.0,
+            "mean rounded size {mean} below wt/10 = {}",
+            frac.weight / 10.0
+        );
+    }
+
+    #[test]
+    fn best_of_amplifies() {
+        let g = union_of_spanning_trees(200, 150, 2, 2, 6).graph;
+        let frac = fractional_for(&g, 0.1, 2);
+        let single = round_sampling(&g, &frac, 1).size();
+        let best = round_best_of(&g, &frac, 20, 1).size();
+        assert!(best >= single);
+        assert!(best as f64 >= frac.weight / 9.0 - 1.0, "best {best} too small");
+        round_best_of(&g, &frac, 20, 1).validate(&g).unwrap();
+    }
+
+    #[test]
+    fn greedy_rounding_feasible_and_strong() {
+        let g = union_of_spanning_trees(150, 120, 3, 2, 8).graph;
+        let frac = fractional_for(&g, 0.1, 3);
+        let a = round_greedy(&g, &frac);
+        a.validate(&g).unwrap();
+        // Greedy rounding of a (2+10ε)-approximate fractional solution
+        // loses at most another factor 2 (it is maximal on the support):
+        assert!(
+            a.size() as f64 >= frac.weight / 2.0 - 1.0,
+            "greedy {} vs weight {}",
+            a.size(),
+            frac.weight
+        );
+    }
+
+    #[test]
+    fn star_rounding_respects_capacity() {
+        let g = star(30, 4).graph;
+        let frac = fractional_for(&g, 0.1, 1);
+        let a = round_greedy(&g, &frac);
+        a.validate(&g).unwrap();
+        assert_eq!(a.size(), 4);
+        for seed in 0..5 {
+            let s = round_sampling(&g, &frac, seed);
+            s.validate(&g).unwrap();
+            assert!(s.size() <= 4);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_edges_never_selected() {
+        let g = star(5, 2).graph;
+        let frac = FractionalAllocation {
+            x: vec![0.0; g.m()],
+            weight: 0.0,
+        };
+        assert_eq!(round_sampling(&g, &frac, 3).size(), 0);
+        assert_eq!(round_greedy(&g, &frac).size(), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = union_of_spanning_trees(80, 60, 2, 2, 2).graph;
+        let frac = fractional_for(&g, 0.2, 2);
+        assert_eq!(
+            round_sampling(&g, &frac, 9).mate,
+            round_sampling(&g, &frac, 9).mate
+        );
+        assert_eq!(round_greedy(&g, &frac).mate, round_greedy(&g, &frac).mate);
+    }
+}

@@ -1,0 +1,416 @@
+//! Algorithm 2 — the phase-compressed, sampling-based execution (paper §5),
+//! shared-memory reference path.
+//!
+//! The LOCAL algorithm is split into phases of `B` rounds. At each phase
+//! boundary every vertex partitions its neighborhood into β-level groups
+//! (`L_x`, line 2 of Algorithm 2); during the phase, the per-round
+//! aggregations (`β_u` for `u ∈ L`, `alloc_v` for `v ∈ R`) are *estimated*
+//! from per-group samples — fresh, independent samples for every simulated
+//! round, drawn from the phase-start groups (Lemma 11 with spread
+//! `t = (1+ε)^{2B}` absorbs the within-phase drift). Lemma 13 shows the
+//! resulting run equals Algorithm 3 with thresholds `k ∈ [1/4, 4]` whp, so
+//! Theorems 16/17 give `(2+16ε)` after the λ-schedule.
+//!
+//! All sample draws come from the counter RNG of [`crate::estimator`], so
+//! the distributed execution in [`crate::mpc_exec`] — which performs the
+//! same arithmetic inside collected balls — reproduces this path
+//! **bit-for-bit**. That equality is asserted by tests and is the
+//! correctness argument for the MPC round/space measurements.
+//!
+//! Engineering note (documented in `DESIGN.md` §6): the final feasible
+//! output (lines 5–6 scaling) is computed from an *exact* aggregation pass
+//! over the final levels — in MPC this is `O(1)` rounds of standard
+//! aggregation, and it makes the returned allocation strictly feasible
+//! instead of feasible-within-`(1±ε/4)`.
+
+use rayon::prelude::*;
+use sparse_alloc_graph::{Bipartite, Side};
+
+use crate::aggregates::{left_aggregates, right_allocs, LeftAggregate};
+use crate::estimator::{sample_rng, GroupedNeighborhood};
+use crate::fractional::{finalize, FractionalAllocation};
+use crate::levels::{update_level, PowTable};
+use crate::params;
+use crate::termination::{self, TerminationCheck};
+
+/// Sample-budget policy for the per-group budget `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleBudget {
+    /// The paper's `t = (1+ε)^{2B}·ε⁻⁵·log n` (usually exceeds every group
+    /// size ⇒ exact execution; the honest constant).
+    Paper,
+    /// `scale · (1+ε)^{2B} · log₂ n` — keeps the spread compensation, drops
+    /// the `ε⁻⁵`. The experiment sweeps use this.
+    Scaled(f64),
+    /// A fixed per-group budget (stress tests).
+    Fixed(usize),
+}
+
+impl SampleBudget {
+    /// Resolve to a concrete per-group sample count.
+    pub fn resolve(&self, eps: f64, b: usize, n: usize) -> usize {
+        match *self {
+            SampleBudget::Paper => params::sample_budget_paper(eps, b, n),
+            SampleBudget::Scaled(s) => params::sample_budget_scaled(eps, b, n, s),
+            SampleBudget::Fixed(t) => t.max(1),
+        }
+    }
+}
+
+/// Configuration of a sampled (Algorithm 2) run.
+#[derive(Debug, Clone)]
+pub struct SampledConfig {
+    /// The `(1+ε)` step parameter.
+    pub eps: f64,
+    /// Phase length `B` (LOCAL rounds simulated per phase).
+    pub phase_len: usize,
+    /// Total LOCAL rounds to simulate (`τ`).
+    pub tau: usize,
+    /// Per-group sample budget.
+    pub budget: SampleBudget,
+    /// Seed of the counter RNG.
+    pub seed: u64,
+    /// Evaluate the §4 termination condition at phase boundaries (exact
+    /// aggregation, as the MPC implementation would in `O(1)` rounds) and
+    /// stop early when it holds.
+    pub check_termination: bool,
+}
+
+/// Result of a sampled run.
+#[derive(Debug, Clone)]
+pub struct SampledResult {
+    /// Final levels (end of last simulated round).
+    pub levels: Vec<i64>,
+    /// LOCAL rounds simulated.
+    pub rounds: usize,
+    /// Phases executed.
+    pub phases: usize,
+    /// Exact allocation masses for the final levels.
+    pub alloc: Vec<f64>,
+    /// `Σ_v min(C_v, alloc_v)` (exact, final levels).
+    pub match_weight: f64,
+    /// Feasible fractional output (exact final pass).
+    pub fractional: FractionalAllocation,
+    /// Termination info if `check_termination` fired.
+    pub termination: Option<TerminationCheck>,
+}
+
+/// Group key of a left vertex: `⌈log_{1+ε} β_u⌉` computed from the exact
+/// phase-start aggregate (`β_u = (1+ε)^{max_level}·norm_sum`).
+pub(crate) fn left_key(agg: &LeftAggregate, eps: f64) -> i64 {
+    debug_assert!(agg.norm_sum > 0.0);
+    agg.max_level + (agg.norm_sum.ln() / (1.0 + eps).ln()).floor() as i64
+}
+
+/// Phase-start state shared by both execution paths: the grouped
+/// neighborhoods and left group keys.
+pub(crate) struct PhasePlan {
+    /// For each `u ∈ L`: neighbors grouped by phase-start `level_v`.
+    pub left_groups: Vec<GroupedNeighborhood>,
+    /// For each `v ∈ R`: neighbors grouped by phase-start left key.
+    pub right_groups: Vec<GroupedNeighborhood>,
+    /// For each `u ∈ L`: normalization level `M_u` (max phase-start group
+    /// key + B), exponent ceiling for the whole phase.
+    pub left_ceiling: Vec<i64>,
+}
+
+pub(crate) fn plan_phase(
+    g: &Bipartite,
+    levels: &[i64],
+    lefts: &[LeftAggregate],
+    eps: f64,
+    phase_len: usize,
+) -> PhasePlan {
+    let left_groups: Vec<GroupedNeighborhood> = (0..g.n_left() as u32)
+        .into_par_iter()
+        .map(|u| GroupedNeighborhood::build(g.left_neighbors(u), |v| levels[v as usize]))
+        .collect();
+    let right_groups: Vec<GroupedNeighborhood> = (0..g.n_right() as u32)
+        .into_par_iter()
+        .map(|v| {
+            GroupedNeighborhood::build(g.right_neighbors(v), |u| {
+                left_key(&lefts[u as usize], eps)
+            })
+        })
+        .collect();
+    let left_ceiling: Vec<i64> = left_groups
+        .iter()
+        .map(|gr| gr.max_key().unwrap_or(0) + phase_len as i64)
+        .collect();
+    PhasePlan {
+        left_groups,
+        right_groups,
+        left_ceiling,
+    }
+}
+
+/// One simulated round inside a phase, against *current* levels:
+/// returns the estimated `(M_u, Ŝ_u)` per left vertex and the estimated
+/// alloc per right vertex, then the caller applies the level update.
+///
+/// This free function is the single numerical kernel both execution paths
+/// call — identical inputs produce identical outputs, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn estimate_round(
+    g: &Bipartite,
+    plan: &PhasePlan,
+    levels: &[i64],
+    pows: &PowTable,
+    t_budget: usize,
+    seed: u64,
+    phase: usize,
+    round_in_phase: usize,
+) -> (Vec<(i64, f64)>, Vec<f64>) {
+    // Left estimates β̂_u = (1+ε)^{M_u} · Ŝ_u.
+    let left_est: Vec<(i64, f64)> = (0..g.n_left() as u32)
+        .into_par_iter()
+        .map(|u| {
+            let groups = &plan.left_groups[u as usize];
+            if groups.n_groups() == 0 {
+                return (i64::MIN, 0.0);
+            }
+            let ceiling = plan.left_ceiling[u as usize];
+            let s_hat = groups.estimate_sum(
+                t_budget,
+                |key| sample_rng(seed, phase, round_in_phase, Side::Left, u, key),
+                |v| pows.pow_diff(levels[v as usize] - ceiling),
+            );
+            (ceiling, s_hat)
+        })
+        .collect();
+
+    // Right estimates: alloc_v = β_v · Σ_u 1/β_u
+    //               = Σ_u (1+ε)^{level_v − M_u} / Ŝ_u.
+    let alloc_est: Vec<f64> = (0..g.n_right() as u32)
+        .into_par_iter()
+        .map(|v| {
+            let groups = &plan.right_groups[v as usize];
+            if groups.n_groups() == 0 {
+                return 0.0;
+            }
+            let lv = levels[v as usize];
+            groups.estimate_sum(
+                t_budget,
+                |key| sample_rng(seed, phase, round_in_phase, Side::Right, v, key),
+                |u| {
+                    let (m_u, s_u) = left_est[u as usize];
+                    debug_assert!(s_u > 0.0, "sampled β̂_u must be positive");
+                    pows.pow_diff(lv - m_u) / s_u
+                },
+            )
+        })
+        .collect();
+
+    (left_est, alloc_est)
+}
+
+/// Run Algorithm 2 (shared-memory reference path).
+pub fn run_sampled(g: &Bipartite, config: &SampledConfig) -> SampledResult {
+    assert!(config.phase_len >= 1, "phase length B ≥ 1");
+    let eps = config.eps;
+    let pows = PowTable::new(eps);
+    let nr = g.n_right();
+    let t_budget = config.budget.resolve(eps, config.phase_len, g.n());
+
+    let mut levels = vec![0i64; nr];
+    let mut rounds = 0usize;
+    let mut phases = 0usize;
+    let mut termination_info = None;
+
+    'phases: while rounds < config.tau {
+        // Phase setup: exact aggregates for the group keys (the MPC path
+        // pays O(1) rounds of aggregation here).
+        let lefts = left_aggregates(g, &levels, &pows);
+        let plan = plan_phase(g, &levels, &lefts, eps, config.phase_len);
+
+        for s in 0..config.phase_len {
+            if rounds >= config.tau {
+                break;
+            }
+            let (_, alloc_est) =
+                estimate_round(g, &plan, &levels, &pows, t_budget, config.seed, phases, s);
+            for v in 0..nr {
+                levels[v] +=
+                    update_level(alloc_est[v], g.capacity(v as u32), eps, 1.0, 1.0);
+            }
+            rounds += 1;
+        }
+        phases += 1;
+
+        if config.check_termination {
+            let alloc_exact = crate::algo1::allocs_for_levels(g, &levels, eps);
+            let t = termination::check(g, &levels, &alloc_exact, rounds, eps);
+            let stop = t.terminated;
+            termination_info = Some(t);
+            if stop {
+                break 'phases;
+            }
+        }
+    }
+
+    // Exact final pass (lines 5–6 of Algorithm 1 applied to final levels).
+    let lefts = left_aggregates(g, &levels, &pows);
+    let alloc = right_allocs(g, &levels, &lefts, &pows);
+    let match_weight = crate::algo1::match_weight_of(g, &alloc);
+    let fractional = finalize(g, &levels, &lefts, &alloc, &pows);
+
+    SampledResult {
+        levels,
+        rounds,
+        phases,
+        alloc,
+        match_weight,
+        fractional,
+        termination: termination_info,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo1::{self, ProportionalConfig};
+    use crate::params::{tau_known_lambda, Schedule};
+    use sparse_alloc_flow::opt::opt_value;
+    use sparse_alloc_graph::generators::{random_bipartite, union_of_spanning_trees};
+
+    fn base_config(eps: f64, tau: usize, b: usize) -> SampledConfig {
+        SampledConfig {
+            eps,
+            phase_len: b,
+            tau,
+            budget: SampleBudget::Paper,
+            seed: 42,
+            check_termination: false,
+        }
+    }
+
+    #[test]
+    fn paper_budget_equals_exact_execution() {
+        // The paper's t exceeds every group size at this scale, so the
+        // sampled run must take exactly Algorithm 1's trajectory.
+        let eps = 0.2;
+        let g = union_of_spanning_trees(80, 70, 3, 2, 6).graph;
+        let tau = tau_known_lambda(eps, 3);
+        let sampled = run_sampled(&g, &base_config(eps, tau, 2));
+        let exact = algo1::run(
+            &g,
+            &ProportionalConfig {
+                eps,
+                schedule: Schedule::Fixed(tau),
+                track_history: false,
+            },
+        );
+        assert_eq!(sampled.levels, exact.levels);
+        assert_eq!(sampled.rounds, exact.rounds);
+    }
+
+    #[test]
+    fn small_budget_still_approximates() {
+        // Fixed tiny budget: Lemma 13's k ∈ [1/4, 4] regime — quality may
+        // degrade to (2+16ε) but must stay bounded.
+        let eps = 0.1;
+        let k = 3u32;
+        let g = union_of_spanning_trees(300, 250, k, 2, 10).graph;
+        let tau = tau_known_lambda(eps, k);
+        let mut cfg = base_config(eps, tau, 2);
+        cfg.budget = SampleBudget::Fixed(8);
+        let res = run_sampled(&g, &cfg);
+        res.fractional.validate(&g, 1e-9).unwrap();
+        let opt = opt_value(&g);
+        let ratio = algo1::ratio(opt, res.match_weight);
+        assert!(
+            ratio <= 2.0 + 16.0 * eps + 0.25,
+            "sampled ratio {ratio} far beyond Theorem 17 bound"
+        );
+    }
+
+    #[test]
+    fn phase_length_does_not_change_exact_regime() {
+        // With exhaustive budgets, B only affects *scheduling*, not values:
+        // any B gives the same trajectory as B = 1.
+        let eps = 0.25;
+        let g = random_bipartite(60, 50, 250, 2, 3).graph;
+        let r1 = run_sampled(&g, &base_config(eps, 12, 1));
+        let r3 = run_sampled(&g, &base_config(eps, 12, 3));
+        let r4 = run_sampled(&g, &base_config(eps, 12, 4));
+        assert_eq!(r1.levels, r3.levels);
+        assert_eq!(r1.levels, r4.levels);
+        assert_eq!(r3.phases, 4);
+        assert_eq!(r4.phases, 3);
+    }
+
+    #[test]
+    fn termination_stops_early() {
+        let eps = 0.1;
+        let k = 2u32;
+        let g = union_of_spanning_trees(150, 120, k, 2, 8).graph;
+        let mut cfg = base_config(eps, 10_000, 2);
+        cfg.check_termination = true;
+        let res = run_sampled(&g, &cfg);
+        assert!(res.termination.expect("checked").terminated);
+        assert!(
+            res.rounds <= tau_known_lambda(eps, k) + cfg.phase_len,
+            "rounds {} vs τ {}",
+            res.rounds,
+            tau_known_lambda(eps, k)
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = random_bipartite(100, 80, 400, 2, 5).graph;
+        let mut cfg = base_config(0.15, 20, 2);
+        cfg.budget = SampleBudget::Fixed(4);
+        let a = run_sampled(&g, &cfg);
+        let b = run_sampled(&g, &cfg);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.fractional, b.fractional);
+        cfg.seed = 43;
+        let c = run_sampled(&g, &cfg);
+        // Different draws may (and on this instance do) change something.
+        let _ = c;
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let g = random_bipartite(120, 90, 500, 2, 7).graph;
+        let mut cfg = base_config(0.2, 15, 3);
+        cfg.budget = SampleBudget::Fixed(6);
+        let a = run_sampled(&g, &cfg);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let b = pool.install(|| run_sampled(&g, &cfg));
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.alloc, b.alloc);
+    }
+
+    #[test]
+    fn theorem20_azm_schedule_on_sampled_path() {
+        // Theorem 20: Algorithm 2 with τ = O(log(|R|/ε)/ε²) is (1+18ε)
+        // whp — the sampled execution inherits AZM's near-optimality.
+        let eps = 0.25;
+        let g = union_of_spanning_trees(60, 50, 2, 2, 17).graph;
+        let tau = crate::params::tau_azm(eps, g.n_right());
+        let mut cfg = base_config(eps, tau, 3);
+        cfg.budget = SampleBudget::Scaled(1.0);
+        let res = run_sampled(&g, &cfg);
+        let opt = opt_value(&g);
+        let ratio = algo1::ratio(opt, res.match_weight);
+        assert!(
+            ratio <= 1.0 + 18.0 * eps + 1e-9,
+            "sampled AZM ratio {ratio} exceeds 1+18ε"
+        );
+        res.fractional.validate(&g, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn zero_tau_returns_initial_state() {
+        let g = random_bipartite(10, 10, 30, 1, 1).graph;
+        let res = run_sampled(&g, &base_config(0.2, 0, 2));
+        assert_eq!(res.rounds, 0);
+        assert!(res.levels.iter().all(|&l| l == 0));
+        res.fractional.validate(&g, 1e-9).unwrap();
+    }
+}

@@ -1,0 +1,181 @@
+//! Convergence traces: per-round snapshots of the proportional-allocation
+//! dynamics, exportable as JSON lines for plotting.
+//!
+//! The level-set structure (`L_0 … L_{2τ}`, §4) *is* the algorithm's state
+//! of progress; a trace records its evolution — match weight, extreme
+//! level-set sizes, and a histogram of levels — so convergence plots like
+//! E1's `t90` column can be produced outside the harness.
+//!
+//! ```
+//! use sparse_alloc_core::trace::{trace_run, TraceConfig};
+//! use sparse_alloc_graph::generators::star;
+//!
+//! let g = star(10, 2).graph;
+//! let trace = trace_run(&g, &TraceConfig { eps: 0.25, rounds: 8 });
+//! assert_eq!(trace.records.len(), 8);
+//! // The star converges immediately: weight = capacity from round 1.
+//! assert!((trace.records[0].match_weight - 2.0).abs() < 1e-9);
+//! let json = trace.to_json_lines();
+//! assert_eq!(json.lines().count(), 8);
+//! ```
+
+use serde::Serialize;
+use sparse_alloc_graph::Bipartite;
+
+use crate::algo1::{self, ProportionalConfig};
+use crate::params::Schedule;
+use crate::termination;
+
+/// What to trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// The `(1+ε)` parameter.
+    pub eps: f64,
+    /// Rounds to run and record.
+    pub rounds: usize,
+}
+
+/// One per-round snapshot.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TraceRecord {
+    /// Round number (1-based).
+    pub round: usize,
+    /// `Σ_v min(C_v, alloc_v)` after this round's computation.
+    pub match_weight: f64,
+    /// Vertices whose β rose every round so far (`|L_top|`).
+    pub top_size: usize,
+    /// Vertices whose β fell every round so far (`|L_bot|`).
+    pub bottom_size: usize,
+    /// `|N(L_top)|`.
+    pub top_neighborhood: usize,
+    /// Whether the §4 termination condition held at this round.
+    pub terminated: bool,
+    /// Histogram of levels as `(level, count)`, sorted by level.
+    pub level_histogram: Vec<(i64, usize)>,
+}
+
+/// A full trace.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Trace {
+    /// ε used.
+    pub eps: f64,
+    /// Snapshots, one per round.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Serialize as JSON lines (one record per line) for plotting tools.
+    pub fn to_json_lines(&self) -> String {
+        self.records
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("trace records serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// First round whose match weight reaches `fraction` of the final one.
+    pub fn rounds_to_fraction(&self, fraction: f64) -> Option<usize> {
+        let final_mw = self.records.last()?.match_weight;
+        self.records
+            .iter()
+            .find(|r| r.match_weight >= fraction * final_mw)
+            .map(|r| r.round)
+    }
+}
+
+fn histogram(levels: &[i64]) -> Vec<(i64, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for &l in levels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Run Algorithm 1 for `config.rounds` rounds, recording a snapshot after
+/// every round via the solver's observer hook — a single pass, one extra
+/// `O(m)` termination evaluation per round.
+pub fn trace_run(g: &Bipartite, config: &TraceConfig) -> Trace {
+    let mut records = Vec::with_capacity(config.rounds);
+    let eps = config.eps;
+    let _ = algo1::run_with_observer(
+        g,
+        &ProportionalConfig {
+            eps,
+            schedule: Schedule::Fixed(config.rounds),
+            track_history: false,
+        },
+        |round, levels, alloc| {
+            let check = termination::check(g, levels, alloc, round, eps);
+            records.push(TraceRecord {
+                round,
+                match_weight: algo1::match_weight_of(g, alloc),
+                top_size: check.top_size,
+                bottom_size: check.bottom_size,
+                top_neighborhood: check.top_neighborhood,
+                terminated: check.terminated,
+                level_histogram: histogram(levels),
+            });
+        },
+    );
+    Trace {
+        eps: config.eps,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::generators::{escape_blocks, star};
+
+    #[test]
+    fn star_trace_shape() {
+        let g = star(12, 3).graph;
+        let t = trace_run(&g, &TraceConfig { eps: 0.5, rounds: 6 });
+        assert_eq!(t.records.len(), 6);
+        // The center only sinks: bottom set is always {center}.
+        for r in &t.records {
+            assert_eq!(r.bottom_size, 1);
+            assert_eq!(r.top_size, 0);
+            assert!((r.match_weight - 3.0).abs() < 1e-9);
+        }
+        // Histogram has exactly one entry (one right vertex).
+        assert_eq!(t.records[5].level_histogram, vec![(-6, 1)]);
+    }
+
+    #[test]
+    fn escape_trace_shows_convergence() {
+        let g = escape_blocks(4, 4).graph;
+        let t = trace_run(&g, &TraceConfig { eps: 0.25, rounds: 20 });
+        // Match weight is (weakly) increasing towards |L| on this family.
+        let first = t.records.first().unwrap().match_weight;
+        let last = t.records.last().unwrap().match_weight;
+        assert!(last > first);
+        assert!(last >= 0.95 * g.n_left() as f64);
+        let t90 = t.rounds_to_fraction(0.9).expect("reaches 90%");
+        assert!(t90 > 1 && t90 <= 20, "t90 = {t90}");
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let g = star(5, 2).graph;
+        let t = trace_run(&g, &TraceConfig { eps: 0.5, rounds: 3 });
+        let json = t.to_json_lines();
+        for line in json.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("round").is_some());
+            assert!(v.get("match_weight").is_some());
+            assert!(v.get("level_histogram").is_some());
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_n_right() {
+        let g = escape_blocks(3, 2).graph;
+        let t = trace_run(&g, &TraceConfig { eps: 0.2, rounds: 4 });
+        for r in &t.records {
+            let total: usize = r.level_histogram.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, g.n_right());
+        }
+    }
+}

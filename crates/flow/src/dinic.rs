@@ -1,0 +1,264 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Integer capacities (`i64`), adjacency-list residual graph, BFS level
+//! phases with DFS blocking flows and the `iter` current-arc optimization.
+//! On unit-capacity bipartite networks (the allocation OPT network) Dinic
+//! runs in `O(E·√V)` — comfortably fast for every instance the experiment
+//! harness generates.
+
+/// A directed residual edge.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: u32,
+    /// Remaining capacity.
+    cap: i64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: u32,
+}
+
+/// Max-flow solver. Build with [`Dinic::new`], add edges with
+/// [`Dinic::add_edge`], then call [`Dinic::max_flow`].
+#[derive(Debug, Clone)]
+pub struct Dinic {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+/// Handle to an added edge, usable to query its final flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeHandle {
+    from: u32,
+    index: u32,
+}
+
+impl Dinic {
+    /// A flow network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Add a directed edge `from → to` with capacity `cap ≥ 0`.
+    ///
+    /// Returns a handle with which [`Dinic::flow_on`] reports the flow the
+    /// final solution routes through this edge.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: i64) -> EdgeHandle {
+        assert!(cap >= 0, "capacities must be non-negative");
+        assert!(
+            (from as usize) < self.graph.len() && (to as usize) < self.graph.len(),
+            "edge endpoint out of range"
+        );
+        let fwd_index = self.graph[from as usize].len() as u32;
+        let rev_index = self.graph[to as usize].len() as u32
+            + if from == to { 1 } else { 0 };
+        self.graph[from as usize].push(Edge {
+            to,
+            cap,
+            rev: rev_index,
+        });
+        self.graph[to as usize].push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd_index,
+        });
+        EdgeHandle {
+            from,
+            index: fwd_index,
+        }
+    }
+
+    fn bfs(&mut self, s: u32, t: u32) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v as usize] {
+                if e.cap > 0 && self.level[e.to as usize] < 0 {
+                    self.level[e.to as usize] = self.level[v as usize] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t as usize] >= 0
+    }
+
+    fn dfs(&mut self, v: u32, t: u32, f: i64) -> i64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v as usize] < self.graph[v as usize].len() {
+            let i = self.iter[v as usize];
+            let (to, cap, rev) = {
+                let e = &self.graph[v as usize][i];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 0 && self.level[v as usize] < self.level[to as usize] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    self.graph[v as usize][i].cap -= d;
+                    self.graph[to as usize][rev as usize].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v as usize] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum `s → t` flow. May be called once per network
+    /// (the residual graph is left saturated afterwards, which is exactly
+    /// what [`Dinic::flow_on`] and [`Dinic::min_cut_source_side`] read).
+    pub fn max_flow(&mut self, s: u32, t: u32) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0i64;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, i64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// Flow routed through the edge identified by `h` in the last
+    /// [`Dinic::max_flow`] call (reverse-edge residual capacity).
+    pub fn flow_on(&self, h: EdgeHandle) -> i64 {
+        let e = &self.graph[h.from as usize][h.index as usize];
+        self.graph[e.to as usize][e.rev as usize].cap
+    }
+
+    /// The source side of a minimum cut: all nodes reachable from `s` in the
+    /// residual graph after [`Dinic::max_flow`].
+    pub fn min_cut_source_side(&self, s: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.graph.len()];
+        let mut stack = vec![s];
+        seen[s as usize] = true;
+        while let Some(v) = stack.pop() {
+            for e in &self.graph[v as usize] {
+                if e.cap > 0 && !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_small_network() {
+        // CLRS-style example.
+        let mut d = Dinic::new(6);
+        d.add_edge(0, 1, 16);
+        d.add_edge(0, 2, 13);
+        d.add_edge(1, 2, 10);
+        d.add_edge(2, 1, 4);
+        d.add_edge(1, 3, 12);
+        d.add_edge(3, 2, 9);
+        d.add_edge(2, 4, 14);
+        d.add_edge(4, 3, 7);
+        d.add_edge(3, 5, 20);
+        d.add_edge(4, 5, 4);
+        assert_eq!(d.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 5);
+        d.add_edge(2, 3, 5);
+        assert_eq!(d.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 3);
+        d.add_edge(0, 1, 4);
+        assert_eq!(d.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn flow_on_reports_per_edge_flow() {
+        let mut d = Dinic::new(4);
+        let a = d.add_edge(0, 1, 10);
+        let b = d.add_edge(0, 2, 10);
+        let c = d.add_edge(1, 3, 4);
+        let e = d.add_edge(2, 3, 9);
+        assert_eq!(d.max_flow(0, 3), 13);
+        assert_eq!(d.flow_on(a), 4);
+        assert_eq!(d.flow_on(b), 9);
+        assert_eq!(d.flow_on(c), 4);
+        assert_eq!(d.flow_on(e), 9);
+    }
+
+    #[test]
+    fn min_cut_matches_flow() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3);
+        d.add_edge(0, 2, 2);
+        d.add_edge(1, 3, 2);
+        d.add_edge(2, 3, 3);
+        d.add_edge(1, 2, 1);
+        // Paths: 0→1→3 (2), 0→2→3 (2), 0→1→2→3 (1) ⇒ flow 5.
+        let f = d.max_flow(0, 3);
+        assert_eq!(f, 5);
+        let side = d.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Cut capacity across the partition equals the flow value.
+        // (Recompute from the original capacities.)
+        let caps = [(0u32, 1u32, 3i64), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)];
+        let cut: i64 = caps
+            .iter()
+            .filter(|&&(u, v, _)| side[u as usize] && !side[v as usize])
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert_eq!(cut, f);
+    }
+
+    #[test]
+    fn self_loop_is_harmless() {
+        let mut d = Dinic::new(3);
+        d.add_edge(1, 1, 5);
+        d.add_edge(0, 1, 2);
+        d.add_edge(1, 2, 2);
+        assert_eq!(d.max_flow(0, 2), 2);
+    }
+
+    #[test]
+    fn zero_capacity_edges() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 0);
+        d.add_edge(1, 2, 7);
+        assert_eq!(d.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn long_path() {
+        let n = 1000;
+        let mut d = Dinic::new(n);
+        for i in 0..n - 1 {
+            d.add_edge(i as u32, i as u32 + 1, 2);
+        }
+        assert_eq!(d.max_flow(0, n as u32 - 1), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sequential greedy allocation: the classical maximal baseline.
+//!
+//! Scanning left vertices in order and assigning each to the first neighbor
+//! with residual capacity produces a *maximal* allocation, which is a
+//! 2-approximation of the maximum (every unmatched left vertex has all its
+//! neighbors saturated, and each saturated right vertex can be blamed by at
+//! most `C_v` optimal edges it already pays for). This is the baseline the
+//! experiment tables print next to the paper's algorithm.
+
+use sparse_alloc_graph::{Assignment, Bipartite};
+
+/// Greedy allocation scanning left vertices in index order.
+pub fn greedy_allocation(g: &Bipartite) -> Assignment {
+    greedy_allocation_ordered(g, (0..g.n_left() as u32).collect::<Vec<_>>().as_slice())
+}
+
+/// Greedy allocation scanning left vertices in the given order (the order
+/// affects which maximal allocation is found, not its maximality).
+pub fn greedy_allocation_ordered(g: &Bipartite, order: &[u32]) -> Assignment {
+    let mut residual: Vec<u64> = g.capacities().to_vec();
+    let mut assignment = Assignment::empty(g.n_left());
+    for &u in order {
+        for &v in g.left_neighbors(u) {
+            if residual[v as usize] > 0 {
+                residual[v as usize] -= 1;
+                assignment.mate[u as usize] = Some(v);
+                break;
+            }
+        }
+    }
+    assignment
+}
+
+/// Check that an assignment is *maximal*: no unmatched left vertex has a
+/// neighbor with residual capacity. (Used by tests and the E-suite.)
+pub fn is_maximal(g: &Bipartite, a: &Assignment) -> bool {
+    let loads = a.right_loads(g.n_right());
+    for u in 0..g.n_left() as u32 {
+        if a.mate[u as usize].is_none() {
+            for &v in g.left_neighbors(u) {
+                if loads[v as usize] < g.capacity(v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::opt_value;
+    use sparse_alloc_graph::generators::{random_bipartite, star, union_of_spanning_trees};
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    #[test]
+    fn greedy_is_valid_and_maximal() {
+        for seed in 0..8 {
+            let g = random_bipartite(60, 40, 300, 2, seed).graph;
+            let a = greedy_allocation(&g);
+            a.validate(&g).unwrap();
+            assert!(is_maximal(&g, &a));
+        }
+    }
+
+    #[test]
+    fn greedy_at_least_half_of_opt() {
+        for seed in 0..8 {
+            let g = union_of_spanning_trees(50, 40, 3, 2, seed).graph;
+            let a = greedy_allocation(&g);
+            let opt = opt_value(&g);
+            assert!(
+                2 * a.size() as u64 >= opt,
+                "greedy {} below OPT/2 with OPT {}",
+                a.size(),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal() {
+        // The classic augmenting-path trap: greedy(order 0,1) gets 1, OPT 2.
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let a = greedy_allocation(&g);
+        assert_eq!(a.size(), 1);
+        assert_eq!(opt_value(&g), 2);
+    }
+
+    #[test]
+    fn order_changes_outcome() {
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        // Matching u1 first frees v1 for u0.
+        let a = greedy_allocation_ordered(&g, &[1, 0]);
+        assert_eq!(a.size(), 2);
+    }
+
+    #[test]
+    fn star_greedy_fills_capacity() {
+        let g = star(10, 6).graph;
+        let a = greedy_allocation(&g);
+        assert_eq!(a.size(), 6);
+        assert!(is_maximal(&g, &a));
+    }
+}

@@ -1,0 +1,59 @@
+//! Exact and baseline solvers for the allocation problem.
+//!
+//! This crate supplies the *ground truth* and the *competitors* against
+//! which the paper's algorithm is measured:
+//!
+//! * [`dinic`] — a general integer max-flow implementation (Dinic's
+//!   algorithm with BFS level graphs and DFS blocking flows).
+//! * [`push_relabel`] — a second, independently derived max-flow solver
+//!   (FIFO push–relabel with the gap heuristic), differential-tested
+//!   against Dinic so that an oracle bug cannot silently corrupt every
+//!   ratio table.
+//! * [`backend`] — the [`backend::MaxFlowBackend`] trait that lets the
+//!   oracles swap between the two solvers.
+//! * [`opt`] — the OPT oracle: maximum allocation via the
+//!   source–`L`–`R`–sink network. For bipartite allocation the LP relaxation
+//!   is totally unimodular, so the integral max-flow value *equals* the
+//!   maximum fractional allocation weight — one oracle serves both ratio
+//!   denominators.
+//! * [`greedy`] — sequential greedy (maximal ⇒ 2-approximation) baseline.
+//! * [`auction`] — a synchronous auction-style allocator (LKK23-inspired)
+//!   baseline.
+//! * [`densest`] — Goldberg's exact densest-subgraph algorithm via
+//!   parametric max-flow, used to certify arboricity lower bounds in the
+//!   Remark-1 experiment (E10).
+
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_flow::{opt_value, max_allocation};
+//! use sparse_alloc_flow::greedy::greedy_allocation;
+//! use sparse_alloc_graph::generators::star;
+//!
+//! // Star: 10 clients, one server with 4 slots.
+//! let g = star(10, 4).graph;
+//! assert_eq!(opt_value(&g), 4);
+//!
+//! let exact = max_allocation(&g);
+//! exact.validate(&g).unwrap();
+//! assert_eq!(exact.size(), 4);
+//!
+//! // Greedy is maximal, hence within a factor 2 (here it is exact).
+//! assert_eq!(greedy_allocation(&g).size(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod backend;
+pub mod bmatching;
+pub mod densest;
+pub mod dinic;
+pub mod greedy;
+pub mod opt;
+pub mod push_relabel;
+
+pub use backend::MaxFlowBackend;
+pub use dinic::Dinic;
+pub use opt::{max_allocation, opt_value};
+pub use push_relabel::PushRelabel;

@@ -1,0 +1,212 @@
+//! The OPT oracle: exact maximum allocation via max-flow.
+//!
+//! Network: `source → u` (capacity 1) for every `u ∈ L`; `u → v`
+//! (capacity 1) for every edge; `v → sink` (capacity `C_v`) for every
+//! `v ∈ R`. Integral max-flow = maximum allocation; by total unimodularity
+//! of the bipartite allocation LP this also equals the maximum *fractional*
+//! allocation weight, so a single oracle provides the denominator for every
+//! approximation-ratio measurement in the experiment suite.
+
+use sparse_alloc_graph::{Assignment, Bipartite};
+
+use crate::backend::MaxFlowBackend;
+use crate::dinic::Dinic;
+
+/// Node layout of the allocation flow network.
+struct Layout {
+    source: u32,
+    sink: u32,
+    n_left: u32,
+}
+
+impl Layout {
+    fn new(g: &Bipartite) -> Self {
+        let n_left = g.n_left() as u32;
+        let n_right = g.n_right() as u32;
+        Layout {
+            source: n_left + n_right,
+            sink: n_left + n_right + 1,
+            n_left,
+        }
+    }
+    fn left(&self, u: u32) -> u32 {
+        u
+    }
+    fn right(&self, v: u32) -> u32 {
+        self.n_left + v
+    }
+}
+
+fn build_network<T: MaxFlowBackend>(g: &Bipartite) -> (T, Layout, Vec<T::Handle>) {
+    let layout = Layout::new(g);
+    let mut d = T::with_nodes(g.n() + 2);
+    for u in 0..g.n_left() as u32 {
+        d.add_edge(layout.source, layout.left(u), 1);
+    }
+    let mut edge_handles = Vec::with_capacity(g.m());
+    for u in 0..g.n_left() as u32 {
+        for &v in g.left_neighbors(u) {
+            edge_handles.push(d.add_edge(layout.left(u), layout.right(v), 1));
+        }
+    }
+    for v in 0..g.n_right() as u32 {
+        let cap = g.capacity(v).min(i64::MAX as u64) as i64;
+        d.add_edge(layout.right(v), layout.sink, cap);
+    }
+    (d, layout, edge_handles)
+}
+
+/// The value of a maximum allocation of `g` (equivalently, the maximum
+/// fractional allocation weight), computed with the default backend
+/// ([`Dinic`]).
+pub fn opt_value(g: &Bipartite) -> u64 {
+    opt_value_with::<Dinic>(g)
+}
+
+/// [`opt_value`] with an explicit max-flow backend — used by the
+/// differential tests that cross-validate the two solvers.
+pub fn opt_value_with<T: MaxFlowBackend>(g: &Bipartite) -> u64 {
+    if g.m() == 0 {
+        return 0;
+    }
+    let (mut d, layout, _) = build_network::<T>(g);
+    d.max_flow(layout.source, layout.sink) as u64
+}
+
+/// A maximum allocation of `g`, as an [`Assignment`] witness (default
+/// backend).
+pub fn max_allocation(g: &Bipartite) -> Assignment {
+    max_allocation_with::<Dinic>(g)
+}
+
+/// [`max_allocation`] with an explicit max-flow backend.
+pub fn max_allocation_with<T: MaxFlowBackend>(g: &Bipartite) -> Assignment {
+    let mut assignment = Assignment::empty(g.n_left());
+    if g.m() == 0 {
+        return assignment;
+    }
+    let (mut d, layout, edge_handles) = build_network::<T>(g);
+    d.max_flow(layout.source, layout.sink);
+    // edge_handles was filled in left-CSR edge-id order.
+    let rights = g.edge_right_endpoints();
+    let mut e = 0usize;
+    for u in 0..g.n_left() as u32 {
+        for _ in g.left_edge_range(u) {
+            if d.flow_on(edge_handles[e]) > 0 {
+                assignment.mate[u as usize] = Some(rights[e]);
+            }
+            e += 1;
+        }
+    }
+    assignment
+}
+
+/// A trivial upper bound on OPT: `min(|L|, Σ C_v, m)`.
+pub fn trivial_upper_bound(g: &Bipartite) -> u64 {
+    (g.n_left() as u64)
+        .min(g.total_capacity())
+        .min(g.m() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::generators::{star, union_of_spanning_trees};
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    #[test]
+    fn perfect_matching() {
+        let mut b = BipartiteBuilder::new(3, 3);
+        for i in 0..3u32 {
+            b.add_edge(i, i);
+            b.add_edge(i, (i + 1) % 3);
+        }
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        assert_eq!(opt_value(&g), 3);
+        let a = max_allocation(&g);
+        a.validate(&g).unwrap();
+        assert_eq!(a.size(), 3);
+    }
+
+    #[test]
+    fn star_capacity_limits() {
+        for cap in [1u64, 3, 7, 100] {
+            let g = star(10, cap).graph;
+            assert_eq!(opt_value(&g), cap.min(10));
+            let a = max_allocation(&g);
+            a.validate(&g).unwrap();
+            assert_eq!(a.size() as u64, cap.min(10));
+        }
+    }
+
+    #[test]
+    fn bottleneck_instance() {
+        // Two left vertices fight over one unit slot; a third is free.
+        let mut b = BipartiteBuilder::new(3, 2);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        b.add_edge(2, 1);
+        let g = b.build(vec![1, 5]).unwrap();
+        assert_eq!(opt_value(&g), 2);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy (u0→v0) would strand u1; OPT = 2 requires augmenting.
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        assert_eq!(opt_value(&g), 2);
+        let a = max_allocation(&g);
+        a.validate(&g).unwrap();
+        assert_eq!(a.size(), 2);
+        assert_eq!(a.mate[0], Some(1));
+        assert_eq!(a.mate[1], Some(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteBuilder::new(4, 4)
+            .build_with_uniform_capacity(2)
+            .unwrap();
+        assert_eq!(opt_value(&g), 0);
+        assert_eq!(max_allocation(&g).size(), 0);
+    }
+
+    #[test]
+    fn never_exceeds_trivial_bound() {
+        for seed in 0..5 {
+            let g = union_of_spanning_trees(40, 30, 3, 2, seed).graph;
+            let v = opt_value(&g);
+            assert!(v <= trivial_upper_bound(&g));
+            let a = max_allocation(&g);
+            a.validate(&g).unwrap();
+            assert_eq!(a.size() as u64, v);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_generated_families() {
+        use crate::push_relabel::PushRelabel;
+        for seed in 0..6 {
+            let g = union_of_spanning_trees(40, 25, 3, 2, seed).graph;
+            let witness = max_allocation_with::<PushRelabel>(&g);
+            witness.validate(&g).unwrap();
+            assert_eq!(opt_value_with::<PushRelabel>(&g), opt_value(&g));
+            assert_eq!(witness.size() as u64, opt_value(&g));
+        }
+        let g = star(12, 5).graph;
+        assert_eq!(opt_value_with::<PushRelabel>(&g), 5);
+    }
+
+    #[test]
+    fn saturates_when_capacity_ample() {
+        // Every left vertex has a neighbor and capacities are huge → OPT
+        // matches every left vertex with ≥ 1 edge.
+        let g = union_of_spanning_trees(50, 20, 2, 1_000, 3).graph;
+        let with_edge = (0..50u32).filter(|&u| g.left_degree(u) > 0).count();
+        assert_eq!(opt_value(&g), with_edge as u64);
+    }
+}

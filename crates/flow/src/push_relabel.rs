@@ -1,0 +1,385 @@
+//! FIFO push–relabel maximum flow (Goldberg–Tarjan) with the gap
+//! heuristic.
+//!
+//! This is the workspace's *second*, independently derived max-flow
+//! implementation. Its purpose is differential testing: the OPT oracle
+//! underpins every approximation-ratio measurement in the experiment
+//! suite, so a silent bug in [`crate::dinic::Dinic`] would corrupt every
+//! table. Tests drive both solvers over randomized networks and assert
+//! equal values (`flows_agree_*` below and `tests/properties.rs` at the
+//! workspace root).
+//!
+//! The implementation follows the classical FIFO discharge order with two
+//! standard optimizations:
+//!
+//! * **current-arc** — each node resumes scanning its arc list where the
+//!   previous discharge stopped, giving the `O(V·E)` saturating-push bound;
+//! * **gap heuristic** — when no node remains at height `h`, every node
+//!   with height in `(h, n)` is lifted to `n + 1` (it can no longer reach
+//!   the sink), which collapses the tail of the computation on the
+//!   allocation networks the oracle builds.
+
+/// A directed residual arc.
+#[derive(Debug, Clone)]
+struct Arc {
+    to: u32,
+    /// Remaining capacity.
+    cap: i64,
+    /// Index of the reverse arc in `graph[to]`.
+    rev: u32,
+}
+
+/// Handle to an added edge, usable to query its final flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrEdgeHandle {
+    from: u32,
+    index: u32,
+}
+
+/// FIFO push–relabel solver. Build with [`PushRelabel::new`], add edges
+/// with [`PushRelabel::add_edge`], then call [`PushRelabel::max_flow`]
+/// once.
+#[derive(Debug, Clone)]
+pub struct PushRelabel {
+    graph: Vec<Vec<Arc>>,
+    excess: Vec<i64>,
+    height: Vec<u32>,
+    current_arc: Vec<usize>,
+    /// `height_count[h]` = number of nodes at height `h` (gap heuristic).
+    height_count: Vec<u32>,
+}
+
+impl PushRelabel {
+    /// A flow network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        PushRelabel {
+            graph: vec![Vec::new(); n],
+            excess: vec![0; n],
+            height: vec![0; n],
+            current_arc: vec![0; n],
+            height_count: vec![0; 2 * n + 1],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Add a directed edge `from → to` with capacity `cap ≥ 0`; the handle
+    /// lets [`PushRelabel::flow_on`] report the routed flow afterwards.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: i64) -> PrEdgeHandle {
+        assert!(cap >= 0, "capacities must be non-negative");
+        assert!(
+            (from as usize) < self.graph.len() && (to as usize) < self.graph.len(),
+            "edge endpoint out of range"
+        );
+        let fwd_index = self.graph[from as usize].len() as u32;
+        let rev_index = self.graph[to as usize].len() as u32 + if from == to { 1 } else { 0 };
+        self.graph[from as usize].push(Arc {
+            to,
+            cap,
+            rev: rev_index,
+        });
+        self.graph[to as usize].push(Arc {
+            to: from,
+            cap: 0,
+            rev: fwd_index,
+        });
+        PrEdgeHandle {
+            from,
+            index: fwd_index,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, arc_index: usize) -> (u32, i64) {
+        let (to, rev, amount) = {
+            let a = &self.graph[v as usize][arc_index];
+            (a.to, a.rev, a.cap.min(self.excess[v as usize]))
+        };
+        self.graph[v as usize][arc_index].cap -= amount;
+        self.graph[to as usize][rev as usize].cap += amount;
+        self.excess[v as usize] -= amount;
+        self.excess[to as usize] += amount;
+        (to, amount)
+    }
+
+    /// Compute the maximum `s → t` flow. Call once per network.
+    pub fn max_flow(&mut self, s: u32, t: u32) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.n();
+        if n == 0 {
+            return 0;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        let mut in_queue = vec![false; n];
+
+        self.height[s as usize] = n as u32;
+        for &h in &self.height {
+            self.height_count[h as usize] += 1;
+        }
+        // Saturate every arc out of the source.
+        for i in 0..self.graph[s as usize].len() {
+            let cap = self.graph[s as usize][i].cap;
+            if cap > 0 {
+                self.excess[s as usize] += cap; // so push() moves exactly cap
+                let (to, moved) = self.push(s, i);
+                debug_assert_eq!(moved, cap);
+                if to != t && to != s && !in_queue[to as usize] {
+                    queue.push_back(to);
+                    in_queue[to as usize] = true;
+                }
+            }
+        }
+
+        while let Some(v) = queue.pop_front() {
+            in_queue[v as usize] = false;
+            self.discharge(v, s, t, &mut queue, &mut in_queue);
+        }
+        self.excess[t as usize]
+    }
+
+    fn discharge(
+        &mut self,
+        v: u32,
+        s: u32,
+        t: u32,
+        queue: &mut std::collections::VecDeque<u32>,
+        in_queue: &mut [bool],
+    ) {
+        let n = self.n() as u32;
+        while self.excess[v as usize] > 0 {
+            if self.current_arc[v as usize] == self.graph[v as usize].len() {
+                // Relabel: lift v just above its lowest admissible neighbor.
+                let old_h = self.height[v as usize];
+                let mut min_h = u32::MAX;
+                for a in &self.graph[v as usize] {
+                    if a.cap > 0 {
+                        min_h = min_h.min(self.height[a.to as usize]);
+                    }
+                }
+                if min_h == u32::MAX {
+                    // No residual arc at all: excess is stuck (can only
+                    // happen transiently on disconnected nodes).
+                    return;
+                }
+                let new_h = min_h + 1;
+                self.height_count[old_h as usize] -= 1;
+                // Gap heuristic: heights (old_h, n) are now unreachable.
+                if self.height_count[old_h as usize] == 0 && old_h < n {
+                    for u in 0..self.graph.len() {
+                        let h = self.height[u];
+                        if h > old_h && h < n && u as u32 != s {
+                            self.height_count[h as usize] -= 1;
+                            self.height[u] = n + 1;
+                            self.height_count[(n + 1) as usize] += 1;
+                        }
+                    }
+                }
+                let final_h = new_h.max(self.height[v as usize]);
+                self.height[v as usize] = final_h;
+                self.height_count[final_h as usize] += 1;
+                self.current_arc[v as usize] = 0;
+                if final_h >= 2 * n {
+                    // Height ceiling: v can never push again.
+                    return;
+                }
+                continue;
+            }
+            let i = self.current_arc[v as usize];
+            let (to, cap) = {
+                let a = &self.graph[v as usize][i];
+                (a.to, a.cap)
+            };
+            if cap > 0 && self.height[v as usize] == self.height[to as usize] + 1 {
+                let (to, _) = self.push(v, i);
+                if to != s && to != t && !in_queue[to as usize] && self.excess[to as usize] > 0 {
+                    queue.push_back(to);
+                    in_queue[to as usize] = true;
+                }
+            } else {
+                self.current_arc[v as usize] += 1;
+            }
+        }
+    }
+
+    /// Flow routed through the edge identified by `h` in the last
+    /// [`PushRelabel::max_flow`] call (reverse-arc residual capacity).
+    pub fn flow_on(&self, h: PrEdgeHandle) -> i64 {
+        let a = &self.graph[h.from as usize][h.index as usize];
+        self.graph[a.to as usize][a.rev as usize].cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn classic_small_network() {
+        let mut p = PushRelabel::new(6);
+        p.add_edge(0, 1, 16);
+        p.add_edge(0, 2, 13);
+        p.add_edge(1, 2, 10);
+        p.add_edge(2, 1, 4);
+        p.add_edge(1, 3, 12);
+        p.add_edge(3, 2, 9);
+        p.add_edge(2, 4, 14);
+        p.add_edge(4, 3, 7);
+        p.add_edge(3, 5, 20);
+        p.add_edge(4, 5, 4);
+        assert_eq!(p.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut p = PushRelabel::new(4);
+        p.add_edge(0, 1, 5);
+        p.add_edge(2, 3, 5);
+        assert_eq!(p.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut p = PushRelabel::new(2);
+        p.add_edge(0, 1, 3);
+        p.add_edge(0, 1, 4);
+        assert_eq!(p.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn self_loop_is_harmless() {
+        let mut p = PushRelabel::new(3);
+        p.add_edge(1, 1, 5);
+        p.add_edge(0, 1, 2);
+        p.add_edge(1, 2, 2);
+        assert_eq!(p.max_flow(0, 2), 2);
+    }
+
+    #[test]
+    fn zero_capacity_edges() {
+        let mut p = PushRelabel::new(3);
+        p.add_edge(0, 1, 0);
+        p.add_edge(1, 2, 7);
+        assert_eq!(p.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn long_path() {
+        let n = 1000;
+        let mut p = PushRelabel::new(n);
+        for i in 0..n - 1 {
+            p.add_edge(i as u32, i as u32 + 1, 2);
+        }
+        assert_eq!(p.max_flow(0, n as u32 - 1), 2);
+    }
+
+    #[test]
+    fn flow_on_reports_per_edge_flow() {
+        let mut p = PushRelabel::new(4);
+        let a = p.add_edge(0, 1, 10);
+        let b = p.add_edge(0, 2, 10);
+        let c = p.add_edge(1, 3, 4);
+        let e = p.add_edge(2, 3, 9);
+        assert_eq!(p.max_flow(0, 3), 13);
+        assert_eq!(p.flow_on(a), 4);
+        assert_eq!(p.flow_on(b), 9);
+        assert_eq!(p.flow_on(c), 4);
+        assert_eq!(p.flow_on(e), 9);
+    }
+
+    /// Flow conservation and capacity constraints on the reported per-edge
+    /// flows: for every non-terminal node, inflow = outflow, and the net
+    /// outflow of `s` equals the reported value.
+    fn check_is_valid_flow(
+        p: &PushRelabel,
+        edges: &[(u32, u32, i64)],
+        handles: &[PrEdgeHandle],
+        s: u32,
+        t: u32,
+        value: i64,
+    ) {
+        let n = p.n();
+        let mut net = vec![0i64; n];
+        for (&(from, to, cap), &h) in edges.iter().zip(handles) {
+            let f = p.flow_on(h);
+            assert!(f >= 0 && f <= cap, "flow {f} outside [0, {cap}]");
+            net[from as usize] -= f;
+            net[to as usize] += f;
+        }
+        for v in 0..n as u32 {
+            if v == s {
+                assert_eq!(net[v as usize], -value, "net outflow of source");
+            } else if v == t {
+                assert_eq!(net[v as usize], value, "net inflow of sink");
+            } else {
+                assert_eq!(net[v as usize], 0, "conservation at node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn flows_agree_with_dinic_on_random_networks() {
+        let mut rng = SmallRng::seed_from_u64(2025);
+        for trial in 0..60 {
+            let n = rng.gen_range(2..30usize);
+            let m = rng.gen_range(1..120usize);
+            let mut edges = Vec::with_capacity(m);
+            for _ in 0..m {
+                let from = rng.gen_range(0..n) as u32;
+                let to = rng.gen_range(0..n) as u32;
+                let cap = rng.gen_range(0..50i64);
+                edges.push((from, to, cap));
+            }
+            let s = 0u32;
+            let t = (n - 1) as u32;
+            let mut d = Dinic::new(n);
+            let mut p = PushRelabel::new(n);
+            let mut handles = Vec::with_capacity(edges.len());
+            for &(f, to, c) in &edges {
+                d.add_edge(f, to, c);
+                handles.push(p.add_edge(f, to, c));
+            }
+            let dv = d.max_flow(s, t);
+            let pv = p.max_flow(s, t);
+            assert_eq!(dv, pv, "trial {trial}: dinic {dv} vs push-relabel {pv}");
+            check_is_valid_flow(&p, &edges, &handles, s, t, pv);
+        }
+    }
+
+    #[test]
+    fn flows_agree_on_unit_bipartite_networks() {
+        // The exact shape the OPT oracle builds.
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let nl = rng.gen_range(1..25usize);
+            let nr = rng.gen_range(1..15usize);
+            let n = nl + nr + 2;
+            let (s, t) = ((n - 2) as u32, (n - 1) as u32);
+            let mut d = Dinic::new(n);
+            let mut p = PushRelabel::new(n);
+            for u in 0..nl as u32 {
+                d.add_edge(s, u, 1);
+                p.add_edge(s, u, 1);
+            }
+            for u in 0..nl as u32 {
+                for v in 0..nr as u32 {
+                    if rng.gen_bool(0.3) {
+                        d.add_edge(u, nl as u32 + v, 1);
+                        p.add_edge(u, nl as u32 + v, 1);
+                    }
+                }
+            }
+            for v in 0..nr as u32 {
+                let cap = rng.gen_range(1..4i64);
+                d.add_edge(nl as u32 + v, t, cap);
+                p.add_edge(nl as u32 + v, t, cap);
+            }
+            assert_eq!(d.max_flow(s, t), p.max_flow(s, t));
+        }
+    }
+}

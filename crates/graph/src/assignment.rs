@@ -1,0 +1,127 @@
+//! Integral allocations (assignments) shared by every solver crate.
+//!
+//! An allocation (paper, Definition 5) matches each left vertex to at most
+//! one right vertex while respecting right capacities. The natural dense
+//! encoding is one `Option<RightId>` per left vertex.
+
+use crate::bipartite::{Bipartite, RightId};
+
+/// An integral allocation: `mate[u] = Some(v)` iff edge `(u, v)` is in the
+/// allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Per-left-vertex match.
+    pub mate: Vec<Option<RightId>>,
+}
+
+impl Assignment {
+    /// The empty allocation on a graph with `n_left` left vertices.
+    pub fn empty(n_left: usize) -> Self {
+        Assignment {
+            mate: vec![None; n_left],
+        }
+    }
+
+    /// Cardinality `|M|`.
+    pub fn size(&self) -> usize {
+        self.mate.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Load of each right vertex (number of matched left partners).
+    pub fn right_loads(&self, n_right: usize) -> Vec<u64> {
+        let mut loads = vec![0u64; n_right];
+        for m in self.mate.iter().flatten() {
+            loads[*m as usize] += 1;
+        }
+        loads
+    }
+
+    /// Check feasibility against `g`: every matched pair is an edge of `g`
+    /// and no right vertex exceeds its capacity.
+    pub fn validate(&self, g: &Bipartite) -> Result<(), String> {
+        if self.mate.len() != g.n_left() {
+            return Err(format!(
+                "assignment has {} slots but graph has {} left vertices",
+                self.mate.len(),
+                g.n_left()
+            ));
+        }
+        for (u, m) in self.mate.iter().enumerate() {
+            if let Some(v) = m {
+                if (*v as usize) >= g.n_right() {
+                    return Err(format!("left {u} matched to out-of-range right {v}"));
+                }
+                if !g.left_neighbors(u as u32).contains(v) {
+                    return Err(format!("matched pair ({u}, {v}) is not an edge"));
+                }
+            }
+        }
+        for (v, &load) in self.right_loads(g.n_right()).iter().enumerate() {
+            if load > g.capacity(v as u32) {
+                return Err(format!(
+                    "right {v} load {load} exceeds capacity {}",
+                    g.capacity(v as u32)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The matched pairs as `(u, v)` tuples.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, RightId)> + '_ {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter_map(|(u, m)| m.map(|v| (u as u32, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BipartiteBuilder;
+
+    fn toy() -> Bipartite {
+        let mut b = BipartiteBuilder::new(3, 2);
+        for (u, v) in [(0u32, 0u32), (1, 0), (2, 1)] {
+            b.add_edge(u, v);
+        }
+        b.build(vec![1, 2]).unwrap()
+    }
+
+    #[test]
+    fn valid_assignment() {
+        let g = toy();
+        let mut a = Assignment::empty(3);
+        a.mate[0] = Some(0);
+        a.mate[2] = Some(1);
+        a.validate(&g).unwrap();
+        assert_eq!(a.size(), 2);
+        assert_eq!(a.right_loads(2), vec![1, 1]);
+        assert_eq!(a.pairs().collect::<Vec<_>>(), vec![(0, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let g = toy();
+        let mut a = Assignment::empty(3);
+        a.mate[0] = Some(0);
+        a.mate[1] = Some(0); // capacity of right 0 is 1
+        assert!(a.validate(&g).is_err());
+    }
+
+    #[test]
+    fn non_edge_detected() {
+        let g = toy();
+        let mut a = Assignment::empty(3);
+        a.mate[0] = Some(1); // (0, 1) is not an edge
+        assert!(a.validate(&g).is_err());
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let g = toy();
+        let a = Assignment::empty(2);
+        assert!(a.validate(&g).is_err());
+    }
+}

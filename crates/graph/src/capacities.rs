@@ -1,0 +1,177 @@
+//! Capacity models for the `R` side of an allocation instance.
+//!
+//! The allocation problem (paper, Definition 5) attaches an integer capacity
+//! `C_v ≥ 1` to every right vertex. Real workloads (ad budgets, server
+//! slots) are heterogeneous; these models reproduce the common shapes.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::bipartite::Bipartite;
+
+/// A recipe for assigning capacities to the right side of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapacityModel {
+    /// Every right vertex gets capacity 1 (plain bipartite matching).
+    Unit,
+    /// Every right vertex gets the same capacity `c ≥ 1`.
+    Uniform(u64),
+    /// `C_v = max(1, round(scale · deg(v)))` — capacity proportional to
+    /// demand, the "well-provisioned server" regime.
+    DegreeProportional {
+        /// Multiplier on the degree; `scale = 1.0` makes every vertex able
+        /// to absorb its whole neighborhood.
+        scale: f64,
+    },
+    /// Bounded Pareto (power-law) capacities in `[1, max]` with shape
+    /// `alpha > 0`; models skewed ad budgets.
+    PowerLaw {
+        /// Pareto shape; smaller = heavier tail.
+        alpha: f64,
+        /// Upper truncation (inclusive).
+        max: u64,
+    },
+    /// Uniformly random integer capacity in `[lo, hi]` (inclusive).
+    UniformRange {
+        /// Lower bound (≥ 1).
+        lo: u64,
+        /// Upper bound (≥ lo).
+        hi: u64,
+    },
+}
+
+impl CapacityModel {
+    /// Produce a capacity vector for graph `g` using randomness from `rng`.
+    ///
+    /// Deterministic models (`Unit`, `Uniform`, `DegreeProportional`) ignore
+    /// the RNG.
+    pub fn assign(&self, g: &Bipartite, rng: &mut impl Rng) -> Vec<u64> {
+        let nr = g.n_right();
+        match *self {
+            CapacityModel::Unit => vec![1; nr],
+            CapacityModel::Uniform(c) => {
+                assert!(c >= 1, "uniform capacity must be ≥ 1");
+                vec![c; nr]
+            }
+            CapacityModel::DegreeProportional { scale } => {
+                assert!(scale > 0.0, "scale must be positive");
+                (0..nr as u32)
+                    .map(|v| ((g.right_degree(v) as f64 * scale).round() as u64).max(1))
+                    .collect()
+            }
+            CapacityModel::PowerLaw { alpha, max } => {
+                assert!(alpha > 0.0, "alpha must be positive");
+                assert!(max >= 1, "max must be ≥ 1");
+                // Inverse-CDF sampling from a bounded Pareto on [1, max+1).
+                let (l, h) = (1.0f64, (max + 1) as f64);
+                let la = l.powf(alpha);
+                let ha = h.powf(alpha);
+                let uniform = rand::distributions::Uniform::new(0.0f64, 1.0);
+                (0..nr)
+                    .map(|_| {
+                        let u: f64 = uniform.sample(rng);
+                        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+                        (x.floor() as u64).clamp(1, max)
+                    })
+                    .collect()
+            }
+            CapacityModel::UniformRange { lo, hi } => {
+                assert!(lo >= 1 && hi >= lo, "need 1 ≤ lo ≤ hi");
+                (0..nr).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+        }
+    }
+
+    /// Convenience: apply the model to `g`, returning a graph with the new
+    /// capacities.
+    pub fn apply(&self, g: &Bipartite, rng: &mut impl Rng) -> Bipartite {
+        let caps = self.assign(g, rng);
+        g.with_capacities(caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BipartiteBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Bipartite {
+        let mut b = BipartiteBuilder::new(4, 3);
+        for (u, v) in [(0u32, 0u32), (1, 0), (2, 0), (3, 1), (0, 2), (1, 2)] {
+            b.add_edge(u, v);
+        }
+        b.build_with_uniform_capacity(1).unwrap()
+    }
+
+    #[test]
+    fn unit_and_uniform() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(CapacityModel::Unit.assign(&g, &mut rng), vec![1, 1, 1]);
+        assert_eq!(
+            CapacityModel::Uniform(7).assign(&g, &mut rng),
+            vec![7, 7, 7]
+        );
+    }
+
+    #[test]
+    fn degree_proportional() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(1);
+        // degrees: v0 = 3, v1 = 1, v2 = 2
+        let caps = CapacityModel::DegreeProportional { scale: 0.5 }.assign(&g, &mut rng);
+        assert_eq!(caps, vec![2, 1, 1]); // round(1.5)=2, max(1,round(0.5))=1, round(1.0)=1
+    }
+
+    #[test]
+    fn power_law_in_range_and_deterministic() {
+        let g = toy();
+        let model = CapacityModel::PowerLaw {
+            alpha: 1.2,
+            max: 100,
+        };
+        let a = model.assign(&g, &mut SmallRng::seed_from_u64(42));
+        let b = model.assign(&g, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| (1..=100).contains(&c)));
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        // With a heavy tail over a big population, the max should far exceed
+        // the median.
+        let mut b = BipartiteBuilder::new(1, 4000);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut caps = CapacityModel::PowerLaw {
+            alpha: 0.8,
+            max: 10_000,
+        }
+        .assign(&g, &mut rng);
+        caps.sort_unstable();
+        let median = caps[caps.len() / 2];
+        let max = *caps.last().unwrap();
+        assert!(median <= 10, "median {median} unexpectedly large");
+        assert!(max >= 100, "max {max} unexpectedly small");
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let caps = CapacityModel::UniformRange { lo: 2, hi: 5 }.assign(&g, &mut rng);
+        assert!(caps.iter().all(|&c| (2..=5).contains(&c)));
+    }
+
+    #[test]
+    fn apply_replaces_capacities() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g2 = CapacityModel::Uniform(9).apply(&g, &mut rng);
+        assert_eq!(g2.capacities(), &[9, 9, 9]);
+        assert_eq!(g2.m(), g.m());
+    }
+}

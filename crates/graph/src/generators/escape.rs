@@ -1,0 +1,120 @@
+//! The "escape" family: instances on which proportional allocation
+//! genuinely needs `Θ(log λ)` rounds.
+//!
+//! Each block is a complete bipartite core `K_{λ², λ}` with unit
+//! capacities on the core-right side, plus one *private* fringe right
+//! vertex (capacity 1) per core-left vertex. Initially every core-right
+//! vertex is over-subscribed by a factor `≈ λ`, so its β must sink — and
+//! the left vertices only shift their mass to the fringe once the β-gap
+//! between core and fringe reaches `≈ λ/ε`, which takes
+//! `≈ ½·log_{1+ε}(λ/ε)` rounds (the gap grows two levels per round). The
+//! core's Nash–Williams density is `≈ λ/2`, so the arboricity really is
+//! `Θ(λ)` — this is the tight instance for Theorem 9, and experiments
+//! E1/E2/E4/E9 sweep it.
+
+use crate::builder::BipartiteBuilder;
+use crate::generators::Generated;
+
+/// Build `blocks` disjoint escape blocks with core parameter `lambda ≥ 1`.
+///
+/// Per block: `λ²` left vertices, `λ` core-right vertices (capacity 1,
+/// degree `λ²`), `λ²` fringe-right vertices (capacity 1, degree 1). The
+/// optimum matches every left vertex (via its fringe escape), so
+/// `OPT = blocks · λ²` exactly.
+pub fn escape_blocks(lambda: u32, blocks: usize) -> Generated {
+    assert!(lambda >= 1 && blocks >= 1);
+    let l2 = (lambda as usize) * (lambda as usize);
+    let nl = blocks * l2;
+    let nr = blocks * (lambda as usize + l2);
+    let mut b = BipartiteBuilder::with_edge_capacity(nl, nr, blocks * (l2 * lambda as usize + l2));
+    for blk in 0..blocks {
+        let left0 = (blk * l2) as u32;
+        let core0 = (blk * (lambda as usize + l2)) as u32;
+        let fringe0 = core0 + lambda;
+        for i in 0..l2 as u32 {
+            let u = left0 + i;
+            for c in 0..lambda {
+                b.add_edge(u, core0 + c);
+            }
+            b.add_edge(u, fringe0 + i);
+        }
+    }
+    let graph = b
+        .build_with_uniform_capacity(1)
+        .expect("escape edges are in range");
+    Generated {
+        graph,
+        // Orient core edges toward the left (out-degree λ) plus the fringe
+        // edge: out-degree λ+1 ⇒ arboricity ≤ λ+2 (out-degree-d graphs
+        // decompose into ≤ d+1 forests... we certify the safe 2(λ+1)).
+        lambda_upper: 2 * (lambda + 1),
+        family: format!("escape(λ={lambda}, blocks={blocks})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::arboricity_bracket;
+
+    #[test]
+    fn counts_and_opt_structure() {
+        let gen = escape_blocks(4, 3);
+        let g = &gen.graph;
+        g.validate().unwrap();
+        assert_eq!(g.n_left(), 3 * 16);
+        assert_eq!(g.n_right(), 3 * (4 + 16));
+        assert_eq!(g.m(), 3 * (16 * 4 + 16));
+        // Every left vertex has its private escape ⇒ perfect allocation
+        // exists (degree-1 fringe vertices absorb everyone).
+        for u in 0..g.n_left() as u32 {
+            assert_eq!(g.left_degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn arboricity_scales_with_lambda() {
+        for lambda in [2u32, 4, 8] {
+            let gen = escape_blocks(lambda, 1);
+            let br = arboricity_bracket(&gen.graph);
+            assert!(
+                br.lower >= lambda / 2,
+                "λ={lambda}: NW lower {} too small",
+                br.lower
+            );
+            assert!(
+                br.upper <= gen.lambda_upper,
+                "λ={lambda}: degeneracy {} above certificate {}",
+                br.upper,
+                gen.lambda_upper
+            );
+        }
+    }
+
+    #[test]
+    fn core_is_oversubscribed() {
+        let gen = escape_blocks(6, 1);
+        let g = &gen.graph;
+        // Core vertices: degree λ² = 36 with capacity 1.
+        for v in 0..6u32 {
+            assert_eq!(g.right_degree(v), 36);
+            assert_eq!(g.capacity(v), 1);
+        }
+        // Fringe vertices: degree 1.
+        for v in 6..g.n_right() as u32 {
+            assert_eq!(g.right_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn blocks_are_disjoint() {
+        let gen = escape_blocks(3, 2);
+        let g = &gen.graph;
+        // No edge crosses the block boundary.
+        for (_, u, v) in g.edges() {
+            let block_u = u as usize / 9;
+            let block_v = v as usize / (3 + 9);
+            assert_eq!(block_u, block_v, "edge ({u},{v}) crosses blocks");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Bipartite grid graphs: planar, hence arboricity ≤ 3 (tight bound for
+//! grids is 2).
+//!
+//! A `w × h` grid is naturally bipartite by the parity of `x + y`; cells of
+//! even parity go to `L`, odd parity to `R`. Useful as a structured
+//! constant-arboricity family with non-trivial diameter (unlike stars).
+
+use crate::builder::BipartiteBuilder;
+use crate::generators::Generated;
+
+/// A `w × h` grid, 4-neighbor connectivity, bipartitioned by parity.
+///
+/// Right-side capacities are uniform `cap`.
+pub fn grid(w: usize, h: usize, cap: u64) -> Generated {
+    assert!(w >= 1 && h >= 1, "grid must be non-empty");
+    // Dense ids per side: cell (x, y) with (x + y) even → L, odd → R.
+    let mut left_id = vec![u32::MAX; w * h];
+    let mut right_id = vec![u32::MAX; w * h];
+    let (mut nl, mut nr) = (0u32, 0u32);
+    for y in 0..h {
+        for x in 0..w {
+            let c = y * w + x;
+            if (x + y) % 2 == 0 {
+                left_id[c] = nl;
+                nl += 1;
+            } else {
+                right_id[c] = nr;
+                nr += 1;
+            }
+        }
+    }
+    if nr == 0 {
+        // A 1×1 grid has no odd-parity cell; degenerate but valid: emit a
+        // single isolated right vertex so that capacities are non-empty.
+        nr = 1;
+    }
+    let mut b = BipartiteBuilder::with_edge_capacity(nl as usize, nr as usize, 2 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let c = y * w + x;
+            // Right and down neighbors cover every edge once.
+            if x + 1 < w {
+                let d = y * w + (x + 1);
+                push_edge(&mut b, &left_id, &right_id, c, d);
+            }
+            if y + 1 < h {
+                let d = (y + 1) * w + x;
+                push_edge(&mut b, &left_id, &right_id, c, d);
+            }
+        }
+    }
+    let graph = b
+        .build_with_uniform_capacity(cap)
+        .expect("grid edges are in range");
+    Generated {
+        graph,
+        lambda_upper: 3, // planar bound; grids actually satisfy λ ≤ 2
+        family: format!("grid({w}x{h})"),
+    }
+}
+
+fn push_edge(
+    b: &mut BipartiteBuilder,
+    left_id: &[u32],
+    right_id: &[u32],
+    c: usize,
+    d: usize,
+) {
+    // Exactly one of c, d has even parity.
+    if left_id[c] != u32::MAX {
+        b.add_edge(left_id[c], right_id[d]);
+    } else {
+        b.add_edge(left_id[d], right_id[c]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let gen = grid(4, 3, 1);
+        let g = &gen.graph;
+        g.validate().unwrap();
+        assert_eq!(g.n(), 12);
+        // Edges in a 4x3 grid: 3*3 horizontal + 4*2 vertical = 17.
+        assert_eq!(g.m(), 17);
+        assert_eq!(gen.lambda_upper, 3);
+        assert!(gen.lambda_lower() <= 2);
+    }
+
+    #[test]
+    fn max_degree_four() {
+        let gen = grid(10, 10, 1);
+        assert!(gen.graph.max_degree() <= 4);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let gen = grid(1, 1, 1);
+        gen.graph.validate().unwrap();
+        assert_eq!(gen.graph.m(), 0);
+    }
+
+    #[test]
+    fn path_graph() {
+        let gen = grid(5, 1, 2);
+        let g = &gen.graph;
+        g.validate().unwrap();
+        assert_eq!(g.m(), 4);
+        assert!(g.max_degree() <= 2);
+    }
+}

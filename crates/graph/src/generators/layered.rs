@@ -1,0 +1,165 @@
+//! Adversarial dense-core / sparse-fringe instances.
+//!
+//! The paper's analysis (§3.2, Remark 2) identifies the hard case for the
+//! proportional-allocation dynamics: an over-subscribed *dense core* whose
+//! `β` values sink while an under-subscribed *sparse fringe* competes for
+//! the same left vertices. This generator builds exactly that shape:
+//!
+//! * a core `K ⊆ R` of `core_right` vertices with tiny capacities, densely
+//!   connected to a pool of `core_left` left vertices (so the core is
+//!   heavily over-subscribed and its `β` values fall),
+//! * a fringe forest hanging off the same left pool plus fresh left
+//!   vertices, with generous capacities (so fringe `β` values rise),
+//!
+//! which maximizes the level-set spread the termination condition watches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::BipartiteBuilder;
+use crate::generators::forests::random_spanning_tree_edges;
+use crate::generators::Generated;
+
+/// Parameters for [`dense_core_sparse_fringe`].
+#[derive(Debug, Clone)]
+pub struct LayeredParams {
+    /// Left vertices shared between the core and the fringe.
+    pub core_left: usize,
+    /// Right vertices in the dense core.
+    pub core_right: usize,
+    /// Each core-right vertex connects to this many random core-left
+    /// vertices; this is the density knob (core arboricity ≈ this value).
+    pub core_degree: usize,
+    /// Capacity of each core-right vertex (small ⇒ over-subscribed).
+    pub core_capacity: u64,
+    /// Extra left vertices only touched by the fringe.
+    pub fringe_left: usize,
+    /// Right vertices in the sparse fringe.
+    pub fringe_right: usize,
+    /// Capacity of each fringe-right vertex (large ⇒ under-subscribed).
+    pub fringe_capacity: u64,
+}
+
+impl Default for LayeredParams {
+    fn default() -> Self {
+        LayeredParams {
+            core_left: 256,
+            core_right: 64,
+            core_degree: 32,
+            core_capacity: 1,
+            fringe_left: 1024,
+            fringe_right: 512,
+            fringe_capacity: 8,
+        }
+    }
+}
+
+/// Build a dense-core / sparse-fringe instance. Deterministic in `seed`.
+pub fn dense_core_sparse_fringe(p: &LayeredParams, seed: u64) -> Generated {
+    assert!(p.core_left >= 1 && p.core_right >= 1 && p.fringe_right >= 1);
+    assert!(p.core_degree >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let n_left = p.core_left + p.fringe_left;
+    let n_right = p.core_right + p.fringe_right;
+    let mut b = BipartiteBuilder::with_edge_capacity(
+        n_left,
+        n_right,
+        p.core_right * p.core_degree + n_left + p.fringe_right,
+    );
+
+    // Core: each core-right vertex picks core_degree random core-left
+    // partners.
+    for v in 0..p.core_right as u32 {
+        for _ in 0..p.core_degree.min(p.core_left) {
+            b.add_edge(rng.gen_range(0..p.core_left as u32), v);
+        }
+    }
+
+    // Fringe: one random spanning tree over (all left) × (fringe right),
+    // re-indexed into the global id spaces.
+    let tree = random_spanning_tree_edges(n_left, p.fringe_right, &mut rng);
+    for (u, v) in tree {
+        b.add_edge(u, p.core_right as u32 + v);
+    }
+
+    let mut caps = vec![p.core_capacity; p.core_right];
+    caps.extend(std::iter::repeat_n(p.fringe_capacity, p.fringe_right));
+    let graph = b.build(caps).expect("generator produces in-range edges");
+    Generated {
+        graph,
+        // Core is (≤ core_degree)-orientable toward R (+1), fringe adds one
+        // forest: certified bound core_degree + 2.
+        lambda_upper: p.core_degree as u32 + 2,
+        family: format!(
+            "layered(core={}x{} d={}, fringe={}x{})",
+            p.core_left, p.core_right, p.core_degree, p.fringe_left, p.fringe_right
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_sound() {
+        let p = LayeredParams::default();
+        let gen = dense_core_sparse_fringe(&p, 17);
+        let g = &gen.graph;
+        g.validate().unwrap();
+        assert_eq!(g.n_left(), p.core_left + p.fringe_left);
+        assert_eq!(g.n_right(), p.core_right + p.fringe_right);
+        // Core capacities small, fringe capacities large.
+        for v in 0..p.core_right as u32 {
+            assert_eq!(g.capacity(v), p.core_capacity);
+        }
+        for v in p.core_right as u32..(p.core_right + p.fringe_right) as u32 {
+            assert_eq!(g.capacity(v), p.fringe_capacity);
+        }
+    }
+
+    #[test]
+    fn core_is_oversubscribed() {
+        let p = LayeredParams::default();
+        let gen = dense_core_sparse_fringe(&p, 17);
+        let g = &gen.graph;
+        let core_demand: usize = (0..p.core_right as u32)
+            .map(|v| g.right_degree(v))
+            .sum();
+        let core_capacity: u64 = (0..p.core_right as u32).map(|v| g.capacity(v)).sum();
+        assert!(
+            core_demand as u64 > 4 * core_capacity,
+            "core demand {core_demand} should dwarf capacity {core_capacity}"
+        );
+    }
+
+    #[test]
+    fn fringe_is_a_forest() {
+        // fringe edges = spanning tree over n_left + fringe_right vertices
+        // minus dedup losses; its edge count must be < vertex count.
+        let p = LayeredParams {
+            core_left: 8,
+            core_right: 4,
+            core_degree: 4,
+            core_capacity: 1,
+            fringe_left: 64,
+            fringe_right: 32,
+            fringe_capacity: 4,
+        };
+        let gen = dense_core_sparse_fringe(&p, 5);
+        let g = &gen.graph;
+        let fringe_edges: usize = (p.core_right as u32..(p.core_right + p.fringe_right) as u32)
+            .map(|v| g.right_degree(v))
+            .sum();
+        assert!(fringe_edges < g.n_left() + p.fringe_right);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = LayeredParams::default();
+        let a = dense_core_sparse_fringe(&p, 1);
+        let b = dense_core_sparse_fringe(&p, 1);
+        assert_eq!(a.graph.m(), b.graph.m());
+    }
+}

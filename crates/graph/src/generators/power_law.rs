@@ -1,0 +1,173 @@
+//! Power-law ad-allocation workloads.
+//!
+//! The paper motivates allocation by online advertising and client–server
+//! assignment (§1): many low-degree impressions (`L`), few high-degree
+//! advertisers (`R`) with skewed budgets. Production traces are proprietary,
+//! so this generator reproduces the shape: right-side degrees follow a
+//! bounded Pareto distribution (Zipf-like), and each right vertex connects
+//! to uniformly random left vertices.
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::BipartiteBuilder;
+use crate::generators::Generated;
+
+/// Parameters for [`power_law`].
+#[derive(Debug, Clone)]
+pub struct PowerLawParams {
+    /// Number of left vertices (impressions / clients).
+    pub n_left: usize,
+    /// Number of right vertices (advertisers / servers).
+    pub n_right: usize,
+    /// Pareto shape for right-side degrees; smaller ⇒ heavier tail.
+    pub exponent: f64,
+    /// Minimum right degree.
+    pub min_degree: usize,
+    /// Maximum right degree (truncation; also bounded by `n_left`).
+    pub max_degree: usize,
+    /// Uniform capacity to assign (callers often re-assign with a
+    /// [`crate::CapacityModel`] afterwards).
+    pub cap: u64,
+}
+
+impl Default for PowerLawParams {
+    fn default() -> Self {
+        PowerLawParams {
+            n_left: 10_000,
+            n_right: 1_000,
+            exponent: 1.5,
+            min_degree: 2,
+            max_degree: 512,
+            cap: 4,
+        }
+    }
+}
+
+/// Sample one bounded-Pareto degree in `[lo, hi]`.
+fn pareto_degree(lo: f64, hi: f64, alpha: f64, rng: &mut SmallRng) -> usize {
+    let uniform = rand::distributions::Uniform::new(0.0f64, 1.0);
+    let u: f64 = uniform.sample(rng);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+    x.floor() as usize
+}
+
+/// Generate a power-law bipartite workload. Deterministic in `seed`.
+pub fn power_law(p: &PowerLawParams, seed: u64) -> Generated {
+    assert!(p.n_left >= 1 && p.n_right >= 1);
+    assert!(p.exponent > 0.0, "exponent must be positive");
+    assert!(1 <= p.min_degree && p.min_degree <= p.max_degree);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hi = p.max_degree.min(p.n_left) as f64 + 1.0;
+    let lo = p.min_degree.min(p.n_left) as f64;
+
+    let mut b = BipartiteBuilder::new(p.n_left, p.n_right);
+    for v in 0..p.n_right as u32 {
+        let d = pareto_degree(lo, hi, p.exponent, &mut rng)
+            .clamp(p.min_degree.min(p.n_left), p.max_degree.min(p.n_left));
+        for _ in 0..d {
+            b.add_edge(rng.gen_range(0..p.n_left as u32), v);
+        }
+    }
+    let graph = b
+        .build_with_uniform_capacity(p.cap)
+        .expect("generator produces in-range edges");
+    let n = graph.n();
+    let dens = if n > 1 {
+        (graph.m() as u64).div_ceil(n as u64 - 1) as u32
+    } else {
+        1
+    };
+    Generated {
+        graph,
+        // Power-law graphs are not uniformly sparse in general; certify only
+        // the safe doubled-density bound and let callers measure degeneracy.
+        lambda_upper: dens.saturating_mul(2).max(1),
+        family: format!(
+            "power_law(nl={}, nr={}, α={}, d∈[{},{}])",
+            p.n_left, p.n_right, p.exponent, p.min_degree, p.max_degree
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_graph() {
+        let gen = power_law(
+            &PowerLawParams {
+                n_left: 500,
+                n_right: 100,
+                exponent: 1.2,
+                min_degree: 1,
+                max_degree: 64,
+                cap: 3,
+            },
+            21,
+        );
+        gen.graph.validate().unwrap();
+        assert_eq!(gen.graph.n_left(), 500);
+        assert_eq!(gen.graph.n_right(), 100);
+        for v in 0..100u32 {
+            assert!(gen.graph.right_degree(v) <= 64);
+        }
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let gen = power_law(
+            &PowerLawParams {
+                n_left: 5_000,
+                n_right: 1_000,
+                exponent: 1.0,
+                min_degree: 1,
+                max_degree: 1_000,
+                cap: 1,
+            },
+            3,
+        );
+        let mut degs: Vec<usize> = (0..1_000u32)
+            .map(|v| gen.graph.right_degree(v))
+            .collect();
+        degs.sort_unstable();
+        let median = degs[degs.len() / 2];
+        let max = *degs.last().unwrap();
+        assert!(
+            max >= 20 * median.max(1),
+            "expected heavy tail, median {median}, max {max}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = PowerLawParams::default();
+        let a = power_law(&p, 5);
+        let b = power_law(&p, 5);
+        assert_eq!(a.graph.m(), b.graph.m());
+        assert_eq!(a.graph.edge_right_endpoints(), b.graph.edge_right_endpoints());
+    }
+
+    #[test]
+    fn degree_cap_respected_when_exceeding_n_left() {
+        let gen = power_law(
+            &PowerLawParams {
+                n_left: 10,
+                n_right: 5,
+                exponent: 0.8,
+                min_degree: 2,
+                max_degree: 1_000,
+                cap: 1,
+            },
+            9,
+        );
+        gen.graph.validate().unwrap();
+        for v in 0..5u32 {
+            assert!(gen.graph.right_degree(v) <= 10);
+        }
+    }
+}

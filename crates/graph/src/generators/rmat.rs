@@ -1,0 +1,258 @@
+//! R-MAT (recursive-matrix) bipartite generator — the classic model for
+//! web/social workloads with *correlated* skew on both sides
+//! (Chakrabarti–Zhan–Faloutsos).
+//!
+//! Each edge is placed by recursively descending the adjacency matrix:
+//! at every level one of the four quadrants is chosen with probabilities
+//! `(a, b, c, d)`, halving the row and column ranges until a single cell
+//! remains. Unbalanced probabilities (`a` large) yield a dense "celebrity"
+//! corner and a long sparse tail — the dense-core/sparse-fringe structure
+//! in which the paper's level-set dynamics are most visible, without the
+//! hand-crafted layering of
+//! [`crate::generators::layered::dense_core_sparse_fringe`].
+//!
+//! Unlike the forest generators, R-MAT certifies no arboricity bound by
+//! construction; [`rmat`] reports the measured degeneracy-based upper
+//! bound (still a true upper bound on `λ`) in
+//! [`crate::generators::Generated::lambda_upper`], and the experiments
+//! bracket it with Nash–Williams as usual.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::BipartiteBuilder;
+use crate::generators::Generated;
+use crate::sparsity::arboricity_bracket;
+
+/// Parameters of the R-MAT recursion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatParams {
+    /// Left vertices (rows); rounded up to a power of two internally.
+    pub n_left: usize,
+    /// Right vertices (columns); rounded up to a power of two internally.
+    pub n_right: usize,
+    /// Edges to attempt (duplicates are merged, so the final `m` is ≤ this).
+    pub edges: usize,
+    /// Quadrant probabilities `(a, b, c, d)`, positive, summing to ≈ 1.
+    /// The canonical skewed setting is `(0.57, 0.19, 0.19, 0.05)`.
+    pub quadrants: (f64, f64, f64, f64),
+    /// Per-quadrant noise: each level multiplies the probabilities by a
+    /// uniform factor in `[1−noise, 1+noise]` (renormalized), the standard
+    /// smoothing that avoids exactly self-similar artifacts. `0.0` = off.
+    pub noise: f64,
+    /// Uniform capacity for the right side.
+    pub cap: u64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            n_left: 1 << 12,
+            n_right: 1 << 10,
+            edges: 1 << 14,
+            quadrants: (0.57, 0.19, 0.19, 0.05),
+            noise: 0.1,
+            cap: 4,
+        }
+    }
+}
+
+/// Generate a bipartite R-MAT graph. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if a dimension or the edge count is zero, a quadrant probability
+/// is non-positive, the probabilities do not sum to ≈ 1, or `cap = 0`.
+pub fn rmat(params: &RmatParams, seed: u64) -> Generated {
+    let (a, b, c, d) = params.quadrants;
+    assert!(params.n_left > 0 && params.n_right > 0, "empty dimension");
+    assert!(params.edges > 0, "need at least one edge");
+    assert!(params.cap >= 1, "capacity must be ≥ 1");
+    assert!(
+        a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0,
+        "quadrant probabilities must be positive"
+    );
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1"
+    );
+    assert!(
+        (0.0..1.0).contains(&params.noise),
+        "noise must be in [0, 1)"
+    );
+
+    let rows = params.n_left.next_power_of_two();
+    let cols = params.n_right.next_power_of_two();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = BipartiteBuilder::new(params.n_left, params.n_right);
+
+    for _ in 0..params.edges {
+        // Resample a cell until it lands inside the (possibly non-power-of-
+        // two) real matrix; the expected number of retries is < 4.
+        loop {
+            let (u, v) = sample_cell(rows, cols, params, &mut rng);
+            if u < params.n_left && v < params.n_right {
+                builder.add_edge(u as u32, v as u32);
+                break;
+            }
+        }
+    }
+    let graph = builder
+        .build_with_uniform_capacity(params.cap)
+        .expect("in-range edges by construction");
+    let measured_upper = arboricity_bracket(&graph).upper;
+    Generated {
+        family: format!(
+            "rmat({}×{}, m≤{}, a={a})",
+            params.n_left, params.n_right, params.edges
+        ),
+        lambda_upper: measured_upper,
+        graph,
+    }
+}
+
+fn sample_cell(rows: usize, cols: usize, params: &RmatParams, rng: &mut SmallRng) -> (usize, usize) {
+    let (mut r0, mut r1) = (0usize, rows);
+    let (mut c0, mut c1) = (0usize, cols);
+    while r1 - r0 > 1 || c1 - c0 > 1 {
+        let (mut a, mut b, mut c, mut d) = params.quadrants;
+        if params.noise > 0.0 {
+            let mut jitter = |p: f64| p * rng.gen_range(1.0 - params.noise..1.0 + params.noise);
+            a = jitter(a);
+            b = jitter(b);
+            c = jitter(c);
+            d = jitter(d);
+            // `d` needs no explicit normalization: the quadrant choice
+            // below only compares against the cumulative a, a+b, a+b+c.
+            let total = a + b + c + d;
+            a /= total;
+            b /= total;
+            c /= total;
+        }
+        let x: f64 = rng.gen();
+        let (down, right) = if x < a {
+            (false, false)
+        } else if x < a + b {
+            (false, true)
+        } else if x < a + b + c {
+            (true, false)
+        } else {
+            (true, true)
+        };
+        if r1 - r0 > 1 {
+            let mid = r0 + (r1 - r0) / 2;
+            if down {
+                r0 = mid;
+            } else {
+                r1 = mid;
+            }
+        }
+        if c1 - c0 > 1 {
+            let mid = c0 + (c1 - c0) / 2;
+            if right {
+                c0 = mid;
+            } else {
+                c1 = mid;
+            }
+        }
+    }
+    (r0, c0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_graph() {
+        let gen = rmat(&RmatParams::default(), 3);
+        gen.graph.validate().unwrap();
+        assert_eq!(gen.graph.n_left(), 1 << 12);
+        assert_eq!(gen.graph.n_right(), 1 << 10);
+        assert!(gen.graph.m() > 0 && gen.graph.m() <= 1 << 14);
+        assert!(gen.lambda_upper >= gen.lambda_lower());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = RmatParams {
+            edges: 2000,
+            ..RmatParams::default()
+        };
+        let a = rmat(&p, 7);
+        let b = rmat(&p, 7);
+        let c = rmat(&p, 8);
+        assert_eq!(a.graph.edge_right_endpoints(), b.graph.edge_right_endpoints());
+        assert_ne!(a.graph.edge_right_endpoints(), c.graph.edge_right_endpoints());
+    }
+
+    #[test]
+    fn skewed_quadrants_produce_skewed_degrees() {
+        // With a = 0.57 the top-left corner is dense: the max right degree
+        // should far exceed the mean.
+        let p = RmatParams {
+            n_left: 2048,
+            n_right: 512,
+            edges: 8192,
+            ..RmatParams::default()
+        };
+        let g = rmat(&p, 5).graph;
+        let mean = g.m() as f64 / g.n_right() as f64;
+        let max = (0..g.n_right() as u32)
+            .map(|v| g.right_degree(v))
+            .max()
+            .unwrap() as f64;
+        assert!(
+            max > 5.0 * mean,
+            "max right degree {max} vs mean {mean} not skewed"
+        );
+    }
+
+    #[test]
+    fn uniform_quadrants_are_not_skewed() {
+        // (¼, ¼, ¼, ¼) degenerates to uniform random placement.
+        let p = RmatParams {
+            n_left: 2048,
+            n_right: 512,
+            edges: 8192,
+            quadrants: (0.25, 0.25, 0.25, 0.25),
+            noise: 0.0,
+            ..RmatParams::default()
+        };
+        let g = rmat(&p, 5).graph;
+        let mean = g.m() as f64 / g.n_right() as f64;
+        let max = (0..g.n_right() as u32)
+            .map(|v| g.right_degree(v))
+            .max()
+            .unwrap() as f64;
+        assert!(
+            max < 4.0 * mean,
+            "uniform quadrants should stay near-balanced (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_dimensions() {
+        let p = RmatParams {
+            n_left: 1000,
+            n_right: 300,
+            edges: 3000,
+            cap: 2,
+            ..RmatParams::default()
+        };
+        let gen = rmat(&p, 11);
+        gen.graph.validate().unwrap();
+        assert_eq!(gen.graph.n_left(), 1000);
+        assert_eq!(gen.graph.n_right(), 300);
+        assert_eq!(gen.graph.capacity(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let p = RmatParams {
+            quadrants: (0.5, 0.5, 0.5, 0.5),
+            ..RmatParams::default()
+        };
+        let _ = rmat(&p, 0);
+    }
+}

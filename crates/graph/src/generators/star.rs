@@ -1,0 +1,86 @@
+//! The star instance from the paper's Remark 1.
+//!
+//! `G` is a star whose center lies in `R` with capacity `c` and whose
+//! `n` leaves lie in `L`. Its arboricity is 1, yet the vertex-split
+//! reduction to plain matching (see [`crate::reduction`]) turns it into a
+//! complete bipartite graph with arboricity `Θ(n)` — the paper's argument
+//! for why allocation cannot simply be reduced to matching on uniformly
+//! sparse graphs.
+
+use crate::builder::BipartiteBuilder;
+use crate::generators::Generated;
+
+/// A star with `n_leaves` left leaves and one right center of capacity
+/// `center_capacity`.
+pub fn star(n_leaves: usize, center_capacity: u64) -> Generated {
+    assert!(n_leaves >= 1, "a star needs at least one leaf");
+    let mut b = BipartiteBuilder::with_edge_capacity(n_leaves, 1, n_leaves);
+    for u in 0..n_leaves as u32 {
+        b.add_edge(u, 0);
+    }
+    let graph = b
+        .build(vec![center_capacity])
+        .expect("star edges are in range");
+    Generated {
+        graph,
+        lambda_upper: 1,
+        family: format!("star(n={n_leaves}, C={center_capacity})"),
+    }
+}
+
+/// A disjoint union of `k` stars, each with `n_leaves` leaves and capacity
+/// `center_capacity`; still arboricity 1 but with many components —
+/// exercises component-independence of the algorithms.
+pub fn star_forest(k: usize, n_leaves: usize, center_capacity: u64) -> Generated {
+    assert!(k >= 1 && n_leaves >= 1);
+    let mut b = BipartiteBuilder::with_edge_capacity(k * n_leaves, k, k * n_leaves);
+    for s in 0..k {
+        for i in 0..n_leaves {
+            b.add_edge((s * n_leaves + i) as u32, s as u32);
+        }
+    }
+    let graph = b
+        .build(vec![center_capacity; k])
+        .expect("star forest edges are in range");
+    Generated {
+        graph,
+        lambda_upper: 1,
+        family: format!("star_forest(k={k}, n={n_leaves}, C={center_capacity})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let gen = star(10, 4);
+        let g = &gen.graph;
+        g.validate().unwrap();
+        assert_eq!(g.n_left(), 10);
+        assert_eq!(g.n_right(), 1);
+        assert_eq!(g.m(), 10);
+        assert_eq!(g.right_degree(0), 10);
+        assert_eq!(g.capacity(0), 4);
+        assert_eq!(gen.lambda_upper, 1);
+        assert_eq!(gen.lambda_lower(), 1);
+    }
+
+    #[test]
+    fn star_forest_components() {
+        let gen = star_forest(3, 4, 2);
+        let g = &gen.graph;
+        g.validate().unwrap();
+        assert_eq!(g.n_left(), 12);
+        assert_eq!(g.n_right(), 3);
+        assert_eq!(g.m(), 12);
+        for v in 0..3u32 {
+            assert_eq!(g.right_degree(v), 4);
+            // Leaves of star v are exactly block v.
+            for &u in g.right_neighbors(v) {
+                assert_eq!(u / 4, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Serialization: JSON via serde and a plain-text edge-list format.
+//!
+//! The text format is line-oriented and diff-friendly, used by the
+//! experiment harness to persist generated instances:
+//!
+//! ```text
+//! # sparse-alloc v1
+//! n_left n_right
+//! c_0 c_1 ... c_{n_right-1}
+//! u v          (one edge per line)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::bipartite::Bipartite;
+use crate::builder::BipartiteBuilder;
+
+/// Errors from the text reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the input.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io: {e}"),
+            IoError::Parse(msg) => write!(f, "parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serialize `g` in the plain-text edge-list format.
+pub fn write_text(g: &Bipartite, w: &mut impl Write) -> Result<(), IoError> {
+    writeln!(w, "# sparse-alloc v1")?;
+    writeln!(w, "{} {}", g.n_left(), g.n_right())?;
+    let caps: Vec<String> = g.capacities().iter().map(|c| c.to_string()).collect();
+    writeln!(w, "{}", caps.join(" "))?;
+    for (_, u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Parse the plain-text edge-list format.
+pub fn read_text(r: &mut impl BufRead) -> Result<Bipartite, IoError> {
+    let mut lines = r.lines();
+    let header = |lines: &mut dyn Iterator<Item = std::io::Result<String>>| -> Result<String, IoError> {
+        loop {
+            match lines.next() {
+                None => return Err(IoError::Parse("unexpected end of input".into())),
+                Some(Err(e)) => return Err(IoError::Io(e)),
+                Some(Ok(l)) => {
+                    let t = l.trim().to_string();
+                    if !t.is_empty() && !t.starts_with('#') {
+                        return Ok(t);
+                    }
+                }
+            }
+        }
+    };
+
+    let sizes = header(&mut lines)?;
+    let mut it = sizes.split_whitespace();
+    let n_left: usize = it
+        .next()
+        .ok_or_else(|| IoError::Parse("missing n_left".into()))?
+        .parse()
+        .map_err(|e| IoError::Parse(format!("n_left: {e}")))?;
+    let n_right: usize = it
+        .next()
+        .ok_or_else(|| IoError::Parse("missing n_right".into()))?
+        .parse()
+        .map_err(|e| IoError::Parse(format!("n_right: {e}")))?;
+
+    let caps_line = header(&mut lines)?;
+    let capacities: Vec<u64> = caps_line
+        .split_whitespace()
+        .map(|t| t.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| IoError::Parse(format!("capacity: {e}")))?;
+    if capacities.len() != n_right {
+        return Err(IoError::Parse(format!(
+            "expected {n_right} capacities, got {}",
+            capacities.len()
+        )));
+    }
+
+    let mut b = BipartiteBuilder::new(n_left, n_right);
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| IoError::Parse("edge missing u".into()))?
+            .parse()
+            .map_err(|e| IoError::Parse(format!("edge u: {e}")))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| IoError::Parse("edge missing v".into()))?
+            .parse()
+            .map_err(|e| IoError::Parse(format!("edge v: {e}")))?;
+        b.add_edge(u, v);
+    }
+    b.build(capacities)
+        .map_err(|e| IoError::Parse(e.to_string()))
+}
+
+/// JSON round-trip helpers (thin wrappers over serde_json, provided so that
+/// downstream crates don't need a serde_json dependency of their own).
+pub fn to_json(g: &Bipartite) -> String {
+    serde_json::to_string(g).expect("Bipartite is serializable")
+}
+
+/// Parse a graph from the JSON produced by [`to_json`], re-validating the
+/// structural invariants (JSON is an external input).
+pub fn from_json(s: &str) -> Result<Bipartite, IoError> {
+    let g: Bipartite =
+        serde_json::from_str(s).map_err(|e| IoError::Parse(format!("json: {e}")))?;
+    g.validate().map_err(IoError::Parse)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::union_of_spanning_trees;
+
+    #[test]
+    fn text_roundtrip() {
+        let g = union_of_spanning_trees(20, 15, 2, 3, 4).graph;
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(&mut &buf[..]).unwrap();
+        assert_eq!(g.n_left(), g2.n_left());
+        assert_eq!(g.n_right(), g2.n_right());
+        assert_eq!(g.m(), g2.m());
+        assert_eq!(g.capacities(), g2.capacities());
+        assert_eq!(g.edge_right_endpoints(), g2.edge_right_endpoints());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = union_of_spanning_trees(12, 12, 3, 2, 9).graph;
+        let s = to_json(&g);
+        let g2 = from_json(&s).unwrap();
+        assert_eq!(g.m(), g2.m());
+        assert_eq!(g.capacities(), g2.capacities());
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n2 2\n# caps\n3 4\n0 0\n\n# edge\n1 1\n";
+        let g = read_text(&mut text.as_bytes()).unwrap();
+        assert_eq!(g.n_left(), 2);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.capacities(), &[3, 4]);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(read_text(&mut "".as_bytes()).is_err());
+        assert!(read_text(&mut "2".as_bytes()).is_err());
+        assert!(read_text(&mut "2 2\n1".as_bytes()).is_err()); // wrong cap count
+        assert!(read_text(&mut "2 2\n1 1\nx y".as_bytes()).is_err());
+        assert!(read_text(&mut "2 2\n1 1\n5 0".as_bytes()).is_err()); // out of range
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! The vertex-split reduction from allocation to plain bipartite matching,
+//! and why it fails on uniformly sparse graphs (paper, Remark 1).
+//!
+//! The classical reduction replaces each `v ∈ R` by `C_v` unit-capacity
+//! copies, each adjacent to all of `N(v)`. A maximum matching of the split
+//! graph corresponds exactly to a maximum allocation of the original. The
+//! paper's Remark 1 observes that the reduction can blow the arboricity up
+//! from `1` to `Θ(n)` (a star with center capacity `n − 1` becomes a
+//! complete bipartite graph), which is why the `O(log λ)` result must work
+//! on the allocation problem directly. Experiment E10 measures the blow-up.
+
+use crate::bipartite::{Bipartite, RightId};
+use crate::builder::BipartiteBuilder;
+
+/// Outcome of [`vertex_split`]: the split graph plus the mapping from split
+/// right vertices back to originals.
+#[derive(Debug, Clone)]
+pub struct SplitGraph {
+    /// The unit-capacity split graph.
+    pub graph: Bipartite,
+    /// `origin[v'] = v` — original right vertex of each copy.
+    pub origin: Vec<RightId>,
+}
+
+/// Split every right vertex `v` into `min(C_v, cap_limit)` unit-capacity
+/// copies adjacent to all of `N(v)`.
+///
+/// `cap_limit` guards against instances where `Σ C_v` is astronomically
+/// larger than useful (a copy count above `deg(v)` can never matter, so we
+/// also clamp to the degree). Pass `u64::MAX` for the textbook reduction.
+pub fn vertex_split(g: &Bipartite, cap_limit: u64) -> SplitGraph {
+    let mut origin: Vec<RightId> = Vec::new();
+    let mut copies_of: Vec<(u32, u32)> = Vec::with_capacity(g.n_right()); // (first_copy, count)
+    for v in 0..g.n_right() as u32 {
+        let useful = (g.capacity(v))
+            .min(cap_limit)
+            .min(g.right_degree(v) as u64)
+            .max(1) as u32;
+        copies_of.push((origin.len() as u32, useful));
+        for _ in 0..useful {
+            origin.push(v);
+        }
+    }
+    let n_right_split = origin.len();
+    let m_split: usize = (0..g.n_right() as u32)
+        .map(|v| g.right_degree(v) * copies_of[v as usize].1 as usize)
+        .sum();
+    let mut b = BipartiteBuilder::with_edge_capacity(g.n_left(), n_right_split, m_split);
+    for v in 0..g.n_right() as u32 {
+        let (first, count) = copies_of[v as usize];
+        for &u in g.right_neighbors(v) {
+            for c in 0..count {
+                b.add_edge(u, first + c);
+            }
+        }
+    }
+    let graph = b
+        .build_with_uniform_capacity(1)
+        .expect("split edges are in range");
+    SplitGraph { graph, origin }
+}
+
+/// Map a matching of the split graph (list of `(u, v')` pairs) back to an
+/// allocation of the original graph (list of `(u, v)` pairs).
+pub fn unsplit_matching(split: &SplitGraph, matching: &[(u32, u32)]) -> Vec<(u32, RightId)> {
+    matching
+        .iter()
+        .map(|&(u, vp)| (u, split.origin[vp as usize]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::star;
+    use crate::sparsity::degeneracy;
+    use crate::BipartiteBuilder;
+
+    #[test]
+    fn star_blowup() {
+        // Star with n leaves, center capacity n-1 → split graph is
+        // K_{n, n-1}: arboricity jumps from 1 to Θ(n).
+        let n = 32;
+        let g = star(n, (n - 1) as u64).graph;
+        assert_eq!(degeneracy(&g), 1);
+        let split = vertex_split(&g, u64::MAX);
+        assert_eq!(split.graph.n_right(), n - 1);
+        assert_eq!(split.graph.m(), n * (n - 1));
+        let d = degeneracy(&split.graph);
+        assert!(
+            d as usize >= n / 2,
+            "expected Θ(n) degeneracy after split, got {d}"
+        );
+    }
+
+    #[test]
+    fn unit_capacities_are_identity() {
+        let mut b = BipartiteBuilder::new(3, 3);
+        for (u, v) in [(0u32, 0u32), (1, 1), (2, 2), (0, 1)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let split = vertex_split(&g, u64::MAX);
+        assert_eq!(split.graph.n_right(), 3);
+        assert_eq!(split.graph.m(), g.m());
+        assert_eq!(split.origin, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn copies_clamped_to_degree() {
+        // Capacity 100 but degree 2 → only 2 useful copies.
+        let mut b = BipartiteBuilder::new(2, 1);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        let g = b.build(vec![100]).unwrap();
+        let split = vertex_split(&g, u64::MAX);
+        assert_eq!(split.graph.n_right(), 2);
+        assert_eq!(split.graph.m(), 4);
+    }
+
+    #[test]
+    fn cap_limit_applies() {
+        let g = star(10, 8).graph;
+        let split = vertex_split(&g, 3);
+        assert_eq!(split.graph.n_right(), 3);
+    }
+
+    #[test]
+    fn unsplit_roundtrip() {
+        let g = star(4, 2).graph;
+        let split = vertex_split(&g, u64::MAX);
+        // Match leaves 0 and 3 to the two copies.
+        let matching = vec![(0u32, 0u32), (3, 1)];
+        let alloc = unsplit_matching(&split, &matching);
+        assert_eq!(alloc, vec![(0, 0), (3, 0)]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Uniform-sparsity toolkit: degeneracy and Nash–Williams density bounds.
+//!
+//! The arboricity `λ(G)` (paper, Definition 4) is bracketed by two cheap,
+//! certified quantities:
+//!
+//! * **Nash–Williams lower bound** — for any subgraph `H`,
+//!   `λ ≥ ⌈m_H / (n_H − 1)⌉`; we evaluate it on the whole graph and on the
+//!   densest peel prefix found during degeneracy computation.
+//! * **Degeneracy upper bound** — the degeneracy `d(G)` (max over the
+//!   min-degree peeling) satisfies `λ ≤ d ≤ 2λ − 1`, so degeneracy is a
+//!   2-approximation of arboricity from above.
+//!
+//! An exact densest-subgraph bound via max-flow lives in the `flow` crate
+//! (it needs Dinic); this module is dependency-free and `O(n + m)`.
+
+use crate::bipartite::Bipartite;
+
+/// Result of the min-degree peeling (core decomposition) of the bipartite
+/// graph viewed as a general graph on `n_left + n_right` vertices.
+#[derive(Debug, Clone)]
+pub struct Peeling {
+    /// The degeneracy: the largest minimum degree seen while peeling.
+    pub degeneracy: u32,
+    /// Global vertex ids (`0..n_left` = left, `n_left..n` = right) in peel
+    /// order (first peeled first).
+    pub order: Vec<u32>,
+    /// Core number of each global vertex.
+    pub core_number: Vec<u32>,
+}
+
+/// Min-degree peeling in `O(n + m)` using bucketed degrees.
+///
+/// The degeneracy `d` certifies `λ(G) ≤ d` (every graph with degeneracy `d`
+/// decomposes into `d` forests via the peel-order orientation).
+pub fn peel(g: &Bipartite) -> Peeling {
+    let nl = g.n_left();
+    let n = g.n();
+    let global_degree = |x: usize| -> usize {
+        if x < nl {
+            g.left_degree(x as u32)
+        } else {
+            g.right_degree((x - nl) as u32)
+        }
+    };
+
+    let mut deg: Vec<usize> = (0..n).map(global_degree).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+    // Bucket queue: bucket[d] holds vertices of current degree d.
+    let mut bucket_heads: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (x, &d) in deg.iter().enumerate() {
+        bucket_heads[d].push(x as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut core_number = vec![0u32; n];
+    let mut degeneracy = 0u32;
+    let mut cur = 0usize;
+
+    for _ in 0..n {
+        // Find the lowest non-empty bucket at or above `cur` rewinding as
+        // needed (degrees only decrease by 1 per removal, so cur-1 suffices,
+        // but we rewind defensively to 0 on exhaustion).
+        while cur <= max_deg && bucket_heads[cur].is_empty() {
+            cur += 1;
+        }
+        if cur > max_deg {
+            break;
+        }
+        // Lazy deletion: skip stale entries (vertex already removed or its
+        // degree has since dropped below this bucket).
+        let x = loop {
+            match bucket_heads[cur].pop() {
+                Some(x) if !removed[x as usize] && deg[x as usize] == cur => break Some(x),
+                Some(_) => continue,
+                None => break None,
+            }
+        };
+        let Some(x) = x else {
+            continue;
+        };
+        removed[x as usize] = true;
+        degeneracy = degeneracy.max(cur as u32);
+        core_number[x as usize] = degeneracy;
+        order.push(x);
+
+        let x = x as usize;
+        let neighbors: &mut dyn Iterator<Item = usize> = if x < nl {
+            &mut g
+                .left_neighbors(x as u32)
+                .iter()
+                .map(|&v| nl + v as usize)
+        } else {
+            &mut g
+                .right_neighbors((x - nl) as u32)
+                .iter()
+                .map(|&u| u as usize)
+        };
+        for y in neighbors {
+            if !removed[y] && deg[y] > 0 {
+                deg[y] -= 1;
+                bucket_heads[deg[y]].push(y as u32);
+                if deg[y] < cur {
+                    cur = deg[y];
+                }
+            }
+        }
+    }
+
+    Peeling {
+        degeneracy,
+        order,
+        core_number,
+    }
+}
+
+/// Degeneracy of the graph (`λ ≤ degeneracy ≤ 2λ − 1`).
+pub fn degeneracy(g: &Bipartite) -> u32 {
+    peel(g).degeneracy
+}
+
+/// Nash–Williams lower bound evaluated on the whole graph:
+/// `λ ≥ ⌈m / (n − 1)⌉` (0 for graphs with ≤ 1 vertex or no edges).
+pub fn nash_williams_whole_graph(g: &Bipartite) -> u32 {
+    if g.n() <= 1 || g.m() == 0 {
+        return if g.m() > 0 { 1 } else { 0 };
+    }
+    (g.m() as u64).div_ceil(g.n() as u64 - 1) as u32
+}
+
+/// A stronger Nash–Williams lower bound: evaluate `⌈m_H/(n_H − 1)⌉` on every
+/// *suffix* of the peel order (the last `k` peeled vertices induce the
+/// densest cores) and take the max. `O(n + m)` after peeling.
+pub fn nash_williams_peel_suffixes(g: &Bipartite) -> u32 {
+    let peeling = peel(g);
+    let nl = g.n_left();
+    let n = g.n();
+    // position of each vertex in peel order
+    let mut pos = vec![0u32; n];
+    for (i, &x) in peeling.order.iter().enumerate() {
+        pos[x as usize] = i as u32;
+    }
+    // For every edge, it is inside the suffix starting at index i iff both
+    // endpoints have pos ≥ i, i.e. min(pos_u, pos_v) ≥ i. Count edges by
+    // min-pos and suffix-sum.
+    let mut edges_by_minpos = vec![0u64; n + 1];
+    for (_, u, v) in g.edges() {
+        let pu = pos[u as usize];
+        let pv = pos[nl + v as usize];
+        edges_by_minpos[pu.min(pv) as usize] += 1;
+    }
+    let mut best = 0u32;
+    let mut m_suffix = 0u64;
+    for i in (0..n).rev() {
+        m_suffix += edges_by_minpos[i];
+        let n_suffix = (n - i) as u64;
+        if n_suffix >= 2 && m_suffix > 0 {
+            best = best.max(m_suffix.div_ceil(n_suffix - 1) as u32);
+        }
+    }
+    if best == 0 && g.m() > 0 {
+        best = 1;
+    }
+    best
+}
+
+/// Certified bracket `[lo, hi]` with `lo ≤ λ(G) ≤ hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArboricityBracket {
+    /// Nash–Williams lower bound over peel suffixes.
+    pub lower: u32,
+    /// Degeneracy upper bound.
+    pub upper: u32,
+}
+
+/// Bracket the arboricity from both sides in `O(n + m)`.
+pub fn arboricity_bracket(g: &Bipartite) -> ArboricityBracket {
+    ArboricityBracket {
+        lower: nash_williams_peel_suffixes(g),
+        upper: degeneracy(g).max(if g.m() > 0 { 1 } else { 0 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid, star, union_of_spanning_trees};
+    use crate::BipartiteBuilder;
+
+    #[test]
+    fn star_degeneracy_is_one() {
+        let g = star(50, 3).graph;
+        assert_eq!(degeneracy(&g), 1);
+        let br = arboricity_bracket(&g);
+        assert_eq!(br.lower, 1);
+        assert_eq!(br.upper, 1);
+    }
+
+    #[test]
+    fn forest_union_bracket() {
+        for k in [1u32, 2, 4, 8] {
+            let gen = union_of_spanning_trees(400, 400, k, 1, 3);
+            let br = arboricity_bracket(&gen.graph);
+            assert!(
+                br.lower <= gen.lambda_upper,
+                "NW lower {} exceeds certified λ ≤ {}",
+                br.lower,
+                gen.lambda_upper
+            );
+            assert!(
+                br.upper <= 2 * gen.lambda_upper,
+                "degeneracy {} exceeds 2λ bound {}",
+                br.upper,
+                2 * gen.lambda_upper
+            );
+            assert!(br.lower >= (k.saturating_sub(1)).max(1));
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_degeneracy() {
+        // K_{a,b} has degeneracy min(a, b).
+        let (a, b_sz) = (6usize, 9usize);
+        let mut b = BipartiteBuilder::new(a, b_sz);
+        for u in 0..a as u32 {
+            for v in 0..b_sz as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        assert_eq!(degeneracy(&g), a.min(b_sz) as u32);
+        // NW on whole graph: ⌈54 / 14⌉ = 4 ≤ λ(K_{6,9}).
+        assert!(nash_williams_whole_graph(&g) >= 4);
+    }
+
+    #[test]
+    fn grid_bracket() {
+        let g = grid(20, 20, 1).graph;
+        let br = arboricity_bracket(&g);
+        assert!(br.lower >= 1 && br.lower <= 2);
+        assert!(br.upper <= 3, "grid degeneracy is ≤ 2, got {}", br.upper);
+    }
+
+    #[test]
+    fn peel_order_is_a_permutation() {
+        let gen = union_of_spanning_trees(64, 64, 3, 1, 8);
+        let p = peel(&gen.graph);
+        let mut seen = vec![false; gen.graph.n()];
+        for &x in &p.order {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn core_numbers_monotone_under_peel() {
+        // Core numbers along the peel order never decrease.
+        let gen = union_of_spanning_trees(128, 128, 4, 1, 2);
+        let p = peel(&gen.graph);
+        let mut last = 0;
+        for &x in &p.order {
+            let c = p.core_number[x as usize];
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let g = BipartiteBuilder::new(0, 0)
+            .build_with_uniform_capacity(1)
+            .unwrap();
+        assert_eq!(degeneracy(&g), 0);
+        assert_eq!(nash_williams_whole_graph(&g), 0);
+
+        let mut b = BipartiteBuilder::new(1, 1);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        assert_eq!(degeneracy(&g), 1);
+        assert_eq!(nash_williams_whole_graph(&g), 1);
+        let br = arboricity_bracket(&g);
+        assert_eq!((br.lower, br.upper), (1, 1));
+    }
+
+    #[test]
+    fn suffix_bound_at_least_whole_graph_bound() {
+        let gen = union_of_spanning_trees(256, 256, 5, 1, 77);
+        assert!(
+            nash_williams_peel_suffixes(&gen.graph) >= nash_williams_whole_graph(&gen.graph)
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Instance statistics: degree and capacity distributions.
+//!
+//! Allocation behavior is driven by the *shape* of the degree and budget
+//! distributions (the paper's motivating workloads are heavy-tailed);
+//! this module computes the summaries the CLI and experiment tables print.
+
+use crate::bipartite::Bipartite;
+
+/// Five-number-ish summary of a non-negative integer distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// Smallest value.
+    pub min: u64,
+    /// Largest value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: u64,
+    /// 90th percentile.
+    pub p90: u64,
+}
+
+impl Distribution {
+    /// Summarize a list of values (empty input gives all zeros).
+    pub fn of(values: impl IntoIterator<Item = u64>) -> Distribution {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Distribution {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p90: 0,
+            };
+        }
+        v.sort_unstable();
+        let n = v.len();
+        Distribution {
+            min: v[0],
+            max: v[n - 1],
+            mean: v.iter().sum::<u64>() as f64 / n as f64,
+            median: v[(n - 1) / 2],
+            p90: v[((n - 1) * 9) / 10],
+        }
+    }
+
+    /// Heavy-tail indicator: `max / max(1, median)`.
+    pub fn skew(&self) -> f64 {
+        self.max as f64 / self.median.max(1) as f64
+    }
+}
+
+/// Full per-instance summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Left-degree distribution.
+    pub left_degrees: Distribution,
+    /// Right-degree distribution.
+    pub right_degrees: Distribution,
+    /// Capacity distribution.
+    pub capacities: Distribution,
+    /// Demand/supply ratio `|L| / Σ C_v` (how over-subscribed the instance
+    /// can be at best).
+    pub demand_supply_ratio: f64,
+    /// Count of isolated left vertices (unmatched no matter what).
+    pub isolated_left: usize,
+}
+
+/// Compute the summary in `O(n + m)` (plus sorting of degree lists).
+pub fn graph_stats(g: &Bipartite) -> GraphStats {
+    let left: Vec<u64> = (0..g.n_left() as u32)
+        .map(|u| g.left_degree(u) as u64)
+        .collect();
+    let isolated_left = left.iter().filter(|&&d| d == 0).count();
+    let right: Vec<u64> = (0..g.n_right() as u32)
+        .map(|v| g.right_degree(v) as u64)
+        .collect();
+    GraphStats {
+        left_degrees: Distribution::of(left),
+        right_degrees: Distribution::of(right),
+        capacities: Distribution::of(g.capacities().iter().copied()),
+        demand_supply_ratio: g.n_left() as f64 / g.total_capacity().max(1) as f64,
+        isolated_left,
+    }
+}
+
+/// Per-advertiser fill-rate summary of an assignment — the ad-serving
+/// diagnostic the §1 workloads are judged by in practice: not just *how
+/// much* demand was served in total, but how evenly budgets were filled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FillReport {
+    /// Distribution of per-right-vertex fill rates in percent
+    /// (`100·load_v/C_v`, so the summaries stay integral).
+    pub fill_percent: Distribution,
+    /// Jain's fairness index over the fill rates, in `(0, 1]`; `1` means
+    /// every advertiser is filled to the same fraction of its budget.
+    pub jain_index: f64,
+    /// Number of advertisers at zero fill.
+    pub starved: usize,
+    /// Number of advertisers at 100% fill.
+    pub saturated: usize,
+}
+
+/// Summarize the fill profile of `assignment_loads` (as produced by
+/// [`crate::Assignment::right_loads`]) against the capacities of `g`.
+///
+/// # Panics
+/// Panics if `assignment_loads.len() != g.n_right()`.
+pub fn fill_report(g: &Bipartite, assignment_loads: &[u64]) -> FillReport {
+    assert_eq!(
+        assignment_loads.len(),
+        g.n_right(),
+        "one load per right vertex"
+    );
+    let rates: Vec<f64> = assignment_loads
+        .iter()
+        .zip(g.capacities())
+        .map(|(&load, &cap)| load as f64 / cap as f64)
+        .collect();
+    let n = rates.len();
+    let (sum, sum_sq) = rates
+        .iter()
+        .fold((0.0f64, 0.0f64), |(s, q), &r| (s + r, q + r * r));
+    // Jain's index: (Σx)² / (n·Σx²); defined as 1 on the empty or all-zero
+    // profile (nothing is unfairly shared).
+    let jain_index = if n == 0 || sum_sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n as f64 * sum_sq)
+    };
+    FillReport {
+        fill_percent: Distribution::of(rates.iter().map(|r| (r * 100.0).round() as u64)),
+        jain_index,
+        starved: assignment_loads.iter().filter(|&&l| l == 0).count(),
+        saturated: assignment_loads
+            .iter()
+            .zip(g.capacities())
+            .filter(|(&l, &c)| l >= c)
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{power_law, star, PowerLawParams};
+    use crate::BipartiteBuilder;
+
+    #[test]
+    fn distribution_basics() {
+        let d = Distribution::of([1u64, 2, 3, 4, 100]);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 100);
+        assert_eq!(d.median, 3);
+        assert_eq!(d.p90, 4);
+        assert!((d.mean - 22.0).abs() < 1e-12);
+        assert!((d.skew() - 100.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = Distribution::of(std::iter::empty());
+        assert_eq!(d, Distribution {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            p90: 0,
+        });
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = star(10, 4).graph;
+        let s = graph_stats(&g);
+        assert_eq!(s.left_degrees.max, 1);
+        assert_eq!(s.right_degrees.max, 10);
+        assert_eq!(s.capacities.max, 4);
+        assert!((s.demand_supply_ratio - 2.5).abs() < 1e-12);
+        assert_eq!(s.isolated_left, 0);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let mut b = BipartiteBuilder::new(5, 2);
+        b.add_edge(0, 0);
+        b.add_edge(1, 1);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        assert_eq!(graph_stats(&g).isolated_left, 3);
+    }
+
+    #[test]
+    fn fill_report_even_profile_is_fair() {
+        // Two advertisers, both half full: Jain = 1.
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(1, 1);
+        let g = b.build_with_uniform_capacity(2).unwrap();
+        let r = fill_report(&g, &[1, 1]);
+        assert!((r.jain_index - 1.0).abs() < 1e-12);
+        assert_eq!(r.fill_percent.min, 50);
+        assert_eq!(r.fill_percent.max, 50);
+        assert_eq!(r.starved, 0);
+        assert_eq!(r.saturated, 0);
+    }
+
+    #[test]
+    fn fill_report_skewed_profile_is_unfair() {
+        // One advertiser saturated, three starved: Jain = 1/4.
+        let mut b = BipartiteBuilder::new(2, 4);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        let g = b.build_with_uniform_capacity(2).unwrap();
+        let r = fill_report(&g, &[2, 0, 0, 0]);
+        assert!((r.jain_index - 0.25).abs() < 1e-12);
+        assert_eq!(r.starved, 3);
+        assert_eq!(r.saturated, 1);
+    }
+
+    #[test]
+    fn fill_report_zero_profile_defined() {
+        let mut b = BipartiteBuilder::new(1, 3);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let r = fill_report(&g, &[0, 0, 0]);
+        assert_eq!(r.jain_index, 1.0);
+        assert_eq!(r.starved, 3);
+        assert_eq!(r.saturated, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per right vertex")]
+    fn fill_report_arity_checked() {
+        let mut b = BipartiteBuilder::new(1, 2);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let _ = fill_report(&g, &[0]);
+    }
+
+    #[test]
+    fn power_law_is_skewed_on_the_right() {
+        let g = power_law(
+            &PowerLawParams {
+                n_left: 4000,
+                n_right: 800,
+                exponent: 1.0,
+                min_degree: 1,
+                max_degree: 800,
+                cap: 1,
+            },
+            4,
+        )
+        .graph;
+        let s = graph_stats(&g);
+        assert!(
+            s.right_degrees.skew() >= 10.0,
+            "expected heavy right tail, skew {}",
+            s.right_degrees.skew()
+        );
+        assert!(s.left_degrees.skew() < s.right_degrees.skew());
+    }
+}

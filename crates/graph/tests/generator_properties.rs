@@ -1,0 +1,119 @@
+//! Property-based tests of the generators: every family must produce a
+//! structurally valid graph whose certified arboricity bound is consistent
+//! with the measured bracket, for arbitrary parameters.
+
+use proptest::prelude::*;
+use sparse_alloc_graph::generators::{
+    dense_core_sparse_fringe, escape_blocks, grid, power_law, random_bipartite,
+    random_left_regular, star_forest, union_of_spanning_trees, LayeredParams, PowerLawParams,
+};
+use sparse_alloc_graph::sparsity::{arboricity_bracket, degeneracy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn forest_unions_are_consistent(
+        nl in 2usize..80, nr in 2usize..80, k in 1u32..6, cap in 1u64..5, seed in 0u64..1000,
+    ) {
+        let gen = union_of_spanning_trees(nl, nr, k, cap, seed);
+        gen.graph.validate().unwrap();
+        let b = arboricity_bracket(&gen.graph);
+        prop_assert!(b.lower <= gen.lambda_upper, "NW {} vs certificate {}", b.lower, gen.lambda_upper);
+        prop_assert!(b.upper <= 2 * gen.lambda_upper, "degeneracy {} vs 2λ {}", b.upper, 2 * gen.lambda_upper);
+        prop_assert!(gen.graph.m() >= nl + nr - 1);
+        prop_assert!(gen.graph.m() <= k as usize * (nl + nr - 1));
+    }
+
+    #[test]
+    fn random_bipartite_is_valid(
+        nl in 1usize..60, nr in 1usize..60, m in 0usize..400, cap in 1u64..4, seed in 0u64..1000,
+    ) {
+        let gen = random_bipartite(nl, nr, m, cap, seed);
+        gen.graph.validate().unwrap();
+        prop_assert!(gen.graph.m() <= m);
+        prop_assert!(gen.graph.m() <= nl * nr);
+    }
+
+    #[test]
+    fn left_regular_degree_bound(
+        nl in 1usize..50, nr in 1usize..50, d in 1usize..6, seed in 0u64..500,
+    ) {
+        let gen = random_left_regular(nl, nr, d, 1, seed);
+        gen.graph.validate().unwrap();
+        for u in 0..nl as u32 {
+            prop_assert!(gen.graph.left_degree(u) <= d);
+            prop_assert!(gen.graph.left_degree(u) >= 1);
+        }
+        prop_assert!(degeneracy(&gen.graph) <= gen.lambda_upper * 2);
+    }
+
+    #[test]
+    fn power_law_respects_caps(
+        nl in 4usize..100, nr in 1usize..40, exp in 0.5f64..2.5, seed in 0u64..500,
+    ) {
+        let gen = power_law(&PowerLawParams {
+            n_left: nl,
+            n_right: nr,
+            exponent: exp,
+            min_degree: 1,
+            max_degree: 16,
+            cap: 2,
+        }, seed);
+        gen.graph.validate().unwrap();
+        for v in 0..nr as u32 {
+            prop_assert!(gen.graph.right_degree(v) <= 16.min(nl));
+        }
+    }
+
+    #[test]
+    fn grids_stay_planar_sparse(w in 1usize..24, h in 1usize..24) {
+        let gen = grid(w, h, 1);
+        gen.graph.validate().unwrap();
+        prop_assert!(gen.graph.max_degree() <= 4);
+        prop_assert!(degeneracy(&gen.graph) <= 2);
+    }
+
+    #[test]
+    fn star_forests_have_arboricity_one(
+        k in 1usize..10, leaves in 1usize..30, cap in 1u64..8,
+    ) {
+        let gen = star_forest(k, leaves, cap);
+        gen.graph.validate().unwrap();
+        prop_assert!(degeneracy(&gen.graph) <= 1);
+        prop_assert_eq!(gen.graph.m(), k * leaves);
+    }
+
+    #[test]
+    fn layered_instances_are_valid(
+        core_left in 2usize..40, core_right in 1usize..10, core_degree in 1usize..8,
+        fringe_left in 0usize..40, fringe_right in 1usize..30, seed in 0u64..200,
+    ) {
+        let gen = dense_core_sparse_fringe(&LayeredParams {
+            core_left,
+            core_right,
+            core_degree,
+            core_capacity: 1,
+            fringe_left,
+            fringe_right,
+            fringe_capacity: 3,
+        }, seed);
+        gen.graph.validate().unwrap();
+        prop_assert_eq!(gen.graph.n_left(), core_left + fringe_left);
+        prop_assert_eq!(gen.graph.n_right(), core_right + fringe_right);
+    }
+
+    #[test]
+    fn escape_blocks_structure(lambda in 1u32..8, blocks in 1usize..5) {
+        let gen = escape_blocks(lambda, blocks);
+        gen.graph.validate().unwrap();
+        let l2 = (lambda as usize) * (lambda as usize);
+        prop_assert_eq!(gen.graph.n_left(), blocks * l2);
+        // Every left vertex: λ core edges + 1 private fringe edge.
+        for u in 0..gen.graph.n_left() as u32 {
+            prop_assert_eq!(gen.graph.left_degree(u), lambda as usize + 1);
+        }
+        let b = arboricity_bracket(&gen.graph);
+        prop_assert!(b.upper <= gen.lambda_upper);
+    }
+}

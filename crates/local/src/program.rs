@@ -1,0 +1,121 @@
+//! The vertex-program abstraction: what user code implements to run on the
+//! [`crate::LocalEngine`].
+
+use sparse_alloc_graph::{Bipartite, Side};
+
+use crate::sync_slice::SyncSlice;
+
+/// A synchronous LOCAL-model vertex program.
+///
+/// The engine calls [`LocalProgram::init`] once per vertex, then
+/// [`LocalProgram::round`] once per vertex per round. Within a round every
+/// vertex sees only messages sent in the *previous* round (delivered
+/// "at the beginning of the next round", paper §2.2) and may send at most
+/// one message per incident edge (re-sending on a slot overwrites).
+///
+/// Execution is deterministic: vertices cannot observe scheduling order.
+pub trait LocalProgram: Sync {
+    /// Per-vertex state.
+    type State: Send + Sync;
+    /// Message payload carried along edges.
+    type Msg: Send + Sync;
+
+    /// Construct the initial state of vertex `(side, id)`.
+    fn init(&self, g: &Bipartite, side: Side, id: u32) -> Self::State;
+
+    /// Execute one synchronous round at a vertex.
+    fn round(&self, ctx: &mut VertexCtx<'_, Self::Msg>, state: &mut Self::State);
+}
+
+/// Per-vertex view handed to [`LocalProgram::round`].
+///
+/// Neighbor *slots* index the vertex's adjacency list: slot `i` refers to
+/// the `i`-th neighbor ([`VertexCtx::neighbor`]). Receiving and sending are
+/// both slot-addressed, mirroring the port-numbering convention of
+/// distributed computing.
+pub struct VertexCtx<'a, M> {
+    pub(crate) side: Side,
+    pub(crate) id: u32,
+    pub(crate) round: usize,
+    pub(crate) neighbors: &'a [u32],
+    /// Maps slot → index into `in_buf`.
+    pub(crate) in_map: InMap<'a>,
+    pub(crate) in_buf: &'a [Option<M>],
+    pub(crate) out_base: usize,
+    pub(crate) out_buf: &'a SyncSlice<'a, Option<M>>,
+    pub(crate) sent: u64,
+    pub(crate) halt: bool,
+}
+
+/// Incoming-slot mapping: left vertices read through a permutation
+/// (edge id → right-CSR slot); right vertices read through their
+/// `right_edge_ids`; both are a base-offset + per-slot index table, except
+/// the left side where the in-index is contiguous in edge-id order only
+/// after permutation.
+pub(crate) enum InMap<'a> {
+    /// `in_index(slot) = table[slot]`.
+    Table(&'a [u32]),
+}
+
+impl<M> VertexCtx<'_, M> {
+    /// Which side this vertex is on.
+    #[inline]
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The vertex id within its side.
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Number of incident edges.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The id (on the opposite side) of the neighbor at `slot`.
+    #[inline]
+    pub fn neighbor(&self, slot: usize) -> u32 {
+        self.neighbors[slot]
+    }
+
+    /// The message delivered this round along `slot`, if any.
+    #[inline]
+    pub fn recv(&self, slot: usize) -> Option<&M> {
+        let InMap::Table(t) = self.in_map;
+        self.in_buf[t[slot] as usize].as_ref()
+    }
+
+    /// Iterate over `(slot, message)` for all non-empty incoming slots.
+    pub fn inbox(&self) -> impl Iterator<Item = (usize, &M)> {
+        (0..self.degree()).filter_map(move |s| self.recv(s).map(|m| (s, m)))
+    }
+
+    /// Send `msg` along `slot`, to be delivered next round. Sending twice on
+    /// the same slot in one round overwrites (both sends are counted in the
+    /// message metric).
+    #[inline]
+    pub fn send(&mut self, slot: usize, msg: M) {
+        debug_assert!(slot < self.degree(), "send slot out of range");
+        // SAFETY: slots `out_base..out_base + degree` belong exclusively to
+        // this vertex within the current round (engine invariant).
+        unsafe { self.out_buf.write(self.out_base + slot, Some(msg)) };
+        self.sent += 1;
+    }
+
+    /// Vote to halt. The engine stops early in a round where *every* vertex
+    /// votes to halt; the vote does not persist across rounds.
+    #[inline]
+    pub fn vote_halt(&mut self) {
+        self.halt = true;
+    }
+}

@@ -1,0 +1,177 @@
+//! Multi-source BFS as a LOCAL vertex program.
+//!
+//! The classical "flooding" algorithm: sources start at distance 0; any
+//! vertex that learns a distance forwards `d` to its neighbors, who adopt
+//! `d + 1` if still unvisited. Runs in `eccentricity + O(1)` rounds, which
+//! also makes it a convenient engine-round-throughput benchmark.
+
+use sparse_alloc_graph::{Bipartite, Side};
+
+use crate::program::{LocalProgram, VertexCtx};
+
+/// BFS vertex state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsState {
+    /// Discovered distance, if any.
+    pub dist: Option<u32>,
+    fresh: bool,
+}
+
+/// Multi-source BFS program. Construct with the source indicator vectors.
+pub struct BfsProgram {
+    /// `true` for each left vertex that is a source.
+    pub left_sources: Vec<bool>,
+    /// `true` for each right vertex that is a source.
+    pub right_sources: Vec<bool>,
+}
+
+impl LocalProgram for BfsProgram {
+    type State = BfsState;
+    type Msg = u32;
+
+    fn init(&self, _: &Bipartite, side: Side, id: u32) -> BfsState {
+        let is_source = match side {
+            Side::Left => self.left_sources[id as usize],
+            Side::Right => self.right_sources[id as usize],
+        };
+        BfsState {
+            dist: is_source.then_some(0),
+            fresh: is_source,
+        }
+    }
+
+    fn round(&self, ctx: &mut VertexCtx<'_, u32>, state: &mut BfsState) {
+        if state.dist.is_none() {
+            if let Some(&d) = ctx.inbox().map(|(_, m)| m).min() {
+                state.dist = Some(d + 1);
+                state.fresh = true;
+            }
+        }
+        if state.fresh {
+            state.fresh = false;
+            let d = state.dist.expect("fresh implies discovered");
+            for s in 0..ctx.degree() {
+                ctx.send(s, d);
+            }
+        } else {
+            ctx.vote_halt();
+        }
+    }
+}
+
+/// Sequential reference BFS over the bipartite graph (global vertex ids:
+/// `0..n_left` left, then right offset by `n_left`). Returns `None` for
+/// unreachable vertices.
+pub fn bfs_distances(g: &Bipartite, left_sources: &[bool], right_sources: &[bool]) -> Vec<Option<u32>> {
+    let nl = g.n_left();
+    let n = g.n();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for (u, &s) in left_sources.iter().enumerate() {
+        if s {
+            dist[u] = Some(0);
+            queue.push_back(u);
+        }
+    }
+    for (v, &s) in right_sources.iter().enumerate() {
+        if s {
+            dist[nl + v] = Some(0);
+            queue.push_back(nl + v);
+        }
+    }
+    while let Some(x) = queue.pop_front() {
+        let d = dist[x].expect("queued implies discovered");
+        let push = |y: usize, dist: &mut Vec<Option<u32>>, queue: &mut std::collections::VecDeque<usize>| {
+            if dist[y].is_none() {
+                dist[y] = Some(d + 1);
+                queue.push_back(y);
+            }
+        };
+        if x < nl {
+            for &v in g.left_neighbors(x as u32) {
+                push(nl + v as usize, &mut dist, &mut queue);
+            }
+        } else {
+            for &u in g.right_neighbors((x - nl) as u32) {
+                push(u as usize, &mut dist, &mut queue);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LocalEngine;
+    use sparse_alloc_graph::generators::{grid, union_of_spanning_trees};
+
+    fn check_against_reference(g: &Bipartite, left_sources: Vec<bool>, right_sources: Vec<bool>) {
+        let reference = bfs_distances(g, &left_sources, &right_sources);
+        let program = BfsProgram {
+            left_sources,
+            right_sources,
+        };
+        let res = LocalEngine::new(g).run(&program, g.n() + 2);
+        assert!(res.metrics.halted, "BFS should quiesce");
+        let nl = g.n_left();
+        for (u, state) in res.left_states.iter().enumerate() {
+            assert_eq!(state.dist, reference[u], "left {u}");
+        }
+        for (v, state) in res.right_states.iter().enumerate() {
+            assert_eq!(state.dist, reference[nl + v], "right {v}");
+        }
+    }
+
+    #[test]
+    fn single_source_on_tree() {
+        let g = union_of_spanning_trees(30, 25, 1, 1, 4).graph;
+        let mut ls = vec![false; 30];
+        ls[0] = true;
+        check_against_reference(&g, ls, vec![false; 25]);
+    }
+
+    #[test]
+    fn multi_source_on_grid() {
+        let g = grid(9, 7, 1).graph;
+        let mut ls = vec![false; g.n_left()];
+        let mut rs = vec![false; g.n_right()];
+        ls[0] = true;
+        ls[g.n_left() - 1] = true;
+        rs[g.n_right() / 2] = true;
+        check_against_reference(&g, ls, rs);
+    }
+
+    #[test]
+    fn unreachable_stay_none() {
+        // Two components; source only in the first.
+        let mut b = sparse_alloc_graph::BipartiteBuilder::new(4, 4);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        b.add_edge(2, 1); // second component
+        b.add_edge(3, 2);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let mut ls = vec![false; 4];
+        ls[0] = true;
+        check_against_reference(&g, ls, vec![false; 4]);
+    }
+
+    #[test]
+    fn rounds_close_to_eccentricity() {
+        // On a path (grid w×1), BFS from one end needs ~w rounds.
+        let g = grid(21, 1, 1).graph;
+        let mut ls = vec![false; g.n_left()];
+        ls[0] = true; // cell (0,0) is the first left vertex
+        let program = BfsProgram {
+            left_sources: ls,
+            right_sources: vec![false; g.n_right()],
+        };
+        let res = LocalEngine::new(&g).run(&program, 1000);
+        assert!(res.metrics.halted);
+        assert!(
+            (20..=23).contains(&res.metrics.rounds),
+            "rounds = {}",
+            res.metrics.rounds
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Two-round neighborhood aggregation: each vertex computes the sum of its
+//! neighbors' degrees. The minimal non-trivial "aggregate over the
+//! neighborhood" pattern — the same shape as one half-round of the paper's
+//! Algorithm 1.
+
+use sparse_alloc_graph::{Bipartite, Side};
+
+use crate::program::{LocalProgram, VertexCtx};
+
+/// Computes `Σ_{w ∈ N(v)} deg(w)` at every vertex in two rounds.
+pub struct NeighborDegreeSum;
+
+impl LocalProgram for NeighborDegreeSum {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, _: &Bipartite, _: Side, _: u32) -> u64 {
+        0
+    }
+
+    fn round(&self, ctx: &mut VertexCtx<'_, u64>, state: &mut u64) {
+        match ctx.round() {
+            0 => {
+                let d = ctx.degree() as u64;
+                for s in 0..ctx.degree() {
+                    ctx.send(s, d);
+                }
+            }
+            1 => {
+                *state = ctx.inbox().map(|(_, &m)| m).sum();
+                ctx.vote_halt();
+            }
+            _ => ctx.vote_halt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LocalEngine;
+    use sparse_alloc_graph::generators::random_bipartite;
+
+    #[test]
+    fn matches_direct_computation() {
+        let g = random_bipartite(40, 30, 150, 1, 6).graph;
+        let res = LocalEngine::new(&g).run(&NeighborDegreeSum, 10);
+        assert!(res.metrics.halted);
+        assert_eq!(res.metrics.rounds, 2);
+        for u in 0..g.n_left() as u32 {
+            let expect: u64 = g
+                .left_neighbors(u)
+                .iter()
+                .map(|&v| g.right_degree(v) as u64)
+                .sum();
+            assert_eq!(res.left_states[u as usize], expect, "left {u}");
+        }
+        for v in 0..g.n_right() as u32 {
+            let expect: u64 = g
+                .right_neighbors(v)
+                .iter()
+                .map(|&u| g.left_degree(u) as u64)
+                .sum();
+            assert_eq!(res.right_states[v as usize], expect, "right {v}");
+        }
+    }
+
+    #[test]
+    fn message_volume_is_two_m() {
+        let g = random_bipartite(20, 20, 80, 1, 2).graph;
+        let res = LocalEngine::new(&g).run(&NeighborDegreeSum, 10);
+        // Round 0 sends on every directed edge once.
+        assert_eq!(res.metrics.messages_per_round[0], 2 * g.m() as u64);
+        assert_eq!(res.metrics.messages_per_round[1], 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Reference vertex programs.
+//!
+//! These serve three purposes: they validate the engine against independent
+//! sequential implementations, they document the programming model, and the
+//! experiment suite uses [`bfs`] to measure engine round throughput.
+//! [`proportional`] is Algorithm 1 expressed as pure message passing,
+//! cross-validated against the direct solver in `sparse-alloc-core`.
+
+pub mod bfs;
+pub mod degree;
+pub mod proportional;
+
+pub use bfs::{bfs_distances, BfsProgram};
+pub use degree::NeighborDegreeSum;
+pub use proportional::ProportionalProgram;

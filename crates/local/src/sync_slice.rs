@@ -1,0 +1,85 @@
+//! A minimal shared-mutable slice wrapper for disjoint parallel writes.
+//!
+//! The engine writes each vertex's outgoing mailbox slots from exactly one
+//! rayon task, and slot ranges of different vertices are disjoint — the
+//! standard "scatter to disjoint indices" pattern. Rust's borrow checker
+//! cannot see the disjointness across an index computation, so this wrapper
+//! provides the one `unsafe` escape hatch, with the invariant documented at
+//! the single call site.
+
+use std::cell::UnsafeCell;
+
+/// A `&[UnsafeCell<T>]`-backed view allowing concurrent writes to *disjoint*
+/// indices.
+pub(crate) struct SyncSlice<'a, T> {
+    cells: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: `SyncSlice` only permits writes through `write`, whose contract
+// requires callers to guarantee index-disjointness across threads.
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wrap a mutable slice. The returned view borrows `slice` for `'a`.
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T] → &[UnsafeCell<T>]` is sound: we have unique
+        // access, and UnsafeCell<T> has the same layout as T.
+        let cells = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SyncSlice { cells }
+    }
+
+    /// Number of elements.
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// No two threads may write the same `index` during the lifetime of this
+    /// view, and no one may read `index` concurrently with the write.
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: usize, value: T) {
+        *self.cells[index].get() = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 1024];
+        {
+            let view = SyncSlice::new(&mut data);
+            (0..1024usize).into_par_iter().for_each(|i| {
+                // SAFETY: each index is written by exactly one task.
+                unsafe { view.write(i, (i * i) as u64) };
+            });
+        }
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn disjoint_range_writes() {
+        // Each task owns a contiguous range, mirroring the engine's use.
+        let mut data = vec![0u32; 100];
+        let ranges: Vec<std::ops::Range<usize>> =
+            vec![0..10, 10..35, 35..35, 35..80, 80..100];
+        {
+            let view = SyncSlice::new(&mut data);
+            ranges.into_par_iter().enumerate().for_each(|(t, r)| {
+                for i in r {
+                    // SAFETY: ranges are pairwise disjoint.
+                    unsafe { view.write(i, t as u32 + 1) };
+                }
+            });
+        }
+        assert!(data.iter().all(|&x| x >= 1));
+    }
+}

@@ -1,0 +1,602 @@
+//! The machine pool: item storage, exchanges, and space enforcement.
+
+use rayon::prelude::*;
+
+use crate::error::{MpcError, SpaceKind};
+use crate::ledger::{Ledger, RoundRecord};
+use crate::words::{slice_words, Words};
+
+/// Index of a machine in the cluster.
+pub type MachineId = usize;
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpcConfig {
+    /// Number of machines `N`.
+    pub machines: usize,
+    /// Per-machine space `S`, in words. In the sublinear regime `S = n^α`.
+    pub space_words: usize,
+    /// If `true`, any space violation aborts the computation with
+    /// [`MpcError::SpaceExceeded`]; if `false`, violations are only
+    /// recorded in the ledger peaks.
+    pub strict: bool,
+}
+
+impl MpcConfig {
+    /// A strict cluster with `machines` machines of `space_words` words.
+    pub fn strict(machines: usize, space_words: usize) -> Self {
+        MpcConfig {
+            machines,
+            space_words,
+            strict: true,
+        }
+    }
+
+    /// A lenient cluster: peaks are recorded but never enforced.
+    pub fn lenient(machines: usize, space_words: usize) -> Self {
+        MpcConfig {
+            machines,
+            space_words,
+            strict: false,
+        }
+    }
+
+    /// The standard sublinear-regime sizing for an input of `total_words`
+    /// words: `S = ceil(total^α)`, with enough machines to hold
+    /// `2 × total_words` (the factor-2 covers intermediate blowup).
+    pub fn sublinear(total_words: usize, alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "α ∈ (0, 1)");
+        let space = (total_words as f64).powf(alpha).ceil() as usize;
+        let space = space.max(16);
+        let machines = (2 * total_words).div_ceil(space).max(1);
+        MpcConfig::strict(machines, space)
+    }
+}
+
+/// A simulated MPC cluster holding items of type `T`.
+///
+/// All bulk operations consume the cluster and return a new one (possibly
+/// with a different item type), threading the [`Ledger`] through.
+#[derive(Debug)]
+pub struct Cluster<T> {
+    config: MpcConfig,
+    machines: Vec<Vec<T>>,
+    /// Cached per-machine storage in words (kept in sync with `machines`).
+    storage: Vec<usize>,
+    ledger: Ledger,
+}
+
+impl<T: Words + Send + Sync> Cluster<T> {
+    /// Build a cluster from a flat item list, distributed round-robin
+    /// (the MPC model allows arbitrary initial partitioning at no cost).
+    pub fn from_items(config: MpcConfig, items: Vec<T>) -> Result<Self, MpcError> {
+        let p = config.machines;
+        let mut machines: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            machines[i % p].push(item);
+        }
+        Cluster::from_partitioned(config, machines)
+    }
+
+    /// Build a cluster with an explicit initial partition.
+    pub fn from_partitioned(config: MpcConfig, machines: Vec<Vec<T>>) -> Result<Self, MpcError> {
+        assert_eq!(machines.len(), config.machines, "partition count");
+        let storage: Vec<usize> = machines.par_iter().map(|m| slice_words(m)).collect();
+        let mut cluster = Cluster {
+            config,
+            machines,
+            storage,
+            ledger: Ledger::default(),
+        };
+        cluster.observe_and_check_storage(0)?;
+        Ok(cluster)
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// The accumulated accounting.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.config.machines
+    }
+
+    /// Items currently on machine `i`.
+    pub fn machine(&self, i: MachineId) -> &[T] {
+        &self.machines[i]
+    }
+
+    /// Total number of items across machines.
+    pub fn total_items(&self) -> usize {
+        self.machines.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate all items (machine order, then insertion order) — for
+    /// result collection and tests; a real cluster has no such operation.
+    pub fn iter_items(&self) -> impl Iterator<Item = &T> {
+        self.machines.iter().flatten()
+    }
+
+    /// Dissolve into the flat item list and the final ledger.
+    pub fn into_items(self) -> (Vec<T>, Ledger) {
+        (
+            self.machines.into_iter().flatten().collect(),
+            self.ledger,
+        )
+    }
+
+    /// Local computation on every machine — costs **zero** rounds. The
+    /// closure receives the machine id and its items and returns the
+    /// machine's new contents.
+    pub fn map_local<U, F>(self, label: &'static str, f: F) -> Result<Cluster<U>, MpcError>
+    where
+        U: Words + Send + Sync,
+        F: Fn(MachineId, Vec<T>) -> Vec<U> + Sync,
+    {
+        let Cluster {
+            config,
+            machines,
+            mut ledger,
+            ..
+        } = self;
+        let new_machines: Vec<Vec<U>> = machines
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, items)| f(i, items))
+            .collect();
+        let storage: Vec<usize> = new_machines.par_iter().map(|m| slice_words(m)).collect();
+        let max_storage = storage.iter().copied().max().unwrap_or(0);
+        let total_storage: u64 = storage.iter().map(|&s| s as u64).sum();
+        ledger.observe_storage(max_storage, total_storage);
+        let cluster = Cluster {
+            config,
+            machines: new_machines,
+            storage,
+            ledger,
+        };
+        cluster.check_storage(label)?;
+        Ok(cluster)
+    }
+
+    /// One communication round: every machine maps its items to
+    /// `(destination, item)` pairs; the runtime routes them, enforcing the
+    /// per-round I/O and storage limits.
+    pub fn exchange_multi<U, F>(mut self, label: &'static str, f: F) -> Result<Cluster<U>, MpcError>
+    where
+        U: Words + Send + Sync,
+        F: Fn(MachineId, Vec<T>) -> Vec<(MachineId, U)> + Sync,
+    {
+        let machines = std::mem::take(&mut self.machines);
+        let outgoing: Vec<Vec<(MachineId, U)>> = machines
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, items)| f(i, items))
+            .collect();
+        let new_machines = self.raw_exchange(label, outgoing)?;
+        let storage: Vec<usize> = new_machines.par_iter().map(|m| slice_words(m)).collect();
+        let cluster = Cluster {
+            config: self.config,
+            machines: new_machines,
+            storage,
+            ledger: self.ledger,
+        };
+        // raw_exchange recorded the round with receive-side sizes; storage
+        // equals receive volume here, already checked. Re-check defensively.
+        cluster.check_storage(label)?;
+        Ok(cluster)
+    }
+
+    /// Route every item to `route(&item)`, keeping the item type.
+    pub fn exchange_by<F>(self, label: &'static str, route: F) -> Result<Cluster<T>, MpcError>
+    where
+        F: Fn(&T) -> MachineId + Sync,
+    {
+        self.exchange_multi(label, |_, items| {
+            items.into_iter().map(|it| (route(&it), it)).collect()
+        })
+    }
+
+    /// In-place local computation on every machine — zero rounds.
+    pub fn update_local<F>(&mut self, _label: &'static str, f: F) -> Result<(), MpcError>
+    where
+        F: Fn(MachineId, &mut Vec<T>) + Sync,
+    {
+        self.machines
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, items)| f(i, items));
+        self.storage = self.machines.par_iter().map(|m| slice_words(m)).collect();
+        let max_storage = self.storage.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.storage.iter().map(|&s| s as u64).sum();
+        self.ledger.observe_storage(max_storage, total);
+        self.check_storage("update")
+    }
+
+    /// One communication round that keeps the items in place: every machine
+    /// emits addressed messages derived from its items, the runtime routes
+    /// them (with the usual I/O enforcement), and each machine merges the
+    /// messages it received back into its items.
+    ///
+    /// This is the state-plus-messages pattern of vertex-centric MPC
+    /// algorithms (records stay home; β values / group keys / ball records
+    /// travel).
+    pub fn side_channel<Msg, E, G>(
+        &mut self,
+        label: &'static str,
+        emit: E,
+        merge: G,
+    ) -> Result<(), MpcError>
+    where
+        Msg: Words + Send + Sync,
+        E: Fn(MachineId, &[T]) -> Vec<(MachineId, Msg)> + Sync,
+        G: Fn(MachineId, &mut Vec<T>, Vec<Msg>) + Sync,
+    {
+        let outgoing: Vec<Vec<(MachineId, Msg)>> = self
+            .machines
+            .par_iter()
+            .enumerate()
+            .map(|(i, items)| emit(i, items))
+            .collect();
+        let inbound = self.raw_exchange(label, outgoing)?;
+        self.machines
+            .par_iter_mut()
+            .zip(inbound.into_par_iter())
+            .enumerate()
+            .for_each(|(i, (items, msgs))| merge(i, items, msgs));
+        self.storage = self.machines.par_iter().map(|m| slice_words(m)).collect();
+        let max_storage = self.storage.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.storage.iter().map(|&s| s as u64).sum();
+        self.ledger.observe_storage(max_storage, total);
+        self.check_storage(label)
+    }
+
+    /// Absorb the ledger of a helper computation (e.g. a ball-growing
+    /// sub-cluster) into this cluster's accounting.
+    pub fn absorb_ledger(&mut self, other: &Ledger) {
+        self.ledger.absorb(other);
+    }
+
+    /// Core routing step shared by [`Cluster::exchange_multi`] and the
+    /// primitives: deliver pre-addressed messages (of *any* `Words` type —
+    /// control traffic does not need to match the cluster's item type),
+    /// charging exactly one round.
+    pub(crate) fn raw_exchange<U: Words + Send + Sync>(
+        &mut self,
+        label: &'static str,
+        outgoing: Vec<Vec<(MachineId, U)>>,
+    ) -> Result<Vec<Vec<U>>, MpcError> {
+        let p = self.config.machines;
+        let round = self.ledger.rounds + 1;
+
+        // Validate destinations and measure send volumes.
+        let mut sent_words = vec![0usize; p];
+        for (src, msgs) in outgoing.iter().enumerate() {
+            for (dst, item) in msgs {
+                if *dst >= p {
+                    return Err(MpcError::BadRoute {
+                        dest: *dst,
+                        machines: p,
+                    });
+                }
+                sent_words[src] += item.words();
+            }
+        }
+
+        // Bucket per source, then transpose (pointer moves only).
+        let bucketed: Vec<Vec<Vec<U>>> = outgoing
+            .into_par_iter()
+            .map(|msgs| {
+                let mut buckets: Vec<Vec<U>> = (0..p).map(|_| Vec::new()).collect();
+                for (dst, item) in msgs {
+                    buckets[dst].push(item);
+                }
+                buckets
+            })
+            .collect();
+        let mut inbound: Vec<Vec<U>> = (0..p).map(|_| Vec::new()).collect();
+        for src_buckets in bucketed {
+            for (dst, mut chunk) in src_buckets.into_iter().enumerate() {
+                inbound[dst].append(&mut chunk);
+            }
+        }
+
+        let recv_words: Vec<usize> = inbound.par_iter().map(|m| slice_words(m)).collect();
+        let words_moved: u64 = sent_words.iter().map(|&w| w as u64).sum();
+        let max_sent = sent_words.iter().copied().max().unwrap_or(0);
+        let max_received = recv_words.iter().copied().max().unwrap_or(0);
+        // Storage after this round is what landed (callers that retain other
+        // state account for it via check_storage afterwards).
+        let max_storage = max_received;
+        let total_storage: u64 = recv_words.iter().map(|&w| w as u64).sum();
+
+        self.ledger.record(RoundRecord {
+            words_moved,
+            max_sent,
+            max_received,
+            max_storage,
+            total_storage,
+            label,
+        });
+
+        if self.config.strict {
+            let s = self.config.space_words;
+            if let Some((m, &used)) = sent_words.iter().enumerate().find(|(_, &w)| w > s) {
+                return Err(MpcError::SpaceExceeded {
+                    round,
+                    machine: m,
+                    kind: SpaceKind::Send,
+                    used,
+                    limit: s,
+                });
+            }
+            if let Some((m, &used)) = recv_words.iter().enumerate().find(|(_, &w)| w > s) {
+                return Err(MpcError::SpaceExceeded {
+                    round,
+                    machine: m,
+                    kind: SpaceKind::Receive,
+                    used,
+                    limit: s,
+                });
+            }
+        }
+        Ok(inbound)
+    }
+
+    fn observe_and_check_storage(&mut self, _round: usize) -> Result<(), MpcError> {
+        let max_storage = self.storage.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.storage.iter().map(|&s| s as u64).sum();
+        self.ledger.observe_storage(max_storage, total);
+        self.check_storage("init")
+    }
+
+    fn check_storage(&self, _label: &'static str) -> Result<(), MpcError> {
+        if !self.config.strict {
+            return Ok(());
+        }
+        let s = self.config.space_words;
+        if let Some((m, &used)) = self.storage.iter().enumerate().find(|(_, &w)| w > s) {
+            return Err(MpcError::SpaceExceeded {
+                round: self.ledger.rounds,
+                machine: m,
+                kind: SpaceKind::Storage,
+                used,
+                limit: s,
+            });
+        }
+        Ok(())
+    }
+
+    /// Record extra rounds computed by a primitive that models its cost
+    /// analytically (e.g. a broadcast tree collapses its fan-out rounds).
+    pub(crate) fn charge_round(&mut self, rec: RoundRecord) {
+        self.ledger.record(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_distribution() {
+        let c = Cluster::from_items(MpcConfig::lenient(4, 100), (0u32..10).collect()).unwrap();
+        assert_eq!(c.total_items(), 10);
+        assert_eq!(c.machine(0), &[0, 4, 8]);
+        assert_eq!(c.machine(1), &[1, 5, 9]);
+        assert_eq!(c.machine(3), &[3, 7]);
+        assert_eq!(c.ledger().rounds, 0);
+    }
+
+    #[test]
+    fn exchange_by_costs_one_round() {
+        let c = Cluster::from_items(MpcConfig::lenient(3, 1000), (0u32..30).collect()).unwrap();
+        let c = c.exchange_by("mod3", |&x| (x % 3) as usize).unwrap();
+        assert_eq!(c.ledger().rounds, 1);
+        for m in 0..3 {
+            assert!(c.machine(m).iter().all(|&x| x % 3 == m as u32));
+        }
+        assert_eq!(c.total_items(), 30);
+        assert_eq!(c.ledger().words_total, 30);
+    }
+
+    #[test]
+    fn map_local_costs_zero_rounds() {
+        let c = Cluster::from_items(MpcConfig::lenient(2, 1000), (0u32..8).collect()).unwrap();
+        let c = c
+            .map_local("double", |_, items| {
+                items.into_iter().map(|x| x * 2).collect::<Vec<u32>>()
+            })
+            .unwrap();
+        assert_eq!(c.ledger().rounds, 0);
+        let (mut items, _) = c.into_items();
+        items.sort_unstable();
+        assert_eq!(items, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strict_receive_limit_enforced() {
+        // All 50 items (1 word each) routed to machine 0 with S = 20.
+        let c = Cluster::from_items(MpcConfig::strict(5, 20), (0u32..50).collect()).unwrap();
+        let err = c.exchange_by("funnel", |_| 0).unwrap_err();
+        match err {
+            MpcError::SpaceExceeded {
+                machine, kind, used, limit, ..
+            } => {
+                assert_eq!(machine, 0);
+                assert_eq!(kind, SpaceKind::Receive);
+                assert_eq!(used, 50);
+                assert_eq!(limit, 20);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_send_limit_enforced() {
+        // Storage fits (10 words ≤ S = 25) but a 5× message amplification
+        // sends 50 words from machine 0 in one round.
+        let machines = vec![(0u32..10).collect::<Vec<_>>(), vec![], vec![], vec![], vec![]];
+        let c = Cluster::from_partitioned(MpcConfig::strict(5, 25), machines).unwrap();
+        let err = c
+            .exchange_multi("amplify", |_, items| {
+                items
+                    .into_iter()
+                    .flat_map(|x| (0..5usize).map(move |d| (d, x)))
+                    .collect::<Vec<(usize, u32)>>()
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::SpaceExceeded {
+                kind: SpaceKind::Send,
+                machine: 0,
+                used: 50,
+                limit: 25,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn strict_storage_limit_enforced_at_construction() {
+        let machines = vec![(0u32..30).collect::<Vec<_>>(), vec![], vec![]];
+        let err =
+            Cluster::from_partitioned(MpcConfig::strict(3, 25), machines).unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::SpaceExceeded {
+                kind: SpaceKind::Storage,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_route_detected() {
+        let c = Cluster::from_items(MpcConfig::lenient(2, 100), vec![1u32]).unwrap();
+        let err = c.exchange_by("oops", |_| 7).unwrap_err();
+        assert!(matches!(err, MpcError::BadRoute { dest: 7, machines: 2 }));
+    }
+
+    #[test]
+    fn lenient_records_but_allows() {
+        let c = Cluster::from_items(MpcConfig::lenient(5, 2), (0u32..50).collect()).unwrap();
+        let c = c.exchange_by("funnel", |_| 0).unwrap();
+        assert_eq!(c.machine(0).len(), 50);
+        assert!(c.ledger().peak_round_io >= 50);
+        assert!(c.ledger().peak_storage >= 50);
+    }
+
+    #[test]
+    fn exchange_multi_changes_type() {
+        let c = Cluster::from_items(MpcConfig::lenient(2, 1000), (0u32..6).collect()).unwrap();
+        let c = c
+            .exchange_multi("pairs", |src, items| {
+                items
+                    .into_iter()
+                    .map(|x| ((x as usize) % 2, (x, src as u32)))
+                    .collect::<Vec<(usize, (u32, u32))>>()
+            })
+            .unwrap();
+        assert_eq!(c.total_items(), 6);
+        assert!(c.machine(0).iter().all(|&(x, _)| x % 2 == 0));
+    }
+
+    #[test]
+    fn sublinear_config_sizing() {
+        let cfg = MpcConfig::sublinear(1_000_000, 0.5);
+        assert_eq!(cfg.space_words, 1000);
+        assert_eq!(cfg.machines, 2000);
+        assert!(cfg.strict);
+    }
+
+    #[test]
+    fn update_local_in_place() {
+        let mut c = Cluster::from_items(MpcConfig::lenient(3, 1000), (0u32..9).collect()).unwrap();
+        c.update_local("inc", |_, items| {
+            for x in items.iter_mut() {
+                *x += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(c.ledger().rounds, 0);
+        let (mut items, _) = c.into_items();
+        items.sort_unstable();
+        assert_eq!(items, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn side_channel_round_trip() {
+        // Items stay put; each machine sends its item count to machine 0,
+        // which accumulates the total into its first item.
+        let mut c =
+            Cluster::from_items(MpcConfig::lenient(4, 1000), (0u32..10).collect()).unwrap();
+        c.side_channel(
+            "census",
+            |_, items| vec![(0usize, items.len() as u32)],
+            |m, items, msgs| {
+                if m == 0 {
+                    let total: u32 = msgs.into_iter().sum();
+                    items[0] = total;
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(c.ledger().rounds, 1);
+        assert_eq!(c.machine(0)[0], 10);
+        assert_eq!(c.total_items(), 10);
+    }
+
+    #[test]
+    fn side_channel_respects_strict_limits() {
+        let mut c =
+            Cluster::from_items(MpcConfig::strict(4, 8), (0u32..8).collect()).unwrap();
+        // Every machine sends 8 words to machine 0 → receive 32 > S = 8.
+        let err = c
+            .side_channel(
+                "flood",
+                |_, _| (0..8).map(|i| (0usize, i as u32)).collect(),
+                |_, _, _| {},
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::SpaceExceeded {
+                kind: SpaceKind::Receive,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn determinism_across_thread_counts() {
+        let run = || {
+            let c =
+                Cluster::from_items(MpcConfig::lenient(4, 10_000), (0u32..100).collect()).unwrap();
+            let c = c.exchange_by("spread", |&x| (x as usize * 7) % 4).unwrap();
+            let c = c
+                .map_local("tag", |m, items| {
+                    items
+                        .into_iter()
+                        .map(|x| (m as u32, x))
+                        .collect::<Vec<(u32, u32)>>()
+                })
+                .unwrap();
+            let (items, ledger) = c.into_items();
+            (items, ledger.words_total)
+        };
+        let a = run();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let b = pool.install(run);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! Structured failures of the MPC simulation.
+
+/// Which resource limit a machine exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceKind {
+    /// Words sent in one round exceeded `S`.
+    Send,
+    /// Words received in one round exceeded `S`.
+    Receive,
+    /// Words stored after a round exceeded `S`.
+    Storage,
+}
+
+/// Errors surfaced by strict-mode cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// A machine exceeded its space budget — the algorithm left the MPC
+    /// regime it claims to run in.
+    SpaceExceeded {
+        /// Communication round (1-based, as counted by the ledger).
+        round: usize,
+        /// The offending machine.
+        machine: usize,
+        /// Which limit was violated.
+        kind: SpaceKind,
+        /// Words used.
+        used: usize,
+        /// The limit `S`.
+        limit: usize,
+    },
+    /// A routing function addressed a machine outside `0..n_machines`.
+    BadRoute {
+        /// The requested destination.
+        dest: usize,
+        /// Number of machines in the cluster.
+        machines: usize,
+    },
+}
+
+impl std::fmt::Display for MpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpcError::SpaceExceeded {
+                round,
+                machine,
+                kind,
+                used,
+                limit,
+            } => {
+                let what = match kind {
+                    SpaceKind::Send => "sent",
+                    SpaceKind::Receive => "received",
+                    SpaceKind::Storage => "stored",
+                };
+                write!(
+                    f,
+                    "machine {machine} {what} {used} words in round {round}, exceeding S = {limit}"
+                )
+            }
+            MpcError::BadRoute { dest, machines } => {
+                write!(f, "route to machine {dest} but cluster has {machines}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpcError::SpaceExceeded {
+            round: 3,
+            machine: 7,
+            kind: SpaceKind::Receive,
+            used: 1200,
+            limit: 1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("machine 7"));
+        assert!(s.contains("received 1200"));
+        assert!(s.contains("round 3"));
+        assert!(s.contains("S = 1000"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Round, communication, and space accounting.
+//!
+//! The quantities tracked here are *exactly* the quantities Theorem 10
+//! bounds: communication rounds, per-machine space, and total space. The
+//! experiment suite (E4) prints them directly.
+
+/// Record of one communication round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Total words moved between machines this round.
+    pub words_moved: u64,
+    /// Max over machines of words sent.
+    pub max_sent: usize,
+    /// Max over machines of words received.
+    pub max_received: usize,
+    /// Max over machines of words stored after the round.
+    pub max_storage: usize,
+    /// Sum over machines of words stored after the round.
+    pub total_storage: u64,
+    /// Label of the operation that caused the round (for table readouts).
+    pub label: &'static str,
+}
+
+/// Accumulated accounting across a cluster's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Communication rounds so far.
+    pub rounds: usize,
+    /// Total words moved across all rounds.
+    pub words_total: u64,
+    /// Peak single-machine per-round I/O (max of sent, received).
+    pub peak_round_io: usize,
+    /// Peak single-machine storage observed after any round.
+    pub peak_storage: usize,
+    /// Peak total storage (sum across machines) observed after any round.
+    pub peak_total_storage: u64,
+    /// Per-round records, in order.
+    pub history: Vec<RoundRecord>,
+}
+
+impl Ledger {
+    /// Fold one round's record into the running totals.
+    pub fn record(&mut self, rec: RoundRecord) {
+        self.rounds += 1;
+        self.words_total += rec.words_moved;
+        self.peak_round_io = self
+            .peak_round_io
+            .max(rec.max_sent)
+            .max(rec.max_received);
+        self.peak_storage = self.peak_storage.max(rec.max_storage);
+        self.peak_total_storage = self.peak_total_storage.max(rec.total_storage);
+        self.history.push(rec);
+    }
+
+    /// Update the storage peaks without charging a round (local phases).
+    pub fn observe_storage(&mut self, max_storage: usize, total_storage: u64) {
+        self.peak_storage = self.peak_storage.max(max_storage);
+        self.peak_total_storage = self.peak_total_storage.max(total_storage);
+    }
+
+    /// Count of rounds whose label equals `label`.
+    pub fn rounds_labeled(&self, label: &str) -> usize {
+        self.history.iter().filter(|r| r.label == label).count()
+    }
+
+    /// Merge another ledger's history after this one (used when an algorithm
+    /// runs sub-clusters).
+    pub fn absorb(&mut self, other: &Ledger) {
+        for rec in &other.history {
+            self.record(rec.clone());
+        }
+        self.peak_storage = self.peak_storage.max(other.peak_storage);
+        self.peak_total_storage = self.peak_total_storage.max(other.peak_total_storage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(words: u64, sent: usize, recv: usize, store: usize, label: &'static str) -> RoundRecord {
+        RoundRecord {
+            words_moved: words,
+            max_sent: sent,
+            max_received: recv,
+            max_storage: store,
+            total_storage: store as u64 * 4,
+            label,
+        }
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut l = Ledger::default();
+        l.record(rec(100, 30, 40, 50, "sort"));
+        l.record(rec(200, 60, 20, 45, "exchange"));
+        assert_eq!(l.rounds, 2);
+        assert_eq!(l.words_total, 300);
+        assert_eq!(l.peak_round_io, 60);
+        assert_eq!(l.peak_storage, 50);
+        assert_eq!(l.peak_total_storage, 200);
+        assert_eq!(l.rounds_labeled("sort"), 1);
+    }
+
+    #[test]
+    fn observe_storage_no_round() {
+        let mut l = Ledger::default();
+        l.observe_storage(70, 300);
+        assert_eq!(l.rounds, 0);
+        assert_eq!(l.peak_storage, 70);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Ledger::default();
+        a.record(rec(10, 1, 2, 3, "x"));
+        let mut b = Ledger::default();
+        b.record(rec(20, 9, 1, 1, "y"));
+        a.absorb(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.words_total, 30);
+        assert_eq!(a.peak_round_io, 9);
+    }
+}

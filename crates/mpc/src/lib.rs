@@ -1,0 +1,56 @@
+//! MPC-model simulator: machines, rounds, space accounting, and the
+//! standard primitives the paper builds on.
+//!
+//! The Massively Parallel Computation model (paper §2.3) has `N` machines,
+//! each with `S` words of memory, communicating in synchronous rounds; per
+//! round a machine may send and receive at most `S` words. This crate
+//! simulates that model *in process* while **measuring exactly the
+//! quantities the paper's theorems bound**: communication rounds, per-round
+//! machine I/O, per-machine storage, and total storage.
+//!
+//! * [`MpcConfig`] / [`Cluster`] — the machine pool. All data movement goes
+//!   through [`Cluster::exchange_multi`], which costs one round and, in
+//!   strict mode, *fails* (with [`MpcError::SpaceExceeded`]) whenever a
+//!   machine would exceed its space budget — regime violations surface as
+//!   structured errors rather than silently unrealistic simulations.
+//! * [`Ledger`] — the round/word/space accounting the experiment tables
+//!   print.
+//! * [`primitives`] — distributed sample sort (`O(1)` rounds),
+//!   aggregate-by-key, broadcast trees, and **graph exponentiation**
+//!   (ball doubling in `O(log B)` rounds), i.e. the toolbox §5 of the paper
+//!   refers to as "standard primitives … by now standard in the MPC
+//!   literature".
+//!
+//! Rounds are executed with rayon across machines; results are
+//! deterministic and independent of thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_mpc::{Cluster, MpcConfig};
+//! use sparse_alloc_mpc::primitives::sort_by_key;
+//!
+//! // 4 machines, 1000 words each, strict enforcement.
+//! let items: Vec<u32> = (0..100).rev().collect();
+//! let cluster = Cluster::from_items(MpcConfig::strict(4, 1000), items).unwrap();
+//!
+//! // Distributed sample sort: O(1) communication rounds.
+//! let sorted = sort_by_key(cluster, |&x| x).unwrap();
+//! let rounds = sorted.ledger().rounds;
+//! let (out, _) = sorted.into_items();
+//! assert_eq!(out, (0..100).collect::<Vec<u32>>());
+//! assert!(rounds <= 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod error;
+pub mod ledger;
+pub mod primitives;
+pub mod words;
+
+pub use cluster::{Cluster, MachineId, MpcConfig};
+pub use error::MpcError;
+pub use ledger::Ledger;
+pub use words::Words;

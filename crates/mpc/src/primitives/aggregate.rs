@@ -1,0 +1,145 @@
+//! Aggregate-by-key: the MPC reduce.
+//!
+//! Each machine first *combines locally* (the MapReduce combiner trick —
+//! without it a heavy key would exceed the receive budget), then keys are
+//! hashed to a home machine and combined again. One communication round.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::cluster::Cluster;
+use crate::error::MpcError;
+use crate::words::Words;
+
+fn home_of<K: Hash>(key: &K, p: usize) -> usize {
+    // FNV-style stand-alone hash: stable across platforms and runs
+    // (std's SipHash is randomly keyed per process, which would break
+    // replay determinism).
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    key.hash(&mut h);
+    (h.finish() % p as u64) as usize
+}
+
+/// Reduce a cluster of `(key, value)` pairs to one pair per key, combining
+/// values with `combine`. Output: each key lives on its hash-home machine,
+/// pairs sorted by key within each machine (for determinism).
+pub fn aggregate_by_key<K, V, F>(
+    cluster: Cluster<(K, V)>,
+    combine: F,
+) -> Result<Cluster<(K, V)>, MpcError>
+where
+    K: Words + Hash + Eq + Ord + Clone + Send + Sync,
+    V: Words + Send + Sync,
+    F: Fn(V, V) -> V + Sync,
+{
+    let p = cluster.n_machines();
+    let combined = cluster.exchange_multi("aggregate", |_, items| {
+        // Local combine before shipping.
+        let mut local: HashMap<K, V> = HashMap::new();
+        for (k, v) in items {
+            match local.remove(&k) {
+                Some(acc) => {
+                    let merged = combine(acc, v);
+                    local.insert(k, merged);
+                }
+                None => {
+                    local.insert(k, v);
+                }
+            }
+        }
+        local
+            .into_iter()
+            .map(|(k, v)| (home_of(&k, p), (k, v)))
+            .collect()
+    })?;
+    combined.map_local("aggregate-merge", |_, items| {
+        let mut local: HashMap<K, V> = HashMap::new();
+        for (k, v) in items {
+            match local.remove(&k) {
+                Some(acc) => {
+                    let merged = combine(acc, v);
+                    local.insert(k, merged);
+                }
+                None => {
+                    local.insert(k, v);
+                }
+            }
+        }
+        let mut out: Vec<(K, V)> = local.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::MpcConfig;
+
+    #[test]
+    fn sums_by_key() {
+        let pairs: Vec<(u32, u64)> = (0u32..100).map(|i| (i % 7, 1u64)).collect();
+        let c = Cluster::from_items(MpcConfig::lenient(4, 10_000), pairs).unwrap();
+        let c = aggregate_by_key(c, |a, b| a + b).unwrap();
+        assert_eq!(c.ledger().rounds, 1);
+        let (mut items, _) = c.into_items();
+        items.sort();
+        let expect: Vec<(u32, u64)> = (0u32..7)
+            .map(|k| (k, (100 / 7 + usize::from(k < 100 % 7)) as u64))
+            .collect();
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn each_key_on_one_machine() {
+        let pairs: Vec<(u32, u64)> = (0u32..50).map(|i| (i % 5, i as u64)).collect();
+        let c = Cluster::from_items(MpcConfig::lenient(3, 10_000), pairs).unwrap();
+        let c = aggregate_by_key(c, |a, b| a + b).unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for m in 0..c.n_machines() {
+            for (k, _) in c.machine(m) {
+                assert!(seen.insert(*k, m).is_none(), "key {k} on two machines");
+            }
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn local_combine_tames_heavy_keys() {
+        // 1000 copies of one key with S = 64: without local combining the
+        // home machine would receive 2000 words; with it, ≤ p pairs arrive.
+        let pairs: Vec<(u32, u64)> = (0..1000).map(|_| (1u32, 1u64)).collect();
+        let c = Cluster::from_items(MpcConfig::lenient(4, 64), pairs).unwrap();
+        // lenient construction (storage 500 > 64 would fail strict), but
+        // verify the *communication* stayed within a strict budget:
+        let c = aggregate_by_key(c, |a, b| a + b).unwrap();
+        assert!(c.ledger().peak_round_io <= 16, "io = {}", c.ledger().peak_round_io);
+        let (items, _) = c.into_items();
+        assert_eq!(items, vec![(1u32, 1000u64)]);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let run = || {
+            let pairs: Vec<(u32, u64)> = (0u32..200).map(|i| (i % 13, i as u64)).collect();
+            let c = Cluster::from_items(MpcConfig::lenient(5, 100_000), pairs).unwrap();
+            let c = aggregate_by_key(c, |a, b| a + b).unwrap();
+            (0..c.n_machines())
+                .map(|m| c.machine(m).to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

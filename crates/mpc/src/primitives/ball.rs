@@ -1,0 +1,340 @@
+//! Graph exponentiation: collecting radius-`r` balls in `O(log r)` rounds.
+//!
+//! The doubling technique of Lenzen–Wattenhofer \[LW10\], the engine of the
+//! paper's §3.2.1: if every vertex knows its radius-`r` ball, one
+//! request/reply exchange pair yields the radius-`2r` ball
+//! (`B_{2r}(v) = ∪_{w ∈ B_r(v)} B_r(w)`). The paper uses it to collect the
+//! `B`-hop neighborhoods of the *sampled* communication graph `H` so that a
+//! whole phase of `B` LOCAL rounds runs without communication (§5).
+//!
+//! Radii reached are powers of two; [`grow_balls`] grows to the smallest
+//! power of two ≥ the requested radius (a superset ball is always safe for
+//! simulation). Cost: `2⌈log₂ r⌉` exchange rounds after homing.
+
+use std::collections::HashMap;
+
+use crate::cluster::{Cluster, MpcConfig};
+use crate::error::MpcError;
+use crate::ledger::Ledger;
+use crate::words::Words;
+
+/// Input adjacency record: one per vertex, on any machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BallInput {
+    /// The vertex id (global, dense).
+    pub vertex: u32,
+    /// Its neighbors in the (sampled) communication graph.
+    pub neighbors: Vec<u32>,
+}
+
+impl Words for BallInput {
+    fn words(&self) -> usize {
+        1 + self.neighbors.words()
+    }
+}
+
+/// A collected ball.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ball {
+    /// The center vertex.
+    pub center: u32,
+    /// Radius actually reached (smallest power of two ≥ requested; 0 or 1
+    /// for trivial requests).
+    pub radius: u32,
+    /// All vertices at distance `1..=radius` from the center, sorted,
+    /// excluding the center itself.
+    pub members: Vec<u32>,
+}
+
+impl Words for Ball {
+    fn words(&self) -> usize {
+        2 + self.members.words()
+    }
+}
+
+fn home(v: u32, p: usize) -> usize {
+    v as usize % p
+}
+
+/// Outgoing reply messages per machine: `(destination, (requester, ball))`.
+type ReplyBatch = Vec<(usize, (u32, Vec<u32>))>;
+
+/// Grow radius-`radius` balls around every vertex of the graph given by
+/// `adjacency`, on a cluster described by `config`.
+///
+/// Vertices are homed by `v mod machines`. Returns the balls (sorted by
+/// center) and the accounting ledger. Fails in strict mode if any machine's
+/// ball storage or per-round I/O exceeds `S` — which is precisely the
+/// regime check behind eq. (4) in the paper.
+pub fn grow_balls(
+    config: MpcConfig,
+    adjacency: Vec<BallInput>,
+    radius: u32,
+) -> Result<(Vec<Ball>, Ledger), MpcError> {
+    let p = config.machines;
+    let cluster = Cluster::from_items(config, adjacency)?;
+    // One shuffle to home every vertex record (labeled separately from the
+    // exponentiation rounds).
+    let cluster = cluster.exchange_by("ball-home", |b| home(b.vertex, p))?;
+
+    // Radius-1 balls are the (deduplicated) adjacency lists.
+    let mut cluster = cluster.map_local("ball-init", |_, items| {
+        items
+            .into_iter()
+            .map(|b| {
+                let mut members = b.neighbors;
+                members.sort_unstable();
+                members.dedup();
+                members.retain(|&w| w != b.vertex);
+                Ball {
+                    center: b.vertex,
+                    radius: 1,
+                    members,
+                }
+            })
+            .collect::<Vec<Ball>>()
+    })?;
+
+    if radius == 0 {
+        cluster = cluster.map_local("ball-zero", |_, items| {
+            items
+                .into_iter()
+                .map(|b| Ball {
+                    center: b.center,
+                    radius: 0,
+                    members: Vec::new(),
+                })
+                .collect::<Vec<Ball>>()
+        })?;
+        return finish(cluster);
+    }
+
+    let mut r = 1u32;
+    while r < radius {
+        // Request phase: for each ball center v and member w, ask w's home
+        // machine for B_r(w). Message: (w, v).
+        let mut requests: Vec<Vec<(usize, (u32, u32))>> = Vec::with_capacity(p);
+        for m in 0..p {
+            let mut out = Vec::new();
+            for ball in cluster.machine(m) {
+                for &w in &ball.members {
+                    out.push((home(w, p), (w, ball.center)));
+                }
+            }
+            requests.push(out);
+        }
+        let requests_in = cluster.raw_exchange("ball-request", requests)?;
+
+        // Reply phase: the machine holding w answers with (v, B_r(w)).
+        let mut replies: Vec<ReplyBatch> = Vec::with_capacity(p);
+        for (m, reqs) in requests_in.iter().enumerate() {
+            let index: HashMap<u32, &Vec<u32>> = cluster
+                .machine(m)
+                .iter()
+                .map(|b| (b.center, &b.members))
+                .collect();
+            let mut out = Vec::with_capacity(reqs.len());
+            for &(w, v) in reqs {
+                let members = index
+                    .get(&w)
+                    .expect("request routed to w's home must find w");
+                out.push((home(v, p), (v, (*members).clone())));
+            }
+            replies.push(out);
+        }
+        let replies_in = cluster.raw_exchange("ball-reply", replies)?;
+
+        // Merge phase (local): B_{2r}(v) = B_r(v) ∪ ∪_{w ∈ B_r(v)} B_r(w).
+        let extras: Vec<HashMap<u32, Vec<u32>>> = replies_in
+            .into_iter()
+            .map(|reply_list| {
+                let mut per_center: HashMap<u32, Vec<u32>> = HashMap::new();
+                for (v, members) in reply_list {
+                    per_center.entry(v).or_default().extend(members);
+                }
+                per_center
+            })
+            .collect();
+        let new_r = r * 2;
+        cluster = cluster.map_local("ball-merge", |m, balls| {
+            let extra = &extras[m];
+            balls
+                .into_iter()
+                .map(|mut b| {
+                    if let Some(ext) = extra.get(&b.center) {
+                        b.members.extend(ext.iter().copied());
+                    }
+                    b.members.sort_unstable();
+                    b.members.dedup();
+                    b.members.retain(|&w| w != b.center);
+                    Ball {
+                        center: b.center,
+                        radius: new_r,
+                        members: b.members,
+                    }
+                })
+                .collect::<Vec<Ball>>()
+        })?;
+        r = new_r;
+    }
+
+    finish(cluster)
+}
+
+fn finish(cluster: Cluster<Ball>) -> Result<(Vec<Ball>, Ledger), MpcError> {
+    let (mut balls, ledger) = cluster.into_items();
+    balls.sort_by_key(|b| b.center);
+    Ok((balls, ledger))
+}
+
+/// Sequential reference: the radius-`r` ball around `v` by BFS.
+/// Used by tests and debug assertions.
+pub fn bfs_ball(adjacency: &[BallInput], center: u32, radius: u32) -> Vec<u32> {
+    let index: HashMap<u32, &Vec<u32>> = adjacency
+        .iter()
+        .map(|b| (b.vertex, &b.neighbors))
+        .collect();
+    let mut dist: HashMap<u32, u32> = HashMap::new();
+    dist.insert(center, 0);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(center);
+    while let Some(x) = queue.pop_front() {
+        let d = dist[&x];
+        if d == radius {
+            continue;
+        }
+        if let Some(neighbors) = index.get(&x) {
+            for &y in *neighbors {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(y) {
+                    e.insert(d + 1);
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    let mut members: Vec<u32> = dist.into_keys().filter(|&x| x != center).collect();
+    members.sort_unstable();
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0–1–2–…–(n−1) as BallInput records.
+    fn path(n: u32) -> Vec<BallInput> {
+        (0..n)
+            .map(|v| {
+                let mut nb = Vec::new();
+                if v > 0 {
+                    nb.push(v - 1);
+                }
+                if v + 1 < n {
+                    nb.push(v + 1);
+                }
+                BallInput {
+                    vertex: v,
+                    neighbors: nb,
+                }
+            })
+            .collect()
+    }
+
+    /// A small random-ish graph via a fixed multiplier walk.
+    fn scramble(n: u32, deg: u32) -> Vec<BallInput> {
+        (0..n)
+            .map(|v| BallInput {
+                vertex: v,
+                neighbors: (1..=deg).map(|i| (v * 31 + i * 17) % n).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radius_one_is_adjacency() {
+        let adj = path(6);
+        let (balls, ledger) =
+            grow_balls(MpcConfig::lenient(3, 100_000), adj.clone(), 1).unwrap();
+        for b in &balls {
+            assert_eq!(b.radius, 1);
+            assert_eq!(b.members, bfs_ball(&adj, b.center, 1), "center {}", b.center);
+        }
+        // homing is the only exchange round.
+        assert_eq!(ledger.rounds, 1);
+    }
+
+    #[test]
+    fn doubling_matches_bfs_on_path() {
+        let adj = path(20);
+        for radius in [2u32, 4, 8] {
+            let (balls, _) =
+                grow_balls(MpcConfig::lenient(4, 1_000_000), adj.clone(), radius).unwrap();
+            for b in &balls {
+                assert_eq!(b.radius, radius); // powers of two already
+                assert_eq!(
+                    b.members,
+                    bfs_ball(&adj, b.center, radius),
+                    "center {} radius {radius}",
+                    b.center
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        let adj = path(30);
+        let (balls, _) = grow_balls(MpcConfig::lenient(4, 1_000_000), adj.clone(), 3).unwrap();
+        for b in &balls {
+            assert_eq!(b.radius, 4);
+            assert_eq!(b.members, bfs_ball(&adj, b.center, 4));
+        }
+    }
+
+    #[test]
+    fn doubling_matches_bfs_on_scramble() {
+        let adj = scramble(40, 3);
+        let (balls, _) = grow_balls(MpcConfig::lenient(5, 10_000_000), adj.clone(), 4).unwrap();
+        for b in &balls {
+            assert_eq!(
+                b.members,
+                bfs_ball(&adj, b.center, 4),
+                "center {}",
+                b.center
+            );
+        }
+    }
+
+    #[test]
+    fn round_count_is_two_log_r() {
+        let adj = path(40);
+        let (_, ledger) = grow_balls(MpcConfig::lenient(4, 1_000_000), adj, 8).unwrap();
+        // 1 homing + 3 doublings × 2 exchanges.
+        assert_eq!(ledger.rounds, 1 + 2 * 3);
+        assert_eq!(ledger.rounds_labeled("ball-request"), 3);
+        assert_eq!(ledger.rounds_labeled("ball-reply"), 3);
+    }
+
+    #[test]
+    fn radius_zero() {
+        let adj = path(5);
+        let (balls, _) = grow_balls(MpcConfig::lenient(2, 100_000), adj, 0).unwrap();
+        assert!(balls.iter().all(|b| b.members.is_empty() && b.radius == 0));
+    }
+
+    #[test]
+    fn strict_space_violation_surfaces() {
+        // Dense graph + tiny S: the reply volume must blow the budget.
+        let adj = scramble(60, 10);
+        let err = grow_balls(MpcConfig::strict(4, 64), adj, 4);
+        assert!(matches!(err, Err(MpcError::SpaceExceeded { .. })));
+    }
+
+    #[test]
+    fn deterministic() {
+        let adj = scramble(30, 3);
+        let a = grow_balls(MpcConfig::lenient(3, 10_000_000), adj.clone(), 4).unwrap();
+        let b = grow_balls(MpcConfig::lenient(3, 10_000_000), adj, 4).unwrap();
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Distributed deduplication by key in `O(1)` rounds on top of sample
+//! sort.
+//!
+//! After [`crate::primitives::sort::sort_by_key`] brings equal keys
+//! together (possibly spanning machine boundaries), each machine dedups
+//! locally and then the boundary pass removes the survivors whose key
+//! already occurs on an earlier machine: every machine reports its last
+//! key to machine 0, machine 0 tells each machine the last key held by its
+//! nearest non-empty predecessor, and machines drop their leading run if
+//! it matches. Duplicate runs spanning any number of machines are handled
+//! because a machine that loses *all* its items still reported the
+//! offending key forward.
+//!
+//! Used by the graph-loading path (edge lists with repeats) and by the
+//! E-suite's distinct-count diagnostics.
+
+use crate::cluster::Cluster;
+use crate::error::MpcError;
+use crate::primitives::sort::sort_by_key;
+use crate::words::Words;
+
+/// Globally sort by `key` and keep exactly one item per distinct key (the
+/// first in sorted order). Costs the sample-sort rounds plus two boundary
+/// rounds.
+pub fn dedup_by_key<T, K, F>(cluster: Cluster<T>, key: F) -> Result<Cluster<T>, MpcError>
+where
+    T: Words + Send + Sync,
+    K: Ord + Clone + Words + Send + Sync,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    let sorted = sort_by_key(cluster, key)?;
+    dedup_sorted_by_key(sorted, key)
+}
+
+/// The dedup pass alone, for clusters already globally sorted by `key`.
+///
+/// # Panics
+/// Debug builds assert the input is globally sorted.
+pub fn dedup_sorted_by_key<T, K, F>(cluster: Cluster<T>, key: F) -> Result<Cluster<T>, MpcError>
+where
+    T: Words + Send + Sync,
+    K: Ord + Clone + Words + Send + Sync,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    debug_assert!(crate::primitives::sort::is_globally_sorted(&cluster, key));
+    let p = cluster.n_machines();
+
+    // Local dedup (keys are adjacent after the sort).
+    let mut cluster = cluster.map_local("dedup-local", move |_, items| {
+        let mut out: Vec<T> = Vec::with_capacity(items.len());
+        for it in items {
+            if out.last().map(key) != Some(key(&it)) {
+                out.push(it);
+            }
+        }
+        out
+    })?;
+    if p == 1 {
+        return Ok(cluster);
+    }
+
+    // Boundary round 1: every non-empty machine reports (machine, last key)
+    // to machine 0.
+    let mut lasts_out: Vec<Vec<(usize, (u64, K))>> = Vec::with_capacity(p);
+    for m in 0..p {
+        let items = cluster.machine(m);
+        lasts_out.push(match items.last() {
+            Some(it) => vec![(0usize, (m as u64, key(it)))],
+            None => Vec::new(),
+        });
+    }
+    let lasts_in = cluster.raw_exchange("dedup-collect", lasts_out)?;
+    let mut lasts: Vec<(u64, K)> = lasts_in.into_iter().flatten().collect();
+    lasts.sort_by_key(|&(m, _)| m);
+
+    // Machine 0 computes, for each machine, the last key of its nearest
+    // non-empty predecessor.
+    let mut pred_out: Vec<Vec<(usize, K)>> = vec![Vec::new(); p];
+    let mut prev: Option<K> = None;
+    let mut lasts_iter = lasts.into_iter().peekable();
+    for m in 0..p {
+        if let Some(k) = prev.clone() {
+            pred_out[0].push((m, k));
+        }
+        if let Some(&(lm, _)) = lasts_iter.peek() {
+            if lm as usize == m {
+                prev = Some(lasts_iter.next().unwrap().1);
+            }
+        }
+    }
+    // Boundary round 2: scatter predecessor keys from machine 0.
+    let pred_in = cluster.raw_exchange("dedup-scatter", pred_out)?;
+    let preds: Vec<Option<K>> = pred_in
+        .into_iter()
+        .map(|msgs| msgs.into_iter().next())
+        .collect();
+
+    cluster.map_local("dedup-boundary", move |m, items| {
+        match &preds[m] {
+            None => items,
+            Some(boundary) => items
+                .into_iter()
+                .skip_while(|it| key(it) == *boundary)
+                .collect(),
+        }
+    })
+}
+
+/// Number of distinct keys across the cluster (consumes the cluster).
+pub fn count_distinct<T, K, F>(cluster: Cluster<T>, key: F) -> Result<u64, MpcError>
+where
+    T: Words + Send + Sync,
+    K: Ord + Clone + Words + Send + Sync,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    Ok(dedup_by_key(cluster, key)?.total_items() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::MpcConfig;
+    use std::collections::BTreeSet;
+
+    fn check_dedup(items: Vec<u64>, machines: usize) {
+        let expect: Vec<u64> = items
+            .iter()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let c = Cluster::from_items(MpcConfig::lenient(machines, 1_000_000), items).unwrap();
+        let c = dedup_by_key(c, |&x| x).unwrap();
+        let (got, _) = c.into_items();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn removes_scattered_duplicates() {
+        let items: Vec<u64> = (0..600).map(|i| (i * 48271) % 37).collect();
+        check_dedup(items, 7);
+    }
+
+    #[test]
+    fn all_identical_keys_leave_one() {
+        check_dedup(vec![42; 500], 6);
+    }
+
+    #[test]
+    fn already_unique_is_untouched() {
+        check_dedup((0..200).collect(), 4);
+    }
+
+    #[test]
+    fn run_spanning_many_machines() {
+        // 300 copies of one key followed by a few unique ones on 8 machines:
+        // after sorting, the duplicate run covers several whole machines.
+        let mut items = vec![7u64; 300];
+        items.extend([1, 2, 3]);
+        check_dedup(items, 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        check_dedup(Vec::new(), 4);
+    }
+
+    #[test]
+    fn single_machine() {
+        check_dedup(vec![5, 5, 1, 3, 3, 3], 1);
+    }
+
+    #[test]
+    fn compound_items_keep_first_per_key() {
+        // Items (key, payload): exactly one survivor per key.
+        let items: Vec<(u32, u32)> = (0..300).map(|i| ((i % 10) as u32, i as u32)).collect();
+        let c = Cluster::from_items(MpcConfig::lenient(5, 1_000_000), items).unwrap();
+        let c = dedup_by_key(c, |&(k, _)| k).unwrap();
+        let (got, _) = c.into_items();
+        assert_eq!(got.len(), 10);
+        let keys: Vec<u32> = got.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn count_distinct_matches_reference() {
+        let items: Vec<u64> = (0..500).map(|i| i % 91).collect();
+        let c = Cluster::from_items(MpcConfig::lenient(6, 1_000_000), items).unwrap();
+        assert_eq!(count_distinct(c, |&x| x).unwrap(), 91);
+    }
+
+    #[test]
+    fn constant_extra_rounds_over_sort() {
+        let items: Vec<u64> = (0..400).map(|i| i % 50).collect();
+        let sort_rounds = {
+            let c = Cluster::from_items(MpcConfig::lenient(6, 1_000_000), items.clone()).unwrap();
+            sort_by_key(c, |&x| x).unwrap().ledger().rounds
+        };
+        let dedup_rounds = {
+            let c = Cluster::from_items(MpcConfig::lenient(6, 1_000_000), items).unwrap();
+            dedup_by_key(c, |&x| x).unwrap().ledger().rounds
+        };
+        assert_eq!(dedup_rounds, sort_rounds + 2, "exactly two boundary rounds");
+    }
+}

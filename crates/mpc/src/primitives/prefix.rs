@@ -1,0 +1,195 @@
+//! Distributed prefix sums in `O(1)` rounds.
+//!
+//! The classical two-round scan: every machine reduces its items locally,
+//! ships the local total to machine 0, machine 0 computes per-machine
+//! exclusive offsets and ships them back, and each machine finishes with a
+//! local scan. This is the workhorse behind MPC dedup-with-ranks, stable
+//! renumbering, and histogram levelling; the paper charges such "standard
+//! primitives" `O(1)` rounds (§5), which the ledger verifies here.
+//!
+//! The scan order is the cluster's *current* global item order (machine
+//! index, then local position) — callers who need key order sort first
+//! with [`crate::primitives::sort::sort_by_key`].
+//!
+//! Requires `p ≤ S` (machine 0 receives one word per machine), which holds
+//! throughout the sublinear regime where `p·S ≈ total` and `S = n^α`.
+
+use crate::cluster::Cluster;
+use crate::error::MpcError;
+use crate::words::Words;
+
+/// Attach to every item its *inclusive* prefix sum of `weight` in global
+/// item order. Two communication rounds (plus none for `p = 1`).
+pub fn prefix_sums<T, F>(cluster: Cluster<T>, weight: F) -> Result<Cluster<(T, u64)>, MpcError>
+where
+    T: Words + Send + Sync,
+    F: Fn(&T) -> u64 + Sync + Copy,
+{
+    let p = cluster.n_machines();
+    if p == 1 {
+        return cluster.map_local("prefix-local", move |_, items| {
+            let mut acc = 0u64;
+            items
+                .into_iter()
+                .map(|it| {
+                    acc += weight(&it);
+                    (it, acc)
+                })
+                .collect()
+        });
+    }
+
+    // Round 1: local totals to machine 0.
+    let mut cluster = cluster;
+    let mut totals_out: Vec<Vec<(usize, (u64, u64))>> = Vec::with_capacity(p);
+    for m in 0..p {
+        let local: u64 = cluster.machine(m).iter().map(weight).sum();
+        totals_out.push(vec![(0usize, (m as u64, local))]);
+    }
+    let totals_in = cluster.raw_exchange("prefix-collect", totals_out)?;
+
+    // Machine 0: exclusive offsets per machine.
+    let mut totals: Vec<(u64, u64)> = totals_in.into_iter().flatten().collect();
+    totals.sort_unstable_by_key(|&(m, _)| m);
+    debug_assert_eq!(totals.len(), p);
+    let mut offsets = vec![0u64; p];
+    let mut acc = 0u64;
+    for &(m, total) in &totals {
+        offsets[m as usize] = acc;
+        acc += total;
+    }
+
+    // Round 2: offsets back out (sent from machine 0).
+    let mut offsets_out: Vec<Vec<(usize, u64)>> = vec![Vec::new(); p];
+    offsets_out[0] = offsets.iter().enumerate().map(|(m, &o)| (m, o)).collect();
+    let offsets_in = cluster.raw_exchange("prefix-scatter", offsets_out)?;
+
+    // Local scan from the received offset.
+    let offsets: Vec<u64> = offsets_in
+        .into_iter()
+        .map(|msgs| {
+            debug_assert_eq!(msgs.len(), 1);
+            msgs.into_iter().next().unwrap_or(0)
+        })
+        .collect();
+    cluster.map_local("prefix-local", move |m, items| {
+        let mut acc = offsets[m];
+        items
+            .into_iter()
+            .map(|it| {
+                acc += weight(&it);
+                (it, acc)
+            })
+            .collect()
+    })
+}
+
+/// Global sum of `weight` over all items, in one round (the reduce half of
+/// [`prefix_sums`]). The value is returned driver-side; broadcasting it to
+/// every machine costs the usual tree rounds via
+/// [`crate::primitives::broadcast::broadcast_value`].
+pub fn global_sum<T, F>(cluster: &mut Cluster<T>, weight: F) -> Result<u64, MpcError>
+where
+    T: Words + Send + Sync,
+    F: Fn(&T) -> u64 + Sync + Copy,
+{
+    let p = cluster.n_machines();
+    let mut totals_out: Vec<Vec<(usize, u64)>> = Vec::with_capacity(p);
+    for m in 0..p {
+        let local: u64 = cluster.machine(m).iter().map(weight).sum();
+        totals_out.push(vec![(0usize, local)]);
+    }
+    let totals_in = cluster.raw_exchange("sum-collect", totals_out)?;
+    Ok(totals_in.into_iter().flatten().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::MpcConfig;
+
+    fn reference_prefix(items: &[u64]) -> Vec<u64> {
+        let mut acc = 0;
+        items
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_scan() {
+        let items: Vec<u64> = (0..500).map(|i| (i * 7 + 3) % 23).collect();
+        let c = Cluster::from_items(MpcConfig::lenient(8, 100_000), items).unwrap();
+        // The scan follows the cluster's global order (machine, position),
+        // which `from_items` chose; snapshot it as the reference order.
+        let cluster_order: Vec<u64> = c.iter_items().copied().collect();
+        let expect = reference_prefix(&cluster_order);
+        let c = prefix_sums(c, |&x| x).unwrap();
+        let (got, ledger) = c.into_items();
+        let got_items: Vec<u64> = got.iter().map(|&(x, _)| x).collect();
+        let got_prefix: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+        assert_eq!(got_items, cluster_order, "item order preserved");
+        assert_eq!(got_prefix, expect);
+        assert_eq!(ledger.rounds, 2, "O(1)-round claim");
+    }
+
+    #[test]
+    fn single_machine_zero_rounds() {
+        let c = Cluster::from_items(MpcConfig::lenient(1, 10_000), vec![5u64, 1, 2]).unwrap();
+        let c = prefix_sums(c, |&x| x).unwrap();
+        let (got, ledger) = c.into_items();
+        assert_eq!(got, vec![(5, 5), (1, 6), (2, 8)]);
+        assert_eq!(ledger.rounds, 0);
+    }
+
+    #[test]
+    fn zero_weights_and_empty_machines() {
+        // More machines than items: several machines hold nothing.
+        let c = Cluster::from_items(MpcConfig::lenient(8, 10_000), vec![1u64, 0, 4]).unwrap();
+        let c = prefix_sums(c, |&x| x).unwrap();
+        let (got, _) = c.into_items();
+        assert_eq!(got, vec![(1, 1), (0, 1), (4, 5)]);
+    }
+
+    #[test]
+    fn unit_weights_give_ranks() {
+        let items: Vec<u32> = (0..100).rev().collect();
+        let c = Cluster::from_items(MpcConfig::lenient(4, 100_000), items).unwrap();
+        let c = prefix_sums(c, |_| 1).unwrap();
+        for (rank0, (_, rank)) in c.iter_items().enumerate() {
+            assert_eq!(*rank, rank0 as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn global_sum_matches() {
+        let items: Vec<u64> = (1..=100).collect();
+        let mut c = Cluster::from_items(MpcConfig::lenient(5, 100_000), items).unwrap();
+        assert_eq!(global_sum(&mut c, |&x| x).unwrap(), 5050);
+        assert_eq!(c.ledger().rounds, 1);
+    }
+
+    #[test]
+    fn strict_space_accounting_passes_in_regime() {
+        // 256 items over 16 machines with S = 64 words: the collect/scatter
+        // fan-in is 16 ≤ S, so strict mode must pass.
+        let items: Vec<u64> = (0..256).collect();
+        let c = Cluster::from_items(MpcConfig::strict(16, 64), items).unwrap();
+        let c = prefix_sums(c, |&x| x).unwrap();
+        assert_eq!(c.total_items(), 256);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let items: Vec<u64> = (0..300).map(|i| i % 13).collect();
+            let c = Cluster::from_items(MpcConfig::lenient(6, 100_000), items).unwrap();
+            let (out, _) = prefix_sums(c, |&x| x).unwrap().into_items();
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,112 @@
+//! Item sizing: everything stored or shipped in the cluster is measured in
+//! machine words (the unit of the MPC space parameter `S`).
+
+/// Size of a value in machine words. A "word" is the unit `S` is expressed
+/// in (`O(log n)` bits in the theory; 8 bytes here).
+pub trait Words {
+    /// Number of words this value occupies.
+    fn words(&self) -> usize;
+}
+
+macro_rules! one_word {
+    ($($t:ty),*) => {
+        $(impl Words for $t {
+            #[inline]
+            fn words(&self) -> usize { 1 }
+        })*
+    };
+}
+
+one_word!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Words for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words> Words for (A, B, C) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words, D: Words> Words for (A, B, C, D) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words, D: Words, E: Words> Words for (A, B, C, D, E) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words() + self.4.words()
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    #[inline]
+    fn words(&self) -> usize {
+        1 + self.as_ref().map_or(0, Words::words)
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    /// One word of length header plus the contents.
+    #[inline]
+    fn words(&self) -> usize {
+        1 + self.iter().map(Words::words).sum::<usize>()
+    }
+}
+
+impl<T: Words> Words for Box<T> {
+    #[inline]
+    fn words(&self) -> usize {
+        (**self).words()
+    }
+}
+
+/// Total size of a slice of items (no container header — used for machine
+/// storage accounting where items are counted individually).
+pub fn slice_words<T: Words>(items: &[T]) -> usize {
+    items.iter().map(Words::words).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(5u32.words(), 1);
+        assert_eq!(5.0f64.words(), 1);
+        assert_eq!(true.words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u64).words(), 2);
+        assert_eq!((1u32, 2u64, 3.0f64).words(), 3);
+        assert_eq!(Some(7u32).words(), 2);
+        assert_eq!(None::<u32>.words(), 1);
+        assert_eq!(vec![1u32, 2, 3].words(), 4);
+        assert_eq!(Vec::<u32>::new().words(), 1);
+        assert_eq!(vec![vec![1u32], vec![]].words(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn slice_accounting() {
+        let items = vec![(1u32, 2u32), (3, 4)];
+        assert_eq!(slice_words(&items), 4);
+    }
+}

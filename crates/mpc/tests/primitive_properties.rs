@@ -1,0 +1,129 @@
+//! Property-based tests of the MPC primitives against sequential oracles:
+//! whatever the machine count, space budget, or input shape, the
+//! distributed result must equal the obvious single-machine computation,
+//! and accounting must balance.
+
+use proptest::prelude::*;
+use sparse_alloc_mpc::primitives::ball::{bfs_ball, grow_balls, BallInput};
+use sparse_alloc_mpc::primitives::{aggregate_by_key, broadcast_value, sort_by_key};
+use sparse_alloc_mpc::{Cluster, MpcConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_matches_sequential(
+        items in proptest::collection::vec(0u32..10_000, 0..400),
+        machines in 1usize..12,
+    ) {
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        let c = Cluster::from_items(MpcConfig::lenient(machines, usize::MAX / 4), items).unwrap();
+        let c = sort_by_key(c, |&x| x).unwrap();
+        let (got, ledger) = c.into_items();
+        prop_assert_eq!(got, expect);
+        if machines > 1 {
+            prop_assert!(ledger.rounds >= 3, "sample sort is ≥ 3 rounds");
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_hashmap(
+        pairs in proptest::collection::vec((0u32..50, 1u64..100), 0..300),
+        machines in 1usize..10,
+    ) {
+        let mut expect: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for &(k, v) in &pairs {
+            *expect.entry(k).or_default() += v;
+        }
+        let c = Cluster::from_items(MpcConfig::lenient(machines, usize::MAX / 4), pairs).unwrap();
+        let c = aggregate_by_key(c, |a, b| a + b).unwrap();
+        let (got, _) = c.into_items();
+        let got: std::collections::HashMap<u32, u64> = got.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn exchange_conserves_items(
+        items in proptest::collection::vec(0u32..1_000, 0..300),
+        machines in 1usize..8,
+        salt in 0u32..100,
+    ) {
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        let c = Cluster::from_items(MpcConfig::lenient(machines, usize::MAX / 4), items).unwrap();
+        let c = c
+            .exchange_by("scatter", |&x| ((x.wrapping_mul(salt.wrapping_add(7))) as usize) % machines)
+            .unwrap();
+        let (mut got, ledger) = c.into_items();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(ledger.rounds, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_machine(
+        machines in 1usize..20,
+        space in 2usize..64,
+        value in proptest::collection::vec(0u32..10, 0..6),
+    ) {
+        let mut c = Cluster::from_items(
+            MpcConfig::lenient(machines, space),
+            Vec::<u32>::new(),
+        ).unwrap();
+        let copies = broadcast_value(&mut c, &value).unwrap();
+        prop_assert_eq!(copies.len(), machines);
+        for copy in &copies {
+            prop_assert_eq!(copy, &value);
+        }
+        // Tree depth: at most ⌈log₂ machines⌉ + 1 rounds even at fan-out 2.
+        let depth_bound = (machines as f64).log2().ceil() as usize + 1;
+        prop_assert!(c.ledger().rounds <= depth_bound.max(1));
+    }
+
+    #[test]
+    fn balls_match_bfs(
+        n in 2u32..40,
+        degree in 1u32..4,
+        radius in 0u32..5,
+        machines in 1usize..6,
+        seed in 0u32..1000,
+    ) {
+        // Deterministic pseudo-random bounded-degree digraph.
+        let adjacency: Vec<BallInput> = (0..n)
+            .map(|v| BallInput {
+                vertex: v,
+                neighbors: (0..degree)
+                    .map(|i| (v.wrapping_mul(31).wrapping_add(i * 17 + seed)) % n)
+                    .collect(),
+            })
+            .collect();
+        let (balls, _) = grow_balls(
+            MpcConfig::lenient(machines, usize::MAX / 4),
+            adjacency.clone(),
+            radius,
+        ).unwrap();
+        prop_assert_eq!(balls.len(), n as usize);
+        for ball in &balls {
+            // Implementation grows to the next power of two ≥ radius.
+            let grown = ball.radius;
+            prop_assert!(grown >= radius);
+            prop_assert_eq!(&ball.members, &bfs_ball(&adjacency, ball.center, grown));
+        }
+    }
+
+    #[test]
+    fn words_accounting_balances(
+        items in proptest::collection::vec((0u32..100, 0u64..100), 1..200),
+        machines in 2usize..8,
+    ) {
+        let n_words: usize = items.len() * 2;
+        let c = Cluster::from_items(MpcConfig::lenient(machines, usize::MAX / 4), items).unwrap();
+        // Route everything to machine 0: words moved = total item words.
+        let c = c.exchange_by("funnel", |_| 0).unwrap();
+        let ledger = c.ledger();
+        prop_assert_eq!(ledger.words_total, n_words as u64);
+        prop_assert_eq!(ledger.peak_storage, n_words);
+        prop_assert!(ledger.peak_round_io <= n_words);
+    }
+}

@@ -1,0 +1,142 @@
+//! Textbook adversarial arrival instances with analytically known optima.
+//!
+//! These are the lower-bound constructions from the online matching
+//! literature, reproduced so the experiment tables show the classical
+//! competitive-ratio separations (first-fit → 1/2, BALANCE → 1 − 1/e)
+//! against the offline optimum — the gap the paper's offline MPC algorithm
+//! closes to `1 + ε`.
+
+use sparse_alloc_graph::{Bipartite, BipartiteBuilder, LeftId};
+
+/// A bipartite instance packaged with its adversarial arrival order and the
+/// analytically known offline optimum.
+#[derive(Debug, Clone)]
+pub struct AdversarialInstance {
+    /// The graph (capacities included).
+    pub graph: Bipartite,
+    /// Arrival order of the left vertices.
+    pub order: Vec<LeftId>,
+    /// Exact offline optimum, by construction.
+    pub opt: u64,
+}
+
+/// The two-advertiser greedy trap.
+///
+/// Advertisers `A`, `B` with capacity `c` each. First `c` arrivals are
+/// adjacent to both (first-fit's lowest-index tie-break sends all of them
+/// to `A`); the next `c` arrivals are adjacent to `A` only and find it
+/// saturated. `OPT = 2c` (phase 1 → `B`, phase 2 → `A`); first-fit books
+/// exactly `c`, ratio `1/2`; BALANCE splits phase 1 and books `3c/2`.
+///
+/// # Panics
+/// Panics if `c == 0`.
+pub fn greedy_trap(c: usize) -> AdversarialInstance {
+    assert!(c > 0, "capacity must be positive");
+    let mut b = BipartiteBuilder::new(2 * c, 2);
+    for u in 0..c {
+        b.add_edge(u as u32, 0);
+        b.add_edge(u as u32, 1);
+    }
+    for u in c..2 * c {
+        b.add_edge(u as u32, 0);
+    }
+    let graph = b.build_with_uniform_capacity(c as u64).unwrap();
+    AdversarialInstance {
+        graph,
+        order: (0..2 * c as u32).collect(),
+        opt: 2 * c as u64,
+    }
+}
+
+/// The suffix-phase family on which BALANCE tends to `1 − 1/e`.
+///
+/// `k` advertisers with capacity `c` each; arrivals come in `k` phases of
+/// `c` queries, phase `i` (0-based) adjacent to advertisers `{i, …, k−1}`.
+/// `OPT = k·c` (phase `i` → advertiser `i`). BALANCE spreads each phase
+/// across its suffix, so the high-index advertisers fill early and late
+/// phases starve; its ratio decreases toward `1 − 1/e ≈ 0.632` as `k`
+/// grows. (This is the MSVV lower-bound construction for deterministic
+/// algorithms, specialized to unit bids.)
+///
+/// # Panics
+/// Panics if `k == 0` or `c == 0`.
+pub fn suffix_phases(k: usize, c: usize) -> AdversarialInstance {
+    assert!(k > 0 && c > 0, "phases and capacity must be positive");
+    let n_left = k * c;
+    let mut b = BipartiteBuilder::new(n_left, k);
+    for phase in 0..k {
+        for j in 0..c {
+            let u = (phase * c + j) as u32;
+            for v in phase..k {
+                b.add_edge(u, v as u32);
+            }
+        }
+    }
+    let graph = b.build_with_uniform_capacity(c as u64).unwrap();
+    AdversarialInstance {
+        graph,
+        order: (0..n_left as u32).collect(),
+        opt: n_left as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::Balance;
+    use crate::driver::run_online;
+    use crate::greedy::FirstFit;
+    use sparse_alloc_flow::opt::opt_value;
+
+    #[test]
+    fn greedy_trap_opt_is_correct() {
+        for c in [1, 2, 8, 33] {
+            let inst = greedy_trap(c);
+            inst.graph.validate().unwrap();
+            assert_eq!(opt_value(&inst.graph), inst.opt, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn suffix_phases_opt_is_correct() {
+        for (k, c) in [(1, 3), (2, 4), (5, 6), (8, 8)] {
+            let inst = suffix_phases(k, c);
+            inst.graph.validate().unwrap();
+            assert_eq!(opt_value(&inst.graph), inst.opt, "k = {k}, c = {c}");
+        }
+    }
+
+    #[test]
+    fn first_fit_hits_exactly_half_on_trap() {
+        let inst = greedy_trap(25);
+        let a = run_online(&inst.graph, &inst.order, &mut FirstFit::new());
+        assert_eq!(a.size() as u64 * 2, inst.opt);
+    }
+
+    #[test]
+    fn balance_hits_three_quarters_on_trap() {
+        let inst = greedy_trap(24);
+        let a = run_online(&inst.graph, &inst.order, &mut Balance::new());
+        assert_eq!(a.size() as u64 * 4, inst.opt * 3);
+    }
+
+    #[test]
+    fn balance_ratio_decreases_toward_1_minus_1_over_e() {
+        let one_minus_1e = 1.0 - (-1.0f64).exp();
+        let mut prev = 1.01;
+        for k in [2usize, 4, 8, 16] {
+            let inst = suffix_phases(k, 120);
+            let a = run_online(&inst.graph, &inst.order, &mut Balance::new());
+            let ratio = a.size() as f64 / inst.opt as f64;
+            assert!(ratio < prev + 1e-9, "ratio must not increase with k");
+            assert!(
+                ratio > one_minus_1e - 0.02,
+                "BALANCE must stay near/above 1 − 1/e (k = {k}, ratio = {ratio})"
+            );
+            prev = ratio;
+        }
+        // By k = 16 the ratio is visibly below the trap ratios and close to
+        // the asymptotic constant.
+        assert!(prev < 0.70);
+    }
+}

@@ -1,0 +1,95 @@
+//! Arrival-order models.
+//!
+//! The adversarial-order constructions live in [`crate::adversarial`]; this
+//! module provides the generic orders used on arbitrary instances:
+//! natural, reversed, seeded-random (the random-order / secretary model),
+//! and degree-sorted (hard arrivals first/last).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sparse_alloc_graph::{Bipartite, LeftId};
+
+/// Natural index order `0, 1, …, n_left−1`.
+pub fn natural(g: &Bipartite) -> Vec<LeftId> {
+    (0..g.n_left() as u32).collect()
+}
+
+/// Reversed index order.
+pub fn reversed(g: &Bipartite) -> Vec<LeftId> {
+    (0..g.n_left() as u32).rev().collect()
+}
+
+/// Uniformly random order (the random-order model), seeded.
+pub fn random(g: &Bipartite, seed: u64) -> Vec<LeftId> {
+    let mut order = natural(g);
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    order
+}
+
+/// Ascending left degree — flexible arrivals last. Ties break by index so
+/// the order is deterministic.
+pub fn by_degree_ascending(g: &Bipartite) -> Vec<LeftId> {
+    let mut order = natural(g);
+    order.sort_by_key(|&u| (g.left_degree(u), u));
+    order
+}
+
+/// Descending left degree — flexible arrivals first (the friendly order:
+/// constrained vertices still find room).
+pub fn by_degree_descending(g: &Bipartite) -> Vec<LeftId> {
+    let mut order = natural(g);
+    order.sort_by_key(|&u| (std::cmp::Reverse(g.left_degree(u)), u));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::generators::random_bipartite;
+
+    fn is_permutation(order: &[u32], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&u| {
+                let fresh = !seen[u as usize];
+                seen[u as usize] = true;
+                fresh
+            })
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let g = random_bipartite(64, 32, 200, 2, 5).graph;
+        for order in [
+            natural(&g),
+            reversed(&g),
+            random(&g, 1),
+            random(&g, 2),
+            by_degree_ascending(&g),
+            by_degree_descending(&g),
+        ] {
+            assert!(is_permutation(&order, g.n_left()));
+        }
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let g = random_bipartite(64, 32, 200, 2, 5).graph;
+        assert_eq!(random(&g, 9), random(&g, 9));
+        assert_ne!(random(&g, 9), random(&g, 10));
+    }
+
+    #[test]
+    fn degree_orders_are_sorted() {
+        let g = random_bipartite(64, 32, 200, 2, 5).graph;
+        let asc = by_degree_ascending(&g);
+        assert!(asc
+            .windows(2)
+            .all(|w| g.left_degree(w[0]) <= g.left_degree(w[1])));
+        let desc = by_degree_descending(&g);
+        assert!(desc
+            .windows(2)
+            .all(|w| g.left_degree(w[0]) >= g.left_degree(w[1])));
+    }
+}

@@ -1,0 +1,209 @@
+//! The arrival loop: trait for online decision rules and the
+//! feasibility-enforcing executor.
+
+use sparse_alloc_graph::{Assignment, Bipartite, LeftId, RightId};
+
+/// Mutable run state visible to an [`OnlineAllocator`] when it decides.
+///
+/// The driver owns this; allocators only read it. Loads are maintained by
+/// the driver so a buggy decision rule cannot corrupt feasibility
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct OnlineState {
+    loads: Vec<u64>,
+    assignment: Assignment,
+    arrivals_seen: usize,
+}
+
+impl OnlineState {
+    fn new(g: &Bipartite) -> Self {
+        OnlineState {
+            loads: vec![0; g.n_right()],
+            assignment: Assignment::empty(g.n_left()),
+            arrivals_seen: 0,
+        }
+    }
+
+    /// Current load (matched partners) of right vertex `v`.
+    #[inline]
+    pub fn load(&self, v: RightId) -> u64 {
+        self.loads[v as usize]
+    }
+
+    /// Residual capacity `C_v − load_v` of right vertex `v`.
+    #[inline]
+    pub fn residual(&self, g: &Bipartite, v: RightId) -> u64 {
+        g.capacity(v) - self.loads[v as usize]
+    }
+
+    /// Fraction of `C_v` consumed so far, in `[0, 1]`.
+    #[inline]
+    pub fn fill_fraction(&self, g: &Bipartite, v: RightId) -> f64 {
+        self.loads[v as usize] as f64 / g.capacity(v) as f64
+    }
+
+    /// Number of arrivals processed so far (the decision for the current
+    /// arrival sees the count *excluding* it).
+    #[inline]
+    pub fn arrivals_seen(&self) -> usize {
+        self.arrivals_seen
+    }
+
+    /// The partial assignment built so far.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+}
+
+/// An online decision rule.
+///
+/// The driver calls [`OnlineAllocator::reset`] once, then
+/// [`OnlineAllocator::choose`] for every arriving left vertex in order.
+/// Returning `Some(v)` *requests* the match; the driver verifies that `v` is
+/// a neighbor of `u` with residual capacity and panics otherwise — an
+/// infeasible request is a bug in the decision rule, not a rejection.
+pub trait OnlineAllocator {
+    /// Short name used in reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// (Re-)initialize internal state for a run on `g`.
+    fn reset(&mut self, g: &Bipartite);
+
+    /// Decide the match for arriving vertex `u`, or `None` to reject.
+    fn choose(&mut self, g: &Bipartite, state: &OnlineState, u: LeftId) -> Option<RightId>;
+}
+
+/// Run `algo` over the arrival sequence `order` and return the final
+/// assignment.
+///
+/// `order` must be a permutation of a *subset* of `0..n_left` without
+/// repeats (prefixes of a permutation model truncated streams).
+///
+/// # Panics
+/// Panics if `order` repeats a vertex or the allocator requests an
+/// infeasible match.
+pub fn run_online(g: &Bipartite, order: &[LeftId], algo: &mut dyn OnlineAllocator) -> Assignment {
+    let mut state = OnlineState::new(g);
+    let mut seen = vec![false; g.n_left()];
+    algo.reset(g);
+    for &u in order {
+        assert!(
+            !std::mem::replace(&mut seen[u as usize], true),
+            "arrival order repeats left vertex {u}"
+        );
+        if let Some(v) = algo.choose(g, &state, u) {
+            assert!(
+                g.left_neighbors(u).contains(&v),
+                "{}: requested non-edge ({u}, {v})",
+                algo.name()
+            );
+            assert!(
+                state.residual(g, v) > 0,
+                "{}: requested saturated right vertex {v} for arrival {u}",
+                algo.name()
+            );
+            state.loads[v as usize] += 1;
+            state.assignment.mate[u as usize] = Some(v);
+        }
+        state.arrivals_seen += 1;
+    }
+    state.assignment
+}
+
+/// Value and competitive ratio of one online run against a known optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Allocator name.
+    pub name: &'static str,
+    /// `|M|` achieved by the online run.
+    pub value: u64,
+    /// The offline optimum used as denominator.
+    pub opt: u64,
+    /// `value / opt` (1.0 for an empty instance).
+    pub ratio: f64,
+}
+
+/// Run an allocator and package the result against a known `opt`.
+pub fn run_report(
+    g: &Bipartite,
+    order: &[LeftId],
+    algo: &mut dyn OnlineAllocator,
+    opt: u64,
+) -> OnlineReport {
+    let value = run_online(g, order, algo).size() as u64;
+    OnlineReport {
+        name: algo.name(),
+        value,
+        opt,
+        ratio: if opt == 0 {
+            1.0
+        } else {
+            value as f64 / opt as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::FirstFit;
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    fn path3() -> Bipartite {
+        // u0 — v0 — u1 — v1
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        b.add_edge(1, 1);
+        b.build_with_uniform_capacity(1).unwrap()
+    }
+
+    #[test]
+    fn executor_applies_choices() {
+        let g = path3();
+        let a = run_online(&g, &[0, 1], &mut FirstFit::new());
+        a.validate(&g).unwrap();
+        assert_eq!(a.size(), 2);
+        assert_eq!(a.mate[0], Some(0));
+        assert_eq!(a.mate[1], Some(1));
+    }
+
+    #[test]
+    fn truncated_stream_is_allowed() {
+        let g = path3();
+        let a = run_online(&g, &[1], &mut FirstFit::new());
+        assert_eq!(a.size(), 1);
+        assert_eq!(a.mate[0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats left vertex")]
+    fn repeated_arrival_panics() {
+        let g = path3();
+        run_online(&g, &[0, 0], &mut FirstFit::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "requested non-edge")]
+    fn infeasible_choice_panics() {
+        struct Liar;
+        impl OnlineAllocator for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn reset(&mut self, _: &Bipartite) {}
+            fn choose(&mut self, _: &Bipartite, _: &OnlineState, _: LeftId) -> Option<RightId> {
+                Some(1) // (0, 1) is not an edge of path3
+            }
+        }
+        run_online(&path3(), &[0], &mut Liar);
+    }
+
+    #[test]
+    fn report_ratio() {
+        let g = path3();
+        let r = run_report(&g, &[0, 1], &mut FirstFit::new(), 2);
+        assert_eq!(r.value, 2);
+        assert!((r.ratio - 1.0).abs() < 1e-12);
+    }
+}

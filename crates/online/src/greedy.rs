@@ -1,0 +1,126 @@
+//! Greedy online rules: first-fit and random-fit.
+//!
+//! Any greedy rule that never rejects an arrival with a feasible neighbor
+//! produces a *maximal* allocation, hence is 1/2-competitive; the bound is
+//! tight for first-fit on [`crate::adversarial::greedy_trap`]. Random-fit is
+//! the natural hedged variant (for unweighted matching its randomized
+//! analogue RANKING achieves `1 − 1/e`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparse_alloc_graph::{Bipartite, LeftId, RightId};
+
+use crate::driver::{OnlineAllocator, OnlineState};
+
+/// Match each arrival to its first neighbor with residual capacity.
+#[derive(Debug, Clone, Default)]
+pub struct FirstFit;
+
+impl FirstFit {
+    /// A fresh first-fit rule.
+    pub fn new() -> Self {
+        FirstFit
+    }
+}
+
+impl OnlineAllocator for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn reset(&mut self, _: &Bipartite) {}
+
+    fn choose(&mut self, g: &Bipartite, state: &OnlineState, u: LeftId) -> Option<RightId> {
+        g.left_neighbors(u)
+            .iter()
+            .copied()
+            .find(|&v| state.residual(g, v) > 0)
+    }
+}
+
+/// Match each arrival to a uniformly random neighbor with residual capacity.
+#[derive(Debug, Clone)]
+pub struct RandomFit {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl RandomFit {
+    /// A random-fit rule with the given seed (reset re-seeds, so repeated
+    /// runs of the same instance are reproducible).
+    pub fn new(seed: u64) -> Self {
+        RandomFit {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OnlineAllocator for RandomFit {
+    fn name(&self) -> &'static str {
+        "random-fit"
+    }
+
+    fn reset(&mut self, _: &Bipartite) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+
+    fn choose(&mut self, g: &Bipartite, state: &OnlineState, u: LeftId) -> Option<RightId> {
+        // Reservoir-sample uniformly among feasible neighbors in one pass.
+        let mut chosen = None;
+        let mut feasible = 0usize;
+        for &v in g.left_neighbors(u) {
+            if state.residual(g, v) > 0 {
+                feasible += 1;
+                if self.rng.gen_range(0..feasible) == 0 {
+                    chosen = Some(v);
+                }
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_online;
+    use sparse_alloc_flow::greedy::is_maximal;
+    use sparse_alloc_flow::opt::opt_value;
+    use sparse_alloc_graph::generators::random_bipartite;
+
+    #[test]
+    fn first_fit_is_maximal_and_half_competitive() {
+        for seed in 0..6 {
+            let g = random_bipartite(80, 50, 400, 3, seed).graph;
+            let order: Vec<u32> = (0..g.n_left() as u32).collect();
+            let a = run_online(&g, &order, &mut FirstFit::new());
+            a.validate(&g).unwrap();
+            assert!(is_maximal(&g, &a));
+            assert!(2 * a.size() as u64 >= opt_value(&g));
+        }
+    }
+
+    #[test]
+    fn random_fit_is_maximal_and_reproducible() {
+        let g = random_bipartite(60, 40, 300, 2, 11).graph;
+        let order: Vec<u32> = (0..g.n_left() as u32).collect();
+        let a1 = run_online(&g, &order, &mut RandomFit::new(5));
+        let a2 = run_online(&g, &order, &mut RandomFit::new(5));
+        let a3 = run_online(&g, &order, &mut RandomFit::new(6));
+        a1.validate(&g).unwrap();
+        assert!(is_maximal(&g, &a1));
+        assert_eq!(a1, a2, "same seed must reproduce");
+        // Different seeds *may* coincide but on 300 edges they practically
+        // never do; this guards against the rng being ignored.
+        assert_ne!(a1, a3, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn random_fit_uses_single_feasible_neighbor() {
+        let g = sparse_alloc_graph::generators::star(4, 4).graph;
+        let order: Vec<u32> = (0..4).collect();
+        let a = run_online(&g, &order, &mut RandomFit::new(0));
+        assert_eq!(a.size(), 4);
+    }
+}

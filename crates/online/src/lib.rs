@@ -1,0 +1,73 @@
+//! Online allocation algorithms — the application domain that motivates the
+//! allocation problem in Łącki–Mitrović–Ramachandran–Sheu (SPAA 2025).
+//!
+//! The paper's introduction frames allocation via online ads and
+//! server–client resource allocation (MSVV07, FKM+09, VVS10, BLM23, …).
+//! This crate implements the classical *online* algorithms for the same
+//! problem so the experiment suite can answer the question a practitioner
+//! would ask: *how much value does periodically re-solving offline with the
+//! paper's `(1+ε)` MPC algorithm recover over committing online?*
+//!
+//! # The online model
+//!
+//! The right side (advertisers / servers) and its capacities are known
+//! upfront. Left vertices (impressions / requests) arrive one at a time in
+//! an externally chosen order; when `u` arrives, its edge set `N(u)` is
+//! revealed and the algorithm must irrevocably match `u` to a neighbor with
+//! residual capacity, or reject it.
+//!
+//! # What's here
+//!
+//! * [`driver`] — the arrival loop: an [`OnlineAllocator`] decision trait,
+//!   feasibility-enforcing executor, and per-run report.
+//! * [`greedy`] — first-fit and random-fit greedy (1/2-competitive, tight).
+//! * [`balance`] — the BALANCE / water-filling rule of Kalyanasundaram–Pruhs
+//!   and MSVV (`1 − 1/e` competitive as capacities grow).
+//! * [`primal_dual`] — dual mirror descent in the style of
+//!   Balseiro–Lu–Mirrokni \[BLM23\]: per-resource prices with lazy decay.
+//! * [`adwords`] — the *weighted-budget* extension (AdWords): per-edge bids,
+//!   per-advertiser budgets, greedy-by-bid and the MSVV `ψ(f) = 1 − e^{f−1}`
+//!   discounting rule.
+//! * [`ranking`] — RANKING (Karp–Vazirani–Vazirani): one offline random
+//!   permutation, optimal `1 − 1/e` for unit capacities.
+//! * [`proportional_serve`] — serve arrivals proportionally to a
+//!   precomputed fractional allocation: the AZM18 "high-entropy"
+//!   deployment mode of the very algorithm this workspace reproduces.
+//! * [`adversarial`] — the textbook lower-bound instances: the two-advertiser
+//!   greedy trap (ratio → 1/2) and the suffix-phase family on which BALANCE
+//!   tends to `1 − 1/e`.
+//! * [`arrival`] — arrival-order models (natural, reversed, random, phased).
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_online::adversarial::greedy_trap;
+//! use sparse_alloc_online::driver::run_online;
+//! use sparse_alloc_online::greedy::FirstFit;
+//! use sparse_alloc_online::balance::Balance;
+//!
+//! let inst = greedy_trap(16);
+//! let g = &inst.graph;
+//!
+//! let greedy = run_online(g, &inst.order, &mut FirstFit::new()).size();
+//! let balance = run_online(g, &inst.order, &mut Balance::new()).size();
+//!
+//! // Greedy falls into the trap (ratio 1/2); BALANCE hedges (ratio 3/4).
+//! assert_eq!(greedy as u64 * 2, inst.opt);
+//! assert_eq!(balance as u64 * 4, inst.opt * 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod adwords;
+pub mod arrival;
+pub mod balance;
+pub mod driver;
+pub mod greedy;
+pub mod primal_dual;
+pub mod proportional_serve;
+pub mod ranking;
+
+pub use adversarial::AdversarialInstance;
+pub use driver::{run_online, OnlineAllocator, OnlineState};

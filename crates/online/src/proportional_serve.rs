@@ -1,0 +1,278 @@
+//! Proportional serving: turn an offline *fractional* allocation into an
+//! online serving policy — the deployment mode that motivated AZM18
+//! ("Proportional Allocation: Simple, Distributed, and Diverse Matching
+//! with High Entropy"), whose algorithm the SPAA 2025 paper accelerates.
+//!
+//! The MPC algorithm runs offline over the forecast graph and produces
+//! per-edge fractions `x_{u,v}`. At serving time each arriving `u` is
+//! matched to a feasible neighbor drawn with probability proportional to
+//! `x_{u,v}` ([`ServeMode::Sample`]) — preserving in expectation both the
+//! fractional value and its *diversity* (an advertiser is served a mix of
+//! impressions instead of a deterministic block) — or to the
+//! highest-fraction neighbor ([`ServeMode::Argmax`]) when determinism
+//! matters more than entropy.
+//!
+//! The weights come in as a plain `Vec<f64>` indexed by edge id, so this
+//! crate stays independent of the solver that produced them (use
+//! `sparse_alloc_core::algo1` / the pipeline's fractional stage).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparse_alloc_graph::{Bipartite, LeftId, RightId};
+
+use crate::driver::{OnlineAllocator, OnlineState};
+
+/// How [`ProportionalServe`] picks among feasible neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Draw `v` with probability ∝ `x_{u,v}` (the high-entropy mode);
+    /// falls back to uniform among feasible neighbors when all weights
+    /// vanish.
+    Sample,
+    /// Deterministically take the feasible neighbor with the largest
+    /// `x_{u,v}` (ties toward the lower index).
+    Argmax,
+}
+
+/// Online serving from precomputed per-edge fractions.
+#[derive(Debug, Clone)]
+pub struct ProportionalServe {
+    weights: Vec<f64>,
+    mode: ServeMode,
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl ProportionalServe {
+    /// Build a serving policy from per-edge weights (indexed by edge id,
+    /// as produced by the fractional solvers).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn new(weights: Vec<f64>, mode: ServeMode, seed: u64) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "edge weights must be non-negative and finite"
+        );
+        ProportionalServe {
+            weights,
+            mode,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OnlineAllocator for ProportionalServe {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            ServeMode::Sample => "prop-serve(sample)",
+            ServeMode::Argmax => "prop-serve(argmax)",
+        }
+    }
+
+    fn reset(&mut self, g: &Bipartite) {
+        assert_eq!(
+            self.weights.len(),
+            g.m(),
+            "weights must cover every edge of the serving graph"
+        );
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+
+    fn choose(&mut self, g: &Bipartite, state: &OnlineState, u: LeftId) -> Option<RightId> {
+        match self.mode {
+            ServeMode::Argmax => {
+                let mut best: Option<(f64, RightId)> = None;
+                for (e, &v) in g.left_edge_range(u).zip(g.left_neighbors(u)) {
+                    if state.residual(g, v) == 0 {
+                        continue;
+                    }
+                    let w = self.weights[e];
+                    let better = match best {
+                        None => true,
+                        Some((bw, bv)) => w > bw || (w == bw && v < bv),
+                    };
+                    if better {
+                        best = Some((w, v));
+                    }
+                }
+                best.map(|(_, v)| v)
+            }
+            ServeMode::Sample => {
+                // One-pass weighted reservoir over feasible neighbors, with
+                // a uniform fallback when the total weight is zero.
+                let mut total = 0.0f64;
+                let mut chosen: Option<RightId> = None;
+                let mut feasible = 0usize;
+                let mut uniform_choice: Option<RightId> = None;
+                for (e, &v) in g.left_edge_range(u).zip(g.left_neighbors(u)) {
+                    if state.residual(g, v) == 0 {
+                        continue;
+                    }
+                    feasible += 1;
+                    if self.rng.gen_range(0..feasible) == 0 {
+                        uniform_choice = Some(v);
+                    }
+                    let w = self.weights[e];
+                    if w > 0.0 {
+                        total += w;
+                        if self.rng.gen_bool((w / total).clamp(0.0, 1.0)) {
+                            chosen = Some(v);
+                        }
+                    }
+                }
+                chosen.or(uniform_choice)
+            }
+        }
+    }
+}
+
+/// Mean Shannon entropy (nats) of the normalized serving distribution per
+/// left vertex — the "diversity" quantity the proportional policy is
+/// designed to keep high. Vertices with no positive-weight edge contribute
+/// zero.
+pub fn serving_entropy(g: &Bipartite, weights: &[f64]) -> f64 {
+    assert_eq!(weights.len(), g.m(), "weights must cover every edge");
+    if g.n_left() == 0 {
+        return 0.0;
+    }
+    let mut total_entropy = 0.0;
+    for u in 0..g.n_left() as u32 {
+        let sum: f64 = g.left_edge_range(u).map(|e| weights[e]).sum();
+        if sum <= 0.0 {
+            continue;
+        }
+        let h: f64 = g
+            .left_edge_range(u)
+            .map(|e| {
+                let p = weights[e] / sum;
+                if p > 0.0 {
+                    -p * p.ln()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        total_entropy += h;
+    }
+    total_entropy / g.n_left() as f64
+}
+
+/// The entropy of a deterministic (integral) assignment's serving
+/// distribution — always zero; provided so tables can print the greedy
+/// column without special-casing. Weights are the indicator of the chosen
+/// edge.
+pub fn indicator_weights(g: &Bipartite, mate: &[Option<RightId>]) -> Vec<f64> {
+    assert_eq!(mate.len(), g.n_left(), "one slot per left vertex");
+    let mut w = vec![0.0; g.m()];
+    for (u, m) in mate.iter().enumerate() {
+        if let Some(v) = m {
+            for (e, &nv) in g.left_edge_range(u as u32).zip(g.left_neighbors(u as u32)) {
+                if nv == *v {
+                    w[e] = 1.0;
+                    break;
+                }
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_online;
+    use sparse_alloc_graph::generators::random_bipartite;
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    fn uniform_weights(g: &Bipartite) -> Vec<f64> {
+        vec![1.0; g.m()]
+    }
+
+    #[test]
+    fn both_modes_feasible_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_bipartite(60, 30, 300, 2, seed).graph;
+            let order: Vec<u32> = (0..g.n_left() as u32).collect();
+            for mode in [ServeMode::Sample, ServeMode::Argmax] {
+                let mut algo = ProportionalServe::new(uniform_weights(&g), mode, seed);
+                run_online(&g, &order, &mut algo).validate(&g).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_follows_the_weights() {
+        // u0 has edges to v0 (weight 0.1) and v1 (weight 0.9).
+        let mut b = BipartiteBuilder::new(1, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let mut algo = ProportionalServe::new(vec![0.1, 0.9], ServeMode::Argmax, 0);
+        let a = run_online(&g, &[0], &mut algo);
+        assert_eq!(a.mate[0], Some(1));
+    }
+
+    #[test]
+    fn sampling_respects_proportions() {
+        // Weight 3:1 between two advertisers with ample capacity: over many
+        // seeded runs the empirical split must be near 3:1.
+        let mut b = BipartiteBuilder::new(1, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build_with_uniform_capacity(10).unwrap();
+        let trials = 3000;
+        let mut hits_v0 = 0;
+        for seed in 0..trials {
+            let mut algo = ProportionalServe::new(vec![3.0, 1.0], ServeMode::Sample, seed);
+            let a = run_online(&g, &[0], &mut algo);
+            if a.mate[0] == Some(0) {
+                hits_v0 += 1;
+            }
+        }
+        let frac = hits_v0 as f64 / trials as f64;
+        assert!(
+            (frac - 0.75).abs() < 0.04,
+            "empirical proportion {frac} far from 0.75"
+        );
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let mut b = BipartiteBuilder::new(1, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let mut algo = ProportionalServe::new(vec![0.0, 0.0], ServeMode::Sample, 3);
+        let a = run_online(&g, &[0], &mut algo);
+        assert!(a.mate[0].is_some(), "fallback must still serve");
+    }
+
+    #[test]
+    fn entropy_of_uniform_beats_indicator() {
+        let g = random_bipartite(40, 20, 160, 2, 2).graph;
+        let h_uniform = serving_entropy(&g, &uniform_weights(&g));
+        let order: Vec<u32> = (0..g.n_left() as u32).collect();
+        let a = run_online(&g, &order, &mut crate::greedy::FirstFit::new());
+        let h_greedy = serving_entropy(&g, &indicator_weights(&g, &a.mate));
+        assert!(h_uniform > h_greedy, "{h_uniform} vs {h_greedy}");
+        assert!(h_greedy.abs() < 1e-12, "deterministic serving has zero entropy");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = ProportionalServe::new(vec![-1.0], ServeMode::Sample, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every edge")]
+    fn weight_arity_checked_at_reset() {
+        let mut b = BipartiteBuilder::new(1, 1);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let mut algo = ProportionalServe::new(vec![], ServeMode::Sample, 0);
+        run_online(&g, &[0], &mut algo);
+    }
+}

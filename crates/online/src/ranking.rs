@@ -1,0 +1,126 @@
+//! RANKING (Karp–Vazirani–Vazirani): the optimal randomized algorithm for
+//! online bipartite matching.
+//!
+//! Offline, draw one uniformly random permutation (rank) of the right
+//! side; each arrival is matched to its *highest-ranked* neighbor with
+//! residual capacity. For unit capacities RANKING is `1 − 1/e`
+//! competitive against adversarial arrival orders — optimal among all
+//! online algorithms — and unlike BALANCE the guarantee does not need
+//! large capacities. For general capacities we use the natural extension
+//! that ranks *slots* implicitly by vertex rank (each vertex keeps its one
+//! rank for all its capacity slots).
+//!
+//! The single offline coin distinguishes it from [`crate::greedy::RandomFit`],
+//! which re-randomizes per arrival and is only 1/2-competitive in the
+//! worst case.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sparse_alloc_graph::{Bipartite, LeftId, RightId};
+
+use crate::driver::{OnlineAllocator, OnlineState};
+
+/// The RANKING rule: fixed random priority over the right side, chosen at
+/// [`OnlineAllocator::reset`] from the seed.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    seed: u64,
+    /// `rank[v]` = position of `v` in the random permutation (lower wins).
+    rank: Vec<u32>,
+}
+
+impl Ranking {
+    /// A RANKING rule with the given seed for the offline permutation.
+    pub fn new(seed: u64) -> Self {
+        Ranking {
+            seed,
+            rank: Vec::new(),
+        }
+    }
+
+    /// The rank assigned to right vertex `v` in the current run (valid
+    /// after `reset`).
+    pub fn rank_of(&self, v: RightId) -> u32 {
+        self.rank[v as usize]
+    }
+}
+
+impl OnlineAllocator for Ranking {
+    fn name(&self) -> &'static str {
+        "ranking"
+    }
+
+    fn reset(&mut self, g: &Bipartite) {
+        let mut perm: Vec<u32> = (0..g.n_right() as u32).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(self.seed));
+        self.rank = vec![0; g.n_right()];
+        for (pos, &v) in perm.iter().enumerate() {
+            self.rank[v as usize] = pos as u32;
+        }
+    }
+
+    fn choose(&mut self, g: &Bipartite, state: &OnlineState, u: LeftId) -> Option<RightId> {
+        g.left_neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| state.residual(g, v) > 0)
+            .min_by_key(|&v| self.rank[v as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversarial::greedy_trap;
+    use crate::driver::run_online;
+    use sparse_alloc_flow::greedy::is_maximal;
+    use sparse_alloc_graph::generators::random_bipartite;
+
+    #[test]
+    fn feasible_and_maximal() {
+        for seed in 0..6 {
+            let g = random_bipartite(80, 40, 400, 2, seed).graph;
+            let order: Vec<u32> = (0..g.n_left() as u32).collect();
+            let a = run_online(&g, &order, &mut Ranking::new(seed));
+            a.validate(&g).unwrap();
+            assert!(is_maximal(&g, &a));
+        }
+    }
+
+    #[test]
+    fn permutation_is_seed_deterministic() {
+        let g = random_bipartite(50, 30, 200, 1, 3).graph;
+        let order: Vec<u32> = (0..g.n_left() as u32).collect();
+        let a = run_online(&g, &order, &mut Ranking::new(9));
+        let b = run_online(&g, &order, &mut Ranking::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_ratio_beats_half_on_the_trap() {
+        // On the greedy trap, first-fit is exactly 1/2; RANKING averaged
+        // over its offline coin must do strictly better (→ 3/4 here: the
+        // permutation picks the "right" advertiser half the time).
+        let inst = greedy_trap(40);
+        let trials = 64;
+        let total: usize = (0..trials)
+            .map(|s| run_online(&inst.graph, &inst.order, &mut Ranking::new(s)).size())
+            .sum();
+        let mean_ratio = total as f64 / trials as f64 / inst.opt as f64;
+        assert!(
+            mean_ratio > 0.6,
+            "RANKING mean ratio {mean_ratio} not above 1/2"
+        );
+    }
+
+    #[test]
+    fn rank_accessor_reports_permutation() {
+        let g = random_bipartite(10, 8, 30, 1, 1).graph;
+        let mut r = Ranking::new(4);
+        r.reset(&g);
+        let mut seen: Vec<u32> = (0..8u32).map(|v| r.rank_of(v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+}

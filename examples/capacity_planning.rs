@@ -1,0 +1,68 @@
+//! MPC capacity planning: how many words per machine does the paper's
+//! algorithm actually need?
+//!
+//! Profile a lenient run to read the true per-machine peaks, provision a
+//! *strict* cluster exactly at the peak, and demonstrate both that it runs
+//! (with identical results) and that shaving the budget below the peak
+//! fails with a structured `SpaceExceeded` error instead of producing
+//! numbers from an impossible machine.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use sparse_alloc::core::mpc_exec::{run_mpc, MpcExecConfig};
+use sparse_alloc::core::sampled::SampleBudget;
+use sparse_alloc::prelude::*;
+
+fn main() {
+    let g = union_of_spanning_trees(2_000, 1_600, 3, 2, 21).graph;
+    let machines = 16;
+    println!(
+        "instance: n = {}, m = {}; cluster: {machines} machines",
+        g.n(),
+        g.m()
+    );
+
+    let base = MpcExecConfig {
+        eps: 0.2,
+        phase_len: 2,
+        tau: 8,
+        budget: SampleBudget::Fixed(3),
+        seed: 4,
+        check_termination: false,
+        mpc: MpcConfig::lenient(machines, usize::MAX / 4),
+    };
+
+    // 1. Profile.
+    let profile = run_mpc(&g, &base).expect("lenient profiling run");
+    let l = &profile.ledger;
+    let need = l.peak_storage.max(l.peak_round_io);
+    println!("\nprofiling run:");
+    println!("  MPC rounds            : {}", l.rounds);
+    println!("  peak machine storage  : {} words", l.peak_storage);
+    println!("  peak machine I/O/round: {} words", l.peak_round_io);
+    println!("  peak total storage    : {} words", l.peak_total_storage);
+    println!("  ⇒ provision S = {need} words/machine");
+
+    // 2. Strict run at the measured peak: succeeds, identical output.
+    let mut strict = base.clone();
+    strict.mpc = MpcConfig::strict(machines, need);
+    let res = run_mpc(&g, &strict).expect("strict run at the measured peak");
+    assert_eq!(res.levels, profile.levels);
+    println!("\nstrict run at S = {need}: OK (results identical to profile)");
+
+    // 3. Strict run below the peak: structured failure.
+    let mut starved = base;
+    starved.mpc = MpcConfig::strict(machines, need / 2);
+    match run_mpc(&g, &starved) {
+        Err(e) => println!("strict run at S = {}: refused — {e}", need / 2),
+        Ok(_) => unreachable!("half the peak cannot suffice"),
+    }
+
+    println!(
+        "\nsublinearity: S = {need} words is {:.1}% of the {}-word total footprint.",
+        100.0 * need as f64 / l.peak_total_storage as f64,
+        l.peak_total_storage
+    );
+}

@@ -1,0 +1,60 @@
+//! Convergence tracing: watch the level-set dynamics of Theorem 9 unfold
+//! round by round, and export the trajectory as JSON lines.
+//!
+//! ```sh
+//! cargo run --release --example convergence_trace [-- trace.jsonl]
+//! ```
+
+use sparse_alloc::core::trace::{trace_run, TraceConfig};
+use sparse_alloc::graph::generators::escape_blocks;
+
+fn main() {
+    // The tight instance family: a λ-oversubscribed core whose clients must
+    // discover their fringe escapes.
+    let lambda = 16u32;
+    let gen = escape_blocks(lambda, 4);
+    let g = gen.graph;
+    println!(
+        "instance: {} (n = {}, m = {}); OPT = |L| = {}",
+        gen.family,
+        g.n(),
+        g.m(),
+        g.n_left()
+    );
+
+    let trace = trace_run(
+        &g,
+        &TraceConfig {
+            eps: 0.1,
+            rounds: 40,
+        },
+    );
+
+    println!("\nround  weight    top  bottom  N(top)  levels span  terminated");
+    for r in &trace.records {
+        let span = match (
+            r.level_histogram.first(),
+            r.level_histogram.last(),
+        ) {
+            (Some(&(lo, _)), Some(&(hi, _))) => format!("[{lo}, {hi}]"),
+            _ => "-".into(),
+        };
+        println!(
+            "{:>5}  {:>8.1}  {:>4}  {:>6}  {:>6}  {:>11}  {}",
+            r.round, r.match_weight, r.top_size, r.bottom_size, r.top_neighborhood, span,
+            r.terminated
+        );
+    }
+
+    for fraction in [0.5, 0.9, 0.99] {
+        match trace.rounds_to_fraction(fraction) {
+            Some(t) => println!("rounds to {:.0}% of final weight: {t}", fraction * 100.0),
+            None => println!("never reached {:.0}%", fraction * 100.0),
+        }
+    }
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, trace.to_json_lines()).expect("write trace");
+        println!("trace written to {path}");
+    }
+}

@@ -1,0 +1,68 @@
+//! A tour of the MPC cluster simulator: run the standard primitives under
+//! strict per-machine space accounting and read the round/space ledger —
+//! the measurement substrate behind the paper's Theorem 10 experiment.
+//!
+//! ```sh
+//! cargo run --release --example mpc_primitives_tour
+//! ```
+
+use sparse_alloc::mpc::cluster::Cluster;
+use sparse_alloc::mpc::primitives::{
+    count_distinct, dedup_by_key, global_sum, prefix_sums, sort_by_key,
+};
+use sparse_alloc::mpc::MpcConfig;
+
+fn main() {
+    // 4096 items on 16 machines with S = 2048 words: the sublinear regime
+    // (each machine holds ≈ n^0.77 of the data). Strict mode turns any
+    // space violation into an error instead of quietly succeeding.
+    let items: Vec<u64> = (0..4096u64).map(|i| (i * 48271) % 1024).collect();
+    let config = MpcConfig::strict(16, 2048);
+
+    // --- Sample sort: O(1) exchange rounds. -----------------------------
+    let cluster = Cluster::from_items(config.clone(), items.clone()).expect("fits");
+    let sorted = sort_by_key(cluster, |&x| x).expect("strict space respected");
+    let ledger = sorted.ledger();
+    println!(
+        "sample sort:   {} rounds, {} total words moved, peak machine storage {} words",
+        ledger.rounds, ledger.words_total, ledger.peak_storage
+    );
+
+    // --- Prefix sums: exactly 2 rounds. ---------------------------------
+    let cluster = Cluster::from_items(config.clone(), items.clone()).expect("fits");
+    let prefixed = prefix_sums(cluster, |&x| x).expect("strict space respected");
+    println!(
+        "prefix sums:   {} rounds (reduce + scatter); last inclusive sum = {}",
+        prefixed.ledger().rounds,
+        prefixed.iter_items().last().map(|&(_, s)| s).unwrap_or(0)
+    );
+
+    // --- Global sum: 1 round. -------------------------------------------
+    let mut cluster = Cluster::from_items(config.clone(), items.clone()).expect("fits");
+    let total = global_sum(&mut cluster, |&x| x).expect("strict space respected");
+    println!(
+        "global sum:    {} round(s); Σ = {total}",
+        cluster.ledger().rounds
+    );
+
+    // --- Dedup: sort + 2 boundary rounds. --------------------------------
+    let cluster = Cluster::from_items(config.clone(), items.clone()).expect("fits");
+    let deduped = dedup_by_key(cluster, |&x| x).expect("strict space respected");
+    println!(
+        "dedup by key:  {} rounds; {} of {} items survive",
+        deduped.ledger().rounds,
+        deduped.total_items(),
+        items.len()
+    );
+
+    // --- Distinct count, as a one-liner. ---------------------------------
+    let cluster = Cluster::from_items(config, items.clone()).expect("fits");
+    let distinct = count_distinct(cluster, |&x| x).expect("strict space respected");
+    println!("count_distinct: {distinct} distinct keys (expected 1024)");
+
+    // --- And what strict mode catches. -----------------------------------
+    // One machine with 64 words cannot hold 4096 items: construction fails
+    // with a structured space error rather than pretending the regime holds.
+    let err = Cluster::from_items(MpcConfig::strict(1, 64), items).unwrap_err();
+    println!("strict-mode violation example: {err}");
+}

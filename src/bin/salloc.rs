@@ -1,0 +1,13 @@
+//! `salloc` — generate, inspect, and solve allocation instances.
+//! See `sparse_alloc::cli` for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sparse_alloc::cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("salloc: {e}");
+            std::process::exit(2);
+        }
+    }
+}

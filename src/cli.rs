@@ -1,0 +1,509 @@
+//! The `salloc` command-line tool: generate, inspect, and solve allocation
+//! instances from the shell.
+//!
+//! ```text
+//! salloc gen forests --nl 1000 --nr 800 --k 4 --cap 2 --out g.txt
+//! salloc analyze g.txt
+//! salloc solve g.txt --eps 0.1 [--lambda 4] [--paper-stages] [--assign m.txt]
+//! salloc opt g.txt
+//! ```
+//!
+//! All subcommands work on the plain-text instance format of
+//! [`sparse_alloc_graph::io`]. The logic lives in library functions
+//! returning the printable report, so it is unit-testable; `bin/salloc.rs`
+//! is a thin wrapper.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use sparse_alloc_core::algo1;
+use sparse_alloc_core::guessing::run_with_guessing;
+use sparse_alloc_core::loadbalance::{
+    approx_min_makespan, exact_min_makespan, greedy_least_loaded, ApproxBalanceConfig,
+};
+use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
+use sparse_alloc_core::params::Schedule;
+use sparse_alloc_flow::opt::opt_value;
+use sparse_alloc_online::arrival;
+use sparse_alloc_online::balance::Balance;
+use sparse_alloc_online::driver::{run_online, OnlineAllocator};
+use sparse_alloc_online::greedy::{FirstFit, RandomFit};
+use sparse_alloc_online::proportional_serve::{ProportionalServe, ServeMode};
+use sparse_alloc_online::ranking::Ranking;
+use sparse_alloc_graph::generators::{
+    escape_blocks, power_law, random_bipartite, star, union_of_spanning_trees, Generated,
+    PowerLawParams,
+};
+use sparse_alloc_graph::sparsity::arboricity_bracket;
+use sparse_alloc_graph::{io, Bipartite};
+
+/// CLI failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--key value` flags plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    named: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_flags(args: &[String], switch_names: &[&str]) -> Result<Flags, CliError> {
+    let mut f = Flags {
+        positional: Vec::new(),
+        named: HashMap::new(),
+        switches: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if switch_names.contains(&name) {
+                f.switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+                f.named.insert(name.to_string(), value.clone());
+            }
+        } else {
+            f.positional.push(a.clone());
+        }
+    }
+    Ok(f)
+}
+
+impl Flags {
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.named.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load(path: &str) -> Result<Bipartite, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| err(format!("{path}: {e}")))?;
+    let mut reader = std::io::BufReader::new(file);
+    io::read_text(&mut reader).map_err(|e| err(format!("{path}: {e}")))
+}
+
+fn save(g: &Bipartite, path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::create(path).map_err(|e| err(format!("{path}: {e}")))?;
+    let mut writer = std::io::BufWriter::new(file);
+    io::write_text(g, &mut writer).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Top-level dispatch; returns the report to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(err(USAGE));
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "analyze" => cmd_analyze(rest),
+        "solve" => cmd_solve(rest),
+        "opt" => cmd_opt(rest),
+        "balance" => cmd_balance(rest),
+        "online" => cmd_online(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+const USAGE: &str = "usage: salloc <command>
+  gen <forests|star|random|power-law|escape> [--nl N] [--nr N] [--k K]
+      [--cap C] [--seed S] --out FILE     generate an instance
+  analyze FILE                            size, degrees, arboricity bracket
+  solve FILE [--eps E] [--lambda L] [--paper-stages] [--assign OUT]
+                                          run the (1+ε) pipeline
+  opt FILE                                exact optimum (Dinic max-flow)
+  balance FILE [--eps E] [--exact]        minimize makespan (jobs = left,
+                                          servers = right; allocation-driven)
+  online FILE [--algo A] [--order O] [--seed S]
+                                          serve arrivals online; A ∈
+                                          first-fit|random-fit|balance|ranking|
+                                          prop-serve, O ∈ natural|reversed|random";
+
+fn cmd_gen(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &[])?;
+    let family = f
+        .positional
+        .first()
+        .ok_or_else(|| err("gen: missing family"))?
+        .clone();
+    let nl: usize = f.get("nl", 1000)?;
+    let nr: usize = f.get("nr", 800)?;
+    let k: u32 = f.get("k", 3)?;
+    let cap: u64 = f.get("cap", 2)?;
+    let seed: u64 = f.get("seed", 1)?;
+    let out = f
+        .named
+        .get("out")
+        .ok_or_else(|| err("gen: missing --out FILE"))?;
+
+    let gen: Generated = match family.as_str() {
+        "forests" => union_of_spanning_trees(nl, nr, k, cap, seed),
+        "star" => star(nl, cap),
+        "random" => {
+            let m: usize = f.get("m", 4 * nl)?;
+            random_bipartite(nl, nr, m, cap, seed)
+        }
+        "power-law" => power_law(
+            &PowerLawParams {
+                n_left: nl,
+                n_right: nr,
+                exponent: f.get("exponent", 1.3)?,
+                min_degree: f.get("min-degree", 2)?,
+                max_degree: f.get("max-degree", 128)?,
+                cap,
+            },
+            seed,
+        ),
+        "escape" => escape_blocks(k, f.get("blocks", 4)?),
+        other => return Err(err(format!("gen: unknown family '{other}'"))),
+    };
+    save(&gen.graph, out)?;
+    Ok(format!(
+        "wrote {} — {} (n = {}, m = {}, certified λ ≤ {})",
+        out,
+        gen.family,
+        gen.graph.n(),
+        gen.graph.m(),
+        gen.lambda_upper
+    ))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &[])?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| err("analyze: missing FILE"))?;
+    let g = load(path)?;
+    let b = arboricity_bracket(&g);
+    let s = sparse_alloc_graph::stats::graph_stats(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}:");
+    let _ = writeln!(out, "  left × right    : {} × {}", g.n_left(), g.n_right());
+    let _ = writeln!(out, "  edges           : {}", g.m());
+    let _ = writeln!(out, "  total capacity  : {}", g.total_capacity());
+    let _ = writeln!(out, "  arboricity λ    : [{}, {}]", b.lower, b.upper);
+    let fmt_dist = |d: &sparse_alloc_graph::stats::Distribution| {
+        format!(
+            "min {} / med {} / p90 {} / max {} (mean {:.2})",
+            d.min, d.median, d.p90, d.max, d.mean
+        )
+    };
+    let _ = writeln!(out, "  left degrees    : {}", fmt_dist(&s.left_degrees));
+    let _ = writeln!(out, "  right degrees   : {}", fmt_dist(&s.right_degrees));
+    let _ = writeln!(out, "  capacities      : {}", fmt_dist(&s.capacities));
+    let _ = writeln!(out, "  demand / supply : {:.3}", s.demand_supply_ratio);
+    let _ = writeln!(out, "  isolated clients: {}", s.isolated_left);
+    Ok(out)
+}
+
+fn cmd_solve(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &["paper-stages"])?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| err("solve: missing FILE"))?;
+    let g = load(path)?;
+    let eps: f64 = f.get("eps", 0.1)?;
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(err("--eps must be in (0, 1]"));
+    }
+    let schedule = match f.named.get("lambda") {
+        Some(l) => Some(Schedule::KnownLambda(
+            l.parse().map_err(|_| err("--lambda: not a number"))?,
+        )),
+        None => None, // λ-oblivious guessing, the paper's headline mode
+    };
+    let config = if f.has("paper-stages") {
+        PipelineConfig {
+            eps,
+            schedule,
+            rounder: Rounder::BestOfSampling {
+                repetitions: (g.n().max(2) as f64).log2().ceil() as usize,
+            },
+            booster: Booster::Layered {
+                k: (1.0 / eps).ceil().min(6.0) as usize,
+                iterations: 300,
+            },
+            seed: f.get("seed", 1)?,
+        }
+    } else {
+        PipelineConfig {
+            eps,
+            schedule,
+            rounder: Rounder::Greedy,
+            booster: Booster::Hk {
+                k: (1.0 / eps).ceil() as usize,
+            },
+            seed: f.get("seed", 1)?,
+        }
+    };
+
+    let result = solve(&g, &config);
+    result
+        .assignment
+        .validate(&g)
+        .map_err(|e| err(format!("internal: infeasible output: {e}")))?;
+
+    if let Some(assign_path) = f.named.get("assign") {
+        let mut text = String::new();
+        for (u, v) in result.assignment.pairs() {
+            let _ = writeln!(text, "{u} {v}");
+        }
+        std::fs::write(assign_path, text).map_err(|e| err(format!("{assign_path}: {e}")))?;
+    }
+
+    let fills = sparse_alloc_graph::stats::fill_report(
+        &g,
+        &result.assignment.right_loads(g.n_right()),
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "matched          : {} of {}", result.assignment.size(), g.n_left());
+    let _ = writeln!(out, "fractional weight: {:.1}", result.fractional_weight);
+    let _ = writeln!(out, "rounded size     : {}", result.rounded_size);
+    let _ = writeln!(out, "LOCAL rounds     : {}", result.fractional_rounds);
+    let _ = writeln!(
+        out,
+        "server fill      : Jain {:.3}, {} saturated, {} idle",
+        fills.jain_index, fills.saturated, fills.starved
+    );
+    Ok(out)
+}
+
+fn cmd_opt(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &[])?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| err("opt: missing FILE"))?;
+    let g = load(path)?;
+    let opt = opt_value(&g);
+    let trivial = sparse_alloc_flow::opt::trivial_upper_bound(&g);
+    Ok(format!("OPT = {opt} (trivial upper bound {trivial})\n"))
+}
+
+fn cmd_balance(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &["exact"])?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| err("balance: missing FILE"))?;
+    let g = load(path)?;
+    let eps: f64 = f.get("eps", 0.1)?;
+    let result = if f.has("exact") {
+        exact_min_makespan(&g)
+    } else {
+        approx_min_makespan(
+            &g,
+            &ApproxBalanceConfig {
+                eps,
+                ..ApproxBalanceConfig::default()
+            },
+        )
+    }
+    .map_err(|e| err(format!("balance: {e}")))?;
+    let (_, greedy_makespan) = greedy_least_loaded(&g);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "makespan         : {} ({} search)",
+        result.makespan,
+        if f.has("exact") { "exact" } else { "allocation-driven" }
+    );
+    let _ = writeln!(out, "volume lower bnd : {}", result.volume_lower_bound);
+    let _ = writeln!(out, "feasibility probes: {}", result.probes.len());
+    let _ = writeln!(out, "greedy baseline  : {greedy_makespan}");
+    Ok(out)
+}
+
+fn cmd_online(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &[])?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| err("online: missing FILE"))?;
+    let g = load(path)?;
+    let seed: u64 = f.get("seed", 1)?;
+    let order = match f.get::<String>("order", "natural".into())?.as_str() {
+        "natural" => arrival::natural(&g),
+        "reversed" => arrival::reversed(&g),
+        "random" => arrival::random(&g, seed),
+        other => return Err(err(format!("online: unknown order '{other}'"))),
+    };
+    let algo_name: String = f.get("algo", "balance".into())?;
+    let mut algo: Box<dyn OnlineAllocator> = match algo_name.as_str() {
+        "first-fit" => Box::new(FirstFit::new()),
+        "random-fit" => Box::new(RandomFit::new(seed)),
+        "balance" => Box::new(Balance::new()),
+        "ranking" => Box::new(Ranking::new(seed)),
+        "prop-serve" => {
+            // Serve from the paper algorithm's offline fractional solution.
+            let x = run_with_guessing(&g, 0.1).result.fractional.x;
+            Box::new(ProportionalServe::new(x, ServeMode::Sample, seed))
+        }
+        other => return Err(err(format!("online: unknown algorithm '{other}'"))),
+    };
+    let a = run_online(&g, &order, algo.as_mut());
+    a.validate(&g)
+        .map_err(|e| err(format!("internal: infeasible output: {e}")))?;
+    let opt = opt_value(&g);
+    Ok(format!(
+        "{}: matched {} of {} arrivals (OPT {}, ratio {:.4})\n",
+        algo.name(),
+        a.size(),
+        g.n_left(),
+        opt,
+        a.size() as f64 / opt.max(1) as f64
+    ))
+}
+
+/// Convenience used by tests: the approximation ratio for a report line.
+pub fn ratio_line(g: &Bipartite, matched: usize) -> String {
+    let opt = opt_value(g);
+    format!("ratio: {:.4}", algo1::ratio(opt, matched as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn temp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("salloc-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_analyze_solve_opt_roundtrip() {
+        let file = temp("g.txt");
+        let report = run(&args(&format!(
+            "gen forests --nl 200 --nr 160 --k 3 --cap 2 --seed 5 --out {file}"
+        )))
+        .unwrap();
+        assert!(report.contains("certified λ ≤ 3"), "{report}");
+
+        let report = run(&args(&format!("analyze {file}"))).unwrap();
+        assert!(report.contains("200 × 160"), "{report}");
+        assert!(report.contains("arboricity"), "{report}");
+
+        let assign = temp("m.txt");
+        let report = run(&args(&format!("solve {file} --eps 0.1 --assign {assign}"))).unwrap();
+        assert!(report.contains("matched"), "{report}");
+        let pairs = std::fs::read_to_string(&assign).unwrap();
+        assert!(pairs.lines().count() > 100, "assignment too small");
+
+        let report = run(&args(&format!("opt {file}"))).unwrap();
+        assert!(report.starts_with("OPT = "), "{report}");
+
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_file(&assign);
+    }
+
+    #[test]
+    fn solve_paper_stages_mode() {
+        let file = temp("p.txt");
+        run(&args(&format!(
+            "gen escape --k 3 --blocks 2 --out {file}"
+        )))
+        .unwrap();
+        let report = run(&args(&format!(
+            "solve {file} --eps 0.2 --lambda 6 --paper-stages"
+        )))
+        .unwrap();
+        assert!(report.contains("LOCAL rounds"), "{report}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(run(&[]).is_err());
+        assert!(run(&args("frobnicate")).unwrap_err().0.contains("unknown command"));
+        assert!(run(&args("gen forests")).unwrap_err().0.contains("--out"));
+        assert!(run(&args("solve /nonexistent-file-xyz")).is_err());
+        assert!(run(&args("gen unknown-family --out /tmp/x")).unwrap_err().0.contains("unknown family"));
+        assert!(run(&args("solve")).unwrap_err().0.contains("missing FILE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let report = run(&args("help")).unwrap();
+        assert!(report.contains("usage: salloc"));
+        assert!(report.contains("balance FILE"));
+        assert!(report.contains("online FILE"));
+    }
+
+    #[test]
+    fn balance_subcommand_reports_makespan() {
+        let file = temp("lb.txt");
+        run(&args(&format!(
+            "gen random --nl 60 --nr 6 --m 360 --cap 60 --seed 2 --out {file}"
+        )))
+        .unwrap();
+        // `random` can isolate a job; both searches must then error cleanly.
+        let approx = run(&args(&format!("balance {file}")));
+        let exact = run(&args(&format!("balance {file} --exact")));
+        match (approx, exact) {
+            (Ok(a), Ok(e)) => {
+                assert!(a.contains("makespan"), "{a}");
+                assert!(e.contains("exact search"), "{e}");
+            }
+            (Err(a), Err(e)) => {
+                assert!(a.0.contains("no feasible server"), "{a}");
+                assert!(e.0.contains("no feasible server"), "{e}");
+            }
+            (a, e) => panic!("approx and exact disagree on feasibility: {a:?} vs {e:?}"),
+        }
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn online_subcommand_all_algorithms() {
+        let file = temp("on.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 4 --out {file}"
+        )))
+        .unwrap();
+        for algo in ["first-fit", "random-fit", "balance", "ranking", "prop-serve"] {
+            let report = run(&args(&format!(
+                "online {file} --algo {algo} --order random --seed 3"
+            )))
+            .unwrap();
+            assert!(report.contains("ratio"), "{algo}: {report}");
+        }
+        assert!(run(&args(&format!("online {file} --algo nope")))
+            .unwrap_err()
+            .0
+            .contains("unknown algorithm"));
+        assert!(run(&args(&format!("online {file} --order nope")))
+            .unwrap_err()
+            .0
+            .contains("unknown order"));
+        let _ = std::fs::remove_file(&file);
+    }
+}

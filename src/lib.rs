@@ -1,0 +1,88 @@
+//! # sparse-alloc
+//!
+//! A from-scratch Rust reproduction of **"Faster MPC Algorithms for
+//! Approximate Allocation in Uniformly Sparse Graphs"**
+//! (Łącki–Mitrović–Ramachandran–Sheu, SPAA 2025, arXiv:2506.04524).
+//!
+//! The *allocation problem*: given a bipartite graph `G = (L ∪ R, E)` with
+//! capacities `C_v` on the right side, match each left vertex to at most
+//! one right vertex without exceeding any capacity, maximizing the number
+//! of matched pairs. The paper shows a `(1+ε)`-approximation in
+//! `O_ε(log λ)` LOCAL rounds and `O_ε(√(log λ)·log log λ)` sublinear-space
+//! MPC rounds, where `λ` is the arboricity — beating the `O(log n)` state
+//! of the art on uniformly sparse graphs.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] — bipartite CSR graphs, generators with controllable
+//!   arboricity, capacity models, degeneracy/Nash–Williams toolkit, the
+//!   vertex-split reduction.
+//! * [`local`] — a LOCAL-model runtime (synchronous vertex programs).
+//! * [`mpc`] — an MPC cluster simulator with word-exact space accounting
+//!   and the standard primitives (sort, aggregate, broadcast, graph
+//!   exponentiation).
+//! * [`core`] — the paper's algorithms: proportional allocation
+//!   (Algorithm 1/3), the sampled phase-compressed execution
+//!   (Algorithm 2) in shared-memory and distributed forms, termination,
+//!   λ-guessing, §6 rounding, Appendix-B boosting, and the end-to-end
+//!   pipeline.
+//! * [`flow`] — exact OPT via two differential-tested max-flow solvers
+//!   (Dinic and push–relabel), greedy/auction baselines, densest-subgraph
+//!   bounds.
+//! * [`online`] — the application domain from the paper's introduction:
+//!   online greedy / BALANCE / RANKING / dual mirror descent, AdWords
+//!   (MSVV), and proportional serving from the paper's fractional output.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sparse_alloc::prelude::*;
+//!
+//! // A uniformly sparse instance: arboricity ≤ 3 by construction.
+//! let g = union_of_spanning_trees(500, 400, 3, 2, 7).graph;
+//!
+//! // One call: (2+ε) fractional → rounding → boosting ⇒ (1+ε) integral.
+//! let result = solve(&g, &PipelineConfig::default());
+//! result.assignment.validate(&g).unwrap();
+//!
+//! // Compare against the exact optimum.
+//! let opt = opt_value(&g);
+//! assert!(result.assignment.size() as f64 >= opt as f64 / 1.1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use sparse_alloc_core as core;
+pub use sparse_alloc_flow as flow;
+pub use sparse_alloc_graph as graph;
+pub use sparse_alloc_local as local;
+pub use sparse_alloc_mpc as mpc;
+pub use sparse_alloc_online as online;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sparse_alloc_core::algo1::{run as run_algo1, ProportionalConfig};
+    pub use sparse_alloc_core::guessing::run_with_guessing;
+    pub use sparse_alloc_core::mpc_exec::{run_mpc, MpcExecConfig};
+    pub use sparse_alloc_core::params::Schedule;
+    pub use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
+    pub use sparse_alloc_core::sampled::{run_sampled, SampleBudget, SampledConfig};
+    pub use sparse_alloc_flow::greedy::greedy_allocation;
+    pub use sparse_alloc_flow::opt::{max_allocation, opt_value};
+    pub use sparse_alloc_graph::capacities::CapacityModel;
+    pub use sparse_alloc_core::loadbalance::{
+        approx_min_makespan, exact_min_makespan, ApproxBalanceConfig,
+    };
+    pub use sparse_alloc_graph::generators::{
+        dense_core_sparse_fringe, grid, power_law, random_bipartite, rmat, star,
+        union_of_spanning_trees, LayeredParams, PowerLawParams, RmatParams,
+    };
+    pub use sparse_alloc_graph::sparsity::arboricity_bracket;
+    pub use sparse_alloc_graph::{Assignment, Bipartite, BipartiteBuilder};
+    pub use sparse_alloc_mpc::MpcConfig;
+    pub use sparse_alloc_online::balance::Balance;
+    pub use sparse_alloc_online::driver::{run_online, OnlineAllocator};
+    pub use sparse_alloc_online::greedy::FirstFit;
+}

@@ -1,0 +1,150 @@
+//! Integration tests of the MPC model itself: the strict space regime, the
+//! sublinear configuration, and the primitives composed the way the paper
+//! composes them.
+
+use sparse_alloc::core::mpc_exec::{run_mpc, MpcExecConfig};
+use sparse_alloc::core::sampled::SampleBudget;
+use sparse_alloc::mpc::primitives::ball::{bfs_ball, grow_balls, BallInput};
+use sparse_alloc::mpc::primitives::{aggregate_by_key, broadcast_value, sort_by_key};
+use sparse_alloc::mpc::{Cluster, MpcError};
+use sparse_alloc::prelude::*;
+
+#[test]
+fn sublinear_regime_runs_the_paper_pipeline() {
+    // Capacity-plan a strict cluster from a lenient profiling run: the
+    // measured per-machine peak must be sublinear in the total data volume
+    // (that's the regime claim), and the strict run provisioned exactly at
+    // the peak must succeed with identical results.
+    let g = union_of_spanning_trees(400, 350, 2, 2, 3).graph;
+    let machines = 12;
+    let base = MpcExecConfig {
+        eps: 0.25,
+        phase_len: 1,
+        tau: 6,
+        budget: SampleBudget::Fixed(2),
+        seed: 1,
+        check_termination: false,
+        mpc: MpcConfig::lenient(machines, usize::MAX / 4),
+    };
+    let profile = run_mpc(&g, &base).expect("lenient profiling run");
+    let need = profile
+        .ledger
+        .peak_storage
+        .max(profile.ledger.peak_round_io);
+    let total: u64 = profile.ledger.peak_total_storage;
+    assert!(
+        (need as u64) * 4 <= total,
+        "per-machine peak {need} should be well below total {total}"
+    );
+
+    let mut strict_cfg = base;
+    strict_cfg.mpc = MpcConfig::strict(machines, need);
+    let strict = run_mpc(&g, &strict_cfg).expect("provisioned at the measured peak");
+    assert_eq!(strict.levels, profile.levels);
+    strict.fractional.validate(&g, 1e-9).unwrap();
+}
+
+#[test]
+fn regime_violation_is_a_structured_error() {
+    // Same pipeline, absurdly small S: must fail with SpaceExceeded, not
+    // produce numbers from an impossible cluster.
+    let g = union_of_spanning_trees(120, 100, 2, 2, 3).graph;
+    let err = run_mpc(
+        &g,
+        &MpcExecConfig {
+            eps: 0.25,
+            phase_len: 2,
+            tau: 6,
+            budget: SampleBudget::Fixed(2),
+            seed: 1,
+            check_termination: false,
+            mpc: MpcConfig::strict(4, 32),
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, MpcError::SpaceExceeded { .. }));
+    let msg = err.to_string();
+    assert!(msg.contains("words"), "error message should cite words: {msg}");
+}
+
+#[test]
+fn primitives_compose() {
+    // sort → aggregate → broadcast on one cluster, ledger accumulates.
+    let items: Vec<(u32, u64)> = (0..5_000u32).map(|i| (i % 97, 1u64)).collect();
+    let c = Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items).unwrap();
+    let c = sort_by_key(c, |&(k, _)| k).unwrap();
+    let after_sort = c.ledger().rounds;
+    let c = aggregate_by_key(c, |a, b| a + b).unwrap();
+    let mut c = c;
+    let copies = broadcast_value(&mut c, &42u64).unwrap();
+    assert_eq!(copies.len(), 8);
+    assert!(c.ledger().rounds > after_sort);
+    let (mut items, ledger) = c.into_items();
+    items.sort();
+    assert_eq!(items.len(), 97);
+    assert!(items.iter().all(|&(_, count)| count >= 51));
+    assert!(ledger.words_total > 0);
+}
+
+#[test]
+fn ball_growing_matches_bfs_on_a_real_graph() {
+    // Build the adjacency of a generated bipartite graph (global ids) and
+    // compare distributed exponentiation against sequential BFS.
+    let g = union_of_spanning_trees(60, 50, 2, 1, 9).graph;
+    let nl = g.n_left() as u32;
+    let mut adjacency: Vec<BallInput> = Vec::new();
+    for u in 0..nl {
+        adjacency.push(BallInput {
+            vertex: u,
+            neighbors: g.left_neighbors(u).iter().map(|&v| nl + v).collect(),
+        });
+    }
+    for v in 0..g.n_right() as u32 {
+        adjacency.push(BallInput {
+            vertex: nl + v,
+            neighbors: g.right_neighbors(v).to_vec(),
+        });
+    }
+    let (balls, ledger) =
+        grow_balls(MpcConfig::lenient(6, usize::MAX / 4), adjacency.clone(), 4).unwrap();
+    assert_eq!(balls.len(), g.n());
+    for ball in balls.iter().take(20) {
+        assert_eq!(
+            ball.members,
+            bfs_ball(&adjacency, ball.center, 4),
+            "center {}",
+            ball.center
+        );
+    }
+    // 1 homing + 2 doublings × 2 rounds.
+    assert_eq!(ledger.rounds, 5);
+}
+
+#[test]
+fn ledger_round_shape_matches_theory() {
+    // For B = 2 the per-phase budget is levels(1) + keys(1) +
+    // ball home(1) + 2·log₂(2B)=4 + hydrate(2) = 9 rounds (+3 when the
+    // termination checkpoint runs).
+    let g = union_of_spanning_trees(80, 70, 2, 2, 5).graph;
+    let res = run_mpc(
+        &g,
+        &MpcExecConfig {
+            eps: 0.2,
+            phase_len: 2,
+            tau: 4, // exactly 2 phases
+            budget: SampleBudget::Fixed(2),
+            seed: 2,
+            check_termination: false,
+            mpc: MpcConfig::lenient(4, usize::MAX / 4),
+        },
+    )
+    .unwrap();
+    let l = &res.ledger;
+    assert_eq!(res.phases, 2);
+    // load(1) + 2 phases × 9 + final aggregation (2 + reduce 1).
+    assert_eq!(l.rounds, 1 + 2 * 9 + 3, "history: {:?}", collect_labels(l));
+}
+
+fn collect_labels(l: &sparse_alloc::mpc::Ledger) -> Vec<&'static str> {
+    l.history.iter().map(|r| r.label).collect()
+}

@@ -1,0 +1,285 @@
+//! Property-based and failure-injection tests for the application layer
+//! added on top of the reproduction core: online allocation, AdWords,
+//! load balancing, the second max-flow backend, and the new MPC
+//! primitives.
+
+use proptest::prelude::*;
+use sparse_alloc::core::loadbalance::{
+    approx_min_makespan, exact_min_makespan, greedy_least_loaded, ApproxBalanceConfig,
+    LoadBalanceError,
+};
+use sparse_alloc::flow::greedy::is_maximal;
+use sparse_alloc::flow::opt::{opt_value, opt_value_with};
+use sparse_alloc::flow::{Dinic, MaxFlowBackend, PushRelabel};
+use sparse_alloc::mpc::cluster::Cluster;
+use sparse_alloc::mpc::error::MpcError;
+use sparse_alloc::mpc::primitives::{dedup_by_key, prefix_sums};
+use sparse_alloc::online::adversarial::{greedy_trap, suffix_phases};
+use sparse_alloc::online::adwords::{adwords_greedy, adwords_msvv, AdwordsInstance};
+use sparse_alloc::online::arrival;
+use sparse_alloc::online::balance::Balance;
+use sparse_alloc::online::driver::{run_online, OnlineAllocator};
+use sparse_alloc::online::greedy::{FirstFit, RandomFit};
+use sparse_alloc::online::primal_dual::DualDescent;
+use sparse_alloc::prelude::*;
+
+/// An arbitrary small instance (duplicates and isolated vertices allowed).
+fn instance() -> impl Strategy<Value = Bipartite> {
+    (2usize..24, 2usize..20).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..120);
+        let caps = proptest::collection::vec(1u64..=4, nr);
+        (Just(nl), Just(nr), edges, caps).prop_map(|(nl, nr, edges, caps)| {
+            let mut b = BipartiteBuilder::new(nl, nr);
+            b.extend_edges(edges);
+            b.build(caps).expect("in-range instance")
+        })
+    })
+}
+
+/// An instance where every job has at least one server (load balancing
+/// requires it): one guaranteed edge per left vertex plus arbitrary extras.
+fn assignable_instance() -> impl Strategy<Value = Bipartite> {
+    (2usize..18, 2usize..10).prop_flat_map(|(nl, nr)| {
+        let anchors = proptest::collection::vec(0..nr as u32, nl);
+        let extras = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..60);
+        (Just(nl), Just(nr), anchors, extras).prop_map(|(nl, nr, anchors, extras)| {
+            let mut b = BipartiteBuilder::new(nl, nr);
+            for (u, v) in anchors.into_iter().enumerate() {
+                b.add_edge(u as u32, v);
+            }
+            b.extend_edges(extras);
+            b.build(vec![nl as u64; nr]).expect("in-range instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- online allocation ----------------
+
+    #[test]
+    fn online_allocators_always_feasible(g in instance(), seed in 0u64..100) {
+        let order = arrival::random(&g, seed);
+        let eta = 1.0 / (g.n_left() as f64).sqrt();
+        let mut algos: Vec<Box<dyn OnlineAllocator>> = vec![
+            Box::new(FirstFit::new()),
+            Box::new(RandomFit::new(seed)),
+            Box::new(Balance::new()),
+            Box::new(DualDescent::new(eta, true)),
+            Box::new(DualDescent::new(eta, false)),
+        ];
+        let opt = opt_value(&g);
+        for algo in &mut algos {
+            let a = run_online(&g, &order, algo.as_mut());
+            a.validate(&g).unwrap();
+            prop_assert!(a.size() as u64 <= opt, "{} beat OPT", algo.name());
+        }
+    }
+
+    #[test]
+    fn non_rejecting_online_rules_are_maximal(g in instance(), seed in 0u64..100) {
+        let order = arrival::random(&g, seed);
+        let eta = 0.05;
+        let mut algos: Vec<Box<dyn OnlineAllocator>> = vec![
+            Box::new(FirstFit::new()),
+            Box::new(RandomFit::new(seed)),
+            Box::new(Balance::new()),
+            Box::new(DualDescent::new(eta, false)),
+        ];
+        for algo in &mut algos {
+            let a = run_online(&g, &order, algo.as_mut());
+            // Maximal ⇒ 2-approximation; both checked.
+            prop_assert!(is_maximal(&g, &a), "{} not maximal", algo.name());
+            prop_assert!(2 * a.size() as u64 >= opt_value(&g));
+        }
+    }
+
+    #[test]
+    fn online_order_never_changes_feasibility(g in instance()) {
+        for order in [
+            arrival::natural(&g),
+            arrival::reversed(&g),
+            arrival::by_degree_ascending(&g),
+            arrival::by_degree_descending(&g),
+        ] {
+            run_online(&g, &order, &mut Balance::new()).validate(&g).unwrap();
+        }
+    }
+
+    // ---------------- AdWords ----------------
+
+    #[test]
+    fn adwords_budgets_and_bounds(g in instance(), seed in 0u64..100) {
+        let inst = AdwordsInstance::random_bids(g.clone(), 0.5, 2.0, 0.3, seed);
+        let order = arrival::random(&g, seed);
+        for out in [adwords_greedy(&inst, &order), adwords_msvv(&inst, &order)] {
+            for (v, spend) in out.spend.iter().enumerate() {
+                prop_assert!(*spend <= inst.budgets[v] + 1e-9);
+            }
+            let sales_total: f64 = out.sales.iter().map(|s| s.revenue).sum();
+            prop_assert!((sales_total - out.revenue).abs() < 1e-6);
+            prop_assert!(out.revenue <= inst.revenue_upper_bound() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn adwords_unweighted_embedding_counts_sales(g in instance()) {
+        let inst = AdwordsInstance::unweighted(g.clone());
+        let order = arrival::natural(&g);
+        let out = adwords_greedy(&inst, &order);
+        prop_assert!((out.revenue - out.sales.len() as f64).abs() < 1e-9);
+        prop_assert!(out.revenue as u64 <= opt_value(&g));
+    }
+
+    // ---------------- flow backends ----------------
+
+    #[test]
+    fn push_relabel_agrees_with_dinic_on_opt(g in instance()) {
+        prop_assert_eq!(opt_value_with::<PushRelabel>(&g), opt_value_with::<Dinic>(&g));
+    }
+
+    // ---------------- load balancing ----------------
+
+    #[test]
+    fn makespan_brackets_and_witnesses(g in assignable_instance()) {
+        let exact = exact_min_makespan(&g).expect("assignable by construction");
+        exact.assignment.validate(&g).unwrap();
+        prop_assert_eq!(exact.assignment.size(), g.n_left(), "witness is perfect");
+        prop_assert!(exact.makespan >= exact.volume_lower_bound);
+        prop_assert!(exact.makespan <= g.n_left() as u64);
+        // The witness's actual max load equals the reported makespan at
+        // most (search returns the smallest feasible T).
+        let max_load = exact.assignment.right_loads(g.n_right()).into_iter().max().unwrap_or(0);
+        prop_assert!(max_load <= exact.makespan);
+
+        let approx = approx_min_makespan(&g, &ApproxBalanceConfig::default())
+            .expect("assignable by construction");
+        approx.assignment.validate(&g).unwrap();
+        prop_assert!(approx.makespan >= exact.makespan);
+
+        let (ga, gm) = greedy_least_loaded(&g);
+        prop_assert_eq!(ga.size(), g.n_left());
+        prop_assert!(gm >= exact.makespan);
+    }
+
+    // ---------------- MPC primitives vs sequential reference ----------------
+
+    #[test]
+    fn prefix_sums_match_reference(items in proptest::collection::vec(0u64..100, 0..200),
+                                   machines in 1usize..9) {
+        let c = Cluster::from_items(MpcConfig::lenient(machines, 1_000_000), items).unwrap();
+        let in_order: Vec<u64> = c.iter_items().copied().collect();
+        let c = prefix_sums(c, |&x| x).unwrap();
+        let (got, _) = c.into_items();
+        let mut acc = 0u64;
+        for ((item, prefix), orig) in got.into_iter().zip(in_order) {
+            prop_assert_eq!(item, orig);
+            acc += item;
+            prop_assert_eq!(prefix, acc);
+        }
+    }
+
+    #[test]
+    fn dedup_matches_reference(items in proptest::collection::vec(0u64..40, 0..200),
+                               machines in 1usize..9) {
+        use std::collections::BTreeSet;
+        let expect: Vec<u64> = items.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+        let c = Cluster::from_items(MpcConfig::lenient(machines, 1_000_000), items).unwrap();
+        let (got, _) = dedup_by_key(c, |&x| x).unwrap().into_items();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------- deterministic separations and failure injection ----------------
+
+#[test]
+fn textbook_competitive_separations_hold() {
+    // First-fit is exactly 1/2 on the trap, BALANCE exactly 3/4.
+    let trap = greedy_trap(32);
+    let ff = run_online(&trap.graph, &trap.order, &mut FirstFit::new());
+    let bal = run_online(&trap.graph, &trap.order, &mut Balance::new());
+    assert_eq!(ff.size() as u64 * 2, trap.opt);
+    assert_eq!(bal.size() as u64 * 4, trap.opt * 3);
+
+    // BALANCE lands near 1 − 1/e on the suffix family; the offline
+    // pipeline recovers ≈ 1 on the same instance.
+    let suffix = suffix_phases(12, 48);
+    let bal = run_online(&suffix.graph, &suffix.order, &mut Balance::new());
+    let ratio = bal.size() as f64 / suffix.opt as f64;
+    assert!(ratio > 0.60 && ratio < 0.75, "balance ratio {ratio}");
+    let offline = solve(&suffix.graph, &PipelineConfig::default());
+    assert!(offline.assignment.size() as f64 >= 0.95 * suffix.opt as f64);
+}
+
+#[test]
+fn adwords_msvv_separation_holds() {
+    // On its lower-bound instance MSVV strictly beats greedy.
+    let bq = 32usize;
+    let mut b = BipartiteBuilder::new(2 * bq, 2);
+    for u in 0..bq {
+        b.add_edge(u as u32, 0);
+        b.add_edge(u as u32, 1);
+    }
+    for u in bq..2 * bq {
+        b.add_edge(u as u32, 0);
+    }
+    let g = b.build_with_uniform_capacity(1).unwrap();
+    let m = g.m();
+    let inst = AdwordsInstance::new(g.clone(), vec![1.0; m], vec![bq as f64; 2]).unwrap();
+    let order: Vec<u32> = (0..2 * bq as u32).collect();
+    assert!(adwords_msvv(&inst, &order).revenue > adwords_greedy(&inst, &order).revenue);
+}
+
+#[test]
+fn strict_space_violations_are_structured_errors() {
+    // Construction over budget.
+    let items: Vec<u64> = (0..1000).collect();
+    let err = Cluster::from_items(MpcConfig::strict(1, 64), items.clone()).unwrap_err();
+    assert!(matches!(err, MpcError::SpaceExceeded { .. }));
+
+    // A primitive that must route everything through machine 0 trips the
+    // receive-side check when S is too small for the fan-in.
+    let c = Cluster::from_items(MpcConfig::strict(64, 48), items).unwrap();
+    let res = prefix_sums(c, |&x| x);
+    assert!(
+        matches!(res, Err(MpcError::SpaceExceeded { .. })),
+        "64-way fan-in into 48 words must fail strictly"
+    );
+}
+
+#[test]
+fn loadbalance_error_paths() {
+    // Isolated job.
+    let mut b = BipartiteBuilder::new(2, 1);
+    b.add_edge(0, 0);
+    let g = b.build_with_uniform_capacity(5).unwrap();
+    assert_eq!(
+        exact_min_makespan(&g).unwrap_err(),
+        LoadBalanceError::IsolatedJob(1)
+    );
+    assert_eq!(
+        approx_min_makespan(&g, &ApproxBalanceConfig::default()).unwrap_err(),
+        LoadBalanceError::IsolatedJob(1)
+    );
+
+    // Hard capacities bind.
+    let mut b = BipartiteBuilder::new(3, 1);
+    for u in 0..3 {
+        b.add_edge(u, 0);
+    }
+    let g = b.build_with_uniform_capacity(2).unwrap();
+    assert_eq!(
+        exact_min_makespan(&g).unwrap_err(),
+        LoadBalanceError::CapacityInfeasible
+    );
+}
+
+#[test]
+fn backend_trait_usable_generically() {
+    fn count<T: MaxFlowBackend>(g: &Bipartite) -> u64 {
+        opt_value_with::<T>(g)
+    }
+    let g = union_of_spanning_trees(30, 20, 2, 2, 3).graph;
+    assert_eq!(count::<Dinic>(&g), count::<PushRelabel>(&g));
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full system exercised through the
+//! facade, on every workload family, against the exact oracle.
+
+use sparse_alloc::core::algo1::{self, ProportionalConfig};
+use sparse_alloc::core::mpc_exec::{run_mpc, MpcExecConfig};
+use sparse_alloc::core::params::{tau_known_lambda, Schedule};
+use sparse_alloc::core::sampled::{run_sampled, SampleBudget, SampledConfig};
+use sparse_alloc::prelude::*;
+
+fn workloads() -> Vec<(String, Bipartite, u32)> {
+    let mut out = Vec::new();
+    let forest = union_of_spanning_trees(400, 350, 3, 2, 3);
+    out.push((forest.family.clone(), forest.graph, 3));
+    let ads = power_law(
+        &PowerLawParams {
+            n_left: 600,
+            n_right: 120,
+            exponent: 1.4,
+            min_degree: 2,
+            max_degree: 48,
+            cap: 3,
+        },
+        5,
+    );
+    // Power-law graphs have no constructed λ; bracket from degeneracy.
+    let lam = arboricity_bracket(&ads.graph).upper;
+    out.push((ads.family.clone(), ads.graph, lam));
+    let fleet = dense_core_sparse_fringe(&LayeredParams::default(), 7);
+    let lam = arboricity_bracket(&fleet.graph).upper;
+    out.push((fleet.family.clone(), fleet.graph, lam));
+    let esc = sparse_alloc::graph::generators::escape_blocks(6, 4);
+    out.push((esc.family.clone(), esc.graph, 12));
+    out
+}
+
+#[test]
+fn theorem9_holds_on_every_family() {
+    let eps = 0.1;
+    for (family, g, lambda) in workloads() {
+        let res = algo1::run(
+            &g,
+            &ProportionalConfig {
+                eps,
+                schedule: Schedule::KnownLambda(lambda),
+                track_history: false,
+            },
+        );
+        res.fractional.validate(&g, 1e-9).unwrap();
+        let opt = opt_value(&g);
+        let ratio = algo1::ratio(opt, res.match_weight);
+        assert!(
+            ratio <= 2.0 + 10.0 * eps + 1e-9,
+            "{family}: ratio {ratio} exceeds 2+10ε (OPT {opt}, MW {})",
+            res.match_weight
+        );
+    }
+}
+
+#[test]
+fn pipeline_beats_greedy_and_approaches_opt() {
+    for (family, g, _) in workloads() {
+        let out = solve(&g, &PipelineConfig::default());
+        out.assignment.validate(&g).unwrap();
+        let opt = opt_value(&g) as f64;
+        let greedy = greedy_allocation(&g).size() as f64;
+        let got = out.assignment.size() as f64;
+        assert!(
+            got + 1e-9 >= greedy,
+            "{family}: pipeline {got} below greedy {greedy}"
+        );
+        assert!(
+            got >= opt / 1.1 - 1.0,
+            "{family}: pipeline {got} misses (1+ε) of OPT {opt}"
+        );
+    }
+}
+
+#[test]
+fn lambda_oblivious_matches_known_lambda_quality() {
+    let eps = 0.1;
+    for (family, g, _) in workloads() {
+        let out = run_with_guessing(&g, eps);
+        let opt = opt_value(&g);
+        let ratio = algo1::ratio(opt, out.result.match_weight);
+        assert!(
+            ratio <= 2.0 + 10.0 * eps + 1e-9 || out.capped_by_azm,
+            "{family}: λ-oblivious ratio {ratio}"
+        );
+        assert!(!out.guesses.is_empty());
+    }
+}
+
+#[test]
+fn sampled_and_distributed_agree_on_all_families() {
+    let eps = 0.2;
+    for (family, g, lambda) in workloads() {
+        let tau = tau_known_lambda(eps, lambda).min(30);
+        let budget = SampleBudget::Fixed(3);
+        let shared = run_sampled(
+            &g,
+            &SampledConfig {
+                eps,
+                phase_len: 2,
+                tau,
+                budget,
+                seed: 11,
+                check_termination: false,
+            },
+        );
+        let dist = run_mpc(
+            &g,
+            &MpcExecConfig {
+                eps,
+                phase_len: 2,
+                tau,
+                budget,
+                seed: 11,
+                check_termination: false,
+                mpc: MpcConfig::lenient(6, usize::MAX / 4),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            shared.levels, dist.levels,
+            "{family}: execution paths diverged"
+        );
+        assert_eq!(shared.match_weight, dist.match_weight, "{family}");
+        assert!(dist.ledger.rounds > 0);
+    }
+}
+
+#[test]
+fn integral_solution_never_exceeds_fractional_weight_bound() {
+    // |M| ≤ OPT = fractional OPT ≥ fractional weight of any feasible x.
+    for (family, g, lambda) in workloads() {
+        let res = algo1::run(
+            &g,
+            &ProportionalConfig {
+                eps: 0.1,
+                schedule: Schedule::KnownLambda(lambda),
+                track_history: false,
+            },
+        );
+        let opt = opt_value(&g) as f64;
+        assert!(
+            res.match_weight <= opt + 1e-6,
+            "{family}: fractional weight {} exceeds OPT {opt} — infeasible!",
+            res.match_weight
+        );
+        let out = solve(&g, &PipelineConfig::default());
+        assert!(out.assignment.size() as f64 <= opt + 1e-9, "{family}");
+    }
+}
+
+#[test]
+fn quickstart_snippet_from_readme() {
+    // The README quickstart, kept compiling and correct.
+    let g = union_of_spanning_trees(500, 400, 3, 2, 7).graph;
+    let result = solve(&g, &PipelineConfig::default());
+    result.assignment.validate(&g).unwrap();
+    let opt = opt_value(&g);
+    assert!(result.assignment.size() as f64 >= opt as f64 / 1.1);
+}

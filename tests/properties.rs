@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) over randomly generated allocation
+//! instances: structural invariants of the substrate and the paper's
+//! guarantees, checked against the exact oracle.
+
+use proptest::prelude::*;
+use sparse_alloc::core::algo1::{self, ProportionalConfig};
+use sparse_alloc::core::boosting::{boost_hk, shortest_augmenting_walk};
+use sparse_alloc::core::params::Schedule;
+use sparse_alloc::core::rounding;
+use sparse_alloc::core::sampled::{run_sampled, SampleBudget, SampledConfig};
+use sparse_alloc::flow::greedy::{greedy_allocation, is_maximal};
+use sparse_alloc::flow::opt::{max_allocation, opt_value, trivial_upper_bound};
+use sparse_alloc::graph::io;
+use sparse_alloc::graph::sparsity::arboricity_bracket;
+use sparse_alloc::prelude::*;
+
+/// Strategy: an arbitrary small allocation instance — edge list with
+/// duplicates and isolated vertices allowed, capacities in 1..=4.
+fn instance() -> impl Strategy<Value = Bipartite> {
+    (2usize..24, 2usize..20).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..120);
+        let caps = proptest::collection::vec(1u64..=4, nr);
+        (Just(nl), Just(nr), edges, caps).prop_map(|(nl, nr, edges, caps)| {
+            let mut b = BipartiteBuilder::new(nl, nr);
+            b.extend_edges(edges);
+            b.build(caps).expect("in-range instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_cross_references_hold(g in instance()) {
+        g.validate().unwrap();
+        // Degree sums agree across the two CSRs.
+        let left_sum: usize = (0..g.n_left() as u32).map(|u| g.left_degree(u)).sum();
+        let right_sum: usize = (0..g.n_right() as u32).map(|v| g.right_degree(v)).sum();
+        prop_assert_eq!(left_sum, g.m());
+        prop_assert_eq!(right_sum, g.m());
+    }
+
+    #[test]
+    fn arboricity_bracket_is_ordered(g in instance()) {
+        let b = arboricity_bracket(&g);
+        prop_assert!(b.lower <= b.upper.max(1));
+        if g.m() == 0 {
+            prop_assert_eq!(b.upper, 0);
+        }
+    }
+
+    #[test]
+    fn text_io_roundtrips(g in instance()) {
+        let mut buf = Vec::new();
+        io::write_text(&g, &mut buf).unwrap();
+        let g2 = io::read_text(&mut &buf[..]).unwrap();
+        prop_assert_eq!(g.m(), g2.m());
+        prop_assert_eq!(g.capacities(), g2.capacities());
+        prop_assert_eq!(g.edge_right_endpoints(), g2.edge_right_endpoints());
+    }
+
+    #[test]
+    fn opt_is_sound(g in instance()) {
+        let opt = opt_value(&g);
+        prop_assert!(opt <= trivial_upper_bound(&g));
+        let witness = max_allocation(&g);
+        witness.validate(&g).unwrap();
+        prop_assert_eq!(witness.size() as u64, opt);
+    }
+
+    #[test]
+    fn greedy_is_maximal_and_half_opt(g in instance()) {
+        let a = greedy_allocation(&g);
+        a.validate(&g).unwrap();
+        prop_assert!(is_maximal(&g, &a));
+        prop_assert!(2 * a.size() as u64 >= opt_value(&g));
+    }
+
+    #[test]
+    fn algo1_output_is_always_feasible(g in instance(), eps in 0.05f64..1.0, tau in 1usize..25) {
+        let res = algo1::run(&g, &ProportionalConfig {
+            eps,
+            schedule: Schedule::Fixed(tau),
+            track_history: false,
+        });
+        res.fractional.validate(&g, 1e-7).unwrap();
+        // Objective never exceeds (fractional) OPT.
+        prop_assert!(res.match_weight <= opt_value(&g) as f64 + 1e-6);
+    }
+
+    #[test]
+    fn lemma7_invariants_always_hold(g in instance(), tau in 1usize..20) {
+        let eps = 0.2;
+        let res = algo1::run(&g, &ProportionalConfig {
+            eps,
+            schedule: Schedule::Fixed(tau),
+            track_history: false,
+        });
+        let r = tau as i64;
+        for v in 0..g.n_right() {
+            let c = g.capacity(v as u32) as f64;
+            if res.levels[v] < r {
+                prop_assert!(res.alloc[v] >= c / (1.0 + 3.0 * eps) - 1e-9,
+                    "under-allocation bound at v={v}");
+            }
+            if res.levels[v] > -r {
+                prop_assert!(res.alloc[v] <= c * (1.0 + 3.0 * eps) + 1e-9,
+                    "over-allocation bound at v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_always_feasible(g in instance(), seed in 0u64..1000) {
+        let res = algo1::run(&g, &ProportionalConfig {
+            eps: 0.1,
+            schedule: Schedule::Fixed(8),
+            track_history: false,
+        });
+        rounding::round_sampling(&g, &res.fractional, seed).validate(&g).unwrap();
+        rounding::round_greedy(&g, &res.fractional).validate(&g).unwrap();
+        rounding::round_best_of(&g, &res.fractional, 5, seed).validate(&g).unwrap();
+    }
+
+    #[test]
+    fn hk_boosting_certificate(g in instance(), k in 1usize..6) {
+        let start = greedy_allocation(&g);
+        let (boosted, _) = boost_hk(&g, &start, k);
+        boosted.validate(&g).unwrap();
+        prop_assert!(boosted.size() >= start.size());
+        // The k/(k+1) guarantee against the exact optimum.
+        let opt = opt_value(&g) as f64;
+        prop_assert!(boosted.size() as f64 >= (k as f64 / (k as f64 + 1.0)) * opt - 1e-9);
+        // And the certificate itself: no short augmenting walk remains.
+        if let Some(len) = shortest_augmenting_walk(&g, &boosted) {
+            prop_assert!(len > 2 * k - 1, "walk of length {len} with k={k}");
+        }
+    }
+
+    #[test]
+    fn sampled_run_is_feasible_any_budget(g in instance(), t in 1usize..12, b in 1usize..4) {
+        let res = run_sampled(&g, &SampledConfig {
+            eps: 0.2,
+            phase_len: b,
+            tau: 9,
+            budget: SampleBudget::Fixed(t),
+            seed: 7,
+            check_termination: false,
+        });
+        res.fractional.validate(&g, 1e-7).unwrap();
+        prop_assert_eq!(res.rounds, 9);
+    }
+
+    #[test]
+    fn distributed_equals_shared_memory_on_arbitrary_instances(
+        g in instance(), t in 1usize..6, b in 1usize..4, machines in 1usize..5, seed in 0u64..50,
+    ) {
+        // The bit-equality contract between the two Algorithm-2 paths must
+        // survive every instance shape: duplicates, isolated vertices on
+        // both sides, disconnected components.
+        use sparse_alloc::core::mpc_exec::{run_mpc, MpcExecConfig};
+        let eps = 0.25;
+        let budget = SampleBudget::Fixed(t);
+        let shared = run_sampled(&g, &SampledConfig {
+            eps,
+            phase_len: b,
+            tau: 5,
+            budget,
+            seed,
+            check_termination: false,
+        });
+        let dist = run_mpc(&g, &MpcExecConfig {
+            eps,
+            phase_len: b,
+            tau: 5,
+            budget,
+            seed,
+            check_termination: false,
+            mpc: MpcConfig::lenient(machines, usize::MAX / 4),
+        }).unwrap();
+        prop_assert_eq!(shared.levels, dist.levels);
+        prop_assert_eq!(shared.match_weight, dist.match_weight);
+    }
+
+    #[test]
+    fn pipeline_is_feasible_and_bounded(g in instance()) {
+        let out = solve(&g, &PipelineConfig::default());
+        out.assignment.validate(&g).unwrap();
+        let opt = opt_value(&g);
+        prop_assert!(out.assignment.size() as u64 <= opt);
+        // With k = 10 boosting the result is ≥ (10/11)·OPT.
+        prop_assert!(out.assignment.size() as f64 >= opt as f64 * 10.0 / 11.0 - 1e-9);
+    }
+}
