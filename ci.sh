@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the sparse-alloc workspace. Run from the repository root.
+#
+#   ./ci.sh         # everything: format, lints, release build, all tests
+#   ./ci.sh fast    # skip the release build (debug build implied by tests)
+#
+# Mirrors the tier-1 verify (`cargo build --release && cargo test -q`) and
+# adds the hygiene checks. Everything runs offline (see vendor/README.md).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+if [ "${1:-}" != "fast" ]; then
+    step "cargo build --release"
+    cargo build --release --quiet
+fi
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+step "OK"

@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparse_alloc_core::algo1::{self, ProportionalConfig};
 use sparse_alloc_core::params::Schedule;
+use sparse_alloc_graph::generators::union_of_spanning_trees;
 use sparse_alloc_local::programs::bfs::BfsProgram;
 use sparse_alloc_local::LocalEngine;
-use sparse_alloc_graph::generators::union_of_spanning_trees;
 
 fn algo1_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("algo1_10_rounds");

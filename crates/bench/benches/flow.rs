@@ -42,5 +42,10 @@ fn greedy_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, opt_oracle, opt_oracle_push_relabel, greedy_baseline);
+criterion_group!(
+    benches,
+    opt_oracle,
+    opt_oracle_push_relabel,
+    greedy_baseline
+);
 criterion_main!(benches);

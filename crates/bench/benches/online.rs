@@ -17,7 +17,11 @@ use rand::SeedableRng;
 
 fn workload(n_left: usize) -> Bipartite {
     let mut rng = SmallRng::seed_from_u64(5);
-    CapacityModel::PowerLaw { alpha: 1.1, max: 64 }.apply(
+    CapacityModel::PowerLaw {
+        alpha: 1.1,
+        max: 64,
+    }
+    .apply(
         &power_law(
             &PowerLawParams {
                 n_left,
@@ -47,11 +51,9 @@ fn full_stream(c: &mut Criterion) {
             ("dual_descent", Box::new(DualDescent::new(eta, false))),
         ];
         for (name, algo) in &mut algos {
-            group.bench_with_input(
-                BenchmarkId::new(*name, g.n_left()),
-                &g,
-                |b, g| b.iter(|| run_online(g, &order, algo.as_mut()).size()),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, g.n_left()), &g, |b, g| {
+                b.iter(|| run_online(g, &order, algo.as_mut()).size())
+            });
         }
     }
     group.finish();

@@ -9,12 +9,13 @@ use sparse_alloc_mpc::{Cluster, MpcConfig};
 fn sample_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpc_sample_sort");
     for &n in &[10_000usize, 100_000] {
-        let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
             b.iter(|| {
-                let c =
-                    Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items.clone())
-                        .unwrap();
+                let c = Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items.clone())
+                    .unwrap();
                 sort_by_key(c, |&x| x).unwrap().total_items()
             })
         });
@@ -28,9 +29,8 @@ fn aggregate(c: &mut Criterion) {
         let items: Vec<(u32, u64)> = (0..n).map(|i| ((i % 977) as u32, 1u64)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
             b.iter(|| {
-                let c =
-                    Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items.clone())
-                        .unwrap();
+                let c = Cluster::from_items(MpcConfig::lenient(8, usize::MAX / 4), items.clone())
+                    .unwrap();
                 aggregate_by_key(c, |a, b| a + b).unwrap().total_items()
             })
         });

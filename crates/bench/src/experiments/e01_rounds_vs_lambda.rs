@@ -34,7 +34,16 @@ pub fn run() {
     let eps = 0.1;
     println!("E1 — convergence vs λ on tight (escape) instances (Theorem 9); ε = {eps}");
     let mut table = Table::new(&[
-        "λ", "n", "m", "τ(λ) bound", "t90", "cond@τ", "MatchWeight", "OPT", "ratio", "2+10ε",
+        "λ",
+        "n",
+        "m",
+        "τ(λ) bound",
+        "t90",
+        "cond@τ",
+        "MatchWeight",
+        "OPT",
+        "ratio",
+        "2+10ε",
     ]);
     for lambda in [2u32, 4, 8, 16, 32] {
         // Keep instances near a constant size: one block is λ²(λ+1)+λ²

@@ -18,7 +18,9 @@ use crate::table::{f3, Table};
 pub fn run() {
     let eps = 0.1;
     let lambda = 8u32;
-    println!("E2 — n-independence at λ = {lambda} (escape blocks; vs AZM18's O(log n/ε²)); ε = {eps}");
+    println!(
+        "E2 — n-independence at λ = {lambda} (escape blocks; vs AZM18's O(log n/ε²)); ε = {eps}"
+    );
     let mut table = Table::new(&["blocks", "n", "t90", "τ(λ=8) bound", "AZM τ(n)", "ratio"]);
     let tau = tau_known_lambda(eps, lambda);
     for blocks in [2usize, 8, 32, 128] {

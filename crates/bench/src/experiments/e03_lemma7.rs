@@ -16,10 +16,17 @@ use crate::table::{f3, Table};
 /// Run E3 and print its table.
 pub fn run() {
     let eps = 0.2;
-    println!("E3 — Lemma 7 level-set invariants; ε = {eps}, bounds [1/(1+3ε), 1+3ε] = [{:.3}, {:.3}]",
-        1.0 / (1.0 + 3.0 * eps), 1.0 + 3.0 * eps);
+    println!(
+        "E3 — Lemma 7 level-set invariants; ε = {eps}, bounds [1/(1+3ε), 1+3ε] = [{:.3}, {:.3}]",
+        1.0 / (1.0 + 3.0 * eps),
+        1.0 + 3.0 * eps
+    );
     let mut table = Table::new(&[
-        "instance", "τ", "min alloc/C off-top", "max alloc/C off-bottom", "violations",
+        "instance",
+        "τ",
+        "min alloc/C off-top",
+        "max alloc/C off-bottom",
+        "violations",
     ]);
 
     let layered = dense_core_sparse_fringe(&LayeredParams::default(), 5).graph;

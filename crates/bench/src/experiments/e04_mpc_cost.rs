@@ -51,10 +51,21 @@ fn run_row(lambda: u32, blocks: usize, b: usize, table: &mut Table) {
 
 /// Run E4 and print its table.
 pub fn run() {
-    println!("E4 — distributed Algorithm 2 cost (Theorem 10); escape instances, ε = 0.15, 8 machines");
+    println!(
+        "E4 — distributed Algorithm 2 cost (Theorem 10); escape instances, ε = 0.15, 8 machines"
+    );
     let mut table = Table::new(&[
-        "λ", "B", "n", "LOCAL rounds", "phases", "MPC rounds", "rounds/phase", "words moved",
-        "peak storage", "total storage", "λ·n",
+        "λ",
+        "B",
+        "n",
+        "LOCAL rounds",
+        "phases",
+        "MPC rounds",
+        "rounds/phase",
+        "words moved",
+        "peak storage",
+        "total storage",
+        "λ·n",
     ]);
     // λ sweep at B = ⌈√log₂ λ⌉.
     run_row(2, 24, 1, &mut table);
@@ -64,8 +75,17 @@ pub fn run() {
 
     println!("\nB sweep at λ = 16 (phase compression vs exponentiation overhead):");
     let mut table_b = Table::new(&[
-        "λ", "B", "n", "LOCAL rounds", "phases", "MPC rounds", "rounds/phase", "words moved",
-        "peak storage", "total storage", "λ·n",
+        "λ",
+        "B",
+        "n",
+        "LOCAL rounds",
+        "phases",
+        "MPC rounds",
+        "rounds/phase",
+        "words moved",
+        "peak storage",
+        "total storage",
+        "λ·n",
     ]);
     for b in [1usize, 2, 4] {
         run_row(16, 2, b, &mut table_b);

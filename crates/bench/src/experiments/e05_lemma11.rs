@@ -17,7 +17,12 @@ pub fn run() {
     let n = 20_000usize;
     println!("E5 — Lemma 11 estimator concentration; population n = {n}, ε = {eps}, 50 trials");
     let mut table = Table::new(&[
-        "spread t", "samples s", "worst rel err", "mean rel err", "4ε bound", "s = lemma?",
+        "spread t",
+        "samples s",
+        "worst rel err",
+        "mean rel err",
+        "4ε bound",
+        "s = lemma?",
     ]);
     for t_spread in [2.0f64, 4.0, 8.0] {
         // Population spanning [1/t, t] (spread t²), deterministic shape.

@@ -38,7 +38,12 @@ pub fn run() {
     );
 
     let mut table = Table::new(&[
-        "budget", "t/group", "level agreement", "MW(sampled)/MW(exact)", "ratio vs OPT", "2+16ε",
+        "budget",
+        "t/group",
+        "level agreement",
+        "MW(sampled)/MW(exact)",
+        "ratio vs OPT",
+        "2+16ε",
     ]);
     for (name, budget) in [
         ("Fixed(2)", SampleBudget::Fixed(2)),

@@ -18,7 +18,13 @@ pub fn run() {
     let eps = 0.1;
     println!("E7 — §6 rounding (sampling, best-of-k, greedy); 40 seeds per row, ε = {eps}");
     let mut table = Table::new(&[
-        "λ", "wt(M_f)", "wt/9 bound", "mean |M|", "best-of-k", "k", "greedy",
+        "λ",
+        "wt(M_f)",
+        "wt/9 bound",
+        "mean |M|",
+        "best-of-k",
+        "k",
+        "greedy",
     ]);
     for k_arb in [1u32, 4, 16] {
         let g = union_of_spanning_trees(3000, 2400, k_arb, 2, 71 + k_arb as u64).graph;

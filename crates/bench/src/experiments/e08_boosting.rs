@@ -7,7 +7,9 @@
 //! (GGM22-faithful, randomized) column approaches it as its iteration
 //! budget grows with `k`.
 
-use sparse_alloc_core::boosting::{boost_hk, boost_layered, shortest_augmenting_walk, LayeredConfig};
+use sparse_alloc_core::boosting::{
+    boost_hk, boost_layered, shortest_augmenting_walk, LayeredConfig,
+};
 use sparse_alloc_flow::greedy::greedy_allocation;
 use sparse_alloc_flow::opt::opt_value;
 use sparse_alloc_graph::generators::power_law;
@@ -38,8 +40,14 @@ pub fn run() {
     );
 
     let mut table = Table::new(&[
-        "k", "k/(k+1) bound", "HK size", "HK frac of OPT", "no walk ≤ 2k-1", "layered size",
-        "layered frac", "layered iters",
+        "k",
+        "k/(k+1) bound",
+        "HK size",
+        "HK frac of OPT",
+        "no walk ≤ 2k-1",
+        "layered size",
+        "layered frac",
+        "layered iters",
     ]);
     for k in [1usize, 2, 3, 5, 8] {
         let (hk, _) = boost_hk(&g, &start, k);

@@ -19,7 +19,14 @@ use crate::table::{f3, Table};
 pub fn run() {
     println!("E9 — λ-oblivious guessing (§3.2.2); escape instances, OPT = |L| by construction");
     let mut table = Table::new(&[
-        "λ", "ε", "n", "τ known-λ", "trials", "per-trial rounds", "total rounds", "overhead",
+        "λ",
+        "ε",
+        "n",
+        "τ known-λ",
+        "trials",
+        "per-trial rounds",
+        "total rounds",
+        "overhead",
         "ratio vs OPT",
     ]);
     let mut rows: Vec<(u32, f64, usize)> = vec![(4, 0.1, 12), (16, 0.1, 2), (64, 0.1, 1)];

@@ -17,8 +17,14 @@ use crate::table::{f1, Table};
 pub fn run() {
     println!("E10 — Remark 1: arboricity blow-up of the vertex-split reduction");
     let mut table = Table::new(&[
-        "star leaves", "λ(G) lo", "λ(G) hi", "split m", "λ(split) lo", "λ(split) hi",
-        "flow cert λ ≥", "densest ρ*",
+        "star leaves",
+        "λ(G) lo",
+        "λ(G) hi",
+        "split m",
+        "λ(split) lo",
+        "λ(split) hi",
+        "flow cert λ ≥",
+        "densest ρ*",
     ]);
     for n in [32usize, 64, 128, 256] {
         let g = star(n, (n - 1) as u64).graph;

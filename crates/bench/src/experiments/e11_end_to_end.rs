@@ -25,7 +25,11 @@ use crate::table::{f3, Table};
 fn workloads() -> Vec<(&'static str, Bipartite)> {
     let forest = union_of_spanning_trees(4000, 3200, 4, 2, 3).graph;
     let mut rng = SmallRng::seed_from_u64(8);
-    let ads = CapacityModel::PowerLaw { alpha: 1.1, max: 64 }.apply(
+    let ads = CapacityModel::PowerLaw {
+        alpha: 1.1,
+        max: 64,
+    }
+    .apply(
         &power_law(
             &PowerLawParams {
                 n_left: 6000,
@@ -54,8 +58,16 @@ fn workloads() -> Vec<(&'static str, Bipartite)> {
 pub fn run() {
     println!("E11 — end-to-end (1+ε) pipeline vs baselines (Theorems 1/3); ε = 0.1");
     let mut table = Table::new(&[
-        "workload", "OPT", "pipeline", "frac-of-OPT", "paper-stages", "frac", "greedy", "frac",
-        "auction", "frac",
+        "workload",
+        "OPT",
+        "pipeline",
+        "frac-of-OPT",
+        "paper-stages",
+        "frac",
+        "greedy",
+        "frac",
+        "auction",
+        "frac",
     ]);
     for (name, g) in workloads() {
         let opt = opt_value(&g);

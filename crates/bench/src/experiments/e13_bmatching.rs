@@ -20,7 +20,12 @@ use crate::table::{f3, Table};
 pub fn run() {
     println!("E13 — (extension) b-matching via left-split + allocation pipeline");
     let mut table = Table::new(&[
-        "instance", "left budgets", "b-matching OPT", "solver", "fraction", "collisions",
+        "instance",
+        "left budgets",
+        "b-matching OPT",
+        "solver",
+        "fraction",
+        "collisions",
     ]);
     let forest = union_of_spanning_trees(1000, 800, 3, 3, 5).graph;
     let dense = random_bipartite(300, 200, 4000, 5, 7).graph;

@@ -100,7 +100,11 @@ pub fn run() {
 
     println!("\nAd power-law workload (2000×200, skewed budgets), arrival-order sweep:");
     let mut rng = SmallRng::seed_from_u64(4);
-    let g = CapacityModel::PowerLaw { alpha: 1.1, max: 64 }.apply(
+    let g = CapacityModel::PowerLaw {
+        alpha: 1.1,
+        max: 64,
+    }
+    .apply(
         &power_law(
             &PowerLawParams {
                 n_left: 2000,

@@ -142,7 +142,10 @@ mod tests {
         let eps = 0.05;
         let k = 3u32;
         let g = union_of_spanning_trees(150, 120, k, 2, 9).graph;
-        let oracle = JitterThresholds { k_max: 4.0, seed: 7 };
+        let oracle = JitterThresholds {
+            k_max: 4.0,
+            seed: 7,
+        };
         let res = run_with_thresholds(&g, &cfg(eps, Schedule::KnownLambda(k)), &oracle);
         let opt = opt_value(&g);
         let ratio = algo1::ratio(opt, res.match_weight);
@@ -159,7 +162,10 @@ mod tests {
         // levels — the mechanism Lemma 13's equivalence argument uses.
         let g = union_of_spanning_trees(40, 35, 2, 2, 4).graph;
         let c = cfg(0.2, Schedule::Fixed(12));
-        let jitter = JitterThresholds { k_max: 4.0, seed: 3 };
+        let jitter = JitterThresholds {
+            k_max: 4.0,
+            seed: 3,
+        };
         let a = run_with_thresholds(&g, &c, &jitter);
 
         let table = TableThresholds {
@@ -174,7 +180,10 @@ mod tests {
 
     #[test]
     fn jitter_is_deterministic_but_varies() {
-        let o = JitterThresholds { k_max: 4.0, seed: 1 };
+        let o = JitterThresholds {
+            k_max: 4.0,
+            seed: 1,
+        };
         assert_eq!(o.thresholds(5, 3), o.thresholds(5, 3));
         assert_ne!(o.thresholds(5, 3), o.thresholds(5, 4));
         assert_ne!(o.thresholds(5, 3), o.thresholds(6, 3));

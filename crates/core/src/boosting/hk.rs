@@ -291,9 +291,6 @@ mod tests {
         let mut b = BipartiteBuilder::new(2, 2);
         b.add_edge(0, 0);
         let g = b.build_with_uniform_capacity(1).unwrap();
-        assert_eq!(
-            shortest_augmenting_walk(&g, &Assignment::empty(2)),
-            Some(1)
-        );
+        assert_eq!(shortest_augmenting_walk(&g, &Assignment::empty(2)), Some(1));
     }
 }

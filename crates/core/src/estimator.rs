@@ -284,11 +284,7 @@ mod tests {
         let exact: f64 = neighbors.iter().map(|&w| value(w)).sum();
         let mut worst: f64 = 0.0;
         for seed in 0..10u64 {
-            let est = g.estimate_sum(
-                2_000,
-                |k| sample_rng(seed, 0, 0, Side::Left, 0, k),
-                value,
-            );
+            let est = g.estimate_sum(2_000, |k| sample_rng(seed, 0, 0, Side::Left, 0, k), value);
             worst = worst.max((est - exact).abs() / exact);
         }
         assert!(worst < 0.05, "relative error {worst}");

@@ -63,11 +63,8 @@ pub fn solve_bmatching_via_split(
             copy_origin.push(u);
         }
     }
-    let mut builder = BipartiteBuilder::with_edge_capacity(
-        copy_origin.len(),
-        g.n_right(),
-        copy_origin.len() * 4,
-    );
+    let mut builder =
+        BipartiteBuilder::with_edge_capacity(copy_origin.len(), g.n_right(), copy_origin.len() * 4);
     for (cid, &u) in copy_origin.iter().enumerate() {
         for &v in g.left_neighbors(u) {
             builder.add_edge(cid as u32, v);
@@ -106,9 +103,11 @@ pub fn solve_bmatching_via_split(
     let mut final_edges: Vec<(u32, u32)> = selected;
     for u in 0..g.n_left() as u32 {
         while left_load[u as usize] < left_b[u as usize] {
-            let Some(&v) = g.left_neighbors(u).iter().find(|&&v| {
-                right_load[v as usize] < g.capacity(v) && !taken.contains(&(u, v))
-            }) else {
+            let Some(&v) = g
+                .left_neighbors(u)
+                .iter()
+                .find(|&&v| right_load[v as usize] < g.capacity(v) && !taken.contains(&(u, v)))
+            else {
                 break;
             };
             taken.insert((u, v));
@@ -216,8 +215,17 @@ pub fn boost_bmatching(g: &Bipartite, left_b: &[u64], edges: &[EdgeId], k: usize
             while left_load[u as usize] < left_b[u as usize]
                 && dist[u as usize] == 0
                 && dfs_bm(
-                    g, &lefts, rights, left_b, &dist, &mut iter, &mut selected,
-                    &mut right_load, &mut selected_at_right, u, budget,
+                    g,
+                    &lefts,
+                    rights,
+                    left_b,
+                    &dist,
+                    &mut iter,
+                    &mut selected,
+                    &mut right_load,
+                    &mut selected_at_right,
+                    u,
+                    budget,
                 )
             {
                 left_load[u as usize] += 1;
@@ -229,7 +237,9 @@ pub fn boost_bmatching(g: &Bipartite, left_b: &[u64], edges: &[EdgeId], k: usize
         }
     }
 
-    (0..g.m() as u32).filter(|&e| selected[e as usize]).collect()
+    (0..g.m() as u32)
+        .filter(|&e| selected[e as usize])
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -269,8 +279,17 @@ fn dfs_bm(
             let u2 = lefts[e2 as usize];
             if dist[u2 as usize] == du + 1
                 && dfs_bm(
-                    g, lefts, rights, _left_b, dist, iter, selected, right_load,
-                    selected_at_right, u2, budget,
+                    g,
+                    lefts,
+                    rights,
+                    _left_b,
+                    dist,
+                    iter,
+                    selected,
+                    right_load,
+                    selected_at_right,
+                    u2,
+                    budget,
                 )
             {
                 // u2 gained a new edge elsewhere; re-point (u2, v) to u.

@@ -47,7 +47,11 @@ impl FractionalAllocation {
             }
         }
         for v in 0..g.n_right() as u32 {
-            let s: f64 = g.right_edge_ids(v).iter().map(|&e| self.x[e as usize]).sum();
+            let s: f64 = g
+                .right_edge_ids(v)
+                .iter()
+                .map(|&e| self.x[e as usize])
+                .sum();
             let c = g.capacity(v) as f64;
             if s > c * (1.0 + tol) + tol {
                 return Err(format!("right {v} total {s} exceeds capacity {c}"));
@@ -55,10 +59,7 @@ impl FractionalAllocation {
         }
         let total: f64 = self.x.iter().sum();
         if (total - self.weight).abs() > tol * total.max(1.0) {
-            return Err(format!(
-                "declared weight {} but Σx = {total}",
-                self.weight
-            ));
+            return Err(format!("declared weight {} but Σx = {total}", self.weight));
         }
         Ok(())
     }

@@ -94,11 +94,7 @@ mod tests {
         let eps = 0.1;
         let g = union_of_spanning_trees(200, 160, 2, 2, 3).graph;
         let out = run_with_guessing(&g, eps);
-        assert!(
-            out.guesses.len() <= 2,
-            "guesses tried: {:?}",
-            out.guesses
-        );
+        assert!(out.guesses.len() <= 2, "guesses tried: {:?}", out.guesses);
         assert!(!out.capped_by_azm);
         let opt = opt_value(&g);
         let ratio = crate::algo1::ratio(opt, out.result.match_weight);
@@ -140,12 +136,13 @@ mod tests {
         let g = escape_blocks(lambda, 2).graph;
         let out = run_with_guessing(&g, eps);
         assert!(!out.capped_by_azm);
-        assert!(out
-            .result
-            .termination
-            .as_ref()
-            .expect("checkpoint evaluated")
-            .terminated);
+        assert!(
+            out.result
+                .termination
+                .as_ref()
+                .expect("checkpoint evaluated")
+                .terminated
+        );
         let opt = 2 * (lambda as u64) * (lambda as u64);
         let ratio = crate::algo1::ratio(opt, out.result.match_weight);
         assert!(ratio <= 2.0 + 10.0 * eps + 1e-9, "ratio {ratio}");

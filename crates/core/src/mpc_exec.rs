@@ -106,13 +106,7 @@ impl Words for Slim {
 fn plans_words(plans: &[RoundPlan]) -> usize {
     plans
         .iter()
-        .map(|p| {
-            1 + p
-                .per_group
-                .iter()
-                .map(|g| 2 + g.drawn.len())
-                .sum::<usize>()
-        })
+        .map(|p| 1 + p.per_group.iter().map(|g| 2 + g.drawn.len()).sum::<usize>())
         .sum()
 }
 
@@ -279,10 +273,7 @@ fn keys_to_right(
                 if r.side == Side::Left && !r.neighbors.is_empty() {
                     for &v in &r.neighbors {
                         // (target, source, key, max_level, norm_sum)
-                        out.push((
-                            home(v, p),
-                            (v, r.gid, r.key, r.exact_agg.0, r.exact_agg.1),
-                        ));
+                        out.push((home(v, p), (v, r.gid, r.key, r.exact_agg.0, r.exact_agg.1)));
                     }
                 }
             }
@@ -378,7 +369,14 @@ pub fn run_mpc(g: &Bipartite, config: &MpcExecConfig) -> Result<MpcExecResult, M
         let b_this = config.phase_len.min(config.tau - rounds);
 
         // Steps 1–2: refresh levels and keys.
-        levels_to_left(&mut cluster, "phase-levels", p, &pows, eps, config.phase_len)?;
+        levels_to_left(
+            &mut cluster,
+            "phase-levels",
+            p,
+            &pows,
+            eps,
+            config.phase_len,
+        )?;
         keys_to_right(&mut cluster, "phase-keys", p, false, &pows)?;
 
         // Step 3: draw plans (0 rounds).
@@ -531,7 +529,14 @@ pub fn run_mpc(g: &Bipartite, config: &MpcExecConfig) -> Result<MpcExecResult, M
     }
 
     // Final exact output (2 aggregation rounds + reduce).
-    levels_to_left(&mut cluster, "final-levels", p, &pows, eps, config.phase_len)?;
+    levels_to_left(
+        &mut cluster,
+        "final-levels",
+        p,
+        &pows,
+        eps,
+        config.phase_len,
+    )?;
     keys_to_right(&mut cluster, "final-alloc", p, true, &pows)?;
     let (levels, alloc) = gather_right_state(&mut cluster, g.n_right(), nl)?;
     let match_weight = crate::algo1::match_weight_of(g, &alloc);
@@ -687,13 +692,11 @@ fn simulate_center(center: &Record, b: usize, pows: &PowTable, eps: f64) -> i64 
                 None => (true, 0.0),
                 Some(plan) => {
                     let mut ok = true;
-                    let alloc = plan.eval(|u| {
-                        match left_estimate(u, &slims, &level, &valid) {
-                            Some((m_u, s_u)) => pows.pow_diff(lv - m_u) / s_u,
-                            None => {
-                                ok = false;
-                                0.0
-                            }
+                    let alloc = plan.eval(|u| match left_estimate(u, &slims, &level, &valid) {
+                        Some((m_u, s_u)) => pows.pow_diff(lv - m_u) / s_u,
+                        None => {
+                            ok = false;
+                            0.0
                         }
                     });
                     (ok, alloc)
@@ -727,7 +730,13 @@ mod tests {
     use crate::sampled::{run_sampled, SampledConfig};
     use sparse_alloc_graph::generators::{random_bipartite, union_of_spanning_trees};
 
-    fn shared_cfg(eps: f64, tau: usize, b: usize, budget: SampleBudget, term: bool) -> SampledConfig {
+    fn shared_cfg(
+        eps: f64,
+        tau: usize,
+        b: usize,
+        budget: SampleBudget,
+        term: bool,
+    ) -> SampledConfig {
         SampledConfig {
             eps,
             phase_len: b,
@@ -786,8 +795,15 @@ mod tests {
     fn equals_shared_memory_with_termination() {
         let g = union_of_spanning_trees(80, 70, 2, 2, 7).graph;
         let eps = 0.15;
-        let shared = run_sampled(&g, &shared_cfg(eps, 200, 2, SampleBudget::Scaled(1.0), true));
-        let dist = run_mpc(&g, &mpc_cfg(eps, 200, 2, SampleBudget::Scaled(1.0), true, 4)).unwrap();
+        let shared = run_sampled(
+            &g,
+            &shared_cfg(eps, 200, 2, SampleBudget::Scaled(1.0), true),
+        );
+        let dist = run_mpc(
+            &g,
+            &mpc_cfg(eps, 200, 2, SampleBudget::Scaled(1.0), true, 4),
+        )
+        .unwrap();
         assert_eq!(shared.levels, dist.levels);
         assert_eq!(shared.rounds, dist.rounds);
         assert_eq!(
@@ -811,11 +827,7 @@ mod tests {
     #[test]
     fn ledger_accounts_phases_and_balls() {
         let g = union_of_spanning_trees(60, 50, 2, 2, 3).graph;
-        let res = run_mpc(
-            &g,
-            &mpc_cfg(0.2, 8, 4, SampleBudget::Fixed(2), false, 4),
-        )
-        .unwrap();
+        let res = run_mpc(&g, &mpc_cfg(0.2, 8, 4, SampleBudget::Fixed(2), false, 4)).unwrap();
         let l = &res.ledger;
         assert_eq!(res.phases, 2);
         // Per phase: levels + keys + ball rounds + request + reply; plus
@@ -855,7 +867,14 @@ mod tests {
         use sparse_alloc_flow::opt::opt_value;
         let eps = 0.15;
         let g = union_of_spanning_trees(120, 100, 3, 2, 19).graph;
-        let base = mpc_cfg(eps, 0 /* overridden */, 1, SampleBudget::Scaled(1.0), true, 4);
+        let base = mpc_cfg(
+            eps,
+            0, /* overridden */
+            1,
+            SampleBudget::Scaled(1.0),
+            true,
+            4,
+        );
         let out = run_mpc_with_guessing(&g, &base).unwrap();
         assert!(!out.guesses.is_empty());
         assert!(out.total_ledger.rounds >= out.result.ledger.rounds);
@@ -917,11 +936,7 @@ mod tests {
     #[test]
     fn fractional_output_is_feasible() {
         let g = union_of_spanning_trees(70, 60, 3, 2, 13).graph;
-        let res = run_mpc(
-            &g,
-            &mpc_cfg(0.2, 10, 2, SampleBudget::Fixed(3), false, 4),
-        )
-        .unwrap();
+        let res = run_mpc(&g, &mpc_cfg(0.2, 10, 2, SampleBudget::Fixed(3), false, 4)).unwrap();
         res.fractional.validate(&g, 1e-9).unwrap();
         assert!(res.match_weight > 0.0);
     }

@@ -109,7 +109,10 @@ mod tests {
         // Doubling λ adds ~log_{1+ε}2 ≈ 7.3 rounds at ε=0.1: check additive.
         let d1 = tau_known_lambda(0.1, 32) as i64 - tau_known_lambda(0.1, 16) as i64;
         let d2 = tau_known_lambda(0.1, 64) as i64 - tau_known_lambda(0.1, 32) as i64;
-        assert!((d1 - d2).abs() <= 1, "log growth should be additive per doubling");
+        assert!(
+            (d1 - d2).abs() <= 1,
+            "log growth should be additive per doubling"
+        );
     }
 
     #[test]
@@ -137,7 +140,10 @@ mod tests {
     fn sample_budgets_ordered() {
         let paper = sample_budget_paper(0.25, 2, 1 << 16);
         let scaled = sample_budget_scaled(0.25, 2, 1 << 16, 1.0);
-        assert!(paper > scaled, "paper budget {paper} should exceed scaled {scaled}");
+        assert!(
+            paper > scaled,
+            "paper budget {paper} should exceed scaled {scaled}"
+        );
         assert!(scaled >= 16);
     }
 

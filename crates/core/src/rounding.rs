@@ -54,7 +54,12 @@ pub fn round_sampling(g: &Bipartite, frac: &FractionalAllocation, seed: u64) -> 
 
 /// Best of `k` independent sampling rounds (the paper's whp amplification;
 /// `k = O(log n)`).
-pub fn round_best_of(g: &Bipartite, frac: &FractionalAllocation, k: usize, seed: u64) -> Assignment {
+pub fn round_best_of(
+    g: &Bipartite,
+    frac: &FractionalAllocation,
+    k: usize,
+    seed: u64,
+) -> Assignment {
     assert!(k >= 1);
     let mut best: Option<Assignment> = None;
     for i in 0..k {
@@ -149,7 +154,10 @@ mod tests {
         let single = round_sampling(&g, &frac, 1).size();
         let best = round_best_of(&g, &frac, 20, 1).size();
         assert!(best >= single);
-        assert!(best as f64 >= frac.weight / 9.0 - 1.0, "best {best} too small");
+        assert!(
+            best as f64 >= frac.weight / 9.0 - 1.0,
+            "best {best} too small"
+        );
         round_best_of(&g, &frac, 20, 1).validate(&g).unwrap();
     }
 

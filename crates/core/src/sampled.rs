@@ -128,9 +128,7 @@ pub(crate) fn plan_phase(
     let right_groups: Vec<GroupedNeighborhood> = (0..g.n_right() as u32)
         .into_par_iter()
         .map(|v| {
-            GroupedNeighborhood::build(g.right_neighbors(v), |u| {
-                left_key(&lefts[u as usize], eps)
-            })
+            GroupedNeighborhood::build(g.right_neighbors(v), |u| left_key(&lefts[u as usize], eps))
         })
         .collect();
     let left_ceiling: Vec<i64> = left_groups
@@ -230,8 +228,7 @@ pub fn run_sampled(g: &Bipartite, config: &SampledConfig) -> SampledResult {
             let (_, alloc_est) =
                 estimate_round(g, &plan, &levels, &pows, t_budget, config.seed, phases, s);
             for v in 0..nr {
-                levels[v] +=
-                    update_level(alloc_est[v], g.capacity(v as u32), eps, 1.0, 1.0);
+                levels[v] += update_level(alloc_est[v], g.capacity(v as u32), eps, 1.0, 1.0);
             }
             rounds += 1;
         }

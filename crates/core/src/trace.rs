@@ -131,7 +131,13 @@ mod tests {
     #[test]
     fn star_trace_shape() {
         let g = star(12, 3).graph;
-        let t = trace_run(&g, &TraceConfig { eps: 0.5, rounds: 6 });
+        let t = trace_run(
+            &g,
+            &TraceConfig {
+                eps: 0.5,
+                rounds: 6,
+            },
+        );
         assert_eq!(t.records.len(), 6);
         // The center only sinks: bottom set is always {center}.
         for r in &t.records {
@@ -146,7 +152,13 @@ mod tests {
     #[test]
     fn escape_trace_shows_convergence() {
         let g = escape_blocks(4, 4).graph;
-        let t = trace_run(&g, &TraceConfig { eps: 0.25, rounds: 20 });
+        let t = trace_run(
+            &g,
+            &TraceConfig {
+                eps: 0.25,
+                rounds: 20,
+            },
+        );
         // Match weight is (weakly) increasing towards |L| on this family.
         let first = t.records.first().unwrap().match_weight;
         let last = t.records.last().unwrap().match_weight;
@@ -159,7 +171,13 @@ mod tests {
     #[test]
     fn json_lines_parse_back() {
         let g = star(5, 2).graph;
-        let t = trace_run(&g, &TraceConfig { eps: 0.5, rounds: 3 });
+        let t = trace_run(
+            &g,
+            &TraceConfig {
+                eps: 0.5,
+                rounds: 3,
+            },
+        );
         let json = t.to_json_lines();
         for line in json.lines() {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
@@ -172,7 +190,13 @@ mod tests {
     #[test]
     fn histogram_sums_to_n_right() {
         let g = escape_blocks(3, 2).graph;
-        let t = trace_run(&g, &TraceConfig { eps: 0.2, rounds: 4 });
+        let t = trace_run(
+            &g,
+            &TraceConfig {
+                eps: 0.2,
+                rounds: 4,
+            },
+        );
         for r in &t.records {
             let total: usize = r.level_histogram.iter().map(|&(_, c)| c).sum();
             assert_eq!(total, g.n_right());

@@ -43,7 +43,10 @@ pub struct AuctionOutcome {
 
 /// Run the synchronous auction.
 pub fn auction_allocation(g: &Bipartite, params: AuctionParams) -> AuctionOutcome {
-    assert!(params.eps > 0.0 && params.eps < 1.0, "eps must be in (0, 1)");
+    assert!(
+        params.eps > 0.0 && params.eps < 1.0,
+        "eps must be in (0, 1)"
+    );
     let nl = g.n_left();
     let nr = g.n_right();
     let mut prices = vec![0.0f64; nr];

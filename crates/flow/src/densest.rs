@@ -216,9 +216,7 @@ mod tests {
             assert!(r.arboricity_lower_bound() <= br.upper);
             assert!(r.density() <= br.upper as f64);
             // Densest density ≥ global density m/n.
-            assert!(
-                r.density() + 1e-9 >= gen.graph.m() as f64 / gen.graph.n() as f64
-            );
+            assert!(r.density() + 1e-9 >= gen.graph.m() as f64 / gen.graph.n() as f64);
         }
     }
 

@@ -58,8 +58,7 @@ impl Dinic {
             "edge endpoint out of range"
         );
         let fwd_index = self.graph[from as usize].len() as u32;
-        let rev_index = self.graph[to as usize].len() as u32
-            + if from == to { 1 } else { 0 };
+        let rev_index = self.graph[to as usize].len() as u32 + if from == to { 1 } else { 0 };
         self.graph[from as usize].push(Edge {
             to,
             cap,
@@ -226,7 +225,13 @@ mod tests {
         assert!(!side[3]);
         // Cut capacity across the partition equals the flow value.
         // (Recompute from the original capacities.)
-        let caps = [(0u32, 1u32, 3i64), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)];
+        let caps = [
+            (0u32, 1u32, 3i64),
+            (0, 2, 2),
+            (1, 3, 2),
+            (2, 3, 3),
+            (1, 2, 1),
+        ];
         let cut: i64 = caps
             .iter()
             .filter(|&&(u, v, _)| side[u as usize] && !side[v as usize])

@@ -248,10 +248,14 @@ impl Bipartite {
         for v in 0..nr as u32 {
             for (&u, &e) in self.right_neighbors(v).iter().zip(self.right_edge_ids(v)) {
                 if lefts[e as usize] != u {
-                    return Err(format!("edge {e} left endpoint mismatch at right vertex {v}"));
+                    return Err(format!(
+                        "edge {e} left endpoint mismatch at right vertex {v}"
+                    ));
                 }
                 if self.left_adj[e as usize] != v {
-                    return Err(format!("edge {e} right endpoint mismatch at right vertex {v}"));
+                    return Err(format!(
+                        "edge {e} right endpoint mismatch at right vertex {v}"
+                    ));
                 }
             }
         }

@@ -59,13 +59,7 @@ pub fn grid(w: usize, h: usize, cap: u64) -> Generated {
     }
 }
 
-fn push_edge(
-    b: &mut BipartiteBuilder,
-    left_id: &[u32],
-    right_id: &[u32],
-    c: usize,
-    d: usize,
-) {
+fn push_edge(b: &mut BipartiteBuilder, left_id: &[u32], right_id: &[u32], c: usize, d: usize) {
     // Exactly one of c, d has even parity.
     if left_id[c] != u32::MAX {
         b.add_edge(left_id[c], right_id[d]);

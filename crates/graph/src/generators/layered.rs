@@ -124,9 +124,7 @@ mod tests {
         let p = LayeredParams::default();
         let gen = dense_core_sparse_fringe(&p, 17);
         let g = &gen.graph;
-        let core_demand: usize = (0..p.core_right as u32)
-            .map(|v| g.right_degree(v))
-            .sum();
+        let core_demand: usize = (0..p.core_right as u32).map(|v| g.right_degree(v)).sum();
         let core_capacity: u64 = (0..p.core_right as u32).map(|v| g.capacity(v)).sum();
         assert!(
             core_demand as u64 > 4 * core_capacity,

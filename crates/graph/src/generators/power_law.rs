@@ -131,9 +131,7 @@ mod tests {
             },
             3,
         );
-        let mut degs: Vec<usize> = (0..1_000u32)
-            .map(|v| gen.graph.right_degree(v))
-            .collect();
+        let mut degs: Vec<usize> = (0..1_000u32).map(|v| gen.graph.right_degree(v)).collect();
         degs.sort_unstable();
         let median = degs[degs.len() / 2];
         let max = *degs.last().unwrap();
@@ -149,7 +147,10 @@ mod tests {
         let a = power_law(&p, 5);
         let b = power_law(&p, 5);
         assert_eq!(a.graph.m(), b.graph.m());
-        assert_eq!(a.graph.edge_right_endpoints(), b.graph.edge_right_endpoints());
+        assert_eq!(
+            a.graph.edge_right_endpoints(),
+            b.graph.edge_right_endpoints()
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ mod tests {
     fn random_deterministic() {
         let a = random_bipartite(50, 50, 200, 1, 3);
         let b = random_bipartite(50, 50, 200, 1, 3);
-        assert_eq!(a.graph.edge_right_endpoints(), b.graph.edge_right_endpoints());
+        assert_eq!(
+            a.graph.edge_right_endpoints(),
+            b.graph.edge_right_endpoints()
+        );
     }
 
     #[test]

@@ -110,7 +110,12 @@ pub fn rmat(params: &RmatParams, seed: u64) -> Generated {
     }
 }
 
-fn sample_cell(rows: usize, cols: usize, params: &RmatParams, rng: &mut SmallRng) -> (usize, usize) {
+fn sample_cell(
+    rows: usize,
+    cols: usize,
+    params: &RmatParams,
+    rng: &mut SmallRng,
+) -> (usize, usize) {
     let (mut r0, mut r1) = (0usize, rows);
     let (mut c0, mut c1) = (0usize, cols);
     while r1 - r0 > 1 || c1 - c0 > 1 {
@@ -181,8 +186,14 @@ mod tests {
         let a = rmat(&p, 7);
         let b = rmat(&p, 7);
         let c = rmat(&p, 8);
-        assert_eq!(a.graph.edge_right_endpoints(), b.graph.edge_right_endpoints());
-        assert_ne!(a.graph.edge_right_endpoints(), c.graph.edge_right_endpoints());
+        assert_eq!(
+            a.graph.edge_right_endpoints(),
+            b.graph.edge_right_endpoints()
+        );
+        assert_ne!(
+            a.graph.edge_right_endpoints(),
+            c.graph.edge_right_endpoints()
+        );
     }
 
     #[test]

@@ -56,20 +56,21 @@ pub fn write_text(g: &Bipartite, w: &mut impl Write) -> Result<(), IoError> {
 /// Parse the plain-text edge-list format.
 pub fn read_text(r: &mut impl BufRead) -> Result<Bipartite, IoError> {
     let mut lines = r.lines();
-    let header = |lines: &mut dyn Iterator<Item = std::io::Result<String>>| -> Result<String, IoError> {
-        loop {
-            match lines.next() {
-                None => return Err(IoError::Parse("unexpected end of input".into())),
-                Some(Err(e)) => return Err(IoError::Io(e)),
-                Some(Ok(l)) => {
-                    let t = l.trim().to_string();
-                    if !t.is_empty() && !t.starts_with('#') {
-                        return Ok(t);
+    let header =
+        |lines: &mut dyn Iterator<Item = std::io::Result<String>>| -> Result<String, IoError> {
+            loop {
+                match lines.next() {
+                    None => return Err(IoError::Parse("unexpected end of input".into())),
+                    Some(Err(e)) => return Err(IoError::Io(e)),
+                    Some(Ok(l)) => {
+                        let t = l.trim().to_string();
+                        if !t.is_empty() && !t.starts_with('#') {
+                            return Ok(t);
+                        }
                     }
                 }
             }
-        }
-    };
+        };
 
     let sizes = header(&mut lines)?;
     let mut it = sizes.split_whitespace();
@@ -130,8 +131,7 @@ pub fn to_json(g: &Bipartite) -> String {
 /// Parse a graph from the JSON produced by [`to_json`], re-validating the
 /// structural invariants (JSON is an external input).
 pub fn from_json(s: &str) -> Result<Bipartite, IoError> {
-    let g: Bipartite =
-        serde_json::from_str(s).map_err(|e| IoError::Parse(format!("json: {e}")))?;
+    let g: Bipartite = serde_json::from_str(s).map_err(|e| IoError::Parse(format!("json: {e}")))?;
     g.validate().map_err(IoError::Parse)?;
     Ok(g)
 }

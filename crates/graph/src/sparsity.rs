@@ -57,7 +57,11 @@ pub fn peel(g: &Bipartite) -> Peeling {
     let mut degeneracy = 0u32;
     let mut cur = 0usize;
 
-    for _ in 0..n {
+    // Loop until every vertex is peeled: an iteration that only discards
+    // stale lazy-deletion entries removes nothing, so a fixed `n`-iteration
+    // loop would terminate early. Each iteration pops at least one queue
+    // entry (or breaks), and the total number of entries is O(n + m).
+    while order.len() < n {
         // Find the lowest non-empty bucket at or above `cur` rewinding as
         // needed (degrees only decrease by 1 per removal, so cur-1 suffices,
         // but we rewind defensively to 0 on exhaustion).
@@ -86,10 +90,7 @@ pub fn peel(g: &Bipartite) -> Peeling {
 
         let x = x as usize;
         let neighbors: &mut dyn Iterator<Item = usize> = if x < nl {
-            &mut g
-                .left_neighbors(x as u32)
-                .iter()
-                .map(|&v| nl + v as usize)
+            &mut g.left_neighbors(x as u32).iter().map(|&v| nl + v as usize)
         } else {
             &mut g
                 .right_neighbors((x - nl) as u32)
@@ -286,8 +287,6 @@ mod tests {
     #[test]
     fn suffix_bound_at_least_whole_graph_bound() {
         let gen = union_of_spanning_trees(256, 256, 5, 1, 77);
-        assert!(
-            nash_williams_peel_suffixes(&gen.graph) >= nash_williams_whole_graph(&gen.graph)
-        );
+        assert!(nash_williams_peel_suffixes(&gen.graph) >= nash_williams_whole_graph(&gen.graph));
     }
 }

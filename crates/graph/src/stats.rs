@@ -161,13 +161,16 @@ mod tests {
     #[test]
     fn empty_distribution() {
         let d = Distribution::of(std::iter::empty());
-        assert_eq!(d, Distribution {
-            min: 0,
-            max: 0,
-            mean: 0.0,
-            median: 0,
-            p90: 0,
-        });
+        assert_eq!(
+            d,
+            Distribution {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p90: 0,
+            }
+        );
     }
 
     #[test]

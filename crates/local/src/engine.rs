@@ -262,8 +262,7 @@ mod tests {
                     }
                 }
                 (Side::Right, 1) => {
-                    let incoming: Vec<(usize, u32)> =
-                        ctx.inbox().map(|(s, &m)| (s, m)).collect();
+                    let incoming: Vec<(usize, u32)> = ctx.inbox().map(|(s, &m)| (s, m)).collect();
                     for (s, m) in incoming {
                         ctx.send(s, m + 100);
                     }

@@ -62,7 +62,11 @@ impl LocalProgram for BfsProgram {
 /// Sequential reference BFS over the bipartite graph (global vertex ids:
 /// `0..n_left` left, then right offset by `n_left`). Returns `None` for
 /// unreachable vertices.
-pub fn bfs_distances(g: &Bipartite, left_sources: &[bool], right_sources: &[bool]) -> Vec<Option<u32>> {
+pub fn bfs_distances(
+    g: &Bipartite,
+    left_sources: &[bool],
+    right_sources: &[bool],
+) -> Vec<Option<u32>> {
     let nl = g.n_left();
     let n = g.n();
     let mut dist: Vec<Option<u32>> = vec![None; n];
@@ -81,7 +85,9 @@ pub fn bfs_distances(g: &Bipartite, left_sources: &[bool], right_sources: &[bool
     }
     while let Some(x) = queue.pop_front() {
         let d = dist[x].expect("queued implies discovered");
-        let push = |y: usize, dist: &mut Vec<Option<u32>>, queue: &mut std::collections::VecDeque<usize>| {
+        let push = |y: usize,
+                    dist: &mut Vec<Option<u32>>,
+                    queue: &mut std::collections::VecDeque<usize>| {
             if dist[y].is_none() {
                 dist[y] = Some(d + 1);
                 queue.push_back(y);

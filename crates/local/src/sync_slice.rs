@@ -69,8 +69,7 @@ mod tests {
     fn disjoint_range_writes() {
         // Each task owns a contiguous range, mirroring the engine's use.
         let mut data = vec![0u32; 100];
-        let ranges: Vec<std::ops::Range<usize>> =
-            vec![0..10, 10..35, 35..35, 35..80, 80..100];
+        let ranges: Vec<std::ops::Range<usize>> = vec![0..10, 10..35, 35..35, 35..80, 80..100];
         {
             let view = SyncSlice::new(&mut data);
             ranges.into_par_iter().enumerate().for_each(|(t, r)| {

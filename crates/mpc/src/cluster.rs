@@ -125,10 +125,7 @@ impl<T: Words + Send + Sync> Cluster<T> {
 
     /// Dissolve into the flat item list and the final ledger.
     pub fn into_items(self) -> (Vec<T>, Ledger) {
-        (
-            self.machines.into_iter().flatten().collect(),
-            self.ledger,
-        )
+        (self.machines.into_iter().flatten().collect(), self.ledger)
     }
 
     /// Local computation on every machine — costs **zero** rounds. The
@@ -426,7 +423,11 @@ mod tests {
         let err = c.exchange_by("funnel", |_| 0).unwrap_err();
         match err {
             MpcError::SpaceExceeded {
-                machine, kind, used, limit, ..
+                machine,
+                kind,
+                used,
+                limit,
+                ..
             } => {
                 assert_eq!(machine, 0);
                 assert_eq!(kind, SpaceKind::Receive);
@@ -441,7 +442,13 @@ mod tests {
     fn strict_send_limit_enforced() {
         // Storage fits (10 words ≤ S = 25) but a 5× message amplification
         // sends 50 words from machine 0 in one round.
-        let machines = vec![(0u32..10).collect::<Vec<_>>(), vec![], vec![], vec![], vec![]];
+        let machines = vec![
+            (0u32..10).collect::<Vec<_>>(),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ];
         let c = Cluster::from_partitioned(MpcConfig::strict(5, 25), machines).unwrap();
         let err = c
             .exchange_multi("amplify", |_, items| {
@@ -466,8 +473,7 @@ mod tests {
     #[test]
     fn strict_storage_limit_enforced_at_construction() {
         let machines = vec![(0u32..30).collect::<Vec<_>>(), vec![], vec![]];
-        let err =
-            Cluster::from_partitioned(MpcConfig::strict(3, 25), machines).unwrap_err();
+        let err = Cluster::from_partitioned(MpcConfig::strict(3, 25), machines).unwrap_err();
         assert!(matches!(
             err,
             MpcError::SpaceExceeded {
@@ -481,7 +487,13 @@ mod tests {
     fn bad_route_detected() {
         let c = Cluster::from_items(MpcConfig::lenient(2, 100), vec![1u32]).unwrap();
         let err = c.exchange_by("oops", |_| 7).unwrap_err();
-        assert!(matches!(err, MpcError::BadRoute { dest: 7, machines: 2 }));
+        assert!(matches!(
+            err,
+            MpcError::BadRoute {
+                dest: 7,
+                machines: 2
+            }
+        ));
     }
 
     #[test]
@@ -535,8 +547,7 @@ mod tests {
     fn side_channel_round_trip() {
         // Items stay put; each machine sends its item count to machine 0,
         // which accumulates the total into its first item.
-        let mut c =
-            Cluster::from_items(MpcConfig::lenient(4, 1000), (0u32..10).collect()).unwrap();
+        let mut c = Cluster::from_items(MpcConfig::lenient(4, 1000), (0u32..10).collect()).unwrap();
         c.side_channel(
             "census",
             |_, items| vec![(0usize, items.len() as u32)],
@@ -555,8 +566,7 @@ mod tests {
 
     #[test]
     fn side_channel_respects_strict_limits() {
-        let mut c =
-            Cluster::from_items(MpcConfig::strict(4, 8), (0u32..8).collect()).unwrap();
+        let mut c = Cluster::from_items(MpcConfig::strict(4, 8), (0u32..8).collect()).unwrap();
         // Every machine sends 8 words to machine 0 → receive 32 > S = 8.
         let err = c
             .side_channel(

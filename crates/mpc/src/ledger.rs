@@ -43,10 +43,7 @@ impl Ledger {
     pub fn record(&mut self, rec: RoundRecord) {
         self.rounds += 1;
         self.words_total += rec.words_moved;
-        self.peak_round_io = self
-            .peak_round_io
-            .max(rec.max_sent)
-            .max(rec.max_received);
+        self.peak_round_io = self.peak_round_io.max(rec.max_sent).max(rec.max_received);
         self.peak_storage = self.peak_storage.max(rec.max_storage);
         self.peak_total_storage = self.peak_total_storage.max(rec.total_storage);
         self.history.push(rec);

@@ -125,7 +125,11 @@ mod tests {
         // lenient construction (storage 500 > 64 would fail strict), but
         // verify the *communication* stayed within a strict budget:
         let c = aggregate_by_key(c, |a, b| a + b).unwrap();
-        assert!(c.ledger().peak_round_io <= 16, "io = {}", c.ledger().peak_round_io);
+        assert!(
+            c.ledger().peak_round_io <= 16,
+            "io = {}",
+            c.ledger().peak_round_io
+        );
         let (items, _) = c.into_items();
         assert_eq!(items, vec![(1u32, 1000u64)]);
     }

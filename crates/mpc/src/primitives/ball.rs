@@ -190,10 +190,8 @@ fn finish(cluster: Cluster<Ball>) -> Result<(Vec<Ball>, Ledger), MpcError> {
 /// Sequential reference: the radius-`r` ball around `v` by BFS.
 /// Used by tests and debug assertions.
 pub fn bfs_ball(adjacency: &[BallInput], center: u32, radius: u32) -> Vec<u32> {
-    let index: HashMap<u32, &Vec<u32>> = adjacency
-        .iter()
-        .map(|b| (b.vertex, &b.neighbors))
-        .collect();
+    let index: HashMap<u32, &Vec<u32>> =
+        adjacency.iter().map(|b| (b.vertex, &b.neighbors)).collect();
     let mut dist: HashMap<u32, u32> = HashMap::new();
     dist.insert(center, 0);
     let mut queue = std::collections::VecDeque::new();
@@ -253,11 +251,15 @@ mod tests {
     #[test]
     fn radius_one_is_adjacency() {
         let adj = path(6);
-        let (balls, ledger) =
-            grow_balls(MpcConfig::lenient(3, 100_000), adj.clone(), 1).unwrap();
+        let (balls, ledger) = grow_balls(MpcConfig::lenient(3, 100_000), adj.clone(), 1).unwrap();
         for b in &balls {
             assert_eq!(b.radius, 1);
-            assert_eq!(b.members, bfs_ball(&adj, b.center, 1), "center {}", b.center);
+            assert_eq!(
+                b.members,
+                bfs_ball(&adj, b.center, 1),
+                "center {}",
+                b.center
+            );
         }
         // homing is the only exchange round.
         assert_eq!(ledger.rounds, 1);

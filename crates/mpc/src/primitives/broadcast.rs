@@ -53,8 +53,7 @@ mod tests {
 
     #[test]
     fn single_round_when_fanout_covers() {
-        let mut c =
-            Cluster::from_items(MpcConfig::lenient(8, 1000), (0u32..8).collect()).unwrap();
+        let mut c = Cluster::from_items(MpcConfig::lenient(8, 1000), (0u32..8).collect()).unwrap();
         let copies = broadcast_value(&mut c, &42u64).unwrap();
         assert_eq!(copies, vec![42u64; 8]);
         // fan-out = 1000 ≥ 7, one round.

@@ -95,14 +95,12 @@ where
         .map(|msgs| msgs.into_iter().next())
         .collect();
 
-    cluster.map_local("dedup-boundary", move |m, items| {
-        match &preds[m] {
-            None => items,
-            Some(boundary) => items
-                .into_iter()
-                .skip_while(|it| key(it) == *boundary)
-                .collect(),
-        }
+    cluster.map_local("dedup-boundary", move |m, items| match &preds[m] {
+        None => items,
+        Some(boundary) => items
+            .into_iter()
+            .skip_while(|it| key(it) == *boundary)
+            .collect(),
     })
 }
 

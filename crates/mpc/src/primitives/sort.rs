@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn sorts_scattered_integers() {
-        let items: Vec<u32> = (0..500).map(|i| (i * 2654435761u64 % 1000) as u32).collect();
+        let items: Vec<u32> = (0..500)
+            .map(|i| (i * 2654435761u64 % 1000) as u32)
+            .collect();
         let mut expect = items.clone();
         expect.sort_unstable();
         let c = Cluster::from_items(MpcConfig::lenient(8, 100_000), items).unwrap();
@@ -124,7 +126,11 @@ mod tests {
         let (got, ledger) = c.into_items();
         assert_eq!(got, expect);
         // Rounds: sample (1) + broadcast (≥1) + route (1).
-        assert!(ledger.rounds >= 3 && ledger.rounds <= 6, "rounds = {}", ledger.rounds);
+        assert!(
+            ledger.rounds >= 3 && ledger.rounds <= 6,
+            "rounds = {}",
+            ledger.rounds
+        );
     }
 
     #[test]

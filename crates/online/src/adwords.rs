@@ -88,7 +88,11 @@ impl AdwordsInstance {
         let bids: Vec<f64> = (0..graph.m()).map(|_| rng.gen_range(lo..hi)).collect();
         let mut budgets = vec![0.0; graph.n_right()];
         for v in 0..graph.n_right() as u32 {
-            let volume: f64 = graph.right_edge_ids(v).iter().map(|&e| bids[e as usize]).sum();
+            let volume: f64 = graph
+                .right_edge_ids(v)
+                .iter()
+                .map(|&e| bids[e as usize])
+                .sum();
             budgets[v as usize] = (volume * supply).max(hi);
         }
         AdwordsInstance {
@@ -270,7 +274,10 @@ mod tests {
         let greedy = adwords_greedy(&inst, &order).revenue;
         let msvv = adwords_msvv(&inst, &order).revenue;
         let opt = 2.0 * bq as f64;
-        assert!((greedy - bq as f64).abs() < 1e-9, "greedy walks into the trap");
+        assert!(
+            (greedy - bq as f64).abs() < 1e-9,
+            "greedy walks into the trap"
+        );
         assert!(msvv > greedy + 0.25 * bq as f64, "ψ-discounting hedges");
         assert!(msvv <= opt + 1e-9);
     }

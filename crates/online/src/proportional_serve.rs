@@ -257,7 +257,10 @@ mod tests {
         let a = run_online(&g, &order, &mut crate::greedy::FirstFit::new());
         let h_greedy = serving_entropy(&g, &indicator_weights(&g, &a.mate));
         assert!(h_uniform > h_greedy, "{h_uniform} vs {h_greedy}");
-        assert!(h_greedy.abs() < 1e-12, "deterministic serving has zero entropy");
+        assert!(
+            h_greedy.abs() < 1e-12,
+            "deterministic serving has zero entropy"
+        );
     }
 
     #[test]

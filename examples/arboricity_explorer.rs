@@ -16,8 +16,12 @@ use sparse_alloc::graph::sparsity::arboricity_bracket;
 use sparse_alloc::prelude::*;
 
 fn main() {
-    println!("family                                    |   n    |    m    | λ bracket | certified");
-    println!("------------------------------------------+--------+---------+-----------+----------");
+    println!(
+        "family                                    |   n    |    m    | λ bracket | certified"
+    );
+    println!(
+        "------------------------------------------+--------+---------+-----------+----------"
+    );
     let rows: Vec<(String, Bipartite, String)> = vec![
         wrap(union_of_spanning_trees(2_000, 2_000, 1, 1, 1)),
         wrap(union_of_spanning_trees(2_000, 2_000, 4, 1, 2)),

@@ -41,8 +41,8 @@ fn main() {
 
     // The paper-powered search: λ-oblivious O(log λ)-round fractional
     // allocation → rounding → bounded-walk completion, per probe.
-    let approx = approx_min_makespan(&g, &ApproxBalanceConfig::default())
-        .expect("feasible instance");
+    let approx =
+        approx_min_makespan(&g, &ApproxBalanceConfig::default()).expect("feasible instance");
     approx.assignment.validate(&g).expect("witness feasible");
     println!(
         "allocation-driven search: T = {} with a perfect assignment witness ({} probes)",
@@ -50,7 +50,10 @@ fn main() {
         approx.probes.len()
     );
     for (t, ok) in &approx.probes {
-        println!("    probe T = {t:>4} → {}", if *ok { "feasible" } else { "infeasible" });
+        println!(
+            "    probe T = {t:>4} → {}",
+            if *ok { "feasible" } else { "infeasible" }
+        );
     }
 
     // Online baseline for contrast.

@@ -32,16 +32,18 @@ fn main() {
 
     println!("\nround  weight    top  bottom  N(top)  levels span  terminated");
     for r in &trace.records {
-        let span = match (
-            r.level_histogram.first(),
-            r.level_histogram.last(),
-        ) {
+        let span = match (r.level_histogram.first(), r.level_histogram.last()) {
             (Some(&(lo, _)), Some(&(hi, _))) => format!("[{lo}, {hi}]"),
             _ => "-".into(),
         };
         println!(
             "{:>5}  {:>8.1}  {:>4}  {:>6}  {:>6}  {:>11}  {}",
-            r.round, r.match_weight, r.top_size, r.bottom_size, r.top_neighborhood, span,
+            r.round,
+            r.match_weight,
+            r.top_size,
+            r.bottom_size,
+            r.top_neighborhood,
+            span,
             r.terminated
         );
     }

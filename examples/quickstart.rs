@@ -50,7 +50,9 @@ fn main() {
 
     // 4. Full pipeline: fractional → rounding (§6) → boosting (App. B).
     let out = solve(&g, &PipelineConfig::default());
-    out.assignment.validate(&g).expect("pipeline output feasible");
+    out.assignment
+        .validate(&g)
+        .expect("pipeline output feasible");
     println!(
         "integral: {} matched of OPT {opt} (ratio {:.4}), rounded stage gave {}",
         out.assignment.size(),

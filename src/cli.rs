@@ -21,21 +21,21 @@ use sparse_alloc_core::guessing::run_with_guessing;
 use sparse_alloc_core::loadbalance::{
     approx_min_makespan, exact_min_makespan, greedy_least_loaded, ApproxBalanceConfig,
 };
-use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_core::params::Schedule;
+use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_flow::opt::opt_value;
-use sparse_alloc_online::arrival;
-use sparse_alloc_online::balance::Balance;
-use sparse_alloc_online::driver::{run_online, OnlineAllocator};
-use sparse_alloc_online::greedy::{FirstFit, RandomFit};
-use sparse_alloc_online::proportional_serve::{ProportionalServe, ServeMode};
-use sparse_alloc_online::ranking::Ranking;
 use sparse_alloc_graph::generators::{
     escape_blocks, power_law, random_bipartite, star, union_of_spanning_trees, Generated,
     PowerLawParams,
 };
 use sparse_alloc_graph::sparsity::arboricity_bracket;
 use sparse_alloc_graph::{io, Bipartite};
+use sparse_alloc_online::arrival;
+use sparse_alloc_online::balance::Balance;
+use sparse_alloc_online::driver::{run_online, OnlineAllocator};
+use sparse_alloc_online::greedy::{FirstFit, RandomFit};
+use sparse_alloc_online::proportional_serve::{ProportionalServe, ServeMode};
+use sparse_alloc_online::ranking::Ranking;
 
 /// CLI failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,12 +275,15 @@ fn cmd_solve(args: &[String]) -> Result<String, CliError> {
         std::fs::write(assign_path, text).map_err(|e| err(format!("{assign_path}: {e}")))?;
     }
 
-    let fills = sparse_alloc_graph::stats::fill_report(
-        &g,
-        &result.assignment.right_loads(g.n_right()),
-    );
+    let fills =
+        sparse_alloc_graph::stats::fill_report(&g, &result.assignment.right_loads(g.n_right()));
     let mut out = String::new();
-    let _ = writeln!(out, "matched          : {} of {}", result.assignment.size(), g.n_left());
+    let _ = writeln!(
+        out,
+        "matched          : {} of {}",
+        result.assignment.size(),
+        g.n_left()
+    );
     let _ = writeln!(out, "fractional weight: {:.1}", result.fractional_weight);
     let _ = writeln!(out, "rounded size     : {}", result.rounded_size);
     let _ = writeln!(out, "LOCAL rounds     : {}", result.fractional_rounds);
@@ -330,7 +333,11 @@ fn cmd_balance(args: &[String]) -> Result<String, CliError> {
         out,
         "makespan         : {} ({} search)",
         result.makespan,
-        if f.has("exact") { "exact" } else { "allocation-driven" }
+        if f.has("exact") {
+            "exact"
+        } else {
+            "allocation-driven"
+        }
     );
     let _ = writeln!(out, "volume lower bnd : {}", result.volume_lower_bound);
     let _ = writeln!(out, "feasibility probes: {}", result.probes.len());
@@ -428,10 +435,7 @@ mod tests {
     #[test]
     fn solve_paper_stages_mode() {
         let file = temp("p.txt");
-        run(&args(&format!(
-            "gen escape --k 3 --blocks 2 --out {file}"
-        )))
-        .unwrap();
+        run(&args(&format!("gen escape --k 3 --blocks 2 --out {file}"))).unwrap();
         let report = run(&args(&format!(
             "solve {file} --eps 0.2 --lambda 6 --paper-stages"
         )))
@@ -443,10 +447,16 @@ mod tests {
     #[test]
     fn errors_are_user_facing() {
         assert!(run(&[]).is_err());
-        assert!(run(&args("frobnicate")).unwrap_err().0.contains("unknown command"));
+        assert!(run(&args("frobnicate"))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
         assert!(run(&args("gen forests")).unwrap_err().0.contains("--out"));
         assert!(run(&args("solve /nonexistent-file-xyz")).is_err());
-        assert!(run(&args("gen unknown-family --out /tmp/x")).unwrap_err().0.contains("unknown family"));
+        assert!(run(&args("gen unknown-family --out /tmp/x"))
+            .unwrap_err()
+            .0
+            .contains("unknown family"));
         assert!(run(&args("solve")).unwrap_err().0.contains("missing FILE"));
     }
 
@@ -489,7 +499,13 @@ mod tests {
             "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 4 --out {file}"
         )))
         .unwrap();
-        for algo in ["first-fit", "random-fit", "balance", "ranking", "prop-serve"] {
+        for algo in [
+            "first-fit",
+            "random-fit",
+            "balance",
+            "ranking",
+            "prop-serve",
+        ] {
             let report = run(&args(&format!(
                 "online {file} --algo {algo} --order random --seed 3"
             )))

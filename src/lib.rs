@@ -65,6 +65,9 @@ pub use sparse_alloc_online as online;
 pub mod prelude {
     pub use sparse_alloc_core::algo1::{run as run_algo1, ProportionalConfig};
     pub use sparse_alloc_core::guessing::run_with_guessing;
+    pub use sparse_alloc_core::loadbalance::{
+        approx_min_makespan, exact_min_makespan, ApproxBalanceConfig,
+    };
     pub use sparse_alloc_core::mpc_exec::{run_mpc, MpcExecConfig};
     pub use sparse_alloc_core::params::Schedule;
     pub use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
@@ -72,9 +75,6 @@ pub mod prelude {
     pub use sparse_alloc_flow::greedy::greedy_allocation;
     pub use sparse_alloc_flow::opt::{max_allocation, opt_value};
     pub use sparse_alloc_graph::capacities::CapacityModel;
-    pub use sparse_alloc_core::loadbalance::{
-        approx_min_makespan, exact_min_makespan, ApproxBalanceConfig,
-    };
     pub use sparse_alloc_graph::generators::{
         dense_core_sparse_fringe, grid, power_law, random_bipartite, rmat, star,
         union_of_spanning_trees, LayeredParams, PowerLawParams, RmatParams,

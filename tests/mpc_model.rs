@@ -64,7 +64,10 @@ fn regime_violation_is_a_structured_error() {
     .unwrap_err();
     assert!(matches!(err, MpcError::SpaceExceeded { .. }));
     let msg = err.to_string();
-    assert!(msg.contains("words"), "error message should cite words: {msg}");
+    assert!(
+        msg.contains("words"),
+        "error message should cite words: {msg}"
+    );
 }
 
 #[test]

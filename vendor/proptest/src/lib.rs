@@ -1,0 +1,307 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! API subset used by the `sparse-alloc` workspace.
+//!
+//! Implements the `proptest!` macro, the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, [`Just`], and
+//! [`collection::vec`], driven by a deterministic seeded random search.
+//! Differences from crates.io proptest: no shrinking (a failing case panics
+//! with its case index; re-running is deterministic, so the case is
+//! reproducible), and `prop_assert!`/`prop_assert_eq!` panic immediately
+//! instead of returning `Err`.
+
+use rand::rngs::SmallRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG threaded through strategies (the vendored `rand::rngs::SmallRng`).
+pub type TestRng = SmallRng;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a value, then run a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Copy,
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Copy,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($idx:tt : $name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(0: A);
+impl_tuple_strategy!(0: A, 1: B);
+impl_tuple_strategy!(0: A, 1: B, 2: C);
+impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D);
+impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E);
+impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length specification: fixed, `a..b`, or `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Run one `proptest!`-generated test: `cases` deterministic seeds, each
+/// handed to `case` (which generates inputs and runs the body).
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut case: impl FnMut(&mut TestRng)) {
+    use rand::SeedableRng as _;
+    // Per-test seed: stable across runs, different between tests.
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    for case_idx in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(name_hash ^ (case_idx as u64).wrapping_mul(0x9e37));
+        case(&mut rng);
+    }
+}
+
+/// Assert a condition inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each argument is drawn from its strategy for a
+/// configurable number of random cases.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     // (`#[test]` goes here in a test module; omitted so the doctest
+///     // can call the function directly.)
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:pat in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                    let ( $( $arg, )* ) = (
+                        $( $crate::Strategy::generate(&($strategy), __proptest_rng), )*
+                    );
+                    $body
+                });
+            }
+        )*
+    };
+}

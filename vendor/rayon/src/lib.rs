@@ -1,0 +1,288 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) API
+//! subset used by the `sparse-alloc` workspace.
+//!
+//! Every "parallel" iterator here is the corresponding *sequential* std
+//! iterator: `par_iter`/`par_iter_mut`/`into_par_iter` simply forward to
+//! `iter`/`iter_mut`/`into_iter`, so all std `Iterator` adapters work
+//! unchanged and results are bitwise identical to the sequential code path.
+//! [`ThreadPoolBuilder`] builds a pool whose `install` runs the closure on
+//! the current thread. This preserves the workspace's determinism contract
+//! (engines must produce thread-count-independent results) at the cost of
+//! parallel speedup; swap the manifest entry back to crates.io `rayon` to
+//! regain real parallelism.
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+///
+/// Implements [`Iterator`] by delegation, and additionally provides
+/// *inherent* versions of the common adapters so that chains keep returning
+/// [`ParIter`] (inherent methods shadow the `Iterator` trait methods). This
+/// is what lets rayon-specific signatures — notably the two-argument
+/// [`ParIter::reduce`] — type-check against the shim.
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Transform each item with `f`.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep only items satisfying `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(pred))
+    }
+
+    /// Filter and map in one pass.
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Iterate two collections in lockstep.
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    /// Flatten the output of `f` over each item.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with the associative `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Largest item, or `None` when empty.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Smallest item, or `None` when empty.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+impl<'a, I: Iterator<Item = &'a T>, T: 'a + Copy> ParIter<I> {
+    /// Copy out of an iterator over references.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+/// By-value conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the iterator.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Consume `self`, yielding an iterator over its items.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// By-shared-reference conversion, mirroring `c.par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type of the iterator.
+    type Item: 'data;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate over `&self`'s items.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// By-mutable-reference conversion, mirroring `c.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type of the iterator.
+    type Item: 'data;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate over `&mut self`'s items.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; thread count is recorded
+/// but execution is always on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` worker threads (recorded, not acted upon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool; infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A "pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` (on the current thread) and return its result.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run both closures (sequentially, left first) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn forwarding_matches_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let by_ref: u64 = v.par_iter().sum();
+        assert_eq!(by_ref, 10);
+        let mapped: Vec<u64> = (0..4u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(mapped, vec![0, 1, 4, 9]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pool_installs_on_current_thread() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) API
+//! subset used by the `sparse-alloc` workspace.
+//!
+//! Instead of serde's visitor-based serializer/deserializer pair, this shim
+//! routes everything through one self-describing tree, [`Content`]:
+//! `Serialize` renders a value *into* a `Content`, `Deserialize` rebuilds a
+//! value *from* one. The companion `serde_json` shim converts `Content`
+//! to/from JSON text. The derive macros (re-exported from `serde_derive`)
+//! cover named-field structs and fieldless enums — exactly the shapes this
+//! workspace derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree, the meeting point of [`Serialize`] and
+/// [`Deserialize`] (analogous to `serde_json::Value`, but crate-internal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (positive ones normalize to [`Content::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string (also used for fieldless enum variants).
+    Str(String),
+    /// A sequence (`Vec`, tuples, slices).
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order (structs).
+    Map(Vec<(String, Content)>),
+}
+
+/// Error produced when [`Deserialize`] rejects a [`Content`] shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Render `self` as a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from `content`, validating its shape.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Look up `key` in a struct map (used by derived `Deserialize` impls).
+pub fn map_get<'a>(map: &'a [(String, Content)], key: &str) -> Result<&'a Content, Error> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    other => Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide: i64 = match content {
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Content::I64(v) => *v,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($idx:tt : $name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match content {
+                    Content::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {ARITY}-tuple, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(0: A);
+impl_tuple!(0: A, 1: B);
+impl_tuple!(0: A, 1: B, 2: C);
+impl_tuple!(0: A, 1: B, 2: C, 3: D);

@@ -1,0 +1,228 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly the shapes the workspace derives:
+//! non-generic named-field structs and fieldless enums. Anything else
+//! produces a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Struct name plus named field identifiers, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name plus unit variant identifiers, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Parse a struct/enum definition just far enough to know its name and its
+/// field (or variant) names.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "generic type `{name}` is not supported by the serde shim"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "expected braced body for `{name}` (tuple/unit items unsupported), got {other:?}"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct(name, named_fields(body)?)),
+        "enum" => Ok(Item::Enum(name, unit_variants(body)?)),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Split a brace-group stream into top-level comma-separated chunks.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("non-empty").push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field struct body: in each comma chunk the field
+/// identifier is the last ident before the first top-level `:` (everything
+/// earlier is attributes/visibility).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    split_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut last_ident = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            last_ident.ok_or_else(|| "expected named field".to_string())
+        })
+        .collect()
+}
+
+/// Variant names of a fieldless enum body; payload-carrying variants are
+/// rejected.
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    split_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut name = None;
+            let mut tokens = chunk.iter().peekable();
+            while let Some(tt) = tokens.next() {
+                match tt {
+                    // Skip attributes (doc comments lower to `#[doc = ...]`).
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        tokens.next();
+                    }
+                    TokenTree::Ident(id) => name = Some(id.to_string()),
+                    TokenTree::Group(_) => {
+                        return Err(
+                            "enum variants with payloads are not supported by the serde shim"
+                                .to_string(),
+                        )
+                    }
+                    _ => {}
+                }
+            }
+            name.ok_or_else(|| "expected enum variant".to_string())
+        })
+        .collect()
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error")
+}
+
+/// Derive `serde::Serialize` (shim) for a named struct or fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Err(e) => return compile_error(&e),
+        Ok(Item::Struct(name, fields)) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Item::Enum(name, variants)) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize parses")
+}
+
+/// Derive `serde::Deserialize` (shim) for a named struct or fieldless enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Err(e) => return compile_error(&e),
+        Ok(Item::Struct(name, fields)) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                             ::serde::map_get(map, {f:?})?)?,"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Map(map) => Ok({name} {{ {inits} }}),\n\
+                             _ => Err(::serde::Error::custom(\
+                                 concat!(\"expected map for struct \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Item::Enum(name, variants)) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\
+                                     \"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::custom(\
+                                 concat!(\"expected string for enum \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize parses")
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-c046ff745964e1eb.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-c046ff745964e1eb.rlib: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-c046ff745964e1eb.rmeta: src/lib.rs
+
+src/lib.rs:

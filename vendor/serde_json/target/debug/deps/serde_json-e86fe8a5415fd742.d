@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-e86fe8a5415fd742.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-e86fe8a5415fd742: src/lib.rs
+
+src/lib.rs:
