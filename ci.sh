@@ -26,6 +26,23 @@ fi
 step "cargo test -q"
 cargo test -q
 
+if [ "${1:-}" != "fast" ]; then
+    step "CLI smoke test (salloc dynamic)"
+    tmp="$(mktemp -d)"
+    cargo run --release -q --bin salloc -- \
+        gen forests --nl 300 --nr 240 --k 3 --cap 2 --seed 7 --out "$tmp/g.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1
+    rm -rf "$tmp"
+
+    step "examples (release) — none may bit-rot"
+    for ex in examples/*.rs; do
+        name="$(basename "${ex%.rs}")"
+        printf '  -- %s\n' "$name"
+        cargo run --release -q --example "$name" >/dev/null
+    done
+fi
+
 step "cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

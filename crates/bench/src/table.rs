@@ -62,6 +62,35 @@ impl Table {
     }
 }
 
+/// Quote and escape a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a flat JSON object from pre-rendered values (numbers, arrays,
+/// or [`json_str`]-quoted strings) — enough for the `BENCH_*.json` perf
+/// records without pulling a serializer into the bench crate.
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("{}: {v}", json_str(k)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -95,5 +124,16 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        let obj = json_object(&[
+            ("n", "5".into()),
+            ("name", json_str("e17")),
+            ("xs", "[1, 2]".into()),
+        ]);
+        assert_eq!(obj, "{\"n\": 5, \"name\": \"e17\", \"xs\": [1, 2]}");
     }
 }

@@ -23,35 +23,52 @@ pub struct LeftAggregate {
 }
 
 impl LeftAggregate {
-    const EMPTY: LeftAggregate = LeftAggregate {
+    /// The aggregate of an isolated left vertex (no neighbors, no mass).
+    pub const EMPTY: LeftAggregate = LeftAggregate {
         max_level: i64::MIN,
         norm_sum: 0.0,
     };
+}
+
+/// The per-vertex step behind [`left_aggregates`]: the aggregate of one
+/// left vertex over an arbitrary neighbor iterator.
+///
+/// This is the hook incremental engines (the `sparse-alloc-dynamic`
+/// repair loop) use to re-run the proportional dynamics on overlay
+/// adjacency without materializing a CSR snapshot. Returns
+/// [`LeftAggregate::EMPTY`] for an empty neighborhood.
+pub fn left_aggregate_of(
+    neighbors: impl Iterator<Item = u32> + Clone,
+    levels: &[i64],
+    pows: &PowTable,
+) -> LeftAggregate {
+    let Some(max_level) = neighbors.clone().map(|v| levels[v as usize]).max() else {
+        return LeftAggregate::EMPTY;
+    };
+    let norm_sum: f64 = neighbors
+        .map(|v| pows.pow_diff(levels[v as usize] - max_level))
+        .sum();
+    LeftAggregate {
+        max_level,
+        norm_sum,
+    }
+}
+
+/// The share `x_{u,v} = β_v / β_u` a left vertex with aggregate `agg`
+/// sends to a neighbor at `level_v` (the line-2 quantity of Algorithm 1,
+/// locally normalized). The companion per-edge hook to
+/// [`left_aggregate_of`].
+#[inline]
+pub fn alloc_share(level_v: i64, agg: &LeftAggregate, pows: &PowTable) -> f64 {
+    debug_assert!(level_v <= agg.max_level, "v ∈ N_u ⇒ level_v ≤ max");
+    pows.pow_diff(level_v - agg.max_level) / agg.norm_sum
 }
 
 /// Compute all left aggregates for the given right-side levels. `O(m)`.
 pub fn left_aggregates(g: &Bipartite, levels: &[i64], pows: &PowTable) -> Vec<LeftAggregate> {
     (0..g.n_left() as u32)
         .into_par_iter()
-        .map(|u| {
-            let neigh = g.left_neighbors(u);
-            if neigh.is_empty() {
-                return LeftAggregate::EMPTY;
-            }
-            let max_level = neigh
-                .iter()
-                .map(|&v| levels[v as usize])
-                .max()
-                .expect("non-empty");
-            let norm_sum: f64 = neigh
-                .iter()
-                .map(|&v| pows.pow_diff(levels[v as usize] - max_level))
-                .sum();
-            LeftAggregate {
-                max_level,
-                norm_sum,
-            }
-        })
+        .map(|u| left_aggregate_of(g.left_neighbors(u).iter().copied(), levels, pows))
         .collect()
 }
 
@@ -70,11 +87,7 @@ pub fn right_allocs(
             let lv = levels[v as usize];
             g.right_neighbors(v)
                 .iter()
-                .map(|&u| {
-                    let agg = &lefts[u as usize];
-                    debug_assert!(lv <= agg.max_level, "v ∈ N_u ⇒ level_v ≤ max");
-                    pows.pow_diff(lv - agg.max_level) / agg.norm_sum
-                })
+                .map(|&u| alloc_share(lv, &lefts[u as usize], pows))
                 .sum()
         })
         .collect()
@@ -107,7 +120,7 @@ pub fn edge_fractions(
     slices.into_par_iter().for_each(|(u, xs)| {
         let agg = &lefts[u as usize];
         for (&v, slot) in g.left_neighbors(u).iter().zip(xs.iter_mut()) {
-            *slot = pows.pow_diff(levels[v as usize] - agg.max_level) / agg.norm_sum;
+            *slot = alloc_share(levels[v as usize], agg, pows);
         }
     });
     x
@@ -251,6 +264,33 @@ mod tests {
                 allocs[v as usize]
             );
         }
+    }
+
+    #[test]
+    fn per_vertex_hooks_match_bulk_passes() {
+        // The single-vertex hooks (used by the dynamic repair engine on
+        // overlay adjacency) must agree exactly with the bulk passes.
+        let g = sparse_alloc_graph::generators::random_bipartite(30, 25, 140, 2, 4).graph;
+        let pows = PowTable::new(0.2);
+        let levels: Vec<i64> = (0..25).map(|v| ((v * 5) % 9) as i64 - 4).collect();
+        let lefts = left_aggregates(&g, &levels, &pows);
+        for u in 0..g.n_left() as u32 {
+            let one = left_aggregate_of(g.left_neighbors(u).iter().copied(), &levels, &pows);
+            assert_eq!(one, lefts[u as usize], "u = {u}");
+        }
+        let allocs = right_allocs(&g, &levels, &lefts, &pows);
+        for v in 0..g.n_right() as u32 {
+            let one: f64 = g
+                .right_neighbors(v)
+                .iter()
+                .map(|&u| alloc_share(levels[v as usize], &lefts[u as usize], &pows))
+                .sum();
+            assert_eq!(one, allocs[v as usize], "v = {v}");
+        }
+        assert_eq!(
+            left_aggregate_of(std::iter::empty(), &levels, &pows),
+            LeftAggregate::EMPTY
+        );
     }
 
     #[test]

@@ -39,6 +39,25 @@ pub struct TerminationCheck {
     pub mass_off_bottom: f64,
 }
 
+/// The bare §4 predicate over pre-aggregated quantities: returns
+/// `(cond_few_neighbors, cond_mass_allocated)`.
+///
+/// This is the hook reused by incremental engines that evaluate the
+/// stopping rule on a local ball (where `top_neighborhood`, `bottom_size`
+/// and `mass_off_bottom` are aggregated over the ball instead of the
+/// whole graph); [`check`] is the global instantiation.
+#[inline]
+pub fn condition_holds(
+    top_neighborhood: usize,
+    bottom_size: usize,
+    mass_off_bottom: f64,
+    eps: f64,
+) -> (bool, bool) {
+    let cond_few_neighbors = top_neighborhood <= bottom_size;
+    let cond_mass_allocated = mass_off_bottom >= (1.0 - eps / 2.0) * top_neighborhood as f64;
+    (cond_few_neighbors, cond_mass_allocated)
+}
+
 /// Evaluate the §4 termination condition after `rounds` rounds.
 ///
 /// `levels` are the end-of-round levels; `alloc` the allocation masses
@@ -75,8 +94,8 @@ pub fn check(
         .map(|(_, &a)| a)
         .sum();
 
-    let cond_few_neighbors = top_neighborhood <= sets.bottom.len();
-    let cond_mass_allocated = mass_off_bottom >= (1.0 - eps / 2.0) * top_neighborhood as f64;
+    let (cond_few_neighbors, cond_mass_allocated) =
+        condition_holds(top_neighborhood, sets.bottom.len(), mass_off_bottom, eps);
 
     TerminationCheck {
         terminated: cond_few_neighbors || cond_mass_allocated,
@@ -138,6 +157,19 @@ mod tests {
         assert!(t.terminated);
         let t = check(&g, &levels, &[1.0, 0.85, 10.0], 1, 0.1);
         assert!(!t.cond_mass_allocated, "1.85 < 1.9");
+    }
+
+    #[test]
+    fn predicate_hook_matches_check() {
+        let g = toy();
+        let levels = vec![1i64, 1, -1];
+        let alloc = [1.0, 0.95, 10.0];
+        let t = check(&g, &levels, &alloc, 1, 0.1);
+        let (c1, c2) = condition_holds(t.top_neighborhood, t.bottom_size, t.mass_off_bottom, 0.1);
+        assert_eq!(c1, t.cond_few_neighbors);
+        assert_eq!(c2, t.cond_mass_allocated);
+        // The empty ball terminates trivially (0 ≤ 0, 0 ≥ 0).
+        assert_eq!(condition_holds(0, 0, 0.0, 0.1), (true, true));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Bridges from the online crate's arrival world into update streams.
+//!
+//! * [`updates_from_sessions`] — replay a
+//!   [`SessionEvent`] stream
+//!   (produced by `sparse_alloc_online::stream`) against a base graph:
+//!   departures drop the vertex, re-arrivals restore its base edge set.
+//! * [`churn_stream`] — a seeded synthetic mixed-update stream (edge
+//!   delete/re-insert recycling, departures/arrivals, capacity wiggles)
+//!   whose stationary distribution stays close to the base instance, for
+//!   benches and the CLI.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparse_alloc_graph::Bipartite;
+use sparse_alloc_online::stream::SessionEvent;
+
+use crate::update::Update;
+
+/// Translate a session stream over `base`'s left universe into engine
+/// updates: `Depart(u)` maps directly, `Arrive(u)` re-inserts `u`'s base
+/// edges one by one (a no-op for edges already live, so replaying
+/// arrivals of vertices that never departed is safe).
+pub fn updates_from_sessions(base: &Bipartite, events: &[SessionEvent]) -> Vec<Update> {
+    let mut updates = Vec::with_capacity(events.len());
+    for e in events {
+        match *e {
+            SessionEvent::Depart(u) => updates.push(Update::Depart { u }),
+            SessionEvent::Arrive(u) => {
+                for &v in base.left_neighbors(u) {
+                    updates.push(Update::InsertEdge { u, v });
+                }
+            }
+        }
+    }
+    updates
+}
+
+/// Proportions of update kinds in a [`churn_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnMix {
+    /// Probability of an edge event (delete a live base edge, or
+    /// re-insert a previously deleted one — the generator alternates to
+    /// keep edge density stationary).
+    pub edge: f64,
+    /// Probability of a vertex event (depart a left vertex, or re-arrive
+    /// a departed one).
+    pub vertex: f64,
+    /// Probability of a capacity wiggle (±1 around the base capacity,
+    /// never below 1).
+    pub capacity: f64,
+}
+
+impl Default for ChurnMix {
+    fn default() -> Self {
+        ChurnMix {
+            edge: 0.80,
+            vertex: 0.10,
+            capacity: 0.10,
+        }
+    }
+}
+
+/// Generate `n_events` mixed updates over `base`, seeded and
+/// reproducible. The stream recycles what it removes (deleted edges are
+/// re-inserted later, departed vertices re-arrive), so the live instance
+/// hovers around the base instance at any churn rate.
+pub fn churn_stream(base: &Bipartite, n_events: usize, mix: &ChurnMix, seed: u64) -> Vec<Update> {
+    assert!(
+        mix.edge >= 0.0 && mix.vertex >= 0.0 && mix.capacity >= 0.0,
+        "mix probabilities must be non-negative"
+    );
+    let total = (mix.edge + mix.vertex + mix.capacity).max(f64::MIN_POSITIVE);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> = base.edges().map(|(_, u, v)| (u, v)).collect();
+    let mut deleted_edges: Vec<(u32, u32)> = Vec::new();
+    let mut departed: Vec<u32> = Vec::new();
+    let mut out = Vec::with_capacity(n_events);
+
+    for _ in 0..n_events {
+        let roll = rng.gen_range(0.0..total);
+        if roll < mix.edge && !edges.is_empty() {
+            // Re-insert half the time once something is deleted.
+            if !deleted_edges.is_empty() && rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..deleted_edges.len());
+                let (u, v) = deleted_edges.swap_remove(i);
+                out.push(Update::InsertEdge { u, v });
+            } else {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                deleted_edges.push((u, v));
+                out.push(Update::DeleteEdge { u, v });
+            }
+        } else if roll < mix.edge + mix.vertex && base.n_left() > 0 {
+            if !departed.is_empty() && rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..departed.len());
+                let u = departed.swap_remove(i);
+                for &v in base.left_neighbors(u) {
+                    out.push(Update::InsertEdge { u, v });
+                }
+            } else {
+                let u = rng.gen_range(0..base.n_left() as u32);
+                departed.push(u);
+                out.push(Update::Depart { u });
+            }
+        } else if base.n_right() > 0 {
+            let v = rng.gen_range(0..base.n_right() as u32);
+            let c = base.capacity(v);
+            let cap = if rng.gen_bool(0.5) {
+                c + 1
+            } else {
+                c.saturating_sub(1).max(1)
+            };
+            out.push(Update::SetCapacity { v, cap });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{DynamicConfig, ServeLoop};
+    use sparse_alloc_graph::generators::union_of_spanning_trees;
+    use sparse_alloc_online::stream::sliding_window_sessions;
+
+    #[test]
+    fn session_replay_restores_the_base_graph() {
+        let g = union_of_spanning_trees(30, 20, 2, 2, 3).graph;
+        // Everyone departs, then everyone re-arrives.
+        let mut events: Vec<SessionEvent> = (0..30u32).map(SessionEvent::Depart).collect();
+        events.extend((0..30u32).map(SessionEvent::Arrive));
+        let updates = updates_from_sessions(&g, &events);
+        let mut s = ServeLoop::new(g.clone(), DynamicConfig::for_eps(0.25));
+        for up in &updates {
+            s.apply(up);
+        }
+        s.end_epoch();
+        s.validate().unwrap();
+        let live = s.snapshot();
+        assert_eq!(live.m(), g.m());
+        assert_eq!(live.n_left(), g.n_left());
+    }
+
+    #[test]
+    fn sliding_window_stream_keeps_the_engine_feasible() {
+        let g = union_of_spanning_trees(24, 16, 2, 2, 4).graph;
+        let order: Vec<u32> = (0..24).collect();
+        let events = sliding_window_sessions(&order, 8);
+        let updates = updates_from_sessions(&g, &events);
+        let mut s = ServeLoop::new(g, DynamicConfig::for_eps(0.25));
+        for (i, up) in updates.iter().enumerate() {
+            s.apply(up);
+            if i % 10 == 9 {
+                s.end_epoch();
+                s.validate().unwrap();
+            }
+        }
+        s.end_epoch();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn churn_stream_is_seeded_and_well_formed() {
+        let g = union_of_spanning_trees(40, 30, 2, 2, 5).graph;
+        let a = churn_stream(&g, 200, &ChurnMix::default(), 9);
+        let b = churn_stream(&g, 200, &ChurnMix::default(), 9);
+        assert_eq!(a, b);
+        let c = churn_stream(&g, 200, &ChurnMix::default(), 10);
+        assert_ne!(a, c);
+        for up in &a {
+            match *up {
+                Update::InsertEdge { u, v } | Update::DeleteEdge { u, v } => {
+                    assert!((u as usize) < g.n_left() && (v as usize) < g.n_right());
+                }
+                Update::Depart { u } => assert!((u as usize) < g.n_left()),
+                Update::SetCapacity { v, cap } => {
+                    assert!((v as usize) < g.n_right() && cap >= 1);
+                }
+                Update::Arrive { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn churn_stream_drives_the_engine() {
+        let g = union_of_spanning_trees(40, 30, 2, 2, 6).graph;
+        let updates = churn_stream(&g, 300, &ChurnMix::default(), 12);
+        let mut s = ServeLoop::new(g, DynamicConfig::for_eps(0.25));
+        for (i, up) in updates.iter().enumerate() {
+            s.apply(up);
+            if i % 50 == 49 {
+                s.end_epoch();
+                s.validate().unwrap();
+            }
+        }
+        s.end_epoch();
+        s.validate().unwrap();
+        assert_eq!(s.stats().updates, updates.len());
+    }
+}

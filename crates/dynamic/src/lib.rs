@@ -1,0 +1,67 @@
+//! Dynamic allocation: incremental `(1+ε)`-maintenance under updates.
+//!
+//! Every other path through this workspace recomputes the allocation from
+//! scratch. The paper's machinery is exactly what makes *incremental*
+//! maintenance cheap: the locally adjustable `β_v` multipliers and level
+//! sets confine a single update's influence on the proportional dynamics
+//! to an `O(τ)`-hop ball, and the Appendix-B bounded-length
+//! augmenting-walk argument makes the integral `k/(k+1)` certificate
+//! locally repairable. This crate turns that observation into a serving
+//! subsystem:
+//!
+//! | piece | module |
+//! |---|---|
+//! | update vocabulary (arrive/depart/insert/delete/capacity) | [`update`] |
+//! | bounded augmenting-walk repair of the integral allocation | [`walks`] |
+//! | `O(τ)`-ball repair of the β-levels | [`repair`] |
+//! | drift budget + compaction policy | [`scheduler`] |
+//! | the serving façade | [`serve`] |
+//! | adapters from `sparse-alloc-online` streams, churn generator | [`adapter`] |
+//!
+//! The graph side lives in `sparse_alloc_graph::delta`: the frozen
+//! [`Bipartite`](sparse_alloc_graph::Bipartite) snapshot stays immutable
+//! while a [`DeltaGraph`](sparse_alloc_graph::DeltaGraph) overlay absorbs
+//! mutations and periodically compacts.
+//!
+//! # Guarantees
+//!
+//! After every [`ServeLoop::end_epoch`], the maintained integral
+//! allocation has **no augmenting walk of length `≤ 2k−1`** on the live
+//! graph (`k` = [`DynamicConfig::walk_budget`]), hence size
+//! `≥ k/(k+1) · OPT` — the same certificate the static pipeline's
+//! boosting stage produces, maintained incrementally. The fractional
+//! β-levels are repaired on the dirty ball only; the truncation error is
+//! metered by a drift budget, and exceeding the `O(ε)` budget triggers a
+//! full static rebuild.
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_dynamic::{DynamicConfig, ServeLoop, Update};
+//! use sparse_alloc_graph::generators::union_of_spanning_trees;
+//!
+//! let g = union_of_spanning_trees(200, 150, 3, 2, 7).graph;
+//! let mut serve = ServeLoop::new(g, DynamicConfig::for_eps(0.25));
+//!
+//! // A client departs; a new one arrives wanting servers 3 or 4.
+//! serve.apply(&Update::Depart { u: 17 });
+//! let id = serve.apply(&Update::Arrive { neighbors: vec![3, 4] }).unwrap();
+//! serve.end_epoch();
+//!
+//! assert!(serve.query(17).is_none());
+//! let _ = serve.query(id); // Some(server) if capacity allowed
+//! serve.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod repair;
+pub mod scheduler;
+pub mod serve;
+pub mod update;
+pub mod walks;
+
+pub use serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
+pub use update::Update;
+pub use walks::Matching;

@@ -1,0 +1,112 @@
+//! The epoch scheduler's error budget.
+//!
+//! Local repairs truncate influence at a fixed ball radius, so each
+//! update can leave an `O(ε)`-small residue in the fractional state.
+//! [`DriftTracker`] accumulates a conservative per-update weight; once
+//! the accumulated churn exceeds a fixed fraction of the live edge count
+//! (the `O(ε)` budget), the serve loop falls back to a full
+//! `core::pipeline`-style rebuild, which resets the budget. Compaction of
+//! the graph overlay is governed by the same pattern via
+//! [`CompactionPolicy`].
+
+/// Accumulates update weight and decides when to rebuild from scratch.
+#[derive(Debug, Clone)]
+pub struct DriftTracker {
+    threshold: f64,
+    accumulated: f64,
+}
+
+impl DriftTracker {
+    /// A tracker that triggers once accumulated churn exceeds
+    /// `threshold` × (live edges). Typical choice: `threshold = ε/2`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "drift threshold must be positive");
+        DriftTracker {
+            threshold,
+            accumulated: 0.0,
+        }
+    }
+
+    /// Charge one update's weight.
+    pub fn charge(&mut self, weight: f64) {
+        self.accumulated += weight.max(0.0);
+    }
+
+    /// Accumulated churn as a fraction of `m_live` (1.0 for the empty
+    /// graph once anything was charged — any churn on nothing is total).
+    pub fn fraction(&self, m_live: usize) -> f64 {
+        if self.accumulated == 0.0 {
+            0.0
+        } else if m_live == 0 {
+            1.0
+        } else {
+            self.accumulated / m_live as f64
+        }
+    }
+
+    /// Has the budget been exceeded?
+    pub fn should_rebuild(&self, m_live: usize) -> bool {
+        self.fraction(m_live) > self.threshold
+    }
+
+    /// Reset after a full rebuild.
+    pub fn reset(&mut self) {
+        self.accumulated = 0.0;
+    }
+}
+
+/// Decides when the graph overlay is folded back into a CSR snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    threshold: f64,
+}
+
+impl CompactionPolicy {
+    /// Compact once the overlay exceeds `threshold` × (live edges).
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "compaction threshold must be positive");
+        CompactionPolicy { threshold }
+    }
+
+    /// Should the overlay be compacted now?
+    pub fn should_compact(&self, overlay_edges: usize, m_live: usize) -> bool {
+        overlay_edges > 16 && (overlay_edges as f64) > self.threshold * m_live as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_accumulates_and_resets() {
+        let mut d = DriftTracker::new(0.05);
+        assert!(!d.should_rebuild(1000));
+        for _ in 0..50 {
+            d.charge(1.0);
+        }
+        assert!((d.fraction(1000) - 0.05).abs() < 1e-12);
+        assert!(!d.should_rebuild(1000), "exactly at budget: not yet");
+        d.charge(1.0);
+        assert!(d.should_rebuild(1000));
+        d.reset();
+        assert!(!d.should_rebuild(1000));
+        assert_eq!(d.fraction(1000), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_churn_is_total() {
+        let mut d = DriftTracker::new(0.5);
+        assert!(!d.should_rebuild(0), "no churn, nothing to rebuild");
+        d.charge(1.0);
+        assert!(d.should_rebuild(0));
+    }
+
+    #[test]
+    fn compaction_has_a_floor() {
+        let p = CompactionPolicy::new(0.25);
+        assert!(!p.should_compact(10, 4), "tiny overlays never compact");
+        assert!(p.should_compact(30, 100));
+        assert!(!p.should_compact(20, 100));
+    }
+}

@@ -1,0 +1,544 @@
+//! The serving façade: consume updates, answer assignment queries.
+//!
+//! [`ServeLoop`] owns the live graph (a [`DeltaGraph`] overlay), the
+//! β-levels of the proportional dynamics, and the maintained integral
+//! allocation. Updates are applied with `O(τ)`-ball local repairs;
+//! [`ServeLoop::end_epoch`] restores the global `k/(k+1)` walk-freeness
+//! certificate, re-runs the level dynamics on the dirty ball, and falls
+//! back to a full static rebuild when the accumulated drift exceeds the
+//! `O(ε)` budget (or compacts the overlay when it outgrows its snapshot).
+//!
+//! Between epochs, queries ([`ServeLoop::query`],
+//! [`ServeLoop::match_size`]) are `O(1)` reads of maintained state.
+
+use sparse_alloc_core::boosting::boost_hk;
+use sparse_alloc_core::fractional::{finalize_from_levels, FractionalAllocation};
+use sparse_alloc_core::guessing::run_with_guessing;
+use sparse_alloc_core::rounding;
+use sparse_alloc_graph::{Assignment, Bipartite, DeltaGraph, LeftId, RightId};
+
+use crate::repair::{repair_levels, LevelRepairConfig};
+use crate::scheduler::{CompactionPolicy, DriftTracker};
+use crate::update::Update;
+use crate::walks::Matching;
+
+/// Configuration of a [`ServeLoop`].
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// The `(1+ε)` parameter of the fractional dynamics and the drift
+    /// budget.
+    pub eps: f64,
+    /// Augmenting-walk budget `k` (walks of length `≤ 2k−1`); the
+    /// maintained integral allocation is `≥ k/(k+1)·OPT` after every
+    /// epoch. `⌈1/ε⌉` matches the static pipeline's guarantee.
+    pub walk_budget: usize,
+    /// β-repair ball radius in right-to-right hops.
+    pub repair_radius: usize,
+    /// Proportional rounds per β-repair.
+    pub repair_rounds: usize,
+    /// Fraction of live edges' worth of churn that triggers a full
+    /// rebuild (the `O(ε)` drift budget).
+    pub drift_threshold: f64,
+    /// Overlay fraction that triggers compaction.
+    pub compact_threshold: f64,
+    /// Visit cap for the *eager* per-update walk searches (the epoch
+    /// sweep is always exact). A failed unbounded search pays for the
+    /// whole `O(deg^k)` ball, so eager repairs give up early and leave
+    /// the rest to the sweep.
+    pub eager_search_cap: usize,
+    /// Cap on the β-repair ball size (right vertices). Bounds the repair
+    /// work per epoch under bulk churn; the truncation is covered by the
+    /// drift budget.
+    pub repair_ball_cap: usize,
+}
+
+impl DynamicConfig {
+    /// The standard configuration for a given ε: walk budget `⌈1/ε⌉`,
+    /// radius 2, `⌈1/ε⌉` repair rounds, drift budget `ε/2`.
+    pub fn for_eps(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε ∈ (0, 1]");
+        let k = (1.0 / eps).ceil() as usize;
+        DynamicConfig {
+            eps,
+            walk_budget: k,
+            repair_radius: 2,
+            repair_rounds: k.clamp(2, 8),
+            drift_threshold: eps / 2.0,
+            compact_threshold: 0.25,
+            eager_search_cap: 64,
+            repair_ball_cap: 4096,
+        }
+    }
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig::for_eps(0.1)
+    }
+}
+
+/// Lifetime counters of a [`ServeLoop`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Updates applied.
+    pub updates: usize,
+    /// Epochs closed.
+    pub epochs: usize,
+    /// Full static rebuilds (drift budget exceeded).
+    pub rebuilds: usize,
+    /// Overlay compactions.
+    pub compactions: usize,
+    /// Augmenting walks flipped (local repairs + sweeps).
+    pub augmentations: usize,
+    /// Matches evicted by capacity decreases and departures.
+    pub evictions: usize,
+    /// β-repair rounds executed.
+    pub repair_rounds: usize,
+}
+
+/// What one [`ServeLoop::end_epoch`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochReport {
+    /// Augmentations found by the certificate sweep.
+    pub sweep_augmentations: usize,
+    /// Right vertices in the β-repair ball (0 if no repair ran).
+    pub ball_rights: usize,
+    /// Did the drift budget force a full rebuild?
+    pub rebuilt: bool,
+    /// Was the overlay compacted?
+    pub compacted: bool,
+    /// `|M|` after the epoch.
+    pub match_size: usize,
+}
+
+/// The dynamic allocation engine.
+#[derive(Debug)]
+pub struct ServeLoop {
+    cfg: DynamicConfig,
+    dg: DeltaGraph,
+    levels: Vec<i64>,
+    matching: Matching,
+    dirty: Vec<RightId>,
+    drift: DriftTracker,
+    compaction: CompactionPolicy,
+    stats: ServeStats,
+}
+
+impl ServeLoop {
+    /// Solve `base` with the static stack (λ-oblivious fractional →
+    /// greedy rounding → walk boosting) and start serving from that
+    /// state.
+    pub fn new(base: Bipartite, cfg: DynamicConfig) -> Self {
+        let drift = DriftTracker::new(cfg.drift_threshold);
+        let compaction = CompactionPolicy::new(cfg.compact_threshold);
+        let (dg, levels, matching) = Self::solve_static(base, &cfg);
+        ServeLoop {
+            cfg,
+            dg,
+            levels,
+            matching,
+            dirty: Vec::new(),
+            drift,
+            compaction,
+            stats: ServeStats::default(),
+        }
+    }
+
+    fn solve_static(base: Bipartite, cfg: &DynamicConfig) -> (DeltaGraph, Vec<i64>, Matching) {
+        let out = run_with_guessing(&base, cfg.eps);
+        let levels = out.result.levels;
+        let rounded = rounding::round_greedy(&base, &out.result.fractional);
+        let (boosted, _) = boost_hk(&base, &rounded, cfg.walk_budget);
+        let dg = DeltaGraph::new(base);
+        let matching = Matching::from_assignment(&dg, &boosted);
+        (dg, levels, matching)
+    }
+
+    /// Apply one update with its local repairs. Returns the id assigned
+    /// to an [`Update::Arrive`], `None` otherwise.
+    pub fn apply(&mut self, update: &Update) -> Option<LeftId> {
+        self.stats.updates += 1;
+        let k = self.cfg.walk_budget;
+        let ecap = self.cfg.eager_search_cap;
+        let mut arrived = None;
+        match update {
+            Update::Arrive { neighbors } => {
+                let u = self.dg.arrive(neighbors);
+                self.matching.ensure_left(self.dg.n_left());
+                self.drift.charge(neighbors.len().max(1) as f64);
+                for &v in neighbors {
+                    self.mark_dirty(v);
+                }
+                if self.matching.try_augment_from_left(&self.dg, u, k, ecap) {
+                    self.stats.augmentations += 1;
+                }
+                arrived = Some(u);
+            }
+            Update::Depart { u } => {
+                let freed = self.dg.depart(*u);
+                self.drift.charge(freed.len() as f64);
+                for &v in &freed {
+                    self.mark_dirty(v);
+                }
+                if let Some(v) = self.matching.unmatch(*u) {
+                    self.stats.evictions += 1;
+                    if self.matching.reclaim_into(&self.dg, v, k, ecap) {
+                        self.stats.augmentations += 1;
+                    }
+                }
+            }
+            Update::InsertEdge { u, v } => {
+                if self.dg.insert_edge(*u, *v) {
+                    self.drift.charge(1.0);
+                    self.mark_dirty(*v);
+                    if self.matching.mate(*u).is_none()
+                        && self.matching.try_augment_from_left(&self.dg, *u, k, ecap)
+                    {
+                        self.stats.augmentations += 1;
+                    }
+                }
+            }
+            Update::DeleteEdge { u, v } => {
+                if self.dg.delete_edge(*u, *v) {
+                    self.drift.charge(1.0);
+                    self.mark_dirty(*v);
+                    if self.matching.mate(*u) == Some(*v) {
+                        self.matching.unmatch(*u);
+                        self.stats.evictions += 1;
+                        if self.matching.try_augment_from_left(&self.dg, *u, k, ecap) {
+                            self.stats.augmentations += 1;
+                        }
+                        if self.matching.reclaim_into(&self.dg, *v, k, ecap) {
+                            self.stats.augmentations += 1;
+                        }
+                    }
+                }
+            }
+            Update::SetCapacity { v, cap } => {
+                let old = self.dg.capacity(*v);
+                self.dg.set_capacity(*v, *cap);
+                self.drift.charge(old.abs_diff(*cap) as f64);
+                self.mark_dirty(*v);
+                if *cap < old {
+                    // Evict the excess and try to re-place each victim.
+                    while self.matching.load(*v) > *cap {
+                        let victim = self.matching.evict_one(*v).expect("load > 0");
+                        self.stats.evictions += 1;
+                        if self
+                            .matching
+                            .try_augment_from_left(&self.dg, victim, k, ecap)
+                        {
+                            self.stats.augmentations += 1;
+                        }
+                    }
+                } else {
+                    // New capacity: pull in free vertices through walks.
+                    while self.matching.residual(&self.dg, *v) > 0
+                        && self.matching.reclaim_into(&self.dg, *v, k, ecap)
+                    {
+                        self.stats.augmentations += 1;
+                    }
+                }
+            }
+        }
+        arrived
+    }
+
+    /// Close the epoch: restore the global `k/(k+1)` certificate, repair
+    /// the β-levels on the dirty ball, and rebuild or compact if the
+    /// scheduler says so.
+    pub fn end_epoch(&mut self) -> EpochReport {
+        self.stats.epochs += 1;
+        let mut report = EpochReport::default();
+
+        if self.drift.should_rebuild(self.dg.m()) {
+            self.rebuild();
+            report.rebuilt = true;
+        } else {
+            let aug = self.matching.sweep(&self.dg, self.cfg.walk_budget);
+            self.stats.augmentations += aug;
+            report.sweep_augmentations = aug;
+            if !self.dirty.is_empty() {
+                let rep = repair_levels(
+                    &self.dg,
+                    &mut self.levels,
+                    &self.dirty,
+                    &LevelRepairConfig {
+                        eps: self.cfg.eps,
+                        radius: self.cfg.repair_radius,
+                        rounds: self.cfg.repair_rounds,
+                        max_ball: self.cfg.repair_ball_cap,
+                    },
+                );
+                self.stats.repair_rounds += rep.rounds_run;
+                report.ball_rights = rep.ball_rights;
+            }
+            if self
+                .compaction
+                .should_compact(self.dg.overlay_edges(), self.dg.m())
+            {
+                self.dg = DeltaGraph::new(self.dg.compact());
+                self.stats.compactions += 1;
+                report.compacted = true;
+            }
+        }
+
+        self.dirty.clear();
+        report.match_size = self.matching.size();
+        report
+    }
+
+    /// Force a full static rebuild from the compacted live graph.
+    pub fn rebuild(&mut self) {
+        let snapshot = self.dg.compact();
+        let (dg, levels, matching) = Self::solve_static(snapshot, &self.cfg);
+        self.dg = dg;
+        self.levels = levels;
+        self.matching = matching;
+        self.drift.reset();
+        self.stats.rebuilds += 1;
+        self.dirty.clear();
+    }
+
+    fn mark_dirty(&mut self, v: RightId) {
+        // The dirty list stays small per epoch; linear dedup would be
+        // quadratic under heavy churn, so duplicates are tolerated and the
+        // ball computation deduplicates.
+        self.dirty.push(v);
+    }
+
+    /// The current match of left vertex `u`. `O(1)`.
+    #[inline]
+    pub fn query(&self, u: LeftId) -> Option<RightId> {
+        self.matching.mate(u)
+    }
+
+    /// Current matching cardinality. `O(1)`.
+    #[inline]
+    pub fn match_size(&self) -> usize {
+        self.matching.size()
+    }
+
+    /// The maintained integral allocation.
+    pub fn assignment(&self) -> Assignment {
+        self.matching.assignment()
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DeltaGraph {
+        &self.dg
+    }
+
+    /// The maintained β-levels (indexed by right vertex).
+    pub fn levels(&self) -> &[i64] {
+        &self.levels
+    }
+
+    /// Materialize the live graph as a frozen snapshot. `O(n + m)`.
+    pub fn snapshot(&self) -> Bipartite {
+        self.dg.compact()
+    }
+
+    /// The fractional allocation induced by the maintained levels on the
+    /// live graph. `O(n + m)` — meant for reporting, not the hot path.
+    pub fn fractional(&self) -> FractionalAllocation {
+        finalize_from_levels(&self.snapshot(), &self.levels, self.cfg.eps)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The configuration this loop runs with.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.cfg
+    }
+
+    /// Full consistency check (tests / debugging): the matching is
+    /// feasible on the live graph and the level vector has the right
+    /// shape.
+    pub fn validate(&self) -> Result<(), String> {
+        self.matching.validate(&self.dg)?;
+        if self.levels.len() != self.dg.n_right() {
+            return Err(format!(
+                "levels has {} entries for {} right vertices",
+                self.levels.len(),
+                self.dg.n_right()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_flow::opt::opt_value;
+    use sparse_alloc_graph::generators::{star, union_of_spanning_trees};
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    fn serve(g: Bipartite, eps: f64) -> ServeLoop {
+        ServeLoop::new(g, DynamicConfig::for_eps(eps))
+    }
+
+    #[test]
+    fn starts_from_a_boosted_solution() {
+        let g = union_of_spanning_trees(120, 100, 3, 2, 7).graph;
+        let opt = opt_value(&g);
+        let s = serve(g, 0.25);
+        s.validate().unwrap();
+        let k = s.config().walk_budget as f64;
+        assert!(s.match_size() as f64 >= k / (k + 1.0) * opt as f64 - 1e-9);
+    }
+
+    #[test]
+    fn arrivals_match_when_capacity_exists() {
+        let g = star(3, 10).graph; // center has room for 10
+        let mut s = serve(g, 0.25);
+        assert_eq!(s.match_size(), 3);
+        let u = s.apply(&Update::Arrive { neighbors: vec![0] }).unwrap();
+        assert_eq!(u, 3);
+        assert_eq!(s.query(u), Some(0));
+        assert_eq!(s.match_size(), 4);
+        s.end_epoch();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn departures_free_capacity_for_the_waitlist() {
+        // Star with capacity 2 and 4 leaves: two leaves wait. A departure
+        // must hand the slot to a waiting leaf via reclaim.
+        let g = star(4, 2).graph;
+        let mut s = serve(g, 0.25);
+        assert_eq!(s.match_size(), 2);
+        let matched: Vec<u32> = (0..4).filter(|&u| s.query(u).is_some()).collect();
+        s.apply(&Update::Depart { u: matched[0] });
+        assert_eq!(s.match_size(), 2, "reclaim refills the freed slot");
+        assert_eq!(s.query(matched[0]), None);
+        s.end_epoch();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_decrease_evicts_and_replaces() {
+        // Two centers; shrinking one must push its clients to the other.
+        let mut b = BipartiteBuilder::new(4, 2);
+        for u in 0..4u32 {
+            b.add_edge(u, 0);
+            b.add_edge(u, 1);
+        }
+        let g = b.build(vec![4, 4]).unwrap();
+        let mut s = serve(g, 0.25);
+        assert_eq!(s.match_size(), 4);
+        s.apply(&Update::SetCapacity { v: 0, cap: 1 });
+        s.end_epoch();
+        s.validate().unwrap();
+        assert_eq!(s.match_size(), 4, "evictees re-place on the other center");
+        let loads = s.assignment().right_loads(2);
+        assert!(loads[0] <= 1);
+    }
+
+    #[test]
+    fn capacity_increase_pulls_in_waiters() {
+        let g = star(6, 2).graph;
+        let mut s = serve(g, 0.25);
+        assert_eq!(s.match_size(), 2);
+        s.apply(&Update::SetCapacity { v: 0, cap: 6 });
+        assert_eq!(s.match_size(), 6);
+        s.end_epoch();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_churn_keeps_the_certificate() {
+        let g = union_of_spanning_trees(80, 60, 2, 2, 11).graph;
+        let mut s = serve(g, 0.25);
+        // Delete a slice of edges, insert some back, close the epoch.
+        let snapshot = s.snapshot();
+        let edges: Vec<(u32, u32)> = snapshot.edges().map(|(_, u, v)| (u, v)).collect();
+        for &(u, v) in edges.iter().step_by(7) {
+            s.apply(&Update::DeleteEdge { u, v });
+        }
+        for &(u, v) in edges.iter().step_by(14) {
+            s.apply(&Update::InsertEdge { u, v });
+        }
+        s.end_epoch();
+        s.validate().unwrap();
+        let live = s.snapshot();
+        let opt = opt_value(&live);
+        let k = s.config().walk_budget as f64;
+        assert!(
+            s.match_size() as f64 >= k / (k + 1.0) * opt as f64 - 1e-9,
+            "size {} vs OPT {opt}",
+            s.match_size()
+        );
+    }
+
+    #[test]
+    fn drift_budget_triggers_rebuild() {
+        let g = union_of_spanning_trees(40, 30, 2, 2, 5).graph;
+        let mut cfg = DynamicConfig::for_eps(0.25);
+        cfg.drift_threshold = 0.01; // tiny budget: rebuild quickly
+        let mut s = ServeLoop::new(g, cfg);
+        let snapshot = s.snapshot();
+        let edges: Vec<(u32, u32)> = snapshot.edges().map(|(_, u, v)| (u, v)).collect();
+        for &(u, v) in edges.iter().take(10) {
+            s.apply(&Update::DeleteEdge { u, v });
+        }
+        let report = s.end_epoch();
+        assert!(report.rebuilt);
+        assert_eq!(s.stats().rebuilds, 1);
+        assert_eq!(s.graph().overlay_edges(), 0, "rebuild folds the overlay");
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_the_overlay() {
+        let g = union_of_spanning_trees(40, 30, 2, 2, 6).graph;
+        let mut cfg = DynamicConfig::for_eps(0.25);
+        cfg.drift_threshold = 10.0; // never rebuild
+        cfg.compact_threshold = 0.05;
+        let mut s = ServeLoop::new(g, cfg);
+        // Arrivals live entirely in the overlay (base edges deleted and
+        // re-inserted leave no residue, by design).
+        for i in 0..10u32 {
+            s.apply(&Update::Arrive {
+                neighbors: vec![i % 30, (i + 7) % 30],
+            });
+        }
+        assert!(s.graph().overlay_edges() > 0);
+        let m_live = s.graph().m();
+        let report = s.end_epoch();
+        assert!(report.compacted);
+        assert_eq!(s.graph().overlay_edges(), 0);
+        assert_eq!(s.graph().m(), m_live);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_under_the_same_stream() {
+        let g = union_of_spanning_trees(50, 40, 2, 2, 8).graph;
+        let run = || {
+            let mut s = serve(g.clone(), 0.25);
+            s.apply(&Update::DeleteEdge { u: 3, v: 5 });
+            s.apply(&Update::Arrive {
+                neighbors: vec![1, 2, 3],
+            });
+            s.apply(&Update::SetCapacity { v: 9, cap: 5 });
+            s.end_epoch();
+            (s.assignment().mate, s.levels().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_graph_serves() {
+        let g = BipartiteBuilder::new(0, 0).build(vec![]).unwrap();
+        let mut s = serve(g, 0.5);
+        assert_eq!(s.match_size(), 0);
+        let r = s.end_epoch();
+        assert_eq!(r.match_size, 0);
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,49 @@
+//! The update vocabulary of the dynamic engine.
+
+use sparse_alloc_graph::{LeftId, RightId};
+
+/// One mutation of the live allocation instance.
+///
+/// The left side churns (clients arrive and depart, their edge sets
+/// change); the right side is long-lived but its capacities move. This is
+/// exactly the serving setting the paper's introduction motivates
+/// (impressions/jobs on the left, advertisers/servers on the right).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// A new left vertex arrives with the given neighbor set; the engine
+    /// assigns it the next free id (returned by
+    /// [`crate::ServeLoop::apply`]).
+    Arrive {
+        /// Neighbors in `R` (deduplicated on application).
+        neighbors: Vec<RightId>,
+    },
+    /// Left vertex `u` departs: all its edges are removed and its match
+    /// (if any) is released. The id stays allocated with degree 0, so a
+    /// later [`Update::InsertEdge`] can revive the vertex.
+    Depart {
+        /// The departing left vertex.
+        u: LeftId,
+    },
+    /// Insert edge `(u, v)`. A no-op if the edge is already live.
+    InsertEdge {
+        /// Left endpoint (must be `< n_left`).
+        u: LeftId,
+        /// Right endpoint.
+        v: RightId,
+    },
+    /// Delete edge `(u, v)`. A no-op if the edge is not live.
+    DeleteEdge {
+        /// Left endpoint.
+        u: LeftId,
+        /// Right endpoint.
+        v: RightId,
+    },
+    /// Set the capacity of right vertex `v` to `cap ≥ 1`. Decreases evict
+    /// excess matches (which the engine immediately tries to re-place).
+    SetCapacity {
+        /// The right vertex.
+        v: RightId,
+        /// The new capacity.
+        cap: u64,
+    },
+}

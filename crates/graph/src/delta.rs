@@ -1,0 +1,436 @@
+//! A mutable overlay over an immutable [`Bipartite`] snapshot.
+//!
+//! [`Bipartite`] is frozen CSR by design — every solver in the workspace
+//! relies on that. The dynamic-allocation engine
+//! (`sparse-alloc-dynamic`) nevertheless has to absorb a live stream of
+//! edge inserts/deletes, left-vertex arrivals/departures, and capacity
+//! changes. [`DeltaGraph`] reconciles the two: the base snapshot stays
+//! immutable, mutations accumulate in small overlay structures, and
+//! [`DeltaGraph::compact`] periodically folds the overlay back into a
+//! fresh CSR snapshot.
+//!
+//! Adjacency queries see the *live* graph (base minus removed edges plus
+//! overlay edges); their cost is the base CSR scan plus an `O(1)` hash
+//! probe per base edge and an `O(deg_overlay)` tail. Left vertices keep
+//! stable ids across every mutation and across compaction: departures
+//! leave a degree-0 slot behind, arrivals append at the end. The right
+//! vertex set is fixed (capacity changes are in-place), matching the
+//! paper's serving setting where servers are long-lived and clients churn.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::bipartite::{Bipartite, LeftId, RightId};
+use crate::builder::BipartiteBuilder;
+
+/// A live bipartite graph: an immutable base snapshot plus a mutation
+/// overlay.
+///
+/// Construction starts from a snapshot ([`DeltaGraph::new`]); mutations
+/// go through [`insert_edge`](DeltaGraph::insert_edge),
+/// [`delete_edge`](DeltaGraph::delete_edge),
+/// [`arrive`](DeltaGraph::arrive), [`depart`](DeltaGraph::depart) and
+/// [`set_capacity`](DeltaGraph::set_capacity). When
+/// [`overlay_edges`](DeltaGraph::overlay_edges) grows past the caller's
+/// budget, [`compact`](DeltaGraph::compact) produces a fresh snapshot
+/// with identical vertex ids.
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: Bipartite,
+    /// Adjacency of arrived left vertices (ids `base.n_left()..`).
+    extra_adj: Vec<Vec<RightId>>,
+    /// Overlay edges attached to *base* left vertices.
+    added: HashMap<LeftId, Vec<RightId>>,
+    /// Deleted base edges (overlay edges are deleted in place instead).
+    removed: HashSet<(LeftId, RightId)>,
+    /// Per-vertex counts of removed base edges: the adjacency iterators
+    /// skip the hash probe entirely for the (at low churn, vast) majority
+    /// of vertices with no deletions.
+    removed_left: Vec<u32>,
+    removed_right: Vec<u32>,
+    /// Reverse index of all overlay edges, per right vertex.
+    added_right: HashMap<RightId, Vec<LeftId>>,
+    /// Live capacities (base capacities with in-place overrides).
+    caps: Vec<u64>,
+    /// Live edge count.
+    m_live: usize,
+}
+
+impl DeltaGraph {
+    /// Wrap a frozen snapshot with an empty overlay.
+    pub fn new(base: Bipartite) -> Self {
+        let caps = base.capacities().to_vec();
+        let m_live = base.m();
+        let removed_left = vec![0; base.n_left()];
+        let removed_right = vec![0; base.n_right()];
+        DeltaGraph {
+            base,
+            extra_adj: Vec::new(),
+            added: HashMap::new(),
+            removed: HashSet::new(),
+            removed_left,
+            removed_right,
+            added_right: HashMap::new(),
+            caps,
+            m_live,
+        }
+    }
+
+    /// The underlying frozen snapshot (pre-overlay).
+    pub fn base(&self) -> &Bipartite {
+        &self.base
+    }
+
+    /// Number of left vertices, including arrivals and departed slots.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.base.n_left() + self.extra_adj.len()
+    }
+
+    /// Number of right vertices (fixed for the lifetime of the overlay).
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.base.n_right()
+    }
+
+    /// Live number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m_live
+    }
+
+    /// Live capacity of right vertex `v`.
+    #[inline]
+    pub fn capacity(&self, v: RightId) -> u64 {
+        self.caps[v as usize]
+    }
+
+    /// The live capacity vector.
+    #[inline]
+    pub fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    /// Number of edges living in the overlay (deleted base edges count:
+    /// they are consulted on every base scan until compaction).
+    pub fn overlay_edges(&self) -> usize {
+        let added: usize = self.added.values().map(Vec::len).sum();
+        let extra: usize = self.extra_adj.iter().map(Vec::len).sum();
+        self.removed.len() + added + extra
+    }
+
+    /// Does the live graph contain edge `(u, v)`?
+    pub fn has_edge(&self, u: LeftId, v: RightId) -> bool {
+        if (u as usize) < self.base.n_left() {
+            let in_base = self.base.left_neighbors(u).binary_search(&v).is_ok()
+                && (self.removed_left[u as usize] == 0 || !self.removed.contains(&(u, v)));
+            in_base || self.added.get(&u).is_some_and(|a| a.contains(&v))
+        } else {
+            self.extra_adj
+                .get(u as usize - self.base.n_left())
+                .is_some_and(|a| a.contains(&v))
+        }
+    }
+
+    /// Live neighbors of left vertex `u`.
+    pub fn left_neighbors_iter(&self, u: LeftId) -> impl Iterator<Item = RightId> + Clone + '_ {
+        static EMPTY: [RightId; 0] = [];
+        let (base_slice, overlay): (&[RightId], &[RightId]) = if (u as usize) < self.base.n_left() {
+            (
+                self.base.left_neighbors(u),
+                self.added.get(&u).map_or(&EMPTY[..], Vec::as_slice),
+            )
+        } else {
+            (
+                &EMPTY[..],
+                self.extra_adj[u as usize - self.base.n_left()].as_slice(),
+            )
+        };
+        let untouched = (u as usize) >= self.base.n_left() || self.removed_left[u as usize] == 0;
+        base_slice
+            .iter()
+            .copied()
+            .filter(move |&v| untouched || !self.removed.contains(&(u, v)))
+            .chain(overlay.iter().copied())
+    }
+
+    /// Live neighbors of right vertex `v`.
+    pub fn right_neighbors_iter(&self, v: RightId) -> impl Iterator<Item = LeftId> + Clone + '_ {
+        static EMPTY: [LeftId; 0] = [];
+        let untouched = self.removed_right[v as usize] == 0;
+        self.base
+            .right_neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&u| untouched || !self.removed.contains(&(u, v)))
+            .chain(
+                self.added_right
+                    .get(&v)
+                    .map_or(&EMPTY[..], Vec::as_slice)
+                    .iter()
+                    .copied(),
+            )
+    }
+
+    /// Live degree of left vertex `u` (0 after departure).
+    pub fn left_degree(&self, u: LeftId) -> usize {
+        self.left_neighbors_iter(u).count()
+    }
+
+    /// Live degree of right vertex `v`.
+    pub fn right_degree(&self, v: RightId) -> usize {
+        self.right_neighbors_iter(v).count()
+    }
+
+    /// Insert edge `(u, v)`. Returns `false` (and changes nothing) if the
+    /// edge already exists.
+    ///
+    /// # Panics
+    /// Panics if `u ≥ n_left()` or `v ≥ n_right()` — grow the left side
+    /// with [`arrive`](DeltaGraph::arrive) first.
+    pub fn insert_edge(&mut self, u: LeftId, v: RightId) -> bool {
+        assert!((u as usize) < self.n_left(), "left vertex {u} out of range");
+        assert!(
+            (v as usize) < self.n_right(),
+            "right vertex {v} out of range"
+        );
+        if self.has_edge(u, v) {
+            return false;
+        }
+        // Re-inserting a deleted base edge just un-deletes it; the base CSR
+        // already stores it in both directions.
+        if (u as usize) < self.base.n_left() && self.removed.remove(&(u, v)) {
+            self.removed_left[u as usize] -= 1;
+            self.removed_right[v as usize] -= 1;
+            self.m_live += 1;
+            return true;
+        }
+        if (u as usize) < self.base.n_left() {
+            self.added.entry(u).or_default().push(v);
+        } else {
+            self.extra_adj[u as usize - self.base.n_left()].push(v);
+        }
+        self.added_right.entry(v).or_default().push(u);
+        self.m_live += 1;
+        true
+    }
+
+    /// Delete edge `(u, v)`. Returns `false` if the edge is not live.
+    pub fn delete_edge(&mut self, u: LeftId, v: RightId) -> bool {
+        if !self.has_edge(u, v) {
+            return false;
+        }
+        let base_edge = (u as usize) < self.base.n_left()
+            && self.base.left_neighbors(u).binary_search(&v).is_ok()
+            && !self.removed.contains(&(u, v));
+        if base_edge {
+            self.removed.insert((u, v));
+            self.removed_left[u as usize] += 1;
+            self.removed_right[v as usize] += 1;
+        } else {
+            if (u as usize) < self.base.n_left() {
+                self.added
+                    .get_mut(&u)
+                    .expect("overlay edge")
+                    .retain(|&w| w != v);
+            } else {
+                self.extra_adj[u as usize - self.base.n_left()].retain(|&w| w != v);
+            }
+            self.added_right
+                .get_mut(&v)
+                .expect("reverse overlay edge")
+                .retain(|&w| w != u);
+        }
+        self.m_live -= 1;
+        true
+    }
+
+    /// A new left vertex arrives with the given neighbor set (deduplicated)
+    /// and receives the next free id, which is returned.
+    ///
+    /// # Panics
+    /// Panics if any neighbor is out of range.
+    pub fn arrive(&mut self, neighbors: &[RightId]) -> LeftId {
+        let u = self.n_left() as LeftId;
+        let mut adj: Vec<RightId> = neighbors.to_vec();
+        adj.sort_unstable();
+        adj.dedup();
+        for &v in &adj {
+            assert!(
+                (v as usize) < self.n_right(),
+                "right vertex {v} out of range"
+            );
+            self.added_right.entry(v).or_default().push(u);
+        }
+        self.m_live += adj.len();
+        self.extra_adj.push(adj);
+        u
+    }
+
+    /// Left vertex `u` departs: all its incident edges are removed. Its id
+    /// stays allocated (degree 0), so per-left arrays never shift. Returns
+    /// the neighbors it had at departure.
+    pub fn depart(&mut self, u: LeftId) -> Vec<RightId> {
+        let neighbors: Vec<RightId> = self.left_neighbors_iter(u).collect();
+        for &v in &neighbors {
+            self.delete_edge(u, v);
+        }
+        neighbors
+    }
+
+    /// Change the capacity of right vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` (the allocation problem requires `C_v ≥ 1`).
+    pub fn set_capacity(&mut self, v: RightId, cap: u64) {
+        assert!(cap >= 1, "capacities must be ≥ 1");
+        self.caps[v as usize] = cap;
+    }
+
+    /// Fold the overlay into a fresh frozen snapshot with identical vertex
+    /// ids (departed left slots persist with degree 0). `O(n + m)`.
+    pub fn compact(&self) -> Bipartite {
+        let mut b = BipartiteBuilder::with_edge_capacity(self.n_left(), self.n_right(), self.m());
+        for u in 0..self.n_left() as u32 {
+            for v in self.left_neighbors_iter(u) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build(self.caps.clone())
+            .expect("overlay edges are range-checked on insertion")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Bipartite {
+        // L = {0,1,2}, R = {0,1}; edges (0,0) (0,1) (1,0) (2,1), caps [2, 3].
+        let mut b = BipartiteBuilder::new(3, 2);
+        for (u, v) in [(0u32, 0u32), (0, 1), (1, 0), (2, 1)] {
+            b.add_edge(u, v);
+        }
+        b.build(vec![2, 3]).unwrap()
+    }
+
+    #[test]
+    fn fresh_overlay_mirrors_base() {
+        let g = base();
+        let d = DeltaGraph::new(g.clone());
+        assert_eq!(d.n_left(), 3);
+        assert_eq!(d.n_right(), 2);
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.overlay_edges(), 0);
+        for u in 0..3u32 {
+            let live: Vec<u32> = d.left_neighbors_iter(u).collect();
+            assert_eq!(live, g.left_neighbors(u));
+        }
+        for v in 0..2u32 {
+            let live: Vec<u32> = d.right_neighbors_iter(v).collect();
+            assert_eq!(live, g.right_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_edges() {
+        let mut d = DeltaGraph::new(base());
+        assert!(d.insert_edge(1, 1));
+        assert!(!d.insert_edge(1, 1), "duplicate insert is a no-op");
+        assert_eq!(d.m(), 5);
+        assert!(d.has_edge(1, 1));
+        assert_eq!(d.right_neighbors_iter(1).collect::<Vec<_>>(), [0, 2, 1]);
+
+        assert!(d.delete_edge(0, 0), "delete a base edge");
+        assert!(!d.has_edge(0, 0));
+        assert!(!d.delete_edge(0, 0), "double delete is a no-op");
+        assert!(d.delete_edge(1, 1), "delete an overlay edge");
+        assert_eq!(d.m(), 3);
+        assert_eq!(d.right_neighbors_iter(0).collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    fn deleted_base_edge_can_be_restored() {
+        let mut d = DeltaGraph::new(base());
+        assert!(d.delete_edge(0, 1));
+        assert!(!d.has_edge(0, 1));
+        assert!(d.insert_edge(0, 1), "re-insert restores the base edge");
+        assert!(d.has_edge(0, 1));
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.overlay_edges(), 0, "restore leaves no overlay residue");
+    }
+
+    #[test]
+    fn arrivals_and_departures() {
+        let mut d = DeltaGraph::new(base());
+        let u = d.arrive(&[1, 0, 1]); // dup deduplicated
+        assert_eq!(u, 3);
+        assert_eq!(d.n_left(), 4);
+        assert_eq!(d.left_neighbors_iter(u).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(d.m(), 6);
+
+        let gone = d.depart(0);
+        assert_eq!(gone, vec![0, 1]);
+        assert_eq!(d.left_degree(0), 0);
+        assert_eq!(d.n_left(), 4, "departed slot keeps its id");
+        assert_eq!(d.m(), 4);
+        // Departed arrivals clean up the reverse index too.
+        d.depart(u);
+        assert_eq!(d.right_neighbors_iter(0).collect::<Vec<_>>(), [1]);
+        assert_eq!(d.right_neighbors_iter(1).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn capacity_overrides() {
+        let mut d = DeltaGraph::new(base());
+        assert_eq!(d.capacity(0), 2);
+        d.set_capacity(0, 7);
+        assert_eq!(d.capacity(0), 7);
+        assert_eq!(d.capacities(), &[7, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must be ≥ 1")]
+    fn zero_capacity_rejected() {
+        let mut d = DeltaGraph::new(base());
+        d.set_capacity(0, 0);
+    }
+
+    #[test]
+    fn compact_roundtrips_the_live_graph() {
+        let mut d = DeltaGraph::new(base());
+        d.delete_edge(0, 0);
+        d.insert_edge(1, 1);
+        let u = d.arrive(&[0]);
+        d.depart(2);
+        d.set_capacity(1, 9);
+
+        let g = d.compact();
+        g.validate().unwrap();
+        assert_eq!(g.n_left(), d.n_left());
+        assert_eq!(g.m(), d.m());
+        assert_eq!(g.capacities(), d.capacities());
+        for w in 0..d.n_left() as u32 {
+            let mut live: Vec<u32> = d.left_neighbors_iter(w).collect();
+            live.sort_unstable();
+            assert_eq!(live, g.left_neighbors(w), "left {w}");
+        }
+        assert_eq!(g.left_neighbors(u), &[0]);
+        assert_eq!(g.left_degree(2), 0);
+
+        // Compacting twice is stable.
+        let d2 = DeltaGraph::new(g.clone());
+        let g2 = d2.compact();
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(g2.edge_right_endpoints(), g.edge_right_endpoints());
+    }
+
+    #[test]
+    fn overlay_edge_count_tracks_mutations() {
+        let mut d = DeltaGraph::new(base());
+        assert_eq!(d.overlay_edges(), 0);
+        d.delete_edge(0, 0); // removed base edge lives in the overlay
+        d.insert_edge(2, 0);
+        d.arrive(&[1]);
+        assert_eq!(d.overlay_edges(), 3);
+    }
+}

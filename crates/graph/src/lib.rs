@@ -7,6 +7,9 @@
 //!   bipartite graph `G = (L ∪ R, E)` with integer capacities on `R`.
 //! * [`BipartiteBuilder`] — a mutable edge-list builder with validation and
 //!   deduplication.
+//! * [`DeltaGraph`] — a mutation overlay over a frozen snapshot (edge
+//!   inserts/deletes, left arrivals/departures, capacity changes) with
+//!   periodic compaction, for the dynamic-allocation engine.
 //! * [`generators`] — graph families with *controllable arboricity*
 //!   (union-of-random-spanning-trees, stars, random bipartite, power-law
 //!   ad-workloads, grids, adversarial layered instances).
@@ -53,6 +56,7 @@ pub mod assignment;
 pub mod bipartite;
 pub mod builder;
 pub mod capacities;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod reduction;
@@ -63,3 +67,4 @@ pub use assignment::Assignment;
 pub use bipartite::{Bipartite, EdgeId, LeftId, RightId, Side};
 pub use builder::BipartiteBuilder;
 pub use capacities::CapacityModel;
+pub use delta::DeltaGraph;

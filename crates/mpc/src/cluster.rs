@@ -200,7 +200,13 @@ impl<T: Words + Send + Sync> Cluster<T> {
     }
 
     /// In-place local computation on every machine — zero rounds.
-    pub fn update_local<F>(&mut self, _label: &'static str, f: F) -> Result<(), MpcError>
+    ///
+    /// MPC charges only communication: a phase that moves no words between
+    /// machines is free regardless of how much local CPU it burns, so this
+    /// combinator never increments [`Ledger::rounds`]. The `label` is
+    /// recorded in [`Ledger::local_steps`] (with the post-update storage
+    /// peaks) so cost readouts can still attribute local phases.
+    pub fn update_local<F>(&mut self, label: &'static str, f: F) -> Result<(), MpcError>
     where
         F: Fn(MachineId, &mut Vec<T>) + Sync,
     {
@@ -211,7 +217,10 @@ impl<T: Words + Send + Sync> Cluster<T> {
         self.storage = self.machines.par_iter().map(|m| slice_words(m)).collect();
         let max_storage = self.storage.iter().copied().max().unwrap_or(0);
         let total: u64 = self.storage.iter().map(|&s| s as u64).sum();
-        self.ledger.observe_storage(max_storage, total);
+        // Local computation moves no words, so the MPC model charges no
+        // communication round — but the step is still recorded (with its
+        // storage peaks) so cost tables can attribute them.
+        self.ledger.observe_local(label, max_storage, total);
         self.check_storage("update")
     }
 
@@ -538,6 +547,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(c.ledger().rounds, 0);
+        assert_eq!(c.ledger().local_steps_labeled("inc"), 1);
         let (mut items, _) = c.into_items();
         items.sort_unstable();
         assert_eq!(items, (1..=9).collect::<Vec<_>>());

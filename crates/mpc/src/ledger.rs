@@ -36,6 +36,11 @@ pub struct Ledger {
     pub peak_total_storage: u64,
     /// Per-round records, in order.
     pub history: Vec<RoundRecord>,
+    /// Labels of local (round-free) computation phases, in order. Local
+    /// phases move no words between machines, so the MPC model charges
+    /// them zero rounds — but they still appear here so cost tables can
+    /// attribute storage peaks to the step that caused them.
+    pub local_steps: Vec<&'static str>,
 }
 
 impl Ledger {
@@ -55,6 +60,18 @@ impl Ledger {
         self.peak_total_storage = self.peak_total_storage.max(total_storage);
     }
 
+    /// Record a labeled local computation phase: storage peaks are
+    /// observed, `rounds` stays untouched (local work is free in MPC).
+    pub fn observe_local(&mut self, label: &'static str, max_storage: usize, total_storage: u64) {
+        self.local_steps.push(label);
+        self.observe_storage(max_storage, total_storage);
+    }
+
+    /// Count of local phases whose label equals `label`.
+    pub fn local_steps_labeled(&self, label: &str) -> usize {
+        self.local_steps.iter().filter(|l| **l == label).count()
+    }
+
     /// Count of rounds whose label equals `label`.
     pub fn rounds_labeled(&self, label: &str) -> usize {
         self.history.iter().filter(|r| r.label == label).count()
@@ -66,6 +83,7 @@ impl Ledger {
         for rec in &other.history {
             self.record(rec.clone());
         }
+        self.local_steps.extend_from_slice(&other.local_steps);
         self.peak_storage = self.peak_storage.max(other.peak_storage);
         self.peak_total_storage = self.peak_total_storage.max(other.peak_total_storage);
     }
@@ -105,6 +123,23 @@ mod tests {
         l.observe_storage(70, 300);
         assert_eq!(l.rounds, 0);
         assert_eq!(l.peak_storage, 70);
+    }
+
+    #[test]
+    fn local_steps_are_recorded_round_free() {
+        let mut l = Ledger::default();
+        l.observe_local("map", 10, 40);
+        l.observe_local("map", 25, 90);
+        l.observe_local("filter", 5, 20);
+        assert_eq!(l.rounds, 0, "local phases never charge a round");
+        assert_eq!(l.local_steps_labeled("map"), 2);
+        assert_eq!(l.local_steps_labeled("filter"), 1);
+        assert_eq!(l.peak_storage, 25);
+
+        let mut outer = Ledger::default();
+        outer.absorb(&l);
+        assert_eq!(outer.local_steps_labeled("map"), 2);
+        assert_eq!(outer.rounds, 0);
     }
 
     #[test]

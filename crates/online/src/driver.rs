@@ -37,9 +37,18 @@ impl OnlineState {
     }
 
     /// Fraction of `C_v` consumed so far, in `[0, 1]`.
+    ///
+    /// [`Bipartite`] construction rejects zero capacities, but graphs can
+    /// reach the driver from external deserializers; an isolated or
+    /// degenerate right vertex reports 0.0 instead of dividing by zero.
     #[inline]
     pub fn fill_fraction(&self, g: &Bipartite, v: RightId) -> f64 {
-        self.loads[v as usize] as f64 / g.capacity(v) as f64
+        let c = g.capacity(v);
+        if c == 0 {
+            0.0
+        } else {
+            self.loads[v as usize] as f64 / c as f64
+        }
     }
 
     /// Number of arrivals processed so far (the decision for the current
@@ -205,5 +214,44 @@ mod tests {
         let r = run_report(&g, &[0, 1], &mut FirstFit::new(), 2);
         assert_eq!(r.value, 2);
         assert!((r.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_fraction_on_isolated_right_vertices() {
+        // Right vertices 1 and 2 are isolated; every fill fraction must be
+        // finite and the run must not touch them.
+        let mut b = BipartiteBuilder::new(2, 3);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        let g = b.build(vec![2, 1, 5]).unwrap();
+        let a = run_online(&g, &[0, 1], &mut FirstFit::new());
+        assert_eq!(a.size(), 2);
+        // Re-derive the state to probe fill fractions.
+        let mut state = OnlineState::new(&g);
+        state.loads[0] = 2;
+        for v in 0..g.n_right() as u32 {
+            let f = state.fill_fraction(&g, v);
+            assert!(f.is_finite(), "fill_fraction({v}) = {f}");
+        }
+        assert_eq!(state.fill_fraction(&g, 0), 1.0);
+        assert_eq!(state.fill_fraction(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn run_report_on_edgeless_and_empty_graphs() {
+        // No edges ⇒ OPT = 0 ⇒ ratio is defined as 1.0, not 0/0.
+        let g = BipartiteBuilder::new(3, 2)
+            .build_with_uniform_capacity(1)
+            .unwrap();
+        let r = run_report(&g, &[0, 1, 2], &mut FirstFit::new(), 0);
+        assert_eq!(r.value, 0);
+        assert_eq!(r.ratio, 1.0);
+        assert!(r.ratio.is_finite());
+
+        // The fully empty graph (no vertices at all) runs cleanly too.
+        let g = BipartiteBuilder::new(0, 0).build(vec![]).unwrap();
+        let r = run_report(&g, &[], &mut FirstFit::new(), 0);
+        assert_eq!(r.value, 0);
+        assert_eq!(r.ratio, 1.0);
     }
 }

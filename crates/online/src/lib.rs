@@ -37,6 +37,9 @@
 //!   greedy trap (ratio → 1/2) and the suffix-phase family on which BALANCE
 //!   tends to `1 − 1/e`.
 //! * [`arrival`] — arrival-order models (natural, reversed, random, phased).
+//! * [`stream`] — session/churn models (sliding-window, recycling) that
+//!   lift an arrival order into an arrive/depart event stream for the
+//!   dynamic-allocation engine.
 //!
 //! # Example
 //!
@@ -68,6 +71,7 @@ pub mod greedy;
 pub mod primal_dual;
 pub mod proportional_serve;
 pub mod ranking;
+pub mod stream;
 
 pub use adversarial::AdversarialInstance;
 pub use driver::{run_online, OnlineAllocator, OnlineState};

@@ -1,0 +1,132 @@
+//! Session models: turning an arrival order into a churn stream.
+//!
+//! The arrival orders of [`crate::arrival`] model the classical online
+//! setting — every left vertex arrives once and stays forever. Real
+//! serving workloads churn: impressions expire, jobs finish, clients
+//! disconnect. This module lifts an arrival order into a stream of
+//! [`SessionEvent`]s with departures, which the dynamic-allocation engine
+//! (`sparse-alloc-dynamic`) consumes as graph updates via its adapter.
+
+use sparse_alloc_graph::{Bipartite, LeftId};
+
+/// One event of a churn stream over a fixed left-vertex universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// Left vertex `u` (re-)enters the system with its full edge set.
+    Arrive(LeftId),
+    /// Left vertex `u` leaves the system; its edges disappear.
+    Depart(LeftId),
+}
+
+/// The sliding-window session model: arrivals follow `order`, and each
+/// vertex departs after `window` further arrivals (a fixed session
+/// length). Vertices still inside the window when the order is exhausted
+/// never depart — the stream ends with the last `window` sessions live.
+///
+/// With `window ≥ order.len()` this degenerates to the classical online
+/// model (arrivals only).
+///
+/// # Panics
+/// Panics if `window == 0` — a zero-length session would depart before
+/// it arrives.
+pub fn sliding_window_sessions(order: &[LeftId], window: usize) -> Vec<SessionEvent> {
+    assert!(window >= 1, "session window must be ≥ 1");
+    let mut events = Vec::with_capacity(2 * order.len());
+    for (i, &u) in order.iter().enumerate() {
+        events.push(SessionEvent::Arrive(u));
+        if i + 1 >= window && window <= order.len() {
+            events.push(SessionEvent::Depart(order[i + 1 - window]));
+        }
+    }
+    events
+}
+
+/// Round-robin session model over a graph: cycle through left vertices
+/// `repeats` times, departing each vertex right before its re-arrival.
+/// Produces a stationary-churn stream (the live set has constant size
+/// `n_left`) useful for steady-state throughput measurements.
+pub fn recycling_sessions(g: &Bipartite, repeats: usize) -> Vec<SessionEvent> {
+    let n = g.n_left() as u32;
+    let mut events = Vec::with_capacity(2 * repeats * g.n_left());
+    for _ in 0..repeats {
+        for u in 0..n {
+            events.push(SessionEvent::Depart(u));
+            events.push(SessionEvent::Arrive(u));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    #[test]
+    fn sliding_window_departs_in_arrival_order() {
+        let order = [3u32, 1, 4, 0, 2];
+        let ev = sliding_window_sessions(&order, 2);
+        assert_eq!(
+            ev,
+            vec![
+                SessionEvent::Arrive(3),
+                SessionEvent::Arrive(1),
+                SessionEvent::Depart(3),
+                SessionEvent::Arrive(4),
+                SessionEvent::Depart(1),
+                SessionEvent::Arrive(0),
+                SessionEvent::Depart(4),
+                SessionEvent::Arrive(2),
+                SessionEvent::Depart(0),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "session window must be ≥ 1")]
+    fn zero_window_rejected() {
+        sliding_window_sessions(&[0, 1, 2], 0);
+    }
+
+    #[test]
+    fn huge_window_is_the_classical_model() {
+        let order = [0u32, 1, 2];
+        let ev = sliding_window_sessions(&order, 10);
+        assert_eq!(ev.len(), 3);
+        assert!(ev.iter().all(|e| matches!(e, SessionEvent::Arrive(_))));
+    }
+
+    #[test]
+    fn live_set_never_negative_and_bounded_by_window() {
+        let order: Vec<u32> = (0..50).collect();
+        for window in [1usize, 3, 7, 50, 80] {
+            let mut live = 0i64;
+            let mut peak = 0i64;
+            for e in sliding_window_sessions(&order, window) {
+                match e {
+                    SessionEvent::Arrive(_) => live += 1,
+                    SessionEvent::Depart(_) => live -= 1,
+                }
+                assert!(live >= 0);
+                peak = peak.max(live);
+            }
+            assert!(peak as usize <= window.min(order.len()));
+        }
+    }
+
+    #[test]
+    fn recycling_keeps_the_universe() {
+        let mut b = BipartiteBuilder::new(3, 2);
+        b.add_edge(0, 0);
+        let g = b.build_with_uniform_capacity(1).unwrap();
+        let ev = recycling_sessions(&g, 2);
+        assert_eq!(ev.len(), 12);
+        // Every depart is immediately followed by the matching arrive.
+        for pair in ev.chunks(2) {
+            match (pair[0], pair[1]) {
+                (SessionEvent::Depart(a), SessionEvent::Arrive(b)) => assert_eq!(a, b),
+                other => panic!("unexpected pair {other:?}"),
+            }
+        }
+    }
+}

@@ -23,6 +23,8 @@ use sparse_alloc_core::loadbalance::{
 };
 use sparse_alloc_core::params::Schedule;
 use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
+use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
+use sparse_alloc_dynamic::{DynamicConfig, ServeLoop};
 use sparse_alloc_flow::opt::opt_value;
 use sparse_alloc_graph::generators::{
     escape_blocks, power_law, random_bipartite, star, union_of_spanning_trees, Generated,
@@ -122,6 +124,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "opt" => cmd_opt(rest),
         "balance" => cmd_balance(rest),
         "online" => cmd_online(rest),
+        "dynamic" => cmd_dynamic(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -139,7 +142,11 @@ const USAGE: &str = "usage: salloc <command>
   online FILE [--algo A] [--order O] [--seed S]
                                           serve arrivals online; A ∈
                                           first-fit|random-fit|balance|ranking|
-                                          prop-serve, O ∈ natural|reversed|random";
+                                          prop-serve, O ∈ natural|reversed|random
+  dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
+                                          serve a churn stream incrementally
+                                          (K events/epoch), comparing against
+                                          per-epoch full recomputes";
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &[])?;
@@ -386,6 +393,107 @@ fn cmd_online(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args, &["no-full"])?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| err("dynamic: missing FILE"))?;
+    let g = load(path)?;
+    let epochs: usize = f.get("epochs", 4)?;
+    let events: usize = f.get("events", 200)?;
+    let eps: f64 = f.get("eps", 0.1)?;
+    let seed: u64 = f.get("seed", 1)?;
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(err("--eps must be in (0, 1]"));
+    }
+    let compare_full = !f.has("no-full");
+
+    let updates = churn_stream(&g, epochs * events, &ChurnMix::default(), seed);
+    let cfg = DynamicConfig::for_eps(eps);
+    let k = cfg.walk_budget;
+    let mut serve = ServeLoop::new(g, cfg);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dynamic serving: {epochs} epochs × ~{events} events (ε {eps}, walk budget k = {k})"
+    );
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>7}  {:>7}  {:>5}  {:>4}  {:>7}  {:>8}  {:>8}",
+        "epoch", "events", "matched", "swept", "ball", "rebuilt", "incr-ms", "full-ms"
+    );
+    let mut incr_total = 0.0f64;
+    let mut full_total = 0.0f64;
+    for (e, chunk) in updates.chunks(events.max(1)).take(epochs).enumerate() {
+        let t0 = std::time::Instant::now();
+        for up in chunk {
+            serve.apply(up);
+        }
+        let report = serve.end_epoch();
+        let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
+        incr_total += incr_ms;
+        let full_ms = if compare_full {
+            let snapshot = serve.snapshot();
+            let t1 = std::time::Instant::now();
+            let scratch = solve(&snapshot, &PipelineConfig::default());
+            let ms = t1.elapsed().as_secs_f64() * 1e3;
+            debug_assert!(scratch.assignment.size() <= snapshot.n_left());
+            full_total += ms;
+            format!("{ms:.2}")
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>7}  {:>7}  {:>5}  {:>4}  {:>7}  {:>8.2}  {:>8}",
+            e + 1,
+            chunk.len(),
+            report.match_size,
+            report.sweep_augmentations,
+            report.ball_rights,
+            if report.rebuilt { "yes" } else { "no" },
+            incr_ms,
+            full_ms,
+        );
+    }
+    serve
+        .validate()
+        .map_err(|e| err(format!("internal: inconsistent serve state: {e}")))?;
+
+    let live = serve.snapshot();
+    serve
+        .assignment()
+        .validate(&live)
+        .map_err(|e| err(format!("internal: infeasible maintained allocation: {e}")))?;
+    let opt = opt_value(&live);
+    let s = serve.stats();
+    let _ = writeln!(
+        out,
+        "maintained matched : {} of {} live clients (OPT {}, ratio {:.4})",
+        serve.match_size(),
+        live.n_left(),
+        opt,
+        serve.match_size() as f64 / opt.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "repairs            : {} augmentations, {} evictions, {} rebuilds, {} compactions",
+        s.augmentations, s.evictions, s.rebuilds, s.compactions
+    );
+    if compare_full {
+        let _ = writeln!(
+            out,
+            "incremental total  : {incr_total:.2} ms vs full recompute {full_total:.2} ms ({:.1}×)",
+            full_total / incr_total.max(1e-9)
+        );
+    } else {
+        let _ = writeln!(out, "incremental total  : {incr_total:.2} ms");
+    }
+    Ok(out)
+}
+
 /// Convenience used by tests: the approximation ratio for a report line.
 pub fn ratio_line(g: &Bipartite, matched: usize) -> String {
     let opt = opt_value(g);
@@ -466,6 +574,38 @@ mod tests {
         assert!(report.contains("usage: salloc"));
         assert!(report.contains("balance FILE"));
         assert!(report.contains("online FILE"));
+        assert!(report.contains("dynamic FILE"));
+    }
+
+    #[test]
+    fn dynamic_subcommand_serves_churn() {
+        let file = temp("dyn.txt");
+        run(&args(&format!(
+            "gen forests --nl 150 --nr 120 --k 3 --cap 2 --seed 6 --out {file}"
+        )))
+        .unwrap();
+        let report = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 60 --eps 0.25 --seed 3"
+        )))
+        .unwrap();
+        assert!(report.contains("dynamic serving"), "{report}");
+        assert!(report.contains("maintained matched"), "{report}");
+        assert!(report.contains("incremental total"), "{report}");
+        // Without the full-recompute comparison, the column is dashed.
+        let report = run(&args(&format!(
+            "dynamic {file} --epochs 1 --events 40 --no-full"
+        )))
+        .unwrap();
+        assert!(!report.contains("vs full recompute"), "{report}");
+        assert!(run(&args("dynamic"))
+            .unwrap_err()
+            .0
+            .contains("missing FILE"));
+        assert!(run(&args(&format!("dynamic {file} --eps 2.0")))
+            .unwrap_err()
+            .0
+            .contains("--eps"));
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

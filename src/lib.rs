@@ -32,6 +32,9 @@
 //! * [`online`] — the application domain from the paper's introduction:
 //!   online greedy / BALANCE / RANKING / dual mirror descent, AdWords
 //!   (MSVV), and proportional serving from the paper's fractional output.
+//! * [`dynamic`] — incremental `(1+ε)` maintenance under a live stream of
+//!   arrivals, departures, edge updates, and capacity changes, with a
+//!   serving façade ([`dynamic::ServeLoop`]) and `O(τ)`-ball repairs.
 //!
 //! ## Quick start
 //!
@@ -55,6 +58,7 @@
 pub mod cli;
 
 pub use sparse_alloc_core as core;
+pub use sparse_alloc_dynamic as dynamic;
 pub use sparse_alloc_flow as flow;
 pub use sparse_alloc_graph as graph;
 pub use sparse_alloc_local as local;
@@ -72,6 +76,7 @@ pub mod prelude {
     pub use sparse_alloc_core::params::Schedule;
     pub use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
     pub use sparse_alloc_core::sampled::{run_sampled, SampleBudget, SampledConfig};
+    pub use sparse_alloc_dynamic::{DynamicConfig, ServeLoop, Update};
     pub use sparse_alloc_flow::greedy::greedy_allocation;
     pub use sparse_alloc_flow::opt::{max_allocation, opt_value};
     pub use sparse_alloc_graph::capacities::CapacityModel;
@@ -80,7 +85,7 @@ pub mod prelude {
         union_of_spanning_trees, LayeredParams, PowerLawParams, RmatParams,
     };
     pub use sparse_alloc_graph::sparsity::arboricity_bracket;
-    pub use sparse_alloc_graph::{Assignment, Bipartite, BipartiteBuilder};
+    pub use sparse_alloc_graph::{Assignment, Bipartite, BipartiteBuilder, DeltaGraph};
     pub use sparse_alloc_mpc::MpcConfig;
     pub use sparse_alloc_online::balance::Balance;
     pub use sparse_alloc_online::driver::{run_online, OnlineAllocator};

@@ -184,6 +184,54 @@ proptest! {
     }
 
     #[test]
+    fn dynamic_repair_matches_scratch(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 0..40),
+        epoch_every in 3usize..9,
+    ) {
+        // After any update sequence, the maintained allocation must match
+        // a from-scratch pipeline run within the same (1+O(ε)) bound: the
+        // epoch-boundary certificate guarantees ≥ k/(k+1)·OPT on the live
+        // graph, which is the bound the static boosting stage gives.
+        let eps = 0.25;
+        let mut serve = ServeLoop::new(g, DynamicConfig::for_eps(eps));
+        for (i, &(kind, a, b, cap)) in ops.iter().enumerate() {
+            let nl = serve.graph().n_left() as u32;
+            let nr = serve.graph().n_right() as u32;
+            let up = match kind {
+                0 => Update::Arrive { neighbors: vec![a % nr, b % nr] },
+                1 => Update::Depart { u: a % nl },
+                2 => Update::InsertEdge { u: a % nl, v: b % nr },
+                3 => Update::DeleteEdge { u: a % nl, v: b % nr },
+                _ => Update::SetCapacity { v: a % nr, cap },
+            };
+            serve.apply(&up);
+            if i % epoch_every == epoch_every - 1 {
+                serve.end_epoch();
+            }
+        }
+        serve.end_epoch();
+        serve.validate().unwrap();
+
+        let live = serve.snapshot();
+        let maintained = serve.assignment();
+        maintained.validate(&live).unwrap();
+        let opt = opt_value(&live);
+        let k = serve.config().walk_budget as f64;
+        prop_assert!(maintained.size() as u64 <= opt);
+        prop_assert!(
+            maintained.size() as f64 >= k / (k + 1.0) * opt as f64 - 1e-9,
+            "maintained {} below k/(k+1)·OPT with OPT {opt}", maintained.size()
+        );
+        // Head-to-head with the from-scratch pipeline on the final graph.
+        let scratch = solve(&live, &PipelineConfig::default());
+        prop_assert!(
+            maintained.size() as f64 * (1.0 + 1.0 / k) >= scratch.assignment.size() as f64 - 1e-9,
+            "maintained {} vs scratch {}", maintained.size(), scratch.assignment.size()
+        );
+    }
+
+    #[test]
     fn pipeline_is_feasible_and_bounded(g in instance()) {
         let out = solve(&g, &PipelineConfig::default());
         out.assignment.validate(&g).unwrap();
