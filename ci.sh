@@ -27,13 +27,18 @@ step "cargo test -q"
 cargo test -q
 
 if [ "${1:-}" != "fast" ]; then
-    step "CLI smoke test (salloc dynamic)"
+    step "CLI smoke test (salloc dynamic, serial + sharded)"
     tmp="$(mktemp -d)"
     cargo run --release -q --bin salloc -- \
         gen forests --nl 300 --nr 240 --k 3 --cap 2 --seed 7 --out "$tmp/g.txt"
     cargo run --release -q --bin salloc -- \
         dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --shards 4
     rm -rf "$tmp"
+
+    step "e18 distributed serving (sharded ≡ serial at scale)"
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e18
 
     step "examples (release) — none may bit-rot"
     for ex in examples/*.rs; do

@@ -1,0 +1,295 @@
+//! Conflict batching: schedule an epoch's updates into parallel waves.
+//!
+//! Two updates can repair in parallel only if their influence regions are
+//! disjoint. An update's region is over-approximated by a *footprint*: the
+//! right-vertex ball of radius `k+1` around its seed rights, computed on
+//! the batch's **union graph** `G⁺` (the live graph plus every edge any
+//! update in the batch inserts). Using `G⁺` is what makes the footprint
+//! sound under reordering — an insert elsewhere in the batch can only
+//! *shorten* distances, and `G⁺` already contains every such shortcut, so
+//! reachability during any interleaving is a subset of reachability in
+//! `G⁺` (deletions only shrink it further). A bounded search from an
+//! update site reads and writes matching state only within `k` right-hops
+//! of its seeds, hence two updates with disjoint footprints commute: any
+//! order of application yields the same engine state.
+//!
+//! Three conservative escalations keep the rule airtight:
+//!
+//! * **Arrivals serialize among themselves** — the id allocator is a
+//!   shared resource (ids are assigned in arrival order).
+//! * An update referencing a left id created by an in-batch arrival is
+//!   scheduled after **all** earlier arrivals.
+//! * A footprint that hits [`FOOTPRINT_CAP`] is treated as *global*: the
+//!   update conflicts with everything before and after it.
+//!
+//! Waves are assigned greedily in arrival order: each update lands on the
+//! earliest wave after every earlier conflicting update, so any
+//! linearization that plays waves in order (and keeps arrival order inside
+//! a wave) is equivalent to the serial order — the property
+//! `tests/properties.rs` checks exhaustively.
+
+use std::collections::HashMap;
+
+use sparse_alloc_graph::{DeltaGraph, RightId};
+use sparse_alloc_mpc::ShardMap;
+
+use crate::repair::ball_of_capped;
+use crate::update::Update;
+
+/// Footprints larger than this are escalated to global conflicts instead
+/// of being enumerated (bounds scheduling cost under bulk churn).
+pub const FOOTPRINT_CAP: usize = 4096;
+
+/// One update's placement in the epoch schedule.
+#[derive(Debug, Clone)]
+pub struct UpdatePlan {
+    /// Wave this update repairs in (0-based; waves run in order).
+    pub wave: usize,
+    /// Machine owning the update's ball (routing destination).
+    pub owner: usize,
+    /// Conservative influence region (sorted right vertices). Empty for
+    /// pure no-ops (e.g. departing an isolated vertex).
+    pub footprint: Vec<RightId>,
+    /// Did the footprint hit the cap (update treated as conflicting with
+    /// everything)?
+    pub global: bool,
+    /// Left id this update's `Arrive` will allocate (`None` otherwise).
+    pub arrive_id: Option<u32>,
+}
+
+/// The wave schedule of one update batch.
+#[derive(Debug, Clone)]
+pub struct BatchSchedule {
+    /// One plan per update, in batch order.
+    pub plans: Vec<UpdatePlan>,
+    /// Number of waves (`max wave + 1`; 0 for an empty batch).
+    pub waves: usize,
+    /// Updates forced off wave 0 by a conflict.
+    pub delayed: usize,
+}
+
+/// Compute footprints on the union graph and assign conflict-free waves.
+///
+/// `k` is the walk budget of the serving engine: searches explore at most
+/// `k − 1` matched hops, evictions start one hop out, so radius `k + 1`
+/// over-covers every read or write an update can perform.
+pub fn schedule(dg: &DeltaGraph, updates: &[Update], k: usize, map: &ShardMap) -> BatchSchedule {
+    // The union graph G⁺: live graph plus all in-batch arrivals/inserts.
+    let mut gplus = dg.clone();
+    let base_n_left = dg.n_left() as u32;
+    let mut arrive_ids: Vec<Option<u32>> = Vec::with_capacity(updates.len());
+    for up in updates {
+        match up {
+            Update::Arrive { neighbors } => arrive_ids.push(Some(gplus.arrive(neighbors))),
+            Update::InsertEdge { u, v } => {
+                if (*u as usize) < gplus.n_left() && (*v as usize) < gplus.n_right() {
+                    gplus.insert_edge(*u, *v);
+                }
+                arrive_ids.push(None);
+            }
+            _ => arrive_ids.push(None),
+        }
+    }
+
+    let radius = k + 1;
+    let mut plans: Vec<UpdatePlan> = Vec::with_capacity(updates.len());
+    // Max wave of any earlier update touching a given right.
+    let mut touch: HashMap<RightId, usize> = HashMap::new();
+    // Wave floor imposed by the latest global update (conflicts with all).
+    let mut floor = 0usize;
+    let mut max_wave_seen: Option<usize> = None;
+    let mut max_arrive_wave: Option<usize> = None;
+    let mut delayed = 0usize;
+
+    for (i, up) in updates.iter().enumerate() {
+        let mut seeds: Vec<RightId> = Vec::new();
+        let mut references_arrival = false;
+        let mut note_left = |u: u32, seeds: &mut Vec<RightId>| {
+            if u >= base_n_left {
+                references_arrival = true;
+            }
+            if (u as usize) < gplus.n_left() {
+                seeds.extend(gplus.left_neighbors_iter(u));
+            }
+        };
+        match up {
+            Update::Arrive { neighbors } => seeds.extend_from_slice(neighbors),
+            Update::Depart { u } => note_left(*u, &mut seeds),
+            Update::InsertEdge { u, v } | Update::DeleteEdge { u, v } => {
+                seeds.push(*v);
+                note_left(*u, &mut seeds);
+            }
+            Update::SetCapacity { v, .. } => seeds.push(*v),
+        }
+        seeds.retain(|&v| (v as usize) < gplus.n_right());
+        let footprint = ball_of_capped(&gplus, &seeds, radius, FOOTPRINT_CAP);
+        let global = footprint.len() >= FOOTPRINT_CAP;
+
+        let mut wave = floor;
+        if global {
+            if let Some(w) = max_wave_seen {
+                wave = wave.max(w + 1);
+            }
+        }
+        let is_arrive = matches!(up, Update::Arrive { .. });
+        if is_arrive || references_arrival {
+            if let Some(w) = max_arrive_wave {
+                wave = wave.max(w + 1);
+            }
+        }
+        for &r in &footprint {
+            if let Some(&w) = touch.get(&r) {
+                wave = wave.max(w + 1);
+            }
+        }
+
+        for &r in &footprint {
+            let e = touch.entry(r).or_insert(wave);
+            *e = (*e).max(wave);
+        }
+        if is_arrive {
+            max_arrive_wave = Some(max_arrive_wave.map_or(wave, |w| w.max(wave)));
+        }
+        if global {
+            floor = wave + 1;
+        }
+        max_wave_seen = Some(max_wave_seen.map_or(wave, |w| w.max(wave)));
+        if wave > 0 {
+            delayed += 1;
+        }
+
+        let owner = match up {
+            Update::Arrive { .. } => map.owner_of_left(arrive_ids[i].expect("arrive id")),
+            Update::Depart { u } => map.owner_of_left(*u),
+            Update::InsertEdge { v, .. }
+            | Update::DeleteEdge { v, .. }
+            | Update::SetCapacity { v, .. } => map.owner_of_right(*v),
+        };
+
+        plans.push(UpdatePlan {
+            wave,
+            owner,
+            footprint,
+            global,
+            arrive_id: arrive_ids[i],
+        });
+    }
+
+    BatchSchedule {
+        waves: max_wave_seen.map_or(0, |w| w + 1),
+        delayed,
+        plans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    fn path_graph(n: usize) -> DeltaGraph {
+        // u_i ~ {v_i, v_{i+1}}: a long bipartite path, so distant updates
+        // have disjoint balls.
+        let mut b = BipartiteBuilder::new(n, n + 1);
+        for i in 0..n as u32 {
+            b.add_edge(i, i);
+            b.add_edge(i, i + 1);
+        }
+        DeltaGraph::new(b.build_with_uniform_capacity(1).unwrap())
+    }
+
+    #[test]
+    fn distant_updates_share_a_wave() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(4);
+        let updates = vec![
+            Update::SetCapacity { v: 0, cap: 2 },
+            Update::SetCapacity { v: 40, cap: 2 },
+        ];
+        let s = schedule(&dg, &updates, 2, &map);
+        assert_eq!(s.waves, 1, "disjoint balls repair in parallel");
+        assert_eq!(s.delayed, 0);
+        assert!(s.plans[0]
+            .footprint
+            .iter()
+            .all(|r| !s.plans[1].footprint.contains(r)));
+    }
+
+    #[test]
+    fn overlapping_balls_serialize_in_order() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(4);
+        let updates = vec![
+            Update::SetCapacity { v: 10, cap: 2 },
+            Update::SetCapacity { v: 11, cap: 3 },
+            Update::SetCapacity { v: 12, cap: 1 },
+        ];
+        let s = schedule(&dg, &updates, 2, &map);
+        assert_eq!(s.plans[0].wave, 0);
+        assert_eq!(s.plans[1].wave, 1);
+        assert_eq!(s.plans[2].wave, 2);
+        assert_eq!(s.waves, 3);
+        assert_eq!(s.delayed, 2);
+    }
+
+    #[test]
+    fn arrivals_serialize_for_id_allocation() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::Arrive { neighbors: vec![0] },
+            Update::Arrive {
+                neighbors: vec![30],
+            },
+        ];
+        let s = schedule(&dg, &updates, 2, &map);
+        assert_eq!(
+            s.plans[1].wave,
+            s.plans[0].wave + 1,
+            "the id allocator is a shared resource"
+        );
+        assert_eq!(s.plans[0].arrive_id, Some(40));
+        assert_eq!(s.plans[1].arrive_id, Some(41));
+    }
+
+    #[test]
+    fn updates_referencing_an_arrival_follow_it() {
+        let dg = path_graph(10);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::Arrive { neighbors: vec![9] },
+            // References the id the arrive will allocate (10), whose ball
+            // is far from v9 — ordering must still hold.
+            Update::InsertEdge { u: 10, v: 0 },
+        ];
+        let s = schedule(&dg, &updates, 1, &map);
+        assert!(s.plans[1].wave > s.plans[0].wave);
+    }
+
+    #[test]
+    fn footprints_use_the_union_graph() {
+        // The batch inserts a shortcut (u5, v20); the *earlier* capacity
+        // update at v19 must see the enlarged ball of v5's region through
+        // the shortcut — i.e. footprints come from G⁺, not the live graph.
+        let dg = path_graph(40);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::InsertEdge { u: 5, v: 20 },
+            Update::SetCapacity { v: 20, cap: 3 },
+        ];
+        let s = schedule(&dg, &updates, 1, &map);
+        assert!(
+            s.plans[0].footprint.contains(&20),
+            "insert's footprint spans the shortcut"
+        );
+        assert!(s.plans[1].wave > s.plans[0].wave, "shared v20 serializes");
+    }
+
+    #[test]
+    fn empty_batch_schedules_nothing() {
+        let dg = path_graph(4);
+        let s = schedule(&dg, &[], 2, &ShardMap::new(2));
+        assert_eq!(s.waves, 0);
+        assert!(s.plans.is_empty());
+    }
+}

@@ -1,0 +1,635 @@
+//! Distributed serving: shard the dynamic engine across the MPC simulator.
+//!
+//! [`ShardedServeLoop`] partitions the serving state — the
+//! [`DeltaGraph`](sparse_alloc_graph::DeltaGraph) overlay, the β-levels,
+//! and the maintained matching — across the machines of an
+//! [`mpc`](sparse_alloc_mpc) cluster by vertex ownership
+//! ([`ShardMap`]): every right (and left) vertex has a deterministic home
+//! machine, the partitioning pattern of low-memory MPC matching
+//! algorithms (Brandt–Fischer–Uitto, arXiv:1807.05374; Ghaffari–Uitto,
+//! arXiv:1807.06251). Each epoch runs as a sequence of ledger-accounted
+//! phases:
+//!
+//! 1. **Route** ([`labels::ROUTE_UPDATES`]) — the update batch is shipped
+//!    to the shards owning the update balls through real
+//!    [`Cluster`] exchanges, chunked so no machine ever receives more
+//!    than half its space budget in one round.
+//! 2. **Repair waves** ([`labels::REPAIR_WAVE`]) — the
+//!    [`batch`](crate::batch) scheduler groups updates whose conservative
+//!    balls are vertex-disjoint; each wave repairs its balls in parallel
+//!    (disjointness makes the repairs commute, so the result equals
+//!    serial application — the property `tests/properties.rs` proves).
+//!    Augmenting walks that cross shard boundaries pay for every foreign
+//!    right they flip: the wave's round carries those handoff words.
+//! 3. **Sweep** — the `k/(k+1)` certificate sweep: the free-left census
+//!    is sorted by id (distributed sample sort — the global sweep order),
+//!    the sweep runs, and the matching migrations it produced are
+//!    committed to the shards owning the receiving rights
+//!    ([`labels::SWEEP_COMMIT`]), followed by an aggregated state census
+//!    and a broadcast of the epoch summary.
+//!
+//! Every phase ends with [`Ledger::assert_space_within`] against the
+//! per-machine budget (the simulated analogue of the paper's `n^δ`
+//! regime, see [`ShardedServeLoop::space_budget`]), so an algorithm that
+//! drifts out of its claimed space regime fails loudly.
+//!
+//! The simulator executes shard-local work in-process on the
+//! authoritative engine (exactly like `core::mpc_exec` runs Algorithm 2):
+//! what is *distributed* is the state ownership, the scheduling, and the
+//! communication accounting — and the headline contract is that for any
+//! update sequence and any shard count the maintained allocation is
+//! **identical** to the serial [`ServeLoop`]'s.
+
+use sparse_alloc_graph::{Assignment, Bipartite, LeftId, RightId};
+use sparse_alloc_mpc::ledger::RoundRecord;
+use sparse_alloc_mpc::primitives::{aggregate_by_key, broadcast_value, sort_by_key};
+use sparse_alloc_mpc::shard::labels;
+use sparse_alloc_mpc::{Cluster, Ledger, MpcConfig, MpcError, ShardMap, Words};
+
+use crate::batch::{schedule, BatchSchedule};
+use crate::serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
+use crate::update::Update;
+
+/// Configuration of a [`ShardedServeLoop`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of machines the state is sharded across.
+    pub shards: usize,
+    /// Slack factor of the per-machine space budget: a machine may hold
+    /// `slack ×` its fair share of the state (hash imbalance, message
+    /// staging). See [`ShardedServeLoop::space_budget`].
+    pub space_slack: usize,
+    /// The serial engine's configuration.
+    pub dynamic: DynamicConfig,
+}
+
+impl ShardedConfig {
+    /// The standard configuration: [`DynamicConfig::for_eps`] sharded
+    /// `shards` ways with 8× space slack.
+    pub fn for_eps(eps: f64, shards: usize) -> Self {
+        ShardedConfig {
+            shards,
+            space_slack: 8,
+            dynamic: DynamicConfig::for_eps(eps),
+        }
+    }
+}
+
+/// Lifetime counters of a [`ShardedServeLoop`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Update batches applied.
+    pub batches: usize,
+    /// Repair waves executed across all batches.
+    pub waves: usize,
+    /// Updates routed to their owning shards.
+    pub routed_updates: usize,
+    /// Words of cross-shard walk handoff traffic.
+    pub handoff_words: u64,
+    /// Matching migrations committed by certificate sweeps.
+    pub migrations: usize,
+}
+
+/// What one [`ShardedServeLoop::apply_batch`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Updates in the batch.
+    pub updates: usize,
+    /// Parallel repair waves the batch was scheduled into.
+    pub waves: usize,
+    /// Updates serialized behind a conflicting ball.
+    pub delayed: usize,
+    /// Cross-shard walk handoff words this batch.
+    pub handoff_words: u64,
+}
+
+/// What one [`ShardedServeLoop::end_epoch`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardedEpochReport {
+    /// The serial engine's epoch report (sweep, repair, rebuild).
+    pub serial: EpochReport,
+    /// Matching migrations committed across shards.
+    pub migrations: usize,
+    /// Largest per-machine resident state after the epoch, in words.
+    pub peak_shard_words: usize,
+    /// The space budget the epoch was checked against.
+    pub budget: usize,
+}
+
+/// An [`Update`] in wire form (what the routing exchange ships).
+#[derive(Debug, Clone)]
+struct UpdateMsg {
+    kind: u32,
+    a: u32,
+    b: u32,
+    cap: u64,
+    neighbors: Vec<u32>,
+}
+
+impl Words for UpdateMsg {
+    fn words(&self) -> usize {
+        4 + self.neighbors.words()
+    }
+}
+
+fn encode(up: &Update) -> UpdateMsg {
+    let (kind, a, b, cap, neighbors) = match up {
+        Update::Arrive { neighbors } => (0, 0, 0, 0, neighbors.clone()),
+        Update::Depart { u } => (1, *u, 0, 0, Vec::new()),
+        Update::InsertEdge { u, v } => (2, *u, *v, 0, Vec::new()),
+        Update::DeleteEdge { u, v } => (3, *u, *v, 0, Vec::new()),
+        Update::SetCapacity { v, cap } => (4, *v, 0, *cap, Vec::new()),
+    };
+    UpdateMsg {
+        kind,
+        a,
+        b,
+        cap,
+        neighbors,
+    }
+}
+
+impl UpdateMsg {
+    fn decode(&self) -> Update {
+        match self.kind {
+            0 => Update::Arrive {
+                neighbors: self.neighbors.clone(),
+            },
+            1 => Update::Depart { u: self.a },
+            2 => Update::InsertEdge {
+                u: self.a,
+                v: self.b,
+            },
+            3 => Update::DeleteEdge {
+                u: self.a,
+                v: self.b,
+            },
+            _ => Update::SetCapacity {
+                v: self.a,
+                cap: self.cap,
+            },
+        }
+    }
+}
+
+/// The sharded serving engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedServeLoop {
+    inner: ServeLoop,
+    map: ShardMap,
+    slack: usize,
+    ledger: Ledger,
+    stats: ShardedStats,
+}
+
+impl ShardedServeLoop {
+    /// Solve `base` with the static stack and start serving from that
+    /// state, sharded `cfg.shards` ways. The initial per-shard
+    /// compactions ([`DeltaGraph::partition_by_right`]) are materialized
+    /// once to account (and check) the resident state distribution.
+    ///
+    /// [`DeltaGraph::partition_by_right`]: sparse_alloc_graph::DeltaGraph::partition_by_right
+    pub fn new(base: Bipartite, cfg: ShardedConfig) -> Result<Self, MpcError> {
+        assert!(cfg.shards >= 1, "at least one shard");
+        assert!(cfg.space_slack >= 1, "space slack ≥ 1");
+        let inner = ServeLoop::new(base, cfg.dynamic);
+        let map = ShardMap::new(cfg.shards);
+        let mut this = ShardedServeLoop {
+            inner,
+            map,
+            slack: cfg.space_slack,
+            ledger: Ledger::default(),
+            stats: ShardedStats::default(),
+        };
+        // Cross-check the ownership invariant against the materialized
+        // per-shard compactions — debug builds only: release builds derive
+        // the same residency from shard_state_words without building
+        // `shards` graph copies.
+        #[cfg(debug_assertions)]
+        {
+            let parts = this
+                .inner
+                .graph()
+                .partition_by_right(cfg.shards, |v| this.map.owner_of_right(v));
+            debug_assert_eq!(
+                parts.iter().map(Bipartite::m).sum::<usize>(),
+                this.inner.graph().m(),
+                "ownership covers each live edge exactly once"
+            );
+        }
+        let words = this.shard_state_words();
+        let budget = this.space_budget();
+        let mut epoch = Ledger::default();
+        epoch.observe_local(
+            labels::SHARD_STATE,
+            words.iter().copied().max().unwrap_or(0),
+            words.iter().map(|&w| w as u64).sum(),
+        );
+        epoch.assert_space_within(budget)?;
+        this.ledger.absorb(&epoch);
+        Ok(this)
+    }
+
+    /// The per-machine space budget, in words — the simulated analogue of
+    /// the paper's `n^δ` regime: with `N = Θ(W / S)` machines for state of
+    /// `W` words, a machine's budget is `slack × ⌈W / N⌉` (floor 128 so
+    /// degenerate instances keep headroom for control messages). It is
+    /// recomputed from the *live* graph, so the budget tracks the instance
+    /// the loop actually serves.
+    pub fn space_budget(&self) -> usize {
+        let dg = self.inner.graph();
+        let total = 2 * dg.n_left() + 2 * dg.n_right() + dg.m();
+        (self.slack * total.div_ceil(self.map.shards())).max(128)
+    }
+
+    /// Resident state per shard, in words: each right vertex pays its
+    /// capacity, level, and adjacency; each left vertex its id and mate.
+    fn shard_state_words(&self) -> Vec<usize> {
+        let dg = self.inner.graph();
+        let mut w = vec![0usize; self.map.shards()];
+        for v in 0..dg.n_right() as u32 {
+            w[self.map.owner_of_right(v)] += 2 + dg.right_degree(v);
+        }
+        for u in 0..dg.n_left() as u32 {
+            w[self.map.owner_of_left(u)] += 2;
+        }
+        w
+    }
+
+    /// Route `items` to `dest` through strict cluster exchanges, chunked
+    /// so no machine sends or receives more than `budget / 2` words in one
+    /// round (the streaming ingestion pattern: a batch bigger than the
+    /// space budget takes proportionally more rounds, it does not violate
+    /// the regime). A *single message* wider than the budget — e.g. an
+    /// arrival whose neighbor list alone outgrows a machine — cannot be
+    /// split and fails with [`MpcError::SpaceExceeded`]: such an instance
+    /// genuinely leaves the space regime (the paper's remedy is the
+    /// vertex-split reduction, `graph::reduction`), and this simulator
+    /// surfaces regime violations instead of hiding them. The per-chunk
+    /// ledgers accumulate into `epoch`; the delivered items are returned
+    /// so callers consume what the cluster actually shipped.
+    fn route_chunked<T, F>(
+        &self,
+        epoch: &mut Ledger,
+        label: &'static str,
+        items: Vec<T>,
+        dest: F,
+        budget: usize,
+    ) -> Result<Vec<T>, MpcError>
+    where
+        T: Words + Send + Sync,
+        F: Fn(&T) -> usize + Sync,
+    {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.map.shards();
+        let cap = (budget / 2).max(1);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut chunk: Vec<T> = Vec::new();
+        let mut vol = vec![0usize; p];
+        for item in items {
+            let d = dest(&item);
+            let w = item.words().max(1);
+            if !chunk.is_empty() && vol[d] + w > cap {
+                chunks.push(std::mem::take(&mut chunk));
+                vol.iter_mut().for_each(|v| *v = 0);
+            }
+            vol[d] += w;
+            chunk.push(item);
+        }
+        chunks.push(chunk);
+        let mut delivered = Vec::new();
+        for chunk in chunks {
+            let cluster = Cluster::from_items(MpcConfig::strict(p, budget), chunk)?;
+            let cluster = cluster.exchange_by(label, |t| dest(t))?;
+            let (items, ledger) = cluster.into_items();
+            delivered.extend(items);
+            epoch.absorb(&ledger);
+        }
+        Ok(delivered)
+    }
+
+    /// Apply one epoch's update batch: schedule conflict-free waves,
+    /// route every update to the shard owning its ball, and repair wave
+    /// by wave (disjoint balls in a wave commute, so the engine state
+    /// equals serial application of the batch in arrival order).
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, MpcError> {
+        if updates.is_empty() {
+            return Ok(BatchReport::default());
+        }
+        self.stats.batches += 1;
+        let budget = self.space_budget();
+        let k = self.inner.config().walk_budget;
+        let sched: BatchSchedule = schedule(self.inner.graph(), updates, k, &self.map);
+        let mut epoch = Ledger::default();
+
+        // Phase 1 — route the batch to the owning shards. The engine
+        // consumes the *delivered* copies, not the caller's slice: a
+        // routing bug would surface as divergence from serial, not vanish.
+        let msgs: Vec<(u32, u32, UpdateMsg)> = updates
+            .iter()
+            .zip(&sched.plans)
+            .enumerate()
+            .map(|(i, (up, plan))| (plan.owner as u32, i as u32, encode(up)))
+            .collect();
+        let delivered = self.route_chunked(
+            &mut epoch,
+            labels::ROUTE_UPDATES,
+            msgs,
+            |t| t.0 as usize,
+            budget,
+        )?;
+        let mut routed: Vec<Option<Update>> = vec![None; updates.len()];
+        for (_, i, msg) in &delivered {
+            routed[*i as usize] = Some(msg.decode());
+        }
+        self.stats.routed_updates += updates.len();
+
+        // Phase 2 — repair waves. Waves run in order; inside a wave,
+        // arrival order (any order would do: the balls are disjoint).
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        order.sort_by_key(|&i| sched.plans[i].wave);
+        let mut handoff_total = 0u64;
+        let mut at = 0usize;
+        while at < order.len() {
+            let wave = sched.plans[order[at]].wave;
+            let mut sent = vec![0u64; self.map.shards()];
+            let mut recv = vec![0u64; self.map.shards()];
+            while at < order.len() && sched.plans[order[at]].wave == wave {
+                let i = order[at];
+                let owner = sched.plans[i].owner;
+                let t0 = self.inner.touched_rights().len();
+                let up = routed[i].take().expect("every update was delivered");
+                let arrived = self.inner.apply(&up);
+                debug_assert_eq!(
+                    arrived, sched.plans[i].arrive_id,
+                    "scheduler and engine agree on arrival ids"
+                );
+                for &r in &self.inner.touched_rights()[t0..] {
+                    let o = self.map.owner_of_right(r);
+                    if o != owner {
+                        sent[owner] += 1;
+                        recv[o] += 1;
+                    }
+                }
+                at += 1;
+            }
+            let words: u64 = recv.iter().sum();
+            epoch.record(RoundRecord {
+                words_moved: words,
+                max_sent: sent.iter().copied().max().unwrap_or(0) as usize,
+                max_received: recv.iter().copied().max().unwrap_or(0) as usize,
+                max_storage: 0,
+                total_storage: 0,
+                label: labels::REPAIR_WAVE,
+            });
+            handoff_total += words;
+            self.stats.waves += 1;
+        }
+        self.stats.handoff_words += handoff_total;
+
+        epoch.assert_space_within(budget)?;
+        self.ledger.absorb(&epoch);
+        Ok(BatchReport {
+            updates: updates.len(),
+            waves: sched.waves,
+            delayed: sched.delayed,
+            handoff_words: handoff_total,
+        })
+    }
+
+    /// Close the epoch as a ledger-accounted MPC phase: sort the free-left
+    /// census (the global sweep order), run the certificate sweep, commit
+    /// the resulting matching migrations to the shards owning the
+    /// receiving rights, aggregate the state census, and broadcast the
+    /// epoch summary. Fails with [`MpcError::SpaceExceeded`] if any phase
+    /// (or the resident state) leaves the space budget.
+    pub fn end_epoch(&mut self) -> Result<ShardedEpochReport, MpcError> {
+        let budget = self.space_budget();
+        let p = self.map.shards();
+        let mut epoch = Ledger::default();
+
+        // Sweep order: distributed sample sort of the free-left census.
+        let frees: Vec<u32> = (0..self.inner.graph().n_left() as u32)
+            .filter(|&u| self.inner.query(u).is_none())
+            .collect();
+        let cluster = Cluster::from_items(MpcConfig::strict(p, budget), frees)?;
+        let cluster = sort_by_key(cluster, |&u| u)?;
+        let (_, sort_ledger) = cluster.into_items();
+        epoch.absorb(&sort_ledger);
+
+        let before = self.inner.assignment().mate;
+        let serial = self.inner.end_epoch();
+
+        // Commit phase: every changed pair migrates to the shard owning
+        // its new right (unmatches go home to the old right's owner).
+        let after = self.inner.assignment().mate;
+        let mut migrations: Vec<(u32, u32, u32)> = Vec::new();
+        for (u, &now) in after.iter().enumerate() {
+            let was = before.get(u).copied().flatten();
+            if was != now {
+                migrations.push((
+                    u as u32,
+                    was.unwrap_or(u32::MAX),
+                    now.map_or(u32::MAX, |v| v),
+                ));
+            }
+        }
+        let n_migrations = migrations.len();
+        self.stats.migrations += n_migrations;
+        let map = self.map;
+        let committed = self.route_chunked(
+            &mut epoch,
+            labels::SWEEP_COMMIT,
+            migrations,
+            move |&(_, from, to)| {
+                if to != u32::MAX {
+                    map.owner_of_right(to)
+                } else {
+                    map.owner_of_right(from)
+                }
+            },
+            budget,
+        )?;
+        debug_assert_eq!(committed.len(), n_migrations);
+
+        // State census (aggregate) + epoch summary (broadcast).
+        let words = self.shard_state_words();
+        let census: Vec<Vec<(u32, u64)>> = words.iter().map(|&w| vec![(0u32, w as u64)]).collect();
+        let cluster = Cluster::from_partitioned(MpcConfig::strict(p, budget), census)?;
+        let mut cluster = aggregate_by_key(cluster, |a, b| a + b)?;
+        let summary = (serial.match_size as u64, serial.sweep_augmentations as u64);
+        let copies = broadcast_value(&mut cluster, &summary)?;
+        debug_assert_eq!(copies.len(), p);
+        let (_, census_ledger) = cluster.into_items();
+        epoch.absorb(&census_ledger);
+
+        // Space accounting: resident per-shard state must fit the budget.
+        let peak = words.iter().copied().max().unwrap_or(0);
+        epoch.observe_local(
+            labels::SHARD_STATE,
+            peak,
+            words.iter().map(|&w| w as u64).sum(),
+        );
+        epoch.assert_space_within(budget)?;
+        self.ledger.absorb(&epoch);
+
+        Ok(ShardedEpochReport {
+            serial,
+            migrations: n_migrations,
+            peak_shard_words: peak,
+            budget,
+        })
+    }
+
+    /// The current match of left vertex `u`. `O(1)`.
+    #[inline]
+    pub fn query(&self, u: LeftId) -> Option<RightId> {
+        self.inner.query(u)
+    }
+
+    /// Current matching cardinality. `O(1)`.
+    #[inline]
+    pub fn match_size(&self) -> usize {
+        self.inner.match_size()
+    }
+
+    /// The maintained integral allocation.
+    pub fn assignment(&self) -> Assignment {
+        self.inner.assignment()
+    }
+
+    /// Materialize the live graph as a frozen snapshot.
+    pub fn snapshot(&self) -> Bipartite {
+        self.inner.snapshot()
+    }
+
+    /// The underlying serial engine (state queries, configuration).
+    pub fn serial(&self) -> &ServeLoop {
+        &self.inner
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// The accumulated round/word/space accounting across all epochs.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Sharding counters.
+    pub fn stats(&self) -> &ShardedStats {
+        &self.stats
+    }
+
+    /// The serial engine's lifetime counters.
+    pub fn serve_stats(&self) -> &ServeStats {
+        self.inner.stats()
+    }
+
+    /// Full consistency check (tests / debugging).
+    pub fn validate(&self) -> Result<(), String> {
+        self.inner.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::{churn_stream, ChurnMix};
+    use sparse_alloc_graph::generators::union_of_spanning_trees;
+
+    fn drive(shards: usize, seed: u64) -> (ShardedServeLoop, ServeLoop) {
+        let g = union_of_spanning_trees(60, 45, 2, 2, seed).graph;
+        let updates = churn_stream(&g, 120, &ChurnMix::default(), seed);
+        let mut sharded =
+            ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(0.25, shards)).unwrap();
+        let mut serial = ServeLoop::new(g, DynamicConfig::for_eps(0.25));
+        for chunk in updates.chunks(30) {
+            sharded.apply_batch(chunk).unwrap();
+            sharded.end_epoch().unwrap();
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+        }
+        (sharded, serial)
+    }
+
+    #[test]
+    fn sharded_state_equals_serial_state() {
+        for shards in [1usize, 3, 5] {
+            let (sharded, serial) = drive(shards, 7 + shards as u64);
+            sharded.validate().unwrap();
+            assert_eq!(
+                sharded.assignment().mate,
+                serial.assignment().mate,
+                "{shards} shards diverged from serial"
+            );
+            assert_eq!(sharded.match_size(), serial.match_size());
+        }
+    }
+
+    #[test]
+    fn epochs_record_ledger_phases() {
+        let (sharded, _) = drive(4, 11);
+        let l = sharded.ledger();
+        assert!(
+            l.rounds_labeled(labels::ROUTE_UPDATES) >= 1,
+            "routing rounds"
+        );
+        assert!(l.rounds_labeled(labels::REPAIR_WAVE) >= 1, "wave rounds");
+        assert!(l.local_steps_labeled(labels::SHARD_STATE) >= 1);
+        assert!(l.rounds > 0);
+        let s = sharded.stats();
+        assert!(s.batches >= 1 && s.routed_updates > 0);
+        assert!(s.waves >= s.batches, "≥ one wave per batch");
+    }
+
+    #[test]
+    fn resident_state_fits_the_budget() {
+        let (sharded, _) = drive(6, 13);
+        let words = sharded.shard_state_words();
+        let budget = sharded.space_budget();
+        assert!(budget >= 128);
+        assert!(*words.iter().max().unwrap() <= budget);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let g = union_of_spanning_trees(30, 20, 2, 2, 3).graph;
+        let mut s = ShardedServeLoop::new(g, ShardedConfig::for_eps(0.25, 3)).unwrap();
+        let r = s.apply_batch(&[]).unwrap();
+        assert_eq!(r, BatchReport::default());
+        let before = s.ledger().rounds;
+        let e = s.end_epoch().unwrap();
+        assert_eq!(e.serial.sweep_expansions, 0, "no-op epoch stays free");
+        assert_eq!(e.migrations, 0);
+        assert!(s.ledger().rounds >= before, "census phases still run");
+    }
+
+    #[test]
+    fn single_shard_has_no_handoff_traffic() {
+        let (sharded, _) = drive(1, 17);
+        assert_eq!(sharded.stats().handoff_words, 0);
+        assert_eq!(
+            sharded.ledger().words_total,
+            sharded
+                .ledger()
+                .history
+                .iter()
+                .map(|r| r.words_moved)
+                .sum::<u64>()
+        );
+        // Every routed word stays on machine 0 — zero words moved in
+        // repair waves.
+        for rec in &sharded.ledger().history {
+            if rec.label == labels::REPAIR_WAVE {
+                assert_eq!(rec.words_moved, 0);
+            }
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! | `O(τ)`-ball repair of the β-levels | [`repair`] |
 //! | drift budget + compaction policy | [`scheduler`] |
 //! | the serving façade | [`serve`] |
+//! | conflict batching of update balls into parallel waves | [`batch`] |
+//! | sharded serving across the MPC simulator | [`distributed`] |
 //! | adapters from `sparse-alloc-online` streams, churn generator | [`adapter`] |
 //!
 //! The graph side lives in `sparse_alloc_graph::delta`: the frozen
@@ -33,6 +35,19 @@
 //! β-levels are repaired on the dirty ball only; the truncation error is
 //! metered by a drift budget, and exceeding the `O(ε)` budget triggers a
 //! full static rebuild.
+//!
+//! # Distributed serving
+//!
+//! [`ShardedServeLoop`] runs the same engine sharded across an
+//! [`mpc`](sparse_alloc_mpc) cluster: state is hash-partitioned by vertex
+//! ownership, each update batch is routed to the shards owning its balls
+//! and repaired in conflict-free parallel waves ([`batch`]), and the
+//! per-epoch certificate sweep is a ledger-accounted MPC phase (sorted
+//! free-left census, cross-shard migration commit, aggregated census,
+//! broadcast summary) whose per-machine space is asserted against an
+//! `n^δ`-style budget every epoch. For any update sequence and any shard
+//! count, the maintained allocation is identical to the serial
+//! [`ServeLoop`]'s — `tests/properties.rs` holds that contract.
 //!
 //! # Example
 //!
@@ -56,12 +71,15 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod batch;
+pub mod distributed;
 pub mod repair;
 pub mod scheduler;
 pub mod serve;
 pub mod update;
 pub mod walks;
 
+pub use distributed::{ShardedConfig, ShardedServeLoop};
 pub use serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
 pub use update::Update;
 pub use walks::Matching;

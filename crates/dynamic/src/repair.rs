@@ -42,6 +42,10 @@ pub struct LevelRepairConfig {
 pub struct LevelRepairReport {
     /// Right vertices in the repaired ball.
     pub ball_rights: usize,
+    /// The repaired ball itself (sorted). Callers that maintain derived
+    /// state — e.g. the serve loop's memoized fractional allocation —
+    /// invalidate exactly this set.
+    pub ball: Vec<RightId>,
     /// Left vertices adjacent to the ball (their aggregates were read).
     pub frontier_lefts: usize,
     /// Rounds executed.
@@ -120,6 +124,7 @@ pub fn repair_levels(
     if ball.is_empty() || cfg.rounds == 0 {
         return LevelRepairReport {
             ball_rights: ball.len(),
+            ball,
             ..Default::default()
         };
     }
@@ -198,6 +203,7 @@ pub fn repair_levels(
 
     LevelRepairReport {
         ball_rights: ball.len(),
+        ball,
         frontier_lefts: frontier.len(),
         rounds_run: cfg.rounds,
         ball_terminated,

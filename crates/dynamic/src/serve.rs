@@ -11,13 +11,19 @@
 //! Between epochs, queries ([`ServeLoop::query`],
 //! [`ServeLoop::match_size`]) are `O(1)` reads of maintained state.
 
+use std::cell::RefCell;
+
+use sparse_alloc_core::aggregates::{
+    alloc_share, left_aggregate_of, left_aggregates, right_allocs, LeftAggregate,
+};
 use sparse_alloc_core::boosting::boost_hk;
-use sparse_alloc_core::fractional::{finalize_from_levels, FractionalAllocation};
+use sparse_alloc_core::fractional::{finalize, FractionalAllocation};
 use sparse_alloc_core::guessing::run_with_guessing;
+use sparse_alloc_core::levels::PowTable;
 use sparse_alloc_core::rounding;
 use sparse_alloc_graph::{Assignment, Bipartite, DeltaGraph, LeftId, RightId};
 
-use crate::repair::{repair_levels, LevelRepairConfig};
+use crate::repair::{ball_of_capped, repair_levels, LevelRepairConfig};
 use crate::scheduler::{CompactionPolicy, DriftTracker};
 use crate::update::Update;
 use crate::walks::Matching;
@@ -101,6 +107,13 @@ pub struct ServeStats {
 pub struct EpochReport {
     /// Augmentations found by the certificate sweep.
     pub sweep_augmentations: usize,
+    /// Free left vertices the sweep actually searched from. Frees whose
+    /// alternating components were untouched since the last epoch are
+    /// skipped (dirty-component tracking) and do not count.
+    pub sweep_starts: usize,
+    /// BFS right-vertex expansions the sweep performed. Zero for a no-op
+    /// epoch: the previous certificate still stands, so no search runs.
+    pub sweep_expansions: u64,
     /// Right vertices in the β-repair ball (0 if no repair ran).
     pub ball_rights: usize,
     /// Did the drift budget force a full rebuild?
@@ -111,6 +124,38 @@ pub struct EpochReport {
     pub match_size: usize,
 }
 
+/// Memoized fractional allocation: the snapshot it was computed on, the
+/// per-edge values, and the intermediates needed to refresh a ball
+/// without touching the rest.
+#[derive(Debug, Clone)]
+struct FracCache {
+    snapshot: Bipartite,
+    /// Left endpoint per snapshot edge id (the CSR only stores rights).
+    edge_left: Vec<LeftId>,
+    lefts: Vec<LeftAggregate>,
+    alloc: Vec<f64>,
+    x: Vec<f64>,
+    /// Per-right weight contribution `min(C_v, alloc_v)`.
+    wv: Vec<f64>,
+    weight: f64,
+}
+
+/// Cache bookkeeping behind [`ServeLoop::fractional`]. Lives in a
+/// `RefCell` so queries stay `&self` (they are reads of maintained state,
+/// even when they lazily refresh the memo).
+#[derive(Debug, Default)]
+struct FracState {
+    cache: Option<FracCache>,
+    /// Rights whose levels or capacities moved since the cache was built.
+    dirty: Vec<RightId>,
+    /// Did the edge set or vertex set change? (Ball refresh impossible:
+    /// snapshot edge ids shifted.)
+    structural: bool,
+    full_recomputes: u64,
+    ball_refreshes: u64,
+    hits: u64,
+}
+
 /// The dynamic allocation engine.
 #[derive(Debug)]
 pub struct ServeLoop {
@@ -119,9 +164,14 @@ pub struct ServeLoop {
     levels: Vec<i64>,
     matching: Matching,
     dirty: Vec<RightId>,
+    /// Rights perturbed since the last certificate: every update site plus
+    /// every right a successful augmenting flip touched. Drives the
+    /// dirty-component sweep and the sharded loop's handoff accounting.
+    sweep_dirty: Vec<RightId>,
     drift: DriftTracker,
     compaction: CompactionPolicy,
     stats: ServeStats,
+    frac: RefCell<FracState>,
 }
 
 impl ServeLoop {
@@ -138,9 +188,11 @@ impl ServeLoop {
             levels,
             matching,
             dirty: Vec::new(),
+            sweep_dirty: Vec::new(),
             drift,
             compaction,
             stats: ServeStats::default(),
+            frac: RefCell::new(FracState::default()),
         }
     }
 
@@ -166,17 +218,22 @@ impl ServeLoop {
                 let u = self.dg.arrive(neighbors);
                 self.matching.ensure_left(self.dg.n_left());
                 self.drift.charge(neighbors.len().max(1) as f64);
+                self.frac.get_mut().structural = true;
                 for &v in neighbors {
                     self.mark_dirty(v);
                 }
                 if self.matching.try_augment_from_left(&self.dg, u, k, ecap) {
                     self.stats.augmentations += 1;
+                    self.note_walk();
                 }
                 arrived = Some(u);
             }
             Update::Depart { u } => {
                 let freed = self.dg.depart(*u);
                 self.drift.charge(freed.len() as f64);
+                if !freed.is_empty() {
+                    self.frac.get_mut().structural = true;
+                }
                 for &v in &freed {
                     self.mark_dirty(v);
                 }
@@ -184,32 +241,50 @@ impl ServeLoop {
                     self.stats.evictions += 1;
                     if self.matching.reclaim_into(&self.dg, v, k, ecap) {
                         self.stats.augmentations += 1;
+                        self.note_walk();
                     }
                 }
             }
             Update::InsertEdge { u, v } => {
                 if self.dg.insert_edge(*u, *v) {
                     self.drift.charge(1.0);
+                    self.frac.get_mut().structural = true;
                     self.mark_dirty(*v);
                     if self.matching.mate(*u).is_none()
                         && self.matching.try_augment_from_left(&self.dg, *u, k, ecap)
                     {
                         self.stats.augmentations += 1;
+                        self.note_walk();
                     }
                 }
             }
             Update::DeleteEdge { u, v } => {
                 if self.dg.delete_edge(*u, *v) {
                     self.drift.charge(1.0);
+                    self.frac.get_mut().structural = true;
                     self.mark_dirty(*v);
                     if self.matching.mate(*u) == Some(*v) {
                         self.matching.unmatch(*u);
                         self.stats.evictions += 1;
                         if self.matching.try_augment_from_left(&self.dg, *u, k, ecap) {
                             self.stats.augmentations += 1;
+                            self.note_walk();
+                        } else {
+                            // u is newly free, but its link to the dirty
+                            // right is the deleted edge itself: mark its
+                            // surviving neighborhood so the epoch sweep
+                            // examines u even when the (capped) eager
+                            // search above gave up. Every other path that
+                            // frees a left keeps a live marked neighbor
+                            // (evictions keep the capacity-cut right,
+                            // arrivals mark their whole edge set).
+                            for w in self.dg.left_neighbors_iter(*u) {
+                                self.sweep_dirty.push(w);
+                            }
                         }
                         if self.matching.reclaim_into(&self.dg, *v, k, ecap) {
                             self.stats.augmentations += 1;
+                            self.note_walk();
                         }
                     }
                 }
@@ -229,6 +304,7 @@ impl ServeLoop {
                             .try_augment_from_left(&self.dg, victim, k, ecap)
                         {
                             self.stats.augmentations += 1;
+                            self.note_walk();
                         }
                     }
                 } else {
@@ -237,11 +313,26 @@ impl ServeLoop {
                         && self.matching.reclaim_into(&self.dg, *v, k, ecap)
                     {
                         self.stats.augmentations += 1;
+                        self.note_walk();
                     }
                 }
             }
         }
         arrived
+    }
+
+    /// Record the rights the most recent successful flip touched, so the
+    /// epoch sweep re-examines (only) components the flip perturbed.
+    fn note_walk(&mut self) {
+        self.sweep_dirty
+            .extend_from_slice(self.matching.last_walk());
+    }
+
+    /// Rights perturbed since the last epoch boundary, in observation
+    /// order (duplicates tolerated). The sharded serve loop slices this
+    /// log to attribute per-update touched regions.
+    pub(crate) fn touched_rights(&self) -> &[RightId] {
+        &self.sweep_dirty
     }
 
     /// Close the epoch: restore the global `k/(k+1)` certificate, repair
@@ -255,9 +346,12 @@ impl ServeLoop {
             self.rebuild();
             report.rebuilt = true;
         } else {
-            let aug = self.matching.sweep(&self.dg, self.cfg.walk_budget);
+            let exp0 = self.matching.expansions();
+            let (aug, starts) = self.certificate_sweep();
             self.stats.augmentations += aug;
             report.sweep_augmentations = aug;
+            report.sweep_starts = starts;
+            report.sweep_expansions = self.matching.expansions() - exp0;
             if !self.dirty.is_empty() {
                 let rep = repair_levels(
                     &self.dg,
@@ -272,11 +366,16 @@ impl ServeLoop {
                 );
                 self.stats.repair_rounds += rep.rounds_run;
                 report.ball_rights = rep.ball_rights;
+                // The repaired ball's levels moved: the memoized fractional
+                // allocation must refresh exactly that ball.
+                self.frac.get_mut().dirty.extend_from_slice(&rep.ball);
             }
             if self
                 .compaction
                 .should_compact(self.dg.overlay_edges(), self.dg.m())
             {
+                // Compaction is the identity on the live graph, so the
+                // fractional cache (if any) stays valid.
                 self.dg = DeltaGraph::new(self.dg.compact());
                 self.stats.compactions += 1;
                 report.compacted = true;
@@ -284,8 +383,65 @@ impl ServeLoop {
         }
 
         self.dirty.clear();
+        self.sweep_dirty.clear();
         report.match_size = self.matching.size();
         report
+    }
+
+    /// Restore the `k/(k+1)` certificate, skipping free left vertices
+    /// whose alternating components were untouched since the last epoch.
+    ///
+    /// Soundness: the previous epoch ended walk-free, and every mutation
+    /// since (graph edits, capacity moves, augmenting flips, newly freed
+    /// lefts) marked its rights in `sweep_dirty`. A search from a free `u`
+    /// only reads state within `k` right-hops of `N(u)`, so if that region
+    /// contains no dirty right the search is guaranteed to fail exactly as
+    /// it did at the last certificate — skipping it cannot change the
+    /// outcome, which keeps this sweep's result identical to an
+    /// unrestricted [`Matching::sweep`]. Flips performed *during* the
+    /// sweep grow the region, and passes repeat until one is clean,
+    /// certifying every (reachable) free vertex against the same final
+    /// matching.
+    ///
+    /// Returns `(augmentations, searches started)`.
+    fn certificate_sweep(&mut self) -> (usize, usize) {
+        if self.sweep_dirty.is_empty() {
+            return (0, 0); // no-op epoch: the old certificate stands
+        }
+        let k = self.cfg.walk_budget;
+        self.matching.ensure_left(self.dg.n_left());
+        let mut region = vec![false; self.dg.n_right()];
+        for v in ball_of_capped(&self.dg, &self.sweep_dirty, k, usize::MAX) {
+            region[v as usize] = true;
+        }
+        let mut total = 0usize;
+        let mut starts = 0usize;
+        loop {
+            let mut progressed = 0usize;
+            for u in 0..self.dg.n_left() as u32 {
+                if self.matching.mate(u).is_some()
+                    || !self.dg.left_neighbors_iter(u).any(|v| region[v as usize])
+                {
+                    continue;
+                }
+                starts += 1;
+                // Searches are uncapped: the certificate must be exact.
+                if self
+                    .matching
+                    .try_augment_from_left(&self.dg, u, k, usize::MAX)
+                {
+                    progressed += 1;
+                    let walk = self.matching.last_walk().to_vec();
+                    for v in ball_of_capped(&self.dg, &walk, k, usize::MAX) {
+                        region[v as usize] = true;
+                    }
+                }
+            }
+            total += progressed;
+            if progressed == 0 {
+                return (total, starts);
+            }
+        }
     }
 
     /// Force a full static rebuild from the compacted live graph.
@@ -298,6 +454,12 @@ impl ServeLoop {
         self.drift.reset();
         self.stats.rebuilds += 1;
         self.dirty.clear();
+        self.sweep_dirty.clear();
+        // Levels were replaced wholesale: drop the fractional memo.
+        let st = self.frac.get_mut();
+        st.cache = None;
+        st.dirty.clear();
+        st.structural = false;
     }
 
     fn mark_dirty(&mut self, v: RightId) {
@@ -305,6 +467,8 @@ impl ServeLoop {
         // quadratic under heavy churn, so duplicates are tolerated and the
         // ball computation deduplicates.
         self.dirty.push(v);
+        self.sweep_dirty.push(v);
+        self.frac.get_mut().dirty.push(v);
     }
 
     /// The current match of left vertex `u`. `O(1)`.
@@ -340,9 +504,128 @@ impl ServeLoop {
     }
 
     /// The fractional allocation induced by the maintained levels on the
-    /// live graph. `O(n + m)` — meant for reporting, not the hot path.
+    /// live graph.
+    ///
+    /// Memoized per ball: the first call after a structural change (edge
+    /// or vertex update) pays the full `O(n + m)` recompute, but a call
+    /// after an epoch that only moved levels (β-repair) or capacities
+    /// refreshes just the perturbed ball — aggregates of the adjacent
+    /// lefts, allocations and edge values of the radius-1 neighborhood —
+    /// and a call with no intervening changes returns the memo outright.
     pub fn fractional(&self) -> FractionalAllocation {
-        finalize_from_levels(&self.snapshot(), &self.levels, self.cfg.eps)
+        let mut st = self.frac.borrow_mut();
+        if st.structural || st.cache.is_none() {
+            st.full_recomputes += 1;
+            let pows = PowTable::new(self.cfg.eps);
+            let snapshot = self.dg.compact();
+            let lefts = left_aggregates(&snapshot, &self.levels, &pows);
+            let alloc = right_allocs(&snapshot, &self.levels, &lefts, &pows);
+            let fin = finalize(&snapshot, &self.levels, &lefts, &alloc, &pows);
+            let wv: Vec<f64> = alloc
+                .iter()
+                .zip(snapshot.capacities())
+                .map(|(&a, &c)| a.min(c as f64))
+                .collect();
+            st.cache = Some(FracCache {
+                edge_left: snapshot.edge_left_endpoints(),
+                snapshot,
+                lefts,
+                alloc,
+                x: fin.x,
+                wv,
+                weight: fin.weight,
+            });
+            st.structural = false;
+            st.dirty.clear();
+        } else if st.dirty.is_empty() {
+            st.hits += 1;
+        } else {
+            st.ball_refreshes += 1;
+            let FracState { cache, dirty, .. } = &mut *st;
+            let cache = cache.as_mut().expect("cache checked above");
+            Self::refresh_frac_ball(cache, dirty, &self.dg, &self.levels, self.cfg.eps);
+            dirty.clear();
+        }
+        let cache = st.cache.as_ref().expect("cache filled above");
+        FractionalAllocation {
+            x: cache.x.clone(),
+            weight: cache.weight,
+        }
+    }
+
+    /// Refresh the memoized fractional allocation on the ball around the
+    /// dirty rights. Only levels and capacities may have moved since the
+    /// cache was built (no structural change), so the cached snapshot's
+    /// adjacency and edge ids still describe the live graph; capacities
+    /// are read from the live overlay. The per-edge values mirror
+    /// `core::fractional::finalize` exactly (same `alloc_share` and
+    /// `C_v / alloc_v` scaling), verified by the agreement proptest.
+    fn refresh_frac_ball(
+        cache: &mut FracCache,
+        dirty: &[RightId],
+        dg: &DeltaGraph,
+        levels: &[i64],
+        eps: f64,
+    ) {
+        let pows = PowTable::new(eps);
+        let snap = &cache.snapshot;
+        let mut seen_r = vec![false; snap.n_right()];
+        let mut seen_l = vec![false; snap.n_left()];
+        // L* — every left whose aggregate reads a dirty right's level.
+        let mut lstar: Vec<LeftId> = Vec::new();
+        for &v in dirty {
+            if !std::mem::replace(&mut seen_r[v as usize], true) {
+                for &u in snap.right_neighbors(v) {
+                    if !std::mem::replace(&mut seen_l[u as usize], true) {
+                        lstar.push(u);
+                    }
+                }
+            }
+        }
+        for &u in &lstar {
+            cache.lefts[u as usize] =
+                left_aggregate_of(snap.left_neighbors(u).iter().copied(), levels, &pows);
+        }
+        // R1 = dirty ∪ N(L*) — every right whose alloc, scale, or incident
+        // edge values can have moved.
+        let mut r1: Vec<RightId> = Vec::new();
+        for v in 0..snap.n_right() as u32 {
+            if seen_r[v as usize] {
+                r1.push(v);
+            }
+        }
+        for &u in &lstar {
+            for &v in snap.left_neighbors(u) {
+                if !std::mem::replace(&mut seen_r[v as usize], true) {
+                    r1.push(v);
+                }
+            }
+        }
+        for &v in &r1 {
+            let lv = levels[v as usize];
+            let a: f64 = snap
+                .right_neighbors(v)
+                .iter()
+                .map(|&u| alloc_share(lv, &cache.lefts[u as usize], &pows))
+                .sum();
+            let c = dg.capacity(v) as f64;
+            let scale = if a > c { c / a } else { 1.0 };
+            for &e in snap.right_edge_ids(v) {
+                let u = cache.edge_left[e as usize];
+                cache.x[e as usize] = alloc_share(lv, &cache.lefts[u as usize], &pows) * scale;
+            }
+            let w_new = a.min(c);
+            cache.weight += w_new - cache.wv[v as usize];
+            cache.alloc[v as usize] = a;
+            cache.wv[v as usize] = w_new;
+        }
+    }
+
+    /// Memoization counters of [`ServeLoop::fractional`]:
+    /// `(full recomputes, ball refreshes, cache hits)`.
+    pub fn fractional_cache_counters(&self) -> (u64, u64, u64) {
+        let st = self.frac.borrow();
+        (st.full_recomputes, st.ball_refreshes, st.hits)
     }
 
     /// Lifetime counters.
@@ -514,6 +797,105 @@ mod tests {
         assert_eq!(s.graph().overlay_edges(), 0);
         assert_eq!(s.graph().m(), m_live);
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn sweep_examines_a_left_freed_by_deleting_its_matched_bridge() {
+        // u0 is matched over a "bridge" edge to v1; its only other
+        // neighbor v0 is saturated, and the augmenting walk for u0 after
+        // the bridge is deleted (u0–v0–u1–v2) needs one matched hop. With
+        // the eager search cap at 0, the per-update repair gives up
+        // immediately — the epoch sweep must still examine u0 even though
+        // the deleted edge was its only link to the marked dirty right.
+        // Start from the forced matching u0–v1, u1–v0 (each left has one
+        // edge), then add the walk edges as updates so the mates stay put.
+        let mut b = BipartiteBuilder::new(2, 3);
+        b.add_edge(0, 1); // the bridge
+        b.add_edge(1, 0);
+        let g = b.build(vec![1, 1, 1]).unwrap();
+        let mut cfg = DynamicConfig::for_eps(0.25);
+        cfg.eager_search_cap = 0;
+        cfg.drift_threshold = 100.0; // isolate the sweep: never rebuild
+        let mut s = ServeLoop::new(g, cfg);
+        assert_eq!(s.query(0), Some(1));
+        assert_eq!(s.query(1), Some(0));
+        s.apply(&Update::InsertEdge { u: 0, v: 0 });
+        s.apply(&Update::InsertEdge { u: 1, v: 2 });
+        s.end_epoch();
+        assert_eq!(s.query(0), Some(1), "matched lefts are left alone");
+        s.apply(&Update::DeleteEdge { u: 0, v: 1 });
+        let r = s.end_epoch();
+        s.validate().unwrap();
+        assert!(!r.rebuilt, "the sweep itself must do the repair");
+        assert_eq!(
+            s.match_size(),
+            2,
+            "sweep must re-route u0 through v0 (sweep report: {r:?})"
+        );
+        assert_eq!(s.query(0), Some(0));
+        assert_eq!(s.query(1), Some(2));
+    }
+
+    #[test]
+    fn noop_epoch_performs_zero_walk_expansions() {
+        let g = union_of_spanning_trees(60, 40, 2, 2, 9).graph;
+        let mut s = serve(g, 0.25);
+        // Nothing changed since construction: the boosted certificate
+        // stands, so the sweep must not search at all.
+        let r = s.end_epoch();
+        assert_eq!(r.sweep_expansions, 0, "no-op epoch searched");
+        assert_eq!(r.sweep_starts, 0);
+        assert_eq!(r.sweep_augmentations, 0);
+
+        // Churn an epoch, then go idle again: the idle epoch is free.
+        let edges: Vec<(u32, u32)> = s.snapshot().edges().map(|(_, u, v)| (u, v)).collect();
+        for &(u, v) in edges.iter().step_by(9) {
+            s.apply(&Update::DeleteEdge { u, v });
+        }
+        s.end_epoch();
+        let r = s.end_epoch();
+        assert_eq!(r.sweep_expansions, 0);
+        assert_eq!(r.sweep_starts, 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn fractional_is_memoized_and_matches_recompute() {
+        use sparse_alloc_core::fractional::finalize_from_levels;
+        let g = union_of_spanning_trees(50, 40, 2, 3, 8).graph;
+        let mut s = serve(g, 0.25);
+        let f1 = s.fractional();
+        let f2 = s.fractional();
+        assert_eq!(f1.x, f2.x, "cache hit returns the memo");
+        assert_eq!(s.fractional_cache_counters(), (1, 0, 1));
+
+        let check = |s: &ServeLoop, f: &FractionalAllocation| {
+            let expect = finalize_from_levels(&s.snapshot(), s.levels(), s.config().eps);
+            assert_eq!(f.x.len(), expect.x.len());
+            for (e, (a, b)) in f.x.iter().zip(&expect.x).enumerate() {
+                assert!((a - b).abs() < 1e-9, "x[{e}]: {a} vs {b}");
+            }
+            assert!((f.weight - expect.weight).abs() < 1e-6 * expect.weight.max(1.0));
+        };
+
+        // A capacity-only epoch refreshes the ball instead of recomputing.
+        s.apply(&Update::SetCapacity { v: 3, cap: 5 });
+        s.end_epoch();
+        let f3 = s.fractional();
+        assert_eq!(s.fractional_cache_counters(), (1, 1, 1));
+        check(&s, &f3);
+
+        // Structural churn forces one full recompute, then memoizes again.
+        s.apply(&Update::Arrive {
+            neighbors: vec![0, 1],
+        });
+        s.apply(&Update::DeleteEdge { u: 2, v: 1 });
+        s.end_epoch();
+        let f4 = s.fractional();
+        assert_eq!(s.fractional_cache_counters().0, 2);
+        check(&s, &f4);
+        let _ = s.fractional();
+        assert_eq!(s.fractional_cache_counters(), (2, 1, 2));
     }
 
     #[test]

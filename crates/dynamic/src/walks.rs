@@ -37,6 +37,11 @@ pub struct Matching {
     depth_left: Vec<u32>,
     parent_left: Vec<(LeftId, RightId)>,
     parent_right: Vec<(LeftId, RightId)>,
+    /// Right vertices touched by the most recent successful flip (both the
+    /// old and the new side of every flipped pair; may contain duplicates).
+    last_walk: Vec<RightId>,
+    /// Lifetime count of BFS right-vertex expansions across all searches.
+    expansions: u64,
 }
 
 impl Matching {
@@ -52,6 +57,8 @@ impl Matching {
             depth_left: Vec::new(),
             parent_left: Vec::new(),
             parent_right: vec![(0, 0); dg.n_right()],
+            last_walk: Vec::new(),
+            expansions: 0,
         };
         m.ensure_left(dg.n_left());
         m
@@ -111,6 +118,24 @@ impl Matching {
     #[inline]
     pub fn residual(&self, dg: &DeltaGraph, v: RightId) -> u64 {
         dg.capacity(v).saturating_sub(self.load(v))
+    }
+
+    /// Right vertices touched by the most recent successful augmenting
+    /// flip — every right an edge was flipped onto *or* off of, so a
+    /// change observer (dirty-component tracking, cross-shard handoff
+    /// accounting) sees the full perturbed region. Overwritten by the next
+    /// successful search; may contain duplicates.
+    #[inline]
+    pub fn last_walk(&self) -> &[RightId] {
+        &self.last_walk
+    }
+
+    /// Lifetime count of BFS right-vertex expansions across all searches
+    /// (eager repairs and sweeps alike). Monotone; sample before/after a
+    /// phase to measure its search work.
+    #[inline]
+    pub fn expansions(&self) -> u64 {
+        self.expansions
     }
 
     /// Export as a plain [`Assignment`].
@@ -187,10 +212,12 @@ impl Matching {
                 }
                 if self.residual(dg, w) > 0 {
                     // Flip the walk u ⇝ x — w.
+                    self.last_walk.clear();
                     let mut cur = x;
                     let mut assign = w;
                     loop {
                         let old = self.mate[cur as usize];
+                        self.last_walk.push(assign);
                         self.set_mate(cur, assign);
                         if cur == u {
                             break;
@@ -205,6 +232,7 @@ impl Matching {
                 if d < budget && self.seen_right[w as usize] != stamp {
                     self.seen_right[w as usize] = stamp;
                     visits += 1;
+                    self.expansions += 1;
                     if visits > visit_cap {
                         return false;
                     }
@@ -251,6 +279,7 @@ impl Matching {
 
         while let Some((w, d)) = queue.pop_front() {
             visits += 1;
+            self.expansions += 1;
             if visits > visit_cap {
                 return false;
             }
@@ -259,11 +288,14 @@ impl Matching {
                     Some(mw) if mw == w => continue, // matched edge: not traversable
                     None => {
                         // Found a free left: flip x — w ⇝ v.
+                        self.last_walk.clear();
+                        self.last_walk.push(w);
                         self.set_mate(x, w);
                         let mut cur = w;
                         while cur != v {
                             let (y, next) = self.parent_right[cur as usize];
                             debug_assert_eq!(self.mate[y as usize], Some(cur));
+                            self.last_walk.push(next);
                             self.set_mate(y, next);
                             cur = next;
                         }
@@ -425,6 +457,43 @@ mod tests {
             assert_eq!(m.size() as u64, opt, "seed {seed}");
             m.validate(&dg).unwrap();
         }
+    }
+
+    #[test]
+    fn last_walk_records_both_sides_of_every_flip() {
+        let dg = trap();
+        let mut m = Matching::new(&dg);
+        assert!(m.try_augment_from_left(&dg, 0, 1, usize::MAX));
+        assert_eq!(m.last_walk(), &[0], "length-1 walk touches one right");
+        // The length-3 walk re-routes u0 from v0 to v1: both rights flip.
+        assert!(m.try_augment_from_left(&dg, 1, 2, usize::MAX));
+        let mut w = m.last_walk().to_vec();
+        w.sort_unstable();
+        w.dedup();
+        assert_eq!(w, vec![0, 1]);
+
+        // Backward search records the full alternating walk too.
+        let dg = trap();
+        let mut m = Matching::new(&dg);
+        m.set_mate(0, 0);
+        assert!(m.reclaim_into(&dg, 1, 2, usize::MAX));
+        let mut w = m.last_walk().to_vec();
+        w.sort_unstable();
+        w.dedup();
+        assert_eq!(w, vec![0, 1]);
+    }
+
+    #[test]
+    fn expansions_count_search_work() {
+        let dg = trap();
+        let mut m = Matching::new(&dg);
+        let before = m.expansions();
+        m.sweep(&dg, 4);
+        assert!(m.expansions() > before, "sweep expands rights");
+        let after = m.expansions();
+        // A search over a saturated instance still pays its expansions.
+        assert!(!m.try_augment_from_left(&dg, 0, 4, usize::MAX));
+        assert_eq!(m.expansions(), after, "matched start is a no-op");
     }
 
     #[test]

@@ -286,6 +286,44 @@ impl DeltaGraph {
         self.caps[v as usize] = cap;
     }
 
+    /// Split the live graph into per-shard snapshots by right-vertex
+    /// ownership: shard `s` receives exactly the live edges whose right
+    /// endpoint `v` has `owner(v) == s`. Every shard keeps the full vertex
+    /// id space (ids are stable across shards and across compactions) and
+    /// the full live capacity vector, so per-shard solvers index the same
+    /// arrays the global engine does. `O(n·shards + m)`.
+    ///
+    /// This is the distributed serve loop's "per-shard compaction": each
+    /// machine folds only its owned slice of the overlay, and the union of
+    /// the shards' edge sets is the live edge set, each edge appearing on
+    /// exactly one shard.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `owner` returns an id `≥ shards`.
+    pub fn partition_by_right<F>(&self, shards: usize, owner: F) -> Vec<Bipartite>
+    where
+        F: Fn(RightId) -> usize,
+    {
+        assert!(shards >= 1, "partition needs at least one shard");
+        let mut builders: Vec<BipartiteBuilder> = (0..shards)
+            .map(|_| BipartiteBuilder::new(self.n_left(), self.n_right()))
+            .collect();
+        for u in 0..self.n_left() as u32 {
+            for v in self.left_neighbors_iter(u) {
+                let s = owner(v);
+                assert!(s < shards, "owner({v}) = {s} out of range");
+                builders[s].add_edge(u, v);
+            }
+        }
+        builders
+            .into_iter()
+            .map(|b| {
+                b.build(self.caps.clone())
+                    .expect("overlay edges are range-checked on insertion")
+            })
+            .collect()
+    }
+
     /// Fold the overlay into a fresh frozen snapshot with identical vertex
     /// ids (departed left slots persist with degree 0). `O(n + m)`.
     pub fn compact(&self) -> Bipartite {
@@ -422,6 +460,109 @@ mod tests {
         let g2 = d2.compact();
         assert_eq!(g2.m(), g.m());
         assert_eq!(g2.edge_right_endpoints(), g.edge_right_endpoints());
+    }
+
+    #[test]
+    fn compact_with_pending_insert_and_delete_of_the_same_edge() {
+        // Overlay insert followed by delete of the same edge must leave no
+        // residue; delete of a base edge followed by re-insert likewise.
+        // Both pairs pending at compaction time must fold to the original
+        // live edge set.
+        let mut d = DeltaGraph::new(base());
+        assert!(d.insert_edge(1, 1)); // overlay insert …
+        assert!(d.delete_edge(1, 1)); // … cancelled before compaction
+        assert!(d.delete_edge(0, 0)); // base delete …
+        assert!(d.insert_edge(0, 0)); // … cancelled by re-insert
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.overlay_edges(), 0, "cancelling pairs leave no residue");
+        let g = d.compact();
+        g.validate().unwrap();
+        assert_eq!(g.m(), 4);
+        let orig = base();
+        for u in 0..3u32 {
+            assert_eq!(g.left_neighbors(u), orig.left_neighbors(u), "left {u}");
+        }
+    }
+
+    #[test]
+    fn compact_preserves_capacity_lowered_below_live_degree() {
+        // Lowering a capacity below the number of live neighbors is legal
+        // at the graph layer (feasibility is the matching's concern); the
+        // compacted snapshot must carry the low capacity verbatim, and so
+        // must every further compaction.
+        let mut d = DeltaGraph::new(base());
+        assert_eq!(d.right_degree(0), 2);
+        d.set_capacity(0, 1); // below the live degree of v0
+        let g = d.compact();
+        g.validate().unwrap();
+        assert_eq!(g.capacity(0), 1);
+        assert_eq!(g.right_degree(0), 2, "edges survive a capacity cut");
+        let g2 = DeltaGraph::new(g).compact();
+        assert_eq!(g2.capacity(0), 1);
+    }
+
+    #[test]
+    fn vertex_ids_are_stable_across_repeated_compactions() {
+        // Arrivals and departures interleaved with compactions: ids
+        // assigned before a compaction must address the same vertices
+        // after any number of further compactions.
+        let mut d = DeltaGraph::new(base());
+        let a = d.arrive(&[0, 1]);
+        d.depart(1);
+        let g1 = DeltaGraph::new(d.compact());
+        let mut d2 = g1.clone();
+        let b = d2.arrive(&[1]);
+        assert_eq!(b, a + 1, "fresh ids continue after the departed slots");
+        d2.depart(a);
+        let g2 = DeltaGraph::new(d2.compact());
+        let mut d3 = g2.clone();
+        assert_eq!(d3.n_left(), 5);
+        assert_eq!(d3.left_degree(1), 0, "slot of departed base vertex");
+        assert_eq!(d3.left_degree(a), 0, "slot of departed arrival");
+        assert_eq!(d3.left_neighbors_iter(b).collect::<Vec<_>>(), [1]);
+        // A departed slot can be revived by edge inserts under its old id.
+        assert!(d3.insert_edge(1, 0));
+        assert_eq!(d3.left_neighbors_iter(1).collect::<Vec<_>>(), [0]);
+        let g3 = d3.compact();
+        assert_eq!(g3.left_neighbors(1), &[0]);
+        assert_eq!(g3.n_left(), 5);
+    }
+
+    #[test]
+    fn partition_by_right_covers_each_live_edge_once() {
+        let mut d = DeltaGraph::new(base());
+        d.delete_edge(0, 0);
+        d.insert_edge(1, 1);
+        let u = d.arrive(&[0, 1]);
+        d.set_capacity(1, 9);
+        let parts = d.partition_by_right(3, |v| (v as usize + 1) % 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Bipartite::m).sum();
+        assert_eq!(total, d.m(), "edges are covered exactly once");
+        for (s, p) in parts.iter().enumerate() {
+            p.validate().unwrap();
+            assert_eq!(p.n_left(), d.n_left());
+            assert_eq!(p.n_right(), d.n_right());
+            assert_eq!(p.capacities(), d.capacities(), "full caps on shard {s}");
+            for v in 0..d.n_right() as u32 {
+                let deg = p.right_degree(v);
+                if (v as usize + 1) % 3 == s {
+                    assert_eq!(deg, d.right_degree(v), "owned right {v}");
+                } else {
+                    assert_eq!(deg, 0, "foreign right {v} on shard {s}");
+                }
+            }
+        }
+        // The arrival's edges land on the shards owning its neighbors.
+        let on = |s: usize| parts[s].left_degree(u);
+        assert_eq!(on(0) + on(1) + on(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_rejects_bad_owners() {
+        let d = DeltaGraph::new(base());
+        let _ = d.partition_by_right(2, |_| 5);
     }
 
     #[test]

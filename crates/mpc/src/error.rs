@@ -52,10 +52,19 @@ impl std::fmt::Display for MpcError {
                     SpaceKind::Receive => "received",
                     SpaceKind::Storage => "stored",
                 };
-                write!(
-                    f,
-                    "machine {machine} {what} {used} words in round {round}, exceeding S = {limit}"
-                )
+                // `usize::MAX` is the sentinel ledger peaks use when the
+                // violation is not attributable to one machine.
+                if *machine == usize::MAX {
+                    write!(
+                        f,
+                        "a machine {what} {used} words by round {round}, exceeding S = {limit}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "machine {machine} {what} {used} words in round {round}, exceeding S = {limit}"
+                    )
+                }
             }
             MpcError::BadRoute { dest, machines } => {
                 write!(f, "route to machine {dest} but cluster has {machines}")
@@ -69,6 +78,20 @@ impl std::error::Error for MpcError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unattributed_peak_displays_without_the_sentinel() {
+        let e = MpcError::SpaceExceeded {
+            round: 2,
+            machine: usize::MAX,
+            kind: SpaceKind::Storage,
+            used: 900,
+            limit: 800,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("a machine stored 900"), "{s}");
+        assert!(!s.contains("18446744073709551615"), "{s}");
+    }
 
     #[test]
     fn display_is_informative() {

@@ -48,9 +48,11 @@ pub mod cluster;
 pub mod error;
 pub mod ledger;
 pub mod primitives;
+pub mod shard;
 pub mod words;
 
 pub use cluster::{Cluster, MachineId, MpcConfig};
 pub use error::MpcError;
 pub use ledger::Ledger;
+pub use shard::ShardMap;
 pub use words::Words;

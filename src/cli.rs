@@ -24,7 +24,7 @@ use sparse_alloc_core::loadbalance::{
 use sparse_alloc_core::params::Schedule;
 use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
-use sparse_alloc_dynamic::{DynamicConfig, ServeLoop};
+use sparse_alloc_dynamic::{DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop};
 use sparse_alloc_flow::opt::opt_value;
 use sparse_alloc_graph::generators::{
     escape_blocks, power_law, random_bipartite, star, union_of_spanning_trees, Generated,
@@ -144,9 +144,12 @@ const USAGE: &str = "usage: salloc <command>
                                           first-fit|random-fit|balance|ranking|
                                           prop-serve, O ∈ natural|reversed|random
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
-                                          serve a churn stream incrementally
+               [--shards P]               serve a churn stream incrementally
                                           (K events/epoch), comparing against
-                                          per-epoch full recomputes";
+                                          per-epoch full recomputes; with
+                                          --shards P, serve sharded across a
+                                          P-machine MPC cluster (ledger-
+                                          accounted rounds and space)";
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &[])?;
@@ -408,6 +411,10 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         return Err(err("--eps must be in (0, 1]"));
     }
     let compare_full = !f.has("no-full");
+    let shards: usize = f.get("shards", 0)?;
+    if shards > 0 {
+        return cmd_dynamic_sharded(&g, epochs, events, eps, seed, shards);
+    }
 
     let updates = churn_stream(&g, epochs * events, &ChurnMix::default(), seed);
     let cfg = DynamicConfig::for_eps(eps);
@@ -491,6 +498,87 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     } else {
         let _ = writeln!(out, "incremental total  : {incr_total:.2} ms");
     }
+    Ok(out)
+}
+
+fn cmd_dynamic_sharded(
+    g: &Bipartite,
+    epochs: usize,
+    events: usize,
+    eps: f64,
+    seed: u64,
+    shards: usize,
+) -> Result<String, CliError> {
+    let updates = churn_stream(g, epochs * events, &ChurnMix::default(), seed);
+    let cfg = ShardedConfig::for_eps(eps, shards);
+    let k = cfg.dynamic.walk_budget;
+    let mut serve = ShardedServeLoop::new(g.clone(), cfg)
+        .map_err(|e| err(format!("sharded serving left the MPC regime: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sharded serving: {epochs} epochs × ~{events} events on {shards} machines \
+         (ε {eps}, walk budget k = {k})"
+    );
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>7}  {:>7}  {:>5}  {:>7}  {:>7}  {:>9}  {:>9}",
+        "epoch", "events", "matched", "waves", "handoff", "rounds", "peak-wds", "budget"
+    );
+    let mut rounds_before = 0usize;
+    for (e, chunk) in updates.chunks(events.max(1)).take(epochs).enumerate() {
+        let batch = serve
+            .apply_batch(chunk)
+            .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
+        let report = serve
+            .end_epoch()
+            .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
+        let rounds = serve.ledger().rounds;
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>7}  {:>7}  {:>5}  {:>7}  {:>7}  {:>9}  {:>9}",
+            e + 1,
+            chunk.len(),
+            report.serial.match_size,
+            batch.waves,
+            batch.handoff_words,
+            rounds - rounds_before,
+            report.peak_shard_words,
+            report.budget,
+        );
+        rounds_before = rounds;
+    }
+    serve
+        .validate()
+        .map_err(|e| err(format!("internal: inconsistent serve state: {e}")))?;
+
+    let live = serve.snapshot();
+    serve
+        .assignment()
+        .validate(&live)
+        .map_err(|e| err(format!("internal: infeasible maintained allocation: {e}")))?;
+    let opt = opt_value(&live);
+    let ledger = serve.ledger();
+    let s = serve.stats();
+    let _ = writeln!(
+        out,
+        "maintained matched : {} of {} live clients (OPT {}, ratio {:.4})",
+        serve.match_size(),
+        live.n_left(),
+        opt,
+        serve.match_size() as f64 / opt.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "MPC rounds         : {} total ({} words moved, peak machine storage {} words)",
+        ledger.rounds, ledger.words_total, ledger.peak_storage
+    );
+    let _ = writeln!(
+        out,
+        "sharding           : {} batches, {} waves, {} updates routed, {} migrations",
+        s.batches, s.waves, s.routed_updates, s.migrations
+    );
     Ok(out)
 }
 
@@ -605,6 +693,36 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--eps"));
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn dynamic_sharded_matches_serial_and_reports_the_ledger() {
+        let file = temp("dynsh.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 8 --out {file}"
+        )))
+        .unwrap();
+        let sharded = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --shards 4"
+        )))
+        .unwrap();
+        assert!(sharded.contains("sharded serving"), "{sharded}");
+        assert!(sharded.contains("MPC rounds"), "{sharded}");
+        assert!(sharded.contains("4 machines"), "{sharded}");
+        // The maintained allocation must be the serial engine's, verbatim.
+        let serial = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --no-full"
+        )))
+        .unwrap();
+        let matched = |report: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with("maintained matched"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(matched(&sharded), matched(&serial));
         let _ = std::fs::remove_file(&file);
     }
 

@@ -76,7 +76,9 @@ pub mod prelude {
     pub use sparse_alloc_core::params::Schedule;
     pub use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
     pub use sparse_alloc_core::sampled::{run_sampled, SampleBudget, SampledConfig};
-    pub use sparse_alloc_dynamic::{DynamicConfig, ServeLoop, Update};
+    pub use sparse_alloc_dynamic::{
+        DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop, Update,
+    };
     pub use sparse_alloc_flow::greedy::greedy_allocation;
     pub use sparse_alloc_flow::opt::{max_allocation, opt_value};
     pub use sparse_alloc_graph::capacities::CapacityModel;

@@ -232,6 +232,52 @@ proptest! {
     }
 
     #[test]
+    fn memoized_fractional_agrees_with_recompute_under_updates(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 0..30),
+        epoch_every in 2usize..7,
+    ) {
+        // ServeLoop::fractional() memoizes per ball; after ANY update
+        // sequence its answer must agree with a from-scratch
+        // finalize_from_levels on the live snapshot.
+        use sparse_alloc::core::fractional::finalize_from_levels;
+        let eps = 0.25;
+        let mut serve = ServeLoop::new(g, DynamicConfig::for_eps(eps));
+        for (i, &(kind, a, b, cap)) in ops.iter().enumerate() {
+            let nl = serve.graph().n_left() as u32;
+            let nr = serve.graph().n_right() as u32;
+            let up = match kind {
+                0 => Update::Arrive { neighbors: vec![a % nr, b % nr] },
+                1 => Update::Depart { u: a % nl },
+                2 => Update::InsertEdge { u: a % nl, v: b % nr },
+                3 => Update::DeleteEdge { u: a % nl, v: b % nr },
+                _ => Update::SetCapacity { v: a % nr, cap },
+            };
+            serve.apply(&up);
+            if i % epoch_every == epoch_every - 1 {
+                serve.end_epoch();
+                let memo = serve.fractional();
+                let scratch = finalize_from_levels(&serve.snapshot(), serve.levels(), eps);
+                prop_assert_eq!(memo.x.len(), scratch.x.len());
+                for (e, (xm, xs)) in memo.x.iter().zip(&scratch.x).enumerate() {
+                    prop_assert!((xm - xs).abs() < 1e-9, "x[{}]: {} vs {}", e, xm, xs);
+                }
+                prop_assert!(
+                    (memo.weight - scratch.weight).abs() < 1e-6 * scratch.weight.max(1.0),
+                    "weight {} vs {}", memo.weight, scratch.weight
+                );
+            }
+        }
+        // Consecutive queries with no intervening change hit the memo.
+        serve.end_epoch();
+        let a1 = serve.fractional();
+        let a2 = serve.fractional();
+        prop_assert_eq!(a1.x, a2.x);
+        let (_, _, hits) = serve.fractional_cache_counters();
+        prop_assert!(hits >= 1);
+    }
+
+    #[test]
     fn pipeline_is_feasible_and_bounded(g in instance()) {
         let out = solve(&g, &PipelineConfig::default());
         out.assignment.validate(&g).unwrap();
@@ -239,5 +285,83 @@ proptest! {
         prop_assert!(out.assignment.size() as u64 <= opt);
         // With k = 10 boosting the result is ≥ (10/11)·OPT.
         prop_assert!(out.assignment.size() as f64 >= opt as f64 * 10.0 / 11.0 - 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_serving_equals_serial_for_any_shard_count(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 0..26),
+        epoch_every in 2usize..8,
+    ) {
+        // The distributed contract: for ANY update sequence and ANY shard
+        // count, ShardedServeLoop — update routing, conflict-wave
+        // scheduling, cross-shard sweep commit and all — maintains an
+        // allocation *identical* to the serial ServeLoop's (hence the same
+        // size and the same (1+O(ε)) guarantee), and no machine ever
+        // leaves its n^δ-style space budget (the strict cluster and the
+        // per-epoch ledger assertion would return Err).
+        let eps = 0.25;
+
+        // Materialize one concrete update stream (arrival ids are
+        // allocated in order, so the stream is engine-independent).
+        let mut nl = g.n_left() as u32;
+        let nr = g.n_right() as u32;
+        let mut updates: Vec<Update> = Vec::with_capacity(ops.len());
+        for &(kind, a, b, cap) in &ops {
+            updates.push(match kind {
+                0 => { nl += 1; Update::Arrive { neighbors: vec![a % nr, b % nr] } }
+                1 => Update::Depart { u: a % nl },
+                2 => Update::InsertEdge { u: a % nl, v: b % nr },
+                3 => Update::DeleteEdge { u: a % nl, v: b % nr },
+                _ => Update::SetCapacity { v: a % nr, cap },
+            });
+        }
+
+        // Serial reference: per-epoch sizes and the final matching.
+        let mut serial = ServeLoop::new(g.clone(), DynamicConfig::for_eps(eps));
+        let mut serial_sizes = Vec::new();
+        for chunk in updates.chunks(epoch_every) {
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+            serial_sizes.push(serial.match_size());
+        }
+        let serial_mate = serial.assignment().mate;
+        let live = serial.snapshot();
+        let opt = opt_value(&live);
+        let k = serial.config().walk_budget as f64;
+
+        for &shards in &[1usize, 2, 4, 7] {
+            let sharded = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, shards));
+            prop_assert!(sharded.is_ok(), "{} shards: initial state over budget", shards);
+            let mut sharded = sharded.unwrap();
+            let mut sizes = Vec::new();
+            for chunk in updates.chunks(epoch_every) {
+                let batch = sharded.apply_batch(chunk);
+                prop_assert!(batch.is_ok(), "{} shards: batch left the space budget: {:?}",
+                    shards, batch.err());
+                let report = sharded.end_epoch();
+                prop_assert!(report.is_ok(), "{} shards: epoch left the space budget: {:?}",
+                    shards, report.err());
+                let report = report.unwrap();
+                prop_assert!(report.peak_shard_words <= report.budget,
+                    "{} shards: {} words on one machine exceeds the budget {}",
+                    shards, report.peak_shard_words, report.budget);
+                sizes.push(report.serial.match_size);
+            }
+            sharded.validate().unwrap();
+            prop_assert_eq!(&sizes, &serial_sizes, "{} shards: epoch sizes diverged", shards);
+            prop_assert_eq!(&sharded.assignment().mate, &serial_mate,
+                "{} shards: final matching diverged", shards);
+            prop_assert!(
+                sharded.match_size() as f64 >= k / (k + 1.0) * opt as f64 - 1e-9,
+                "{} shards: {} below k/(k+1)·OPT (OPT {})", shards, sharded.match_size(), opt
+            );
+        }
     }
 }
