@@ -34,11 +34,39 @@ if [ "${1:-}" != "fast" ]; then
     cargo run --release -q --bin salloc -- \
         dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1
     cargo run --release -q --bin salloc -- \
-        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --shards 4
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --shards 4 \
+        --eager-budget 1 --waves
     rm -rf "$tmp"
 
     step "e18 distributed serving (sharded ≡ serial at scale)"
     cargo run --release -q -p sparse-alloc-bench --bin experiments -- e18
+
+    step "e19 batching throughput (regression-gated)"
+    # The gate compares the sharded/serial *overhead ratio* (recorded as
+    # overhead_ratio), not raw milliseconds: both measurements come from
+    # the same run, so a slower or noisier host shifts them together and
+    # only a genuine bookkeeping regression trips the 25% threshold.
+    prev_ratio=""
+    if [ -f BENCH_batching.json ]; then
+        prev_ratio="$(grep -o '"overhead_ratio": [0-9.]*' BENCH_batching.json | awk '{print $2}' || true)"
+    fi
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e19
+    new_ratio="$(grep -o '"overhead_ratio": [0-9.]*' BENCH_batching.json | awk '{print $2}')"
+    grep -q '"pass": true' BENCH_batching.json \
+        || { echo "e19 FAILED its ≥3×-over-e18 (serial-normalized) criterion"; exit 1; }
+    if [ -n "$prev_ratio" ]; then
+        awk -v new="$new_ratio" -v prev="$prev_ratio" 'BEGIN {
+            if (new > prev * 1.25) {
+                printf "e19 regression: sharded/serial overhead %.3f > 1.25 × recorded %.3f\n", new, prev
+                exit 1
+            }
+            printf "e19 throughput gate: sharded/serial overhead %.3f vs recorded %.3f (limit %.3f) — OK\n", new, prev, prev * 1.25
+        }' || exit 1
+    fi
+
+    step "sharded ≡ serial proptest under --release (threaded wave execution)"
+    cargo test --release -q --test properties \
+        sharded_serving_equals_serial_for_any_shard_count
 
     step "examples (release) — none may bit-rot"
     for ex in examples/*.rs; do

@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
-use sparse_alloc_dynamic::{DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop};
+use sparse_alloc_dynamic::{ServeLoop, ShardedConfig, ShardedServeLoop};
 use sparse_alloc_graph::generators::union_of_spanning_trees;
 
 use crate::table::{f1, json_object, json_str, Table};
@@ -44,8 +44,10 @@ pub fn run() {
     let events_per_epoch = ((m as f64) * CHURN).round().max(1.0) as usize;
     let updates = churn_stream(&g, EPOCHS * events_per_epoch, &ChurnMix::default(), 31);
 
-    // Serial baseline.
-    let mut serial = ServeLoop::new(g.clone(), DynamicConfig::for_eps(EPS));
+    // Serial baseline — same engine config as the sharded runs (the
+    // sharded default lowers the eager walk budget; the equivalence
+    // contract is per-config).
+    let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, 2).dynamic);
     let t0 = Instant::now();
     for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
         for up in chunk {

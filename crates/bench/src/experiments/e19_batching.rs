@@ -1,0 +1,220 @@
+//! E19 — batching throughput: the sharded dynamic hot path after
+//! throughput hardening.
+//!
+//! The PR-3 e18 record (`BENCH_distributed.json` at that commit) was
+//! honest and embarrassing: ~2.2 s of sharded wall time per 3-epoch
+//! workload against a 138 ms serial engine, with every one of the 6 900
+//! updates escalated to a *global* conflict — one wave per update, the
+//! scheduler paying an `O(n + m)` `DeltaGraph` clone per batch and a
+//! hash probe per footprint edge. This experiment drives the identical
+//! workload (same generator, seeds, churn) through the hardened path —
+//! incremental `G⁺` overlay, stamped touch maps, eager-radius
+//! footprints, threaded wave execution — and records wall time *and*
+//! wave occupancy (waves, max/mean width, escalations) next to that
+//! baseline. `BENCH_batching.json` is the record `ci.sh` gates
+//! regressions against.
+
+use std::time::Instant;
+
+use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
+use sparse_alloc_dynamic::{ServeLoop, ShardedConfig, ShardedServeLoop};
+use sparse_alloc_graph::generators::union_of_spanning_trees;
+
+use crate::table::{f1, json_object, json_str, Table};
+
+const EPS: f64 = 0.25;
+const EPOCHS: usize = 3;
+const CHURN: f64 = 0.005; // events per epoch as a fraction of m
+
+/// Sharded wall time of the PR-3 e18 record on this workload (the
+/// pre-hardening scheduler: one global wave per update), the baseline the
+/// ≥ 3× acceptance bar is measured against.
+const E18_PR3_SHARDED_MS: f64 = 2169.0;
+/// Serial wall time of the same PR-3 e18 record. The pass criterion
+/// normalizes by the serial engine measured in *this* run, so it compares
+/// sharded-over-serial overhead ratios — a host-speed-independent
+/// quantity — instead of raw milliseconds recorded on another machine.
+const E18_PR3_SERIAL_MS: f64 = 138.2;
+/// Wave count of the PR-3 e18 record (fully serialized).
+const E18_PR3_WAVES: usize = 6900;
+
+/// Run E19 and print its tables.
+pub fn run() {
+    println!("E19 — batching throughput: hardened sharded hot path vs the e18 baseline");
+    let gen = union_of_spanning_trees(65_000, 50_000, 4, 2, 29);
+    let g = gen.graph;
+    let (n, m) = (g.n(), g.m());
+    println!(
+        "instance: {} (n = {n}, m = {m}, λ ≤ {}; ε = {EPS}, {EPOCHS} epochs at {:.1}% churn — the e18 workload)",
+        gen.family,
+        gen.lambda_upper,
+        CHURN * 100.0
+    );
+
+    let events_per_epoch = ((m as f64) * CHURN).round().max(1.0) as usize;
+    let updates = churn_stream(&g, EPOCHS * events_per_epoch, &ChurnMix::default(), 31);
+
+    // Serial baseline, same engine config as the sharded runs.
+    let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, 2).dynamic);
+    let t0 = Instant::now();
+    for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
+        for up in chunk {
+            serial.apply(up);
+        }
+        serial.end_epoch();
+    }
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let serial_size = serial.match_size();
+
+    let shard_counts = [2usize, 4];
+    let mut t = Table::new(&[
+        "mode", "serve-ms", "matched", "waves", "max-w", "mean-w", "escal", "handoff", "peak-wds",
+    ]);
+    t.row(vec![
+        "serial".into(),
+        f1(serial_ms),
+        serial_size.to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    let mut sharded_ms = Vec::new();
+    let mut waves = Vec::new();
+    let mut widest = Vec::new();
+    let mut mean_width = Vec::new();
+    let mut escalations = Vec::new();
+    let mut peaks = Vec::new();
+    let mut budgets = Vec::new();
+    let mut all_equal = true;
+    for &shards in &shard_counts {
+        let mut serve = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, shards))
+            .expect("initial state fits the space budget");
+        let t1 = Instant::now();
+        let mut last_peak = 0usize;
+        let mut last_budget = 0usize;
+        for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
+            serve.apply_batch(chunk).expect("batch within budget");
+            let rep = serve.end_epoch().expect("epoch within budget");
+            last_peak = rep.peak_shard_words;
+            last_budget = rep.budget;
+        }
+        let ms = t1.elapsed().as_secs_f64() * 1e3;
+        let equal = serve.match_size() == serial_size;
+        all_equal &= equal;
+        assert!(
+            equal,
+            "{shards}-shard allocation size {} diverged from serial {serial_size}",
+            serve.match_size()
+        );
+        let s = serve.stats();
+        let mean = s.routed_updates as f64 / (s.waves.max(1)) as f64;
+        t.row(vec![
+            format!("{shards} shards"),
+            f1(ms),
+            serve.match_size().to_string(),
+            s.waves.to_string(),
+            s.widest_wave.to_string(),
+            f1(mean),
+            s.escalations.to_string(),
+            s.handoff_words.to_string(),
+            last_peak.to_string(),
+        ]);
+        sharded_ms.push(ms);
+        waves.push(s.waves);
+        widest.push(s.widest_wave);
+        mean_width.push(mean);
+        escalations.push(s.escalations);
+        peaks.push(last_peak);
+        budgets.push(last_budget);
+    }
+    t.print();
+
+    let worst_ms = sharded_ms.iter().copied().fold(0.0f64, f64::max);
+    let speedup = E18_PR3_SHARDED_MS / worst_ms.max(1e-9);
+    // Host-independent form of the same claim: the baseline ran the
+    // sharded path at 15.7× its own serial engine; compare that overhead
+    // ratio against this run's.
+    let overhead = worst_ms / serial_ms.max(1e-9);
+    let baseline_overhead = E18_PR3_SHARDED_MS / E18_PR3_SERIAL_MS;
+    let normalized = baseline_overhead / overhead.max(1e-9);
+    let pass = all_equal && normalized >= 3.0;
+    println!(
+        "  before/after: e18 baseline ran {E18_PR3_WAVES} waves (one global escalation per \
+         update) in {E18_PR3_SHARDED_MS} ms ({baseline_overhead:.1}× its serial engine); \
+         hardened path runs {} waves (max width {}) in {} ms ({overhead:.2}× serial) — \
+         {speedup:.1}× faster raw, {normalized:.1}× on serial-normalized overhead",
+        waves.first().copied().unwrap_or(0),
+        widest.first().copied().unwrap_or(0),
+        f1(worst_ms),
+    );
+    println!(
+        "  criterion: sharded ≥ 3× over the e18 baseline (serial-normalized) with sizes \
+         equal serial — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let join = |xs: &[String]| format!("[{}]", xs.join(", "));
+    let record = json_object(&[
+        ("experiment", json_str("e19_batching")),
+        ("n", n.to_string()),
+        ("m", m.to_string()),
+        ("eps", EPS.to_string()),
+        ("epochs", EPOCHS.to_string()),
+        ("events_per_epoch", events_per_epoch.to_string()),
+        (
+            "shards",
+            join(
+                &shard_counts
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("serial_ms", f1(serial_ms)),
+        (
+            "sharded_ms",
+            join(&sharded_ms.iter().map(|x| f1(*x)).collect::<Vec<_>>()),
+        ),
+        ("sharded_ms_max", f1(worst_ms)),
+        (
+            "waves",
+            join(&waves.iter().map(usize::to_string).collect::<Vec<_>>()),
+        ),
+        (
+            "max_wave_width",
+            join(&widest.iter().map(usize::to_string).collect::<Vec<_>>()),
+        ),
+        (
+            "mean_wave_width",
+            join(&mean_width.iter().map(|x| f1(*x)).collect::<Vec<_>>()),
+        ),
+        (
+            "global_escalations",
+            join(&escalations.iter().map(usize::to_string).collect::<Vec<_>>()),
+        ),
+        (
+            "peak_machine_words",
+            join(&peaks.iter().map(usize::to_string).collect::<Vec<_>>()),
+        ),
+        (
+            "space_budget_words",
+            join(&budgets.iter().map(usize::to_string).collect::<Vec<_>>()),
+        ),
+        ("matched", serial_size.to_string()),
+        ("sizes_equal_serial", all_equal.to_string()),
+        ("baseline_e18_sharded_ms", E18_PR3_SHARDED_MS.to_string()),
+        ("baseline_e18_serial_ms", E18_PR3_SERIAL_MS.to_string()),
+        ("speedup_vs_e18", format!("{speedup:.1}")),
+        ("overhead_ratio", format!("{overhead:.3}")),
+        ("speedup_vs_e18_normalized", format!("{normalized:.1}")),
+        ("pass", pass.to_string()),
+    ]);
+    match std::fs::write("BENCH_batching.json", format!("{record}\n")) {
+        Ok(()) => println!("  wrote BENCH_batching.json"),
+        Err(e) => println!("  could not write BENCH_batching.json: {e}"),
+    }
+}

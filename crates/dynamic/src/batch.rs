@@ -1,17 +1,25 @@
 //! Conflict batching: schedule an epoch's updates into parallel waves.
 //!
 //! Two updates can repair in parallel only if their influence regions are
-//! disjoint. An update's region is over-approximated by a *footprint*: the
-//! right-vertex ball of radius `k+1` around its seed rights, computed on
-//! the batch's **union graph** `G⁺` (the live graph plus every edge any
-//! update in the batch inserts). Using `G⁺` is what makes the footprint
-//! sound under reordering — an insert elsewhere in the batch can only
-//! *shorten* distances, and `G⁺` already contains every such shortcut, so
-//! reachability during any interleaving is a subset of reachability in
-//! `G⁺` (deletions only shrink it further). A bounded search from an
-//! update site reads and writes matching state only within `k` right-hops
-//! of its seeds, hence two updates with disjoint footprints commute: any
-//! order of application yields the same engine state.
+//! disjoint. An update's region is over-approximated by a *footprint*:
+//! the right-vertex ball of radius [`DynamicConfig::eager_radius`] around
+//! its seed rights, computed on the batch's **union graph** `G⁺` (the
+//! live graph plus every edge any update in the batch inserts). Using
+//! `G⁺` is what makes the footprint sound under reordering — an insert
+//! elsewhere in the batch can only *shorten* distances, and `G⁺` already
+//! contains every such shortcut, so reachability during any interleaving
+//! is a subset of reachability in `G⁺` (deletions only shrink it
+//! further). An eager bounded search from an update site reads and writes
+//! matching state only within the eager radius of its seeds, hence two
+//! updates with disjoint footprints commute: any order of application
+//! yields the same engine state.
+//!
+//! `G⁺` itself is an [`InsertOverlay`] — a thin view staging the batch's
+//! arrivals and inserts over the live [`DeltaGraph`] — so scheduling a
+//! batch costs `O(n)` index arrays plus the footprint work, not an
+//! `O(n + m)` graph clone. Footprint membership and the per-right
+//! conflict index use epoch-stamped arrays ([`StampSet`], [`StampMap`]):
+//! no hashing on the per-edge path, `O(1)` clear between updates.
 //!
 //! Three conservative escalations keep the rule airtight:
 //!
@@ -19,36 +27,51 @@
 //!   shared resource (ids are assigned in arrival order).
 //! * An update referencing a left id created by an in-batch arrival is
 //!   scheduled after **all** earlier arrivals.
-//! * A footprint that hits [`FOOTPRINT_CAP`] is treated as *global*: the
-//!   update conflicts with everything before and after it.
+//! * A footprint that hits the cap ([`FOOTPRINT_CAP`] by default,
+//!   [`ShardedConfig::footprint_cap`] to tune) is treated as *global*:
+//!   the update conflicts with everything before and after it.
 //!
 //! Waves are assigned greedily in arrival order: each update lands on the
 //! earliest wave after every earlier conflicting update, so any
 //! linearization that plays waves in order (and keeps arrival order inside
 //! a wave) is equivalent to the serial order — the property
 //! `tests/properties.rs` checks exhaustively.
+//!
+//! [`DynamicConfig::eager_radius`]: crate::serve::DynamicConfig::eager_radius
+//! [`ShardedConfig::footprint_cap`]: crate::distributed::ShardedConfig::footprint_cap
 
-use std::collections::HashMap;
-
-use sparse_alloc_graph::{DeltaGraph, RightId};
+use sparse_alloc_graph::{DeltaGraph, InsertOverlay, RightId};
 use sparse_alloc_mpc::ShardMap;
 
-use crate::repair::ball_of_capped;
+use crate::serve::DynamicConfig;
+use crate::stamp::{StampMap, StampSet};
 use crate::update::Update;
 
-/// Footprints larger than this are escalated to global conflicts instead
-/// of being enumerated (bounds scheduling cost under bulk churn).
+/// Default footprint-size cap: larger balls are escalated to global
+/// conflicts instead of being enumerated.
+///
+/// The cap trades scheduling cost against wave occupancy: a small cap
+/// bounds the per-update footprint work under bulk churn but serializes
+/// any update whose eager reach is genuinely wide (a global update gets a
+/// wave of its own, and stalls the pipeline before and after it); a large
+/// cap enumerates big balls — paying `O(cap)` per update — for the chance
+/// that they are still disjoint. Tune via
+/// [`ShardedConfig::footprint_cap`](crate::distributed::ShardedConfig::footprint_cap)
+/// or `salloc dynamic --footprint-cap N`.
 pub const FOOTPRINT_CAP: usize = 4096;
 
 /// One update's placement in the epoch schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdatePlan {
     /// Wave this update repairs in (0-based; waves run in order).
     pub wave: usize,
     /// Machine owning the update's ball (routing destination).
     pub owner: usize,
     /// Conservative influence region (sorted right vertices). Empty for
-    /// pure no-ops (e.g. departing an isolated vertex).
+    /// pure no-ops (e.g. departing an isolated vertex). For a `global`
+    /// plan this holds the cap-truncated ball (diagnostics only — the
+    /// truncated content depends on traversal order and plays no role in
+    /// wave assignment).
     pub footprint: Vec<RightId>,
     /// Did the footprint hit the cap (update treated as conflicting with
     /// everything)?
@@ -58,7 +81,7 @@ pub struct UpdatePlan {
 }
 
 /// The wave schedule of one update batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchSchedule {
     /// One plan per update, in batch order.
     pub plans: Vec<UpdatePlan>,
@@ -66,15 +89,293 @@ pub struct BatchSchedule {
     pub waves: usize,
     /// Updates forced off wave 0 by a conflict.
     pub delayed: usize,
+    /// Updates per wave (`widths.len() == waves`).
+    pub widths: Vec<usize>,
+    /// Updates escalated to global conflicts by the footprint cap.
+    pub escalations: usize,
+}
+
+/// Stage the batch's arrivals and inserts on the union-graph view,
+/// recording the id each arrival will be assigned.
+fn stage_gplus<'a>(
+    dg: &'a DeltaGraph,
+    updates: &[Update],
+) -> (InsertOverlay<'a>, Vec<Option<u32>>) {
+    let mut gplus = dg.insert_overlay();
+    let mut arrive_ids: Vec<Option<u32>> = Vec::with_capacity(updates.len());
+    for up in updates {
+        match up {
+            Update::Arrive { neighbors } => arrive_ids.push(Some(gplus.arrive(neighbors))),
+            Update::InsertEdge { u, v } => {
+                if (*u as usize) < gplus.n_left() && (*v as usize) < gplus.n_right() {
+                    gplus.insert(*u, *v);
+                }
+                arrive_ids.push(None);
+            }
+            _ => arrive_ids.push(None),
+        }
+    }
+    (gplus, arrive_ids)
+}
+
+/// The two seed tiers of one update on the union graph, plus whether it
+/// references a left id allocated by an in-batch arrival.
+///
+/// *Deep* seeds are the starting rights of backward reclaims and
+/// eviction cascades: their reach is the full eager radius `r`. *Shallow*
+/// seeds are the neighborhoods forward searches start from: a search
+/// rooted at the update's own left reads and writes one hop less, radius
+/// `r − 1` (see [`DynamicConfig::eager_radius`] for the derivation). The
+/// split is what keeps pure placements (arrivals, edge inserts) down to
+/// their seed sets under the default eager budget — the difference
+/// between near-serialized and wide waves on degree-heavy instances.
+///
+/// [`DynamicConfig::eager_radius`]: crate::serve::DynamicConfig::eager_radius
+fn seeds_of(
+    gplus: &InsertOverlay<'_>,
+    up: &Update,
+    base_n_left: u32,
+    deep: &mut Vec<RightId>,
+    shallow: &mut Vec<RightId>,
+) -> bool {
+    deep.clear();
+    shallow.clear();
+    let mut references_arrival = false;
+    let mut note_left = |u: u32, into: &mut Vec<RightId>| {
+        if u >= base_n_left {
+            references_arrival = true;
+        }
+        if (u as usize) < gplus.n_left() {
+            into.extend(gplus.left_neighbors_iter(u));
+        }
+    };
+    match up {
+        // Arrivals and edge inserts only run a forward search from their
+        // left: shallow tier.
+        Update::Arrive { neighbors } => shallow.extend_from_slice(neighbors),
+        Update::InsertEdge { u, v } => {
+            shallow.push(*v);
+            note_left(*u, shallow);
+        }
+        // A departure reclaims into whichever right held the match — any
+        // of the left's neighbors: deep tier.
+        Update::Depart { u } => note_left(*u, deep),
+        // A deletion re-places its left (forward, shallow) and reclaims
+        // into the deleted edge's right (backward, deep).
+        Update::DeleteEdge { u, v } => {
+            deep.push(*v);
+            note_left(*u, shallow);
+        }
+        // Capacity moves evict from / reclaim into `v`: deep tier.
+        Update::SetCapacity { v, .. } => deep.push(*v),
+    }
+    let n_right = gplus.n_right();
+    deep.retain(|&v| (v as usize) < n_right);
+    shallow.retain(|&v| (v as usize) < n_right);
+    references_arrival
+}
+
+/// The right-vertex ball around `seeds` on the union graph, expanded hop
+/// by hop until `radius` is exhausted or the ball holds `max_ball`
+/// vertices (seeds always included). Unsorted. Mirrors
+/// [`crate::repair::ball_of_capped`], with stamped membership (`in_ball`
+/// is cleared on entry) instead of a fresh dense array per call.
+fn ball_on_gplus(
+    gplus: &InsertOverlay<'_>,
+    seeds: &[RightId],
+    radius: usize,
+    max_ball: usize,
+    in_ball: &mut StampSet,
+    seen_left: &mut StampSet,
+) -> Vec<RightId> {
+    in_ball.clear();
+    seen_left.clear();
+    let mut ball: Vec<RightId> = Vec::with_capacity(seeds.len());
+    for &v in seeds {
+        if in_ball.insert(v as usize) {
+            ball.push(v);
+        }
+    }
+    let mut frontier = ball.clone();
+    let mut next: Vec<RightId> = Vec::new();
+    'grow: for _ in 0..radius {
+        if ball.len() >= max_ball {
+            break;
+        }
+        next.clear();
+        for &v in &frontier {
+            for u in gplus.right_neighbors_iter(v) {
+                // A left's rights all joined the ball the first time it
+                // was scanned: later scans cannot add anything.
+                if !seen_left.insert(u as usize) {
+                    continue;
+                }
+                for w in gplus.left_neighbors_iter(u) {
+                    if in_ball.insert(w as usize) {
+                        ball.push(w);
+                        next.push(w);
+                        if ball.len() >= max_ball {
+                            break 'grow;
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    ball
+}
+
+/// Routing destination of one update.
+fn owner_of(up: &Update, arrive_id: Option<u32>, map: &ShardMap) -> usize {
+    match up {
+        Update::Arrive { .. } => map.owner_of_left(arrive_id.expect("arrive id")),
+        Update::Depart { u } => map.owner_of_left(*u),
+        Update::InsertEdge { v, .. }
+        | Update::DeleteEdge { v, .. }
+        | Update::SetCapacity { v, .. } => map.owner_of_right(*v),
+    }
 }
 
 /// Compute footprints on the union graph and assign conflict-free waves.
 ///
-/// `k` is the walk budget of the serving engine: searches explore at most
-/// `k − 1` matched hops, evictions start one hop out, so radius `k + 1`
-/// over-covers every read or write an update can perform.
-pub fn schedule(dg: &DeltaGraph, updates: &[Update], k: usize, map: &ShardMap) -> BatchSchedule {
-    // The union graph G⁺: live graph plus all in-batch arrivals/inserts.
+/// `cfg` supplies the eager repair bounds (the footprint radius,
+/// [`DynamicConfig::eager_radius`]); `footprint_cap` is the global
+/// escalation threshold (see [`FOOTPRINT_CAP`]).
+///
+/// [`DynamicConfig::eager_radius`]: crate::serve::DynamicConfig::eager_radius
+pub fn schedule(
+    dg: &DeltaGraph,
+    updates: &[Update],
+    cfg: &DynamicConfig,
+    map: &ShardMap,
+    footprint_cap: usize,
+) -> BatchSchedule {
+    let base_n_left = dg.n_left() as u32;
+    let (gplus, arrive_ids) = stage_gplus(dg, updates);
+    let radius = cfg.eager_radius();
+    let cap = footprint_cap.max(1);
+
+    let mut plans: Vec<UpdatePlan> = Vec::with_capacity(updates.len());
+    // Stamped conflict index: the max wave of any earlier non-global
+    // update touching a given right. (Global updates skip it — their
+    // wave floor already dominates anything a touch entry could impose,
+    // so recording their truncated footprints would only write dead
+    // entries.)
+    let mut touch: StampMap<usize> = StampMap::new(gplus.n_right());
+    let mut in_ball = StampSet::new(gplus.n_right());
+    let mut seen_left = StampSet::new(gplus.n_left());
+    let mut deep: Vec<RightId> = Vec::new();
+    let mut shallow: Vec<RightId> = Vec::new();
+    // Wave floor imposed by the latest global update (conflicts with all).
+    let mut floor = 0usize;
+    let mut max_wave_seen: Option<usize> = None;
+    let mut max_arrive_wave: Option<usize> = None;
+    let mut delayed = 0usize;
+    let mut escalations = 0usize;
+
+    for (i, up) in updates.iter().enumerate() {
+        let references_arrival = seeds_of(&gplus, up, base_n_left, &mut deep, &mut shallow);
+        // The two tiers grow with independent membership (a shallow seed
+        // inside the deep ball must still expand to its own radius), then
+        // merge; truncation can therefore only make the union *larger*
+        // than the cap, never hide a global escalation.
+        let mut footprint = ball_on_gplus(&gplus, &deep, radius, cap, &mut in_ball, &mut seen_left);
+        if footprint.len() < cap {
+            let tail = ball_on_gplus(
+                &gplus,
+                &shallow,
+                radius.saturating_sub(1),
+                cap,
+                &mut in_ball,
+                &mut seen_left,
+            );
+            footprint.extend(tail);
+        }
+        footprint.sort_unstable();
+        footprint.dedup();
+        let global = footprint.len() >= cap;
+
+        let mut wave = floor;
+        if global {
+            escalations += 1;
+            if let Some(w) = max_wave_seen {
+                wave = wave.max(w + 1);
+            }
+        }
+        let is_arrive = matches!(up, Update::Arrive { .. });
+        if is_arrive || references_arrival {
+            if let Some(w) = max_arrive_wave {
+                wave = wave.max(w + 1);
+            }
+        }
+        if !global {
+            for &r in &footprint {
+                if let Some(w) = touch.get(r as usize) {
+                    wave = wave.max(w + 1);
+                }
+            }
+            for &r in &footprint {
+                let e = touch.get(r as usize).unwrap_or(0).max(wave);
+                touch.set(r as usize, e);
+            }
+        }
+        if is_arrive {
+            max_arrive_wave = Some(max_arrive_wave.map_or(wave, |w| w.max(wave)));
+        }
+        if global {
+            floor = wave + 1;
+        }
+        max_wave_seen = Some(max_wave_seen.map_or(wave, |w| w.max(wave)));
+        if wave > 0 {
+            delayed += 1;
+        }
+
+        plans.push(UpdatePlan {
+            wave,
+            owner: owner_of(up, arrive_ids[i], map),
+            footprint,
+            global,
+            arrive_id: arrive_ids[i],
+        });
+    }
+
+    let waves = max_wave_seen.map_or(0, |w| w + 1);
+    let mut widths = vec![0usize; waves];
+    for p in &plans {
+        widths[p.wave] += 1;
+    }
+    BatchSchedule {
+        waves,
+        delayed,
+        widths,
+        escalations,
+        plans,
+    }
+}
+
+/// The pre-overlay scheduler — clones the live graph into `G⁺` and tracks
+/// conflicts through hash maps. Kept as the oracle for
+/// [`schedule`]: identical wave plans on every input, at `O(n + m)` per
+/// batch. (The one intended divergence: cap-truncated footprints of
+/// *global* plans may differ in content, because adjacency-iteration
+/// order differs between a cloned graph and the insert overlay for
+/// re-staged deleted base edges. Global escalation itself, and every
+/// wave, are traversal-order independent.)
+#[cfg(test)]
+pub(crate) fn schedule_cloned(
+    dg: &DeltaGraph,
+    updates: &[Update],
+    cfg: &DynamicConfig,
+    map: &ShardMap,
+    footprint_cap: usize,
+) -> BatchSchedule {
+    use crate::repair::ball_of_capped;
+    use std::collections::HashMap;
+
     let mut gplus = dg.clone();
     let base_n_left = dg.n_left() as u32;
     let mut arrive_ids: Vec<Option<u32>> = Vec::with_capacity(updates.len());
@@ -91,42 +392,58 @@ pub fn schedule(dg: &DeltaGraph, updates: &[Update], k: usize, map: &ShardMap) -
         }
     }
 
-    let radius = k + 1;
+    let radius = cfg.eager_radius();
+    let cap = footprint_cap.max(1);
     let mut plans: Vec<UpdatePlan> = Vec::with_capacity(updates.len());
-    // Max wave of any earlier update touching a given right.
     let mut touch: HashMap<RightId, usize> = HashMap::new();
-    // Wave floor imposed by the latest global update (conflicts with all).
     let mut floor = 0usize;
     let mut max_wave_seen: Option<usize> = None;
     let mut max_arrive_wave: Option<usize> = None;
     let mut delayed = 0usize;
+    let mut escalations = 0usize;
 
     for (i, up) in updates.iter().enumerate() {
-        let mut seeds: Vec<RightId> = Vec::new();
+        let mut deep: Vec<RightId> = Vec::new();
+        let mut shallow: Vec<RightId> = Vec::new();
         let mut references_arrival = false;
-        let mut note_left = |u: u32, seeds: &mut Vec<RightId>| {
+        let mut note_left = |u: u32, into: &mut Vec<RightId>| {
             if u >= base_n_left {
                 references_arrival = true;
             }
             if (u as usize) < gplus.n_left() {
-                seeds.extend(gplus.left_neighbors_iter(u));
+                into.extend(gplus.left_neighbors_iter(u));
             }
         };
         match up {
-            Update::Arrive { neighbors } => seeds.extend_from_slice(neighbors),
-            Update::Depart { u } => note_left(*u, &mut seeds),
-            Update::InsertEdge { u, v } | Update::DeleteEdge { u, v } => {
-                seeds.push(*v);
-                note_left(*u, &mut seeds);
+            Update::Arrive { neighbors } => shallow.extend_from_slice(neighbors),
+            Update::InsertEdge { u, v } => {
+                shallow.push(*v);
+                note_left(*u, &mut shallow);
             }
-            Update::SetCapacity { v, .. } => seeds.push(*v),
+            Update::Depart { u } => note_left(*u, &mut deep),
+            Update::DeleteEdge { u, v } => {
+                deep.push(*v);
+                note_left(*u, &mut shallow);
+            }
+            Update::SetCapacity { v, .. } => deep.push(*v),
         }
-        seeds.retain(|&v| (v as usize) < gplus.n_right());
-        let footprint = ball_of_capped(&gplus, &seeds, radius, FOOTPRINT_CAP);
-        let global = footprint.len() >= FOOTPRINT_CAP;
+        deep.retain(|&v| (v as usize) < gplus.n_right());
+        shallow.retain(|&v| (v as usize) < gplus.n_right());
+        // Two independently grown balls, merged: the union closure (and
+        // hence the global flag and every non-truncated footprint) agrees
+        // with the shared-membership growth of the incremental scheduler.
+        let mut footprint = ball_of_capped(&gplus, &deep, radius, cap);
+        if footprint.len() < cap {
+            let tail = ball_of_capped(&gplus, &shallow, radius.saturating_sub(1), cap);
+            footprint.extend(tail);
+            footprint.sort_unstable();
+            footprint.dedup();
+        }
+        let global = footprint.len() >= cap;
 
         let mut wave = floor;
         if global {
+            escalations += 1;
             if let Some(w) = max_wave_seen {
                 wave = wave.max(w + 1);
             }
@@ -142,7 +459,6 @@ pub fn schedule(dg: &DeltaGraph, updates: &[Update], k: usize, map: &ShardMap) -
                 wave = wave.max(w + 1);
             }
         }
-
         for &r in &footprint {
             let e = touch.entry(r).or_insert(wave);
             *e = (*e).max(wave);
@@ -158,26 +474,25 @@ pub fn schedule(dg: &DeltaGraph, updates: &[Update], k: usize, map: &ShardMap) -
             delayed += 1;
         }
 
-        let owner = match up {
-            Update::Arrive { .. } => map.owner_of_left(arrive_ids[i].expect("arrive id")),
-            Update::Depart { u } => map.owner_of_left(*u),
-            Update::InsertEdge { v, .. }
-            | Update::DeleteEdge { v, .. }
-            | Update::SetCapacity { v, .. } => map.owner_of_right(*v),
-        };
-
         plans.push(UpdatePlan {
             wave,
-            owner,
+            owner: owner_of(up, arrive_ids[i], map),
             footprint,
             global,
             arrive_id: arrive_ids[i],
         });
     }
 
+    let waves = max_wave_seen.map_or(0, |w| w + 1);
+    let mut widths = vec![0usize; waves];
+    for p in &plans {
+        widths[p.wave] += 1;
+    }
     BatchSchedule {
-        waves: max_wave_seen.map_or(0, |w| w + 1),
+        waves,
         delayed,
+        widths,
+        escalations,
         plans,
     }
 }
@@ -186,6 +501,16 @@ pub fn schedule(dg: &DeltaGraph, updates: &[Update], k: usize, map: &ShardMap) -
 mod tests {
     use super::*;
     use sparse_alloc_graph::BipartiteBuilder;
+
+    /// A config whose eager searches run at the full walk budget `k`
+    /// (footprint radius `k + 1`, like the pre-eager-radius scheduler).
+    fn cfg_k(k: usize) -> DynamicConfig {
+        let mut c = DynamicConfig::for_eps(0.25);
+        c.walk_budget = k;
+        c.eager_walk_budget = k;
+        c.eager_search_cap = usize::MAX;
+        c
+    }
 
     fn path_graph(n: usize) -> DeltaGraph {
         // u_i ~ {v_i, v_{i+1}}: a long bipartite path, so distant updates
@@ -206,9 +531,11 @@ mod tests {
             Update::SetCapacity { v: 0, cap: 2 },
             Update::SetCapacity { v: 40, cap: 2 },
         ];
-        let s = schedule(&dg, &updates, 2, &map);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
         assert_eq!(s.waves, 1, "disjoint balls repair in parallel");
         assert_eq!(s.delayed, 0);
+        assert_eq!(s.widths, vec![2]);
+        assert_eq!(s.escalations, 0);
         assert!(s.plans[0]
             .footprint
             .iter()
@@ -224,12 +551,13 @@ mod tests {
             Update::SetCapacity { v: 11, cap: 3 },
             Update::SetCapacity { v: 12, cap: 1 },
         ];
-        let s = schedule(&dg, &updates, 2, &map);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
         assert_eq!(s.plans[0].wave, 0);
         assert_eq!(s.plans[1].wave, 1);
         assert_eq!(s.plans[2].wave, 2);
         assert_eq!(s.waves, 3);
         assert_eq!(s.delayed, 2);
+        assert_eq!(s.widths, vec![1, 1, 1]);
     }
 
     #[test]
@@ -242,7 +570,7 @@ mod tests {
                 neighbors: vec![30],
             },
         ];
-        let s = schedule(&dg, &updates, 2, &map);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
         assert_eq!(
             s.plans[1].wave,
             s.plans[0].wave + 1,
@@ -262,7 +590,7 @@ mod tests {
             // is far from v9 — ordering must still hold.
             Update::InsertEdge { u: 10, v: 0 },
         ];
-        let s = schedule(&dg, &updates, 1, &map);
+        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP);
         assert!(s.plans[1].wave > s.plans[0].wave);
     }
 
@@ -277,7 +605,7 @@ mod tests {
             Update::InsertEdge { u: 5, v: 20 },
             Update::SetCapacity { v: 20, cap: 3 },
         ];
-        let s = schedule(&dg, &updates, 1, &map);
+        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP);
         assert!(
             s.plans[0].footprint.contains(&20),
             "insert's footprint spans the shortcut"
@@ -288,8 +616,143 @@ mod tests {
     #[test]
     fn empty_batch_schedules_nothing() {
         let dg = path_graph(4);
-        let s = schedule(&dg, &[], 2, &ShardMap::new(2));
+        let s = schedule(&dg, &[], &cfg_k(2), &ShardMap::new(2), FOOTPRINT_CAP);
         assert_eq!(s.waves, 0);
         assert!(s.plans.is_empty());
+        assert!(s.widths.is_empty());
+    }
+
+    #[test]
+    fn tiny_footprint_cap_escalates_to_global_and_serializes() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::SetCapacity { v: 0, cap: 2 },
+            Update::SetCapacity { v: 40, cap: 2 },
+            Update::SetCapacity { v: 20, cap: 2 },
+        ];
+        // Radius-3 balls on the path have ~7 rights; cap 3 truncates.
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, 3);
+        assert_eq!(s.escalations, 3, "all balls hit the cap");
+        assert!(s.plans.iter().all(|p| p.global));
+        assert_eq!(s.waves, 3, "global updates get singleton waves");
+        assert_eq!(s.widths, vec![1, 1, 1]);
+        // The same batch under the default cap shares one wave.
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
+        assert_eq!(s.escalations, 0);
+        assert_eq!(s.waves, 1);
+    }
+
+    #[test]
+    fn eager_radius_shrinks_footprints() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::SetCapacity { v: 10, cap: 2 },
+            Update::SetCapacity { v: 15, cap: 2 },
+        ];
+        // Full radius (k = 4 ⇒ 5 hops): the two balls overlap.
+        let wide = schedule(&dg, &updates, &cfg_k(4), &map, FOOTPRINT_CAP);
+        assert_eq!(wide.waves, 2, "radius-5 balls at distance 5 collide");
+        // Eager budget 1 (radius 2): they are disjoint and share a wave.
+        let mut cfg = cfg_k(4);
+        cfg.eager_walk_budget = 1;
+        assert_eq!(cfg.eager_radius(), 1);
+        let tight = schedule(&dg, &updates, &cfg, &map, FOOTPRINT_CAP);
+        assert_eq!(tight.waves, 1, "eager-radius footprints are disjoint");
+    }
+}
+
+#[cfg(test)]
+mod oracle_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sparse_alloc_graph::BipartiteBuilder;
+
+    /// A small live graph with an exercised overlay: base CSR plus
+    /// pre-batch churn (arrivals, departures, edge edits, capacity moves).
+    fn live_graph() -> impl Strategy<Value = DeltaGraph> {
+        (2usize..14, 2usize..11).prop_flat_map(|(nl, nr)| {
+            let edges = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..50);
+            let pre = proptest::collection::vec((0u8..5, 0u32..1000, 0u32..1000, 1u64..=3), 0..16);
+            (Just(nl), Just(nr), edges, pre).prop_map(|(nl, nr, edges, pre)| {
+                let mut b = BipartiteBuilder::new(nl, nr);
+                b.extend_edges(edges);
+                let mut dg = DeltaGraph::new(b.build(vec![1; nr]).expect("in-range instance"));
+                for (kind, a, bb, cap) in pre {
+                    let nl = dg.n_left() as u32;
+                    let nr = dg.n_right() as u32;
+                    match kind {
+                        0 => {
+                            dg.arrive(&[a % nr, bb % nr]);
+                        }
+                        1 => {
+                            dg.depart(a % nl);
+                        }
+                        2 => {
+                            dg.insert_edge(a % nl, bb % nr);
+                        }
+                        3 => {
+                            dg.delete_edge(a % nl, bb % nr);
+                        }
+                        _ => dg.set_capacity(a % nr, cap),
+                    }
+                }
+                dg
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The incremental-`G⁺` scheduler produces wave plans identical to
+        /// the clone-based oracle — same waves, owners, escalations, and
+        /// (for non-global plans) the same footprints — for every update
+        /// stream, shard count in {1, 2, 4, 7}, eager budget, and
+        /// footprint cap (including caps small enough to truncate).
+        #[test]
+        fn overlay_scheduler_matches_the_clone_oracle(
+            dg in live_graph(),
+            ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=3), 0..22),
+            eager in 1usize..4,
+            cap_small in 2usize..7,
+        ) {
+            let mut nl = dg.n_left() as u32;
+            let nr = dg.n_right() as u32;
+            let mut updates: Vec<Update> = Vec::with_capacity(ops.len());
+            for &(kind, a, b, cap) in &ops {
+                updates.push(match kind {
+                    0 => { nl += 1; Update::Arrive { neighbors: vec![a % nr, b % nr] } }
+                    1 => Update::Depart { u: a % nl },
+                    2 => Update::InsertEdge { u: a % nl, v: b % nr },
+                    3 => Update::DeleteEdge { u: a % nl, v: b % nr },
+                    _ => Update::SetCapacity { v: a % nr, cap },
+                });
+            }
+            let mut cfg = DynamicConfig::for_eps(0.25);
+            cfg.eager_walk_budget = eager;
+            for &shards in &[1usize, 2, 4, 7] {
+                let map = ShardMap::new(shards);
+                for &cap in &[cap_small, FOOTPRINT_CAP] {
+                    let got = schedule(&dg, &updates, &cfg, &map, cap);
+                    let want = schedule_cloned(&dg, &updates, &cfg, &map, cap);
+                    prop_assert_eq!(got.waves, want.waves, "waves ({} shards, cap {})", shards, cap);
+                    prop_assert_eq!(got.delayed, want.delayed);
+                    prop_assert_eq!(&got.widths, &want.widths);
+                    prop_assert_eq!(got.escalations, want.escalations);
+                    prop_assert_eq!(got.plans.len(), want.plans.len());
+                    for (i, (g, w)) in got.plans.iter().zip(&want.plans).enumerate() {
+                        prop_assert_eq!(g.wave, w.wave, "wave of update {}", i);
+                        prop_assert_eq!(g.owner, w.owner, "owner of update {}", i);
+                        prop_assert_eq!(g.global, w.global, "global flag of update {}", i);
+                        prop_assert_eq!(g.arrive_id, w.arrive_id, "arrive id of update {}", i);
+                        if !g.global {
+                            prop_assert_eq!(&g.footprint, &w.footprint, "footprint of update {}", i);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -59,18 +59,43 @@ pub struct ShardedConfig {
     /// `slack ×` its fair share of the state (hash imbalance, message
     /// staging). See [`ShardedServeLoop::space_budget`].
     pub space_slack: usize,
+    /// Footprint-size cap of the conflict scheduler: an update whose ball
+    /// reaches this many rights is escalated to a *global* conflict
+    /// (serialized against the whole batch) instead of being enumerated.
+    /// Small caps bound scheduling work under bulk churn but destroy wave
+    /// occupancy; large caps enumerate — and pairwise-compare — wide
+    /// balls. See [`batch::FOOTPRINT_CAP`](crate::batch::FOOTPRINT_CAP)
+    /// (the default) for the full trade-off discussion.
+    pub footprint_cap: usize,
+    /// Worker threads for wave execution (`0` = one per available CPU).
+    /// Disjoint-footprint repairs of one wave run concurrently on real
+    /// threads; any value yields the identical engine state (commuting
+    /// repairs), so this knob trades wall time only.
+    pub wave_threads: usize,
     /// The serial engine's configuration.
     pub dynamic: DynamicConfig,
 }
 
 impl ShardedConfig {
     /// The standard configuration: [`DynamicConfig::for_eps`] sharded
-    /// `shards` ways with 8× space slack.
+    /// `shards` ways with 8× space slack, the default footprint cap, and
+    /// auto-sized wave threads — with the eager walk budget lowered to 1
+    /// (footprint radius 1). Tight footprints are what give batches wide
+    /// conflict-free waves on degree-heavy instances; the price is that
+    /// re-routing moves from the eager per-update repairs into the epoch
+    /// sweep. Serial-vs-sharded comparisons must build the serial engine
+    /// from this `dynamic` config: the equivalence contract is
+    /// per-config, and the eager budget changes which walks are flipped
+    /// when.
     pub fn for_eps(eps: f64, shards: usize) -> Self {
+        let mut dynamic = DynamicConfig::for_eps(eps);
+        dynamic.eager_walk_budget = 1;
         ShardedConfig {
             shards,
             space_slack: 8,
-            dynamic: DynamicConfig::for_eps(eps),
+            footprint_cap: crate::batch::FOOTPRINT_CAP,
+            wave_threads: 0,
+            dynamic,
         }
     }
 }
@@ -88,6 +113,10 @@ pub struct ShardedStats {
     pub handoff_words: u64,
     /// Matching migrations committed by certificate sweeps.
     pub migrations: usize,
+    /// Updates escalated to global conflicts by the footprint cap.
+    pub escalations: usize,
+    /// Widest wave scheduled so far (updates repairing in parallel).
+    pub widest_wave: usize,
 }
 
 /// What one [`ShardedServeLoop::apply_batch`] did.
@@ -101,6 +130,10 @@ pub struct BatchReport {
     pub delayed: usize,
     /// Cross-shard walk handoff words this batch.
     pub handoff_words: u64,
+    /// Updates escalated to global conflicts this batch.
+    pub escalations: usize,
+    /// Widest wave of this batch.
+    pub widest_wave: usize,
 }
 
 /// What one [`ShardedServeLoop::end_epoch`] did.
@@ -178,6 +211,8 @@ pub struct ShardedServeLoop {
     inner: ServeLoop,
     map: ShardMap,
     slack: usize,
+    footprint_cap: usize,
+    wave_threads: usize,
     ledger: Ledger,
     stats: ShardedStats,
 }
@@ -194,10 +229,17 @@ impl ShardedServeLoop {
         assert!(cfg.space_slack >= 1, "space slack ≥ 1");
         let inner = ServeLoop::new(base, cfg.dynamic);
         let map = ShardMap::new(cfg.shards);
+        let wave_threads = if cfg.wave_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            cfg.wave_threads
+        };
         let mut this = ShardedServeLoop {
             inner,
             map,
             slack: cfg.space_slack,
+            footprint_cap: cfg.footprint_cap.max(1),
+            wave_threads,
             ledger: Ledger::default(),
             stats: ShardedStats::default(),
         };
@@ -312,17 +354,37 @@ impl ShardedServeLoop {
 
     /// Apply one epoch's update batch: schedule conflict-free waves,
     /// route every update to the shard owning its ball, and repair wave
-    /// by wave (disjoint balls in a wave commute, so the engine state
-    /// equals serial application of the batch in arrival order).
+    /// by wave — the disjoint-footprint repairs of a wave on real worker
+    /// threads ([`ServeLoop`]'s wave executor; disjoint balls commute, so
+    /// the engine state equals serial application of the batch in arrival
+    /// order for every thread count).
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, MpcError> {
         if updates.is_empty() {
             return Ok(BatchReport::default());
         }
         self.stats.batches += 1;
         let budget = self.space_budget();
-        let k = self.inner.config().walk_budget;
-        let sched: BatchSchedule = schedule(self.inner.graph(), updates, k, &self.map);
+        let sched: BatchSchedule = schedule(
+            self.inner.graph(),
+            updates,
+            self.inner.config(),
+            &self.map,
+            self.footprint_cap,
+        );
         let mut epoch = Ledger::default();
+
+        // The footprints are per-machine staged scheduling state: account
+        // them (and check them against the budget) like any other
+        // resident phase data.
+        let mut staged = vec![0usize; self.map.shards()];
+        for plan in &sched.plans {
+            staged[plan.owner] += plan.footprint.len();
+        }
+        epoch.observe_local(
+            labels::BATCH_SCHEDULE,
+            staged.iter().copied().max().unwrap_or(0),
+            staged.iter().map(|&w| w as u64).sum(),
+        );
 
         // Phase 1 — route the batch to the owning shards. The engine
         // consumes the *delivered* copies, not the caller's slice: a
@@ -347,33 +409,47 @@ impl ShardedServeLoop {
         self.stats.routed_updates += updates.len();
 
         // Phase 2 — repair waves. Waves run in order; inside a wave,
-        // arrival order (any order would do: the balls are disjoint).
+        // non-global nonempty-footprint repairs fan out over worker
+        // threads (any order would do: the balls are disjoint), while
+        // globals and pure no-ops stay on this thread.
         let mut order: Vec<usize> = (0..updates.len()).collect();
         order.sort_by_key(|&i| sched.plans[i].wave);
         let mut handoff_total = 0u64;
         let mut at = 0usize;
         while at < order.len() {
             let wave = sched.plans[order[at]].wave;
+            let begin = at;
+            while at < order.len() && sched.plans[order[at]].wave == wave {
+                at += 1;
+            }
+            let idxs = &order[begin..at];
+            let wave_updates: Vec<&Update> = idxs
+                .iter()
+                .map(|&i| routed[i].as_ref().expect("every update was delivered"))
+                .collect();
+            let parallel_ok: Vec<bool> = idxs
+                .iter()
+                .map(|&i| !sched.plans[i].global && !sched.plans[i].footprint.is_empty())
+                .collect();
+            let results = self
+                .inner
+                .apply_wave(&wave_updates, &parallel_ok, self.wave_threads);
+
             let mut sent = vec![0u64; self.map.shards()];
             let mut recv = vec![0u64; self.map.shards()];
-            while at < order.len() && sched.plans[order[at]].wave == wave {
-                let i = order[at];
-                let owner = sched.plans[i].owner;
-                let t0 = self.inner.touched_rights().len();
-                let up = routed[i].take().expect("every update was delivered");
-                let arrived = self.inner.apply(&up);
+            for (&i, result) in idxs.iter().zip(&results) {
                 debug_assert_eq!(
-                    arrived, sched.plans[i].arrive_id,
+                    result.arrived, sched.plans[i].arrive_id,
                     "scheduler and engine agree on arrival ids"
                 );
-                for &r in &self.inner.touched_rights()[t0..] {
+                let owner = sched.plans[i].owner;
+                for &r in &result.touched {
                     let o = self.map.owner_of_right(r);
                     if o != owner {
                         sent[owner] += 1;
                         recv[o] += 1;
                     }
                 }
-                at += 1;
             }
             let words: u64 = recv.iter().sum();
             epoch.record(RoundRecord {
@@ -388,6 +464,9 @@ impl ShardedServeLoop {
             self.stats.waves += 1;
         }
         self.stats.handoff_words += handoff_total;
+        self.stats.escalations += sched.escalations;
+        let widest = sched.widths.iter().copied().max().unwrap_or(0);
+        self.stats.widest_wave = self.stats.widest_wave.max(widest);
 
         epoch.assert_space_within(budget)?;
         self.ledger.absorb(&epoch);
@@ -396,6 +475,8 @@ impl ShardedServeLoop {
             waves: sched.waves,
             delayed: sched.delayed,
             handoff_words: handoff_total,
+            escalations: sched.escalations,
+            widest_wave: widest,
         })
     }
 
@@ -542,12 +623,18 @@ mod tests {
     use crate::adapter::{churn_stream, ChurnMix};
     use sparse_alloc_graph::generators::union_of_spanning_trees;
 
-    fn drive(shards: usize, seed: u64) -> (ShardedServeLoop, ServeLoop) {
+    fn drive_with(
+        shards: usize,
+        seed: u64,
+        tweak: impl FnOnce(&mut ShardedConfig),
+    ) -> (ShardedServeLoop, ServeLoop) {
         let g = union_of_spanning_trees(60, 45, 2, 2, seed).graph;
         let updates = churn_stream(&g, 120, &ChurnMix::default(), seed);
-        let mut sharded =
-            ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(0.25, shards)).unwrap();
-        let mut serial = ServeLoop::new(g, DynamicConfig::for_eps(0.25));
+        let mut cfg = ShardedConfig::for_eps(0.25, shards);
+        tweak(&mut cfg);
+        let dynamic = cfg.dynamic.clone();
+        let mut sharded = ShardedServeLoop::new(g.clone(), cfg).unwrap();
+        let mut serial = ServeLoop::new(g, dynamic);
         for chunk in updates.chunks(30) {
             sharded.apply_batch(chunk).unwrap();
             sharded.end_epoch().unwrap();
@@ -557,6 +644,10 @@ mod tests {
             serial.end_epoch();
         }
         (sharded, serial)
+    }
+
+    fn drive(shards: usize, seed: u64) -> (ShardedServeLoop, ServeLoop) {
+        drive_with(shards, seed, |_| {})
     }
 
     #[test]
@@ -570,6 +661,26 @@ mod tests {
                 "{shards} shards diverged from serial"
             );
             assert_eq!(sharded.match_size(), serial.match_size());
+        }
+    }
+
+    #[test]
+    fn threaded_waves_equal_serial_state() {
+        // Same churn, forced multi-threaded wave execution: the commuting
+        // disjoint-footprint repairs must land on the identical state for
+        // every thread count (and for a shrunken footprint cap, which
+        // only re-shapes the waves).
+        for threads in [2usize, 3, 5] {
+            let (sharded, serial) = drive_with(4, 23, |cfg| {
+                cfg.wave_threads = threads;
+                cfg.footprint_cap = 24;
+            });
+            sharded.validate().unwrap();
+            assert_eq!(
+                sharded.assignment().mate,
+                serial.assignment().mate,
+                "{threads} wave threads diverged from serial"
+            );
         }
     }
 

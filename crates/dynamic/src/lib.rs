@@ -16,6 +16,7 @@
 //! | `O(τ)`-ball repair of the β-levels | [`repair`] |
 //! | drift budget + compaction policy | [`scheduler`] |
 //! | the serving façade | [`serve`] |
+//! | epoch-stamped sets/maps for the scheduling hot path | [`stamp`] |
 //! | conflict batching of update balls into parallel waves | [`batch`] |
 //! | sharded serving across the MPC simulator | [`distributed`] |
 //! | adapters from `sparse-alloc-online` streams, churn generator | [`adapter`] |
@@ -76,6 +77,7 @@ pub mod distributed;
 pub mod repair;
 pub mod scheduler;
 pub mod serve;
+pub mod stamp;
 pub mod update;
 pub mod walks;
 

@@ -22,6 +22,27 @@ use sparse_alloc_core::levels::{update_level, PowTable};
 use sparse_alloc_core::termination;
 use sparse_alloc_graph::{DeltaGraph, RightId};
 
+use crate::stamp::StampSet;
+
+/// Reusable membership scratch for repeated [`ball_of_capped_with`] calls
+/// (the certificate sweep grows a ball per augmenting flip; stamped
+/// clears keep that `O(ball)` instead of `O(n)` per call).
+#[derive(Debug, Clone, Default)]
+pub struct BallScratch {
+    rights: StampSet,
+    lefts: StampSet,
+}
+
+impl BallScratch {
+    /// Scratch sized for `dg` (grows on demand if the graph grows).
+    pub fn for_graph(dg: &DeltaGraph) -> Self {
+        BallScratch {
+            rights: StampSet::new(dg.n_right()),
+            lefts: StampSet::new(dg.n_left()),
+        }
+    }
+}
+
 /// Configuration of one local repair.
 #[derive(Debug, Clone, Copy)]
 pub struct LevelRepairConfig {
@@ -65,18 +86,40 @@ pub fn ball_of(dg: &DeltaGraph, seeds: &[RightId], radius: usize) -> Vec<RightId
 /// radius is exhausted or the ball holds `max_ball` vertices (seeds are
 /// always included). Sorted.
 ///
-/// Dense `Vec<bool>` membership — the serve loop calls this on every
-/// epoch, so the hot path must not hash.
+/// Stamped membership — the serve loop calls this on every epoch, so the
+/// hot path must not hash, and repeated calls (one per sweep flip) must
+/// not re-zero dense arrays: pass a [`BallScratch`] to
+/// [`ball_of_capped_with`] to amortize. Each left vertex's adjacency is
+/// scanned at most once across the whole growth (its rights' membership
+/// never changes once seen), so a growth that touches the whole graph
+/// costs `O(n + m)` instead of `O(m · deg)`.
 pub fn ball_of_capped(
     dg: &DeltaGraph,
     seeds: &[RightId],
     radius: usize,
     max_ball: usize,
 ) -> Vec<RightId> {
-    let mut in_ball = vec![false; dg.n_right()];
+    ball_of_capped_with(dg, seeds, radius, max_ball, &mut BallScratch::for_graph(dg))
+}
+
+/// [`ball_of_capped`] with caller-owned membership scratch (`O(1)` clear
+/// between calls).
+pub fn ball_of_capped_with(
+    dg: &DeltaGraph,
+    seeds: &[RightId],
+    radius: usize,
+    max_ball: usize,
+    scratch: &mut BallScratch,
+) -> Vec<RightId> {
+    scratch.rights.grow(dg.n_right());
+    scratch.lefts.grow(dg.n_left());
+    scratch.rights.clear();
+    scratch.lefts.clear();
+    let in_ball = &mut scratch.rights;
+    let seen_left = &mut scratch.lefts;
     let mut ball: Vec<RightId> = Vec::with_capacity(seeds.len());
     for &v in seeds {
-        if (v as usize) < dg.n_right() && !std::mem::replace(&mut in_ball[v as usize], true) {
+        if (v as usize) < dg.n_right() && in_ball.insert(v as usize) {
             ball.push(v);
         }
     }
@@ -88,8 +131,11 @@ pub fn ball_of_capped(
         let mut next = Vec::new();
         for &v in &frontier {
             for u in dg.right_neighbors_iter(v) {
+                if !seen_left.insert(u as usize) {
+                    continue;
+                }
                 for w in dg.left_neighbors_iter(u) {
-                    if !std::mem::replace(&mut in_ball[w as usize], true) {
+                    if in_ball.insert(w as usize) {
                         ball.push(w);
                         next.push(w);
                         if ball.len() >= max_ball {

@@ -23,10 +23,10 @@ use sparse_alloc_core::levels::PowTable;
 use sparse_alloc_core::rounding;
 use sparse_alloc_graph::{Assignment, Bipartite, DeltaGraph, LeftId, RightId};
 
-use crate::repair::{ball_of_capped, repair_levels, LevelRepairConfig};
+use crate::repair::{ball_of_capped_with, repair_levels, BallScratch, LevelRepairConfig};
 use crate::scheduler::{CompactionPolicy, DriftTracker};
 use crate::update::Update;
-use crate::walks::Matching;
+use crate::walks::{augment_from_left, reclaim_into, MatchSlots, Matching, SearchScratch};
 
 /// Configuration of a [`ServeLoop`].
 #[derive(Debug, Clone)]
@@ -52,6 +52,22 @@ pub struct DynamicConfig {
     /// whole `O(deg^k)` ball, so eager repairs give up early and leave
     /// the rest to the sweep.
     pub eager_search_cap: usize,
+    /// Matched-hop budget of the eager per-update searches: they explore
+    /// walks of length `≤ 2·min(walk_budget, eager_walk_budget) − 1`,
+    /// while the epoch sweep always uses the full `walk_budget` (the
+    /// certificate is unaffected — eager repairs are best-effort). This
+    /// is the lever behind the conflict scheduler's footprint radius
+    /// ([`DynamicConfig::eager_radius`]): a batch's updates can repair in
+    /// parallel exactly when their eager-reach balls are disjoint, so a
+    /// small eager budget keeps footprints tight and waves wide.
+    ///
+    /// [`DynamicConfig::for_eps`] defaults to the full walk budget
+    /// (eager repairs restore as much as the serial engine always did);
+    /// [`ShardedConfig::for_eps`](crate::ShardedConfig::for_eps) lowers
+    /// it to 1 — place on directly available capacity, defer re-routing
+    /// to the sweep — because wave occupancy on degree-heavy instances
+    /// lives or dies by the footprint radius.
+    pub eager_walk_budget: usize,
     /// Cap on the β-repair ball size (right vertices). Bounds the repair
     /// work per epoch under bulk churn; the truncation is covered by the
     /// drift budget.
@@ -72,8 +88,42 @@ impl DynamicConfig {
             drift_threshold: eps / 2.0,
             compact_threshold: 0.25,
             eager_search_cap: 64,
+            eager_walk_budget: k,
             repair_ball_cap: 4096,
         }
+    }
+
+    /// The walk budget the eager per-update searches actually run with:
+    /// `min(walk_budget, eager_walk_budget)`, floored at 1.
+    pub fn eager_budget(&self) -> usize {
+        self.walk_budget.min(self.eager_walk_budget).max(1)
+    }
+
+    /// The footprint radius (in right-to-right hops) that over-covers
+    /// every match cell an eager repair can read or write — what the
+    /// conflict scheduler uses for its balls.
+    ///
+    /// Derivation, for eager budget `b = eager_budget()`: a forward
+    /// search starting at a left `x₀` whose neighborhood lies within
+    /// `s₀` hops of the seeds explores lefts of matched-hop depth
+    /// `d ≤ b − 1`, and each explored left's full neighborhood (the
+    /// rights it reads, the cells a flip writes) lies within `s₀ + d`
+    /// hops. The update's own left has `s₀ = 0` (its neighborhood *is*
+    /// the seed set); eviction victims are matched at a seed right, so
+    /// `s₀ = 1` — giving reach `1 + (b − 1) = b`. A backward reclaim
+    /// expands rights within `b − 1` hops of a seed and touches their
+    /// adjacent lefts, whose neighborhoods stay within `b` hops too.
+    /// Reads of a *foreign* left's mate need no containment: the
+    /// expanded right witnessing the read is inside this footprint, so
+    /// any writer of that left would collide on it. Independently, the
+    /// visit cap bounds the reach: a capped BFS completes at most
+    /// `eager_search_cap` right expansions and must spend at least one
+    /// per depth level. Hence radius
+    /// `min(eager_budget, eager_search_cap + 1)`.
+    pub fn eager_radius(&self) -> usize {
+        self.eager_budget()
+            .min(self.eager_search_cap.saturating_add(1))
+            .max(1)
     }
 }
 
@@ -172,6 +222,151 @@ pub struct ServeLoop {
     compaction: CompactionPolicy,
     stats: ServeStats,
     frac: RefCell<FracState>,
+    /// Per-worker search scratch for threaded wave execution (lazily
+    /// sized; workers reuse these across waves so repairs allocate
+    /// nothing per update).
+    wave_scratch: Vec<SearchScratch>,
+}
+
+/// The deferred (repair) half of one update: everything
+/// [`ServeLoop::apply_structural`] could not do because it touches
+/// matching state. Footprint-covered, so disjoint-footprint plans can run
+/// concurrently.
+#[derive(Debug, Clone)]
+enum RepairPlan {
+    /// Structural phase was a no-op (duplicate insert, dead delete).
+    Noop,
+    /// Try to place left `u` (fresh arrival or newly inserted edge).
+    Place { u: LeftId },
+    /// Left `u` left: release its match, refill the freed slot.
+    Release { u: LeftId },
+    /// Edge `(u, v)` died: if it carried the match, re-place `u` (marking
+    /// its surviving neighborhood for the sweep on failure) and refill `v`.
+    Rematch { u: LeftId, v: RightId },
+    /// Capacity of `v` dropped: evict the excess, re-place each victim.
+    Evict { v: RightId },
+    /// Capacity of `v` grew: pull waiters into the new slots.
+    Fill { v: RightId },
+}
+
+/// What one repair did, recorded relative to the engine state so the
+/// effects can be folded in deterministically after a threaded wave.
+#[derive(Debug, Default)]
+struct RepairOutcome {
+    /// Net matching growth (augmentations minus releases).
+    size_delta: i64,
+    /// Successful augmenting walks.
+    augmentations: usize,
+    /// Matches released by departures, dead edges, and capacity cuts.
+    evictions: usize,
+    /// Rights this repair perturbed (flipped walks, sweep hints), in the
+    /// serial observation order.
+    dirty: Vec<RightId>,
+}
+
+/// Run one update's repair against the match cells. Callers uphold the
+/// [`MatchSlots`] disjointness contract; `k`/`cap` are the eager walk
+/// budget and visit cap.
+fn run_repair(
+    plan: &RepairPlan,
+    dg: &DeltaGraph,
+    slots: &MatchSlots<'_>,
+    scratch: &mut SearchScratch,
+    k: usize,
+    cap: usize,
+) -> RepairOutcome {
+    fn forward(
+        dg: &DeltaGraph,
+        slots: &MatchSlots<'_>,
+        scratch: &mut SearchScratch,
+        out: &mut RepairOutcome,
+        u: LeftId,
+        k: usize,
+        cap: usize,
+    ) -> bool {
+        if augment_from_left(slots, scratch, dg, u, k, cap) {
+            out.size_delta += 1;
+            out.augmentations += 1;
+            out.dirty.extend_from_slice(&scratch.last_walk);
+            true
+        } else {
+            false
+        }
+    }
+    fn backward(
+        dg: &DeltaGraph,
+        slots: &MatchSlots<'_>,
+        scratch: &mut SearchScratch,
+        out: &mut RepairOutcome,
+        v: RightId,
+        k: usize,
+        cap: usize,
+    ) -> bool {
+        if reclaim_into(slots, scratch, dg, v, k, cap) {
+            out.size_delta += 1;
+            out.augmentations += 1;
+            out.dirty.extend_from_slice(&scratch.last_walk);
+            true
+        } else {
+            false
+        }
+    }
+
+    let mut out = RepairOutcome::default();
+    match *plan {
+        RepairPlan::Noop => {}
+        RepairPlan::Place { u } => {
+            forward(dg, slots, scratch, &mut out, u, k, cap);
+        }
+        RepairPlan::Release { u } => {
+            if let Some(v) = slots.unmatch(u) {
+                out.size_delta -= 1;
+                out.evictions += 1;
+                backward(dg, slots, scratch, &mut out, v, k, cap);
+            }
+        }
+        RepairPlan::Rematch { u, v } => {
+            if slots.mate(u) == Some(v) {
+                slots.unmatch(u);
+                out.size_delta -= 1;
+                out.evictions += 1;
+                if !forward(dg, slots, scratch, &mut out, u, k, cap) {
+                    // u is newly free, but its link to the dirty right is
+                    // the deleted edge itself: mark its surviving
+                    // neighborhood so the epoch sweep examines u even
+                    // when the (capped) eager search above gave up. Every
+                    // other path that frees a left keeps a live marked
+                    // neighbor (evictions keep the capacity-cut right,
+                    // arrivals mark their whole edge set).
+                    out.dirty.extend(dg.left_neighbors_iter(u));
+                }
+                backward(dg, slots, scratch, &mut out, v, k, cap);
+            }
+        }
+        RepairPlan::Evict { v } => {
+            while slots.load(v) > dg.capacity(v) {
+                let victim = slots.evict_one(v).expect("load > 0");
+                out.size_delta -= 1;
+                out.evictions += 1;
+                forward(dg, slots, scratch, &mut out, victim, k, cap);
+            }
+        }
+        RepairPlan::Fill { v } => {
+            while slots.residual(dg, v) > 0 && backward(dg, slots, scratch, &mut out, v, k, cap) {}
+        }
+    }
+    out
+}
+
+/// What [`ServeLoop::apply_wave`] reports per update, for the sharded
+/// loop's ledger accounting.
+#[derive(Debug)]
+pub(crate) struct WaveUpdateResult {
+    /// Id assigned to an [`Update::Arrive`], `None` otherwise.
+    pub(crate) arrived: Option<LeftId>,
+    /// Every right this update touched: its structural marks plus the
+    /// rights its repairs perturbed.
+    pub(crate) touched: Vec<RightId>,
 }
 
 impl ServeLoop {
@@ -193,6 +388,7 @@ impl ServeLoop {
             compaction,
             stats: ServeStats::default(),
             frac: RefCell::new(FracState::default()),
+            wave_scratch: Vec::new(),
         }
     }
 
@@ -209,10 +405,31 @@ impl ServeLoop {
     /// Apply one update with its local repairs. Returns the id assigned
     /// to an [`Update::Arrive`], `None` otherwise.
     pub fn apply(&mut self, update: &Update) -> Option<LeftId> {
+        let (plan, arrived) = self.apply_structural(update);
+        let out = {
+            let ServeLoop {
+                dg, matching, cfg, ..
+            } = self;
+            let (slots, scratch) = matching.split();
+            run_repair(
+                &plan,
+                dg,
+                &slots,
+                scratch,
+                cfg.eager_budget(),
+                cfg.eager_search_cap,
+            )
+        };
+        self.absorb_outcome(out);
+        arrived
+    }
+
+    /// The structural half of one update: mutate the live graph, charge
+    /// the drift budget, mark dirty rights — everything that must happen
+    /// serially in arrival order. Returns the deferred repair plan and
+    /// the id an arrival was assigned.
+    fn apply_structural(&mut self, update: &Update) -> (RepairPlan, Option<LeftId>) {
         self.stats.updates += 1;
-        let k = self.cfg.walk_budget;
-        let ecap = self.cfg.eager_search_cap;
-        let mut arrived = None;
         match update {
             Update::Arrive { neighbors } => {
                 let u = self.dg.arrive(neighbors);
@@ -222,11 +439,7 @@ impl ServeLoop {
                 for &v in neighbors {
                     self.mark_dirty(v);
                 }
-                if self.matching.try_augment_from_left(&self.dg, u, k, ecap) {
-                    self.stats.augmentations += 1;
-                    self.note_walk();
-                }
-                arrived = Some(u);
+                (RepairPlan::Place { u }, Some(u))
             }
             Update::Depart { u } => {
                 let freed = self.dg.depart(*u);
@@ -237,25 +450,16 @@ impl ServeLoop {
                 for &v in &freed {
                     self.mark_dirty(v);
                 }
-                if let Some(v) = self.matching.unmatch(*u) {
-                    self.stats.evictions += 1;
-                    if self.matching.reclaim_into(&self.dg, v, k, ecap) {
-                        self.stats.augmentations += 1;
-                        self.note_walk();
-                    }
-                }
+                (RepairPlan::Release { u: *u }, None)
             }
             Update::InsertEdge { u, v } => {
                 if self.dg.insert_edge(*u, *v) {
                     self.drift.charge(1.0);
                     self.frac.get_mut().structural = true;
                     self.mark_dirty(*v);
-                    if self.matching.mate(*u).is_none()
-                        && self.matching.try_augment_from_left(&self.dg, *u, k, ecap)
-                    {
-                        self.stats.augmentations += 1;
-                        self.note_walk();
-                    }
+                    (RepairPlan::Place { u: *u }, None)
+                } else {
+                    (RepairPlan::Noop, None)
                 }
             }
             Update::DeleteEdge { u, v } => {
@@ -263,30 +467,9 @@ impl ServeLoop {
                     self.drift.charge(1.0);
                     self.frac.get_mut().structural = true;
                     self.mark_dirty(*v);
-                    if self.matching.mate(*u) == Some(*v) {
-                        self.matching.unmatch(*u);
-                        self.stats.evictions += 1;
-                        if self.matching.try_augment_from_left(&self.dg, *u, k, ecap) {
-                            self.stats.augmentations += 1;
-                            self.note_walk();
-                        } else {
-                            // u is newly free, but its link to the dirty
-                            // right is the deleted edge itself: mark its
-                            // surviving neighborhood so the epoch sweep
-                            // examines u even when the (capped) eager
-                            // search above gave up. Every other path that
-                            // frees a left keeps a live marked neighbor
-                            // (evictions keep the capacity-cut right,
-                            // arrivals mark their whole edge set).
-                            for w in self.dg.left_neighbors_iter(*u) {
-                                self.sweep_dirty.push(w);
-                            }
-                        }
-                        if self.matching.reclaim_into(&self.dg, *v, k, ecap) {
-                            self.stats.augmentations += 1;
-                            self.note_walk();
-                        }
-                    }
+                    (RepairPlan::Rematch { u: *u, v: *v }, None)
+                } else {
+                    (RepairPlan::Noop, None)
                 }
             }
             Update::SetCapacity { v, cap } => {
@@ -294,45 +477,166 @@ impl ServeLoop {
                 self.dg.set_capacity(*v, *cap);
                 self.drift.charge(old.abs_diff(*cap) as f64);
                 self.mark_dirty(*v);
-                if *cap < old {
-                    // Evict the excess and try to re-place each victim.
-                    while self.matching.load(*v) > *cap {
-                        let victim = self.matching.evict_one(*v).expect("load > 0");
-                        self.stats.evictions += 1;
-                        if self
-                            .matching
-                            .try_augment_from_left(&self.dg, victim, k, ecap)
-                        {
-                            self.stats.augmentations += 1;
-                            self.note_walk();
-                        }
-                    }
+                let plan = if *cap < old {
+                    RepairPlan::Evict { v: *v }
                 } else {
-                    // New capacity: pull in free vertices through walks.
-                    while self.matching.residual(&self.dg, *v) > 0
-                        && self.matching.reclaim_into(&self.dg, *v, k, ecap)
-                    {
-                        self.stats.augmentations += 1;
-                        self.note_walk();
-                    }
-                }
+                    RepairPlan::Fill { v: *v }
+                };
+                (plan, None)
             }
         }
-        arrived
     }
 
-    /// Record the rights the most recent successful flip touched, so the
-    /// epoch sweep re-examines (only) components the flip perturbed.
-    fn note_walk(&mut self) {
-        self.sweep_dirty
-            .extend_from_slice(self.matching.last_walk());
+    /// Fold a repair's effects into the serial state, in arrival order.
+    fn absorb_outcome(&mut self, out: RepairOutcome) {
+        self.matching.absorb_wave(out.size_delta, 0);
+        self.stats.augmentations += out.augmentations;
+        self.stats.evictions += out.evictions;
+        self.sweep_dirty.extend_from_slice(&out.dirty);
     }
 
-    /// Rights perturbed since the last epoch boundary, in observation
-    /// order (duplicates tolerated). The sharded serve loop slices this
-    /// log to attribute per-update touched regions.
-    pub(crate) fn touched_rights(&self) -> &[RightId] {
-        &self.sweep_dirty
+    /// Apply one conflict-free wave of updates: structural mutations run
+    /// serially in arrival order, then the repairs of the updates flagged
+    /// in `parallel_ok` execute on up to `threads` worker threads sharing
+    /// the match cells (remaining repairs run on the caller's thread, in
+    /// arrival order).
+    ///
+    /// # Correctness of the threaded phase
+    ///
+    /// The caller (the sharded serve loop) guarantees that the flagged
+    /// updates have pairwise vertex-disjoint footprints on the batch's
+    /// union graph `G⁺`, with the scheduler's radius covering every match
+    /// cell a repair reads or writes — that is the [`MatchSlots`]
+    /// aliasing contract, so the unsynchronized shared access never
+    /// races. It also makes the repairs *commute*: a repair never
+    /// observes another same-wave repair's writes (they are confined to
+    /// the other footprint), and it never observes another same-wave
+    /// update's structural edits either — reading an edited adjacency
+    /// list would place the edited edge's right endpoint in both
+    /// footprints. Hence any interleaving — including the serial one —
+    /// produces the identical engine state, which keeps the workspace's
+    /// determinism contract (results independent of thread count) and is
+    /// exactly why `ShardedServeLoop ≡ ServeLoop` survives threading.
+    /// Deferred effects (sizes, stats, dirty marks) are folded in by
+    /// arrival index, so even the bookkeeping order is deterministic.
+    pub(crate) fn apply_wave(
+        &mut self,
+        updates: &[&Update],
+        parallel_ok: &[bool],
+        threads: usize,
+    ) -> Vec<WaveUpdateResult> {
+        debug_assert_eq!(updates.len(), parallel_ok.len());
+        let eager_k = self.cfg.eager_budget();
+        let ecap = self.cfg.eager_search_cap;
+
+        // Phase A — structural, serial, arrival order.
+        let mut plans: Vec<RepairPlan> = Vec::with_capacity(updates.len());
+        let mut results: Vec<WaveUpdateResult> = Vec::with_capacity(updates.len());
+        let mut mark_from: Vec<usize> = Vec::with_capacity(updates.len());
+        for up in updates {
+            mark_from.push(self.sweep_dirty.len());
+            let (plan, arrived) = self.apply_structural(up);
+            plans.push(plan);
+            results.push(WaveUpdateResult {
+                arrived,
+                touched: Vec::new(),
+            });
+        }
+        for (i, r) in results.iter_mut().enumerate() {
+            let to = mark_from
+                .get(i + 1)
+                .copied()
+                .unwrap_or(self.sweep_dirty.len());
+            r.touched
+                .extend_from_slice(&self.sweep_dirty[mark_from[i]..to]);
+        }
+
+        // Phase B — repairs. Disjoint-footprint plans fan out over real
+        // threads once the wave is wide enough to pay for the spawns.
+        let par_tasks: Vec<usize> = (0..plans.len())
+            .filter(|&i| parallel_ok[i] && !matches!(plans[i], RepairPlan::Noop))
+            .collect();
+        let mut outcomes: Vec<Option<RepairOutcome>> = (0..plans.len()).map(|_| None).collect();
+        let workers = threads.min(par_tasks.len());
+        if workers > 1 {
+            let n_left = self.dg.n_left();
+            let n_right = self.dg.n_right();
+            self.matching.ensure_left(n_left);
+            if self.wave_scratch.len() < workers {
+                self.wave_scratch
+                    .resize_with(workers, SearchScratch::default);
+            }
+            let ServeLoop {
+                dg,
+                matching,
+                wave_scratch,
+                ..
+            } = self;
+            let dg: &DeltaGraph = dg;
+            for s in wave_scratch[..workers].iter_mut() {
+                s.ensure(n_left, n_right);
+            }
+            // SAFETY OF THE SHARING: `slots` is handed to every worker;
+            // the footprint-disjointness contract above is what makes
+            // the concurrent cell access sound.
+            let slots = matching.slots();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let done: Vec<Vec<(usize, RepairOutcome)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave_scratch[..workers]
+                    .iter_mut()
+                    .map(|scratch| {
+                        let slots = &slots;
+                        let next = &next;
+                        let plans = &plans;
+                        let par_tasks = &par_tasks;
+                        scope.spawn(move || {
+                            let mut mine = Vec::new();
+                            loop {
+                                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(&i) = par_tasks.get(t) else { break };
+                                mine.push((
+                                    i,
+                                    run_repair(&plans[i], dg, slots, scratch, eager_k, ecap),
+                                ));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("wave worker panicked"))
+                    .collect()
+            });
+            for (i, out) in done.into_iter().flatten() {
+                outcomes[i] = Some(out);
+            }
+            // Workers counted expansions on their own scratch; fold the
+            // totals back into the serial counter.
+            let mut expansions = 0u64;
+            for s in &mut self.wave_scratch[..workers] {
+                expansions += std::mem::take(&mut s.expansions);
+            }
+            self.matching.absorb_wave(0, expansions);
+        }
+        // Narrow waves, global escalations, and no-op plans run here, in
+        // arrival order (they commute with the threaded repairs).
+        for (i, plan) in plans.iter().enumerate() {
+            if outcomes[i].is_none() && !matches!(plan, RepairPlan::Noop) {
+                let ServeLoop { dg, matching, .. } = &mut *self;
+                let (slots, scratch) = matching.split();
+                outcomes[i] = Some(run_repair(plan, dg, &slots, scratch, eager_k, ecap));
+            }
+        }
+
+        // Fold deferred effects in arrival order.
+        for (i, out) in outcomes.into_iter().enumerate() {
+            if let Some(out) = out {
+                results[i].touched.extend_from_slice(&out.dirty);
+                self.absorb_outcome(out);
+            }
+        }
+        results
     }
 
     /// Close the epoch: restore the global `k/(k+1)` certificate, repair
@@ -403,6 +707,18 @@ impl ServeLoop {
     /// certifying every (reachable) free vertex against the same final
     /// matching.
     ///
+    /// The candidate set — *free* lefts with a neighbor inside the
+    /// region — is derived once from the region's adjacency and extended
+    /// exactly when a flip grows the region, so a pass costs
+    /// `O(|candidates|)` mate probes plus the searches, instead of
+    /// re-testing every left's neighborhood against the region each pass.
+    /// The sweep only ever augments, so a left matched when the region
+    /// reached it can never become free later — skipping matched lefts at
+    /// derivation loses nothing. New candidates discovered mid-pass are
+    /// appended (searched later the same pass); passes iterate in
+    /// ascending id order and repeat until clean, so every candidate is
+    /// certified against the final matching.
+    ///
     /// Returns `(augmentations, searches started)`.
     fn certificate_sweep(&mut self) -> (usize, usize) {
         if self.sweep_dirty.is_empty() {
@@ -411,17 +727,49 @@ impl ServeLoop {
         let k = self.cfg.walk_budget;
         self.matching.ensure_left(self.dg.n_left());
         let mut region = vec![false; self.dg.n_right()];
-        for v in ball_of_capped(&self.dg, &self.sweep_dirty, k, usize::MAX) {
-            region[v as usize] = true;
-        }
+        let mut is_candidate = vec![false; self.dg.n_left()];
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut ball_scratch = BallScratch::for_graph(&self.dg);
+        let absorb = |ball: Vec<RightId>,
+                      matching: &Matching,
+                      region: &mut [bool],
+                      is_candidate: &mut [bool],
+                      candidates: &mut Vec<u32>| {
+            for v in ball {
+                if !std::mem::replace(&mut region[v as usize], true) {
+                    for u in self.dg.right_neighbors_iter(v) {
+                        if matching.mate(u).is_none()
+                            && !std::mem::replace(&mut is_candidate[u as usize], true)
+                        {
+                            candidates.push(u);
+                        }
+                    }
+                }
+            }
+        };
+        absorb(
+            ball_of_capped_with(
+                &self.dg,
+                &self.sweep_dirty,
+                k,
+                usize::MAX,
+                &mut ball_scratch,
+            ),
+            &self.matching,
+            &mut region,
+            &mut is_candidate,
+            &mut candidates,
+        );
         let mut total = 0usize;
         let mut starts = 0usize;
         loop {
+            candidates.sort_unstable();
             let mut progressed = 0usize;
-            for u in 0..self.dg.n_left() as u32 {
-                if self.matching.mate(u).is_some()
-                    || !self.dg.left_neighbors_iter(u).any(|v| region[v as usize])
-                {
+            let mut at = 0usize;
+            while at < candidates.len() {
+                let u = candidates[at];
+                at += 1;
+                if self.matching.mate(u).is_some() {
                     continue;
                 }
                 starts += 1;
@@ -432,9 +780,13 @@ impl ServeLoop {
                 {
                     progressed += 1;
                     let walk = self.matching.last_walk().to_vec();
-                    for v in ball_of_capped(&self.dg, &walk, k, usize::MAX) {
-                        region[v as usize] = true;
-                    }
+                    absorb(
+                        ball_of_capped_with(&self.dg, &walk, k, usize::MAX, &mut ball_scratch),
+                        &self.matching,
+                        &mut region,
+                        &mut is_candidate,
+                        &mut candidates,
+                    );
                 }
             }
             total += progressed;

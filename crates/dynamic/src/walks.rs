@@ -19,10 +19,302 @@
 //! All searches run on [`DeltaGraph`] adjacency directly — no CSR
 //! materialization — and reuse stamped visit buffers so repeated calls
 //! allocate nothing.
+//!
+//! # Disjoint parallel repairs
+//!
+//! The searches are written against two separable pieces of state: the
+//! per-vertex match cells (`MatchSlots`) and a per-caller scratch space
+//! (`SearchScratch`). The serial [`Matching`] methods borrow both from
+//! `&mut self`; the sharded serve loop's threaded wave executor instead
+//! shares one `MatchSlots` across worker threads (each with its own
+//! scratch) to repair *footprint-disjoint* updates concurrently. The
+//! aliasing proof is exactly the conflict scheduler's footprint argument:
+//! a bounded search from an update site reads and writes match cells only
+//! of rights inside its footprint and of lefts whose entire neighborhood
+//! lies inside it, so vertex-disjoint footprints touch disjoint cells.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 
 use sparse_alloc_graph::{Assignment, DeltaGraph, LeftId, RightId};
 
-/// The maintained integral allocation plus the search scratch space.
+/// Reusable per-caller search state: stamped visit buffers, BFS queues,
+/// and the observable outputs of the most recent search (walk, expansion
+/// counter). One instance per concurrent searcher; buffers grow once per
+/// vertex-set extension and a fresh stamp invalidates them in `O(1)`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SearchScratch {
+    stamp: u64,
+    seen_left: Vec<u64>,
+    seen_right: Vec<u64>,
+    depth_left: Vec<u32>,
+    parent_left: Vec<(LeftId, RightId)>,
+    parent_right: Vec<(LeftId, RightId)>,
+    queue_left: VecDeque<LeftId>,
+    queue_right: VecDeque<(RightId, u32)>,
+    /// Right vertices touched by the most recent successful flip (both the
+    /// old and the new side of every flipped pair; may contain duplicates).
+    pub(crate) last_walk: Vec<RightId>,
+    /// Lifetime count of BFS right-vertex expansions across all searches.
+    pub(crate) expansions: u64,
+}
+
+impl SearchScratch {
+    /// Grow the per-vertex buffers to cover the given vertex counts.
+    pub(crate) fn ensure(&mut self, n_left: usize, n_right: usize) {
+        if self.seen_left.len() < n_left {
+            self.seen_left.resize(n_left, 0);
+            self.depth_left.resize(n_left, 0);
+            self.parent_left.resize(n_left, (0, 0));
+        }
+        if self.seen_right.len() < n_right {
+            self.seen_right.resize(n_right, 0);
+            self.parent_right.resize(n_right, (0, 0));
+        }
+    }
+}
+
+/// A shared-mutable view of the matching's per-vertex cells (`mate` and
+/// the reverse index `matched_at`), allowing concurrent access to
+/// *vertex-disjoint* regions from multiple threads.
+///
+/// # Safety contract
+///
+/// All methods read or write individual cells without synchronization.
+/// This is sound only under the wave executor's footprint discipline:
+/// while the view is shared across threads, every concurrent user must
+/// confine its reads and writes to the match cells of rights inside its
+/// own (pairwise vertex-disjoint) footprint and of lefts adjacent to its
+/// footprint's interior — which the radius slack of
+/// [`crate::batch::schedule`] guarantees covers every cell a bounded
+/// repair can touch. The serial [`Matching`] methods uphold the contract
+/// trivially: they build the view from `&mut self`, so there is exactly
+/// one user.
+pub(crate) struct MatchSlots<'a> {
+    mate: &'a [UnsafeCell<Option<RightId>>],
+    matched_at: &'a [UnsafeCell<Vec<LeftId>>],
+}
+
+// SAFETY: see the type-level contract — concurrent users touch disjoint
+// cells, so unsynchronized access never races.
+unsafe impl Sync for MatchSlots<'_> {}
+
+/// Reinterpret a uniquely borrowed slice as shared cells (`UnsafeCell<T>`
+/// has the same layout as `T`).
+fn cells<T>(s: &mut [T]) -> &[UnsafeCell<T>] {
+    // SAFETY: we hold the unique borrow, and the transparent wrapper
+    // preserves layout.
+    unsafe { &*(s as *mut [T] as *const [UnsafeCell<T>]) }
+}
+
+impl MatchSlots<'_> {
+    /// The match of left vertex `u` (`None` for unmatched or out-of-range).
+    #[inline]
+    pub(crate) fn mate(&self, u: LeftId) -> Option<RightId> {
+        // SAFETY: cell access per the type contract.
+        self.mate.get(u as usize).and_then(|c| unsafe { *c.get() })
+    }
+
+    /// Number of matched partners of right vertex `v`.
+    #[inline]
+    pub(crate) fn load(&self, v: RightId) -> u64 {
+        // SAFETY: cell access per the type contract.
+        unsafe { (*self.matched_at[v as usize].get()).len() as u64 }
+    }
+
+    /// Residual capacity of `v` on the live graph (0 if overfilled).
+    #[inline]
+    pub(crate) fn residual(&self, dg: &DeltaGraph, v: RightId) -> u64 {
+        dg.capacity(v).saturating_sub(self.load(v))
+    }
+
+    #[inline]
+    fn matched_count(&self, v: RightId) -> usize {
+        // SAFETY: cell access per the type contract.
+        unsafe { (*self.matched_at[v as usize].get()).len() }
+    }
+
+    #[inline]
+    fn matched_nth(&self, v: RightId, i: usize) -> LeftId {
+        // SAFETY: cell access per the type contract.
+        unsafe { (&*self.matched_at[v as usize].get())[i] }
+    }
+
+    /// Match `u` to `v`, releasing any previous match of `u` first.
+    /// Returns `true` iff `u` was free (i.e. the matching grew).
+    pub(crate) fn set_mate(&self, u: LeftId, v: RightId) -> bool {
+        let was_free = self.unmatch(u).is_none();
+        // SAFETY: cell access per the type contract.
+        unsafe {
+            *self.mate[u as usize].get() = Some(v);
+            (*self.matched_at[v as usize].get()).push(u);
+        }
+        was_free
+    }
+
+    /// Unmatch `u`, returning its former partner.
+    pub(crate) fn unmatch(&self, u: LeftId) -> Option<RightId> {
+        // SAFETY: cell access per the type contract.
+        unsafe {
+            let old = (*self.mate[u as usize].get()).take()?;
+            let at = &mut *self.matched_at[old as usize].get();
+            let pos = at.iter().position(|&x| x == u).expect("u was matched at v");
+            at.swap_remove(pos);
+            Some(old)
+        }
+    }
+
+    /// Evict one matched partner of `v` (most recently matched first),
+    /// returning it.
+    pub(crate) fn evict_one(&self, v: RightId) -> Option<LeftId> {
+        // SAFETY: cell access per the type contract.
+        let u = unsafe { (*self.matched_at[v as usize].get()).last().copied() }?;
+        self.unmatch(u);
+        Some(u)
+    }
+}
+
+/// Forward search: try to match free left vertex `u` through an
+/// augmenting walk of length `≤ 2k−1` (at most `k−1` matched hops).
+/// Returns whether the matching grew (by exactly one).
+///
+/// `visit_cap` bounds the number of right vertices the search may expand
+/// before giving up — the eager per-update repairs pass a small cap (a
+/// failed unbounded search costs a whole `O(deg^k)` ball), while
+/// [`Matching::sweep`] passes `usize::MAX` because the certificate needs
+/// exact searches.
+pub(crate) fn augment_from_left(
+    slots: &MatchSlots<'_>,
+    scratch: &mut SearchScratch,
+    dg: &DeltaGraph,
+    u: LeftId,
+    k: usize,
+    visit_cap: usize,
+) -> bool {
+    assert!(k >= 1, "walk budget k ≥ 1");
+    if slots.mate(u).is_some() {
+        return false;
+    }
+    let budget = (k - 1) as u32;
+    let mut visits = 0usize;
+    scratch.stamp += 1;
+    let stamp = scratch.stamp;
+    scratch.queue_left.clear();
+    scratch.seen_left[u as usize] = stamp;
+    scratch.depth_left[u as usize] = 0;
+    scratch.queue_left.push_back(u);
+
+    while let Some(x) = scratch.queue_left.pop_front() {
+        let d = scratch.depth_left[x as usize];
+        for w in dg.left_neighbors_iter(x) {
+            if slots.mate(x) == Some(w) {
+                continue; // the matched edge of x is not traversable here
+            }
+            if slots.residual(dg, w) > 0 {
+                // Flip the walk u ⇝ x — w.
+                scratch.last_walk.clear();
+                let mut cur = x;
+                let mut assign = w;
+                loop {
+                    let old = slots.mate(cur);
+                    scratch.last_walk.push(assign);
+                    slots.set_mate(cur, assign);
+                    if cur == u {
+                        break;
+                    }
+                    let (prev, via) = scratch.parent_left[cur as usize];
+                    debug_assert_eq!(old, Some(via));
+                    assign = via;
+                    cur = prev;
+                }
+                return true;
+            }
+            if d < budget && scratch.seen_right[w as usize] != stamp {
+                scratch.seen_right[w as usize] = stamp;
+                visits += 1;
+                scratch.expansions += 1;
+                if visits > visit_cap {
+                    return false;
+                }
+                for i in 0..slots.matched_count(w) {
+                    let x2 = slots.matched_nth(w, i);
+                    if scratch.seen_left[x2 as usize] != stamp {
+                        scratch.seen_left[x2 as usize] = stamp;
+                        scratch.depth_left[x2 as usize] = d + 1;
+                        scratch.parent_left[x2 as usize] = (x, w);
+                        scratch.queue_left.push_back(x2);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Backward search: right vertex `v` has residual capacity — pull in a
+/// free left vertex through an augmenting walk of length `≤ 2k−1` ending
+/// at `v`. Returns whether the matching grew (by exactly one).
+///
+/// `visit_cap` bounds the expanded right vertices, as in
+/// [`augment_from_left`].
+pub(crate) fn reclaim_into(
+    slots: &MatchSlots<'_>,
+    scratch: &mut SearchScratch,
+    dg: &DeltaGraph,
+    v: RightId,
+    k: usize,
+    visit_cap: usize,
+) -> bool {
+    assert!(k >= 1, "walk budget k ≥ 1");
+    if slots.residual(dg, v) == 0 {
+        return false;
+    }
+    let budget = (k - 1) as u32;
+    let mut visits = 0usize;
+    scratch.stamp += 1;
+    let stamp = scratch.stamp;
+    scratch.queue_right.clear();
+    scratch.seen_right[v as usize] = stamp;
+    scratch.queue_right.push_back((v, 0u32));
+
+    while let Some((w, d)) = scratch.queue_right.pop_front() {
+        visits += 1;
+        scratch.expansions += 1;
+        if visits > visit_cap {
+            return false;
+        }
+        for x in dg.right_neighbors_iter(w) {
+            match slots.mate(x) {
+                Some(mw) if mw == w => continue, // matched edge: not traversable
+                None => {
+                    // Found a free left: flip x — w ⇝ v.
+                    scratch.last_walk.clear();
+                    scratch.last_walk.push(w);
+                    slots.set_mate(x, w);
+                    let mut cur = w;
+                    while cur != v {
+                        let (y, next) = scratch.parent_right[cur as usize];
+                        debug_assert_eq!(slots.mate(y), Some(cur));
+                        scratch.last_walk.push(next);
+                        slots.set_mate(y, next);
+                        cur = next;
+                    }
+                    return true;
+                }
+                Some(w2) => {
+                    if d < budget && scratch.seen_right[w2 as usize] != stamp {
+                        scratch.seen_right[w2 as usize] = stamp;
+                        scratch.parent_right[w2 as usize] = (x, w);
+                        scratch.queue_right.push_back((w2, d + 1));
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The maintained integral allocation plus one searcher's scratch space.
 #[derive(Debug, Clone)]
 pub struct Matching {
     /// Per-left match (grows with arrivals; departed slots hold `None`).
@@ -30,18 +322,7 @@ pub struct Matching {
     /// Matched left partners per right vertex.
     matched_at: Vec<Vec<LeftId>>,
     size: usize,
-    // Stamped scratch buffers (a fresh stamp invalidates in O(1)).
-    stamp: u64,
-    seen_left: Vec<u64>,
-    seen_right: Vec<u64>,
-    depth_left: Vec<u32>,
-    parent_left: Vec<(LeftId, RightId)>,
-    parent_right: Vec<(LeftId, RightId)>,
-    /// Right vertices touched by the most recent successful flip (both the
-    /// old and the new side of every flipped pair; may contain duplicates).
-    last_walk: Vec<RightId>,
-    /// Lifetime count of BFS right-vertex expansions across all searches.
-    expansions: u64,
+    scratch: SearchScratch,
 }
 
 impl Matching {
@@ -51,15 +332,9 @@ impl Matching {
             mate: Vec::new(),
             matched_at: vec![Vec::new(); dg.n_right()],
             size: 0,
-            stamp: 0,
-            seen_left: Vec::new(),
-            seen_right: vec![0; dg.n_right()],
-            depth_left: Vec::new(),
-            parent_left: Vec::new(),
-            parent_right: vec![(0, 0); dg.n_right()],
-            last_walk: Vec::new(),
-            expansions: 0,
+            scratch: SearchScratch::default(),
         };
+        m.scratch.ensure(0, dg.n_right());
         m.ensure_left(dg.n_left());
         m
     }
@@ -86,14 +361,35 @@ impl Matching {
         m
     }
 
+    /// Split into the shared match cells and the owned scratch space. The
+    /// exclusive borrow of `self` makes the single-user case of the
+    /// [`MatchSlots`] contract hold by construction.
+    pub(crate) fn split(&mut self) -> (MatchSlots<'_>, &mut SearchScratch) {
+        (
+            MatchSlots {
+                mate: cells(&mut self.mate),
+                matched_at: cells(&mut self.matched_at),
+            },
+            &mut self.scratch,
+        )
+    }
+
+    /// The shared match cells alone (threaded wave execution: workers
+    /// bring their own [`SearchScratch`]). The caller takes over the
+    /// [`MatchSlots`] disjointness contract.
+    pub(crate) fn slots(&mut self) -> MatchSlots<'_> {
+        MatchSlots {
+            mate: cells(&mut self.mate),
+            matched_at: cells(&mut self.matched_at),
+        }
+    }
+
     /// Grow the per-left arrays to cover `n_left` vertices.
     pub fn ensure_left(&mut self, n_left: usize) {
         if self.mate.len() < n_left {
             self.mate.resize(n_left, None);
-            self.seen_left.resize(n_left, 0);
-            self.depth_left.resize(n_left, 0);
-            self.parent_left.resize(n_left, (0, 0));
         }
+        self.scratch.ensure(n_left, self.matched_at.len());
     }
 
     /// Cardinality `|M|`.
@@ -127,7 +423,7 @@ impl Matching {
     /// successful search; may contain duplicates.
     #[inline]
     pub fn last_walk(&self) -> &[RightId] {
-        &self.last_walk
+        &self.scratch.last_walk
     }
 
     /// Lifetime count of BFS right-vertex expansions across all searches
@@ -135,7 +431,14 @@ impl Matching {
     /// phase to measure its search work.
     #[inline]
     pub fn expansions(&self) -> u64 {
-        self.expansions
+        self.scratch.expansions
+    }
+
+    /// Fold a threaded wave's deferred effects into the serial state: the
+    /// net matching growth and the workers' expansion counts.
+    pub(crate) fn absorb_wave(&mut self, size_delta: i64, expansions: u64) {
+        self.size = (self.size as i64 + size_delta) as usize;
+        self.scratch.expansions += expansions;
     }
 
     /// Export as a plain [`Assignment`].
@@ -147,10 +450,7 @@ impl Matching {
 
     /// Unmatch `u`, returning its former partner.
     pub fn unmatch(&mut self, u: LeftId) -> Option<RightId> {
-        let old = self.mate[u as usize].take()?;
-        let at = &mut self.matched_at[old as usize];
-        let pos = at.iter().position(|&x| x == u).expect("u was matched at v");
-        at.swap_remove(pos);
+        let old = self.slots().unmatch(u)?;
         self.size -= 1;
         Some(old)
     }
@@ -158,31 +458,20 @@ impl Matching {
     /// Evict one matched partner of `v` (most recently matched first),
     /// returning it. Used when a capacity decrease overfills `v`.
     pub fn evict_one(&mut self, v: RightId) -> Option<LeftId> {
-        let u = *self.matched_at[v as usize].last()?;
-        self.unmatch(u);
+        let u = self.slots().evict_one(v)?;
+        self.size -= 1;
         Some(u)
     }
 
     fn set_mate(&mut self, u: LeftId, v: RightId) {
-        if self.mate[u as usize].is_none() {
-            self.size += 1;
-        } else {
-            self.unmatch(u);
+        if self.slots().set_mate(u, v) {
             self.size += 1;
         }
-        self.mate[u as usize] = Some(v);
-        self.matched_at[v as usize].push(u);
     }
 
-    /// Forward search: try to match free left vertex `u` through an
-    /// augmenting walk of length `≤ 2k−1` (at most `k−1` matched hops).
-    /// Returns whether the matching grew.
-    ///
-    /// `visit_cap` bounds the number of right vertices the search may
-    /// expand before giving up — the eager per-update repairs pass a
-    /// small cap (a failed unbounded search costs a whole `O(deg^k)`
-    /// ball), while [`Matching::sweep`] passes `usize::MAX` because the
-    /// certificate needs exact searches.
+    /// Forward search from free left vertex `u`: try to match it through
+    /// an augmenting walk of length `≤ 2k−1`, expanding at most `visit_cap`
+    /// right vertices. Returns whether the matching grew.
     pub fn try_augment_from_left(
         &mut self,
         dg: &DeltaGraph,
@@ -190,73 +479,19 @@ impl Matching {
         k: usize,
         visit_cap: usize,
     ) -> bool {
-        assert!(k >= 1, "walk budget k ≥ 1");
-        if self.mate(u).is_some() {
-            return false;
-        }
         self.ensure_left(dg.n_left());
-        let budget = (k - 1) as u32;
-        let mut visits = 0usize;
-        self.stamp += 1;
-        let stamp = self.stamp;
-        let mut queue = std::collections::VecDeque::new();
-        self.seen_left[u as usize] = stamp;
-        self.depth_left[u as usize] = 0;
-        queue.push_back(u);
-
-        while let Some(x) = queue.pop_front() {
-            let d = self.depth_left[x as usize];
-            for w in dg.left_neighbors_iter(x) {
-                if self.mate[x as usize] == Some(w) {
-                    continue; // the matched edge of x is not traversable here
-                }
-                if self.residual(dg, w) > 0 {
-                    // Flip the walk u ⇝ x — w.
-                    self.last_walk.clear();
-                    let mut cur = x;
-                    let mut assign = w;
-                    loop {
-                        let old = self.mate[cur as usize];
-                        self.last_walk.push(assign);
-                        self.set_mate(cur, assign);
-                        if cur == u {
-                            break;
-                        }
-                        let (prev, via) = self.parent_left[cur as usize];
-                        debug_assert_eq!(old, Some(via));
-                        assign = via;
-                        cur = prev;
-                    }
-                    return true;
-                }
-                if d < budget && self.seen_right[w as usize] != stamp {
-                    self.seen_right[w as usize] = stamp;
-                    visits += 1;
-                    self.expansions += 1;
-                    if visits > visit_cap {
-                        return false;
-                    }
-                    for i in 0..self.matched_at[w as usize].len() {
-                        let x2 = self.matched_at[w as usize][i];
-                        if self.seen_left[x2 as usize] != stamp {
-                            self.seen_left[x2 as usize] = stamp;
-                            self.depth_left[x2 as usize] = d + 1;
-                            self.parent_left[x2 as usize] = (x, w);
-                            queue.push_back(x2);
-                        }
-                    }
-                }
-            }
+        let (slots, scratch) = self.split();
+        let grew = augment_from_left(&slots, scratch, dg, u, k, visit_cap);
+        if grew {
+            self.size += 1;
         }
-        false
+        grew
     }
 
-    /// Backward search: right vertex `v` has residual capacity — pull in a
-    /// free left vertex through an augmenting walk of length `≤ 2k−1`
-    /// ending at `v`. Returns whether the matching grew.
-    ///
-    /// `visit_cap` bounds the expanded right vertices, as in
-    /// [`Matching::try_augment_from_left`].
+    /// Backward search: right vertex `v` has residual capacity — pull in
+    /// a free left vertex through an augmenting walk of length `≤ 2k−1`,
+    /// expanding at most `visit_cap` rights. Returns whether the matching
+    /// grew.
     pub fn reclaim_into(
         &mut self,
         dg: &DeltaGraph,
@@ -264,54 +499,13 @@ impl Matching {
         k: usize,
         visit_cap: usize,
     ) -> bool {
-        assert!(k >= 1, "walk budget k ≥ 1");
-        if self.residual(dg, v) == 0 {
-            return false;
-        }
         self.ensure_left(dg.n_left());
-        let budget = (k - 1) as u32;
-        let mut visits = 0usize;
-        self.stamp += 1;
-        let stamp = self.stamp;
-        let mut queue = std::collections::VecDeque::new();
-        self.seen_right[v as usize] = stamp;
-        queue.push_back((v, 0u32));
-
-        while let Some((w, d)) = queue.pop_front() {
-            visits += 1;
-            self.expansions += 1;
-            if visits > visit_cap {
-                return false;
-            }
-            for x in dg.right_neighbors_iter(w) {
-                match self.mate[x as usize] {
-                    Some(mw) if mw == w => continue, // matched edge: not traversable
-                    None => {
-                        // Found a free left: flip x — w ⇝ v.
-                        self.last_walk.clear();
-                        self.last_walk.push(w);
-                        self.set_mate(x, w);
-                        let mut cur = w;
-                        while cur != v {
-                            let (y, next) = self.parent_right[cur as usize];
-                            debug_assert_eq!(self.mate[y as usize], Some(cur));
-                            self.last_walk.push(next);
-                            self.set_mate(y, next);
-                            cur = next;
-                        }
-                        return true;
-                    }
-                    Some(w2) => {
-                        if d < budget && self.seen_right[w2 as usize] != stamp {
-                            self.seen_right[w2 as usize] = stamp;
-                            self.parent_right[w2 as usize] = (x, w);
-                            queue.push_back((w2, d + 1));
-                        }
-                    }
-                }
-            }
+        let (slots, scratch) = self.split();
+        let grew = reclaim_into(&slots, scratch, dg, v, k, visit_cap);
+        if grew {
+            self.size += 1;
         }
-        false
+        grew
     }
 
     /// Restore the `≤ 2k−1` walk-freeness certificate globally: repeat
@@ -376,7 +570,6 @@ impl Matching {
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -324,6 +324,12 @@ impl DeltaGraph {
             .collect()
     }
 
+    /// Start a thin insert-only overlay view over the live graph — the
+    /// union graph `G⁺` of a scheduling batch. See [`InsertOverlay`].
+    pub fn insert_overlay(&self) -> InsertOverlay<'_> {
+        InsertOverlay::new(self)
+    }
+
     /// Fold the overlay into a fresh frozen snapshot with identical vertex
     /// ids (departed left slots persist with degree 0). `O(n + m)`.
     pub fn compact(&self) -> Bipartite {
@@ -335,6 +341,209 @@ impl DeltaGraph {
         }
         b.build(self.caps.clone())
             .expect("overlay edges are range-checked on insertion")
+    }
+}
+
+/// Sentinel for "no further overlay edge" in [`InsertOverlay`]'s links.
+const NO_LINK: u32 = u32::MAX;
+
+/// A thin insert-only view over a [`DeltaGraph`]: the live graph plus a
+/// batch of pending edge inserts and left-vertex arrivals, **without
+/// copying the base**.
+///
+/// The conflict scheduler of the dynamic subsystem computes update
+/// footprints on the batch's union graph `G⁺` (live edges plus every edge
+/// any update in the batch inserts — deletions are ignored, they only
+/// shrink reachability). Cloning the whole `DeltaGraph` per batch costs
+/// `O(n + m)` with hashing; this view costs `O(n)` dense index arrays at
+/// construction plus `O(1)` per staged insert, and adjacency queries pay
+/// the underlying live scan plus an `O(deg⁺)` linked-list tail — no
+/// hashing on the per-edge path.
+///
+/// The view is *additive only*: staged inserts cannot be deleted, and the
+/// underlying graph stays untouched (scheduling "reverts" by dropping the
+/// view). Staged adjacency is set-equal to applying the same inserts to a
+/// clone; iteration *order* of overlay tails may differ for re-inserted
+/// deleted base edges (the clone would revive them in CSR position), which
+/// is immaterial to ball/reachability computations.
+#[derive(Debug)]
+pub struct InsertOverlay<'a> {
+    dg: &'a DeltaGraph,
+    base_n_left: usize,
+    /// Adjacency of staged arrivals (ids `dg.n_left()..`), including any
+    /// staged inserts that target them.
+    extra: Vec<Vec<RightId>>,
+    /// Per base-left first/last staged edge (index into `left_links`).
+    left_head: Vec<u32>,
+    left_tail: Vec<u32>,
+    /// `(right endpoint, next link)` chains of staged base-left edges.
+    left_links: Vec<(RightId, u32)>,
+    /// Per right vertex first/last staged edge (index into `right_links`).
+    right_head: Vec<u32>,
+    right_tail: Vec<u32>,
+    /// `(left endpoint, next link)` chains of staged right-side edges.
+    right_links: Vec<(LeftId, u32)>,
+}
+
+impl<'a> InsertOverlay<'a> {
+    /// An empty overlay view of `dg`. `O(n_left + n_right)`.
+    pub fn new(dg: &'a DeltaGraph) -> Self {
+        InsertOverlay {
+            dg,
+            base_n_left: dg.n_left(),
+            extra: Vec::new(),
+            left_head: vec![NO_LINK; dg.n_left()],
+            left_tail: vec![NO_LINK; dg.n_left()],
+            left_links: Vec::new(),
+            right_head: vec![NO_LINK; dg.n_right()],
+            right_tail: vec![NO_LINK; dg.n_right()],
+            right_links: Vec::new(),
+        }
+    }
+
+    /// Number of left vertices, including staged arrivals.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.base_n_left + self.extra.len()
+    }
+
+    /// Number of right vertices (fixed).
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.dg.n_right()
+    }
+
+    /// Stage a left-vertex arrival with the given neighbor set
+    /// (deduplicated), mirroring [`DeltaGraph::arrive`]. Returns the id
+    /// the real arrival will be assigned.
+    ///
+    /// # Panics
+    /// Panics if any neighbor is out of range.
+    pub fn arrive(&mut self, neighbors: &[RightId]) -> LeftId {
+        let u = self.n_left() as LeftId;
+        let mut adj: Vec<RightId> = neighbors.to_vec();
+        adj.sort_unstable();
+        adj.dedup();
+        for &v in &adj {
+            assert!(
+                (v as usize) < self.n_right(),
+                "right vertex {v} out of range"
+            );
+            self.link_right(v, u);
+        }
+        self.extra.push(adj);
+        u
+    }
+
+    /// Stage edge `(u, v)`. Returns `false` (and stages nothing) if the
+    /// edge is already live or already staged.
+    ///
+    /// # Panics
+    /// Panics if `u ≥ n_left()` (staged arrivals included) or
+    /// `v ≥ n_right()`.
+    pub fn insert(&mut self, u: LeftId, v: RightId) -> bool {
+        assert!((u as usize) < self.n_left(), "left vertex {u} out of range");
+        assert!(
+            (v as usize) < self.n_right(),
+            "right vertex {v} out of range"
+        );
+        if self.has_edge(u, v) {
+            return false;
+        }
+        if (u as usize) < self.base_n_left {
+            let link = self.left_links.len() as u32;
+            self.left_links.push((v, NO_LINK));
+            match self.left_tail[u as usize] {
+                NO_LINK => self.left_head[u as usize] = link,
+                tail => self.left_links[tail as usize].1 = link,
+            }
+            self.left_tail[u as usize] = link;
+        } else {
+            self.extra[u as usize - self.base_n_left].push(v);
+        }
+        self.link_right(v, u);
+        true
+    }
+
+    fn link_right(&mut self, v: RightId, u: LeftId) {
+        let link = self.right_links.len() as u32;
+        self.right_links.push((u, NO_LINK));
+        match self.right_tail[v as usize] {
+            NO_LINK => self.right_head[v as usize] = link,
+            tail => self.right_links[tail as usize].1 = link,
+        }
+        self.right_tail[v as usize] = link;
+    }
+
+    /// Does the union graph contain edge `(u, v)`?
+    pub fn has_edge(&self, u: LeftId, v: RightId) -> bool {
+        if (u as usize) >= self.base_n_left {
+            return self
+                .extra
+                .get(u as usize - self.base_n_left)
+                .is_some_and(|a| a.contains(&v));
+        }
+        if self.dg.has_edge(u, v) {
+            return true;
+        }
+        let mut at = self.left_head[u as usize];
+        while at != NO_LINK {
+            let (w, next) = self.left_links[at as usize];
+            if w == v {
+                return true;
+            }
+            at = next;
+        }
+        false
+    }
+
+    /// Union-graph neighbors of left vertex `u` (live edges, then staged).
+    pub fn left_neighbors_iter(&self, u: LeftId) -> impl Iterator<Item = RightId> + '_ {
+        let (live, head, extra): (bool, u32, &[RightId]) = if (u as usize) < self.base_n_left {
+            (true, self.left_head[u as usize], &[])
+        } else {
+            (
+                false,
+                NO_LINK,
+                self.extra[u as usize - self.base_n_left].as_slice(),
+            )
+        };
+        let base = live
+            .then(|| self.dg.left_neighbors_iter(u))
+            .into_iter()
+            .flatten();
+        base.chain(LinkIter {
+            links: &self.left_links,
+            at: head,
+        })
+        .chain(extra.iter().copied())
+    }
+
+    /// Union-graph neighbors of right vertex `v` (live edges, then staged).
+    pub fn right_neighbors_iter(&self, v: RightId) -> impl Iterator<Item = LeftId> + '_ {
+        self.dg.right_neighbors_iter(v).chain(LinkIter {
+            links: &self.right_links,
+            at: self.right_head[v as usize],
+        })
+    }
+}
+
+/// Iterator over one vertex's staged-edge chain.
+struct LinkIter<'a> {
+    links: &'a [(u32, u32)],
+    at: u32,
+}
+
+impl Iterator for LinkIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.at == NO_LINK {
+            return None;
+        }
+        let (v, next) = self.links[self.at as usize];
+        self.at = next;
+        Some(v)
     }
 }
 
@@ -563,6 +772,65 @@ mod tests {
     fn partition_rejects_bad_owners() {
         let d = DeltaGraph::new(base());
         let _ = d.partition_by_right(2, |_| 5);
+    }
+
+    #[test]
+    fn insert_overlay_stages_without_touching_the_base() {
+        let mut d = DeltaGraph::new(base());
+        d.delete_edge(0, 0); // removed base edge: re-staging must revive it
+        let mut g = d.insert_overlay();
+        assert_eq!(g.n_left(), 3);
+        assert!(!g.has_edge(0, 0), "deleted base edge is not live");
+        assert!(g.insert(0, 0), "staging revives the deleted base edge");
+        assert!(!g.insert(0, 0), "duplicate stage is a no-op");
+        assert!(!g.insert(0, 1), "live edges cannot be staged again");
+        assert!(g.insert(1, 1));
+        let a = g.arrive(&[1, 0, 1]); // dup deduplicated, mirroring arrive()
+        assert_eq!(a, 3);
+        assert!(!g.insert(a, 1), "arrival edge already staged");
+        assert!(g.insert(2, 0));
+
+        // The union adjacency is set-equal to cloning + applying.
+        let mut clone = d.clone();
+        clone.insert_edge(0, 0);
+        clone.insert_edge(1, 1);
+        clone.arrive(&[1, 0, 1]);
+        clone.insert_edge(2, 0);
+        for u in 0..g.n_left() as u32 {
+            let mut mine: Vec<u32> = g.left_neighbors_iter(u).collect();
+            let mut theirs: Vec<u32> = clone.left_neighbors_iter(u).collect();
+            mine.sort_unstable();
+            theirs.sort_unstable();
+            assert_eq!(mine, theirs, "left {u}");
+        }
+        for v in 0..g.n_right() as u32 {
+            let mut mine: Vec<u32> = g.right_neighbors_iter(v).collect();
+            let mut theirs: Vec<u32> = clone.right_neighbors_iter(v).collect();
+            mine.sort_unstable();
+            theirs.sort_unstable();
+            assert_eq!(mine, theirs, "right {v}");
+        }
+
+        // Dropping the view reverts the batch: the base never moved.
+        drop(g);
+        assert_eq!(d.m(), 3);
+        assert!(!d.has_edge(0, 0));
+        assert_eq!(d.n_left(), 3);
+    }
+
+    #[test]
+    fn insert_overlay_chains_preserve_per_vertex_order() {
+        let d = DeltaGraph::new(base());
+        let mut g = d.insert_overlay();
+        // Interleave inserts of two lefts: each chain must come back in
+        // insertion order despite sharing the links arena.
+        assert!(g.insert(2, 0));
+        assert!(g.insert(1, 1));
+        assert!(!g.insert(2, 1), "(2,1) is a live base edge");
+        let l2: Vec<u32> = g.left_neighbors_iter(2).collect();
+        assert_eq!(l2, vec![1, 0], "base edge first, staged tail after");
+        let r0: Vec<u32> = g.right_neighbors_iter(0).collect();
+        assert_eq!(r0, vec![0, 1, 2], "base scan then staged tail");
     }
 
     #[test]

@@ -67,4 +67,4 @@ pub use assignment::Assignment;
 pub use bipartite::{Bipartite, EdgeId, LeftId, RightId, Side};
 pub use builder::BipartiteBuilder;
 pub use capacities::CapacityModel;
-pub use delta::DeltaGraph;
+pub use delta::{DeltaGraph, InsertOverlay};

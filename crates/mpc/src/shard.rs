@@ -60,6 +60,11 @@ impl ShardMap {
 /// Ledger labels of the distributed serving phases, so cost tables and
 /// tests can attribute rounds and storage peaks to a specific phase.
 pub mod labels {
+    /// Conflict-scheduling an update batch: the per-shard staged
+    /// footprints are resident state of the scheduling phase (round-free;
+    /// storage accounting only, asserted against the space budget like
+    /// any other phase).
+    pub const BATCH_SCHEDULE: &str = "batch_schedule";
     /// Routing an epoch's update batch to the shards owning their balls.
     pub const ROUTE_UPDATES: &str = "route_updates";
     /// One wave of conflict-free parallel ball repairs (cross-shard walk

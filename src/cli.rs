@@ -144,12 +144,19 @@ const USAGE: &str = "usage: salloc <command>
                                           first-fit|random-fit|balance|ranking|
                                           prop-serve, O ∈ natural|reversed|random
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
-               [--shards P]               serve a churn stream incrementally
+               [--shards P] [--eager-budget B] [--footprint-cap N] [--waves]
+                                          serve a churn stream incrementally
                                           (K events/epoch), comparing against
                                           per-epoch full recomputes; with
                                           --shards P, serve sharded across a
                                           P-machine MPC cluster (ledger-
-                                          accounted rounds and space)";
+                                          accounted rounds and space).
+                                          --eager-budget caps the eager walk
+                                          depth (both modes; small values keep
+                                          conflict footprints tight),
+                                          --footprint-cap sets the global-
+                                          escalation threshold, --waves adds a
+                                          wave-occupancy report line";
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &[])?;
@@ -397,7 +404,7 @@ fn cmd_online(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
-    let f = parse_flags(args, &["no-full"])?;
+    let f = parse_flags(args, &["no-full", "waves"])?;
     let path = f
         .positional
         .first()
@@ -412,12 +419,35 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     }
     let compare_full = !f.has("no-full");
     let shards: usize = f.get("shards", 0)?;
+    // Both modes run the same engine config, so a serial run stays the
+    // reference for a sharded run under identical flags. 0 = the serial
+    // default (the full walk budget).
+    let eager_budget: usize = f.get("eager-budget", 0)?;
+    let mut cfg = DynamicConfig::for_eps(eps);
+    if eager_budget > 0 {
+        cfg.eager_walk_budget = eager_budget;
+    }
     if shards > 0 {
-        return cmd_dynamic_sharded(&g, epochs, events, eps, seed, shards);
+        let footprint_cap: usize =
+            f.get("footprint-cap", sparse_alloc_dynamic::batch::FOOTPRINT_CAP)?;
+        if footprint_cap == 0 {
+            return Err(err("--footprint-cap must be ≥ 1"));
+        }
+        let mut scfg = ShardedConfig::for_eps(eps, shards);
+        scfg.dynamic = cfg;
+        scfg.footprint_cap = footprint_cap;
+        return cmd_dynamic_sharded(&g, epochs, events, seed, scfg, f.has("waves"));
+    }
+    // Scheduling knobs only exist in sharded mode; ignoring them silently
+    // would misreport what actually ran.
+    if f.has("waves") {
+        return Err(err("--waves requires --shards"));
+    }
+    if f.named.contains_key("footprint-cap") {
+        return Err(err("--footprint-cap requires --shards"));
     }
 
     let updates = churn_stream(&g, epochs * events, &ChurnMix::default(), seed);
-    let cfg = DynamicConfig::for_eps(eps);
     let k = cfg.walk_budget;
     let mut serve = ServeLoop::new(g, cfg);
 
@@ -505,13 +535,15 @@ fn cmd_dynamic_sharded(
     g: &Bipartite,
     epochs: usize,
     events: usize,
-    eps: f64,
     seed: u64,
-    shards: usize,
+    cfg: ShardedConfig,
+    report_waves: bool,
 ) -> Result<String, CliError> {
     let updates = churn_stream(g, epochs * events, &ChurnMix::default(), seed);
-    let cfg = ShardedConfig::for_eps(eps, shards);
+    let eps = cfg.dynamic.eps;
+    let shards = cfg.shards;
     let k = cfg.dynamic.walk_budget;
+    let eager = cfg.dynamic.eager_budget();
     let mut serve = ShardedServeLoop::new(g.clone(), cfg)
         .map_err(|e| err(format!("sharded serving left the MPC regime: {e}")))?;
 
@@ -519,7 +551,7 @@ fn cmd_dynamic_sharded(
     let _ = writeln!(
         out,
         "sharded serving: {epochs} epochs × ~{events} events on {shards} machines \
-         (ε {eps}, walk budget k = {k})"
+         (ε {eps}, walk budget k = {k}, eager budget {eager})"
     );
     let _ = writeln!(
         out,
@@ -579,6 +611,16 @@ fn cmd_dynamic_sharded(
         "sharding           : {} batches, {} waves, {} updates routed, {} migrations",
         s.batches, s.waves, s.routed_updates, s.migrations
     );
+    if report_waves {
+        let mean = s.routed_updates as f64 / s.waves.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "waves              : {:.1} per epoch, width max {} mean {mean:.1}, {} global escalations",
+            s.waves as f64 / s.batches.max(1) as f64,
+            s.widest_wave,
+            s.escalations
+        );
+    }
     Ok(out)
 }
 
@@ -723,6 +765,38 @@ mod tests {
                 .to_string()
         };
         assert_eq!(matched(&sharded), matched(&serial));
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn dynamic_sharded_waves_and_footprint_cap_flags() {
+        let file = temp("dynwv.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 8 --out {file}"
+        )))
+        .unwrap();
+        let report = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --shards 3 \
+             --eager-budget 1 --waves"
+        )))
+        .unwrap();
+        assert!(report.contains("eager budget 1"), "{report}");
+        assert!(report.contains("waves              :"), "{report}");
+        assert!(report.contains("global escalations"), "{report}");
+        // A tiny footprint cap escalates everything: max wave width 1.
+        let tight = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --shards 3 \
+             --footprint-cap 1 --waves"
+        )))
+        .unwrap();
+        assert!(tight.contains("width max 1"), "{tight}");
+        assert!(run(&args(&format!(
+            "dynamic {file} --shards 2 --footprint-cap 0"
+        )))
+        .is_err());
+        // Scheduling knobs are sharded-only: reject rather than ignore.
+        assert!(run(&args(&format!("dynamic {file} --waves"))).is_err());
+        assert!(run(&args(&format!("dynamic {file} --footprint-cap 8"))).is_err());
         let _ = std::fs::remove_file(&file);
     }
 

@@ -321,8 +321,10 @@ proptest! {
             });
         }
 
-        // Serial reference: per-epoch sizes and the final matching.
-        let mut serial = ServeLoop::new(g.clone(), DynamicConfig::for_eps(eps));
+        // Serial reference: per-epoch sizes and the final matching. The
+        // engine config must be the sharded default's (eager budget 1 —
+        // the equivalence contract is per-config).
+        let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, 1).dynamic);
         let mut serial_sizes = Vec::new();
         for chunk in updates.chunks(epoch_every) {
             for up in chunk {
@@ -337,7 +339,12 @@ proptest! {
         let k = serial.config().walk_budget as f64;
 
         for &shards in &[1usize, 2, 4, 7] {
-            let sharded = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, shards));
+            // Force real worker threads (2–3) regardless of the host's
+            // core count: the threaded wave executor must produce the
+            // identical state, that is the commuting-repairs contract.
+            let mut cfg = ShardedConfig::for_eps(eps, shards);
+            cfg.wave_threads = 2 + shards % 2;
+            let sharded = ShardedServeLoop::new(g.clone(), cfg);
             prop_assert!(sharded.is_ok(), "{} shards: initial state over budget", shards);
             let mut sharded = sharded.unwrap();
             let mut sizes = Vec::new();
