@@ -38,6 +38,39 @@ if [ "${1:-}" != "fast" ]; then
         --eager-budget 1 --waves
     rm -rf "$tmp"
 
+    step "CLI checkpoint/restore smoke (warm restart ≡ uninterrupted)"
+    tmp="$(mktemp -d)"
+    cargo run --release -q --bin salloc -- \
+        gen forests --nl 300 --nr 240 --k 3 --cap 2 --seed 7 --out "$tmp/g.txt"
+    # Serial: 3 uninterrupted epochs vs 2 epochs + checkpoint + resumed 3rd.
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 3 --events 120 --eps 0.25 --seed 1 --no-full \
+        --assign "$tmp/full.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 120 --eps 0.25 --seed 1 --no-full \
+        --checkpoint "$tmp/ck.snap"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 3 --events 120 --seed 1 --no-full \
+        --restore "$tmp/ck.snap" --assign "$tmp/resumed.txt"
+    cmp "$tmp/full.txt" "$tmp/resumed.txt" \
+        || { echo "serial warm restart diverged from the uninterrupted run"; exit 1; }
+    # Sharded: checkpoint on 2 machines (periodically), restore onto 4.
+    # Eager budget 1 keeps the staged footprints inside the 2-shard space
+    # budget (the sharded default; the restore inherits it from the
+    # snapshot, so only the fresh engines pass the flag).
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 3 --events 120 --eps 0.25 --seed 1 --shards 2 \
+        --eager-budget 1 --assign "$tmp/sh-full.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 120 --eps 0.25 --seed 1 --shards 2 \
+        --eager-budget 1 --checkpoint "$tmp/sh.snap" --checkpoint-every 1
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 3 --events 120 --seed 1 --shards 4 \
+        --restore "$tmp/sh.snap" --assign "$tmp/sh-resumed.txt"
+    cmp "$tmp/sh-full.txt" "$tmp/sh-resumed.txt" \
+        || { echo "re-sharded warm restart diverged from the uninterrupted run"; exit 1; }
+    rm -rf "$tmp"
+
     step "e18 distributed serving (sharded ≡ serial at scale)"
     cargo run --release -q -p sparse-alloc-bench --bin experiments -- e18
 
@@ -64,6 +97,11 @@ if [ "${1:-}" != "fast" ]; then
         }' || exit 1
     fi
 
+    step "e20 persistence (warm-restart fidelity + snapshot size, gated)"
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e20
+    grep -q '"pass": true' BENCH_persistence.json \
+        || { echo "e20 FAILED its fidelity/snapshot-size criterion"; exit 1; }
+
     step "sharded ≡ serial proptest under --release (threaded wave execution)"
     cargo test --release -q --test properties \
         sharded_serving_equals_serial_for_any_shard_count
@@ -76,7 +114,8 @@ if [ "${1:-}" != "fast" ]; then
     done
 fi
 
-step "cargo doc --workspace --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+step "cargo doc --workspace --no-deps (warnings + broken intra-doc links are errors)"
+RUSTDOCFLAGS="-D warnings -D rustdoc::broken-intra-doc-links" \
+    cargo doc --workspace --no-deps --quiet
 
 step "OK"

@@ -8,7 +8,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <e1..e18 | all> [more ids…]");
+        eprintln!("usage: experiments <e1..e20 | all> [more ids…]");
         std::process::exit(2);
     }
     for id in &args {

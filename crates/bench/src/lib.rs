@@ -1,7 +1,7 @@
 //! Experiment harness for the `sparse-alloc` reproduction.
 //!
 //! The paper is pure theory (no tables or figures), so deliverable (d) is
-//! realized as experiments **E1–E17**, each validating one theorem, lemma,
+//! realized as experiments **E1–E20**, each validating one theorem, lemma,
 //! remark, application claim, or ablation; see `DESIGN.md` §5 for the
 //! index and `EXPERIMENTS.md` for measured results. Run them with:
 //!

@@ -37,6 +37,67 @@
 //! a wave) is equivalent to the serial order — the property
 //! `tests/properties.rs` checks exhaustively.
 //!
+//! # The two-tier footprint derivation
+//!
+//! A footprint is grown from two seed tiers, because the two kinds of
+//! bounded search reach differently far (the hop arithmetic lives in
+//! [`DynamicConfig::eager_radius`], radius `r = min(b, cap + 1)` for
+//! eager budget `b`):
+//!
+//! * **Deep seeds** — the starting rights of backward reclaims and
+//!   eviction cascades (departures, deletions' freed right, capacity
+//!   moves). A reclaim expands rights up to `b − 1` hops out and touches
+//!   their adjacent lefts, whose neighborhoods stay within `b` hops; an
+//!   eviction victim is matched *at* a seed right, so its forward
+//!   re-placement starts one hop out already. Both need the full radius
+//!   `r`.
+//! * **Shallow seeds** — the neighborhoods forward searches start from
+//!   (arrivals, edge inserts, a deletion's re-placed left). The search's
+//!   own left contributes its whole neighborhood as the seed set, so
+//!   every cell it can read or write lies within `r − 1` hops of those
+//!   seeds — one hop less.
+//!
+//! The tiers grow with *shared* ball membership but independent radii,
+//! then merge. The split is not cosmetic: under the sharded default
+//! (eager budget 1) it keeps a pure placement's footprint down to its
+//! seed set exactly, which is the difference between near-serialized
+//! batches and the wide waves e19 measures on degree-heavy instances.
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_dynamic::batch::{schedule, FOOTPRINT_CAP};
+//! use sparse_alloc_dynamic::{DynamicConfig, Update};
+//! use sparse_alloc_graph::{BipartiteBuilder, DeltaGraph};
+//! use sparse_alloc_mpc::ShardMap;
+//!
+//! // A long bipartite path u_i ~ {v_i, v_{i+1}}: updates at the two
+//! // ends have disjoint balls, updates next to each other collide.
+//! let mut b = BipartiteBuilder::new(40, 41);
+//! for i in 0..40u32 {
+//!     b.add_edge(i, i);
+//!     b.add_edge(i, i + 1);
+//! }
+//! let dg = DeltaGraph::new(b.build_with_uniform_capacity(1).unwrap());
+//!
+//! let updates = vec![
+//!     Update::SetCapacity { v: 0, cap: 2 },
+//!     Update::SetCapacity { v: 40, cap: 2 },
+//!     Update::SetCapacity { v: 1, cap: 3 }, // collides with the first
+//! ];
+//! let s = schedule(
+//!     &dg,
+//!     &updates,
+//!     &DynamicConfig::for_eps(0.25),
+//!     &ShardMap::new(2),
+//!     FOOTPRINT_CAP,
+//! );
+//! assert_eq!(s.plans[0].wave, 0);
+//! assert_eq!(s.plans[1].wave, 0, "disjoint footprints share a wave");
+//! assert_eq!(s.plans[2].wave, 1, "overlapping footprints serialize");
+//! assert_eq!(s.widths, vec![2, 1]);
+//! ```
+//!
 //! [`DynamicConfig::eager_radius`]: crate::serve::DynamicConfig::eager_radius
 //! [`ShardedConfig::footprint_cap`]: crate::distributed::ShardedConfig::footprint_cap
 

@@ -47,8 +47,37 @@ use sparse_alloc_mpc::shard::labels;
 use sparse_alloc_mpc::{Cluster, Ledger, MpcConfig, MpcError, ShardMap, Words};
 
 use crate::batch::{schedule, BatchSchedule};
-use crate::serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
+use crate::serve::{DynamicConfig, EpochReport, ServeLoop, ServeParts, ServePartsRef, ServeStats};
 use crate::update::Update;
+
+/// Everything a warm restart persists of a [`ShardedServeLoop`]: the
+/// serial engine's parts plus the sharding configuration and counters.
+/// The ledger's round history is *not* persisted — accounting restarts
+/// with a [`labels::RESTORE`] phase, the same way a real redeployment
+/// starts a fresh accounting epoch — but the serving counters
+/// ([`ShardedStats`]) carry over so lifetime reports stay monotone.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedParts {
+    pub(crate) inner: ServeParts,
+    pub(crate) shards: usize,
+    pub(crate) slack: usize,
+    pub(crate) footprint_cap: usize,
+    pub(crate) wave_threads: usize,
+    pub(crate) stats: ShardedStats,
+}
+
+/// Borrowed view of a [`ShardedServeLoop`]'s persistent state — the
+/// encode-side twin of [`ShardedParts`], so checkpoints never clone the
+/// engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardedPartsRef<'a> {
+    pub(crate) inner: ServePartsRef<'a>,
+    pub(crate) shards: usize,
+    pub(crate) slack: usize,
+    pub(crate) footprint_cap: usize,
+    pub(crate) wave_threads: usize,
+    pub(crate) stats: &'a ShardedStats,
+}
 
 /// Configuration of a [`ShardedServeLoop`].
 #[derive(Debug, Clone)]
@@ -284,9 +313,91 @@ impl ShardedServeLoop {
         (self.slack * total.div_ceil(self.map.shards())).max(128)
     }
 
+    /// Borrow everything a warm restart persists — no copy; see
+    /// [`snapshot`](crate::snapshot) for the wire form.
+    pub(crate) fn parts_ref(&self) -> ShardedPartsRef<'_> {
+        ShardedPartsRef {
+            inner: self.inner.parts_ref(),
+            shards: self.map.shards(),
+            slack: self.slack,
+            footprint_cap: self.footprint_cap,
+            wave_threads: self.wave_threads,
+            stats: &self.stats,
+        }
+    }
+
+    /// Rebuild a sharded loop from exported parts, optionally re-sharding
+    /// onto `shards_override` machines (ownership is a pure function of
+    /// the vertex id, so re-sharding is a re-keying, not a migration).
+    /// The restore is recorded as a [`labels::RESTORE`] accounting phase
+    /// and the resident state is re-checked against the (possibly new)
+    /// per-machine budget — a restore that would not fit the claimed
+    /// space regime fails here instead of on the first epoch.
+    pub(crate) fn from_parts(
+        p: ShardedParts,
+        shards_override: Option<usize>,
+    ) -> Result<Self, String> {
+        let shards = shards_override.unwrap_or(p.shards);
+        if shards == 0 {
+            return Err("at least one shard".into());
+        }
+        if p.slack == 0 {
+            return Err("space slack ≥ 1".into());
+        }
+        // Live configs forbid these zeros, so a snapshot carrying one is
+        // corrupt — reject it like every sibling field instead of
+        // silently substituting a value the snapshot never contained.
+        if p.footprint_cap == 0 {
+            return Err("footprint cap ≥ 1".into());
+        }
+        if p.wave_threads == 0 {
+            return Err("wave threads ≥ 1".into());
+        }
+        let inner = ServeLoop::from_parts(p.inner)?;
+        let mut this = ShardedServeLoop {
+            inner,
+            map: ShardMap::new(shards),
+            slack: p.slack,
+            footprint_cap: p.footprint_cap,
+            wave_threads: p.wave_threads,
+            ledger: Ledger::default(),
+            stats: p.stats,
+        };
+        let words = this.shard_state_words();
+        let budget = this.space_budget();
+        let mut epoch = Ledger::default();
+        epoch.observe_local(
+            labels::RESTORE,
+            words.iter().copied().max().unwrap_or(0),
+            words.iter().map(|&w| w as u64).sum(),
+        );
+        epoch
+            .assert_space_within(budget)
+            .map_err(|e| format!("restored state leaves the space regime: {e}"))?;
+        this.ledger.absorb(&epoch);
+        Ok(this)
+    }
+
+    /// The vertex-ownership map the loop shards under.
+    pub(crate) fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Record a checkpoint as a ledger phase: each machine stages its
+    /// manifest and serialized slice locally (round-free — the bytes
+    /// leave through the host, not the cluster).
+    pub(crate) fn note_checkpoint(&mut self) {
+        let words = self.shard_state_words();
+        self.ledger.observe_local(
+            labels::CHECKPOINT,
+            words.iter().copied().max().unwrap_or(0),
+            words.iter().map(|&w| w as u64).sum(),
+        );
+    }
+
     /// Resident state per shard, in words: each right vertex pays its
     /// capacity, level, and adjacency; each left vertex its id and mate.
-    fn shard_state_words(&self) -> Vec<usize> {
+    pub(crate) fn shard_state_words(&self) -> Vec<usize> {
         let dg = self.inner.graph();
         let mut w = vec![0usize; self.map.shards()];
         for v in 0..dg.n_right() as u32 {

@@ -19,6 +19,7 @@
 //! | epoch-stamped sets/maps for the scheduling hot path | [`stamp`] |
 //! | conflict batching of update balls into parallel waves | [`batch`] |
 //! | sharded serving across the MPC simulator | [`distributed`] |
+//! | checkpoint/restore snapshots for warm restarts | [`snapshot`] |
 //! | adapters from `sparse-alloc-online` streams, churn generator | [`adapter`] |
 //!
 //! The graph side lives in `sparse_alloc_graph::delta`: the frozen
@@ -50,6 +51,16 @@
 //! count, the maintained allocation is identical to the serial
 //! [`ServeLoop`]'s — `tests/properties.rs` holds that contract.
 //!
+//! # Warm restarts
+//!
+//! Both engines checkpoint to a versioned, checksummed binary snapshot
+//! ([`snapshot`]) and restore **warm**: the restored engine is
+//! observably identical to one that never stopped — same mate vector,
+//! same `k/(k+1)` certificate, same drift budget and epoch counters —
+//! and a sharded snapshot can be restored onto a *different* shard count
+//! (`tests/persistence.rs` proves both). The CLI exposes the path as
+//! `salloc dynamic --checkpoint/--restore`.
+//!
 //! # Example
 //!
 //! ```
@@ -77,11 +88,13 @@ pub mod distributed;
 pub mod repair;
 pub mod scheduler;
 pub mod serve;
+pub mod snapshot;
 pub mod stamp;
 pub mod update;
 pub mod walks;
 
 pub use distributed::{ShardedConfig, ShardedServeLoop};
 pub use serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
+pub use snapshot::SnapshotError;
 pub use update::Update;
 pub use walks::Matching;

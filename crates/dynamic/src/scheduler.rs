@@ -53,6 +53,26 @@ impl DriftTracker {
     pub fn reset(&mut self) {
         self.accumulated = 0.0;
     }
+
+    /// The accumulated churn weight (what a warm-restart snapshot
+    /// persists — losing it would grant a restored engine a fresh drift
+    /// budget and desynchronize its rebuild schedule from the
+    /// uninterrupted run's).
+    pub fn accumulated(&self) -> f64 {
+        self.accumulated
+    }
+
+    /// Restore the accumulated churn weight from a snapshot.
+    ///
+    /// # Panics
+    /// Panics if `accumulated` is negative or not finite.
+    pub fn restore(&mut self, accumulated: f64) {
+        assert!(
+            accumulated.is_finite() && accumulated >= 0.0,
+            "drift must be finite and ≥ 0"
+        );
+        self.accumulated = accumulated;
+    }
 }
 
 /// Decides when the graph overlay is folded back into a CSR snapshot.

@@ -26,7 +26,9 @@ use sparse_alloc_graph::{Assignment, Bipartite, DeltaGraph, LeftId, RightId};
 use crate::repair::{ball_of_capped_with, repair_levels, BallScratch, LevelRepairConfig};
 use crate::scheduler::{CompactionPolicy, DriftTracker};
 use crate::update::Update;
-use crate::walks::{augment_from_left, reclaim_into, MatchSlots, Matching, SearchScratch};
+use crate::walks::{
+    augment_from_left, reclaim_into, MatchSlots, Matching, MatchingState, SearchScratch,
+};
 
 /// Configuration of a [`ServeLoop`].
 #[derive(Debug, Clone)]
@@ -204,6 +206,61 @@ struct FracState {
     full_recomputes: u64,
     ball_refreshes: u64,
     hits: u64,
+}
+
+/// Everything a warm restart persists of a [`ServeLoop`] — the engine
+/// state with the rebuildable caches (fractional memo, wave scratch)
+/// stripped. This is the *owned* decode-side form, consumed by
+/// [`ServeLoop::from_parts`]; the encode side borrows the live state via
+/// [`ServeLoop::parts_ref`] instead of copying it. The wire form lives
+/// in [`snapshot`](crate::snapshot).
+#[derive(Debug, Clone)]
+pub(crate) struct ServeParts {
+    pub(crate) cfg: DynamicConfig,
+    pub(crate) dg: DeltaGraph,
+    pub(crate) levels: Vec<i64>,
+    pub(crate) matching: MatchingState,
+    pub(crate) dirty: Vec<RightId>,
+    pub(crate) sweep_dirty: Vec<RightId>,
+    pub(crate) drift_accumulated: f64,
+    pub(crate) stats: ServeStats,
+}
+
+impl ServeParts {
+    /// The borrowed view of these parts — what the snapshot encoder and
+    /// the manifest derivation consume, so decoded state can be
+    /// re-manifested through the exact code path that wrote it.
+    pub(crate) fn as_parts_ref(&self) -> ServePartsRef<'_> {
+        ServePartsRef {
+            cfg: &self.cfg,
+            dg: &self.dg,
+            levels: &self.levels,
+            mate: &self.matching.mate,
+            matched_at: &self.matching.matched_at,
+            expansions: self.matching.expansions,
+            dirty: &self.dirty,
+            sweep_dirty: &self.sweep_dirty,
+            drift_accumulated: self.drift_accumulated,
+            stats: &self.stats,
+        }
+    }
+}
+
+/// Borrowed view of a [`ServeLoop`]'s persistent state (the encode-side
+/// twin of [`ServeParts`]): checkpoints serialize through this, so
+/// writing a snapshot never clones the `O(n + m)` engine state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServePartsRef<'a> {
+    pub(crate) cfg: &'a DynamicConfig,
+    pub(crate) dg: &'a DeltaGraph,
+    pub(crate) levels: &'a [i64],
+    pub(crate) mate: &'a [Option<RightId>],
+    pub(crate) matched_at: &'a [Vec<LeftId>],
+    pub(crate) expansions: u64,
+    pub(crate) dirty: &'a [RightId],
+    pub(crate) sweep_dirty: &'a [RightId],
+    pub(crate) drift_accumulated: f64,
+    pub(crate) stats: &'a ServeStats,
 }
 
 /// The dynamic allocation engine.
@@ -988,6 +1045,83 @@ impl ServeLoop {
     /// The configuration this loop runs with.
     pub fn config(&self) -> &DynamicConfig {
         &self.cfg
+    }
+
+    /// Borrow everything a warm restart persists (see
+    /// [`snapshot`](crate::snapshot) for the on-disk format) — no copy:
+    /// checkpoints serialize the live state in place. The frac memo and
+    /// wave scratch are deliberately absent: both are rebuildable caches
+    /// whose loss changes no observable allocation state.
+    pub(crate) fn parts_ref(&self) -> ServePartsRef<'_> {
+        ServePartsRef {
+            cfg: &self.cfg,
+            dg: &self.dg,
+            levels: &self.levels,
+            mate: self.matching.mate_slice(),
+            matched_at: self.matching.matched_at_slice(),
+            expansions: self.matching.expansions(),
+            dirty: &self.dirty,
+            sweep_dirty: &self.sweep_dirty,
+            drift_accumulated: self.drift.accumulated(),
+            stats: &self.stats,
+        }
+    }
+
+    /// Rebuild an engine from exported parts, re-validating the
+    /// cross-structure invariants (snapshot payloads are external input):
+    /// the matching must be feasible on the restored live graph, the
+    /// level vector must cover the right side, dirty marks must be in
+    /// range, and the drift weight must be a usable budget charge.
+    pub(crate) fn from_parts(p: ServeParts) -> Result<ServeLoop, String> {
+        if p.levels.len() != p.dg.n_right() {
+            return Err(format!(
+                "levels has {} entries for {} right vertices",
+                p.levels.len(),
+                p.dg.n_right()
+            ));
+        }
+        let n_right = p.dg.n_right() as u32;
+        if p.dirty.iter().chain(&p.sweep_dirty).any(|&v| v >= n_right) {
+            return Err("dirty mark out of range".into());
+        }
+        if !(p.drift_accumulated.is_finite() && p.drift_accumulated >= 0.0) {
+            return Err(format!("drift weight {} unusable", p.drift_accumulated));
+        }
+        if !(p.cfg.eps > 0.0 && p.cfg.eps <= 1.0) || p.cfg.walk_budget == 0 {
+            return Err(format!(
+                "config unusable: ε = {}, walk budget {}",
+                p.cfg.eps, p.cfg.walk_budget
+            ));
+        }
+        // Guard the scheduler constructors: both assert positive
+        // thresholds, and a corrupt payload must error, not panic.
+        if !(p.cfg.drift_threshold > 0.0
+            && p.cfg.drift_threshold.is_finite()
+            && p.cfg.compact_threshold > 0.0
+            && p.cfg.compact_threshold.is_finite())
+        {
+            return Err(format!(
+                "config unusable: drift threshold {}, compact threshold {}",
+                p.cfg.drift_threshold, p.cfg.compact_threshold
+            ));
+        }
+        let matching = Matching::from_state(&p.dg, p.matching)?;
+        let mut drift = DriftTracker::new(p.cfg.drift_threshold);
+        drift.restore(p.drift_accumulated);
+        let compaction = CompactionPolicy::new(p.cfg.compact_threshold);
+        Ok(ServeLoop {
+            cfg: p.cfg,
+            dg: p.dg,
+            levels: p.levels,
+            matching,
+            dirty: p.dirty,
+            sweep_dirty: p.sweep_dirty,
+            drift,
+            compaction,
+            stats: p.stats,
+            frac: RefCell::new(FracState::default()),
+            wave_scratch: Vec::new(),
+        })
     }
 
     /// Full consistency check (tests / debugging): the matching is

@@ -9,6 +9,37 @@
 //! invalidates all slots at once. Stamp wraparound (one in `2³²` clears)
 //! falls back to a full zeroing pass, so stale stamps from a previous
 //! wraparound epoch can never alias a live generation.
+//!
+//! # The epoch-stamp invariant
+//!
+//! The structures maintain one invariant: **a slot is live iff its mark
+//! equals the current generation stamp**. Three facts make it airtight:
+//!
+//! 1. Writes always store the current stamp, so a slot written this
+//!    generation tests live.
+//! 2. [`StampSet::clear`]/[`StampMap::clear`] bump the stamp without
+//!    touching the slots, so every previously-live slot instantly tests
+//!    dead — that is the `O(1)` clear.
+//! 3. The stamp never repeats within a mark array's lifetime: generations
+//!    are handed out sequentially, and the one wraparound in `2³²` clears
+//!    re-zeroes all marks and restarts at 1 (stamp 0 is reserved for
+//!    "never written"). Without the re-zero, a slot last written `2³²`
+//!    generations ago would alias the new stamp and resurrect — the
+//!    wraparound unit test pins exactly that case.
+//!
+//! Growth preserves the invariant trivially: fresh slots carry mark 0,
+//! which no live generation ever equals.
+//!
+//! ```
+//! use sparse_alloc_dynamic::stamp::StampSet;
+//!
+//! let mut members = StampSet::new(16);
+//! assert!(members.insert(3), "first insert reports novelty");
+//! assert!(!members.insert(3), "re-insert reports membership");
+//! members.clear(); // O(1): bumps the generation, touches no slot
+//! assert!(!members.contains(3));
+//! assert!(members.insert(3), "the slot is reusable immediately");
+//! ```
 
 /// A set over `0..n` with `O(1)` insert/contains/clear.
 #[derive(Debug, Clone)]

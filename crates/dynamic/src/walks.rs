@@ -32,6 +32,40 @@
 //! a bounded search from an update site reads and writes match cells only
 //! of rights inside its footprint and of lefts whose entire neighborhood
 //! lies inside it, so vertex-disjoint footprints touch disjoint cells.
+//! Spelled out: a forward search expands rights hop by hop from the
+//! update's seeds and flips edges only along the discovered walk; the
+//! only *foreign* cell it ever reads is the mate of a left adjacent to an
+//! expanded right — and that expanded right witnesses the read from
+//! *inside* the footprint, so any concurrent writer of that left's cell
+//! would have to own the same right, contradicting disjointness. Hence
+//! the unsynchronized shared access in `MatchSlots` never races, and
+//! same-wave repairs commute: no repair can observe another's writes, so
+//! every interleaving — including the serial one — produces the identical
+//! engine state. That commutation is what the sharded ≡ serial property
+//! (`tests/properties.rs`) and the thread-count-independence tests pin.
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_dynamic::Matching;
+//! use sparse_alloc_graph::{BipartiteBuilder, DeltaGraph};
+//!
+//! // u0 ~ {v0, v1}, u1 ~ {v0}: a greedy u0–v0 match blocks u1 until a
+//! // length-3 augmenting walk re-routes u0 to v1.
+//! let mut b = BipartiteBuilder::new(2, 2);
+//! b.add_edge(0, 0);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 0);
+//! let dg = DeltaGraph::new(b.build_with_uniform_capacity(1).unwrap());
+//!
+//! let mut m = Matching::new(&dg);
+//! assert!(m.try_augment_from_left(&dg, 0, 1, usize::MAX)); // u0 – v0
+//! assert!(!m.try_augment_from_left(&dg, 1, 1, usize::MAX), "k = 1 forbids the walk");
+//! assert_eq!(m.sweep(&dg, 2), 1, "k = 2 re-routes u0 and pulls u1 in");
+//! assert_eq!(m.mate(0), Some(1));
+//! assert_eq!(m.mate(1), Some(0));
+//! m.validate(&dg).unwrap();
+//! ```
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -314,6 +348,18 @@ pub(crate) fn reclaim_into(
     false
 }
 
+/// The serializable state of a [`Matching`]: what a warm-restart snapshot
+/// persists. `matched_at` keeps its per-right *order* — evictions pop the
+/// most recently matched left, so the order is behaviorally observable
+/// and a restore that lost it would diverge from the uninterrupted run.
+/// The expansion counter rides along so restored stats stay monotone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MatchingState {
+    pub(crate) mate: Vec<Option<RightId>>,
+    pub(crate) matched_at: Vec<Vec<LeftId>>,
+    pub(crate) expansions: u64,
+}
+
 /// The maintained integral allocation plus one searcher's scratch space.
 #[derive(Debug, Clone)]
 pub struct Matching {
@@ -359,6 +405,52 @@ impl Matching {
             );
         }
         m
+    }
+
+    /// The per-left match array (checkpointing reads it in place).
+    pub(crate) fn mate_slice(&self) -> &[Option<RightId>] {
+        &self.mate
+    }
+
+    /// The per-right matched-partner lists, order included (checkpointing
+    /// reads them in place).
+    pub(crate) fn matched_at_slice(&self) -> &[Vec<LeftId>] {
+        &self.matched_at
+    }
+
+    /// Rebuild a matching from exported state, re-validating feasibility
+    /// against the live graph (snapshot payloads are external input): the
+    /// derived size is recounted, and [`Matching::validate`] checks that
+    /// every matched pair is a live edge, the reverse index is exactly
+    /// the forward map transposed, and no capacity is overfilled.
+    pub(crate) fn from_state(dg: &DeltaGraph, st: MatchingState) -> Result<Matching, String> {
+        if st.matched_at.len() != dg.n_right() {
+            return Err(format!(
+                "matching indexes {} right vertices, live graph has {}",
+                st.matched_at.len(),
+                dg.n_right()
+            ));
+        }
+        if st.mate.len() > dg.n_left() {
+            return Err(format!(
+                "matching covers {} left vertices, live graph has {}",
+                st.mate.len(),
+                dg.n_left()
+            ));
+        }
+        let size = st.mate.iter().filter(|m| m.is_some()).count();
+        let mut m = Matching {
+            mate: st.mate,
+            matched_at: st.matched_at,
+            size,
+            scratch: SearchScratch {
+                expansions: st.expansions,
+                ..SearchScratch::default()
+            },
+        };
+        m.ensure_left(dg.n_left());
+        m.validate(dg)?;
+        Ok(m)
     }
 
     /// Split into the shared match cells and the owned scratch space. The

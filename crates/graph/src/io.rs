@@ -122,6 +122,259 @@ pub fn read_text(r: &mut impl BufRead) -> Result<Bipartite, IoError> {
         .map_err(|e| IoError::Parse(e.to_string()))
 }
 
+/// FNV-1a, 64-bit: the checksum of the binary snapshot format. Chosen for
+/// being dependency-free, stable across platforms, and byte-order
+/// independent (it consumes bytes, never words) — it detects corruption
+/// and truncation, it is *not* a cryptographic integrity guarantee.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian byte sink of the binary snapshot format: fixed-width
+/// primitives and `u64`-length-prefixed vectors, written into an
+/// in-memory buffer so callers can checksum the finished payload before
+/// it reaches a file.
+///
+/// The encoding has no self-describing structure — [`ByteReader`] must
+/// consume fields in exactly the order they were written, which is why
+/// every snapshot carries a format version in its header.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one `u32`, little-endian.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append one `u64`, little-endian.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append one `i64`, little-endian.
+    pub fn put_i64(&mut self, x: i64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append one `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, x: f64) {
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+
+    /// Append a `u64` length prefix followed by the items.
+    pub fn put_vec_u32(&mut self, xs: &[u32]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.put_u32(x);
+        }
+    }
+
+    /// Append a `u64` length prefix followed by the items.
+    pub fn put_vec_u64(&mut self, xs: &[u64]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.put_u64(x);
+        }
+    }
+
+    /// Append a `u64` length prefix followed by the items.
+    pub fn put_vec_i64(&mut self, xs: &[i64]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.put_i64(x);
+        }
+    }
+}
+
+/// Cursor over a [`ByteWriter`]-encoded payload. Every `take_*` verifies
+/// the remaining length first, so a truncated or mis-framed payload
+/// surfaces as [`IoError::Parse`] instead of a panic; vector reads bound
+/// the declared length by the bytes actually present, so a corrupt length
+/// prefix cannot trigger an absurd allocation.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IoError> {
+        if self.remaining() < n {
+            return Err(IoError::Parse(format!(
+                "payload truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Read one `u32`, little-endian.
+    pub fn take_u32(&mut self) -> Result<u32, IoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read one `u64`, little-endian.
+    pub fn take_u64(&mut self) -> Result<u64, IoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read one `i64`, little-endian.
+    pub fn take_i64(&mut self) -> Result<i64, IoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read one `f64` from its IEEE-754 bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, IoError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Read a length-prefixed count, verifying that `count × elem_bytes`
+    /// fits in the unconsumed payload.
+    pub fn take_len(&mut self, elem_bytes: usize) -> Result<usize, IoError> {
+        let n = self.take_u64()?;
+        let need = (n as u128) * elem_bytes.max(1) as u128;
+        if need > self.remaining() as u128 {
+            return Err(IoError::Parse(format!(
+                "length prefix {n} exceeds the remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn take_vec_u32(&mut self) -> Result<Vec<u32>, IoError> {
+        let n = self.take_len(4)?;
+        (0..n).map(|_| self.take_u32()).collect()
+    }
+
+    /// Read a length-prefixed `u64` vector.
+    pub fn take_vec_u64(&mut self) -> Result<Vec<u64>, IoError> {
+        let n = self.take_len(8)?;
+        (0..n).map(|_| self.take_u64()).collect()
+    }
+
+    /// Read a length-prefixed `i64` vector.
+    pub fn take_vec_i64(&mut self) -> Result<Vec<i64>, IoError> {
+        let n = self.take_len(8)?;
+        (0..n).map(|_| self.take_i64()).collect()
+    }
+
+    /// Require that the payload was consumed exactly.
+    pub fn expect_end(&self) -> Result<(), IoError> {
+        if self.remaining() != 0 {
+            return Err(IoError::Parse(format!(
+                "{} trailing bytes after the payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialize `g` into the binary snapshot encoding: sizes, capacities,
+/// then per-left adjacency in CSR order. Deterministic — identical graphs
+/// produce identical bytes.
+pub fn write_bipartite(g: &Bipartite, w: &mut ByteWriter) {
+    w.put_u64(g.n_left() as u64);
+    w.put_u64(g.n_right() as u64);
+    w.put_vec_u64(g.capacities());
+    w.put_u64(g.m() as u64);
+    for u in 0..g.n_left() as u32 {
+        let ns = g.left_neighbors(u);
+        w.put_u32(ns.len() as u32);
+        for &v in ns {
+            w.put_u32(v);
+        }
+    }
+}
+
+/// Parse a graph from the encoding of [`write_bipartite`], re-validating
+/// the structural invariants (the payload is an external input).
+pub fn read_bipartite(r: &mut ByteReader) -> Result<Bipartite, IoError> {
+    let n_left = r.take_u64()? as usize;
+    let n_right = r.take_u64()? as usize;
+    let caps = r.take_vec_u64()?;
+    if caps.len() != n_right {
+        return Err(IoError::Parse(format!(
+            "expected {n_right} capacities, got {}",
+            caps.len()
+        )));
+    }
+    let m = r.take_u64()? as usize;
+    // Bound both counts by the bytes actually present before any
+    // allocation: every left contributes ≥ 4 bytes (its degree word) and
+    // every edge 4 more, so a corrupt count is a typed error here, not a
+    // giant allocation in the builder. (`n_right` is already bounded by
+    // the capacity vector length check above.)
+    if n_left > u32::MAX as usize {
+        return Err(IoError::Parse(format!(
+            "left vertex count {n_left} does not fit 32-bit ids"
+        )));
+    }
+    if (n_left as u128 + m as u128) * 4 > r.remaining() as u128 {
+        return Err(IoError::Parse(format!(
+            "counts (n_left {n_left}, m {m}) exceed the remaining payload"
+        )));
+    }
+    let mut b = BipartiteBuilder::with_edge_capacity(n_left, n_right, m);
+    for u in 0..n_left as u32 {
+        let deg = r.take_u32()? as usize;
+        for _ in 0..deg {
+            b.add_edge(u, r.take_u32()?);
+        }
+    }
+    if b.n_edges() != m {
+        return Err(IoError::Parse(format!(
+            "edge count {m} but {} adjacency entries",
+            b.n_edges()
+        )));
+    }
+    let g = b.build(caps).map_err(|e| IoError::Parse(e.to_string()))?;
+    g.validate().map_err(IoError::Parse)?;
+    Ok(g)
+}
+
 /// JSON round-trip helpers (thin wrappers over serde_json, provided so that
 /// downstream crates don't need a serde_json dependency of their own).
 pub fn to_json(g: &Bipartite) -> String {
@@ -186,5 +439,80 @@ mod tests {
     fn bad_json_rejected() {
         assert!(from_json("{}").is_err());
         assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn binary_bipartite_roundtrip_is_deterministic() {
+        let g = union_of_spanning_trees(25, 18, 3, 2, 11).graph;
+        let mut w = ByteWriter::new();
+        write_bipartite(&g, &mut w);
+        let bytes = w.into_bytes();
+        let mut w2 = ByteWriter::new();
+        write_bipartite(&g, &mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "identical graphs, identical bytes");
+
+        let mut r = ByteReader::new(&bytes);
+        let g2 = read_bipartite(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(g.n_left(), g2.n_left());
+        assert_eq!(g.capacities(), g2.capacities());
+        assert_eq!(g.edge_right_endpoints(), g2.edge_right_endpoints());
+    }
+
+    #[test]
+    fn byte_reader_rejects_truncation_and_absurd_lengths() {
+        let g = union_of_spanning_trees(10, 8, 2, 2, 3).graph;
+        let mut w = ByteWriter::new();
+        write_bipartite(&g, &mut w);
+        let bytes = w.into_bytes();
+        // Any strict prefix fails with a parse error, never a panic.
+        for cut in [0, 1, 8, 17, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(read_bipartite(&mut r).is_err(), "prefix of {cut} bytes");
+        }
+        // A corrupt length prefix larger than the payload is rejected
+        // before any allocation happens.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let huge = w.into_bytes();
+        assert!(ByteReader::new(&huge).take_vec_u64().is_err());
+        // Likewise a corrupt vertex count: n_left has no length prefix of
+        // its own, so the decoder must bound it against the payload
+        // before the builder allocates per-vertex arrays.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX - 7); // n_left
+        w.put_u64(0); // n_right
+        w.put_vec_u64(&[]); // capacities
+        w.put_u64(0); // m
+        let bytes = w.into_bytes();
+        assert!(read_bipartite(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let a = fnv1a64(b"snapshot payload");
+        let b = fnv1a64(b"snapshot payloae");
+        assert_ne!(a, b, "single-byte flip changes the checksum");
+    }
+
+    #[test]
+    fn byte_writer_primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_f64(0.25);
+        w.put_vec_i64(&[-1, 0, 9]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u32().unwrap(), 7);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert_eq!(r.take_f64().unwrap(), 0.25);
+        assert_eq!(r.take_vec_i64().unwrap(), vec![-1, 0, 9]);
+        r.expect_end().unwrap();
+        assert!(r.take_u32().is_err(), "reading past the end errors");
     }
 }

@@ -54,5 +54,5 @@ pub mod words;
 pub use cluster::{Cluster, MachineId, MpcConfig};
 pub use error::MpcError;
 pub use ledger::Ledger;
-pub use shard::ShardMap;
+pub use shard::{ShardManifest, ShardMap};
 pub use words::Words;

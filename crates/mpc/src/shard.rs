@@ -55,6 +55,55 @@ impl ShardMap {
     pub fn owner_of_left(&self, u: u32) -> usize {
         (splitmix64(u as u64 ^ 0x5157_1f24_3d0f_ace5) % self.shards as u64) as usize
     }
+
+    /// The map's wire form for snapshots: ownership is a pure function of
+    /// the shard count, so one word serializes the whole map (no routing
+    /// table exists to persist). [`ShardMap::from_word`] round-trips it.
+    #[inline]
+    pub fn to_word(&self) -> u64 {
+        self.shards as u64
+    }
+
+    /// Rebuild a map from its [wire form](ShardMap::to_word), rejecting a
+    /// count that cannot be a live map (0, or one that does not fit a
+    /// `usize`).
+    pub fn from_word(word: u64) -> Result<ShardMap, String> {
+        if word == 0 {
+            return Err("a shard map needs at least one machine".into());
+        }
+        usize::try_from(word)
+            .map(|shards| ShardMap { shards })
+            .map_err(|_| format!("shard count {word} does not fit this platform"))
+    }
+}
+
+/// Per-shard summary of a persisted sharded state — one entry per machine
+/// of the [`ShardMap`] the snapshot was taken under. Restores re-derive
+/// the same manifests from the decoded state and compare, so a snapshot
+/// whose payload and manifests disagree (or whose manifest list does not
+/// match its recorded shard count) is rejected before serving resumes.
+/// Because ownership is a pure function of the vertex id, a restore onto
+/// a *different* shard count is just a re-keying: the manifests still
+/// validate the decoded state under the recorded map first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The machine this manifest describes.
+    pub shard: u32,
+    /// Left vertices owned by the machine.
+    pub owned_lefts: u64,
+    /// Right vertices owned by the machine.
+    pub owned_rights: u64,
+    /// Resident state of the machine, in words (what
+    /// [`Ledger`](crate::Ledger) storage accounting charges).
+    pub resident_words: u64,
+    /// Checksum over the machine's owned slice of the serialized state.
+    pub state_checksum: u64,
+}
+
+impl crate::Words for ShardManifest {
+    fn words(&self) -> usize {
+        5
+    }
 }
 
 /// Ledger labels of the distributed serving phases, so cost tables and
@@ -76,6 +125,14 @@ pub mod labels {
     /// Per-shard resident overlay/level/matching state observation
     /// (round-free; storage accounting only).
     pub const SHARD_STATE: &str = "shard_state";
+    /// Writing a warm-restart snapshot: each machine stages its manifest
+    /// and serialized slice (round-free; storage accounting only — the
+    /// bytes leave through the host's filesystem, not the cluster).
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// Restoring from a snapshot: each machine re-adopts its owned slice
+    /// and re-validates its manifest (round-free; storage accounting
+    /// only).
+    pub const RESTORE: &str = "restore";
 }
 
 #[cfg(test)]
@@ -124,6 +181,34 @@ mod tests {
                 lefts[s]
             );
         }
+    }
+
+    #[test]
+    fn wire_form_roundtrips_and_rejects_zero() {
+        for shards in [1usize, 2, 7, 4096] {
+            let m = ShardMap::new(shards);
+            let m2 = ShardMap::from_word(m.to_word()).unwrap();
+            assert_eq!(m, m2);
+            // Round-tripping preserves every ownership decision.
+            for v in 0..500u32 {
+                assert_eq!(m.owner_of_right(v), m2.owner_of_right(v));
+                assert_eq!(m.owner_of_left(v), m2.owner_of_left(v));
+            }
+        }
+        assert!(ShardMap::from_word(0).is_err());
+    }
+
+    #[test]
+    fn manifest_counts_as_five_words() {
+        use crate::Words;
+        let m = ShardManifest {
+            shard: 3,
+            owned_lefts: 10,
+            owned_rights: 12,
+            resident_words: 99,
+            state_checksum: 0xdead_beef,
+        };
+        assert_eq!(m.words(), 5);
     }
 
     #[test]

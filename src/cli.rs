@@ -24,7 +24,7 @@ use sparse_alloc_core::loadbalance::{
 use sparse_alloc_core::params::Schedule;
 use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
-use sparse_alloc_dynamic::{DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop};
+use sparse_alloc_dynamic::{snapshot, DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop};
 use sparse_alloc_flow::opt::opt_value;
 use sparse_alloc_graph::generators::{
     escape_blocks, power_law, random_bipartite, star, union_of_spanning_trees, Generated,
@@ -145,6 +145,8 @@ const USAGE: &str = "usage: salloc <command>
                                           prop-serve, O ∈ natural|reversed|random
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
                [--shards P] [--eager-budget B] [--footprint-cap N] [--waves]
+               [--checkpoint SNAP] [--checkpoint-every N] [--restore SNAP]
+               [--assign OUT]
                                           serve a churn stream incrementally
                                           (K events/epoch), comparing against
                                           per-epoch full recomputes; with
@@ -156,7 +158,20 @@ const USAGE: &str = "usage: salloc <command>
                                           conflict footprints tight),
                                           --footprint-cap sets the global-
                                           escalation threshold, --waves adds a
-                                          wave-occupancy report line";
+                                          wave-occupancy report line.
+                                          --checkpoint writes a warm-restart
+                                          snapshot after the run (and, with
+                                          --checkpoint-every N, atomically
+                                          after every N epochs); --restore
+                                          resumes from one instead of solving
+                                          from scratch — pass the SAME FILE,
+                                          --epochs, --events, and --seed as
+                                          the original run to replay the
+                                          identical stream tail (the engine
+                                          config comes from the snapshot;
+                                          --shards P re-shards onto P
+                                          machines). --assign dumps the final
+                                          matching, one \"u v\" pair per line";
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &[])?;
@@ -403,6 +418,53 @@ fn cmd_online(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// Persistence flags of `salloc dynamic`, shared by both modes.
+struct PersistOpts {
+    checkpoint: Option<String>,
+    every: usize,
+    restore: Option<String>,
+    assign: Option<String>,
+}
+
+impl PersistOpts {
+    fn parse(f: &Flags) -> Result<PersistOpts, CliError> {
+        let p = PersistOpts {
+            checkpoint: f.named.get("checkpoint").cloned(),
+            every: f.get("checkpoint-every", 0)?,
+            restore: f.named.get("restore").cloned(),
+            assign: f.named.get("assign").cloned(),
+        };
+        if p.every > 0 && p.checkpoint.is_none() {
+            return Err(err("--checkpoint-every requires --checkpoint"));
+        }
+        if p.restore.is_some() {
+            // The engine configuration travels inside the snapshot;
+            // accepting config flags here would silently misreport what
+            // actually runs.
+            for flag in ["eps", "eager-budget", "footprint-cap"] {
+                if f.named.contains_key(flag) {
+                    return Err(err(format!(
+                        "--{flag} conflicts with --restore (the engine \
+                         configuration comes from the snapshot)"
+                    )));
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    fn dump_assignment(&self, assignment: &sparse_alloc_graph::Assignment) -> Result<(), CliError> {
+        let Some(ap) = &self.assign else {
+            return Ok(());
+        };
+        let mut text = String::new();
+        for (u, v) in assignment.pairs() {
+            let _ = writeln!(text, "{u} {v}");
+        }
+        std::fs::write(ap, text).map_err(|e| err(format!("{ap}: {e}")))
+    }
+}
+
 fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &["no-full", "waves"])?;
     let path = f
@@ -419,6 +481,7 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     }
     let compare_full = !f.has("no-full");
     let shards: usize = f.get("shards", 0)?;
+    let persist = PersistOpts::parse(&f)?;
     // Both modes run the same engine config, so a serial run stays the
     // reference for a sharded run under identical flags. 0 = the serial
     // default (the full walk budget).
@@ -436,7 +499,7 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         let mut scfg = ShardedConfig::for_eps(eps, shards);
         scfg.dynamic = cfg;
         scfg.footprint_cap = footprint_cap;
-        return cmd_dynamic_sharded(&g, epochs, events, seed, scfg, f.has("waves"));
+        return cmd_dynamic_sharded(&g, epochs, events, seed, scfg, f.has("waves"), &persist);
     }
     // Scheduling knobs only exist in sharded mode; ignoring them silently
     // would misreport what actually ran.
@@ -448,14 +511,32 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     }
 
     let updates = churn_stream(&g, epochs * events, &ChurnMix::default(), seed);
-    let k = cfg.walk_budget;
-    let mut serve = ServeLoop::new(g, cfg);
+    let mut serve = match &persist.restore {
+        Some(snap) => snapshot::load_serial(snap).map_err(|e| err(format!("{snap}: {e}")))?,
+        None => ServeLoop::new(g, cfg),
+    };
+    // A restored engine resumes where the snapshot left off: its epoch
+    // counter says how much of the (identically regenerated) stream was
+    // already consumed.
+    let done = if persist.restore.is_some() {
+        serve.stats().epochs
+    } else {
+        0
+    };
+    let eps = serve.config().eps;
+    let k = serve.config().walk_budget;
 
     let mut out = String::new();
     let _ = writeln!(
         out,
         "dynamic serving: {epochs} epochs × ~{events} events (ε {eps}, walk budget k = {k})"
     );
+    if let Some(snap) = &persist.restore {
+        let _ = writeln!(
+            out,
+            "restored           : {snap} (resuming after epoch {done})"
+        );
+    }
     let _ = writeln!(
         out,
         "{:>5}  {:>7}  {:>7}  {:>5}  {:>4}  {:>7}  {:>8}  {:>8}",
@@ -463,7 +544,13 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     );
     let mut incr_total = 0.0f64;
     let mut full_total = 0.0f64;
-    for (e, chunk) in updates.chunks(events.max(1)).take(epochs).enumerate() {
+    let mut saved_at: Option<usize> = None;
+    for (e, chunk) in updates
+        .chunks(events.max(1))
+        .take(epochs)
+        .enumerate()
+        .skip(done)
+    {
         let t0 = std::time::Instant::now();
         for up in chunk {
             serve.apply(up);
@@ -471,6 +558,12 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         let report = serve.end_epoch();
         let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
         incr_total += incr_ms;
+        if let Some(cp) = &persist.checkpoint {
+            if persist.every > 0 && (e + 1) % persist.every == 0 {
+                snapshot::save_serial(&serve, cp).map_err(|me| err(format!("{cp}: {me}")))?;
+                saved_at = Some(e + 1);
+            }
+        }
         let full_ms = if compare_full {
             let snapshot = serve.snapshot();
             let t1 = std::time::Instant::now();
@@ -528,6 +621,19 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     } else {
         let _ = writeln!(out, "incremental total  : {incr_total:.2} ms");
     }
+    if let Some(cp) = &persist.checkpoint {
+        // The final snapshot — unless the last epoch's periodic write
+        // already produced these exact bytes.
+        if saved_at != Some(serve.stats().epochs) {
+            snapshot::save_serial(&serve, cp).map_err(|me| err(format!("{cp}: {me}")))?;
+        }
+        let _ = writeln!(
+            out,
+            "checkpoint         : wrote {cp} (after epoch {})",
+            serve.stats().epochs
+        );
+    }
+    persist.dump_assignment(&serve.assignment())?;
     Ok(out)
 }
 
@@ -538,14 +644,25 @@ fn cmd_dynamic_sharded(
     seed: u64,
     cfg: ShardedConfig,
     report_waves: bool,
+    persist: &PersistOpts,
 ) -> Result<String, CliError> {
     let updates = churn_stream(g, epochs * events, &ChurnMix::default(), seed);
-    let eps = cfg.dynamic.eps;
     let shards = cfg.shards;
-    let k = cfg.dynamic.walk_budget;
-    let eager = cfg.dynamic.eager_budget();
-    let mut serve = ShardedServeLoop::new(g.clone(), cfg)
-        .map_err(|e| err(format!("sharded serving left the MPC regime: {e}")))?;
+    let mut serve = match &persist.restore {
+        Some(snap) => {
+            snapshot::load_sharded(snap, Some(shards)).map_err(|e| err(format!("{snap}: {e}")))?
+        }
+        None => ShardedServeLoop::new(g.clone(), cfg)
+            .map_err(|e| err(format!("sharded serving left the MPC regime: {e}")))?,
+    };
+    let done = if persist.restore.is_some() {
+        serve.serve_stats().epochs
+    } else {
+        0
+    };
+    let eps = serve.serial().config().eps;
+    let k = serve.serial().config().walk_budget;
+    let eager = serve.serial().config().eager_budget();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -553,19 +670,37 @@ fn cmd_dynamic_sharded(
         "sharded serving: {epochs} epochs × ~{events} events on {shards} machines \
          (ε {eps}, walk budget k = {k}, eager budget {eager})"
     );
+    if let Some(snap) = &persist.restore {
+        let _ = writeln!(
+            out,
+            "restored           : {snap} (resuming after epoch {done} on {shards} machines)"
+        );
+    }
     let _ = writeln!(
         out,
         "{:>5}  {:>7}  {:>7}  {:>5}  {:>7}  {:>7}  {:>9}  {:>9}",
         "epoch", "events", "matched", "waves", "handoff", "rounds", "peak-wds", "budget"
     );
-    let mut rounds_before = 0usize;
-    for (e, chunk) in updates.chunks(events.max(1)).take(epochs).enumerate() {
+    let mut rounds_before = serve.ledger().rounds;
+    let mut saved_at: Option<usize> = None;
+    for (e, chunk) in updates
+        .chunks(events.max(1))
+        .take(epochs)
+        .enumerate()
+        .skip(done)
+    {
         let batch = serve
             .apply_batch(chunk)
             .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
         let report = serve
             .end_epoch()
             .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
+        if let Some(cp) = &persist.checkpoint {
+            if persist.every > 0 && (e + 1) % persist.every == 0 {
+                snapshot::save_sharded(&mut serve, cp).map_err(|me| err(format!("{cp}: {me}")))?;
+                saved_at = Some(e + 1);
+            }
+        }
         let rounds = serve.ledger().rounds;
         let _ = writeln!(
             out,
@@ -621,6 +756,20 @@ fn cmd_dynamic_sharded(
             s.escalations
         );
     }
+    if let Some(cp) = &persist.checkpoint {
+        // The final snapshot — unless the last epoch's periodic write
+        // already produced these exact bytes (a repeat would also charge
+        // a second CHECKPOINT ledger phase).
+        if saved_at != Some(serve.serve_stats().epochs) {
+            snapshot::save_sharded(&mut serve, cp).map_err(|me| err(format!("{cp}: {me}")))?;
+        }
+        let _ = writeln!(
+            out,
+            "checkpoint         : wrote {cp} (after epoch {})",
+            serve.serve_stats().epochs
+        );
+    }
+    persist.dump_assignment(&serve.assignment())?;
     Ok(out)
 }
 
@@ -798,6 +947,99 @@ mod tests {
         assert!(run(&args(&format!("dynamic {file} --waves"))).is_err());
         assert!(run(&args(&format!("dynamic {file} --footprint-cap 8"))).is_err());
         let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn dynamic_checkpoint_restore_resumes_identically() {
+        let file = temp("dynck.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 8 --out {file}"
+        )))
+        .unwrap();
+        let base = format!("dynamic {file} --events 40 --eps 0.25 --seed 5 --no-full");
+        // Uninterrupted 3-epoch run.
+        let full_assign = temp("dynck-full.txt");
+        run(&args(&format!("{base} --epochs 3 --assign {full_assign}"))).unwrap();
+        // 2 epochs + checkpoint, then restore and run the third.
+        let snap = temp("dynck.snap");
+        let report = run(&args(&format!("{base} --epochs 2 --checkpoint {snap}"))).unwrap();
+        assert!(report.contains("checkpoint         : wrote"), "{report}");
+        let resumed_assign = temp("dynck-resumed.txt");
+        let report = run(&args(&format!(
+            "dynamic {file} --events 40 --seed 5 --no-full --epochs 3 \
+             --restore {snap} --assign {resumed_assign}"
+        )))
+        .unwrap();
+        assert!(report.contains("resuming after epoch 2"), "{report}");
+        let full = std::fs::read_to_string(&full_assign).unwrap();
+        let resumed = std::fs::read_to_string(&resumed_assign).unwrap();
+        assert_eq!(full, resumed, "warm restart diverged from uninterrupted");
+
+        // Flag hygiene: config flags travel in the snapshot.
+        assert!(
+            run(&args(&format!("dynamic {file} --restore {snap} --eps 0.5")))
+                .unwrap_err()
+                .0
+                .contains("conflicts with --restore")
+        );
+        assert!(run(&args(&format!("dynamic {file} --checkpoint-every 2")))
+            .unwrap_err()
+            .0
+            .contains("requires --checkpoint"));
+        // A corrupt snapshot is a typed, user-facing error.
+        std::fs::write(&snap, b"not a snapshot").unwrap();
+        assert!(run(&args(&format!("dynamic {file} --restore {snap}")))
+            .unwrap_err()
+            .0
+            .contains("snapshot"));
+        for f in [&file, &full_assign, &snap, &resumed_assign] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn dynamic_sharded_checkpoint_restores_onto_a_different_shard_count() {
+        let file = temp("dynshck.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 8 --out {file}"
+        )))
+        .unwrap();
+        let base = format!("dynamic {file} --events 40 --eps 0.25 --seed 5");
+        let full_assign = temp("dynshck-full.txt");
+        run(&args(&format!(
+            "{base} --epochs 3 --shards 2 --assign {full_assign}"
+        )))
+        .unwrap();
+        // Checkpoint every epoch: the last periodic write is the resume
+        // point.
+        let snap = temp("dynshck.snap");
+        run(&args(&format!(
+            "{base} --epochs 2 --shards 2 --checkpoint {snap} --checkpoint-every 1"
+        )))
+        .unwrap();
+        // Restore onto 4 machines; the maintained allocation must still
+        // equal the uninterrupted 2-shard run's (sharded ≡ serial for
+        // every shard count).
+        let resumed_assign = temp("dynshck-resumed.txt");
+        let report = run(&args(&format!(
+            "dynamic {file} --events 40 --seed 5 --epochs 3 --shards 4 \
+             --restore {snap} --assign {resumed_assign}"
+        )))
+        .unwrap();
+        assert!(report.contains("4 machines"), "{report}");
+        assert_eq!(
+            std::fs::read_to_string(&full_assign).unwrap(),
+            std::fs::read_to_string(&resumed_assign).unwrap(),
+            "re-sharded warm restart diverged"
+        );
+        // A serial restore of a sharded snapshot is a typed kind error.
+        assert!(run(&args(&format!("dynamic {file} --restore {snap}")))
+            .unwrap_err()
+            .0
+            .contains("sharded"));
+        for f in [&file, &full_assign, &snap, &resumed_assign] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

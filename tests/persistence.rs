@@ -1,0 +1,186 @@
+//! Warm-restart fidelity: checkpoint mid-stream → restore → the engine is
+//! observably identical to one that never stopped.
+//!
+//! The contract proved here is the whole point of the snapshot subsystem
+//! (`sparse_alloc_dynamic::snapshot`): for ANY instance, ANY update
+//! stream, and ANY cut point, serializing the engine and reading it back
+//! reproduces the exact mate vector, the exact β-levels, and the exact
+//! `k/(k+1)` certificate of the uninterrupted run — for the serial
+//! [`ServeLoop`] (cut anywhere, even mid-epoch with dirty marks pending)
+//! and for [`ShardedServeLoop`] at shard counts {1, 2, 4}, including
+//! restores that re-shard onto a *different* machine count.
+
+use proptest::prelude::*;
+use sparse_alloc::dynamic::snapshot;
+use sparse_alloc::flow::opt::opt_value;
+use sparse_alloc::prelude::*;
+
+/// Strategy: an arbitrary small allocation instance (duplicates and
+/// isolated vertices allowed), mirroring `tests/properties.rs`.
+fn instance() -> impl Strategy<Value = Bipartite> {
+    (2usize..20, 2usize..16).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..90);
+        let caps = proptest::collection::vec(1u64..=4, nr);
+        (Just(nl), Just(nr), edges, caps).prop_map(|(nl, nr, edges, caps)| {
+            let mut b = BipartiteBuilder::new(nl, nr);
+            b.extend_edges(edges);
+            b.build(caps).expect("in-range instance")
+        })
+    })
+}
+
+/// Materialize an engine-independent update stream (arrival ids are
+/// assigned in order, so the stream replays identically on any engine).
+fn materialize(g: &Bipartite, ops: &[(u8, u32, u32, u64)]) -> Vec<Update> {
+    let mut nl = g.n_left() as u32;
+    let nr = g.n_right() as u32;
+    ops.iter()
+        .map(|&(kind, a, b, cap)| match kind {
+            0 => {
+                nl += 1;
+                Update::Arrive {
+                    neighbors: vec![a % nr, b % nr],
+                }
+            }
+            1 => Update::Depart { u: a % nl },
+            2 => Update::InsertEdge {
+                u: a % nl,
+                v: b % nr,
+            },
+            3 => Update::DeleteEdge {
+                u: a % nl,
+                v: b % nr,
+            },
+            _ => Update::SetCapacity { v: a % nr, cap },
+        })
+        .collect()
+}
+
+fn roundtrip_serial(serve: &ServeLoop) -> ServeLoop {
+    let mut bytes = Vec::new();
+    snapshot::write_serial(serve, &mut bytes).expect("checkpoint");
+    snapshot::read_serial(&mut &bytes[..]).expect("restore")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial warm restart: cut the stream at an arbitrary update — even
+    /// mid-epoch, with dirty marks and drift pending — and the restored
+    /// engine finishes the stream exactly like the uninterrupted one:
+    /// same mate vector, same levels, same stats, and the same k/(k+1)
+    /// certificate on the final live graph.
+    #[test]
+    fn serial_restore_is_observably_identical(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 1..32),
+        epoch_every in 2usize..8,
+        cut_pct in 0usize..=100,
+    ) {
+        let eps = 0.25;
+        let updates = materialize(&g, &ops);
+        let cut = updates.len() * cut_pct / 100;
+
+        let mut uninterrupted = ServeLoop::new(g.clone(), DynamicConfig::for_eps(eps));
+        let mut restarted = ServeLoop::new(g, DynamicConfig::for_eps(eps));
+        for (i, up) in updates.iter().enumerate() {
+            if i == cut {
+                restarted = roundtrip_serial(&restarted);
+            }
+            uninterrupted.apply(up);
+            restarted.apply(up);
+            if i % epoch_every == epoch_every - 1 {
+                uninterrupted.end_epoch();
+                restarted.end_epoch();
+            }
+        }
+        let ra = uninterrupted.end_epoch();
+        let rb = restarted.end_epoch();
+        prop_assert_eq!(ra, rb, "final epoch reports diverged");
+        restarted.validate().unwrap();
+
+        prop_assert_eq!(uninterrupted.assignment().mate, restarted.assignment().mate);
+        prop_assert_eq!(uninterrupted.levels(), restarted.levels());
+        prop_assert_eq!(uninterrupted.stats(), restarted.stats());
+
+        // The certificate itself: the restored engine upholds the same
+        // k/(k+1) bound on the same live graph.
+        let live = restarted.snapshot();
+        let opt = opt_value(&live);
+        let k = restarted.config().walk_budget as f64;
+        prop_assert!(
+            restarted.match_size() as f64 >= k / (k + 1.0) * opt as f64 - 1e-9,
+            "restored engine lost the certificate: {} vs OPT {opt}",
+            restarted.match_size()
+        );
+
+        // And the restored engine snapshots byte-identically to the
+        // uninterrupted one — the state really is the same state.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        snapshot::write_serial(&uninterrupted, &mut a).unwrap();
+        snapshot::write_serial(&restarted, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharded warm restart, shard counts {1, 2, 4}: checkpoint at an
+    /// arbitrary epoch boundary, restore onto the same count AND onto a
+    /// different one, and every variant finishes the stream with the
+    /// exact mate vector (and per-epoch sizes) of the uninterrupted run.
+    #[test]
+    fn sharded_restore_is_warm_for_every_shard_count(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 1..24),
+        epoch_every in 2usize..8,
+        cut_pct in 0usize..=100,
+    ) {
+        let eps = 0.25;
+        let updates = materialize(&g, &ops);
+        let chunks: Vec<&[Update]> = updates.chunks(epoch_every).collect();
+        let cut_epoch = chunks.len() * cut_pct / 100;
+
+        for &shards in &[1usize, 2, 4] {
+            // Re-shard onto a rotated count; also exercise same-count.
+            let targets = [shards, match shards { 1 => 2, 2 => 4, _ => 1 }];
+
+            let mut uninterrupted =
+                ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, shards)).unwrap();
+            let mut sizes = Vec::new();
+            for chunk in &chunks {
+                uninterrupted.apply_batch(chunk).unwrap();
+                sizes.push(uninterrupted.end_epoch().unwrap().serial.match_size);
+            }
+
+            for &target in &targets {
+                let mut serve =
+                    ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, shards))
+                        .unwrap();
+                let mut resumed_sizes = Vec::new();
+                for (e, chunk) in chunks.iter().enumerate() {
+                    if e == cut_epoch {
+                        let mut bytes = Vec::new();
+                        snapshot::write_sharded(&mut serve, &mut bytes).unwrap();
+                        serve = snapshot::read_sharded(&mut &bytes[..], Some(target))
+                            .expect("restore");
+                        prop_assert_eq!(serve.shards(), target);
+                    }
+                    serve.apply_batch(chunk).unwrap();
+                    resumed_sizes.push(serve.end_epoch().unwrap().serial.match_size);
+                }
+                serve.validate().unwrap();
+                prop_assert_eq!(
+                    &resumed_sizes, &sizes,
+                    "{} shards → {} epoch sizes diverged", shards, target
+                );
+                prop_assert_eq!(
+                    serve.assignment().mate, uninterrupted.assignment().mate,
+                    "{} shards → {} final matching diverged", shards, target
+                );
+            }
+        }
+    }
+}
