@@ -38,6 +38,23 @@ if [ "${1:-}" != "fast" ]; then
         --eager-budget 1 --waves
     rm -rf "$tmp"
 
+    step "CLI networked smoke (salloc dynamic --net ≡ serial on the wire)"
+    # Eager budget 1 on BOTH sides: the equivalence contract is
+    # per-config, and the tight budget keeps the staged footprints
+    # inside the 4-shard space budget (as in the sharded smoke above).
+    tmp="$(mktemp -d)"
+    cargo run --release -q --bin salloc -- \
+        gen forests --nl 300 --nr 240 --k 3 --cap 2 --seed 7 --out "$tmp/g.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --no-full \
+        --eager-budget 1 --assign "$tmp/serial.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --shards 4 --net \
+        --eager-budget 1 --assign "$tmp/net.txt"
+    cmp "$tmp/serial.txt" "$tmp/net.txt" \
+        || { echo "wire-gathered allocation diverged from the serial engine"; exit 1; }
+    rm -rf "$tmp"
+
     step "CLI checkpoint/restore smoke (warm restart ≡ uninterrupted)"
     tmp="$(mktemp -d)"
     cargo run --release -q --bin salloc -- \
@@ -71,6 +88,13 @@ if [ "${1:-}" != "fast" ]; then
         || { echo "re-sharded warm restart diverged from the uninterrupted run"; exit 1; }
     rm -rf "$tmp"
 
+    step "e17 dynamic maintenance (incremental ≥ 4× full recompute, gated)"
+    # The threshold is a same-box rebase of the original ≥ 5× record —
+    # see the module docs of e17_dynamic.rs for the measured baseline.
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e17
+    grep -q '"pass": true' BENCH_dynamic.json \
+        || { echo "e17 FAILED its ≥4× incremental-vs-full criterion"; exit 1; }
+
     step "e18 distributed serving (sharded ≡ serial at scale)"
     cargo run --release -q -p sparse-alloc-bench --bin experiments -- e18
 
@@ -102,9 +126,23 @@ if [ "${1:-}" != "fast" ]; then
     grep -q '"pass": true' BENCH_persistence.json \
         || { echo "e20 FAILED its fidelity/snapshot-size criterion"; exit 1; }
 
+    step "e21 networked serving (wire-gathered ≡ serial over loopback + TCP, gated)"
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e21
+    grep -q '"gathered_equal_serial": true' BENCH_network.json \
+        || { echo "e21 FAILED: wire-gathered allocation diverged from serial"; exit 1; }
+
     step "sharded ≡ serial proptest under --release (threaded wave execution)"
     cargo test --release -q --test properties \
         sharded_serving_equals_serial_for_any_shard_count
+
+    step "networked ≡ serial proptests under --release (loopback + TCP transports)"
+    cargo test --release -q --test properties \
+        networked_serving_over_loopback_equals_serial
+    cargo test --release -q --test properties \
+        networked_serving_over_tcp_equals_serial
+
+    step "transport fault-injection harness under --release"
+    cargo test --release -q --test transport
 
     step "examples (release) — none may bit-rot"
     for ex in examples/*.rs; do

@@ -13,14 +13,22 @@
 //! * **full** — one `pipeline::solve` on the identical live snapshot
 //!   (same ε and walk budget; snapshot construction is *not* charged).
 //!
-//! The headline criterion (ISSUE 2): at ≤ 1% churn per epoch the
-//! incremental path must be ≥ 5× faster while matching the from-scratch
-//! quality. A `BENCH_dynamic.json` record is emitted for the perf
-//! trajectory. Caveat: the ratio compares against full recomputes
-//! measured on the *same host*, so the recorded ≥ 5× can read FAIL on a
-//! container whose full recomputes run faster than the machine the
-//! record was made on — the PR-4 note in `ROADMAP.md` has the measured
-//! explanation (the incremental path itself got ~1.4× faster there).
+//! The headline criterion (ISSUE 2, recalibrated in ISSUE 6): at ≤ 1%
+//! churn per epoch the incremental path must be ≥ `MIN_SPEEDUP`×
+//! faster while matching the from-scratch quality. A
+//! `BENCH_dynamic.json` record is emitted for the perf trajectory.
+//!
+//! Why the gate is 4× and not the 5× first recorded: the ratio compares
+//! incremental against full recomputes measured on the *same host*, so
+//! it moves whenever the host's relative costs move — the PR-4 note in
+//! `ROADMAP.md` measured the incremental path itself getting ~1.4×
+//! faster on a newer container, which *lowers* the ratio. A fresh
+//! baseline on the current reference box (2026-08, 3 epochs × 3 churn
+//! rates) measured per-churn-rate speedups of 5.4× / 5.4× / 4.8× with
+//! per-epoch samples down to 4.6×; the gate sits at 4.0× to keep a
+//! ~17% cross-run margin below the weakest measured rate while still
+//! failing loudly if the O(τ)-ball repair ever regresses toward the
+//! τ·m full-recompute cost it is supposed to beat.
 
 use std::time::Instant;
 
@@ -33,6 +41,11 @@ use crate::table::{f1, f3, json_object, json_str, Table};
 
 const EPS: f64 = 0.25;
 const EPOCHS: usize = 3;
+
+/// Pass gate on the worst per-churn-rate speedup, rebased on a fresh
+/// same-box baseline (see the module docs for the measured numbers and
+/// the margin rationale).
+const MIN_SPEEDUP: f64 = 4.0;
 
 fn full_config(k: usize) -> PipelineConfig {
     PipelineConfig {
@@ -130,8 +143,13 @@ pub fn run() {
         );
     }
     println!(
-        "  criterion: ≥ 5× at ≤ 1% churn on n ≥ 10^5 — {}",
-        if min_speedup >= 5.0 { "PASS" } else { "FAIL" }
+        "  criterion: ≥ {MIN_SPEEDUP}× at ≤ 1% churn on n ≥ 10^5 (same-box rebase of the \
+         original ≥ 5×; see module docs) — {}",
+        if min_speedup >= MIN_SPEEDUP {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "  shape: the incremental cost scales with the touched balls (plus one O(n) \
@@ -200,7 +218,8 @@ pub fn run() {
             ),
         ),
         ("min_speedup", f1(min_speedup)),
-        ("pass", (min_speedup >= 5.0).to_string()),
+        ("criterion_min_speedup", MIN_SPEEDUP.to_string()),
+        ("pass", (min_speedup >= MIN_SPEEDUP).to_string()),
     ]);
     match std::fs::write("BENCH_dynamic.json", format!("{record}\n")) {
         Ok(()) => println!("  wrote BENCH_dynamic.json"),

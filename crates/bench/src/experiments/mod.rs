@@ -22,6 +22,7 @@
 //! | E18 | (system) sharded vs serial serving: equivalence + MPC cost |
 //! | E19 | (system) batching throughput: hardened sharded hot path |
 //! | E20 | (system) persistence: snapshot size, latency, warm-restart fidelity |
+//! | E21 | (system) networked serving: measured wire bytes vs simulated words |
 
 pub mod e01_rounds_vs_lambda;
 pub mod e02_n_independence;
@@ -43,12 +44,13 @@ pub mod e17_dynamic;
 pub mod e18_distributed;
 pub mod e19_batching;
 pub mod e20_persistence;
+pub mod e21_network;
 
-/// Run one experiment by id (`"e1"`, …, `"e20"`), or `"all"`.
+/// Run one experiment by id (`"e1"`, …, `"e21"`), or `"all"`.
 pub fn dispatch(id: &str) -> Result<(), String> {
     let all = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "e19", "e20",
+        "e15", "e16", "e17", "e18", "e19", "e20", "e21",
     ];
     let run_one = |name: &str| match name {
         "e1" => e01_rounds_vs_lambda::run(),
@@ -71,6 +73,7 @@ pub fn dispatch(id: &str) -> Result<(), String> {
         "e18" => e18_distributed::run(),
         "e19" => e19_batching::run(),
         "e20" => e20_persistence::run(),
+        "e21" => e21_network::run(),
         other => panic!("unknown experiment {other}"),
     };
     match id {

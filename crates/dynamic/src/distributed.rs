@@ -383,6 +383,14 @@ impl ShardedServeLoop {
         &self.map
     }
 
+    /// Mutable accounting access for the networked engine
+    /// ([`crate::net`]): its phases move *measured* bytes over a real
+    /// transport, and recording them here keeps wire traffic and the
+    /// simulator's word accounting on one ledger.
+    pub(crate) fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
     /// Record a checkpoint as a ledger phase: each machine stages its
     /// manifest and serialized slice locally (round-free — the bytes
     /// leave through the host, not the cluster).

@@ -19,6 +19,7 @@
 //! | epoch-stamped sets/maps for the scheduling hot path | [`stamp`] |
 //! | conflict batching of update balls into parallel waves | [`batch`] |
 //! | sharded serving across the MPC simulator | [`distributed`] |
+//! | shard workers on a real transport (loopback / TCP) | [`net`] |
 //! | checkpoint/restore snapshots for warm restarts | [`snapshot`] |
 //! | adapters from `sparse-alloc-online` streams, churn generator | [`adapter`] |
 //!
@@ -50,6 +51,16 @@
 //! `n^δ`-style budget every epoch. For any update sequence and any shard
 //! count, the maintained allocation is identical to the serial
 //! [`ServeLoop`]'s — `tests/properties.rs` holds that contract.
+//!
+//! [`NetServeLoop`] takes the sharded engine onto a *real* wire: each
+//! shard is a worker thread owning its slice of the matching and levels,
+//! and every epoch phase is an exchange of checksummed frames over
+//! deterministic in-process loopback or framed TCP
+//! ([`net::TransportKind`]). The same equivalence contract holds over
+//! both transports, and every injected transport fault (dropped peer,
+//! truncated frame, flipped bit, reordering) surfaces as a typed
+//! [`net::NetError`] — never a panic, never a silently wrong matching
+//! (`tests/transport.rs`).
 //!
 //! # Warm restarts
 //!
@@ -85,6 +96,7 @@
 pub mod adapter;
 pub mod batch;
 pub mod distributed;
+pub mod net;
 pub mod repair;
 pub mod scheduler;
 pub mod serve;
@@ -94,6 +106,7 @@ pub mod update;
 pub mod walks;
 
 pub use distributed::{ShardedConfig, ShardedServeLoop};
+pub use net::{NetEpochReport, NetError, NetServeLoop, NetStats, TransportKind};
 pub use serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
 pub use snapshot::SnapshotError;
 pub use update::Update;

@@ -1,0 +1,1119 @@
+//! Networked serving: shard workers on a real transport.
+//!
+//! [`ShardedServeLoop`](crate::distributed) *simulates* the cluster: it
+//! accounts every exchange in words, but all authoritative state lives in
+//! one address space. [`NetServeLoop`] takes the same engine onto a real
+//! wire: each shard is a worker thread that owns its slice of the
+//! matching and the β-levels (keyed by the same
+//! [`ShardMap`] ownership), and every epoch phase is a
+//! message exchange over a [`Mesh`] of framed channels —
+//! deterministic in-process loopback for tests, or length-prefixed TCP
+//! between real threads ([`TransportKind`]).
+//!
+//! The protocol is a lockstep star: per phase the coordinator sends one
+//! frame to every worker and collects one reply from every worker.
+//!
+//! | phase | direction | payload |
+//! |---|---|---|
+//! | `INIT` | down / up | each worker's initial `(u, mate)` and `(v, level, load)` slice; ack echoes the counts |
+//! | `ROUTE` | down / up | the epoch's update batch, each update shipped to the worker owning its anchor vertex and **echoed back**; the engine consumes the echoed, wire-decoded copies, so a codec bug surfaces as divergence, not silence |
+//! | `COMMIT` | down / up | mate/level/load deltas to the owning workers (the worker slices are what `GATHER` and the census checksum); ack echoes the delta count |
+//! | `CENSUS` | down / up | each worker reports its slice sizes, resident words, and an FNV checksum of its slice; the coordinator recomputes all three and fails loudly on any disagreement |
+//! | `SUMMARY` | down / up | epoch summary broadcast (match size, migrations); ack echoes the match size |
+//! | `GATHER` | down / up | each worker dumps its sorted mate slice; [`NetServeLoop::gather_assignment`] reassembles the full allocation **from the wire** |
+//! | `NACK` | up | a worker's typed failure, relayed so the coordinator re-surfaces the *original* [`TransportError`] variant |
+//! | `SHUTDOWN` | down / up | orderly exit |
+//!
+//! The inner simulator keeps running underneath (same scheduling, same
+//! word accounting, same space assertions), which is exactly what makes
+//! the networked engine measurable: each phase also records its
+//! **measured wire bytes** on the same ledger
+//! ([`labels::NET_ROUTE`] and friends, in ⌈bytes/8⌉ words), so one run
+//! yields simulated words and real bytes side by side (experiment `e21`).
+//!
+//! Every failure mode — dropped peer, truncated frame, flipped bit,
+//! reordered delivery, a worker whose slice disagrees with the
+//! coordinator — surfaces as a typed [`NetError`]; the fault-injection
+//! suite (`tests/transport.rs`) proves there is no panic path and no
+//! silently wrong matching.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sparse_alloc_graph::io::{fnv1a64, ByteReader, ByteWriter, IoError};
+use sparse_alloc_graph::{Assignment, Bipartite, LeftId, RightId};
+use sparse_alloc_mpc::ledger::RoundRecord;
+use sparse_alloc_mpc::shard::labels;
+use sparse_alloc_mpc::transport::{Fault, Mesh, Peer, TransportError};
+use sparse_alloc_mpc::{Ledger, MpcError, ShardMap};
+
+use crate::distributed::{BatchReport, ShardedConfig, ShardedEpochReport, ShardedServeLoop};
+use crate::serve::ServeLoop;
+use crate::snapshot::{self, SnapshotError};
+use crate::update::Update;
+
+/// `mate` wire value for an unmatched left vertex.
+const UNMATCHED: u32 = u32::MAX;
+
+/// One worker's scatter slice: `(u, mate)` rows for owned lefts and
+/// `(v, level, load)` rows for owned rights.
+type SliceRows = (Vec<(u32, u32)>, Vec<(u32, i64, u64)>);
+
+// Protocol phase tags (frame header `phase` field). Requests are odd,
+// replies even; NACK is the one worker-initiated tag.
+const PH_INIT: u32 = 1;
+const PH_INIT_ACK: u32 = 2;
+const PH_ROUTE: u32 = 3;
+const PH_ROUTE_ACK: u32 = 4;
+const PH_COMMIT: u32 = 5;
+const PH_COMMIT_ACK: u32 = 6;
+const PH_CENSUS: u32 = 7;
+const PH_CENSUS_ACK: u32 = 8;
+const PH_SUMMARY: u32 = 9;
+const PH_SUMMARY_ACK: u32 = 10;
+const PH_GATHER: u32 = 11;
+const PH_GATHER_ACK: u32 = 12;
+const PH_SHUTDOWN: u32 = 13;
+const PH_SHUTDOWN_ACK: u32 = 14;
+const PH_NACK: u32 = 15;
+
+const NACK_TRANSPORT: u32 = 0;
+const NACK_PROTOCOL: u32 = 1;
+
+/// Which wire the mesh runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Deterministic in-process byte queues (tests, proptests).
+    Loopback,
+    /// Framed TCP over `127.0.0.1` between real threads.
+    Tcp,
+}
+
+/// Why a networked serving operation failed. Every injected transport
+/// fault, every space-regime violation, and every cross-check
+/// disagreement lands in exactly one variant — no panic paths.
+#[derive(Debug)]
+pub enum NetError {
+    /// The wire failed (typed; possibly relayed from a worker's NACK,
+    /// re-surfacing the variant the worker hit).
+    Transport(TransportError),
+    /// The simulated engine left its space regime.
+    Space(MpcError),
+    /// Checkpoint/restore failed.
+    Snapshot(SnapshotError),
+    /// The bytes moved but violated the serving protocol (bad echo,
+    /// census disagreement, slice checksum mismatch).
+    Protocol {
+        /// The shard the violation involves.
+        shard: u32,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Transport(e) => write!(f, "transport: {e}"),
+            NetError::Space(e) => write!(f, "space: {e}"),
+            NetError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            NetError::Protocol { shard, detail } => write!(f, "shard {shard}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<TransportError> for NetError {
+    fn from(e: TransportError) -> Self {
+        NetError::Transport(e)
+    }
+}
+
+impl From<MpcError> for NetError {
+    fn from(e: MpcError) -> Self {
+        NetError::Space(e)
+    }
+}
+
+impl From<SnapshotError> for NetError {
+    fn from(e: SnapshotError) -> Self {
+        NetError::Snapshot(e)
+    }
+}
+
+/// Measured wire traffic of a [`NetServeLoop`] (coordinator side; both
+/// directions of every channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Bytes the coordinator framed onto the wire.
+    pub bytes_sent: u64,
+    /// Bytes the coordinator took off the wire.
+    pub bytes_received: u64,
+    /// Frames sent.
+    pub frames_sent: u64,
+    /// Frames received.
+    pub frames_received: u64,
+    /// Both-direction bytes of the route phases.
+    pub route_bytes: u64,
+    /// Both-direction bytes of the commit phases.
+    pub commit_bytes: u64,
+    /// Both-direction bytes of the census + summary phases.
+    pub census_bytes: u64,
+    /// Both-direction bytes of initial state scattering.
+    pub init_bytes: u64,
+}
+
+/// What one [`NetServeLoop::end_epoch`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetEpochReport {
+    /// The simulated engine's epoch report.
+    pub inner: ShardedEpochReport,
+    /// Wire bytes this epoch moved (both directions, all phases since
+    /// the previous epoch ended).
+    pub wire_bytes: u64,
+    /// Frames this epoch moved.
+    pub wire_frames: u64,
+}
+
+// -------------------------------------------------------- wire payloads
+
+fn put_update(w: &mut ByteWriter, idx: u32, up: &Update) {
+    let empty: &[u32] = &[];
+    let (kind, a, b, cap, neighbors): (u32, u32, u32, u64, &[u32]) = match up {
+        Update::Arrive { neighbors } => (0, 0, 0, 0, neighbors.as_slice()),
+        Update::Depart { u } => (1, *u, 0, 0, empty),
+        Update::InsertEdge { u, v } => (2, *u, *v, 0, empty),
+        Update::DeleteEdge { u, v } => (3, *u, *v, 0, empty),
+        Update::SetCapacity { v, cap } => (4, *v, 0, *cap, empty),
+    };
+    w.put_u32(idx);
+    w.put_u32(kind);
+    w.put_u32(a);
+    w.put_u32(b);
+    w.put_u64(cap);
+    w.put_vec_u32(neighbors);
+}
+
+fn take_update(r: &mut ByteReader) -> Result<(u32, Update), IoError> {
+    let idx = r.take_u32()?;
+    let kind = r.take_u32()?;
+    let a = r.take_u32()?;
+    let b = r.take_u32()?;
+    let cap = r.take_u64()?;
+    let neighbors = r.take_vec_u32()?;
+    let up = match kind {
+        0 => Update::Arrive { neighbors },
+        1 => Update::Depart { u: a },
+        2 => Update::InsertEdge { u: a, v: b },
+        3 => Update::DeleteEdge { u: a, v: b },
+        4 => Update::SetCapacity { v: a, cap },
+        other => return Err(IoError::Parse(format!("unknown update kind {other}"))),
+    };
+    Ok((idx, up))
+}
+
+// --------------------------------------------------------- worker side
+
+/// A shard worker's authoritative slice: the mates of its owned lefts
+/// and the `(level, load)` of its owned rights, in id order.
+#[derive(Debug, Default)]
+struct WorkerState {
+    lefts: BTreeMap<u32, u32>,
+    rights: BTreeMap<u32, (i64, u64)>,
+}
+
+impl WorkerState {
+    fn checksum(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        for (&u, &m) in &self.lefts {
+            w.put_u32(u);
+            w.put_u32(m);
+        }
+        for (&v, &(level, load)) in &self.rights {
+            w.put_u32(v);
+            w.put_i64(level);
+            w.put_u64(load);
+        }
+        fnv1a64(&w.into_bytes())
+    }
+
+    fn resident_words(&self) -> u64 {
+        2 * self.lefts.len() as u64 + 3 * self.rights.len() as u64
+    }
+
+    fn handle(&mut self, phase: u32, payload: &[u8]) -> Result<(u32, Vec<u8>), String> {
+        let parse = |e: IoError| format!("phase {phase} payload: {e}");
+        let mut r = ByteReader::new(payload);
+        match phase {
+            PH_INIT => {
+                let nl = r.take_len(8).map_err(parse)?;
+                for _ in 0..nl {
+                    let u = r.take_u32().map_err(parse)?;
+                    let m = r.take_u32().map_err(parse)?;
+                    self.lefts.insert(u, m);
+                }
+                let nr = r.take_len(20).map_err(parse)?;
+                for _ in 0..nr {
+                    let v = r.take_u32().map_err(parse)?;
+                    let level = r.take_i64().map_err(parse)?;
+                    let load = r.take_u64().map_err(parse)?;
+                    self.rights.insert(v, (level, load));
+                }
+                r.expect_end().map_err(parse)?;
+                let mut w = ByteWriter::new();
+                w.put_u64(self.lefts.len() as u64);
+                w.put_u64(self.rights.len() as u64);
+                Ok((PH_INIT_ACK, w.into_bytes()))
+            }
+            PH_ROUTE => {
+                // Decode every routed update and re-encode it from the
+                // decoded structures: the echo the coordinator consumes
+                // has round-tripped the codec in both directions.
+                let n = r.take_len(24).map_err(parse)?;
+                let mut w = ByteWriter::new();
+                w.put_u64(n as u64);
+                for _ in 0..n {
+                    let (idx, up) = take_update(&mut r).map_err(parse)?;
+                    put_update(&mut w, idx, &up);
+                }
+                r.expect_end().map_err(parse)?;
+                Ok((PH_ROUTE_ACK, w.into_bytes()))
+            }
+            PH_COMMIT => {
+                let mut applied = 0u64;
+                let nm = r.take_len(8).map_err(parse)?;
+                for _ in 0..nm {
+                    let u = r.take_u32().map_err(parse)?;
+                    let m = r.take_u32().map_err(parse)?;
+                    self.lefts.insert(u, m);
+                    applied += 1;
+                }
+                let nload = r.take_len(12).map_err(parse)?;
+                for _ in 0..nload {
+                    let v = r.take_u32().map_err(parse)?;
+                    let load = r.take_u64().map_err(parse)?;
+                    let entry = self
+                        .rights
+                        .get_mut(&v)
+                        .ok_or_else(|| format!("load delta for unowned right {v}"))?;
+                    entry.1 = load;
+                    applied += 1;
+                }
+                let nlvl = r.take_len(12).map_err(parse)?;
+                for _ in 0..nlvl {
+                    let v = r.take_u32().map_err(parse)?;
+                    let level = r.take_i64().map_err(parse)?;
+                    let entry = self
+                        .rights
+                        .get_mut(&v)
+                        .ok_or_else(|| format!("level delta for unowned right {v}"))?;
+                    entry.0 = level;
+                    applied += 1;
+                }
+                r.expect_end().map_err(parse)?;
+                let mut w = ByteWriter::new();
+                w.put_u64(applied);
+                Ok((PH_COMMIT_ACK, w.into_bytes()))
+            }
+            PH_CENSUS => {
+                r.expect_end().map_err(parse)?;
+                let mut w = ByteWriter::new();
+                w.put_u64(self.lefts.len() as u64);
+                w.put_u64(self.rights.len() as u64);
+                w.put_u64(self.resident_words());
+                w.put_u64(self.checksum());
+                Ok((PH_CENSUS_ACK, w.into_bytes()))
+            }
+            PH_SUMMARY => {
+                let match_size = r.take_u64().map_err(parse)?;
+                let _migrations = r.take_u64().map_err(parse)?;
+                r.expect_end().map_err(parse)?;
+                let mut w = ByteWriter::new();
+                w.put_u64(match_size);
+                Ok((PH_SUMMARY_ACK, w.into_bytes()))
+            }
+            PH_GATHER => {
+                r.expect_end().map_err(parse)?;
+                let mut w = ByteWriter::new();
+                w.put_u64(self.lefts.len() as u64);
+                for (&u, &m) in &self.lefts {
+                    w.put_u32(u);
+                    w.put_u32(m);
+                }
+                Ok((PH_GATHER_ACK, w.into_bytes()))
+            }
+            PH_SHUTDOWN => {
+                r.expect_end().map_err(parse)?;
+                Ok((PH_SHUTDOWN_ACK, Vec::new()))
+            }
+            other => Err(format!("unknown phase {other}")),
+        }
+    }
+}
+
+/// The worker thread: serve frames until shutdown, channel death, or a
+/// protocol violation. Failures are relayed to the coordinator as a
+/// NACK frame carrying the typed error, then the worker exits — a
+/// worker never panics on bad input, and never answers with made-up
+/// state.
+fn worker_main(mut peer: Peer) {
+    let mut st = WorkerState::default();
+    loop {
+        let frame = match peer.recv() {
+            Ok(f) => f,
+            Err(err) => {
+                let mut w = ByteWriter::new();
+                w.put_u32(NACK_TRANSPORT);
+                w.put_bytes(&err.encode());
+                let _ = peer.send(PH_NACK, 0, &w.into_bytes());
+                return;
+            }
+        };
+        match st.handle(frame.phase, &frame.payload) {
+            Ok((phase, reply)) => {
+                let done = phase == PH_SHUTDOWN_ACK;
+                if peer.send(phase, frame.epoch, &reply).is_err() {
+                    return;
+                }
+                if done {
+                    return;
+                }
+            }
+            Err(detail) => {
+                let mut w = ByteWriter::new();
+                w.put_u32(NACK_PROTOCOL);
+                w.put_bytes(detail.as_bytes());
+                let _ = peer.send(PH_NACK, frame.epoch, &w.into_bytes());
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- coordinator side
+
+/// Owner of an update's *anchor* vertex: the worker its wire copy is
+/// routed through. Any deterministic rule works — the engine applies
+/// the echoed batch in original order — this one sends each update to
+/// the shard owning the vertex its repair ball is centered on.
+fn anchor_owner(map: &ShardMap, up: &Update) -> usize {
+    match up {
+        Update::Arrive { neighbors } => neighbors.first().map_or(0, |&v| map.owner_of_right(v)),
+        Update::Depart { u } => map.owner_of_left(*u),
+        Update::InsertEdge { v, .. }
+        | Update::DeleteEdge { v, .. }
+        | Update::SetCapacity { v, .. } => map.owner_of_right(*v),
+    }
+}
+
+fn decode_nack(shard: u32, payload: &[u8]) -> NetError {
+    let mut r = ByteReader::new(payload);
+    let parsed = (|| -> Result<NetError, IoError> {
+        let kind = r.take_u32()?;
+        let body = r.take_bytes()?;
+        r.expect_end()?;
+        Ok(match kind {
+            NACK_TRANSPORT => NetError::Transport(TransportError::decode(&body)?),
+            _ => NetError::Protocol {
+                shard,
+                detail: String::from_utf8_lossy(&body).into_owned(),
+            },
+        })
+    })();
+    parsed.unwrap_or_else(|e| NetError::Protocol {
+        shard,
+        detail: format!("undecodable NACK: {e}"),
+    })
+}
+
+/// The networked serving engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct NetServeLoop {
+    inner: ShardedServeLoop,
+    mesh: Mesh,
+    workers: Vec<JoinHandle<()>>,
+    kind: TransportKind,
+    synced_mate: Vec<u32>,
+    synced_level: Vec<i64>,
+    synced_load: Vec<u64>,
+    epoch: u64,
+    stats: NetStats,
+    epoch_mark: (u64, u64),
+}
+
+impl NetServeLoop {
+    /// Solve `base` with the static stack and serve it across
+    /// `cfg.shards` worker threads connected by `kind` channels. The
+    /// initial state slices are scattered ([`labels::NET_INIT`]) before
+    /// this returns.
+    pub fn new(base: Bipartite, cfg: ShardedConfig, kind: TransportKind) -> Result<Self, NetError> {
+        let inner = ShardedServeLoop::new(base, cfg)?;
+        Self::from_inner(inner, kind)
+    }
+
+    /// Put an existing simulated engine on the wire: spawn one worker
+    /// per shard and scatter the current state slices.
+    pub fn from_inner(inner: ShardedServeLoop, kind: TransportKind) -> Result<Self, NetError> {
+        let p = inner.shards();
+        let (mesh, ends) = match kind {
+            TransportKind::Loopback => Mesh::loopback(p),
+            TransportKind::Tcp => Mesh::tcp(p)?,
+        };
+        let workers = ends
+            .into_iter()
+            .map(|peer| std::thread::spawn(move || worker_main(peer)))
+            .collect();
+        let mut this = NetServeLoop {
+            inner,
+            mesh,
+            workers,
+            kind,
+            synced_mate: Vec::new(),
+            synced_level: Vec::new(),
+            synced_load: Vec::new(),
+            epoch: 0,
+            stats: NetStats::default(),
+            epoch_mark: (0, 0),
+        };
+        this.scatter_init()?;
+        this.epoch_mark = this.wire_totals();
+        Ok(this)
+    }
+
+    /// Restore a snapshot ([`NetServeLoop::checkpoint`] or any sharded
+    /// snapshot) onto a fresh mesh, optionally re-sharding.
+    pub fn restore(
+        path: impl AsRef<Path>,
+        shards_override: Option<usize>,
+        kind: TransportKind,
+    ) -> Result<Self, NetError> {
+        let inner = snapshot::load_sharded(path, shards_override)?;
+        Self::from_inner(inner, kind)
+    }
+
+    /// Atomically checkpoint the engine to `path` (the sharded snapshot
+    /// format; restorable by [`NetServeLoop::restore`] or
+    /// [`snapshot::load_sharded`]).
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), NetError> {
+        snapshot::save_sharded(&mut self.inner, path)?;
+        Ok(())
+    }
+
+    /// Serialize a checkpoint to bytes (tests: byte-identical
+    /// re-snapshot proofs).
+    pub fn checkpoint_bytes(&mut self) -> Result<Vec<u8>, NetError> {
+        let mut bytes = Vec::new();
+        snapshot::write_sharded(&mut self.inner, &mut bytes)?;
+        Ok(bytes)
+    }
+
+    // ------------------------------------------------------- plumbing
+
+    fn wire_totals(&self) -> (u64, u64) {
+        let (bs, br) = self.mesh.bytes_moved();
+        let (fs, fr) = self.mesh.frames_moved();
+        (bs + br, fs + fr)
+    }
+
+    /// Record one phase's measured wire traffic on the inner ledger
+    /// (⌈bytes/8⌉ words) and on the phase counters.
+    fn note_wire(&mut self, label: &'static str, before: &[(u64, u64)]) {
+        let after = self.mesh.per_peer_bytes();
+        let mut total = 0u64;
+        let (mut max_sent, mut max_recv) = (0u64, 0u64);
+        for ((s0, r0), (s1, r1)) in before.iter().zip(&after) {
+            let sent = s1 - s0;
+            let recv = r1 - r0;
+            total += sent + recv;
+            max_sent = max_sent.max(sent);
+            max_recv = max_recv.max(recv);
+        }
+        match label {
+            labels::NET_ROUTE => self.stats.route_bytes += total,
+            labels::NET_COMMIT => self.stats.commit_bytes += total,
+            labels::NET_CENSUS => self.stats.census_bytes += total,
+            _ => self.stats.init_bytes += total,
+        }
+        self.inner.ledger_mut().record(RoundRecord {
+            words_moved: total.div_ceil(8),
+            max_sent: max_sent.div_ceil(8) as usize,
+            max_received: max_recv.div_ceil(8) as usize,
+            max_storage: 0,
+            total_storage: 0,
+            label,
+        });
+    }
+
+    /// Receive worker `w`'s reply to `phase` of `epoch`; NACKs re-surface
+    /// as the worker's typed error, anything else off-script is a
+    /// protocol error.
+    fn expect(&mut self, w: usize, phase: u32, epoch: u64) -> Result<Vec<u8>, NetError> {
+        let f = self.mesh.recv_from(w)?;
+        if f.phase == PH_NACK {
+            return Err(decode_nack(w as u32, &f.payload));
+        }
+        if f.phase != phase || f.epoch != epoch {
+            return Err(NetError::Protocol {
+                shard: w as u32,
+                detail: format!(
+                    "expected phase {phase} of epoch {epoch}, got phase {} of epoch {}",
+                    f.phase, f.epoch
+                ),
+            });
+        }
+        Ok(f.payload)
+    }
+
+    /// The engine's current full state in wire form: per-left mates
+    /// (`UNMATCHED` for free), per-right levels and *derived* loads
+    /// (loads recomputed from the mate vector, so worker slices and
+    /// coordinator mirrors are definitionally consistent).
+    fn engine_state(&self) -> (Vec<u32>, Vec<i64>, Vec<u64>) {
+        let mate: Vec<u32> = self
+            .inner
+            .assignment()
+            .mate
+            .iter()
+            .map(|m| m.map_or(UNMATCHED, |v| v))
+            .collect();
+        let levels = self.inner.serial().levels().to_vec();
+        let mut load = vec![0u64; levels.len()];
+        for &m in &mate {
+            if m != UNMATCHED {
+                load[m as usize] += 1;
+            }
+        }
+        (mate, levels, load)
+    }
+
+    fn scatter_init(&mut self) -> Result<(), NetError> {
+        let before = self.mesh.per_peer_bytes();
+        let (mate, levels, load) = self.engine_state();
+        let p = self.mesh.workers();
+        let map = *self.inner.shard_map();
+        let mut writers: Vec<SliceRows> = vec![Default::default(); p];
+        for (u, &m) in mate.iter().enumerate() {
+            writers[map.owner_of_left(u as u32)].0.push((u as u32, m));
+        }
+        for (v, (&level, &ld)) in levels.iter().zip(&load).enumerate() {
+            writers[map.owner_of_right(v as u32)]
+                .1
+                .push((v as u32, level, ld));
+        }
+        for (w, (lefts, rights)) in writers.iter().enumerate() {
+            let mut wtr = ByteWriter::new();
+            wtr.put_u64(lefts.len() as u64);
+            for &(u, m) in lefts {
+                wtr.put_u32(u);
+                wtr.put_u32(m);
+            }
+            wtr.put_u64(rights.len() as u64);
+            for &(v, level, ld) in rights {
+                wtr.put_u32(v);
+                wtr.put_i64(level);
+                wtr.put_u64(ld);
+            }
+            self.mesh
+                .send_to(w, PH_INIT, self.epoch, &wtr.into_bytes())?;
+        }
+        for (w, (lefts, rights)) in writers.iter().enumerate() {
+            let payload = self.expect(w, PH_INIT_ACK, self.epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let (nl, nr) = (
+                r.take_u64().map_err(|e| self.payload_err(w, e))?,
+                r.take_u64().map_err(|e| self.payload_err(w, e))?,
+            );
+            if nl != lefts.len() as u64 || nr != rights.len() as u64 {
+                return Err(NetError::Protocol {
+                    shard: w as u32,
+                    detail: format!(
+                        "init ack counts ({nl}, {nr}) disagree with the scattered slice \
+                         ({}, {})",
+                        lefts.len(),
+                        rights.len()
+                    ),
+                });
+            }
+        }
+        self.synced_mate = mate;
+        self.synced_level = levels;
+        self.synced_load = load;
+        self.note_wire(labels::NET_INIT, &before);
+        Ok(())
+    }
+
+    fn payload_err(&self, w: usize, e: IoError) -> NetError {
+        NetError::Protocol {
+            shard: w as u32,
+            detail: format!("reply payload: {e}"),
+        }
+    }
+
+    /// Ship the engine's state changes since the last commit to the
+    /// owning workers, and advance the coordinator's mirror.
+    fn commit_deltas(&mut self) -> Result<(), NetError> {
+        let before = self.mesh.per_peer_bytes();
+        let (mate, levels, load) = self.engine_state();
+        let p = self.mesh.workers();
+        let map = *self.inner.shard_map();
+        let mut mates: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
+        let mut loads: Vec<Vec<(u32, u64)>> = vec![Vec::new(); p];
+        let mut lvls: Vec<Vec<(u32, i64)>> = vec![Vec::new(); p];
+        for (u, &m) in mate.iter().enumerate() {
+            // A left past the synced horizon arrived this batch: its
+            // owner must learn it even if it is (still) unmatched.
+            if u >= self.synced_mate.len() || self.synced_mate[u] != m {
+                mates[map.owner_of_left(u as u32)].push((u as u32, m));
+            }
+        }
+        for (v, &ld) in load.iter().enumerate() {
+            if self.synced_load[v] != ld {
+                loads[map.owner_of_right(v as u32)].push((v as u32, ld));
+            }
+        }
+        for (v, &level) in levels.iter().enumerate() {
+            if self.synced_level[v] != level {
+                lvls[map.owner_of_right(v as u32)].push((v as u32, level));
+            }
+        }
+        let epoch = self.epoch;
+        for w in 0..p {
+            let mut wtr = ByteWriter::new();
+            wtr.put_u64(mates[w].len() as u64);
+            for &(u, m) in &mates[w] {
+                wtr.put_u32(u);
+                wtr.put_u32(m);
+            }
+            wtr.put_u64(loads[w].len() as u64);
+            for &(v, ld) in &loads[w] {
+                wtr.put_u32(v);
+                wtr.put_u64(ld);
+            }
+            wtr.put_u64(lvls[w].len() as u64);
+            for &(v, level) in &lvls[w] {
+                wtr.put_u32(v);
+                wtr.put_i64(level);
+            }
+            self.mesh.send_to(w, PH_COMMIT, epoch, &wtr.into_bytes())?;
+        }
+        for w in 0..p {
+            let payload = self.expect(w, PH_COMMIT_ACK, epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let applied = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let sent = (mates[w].len() + loads[w].len() + lvls[w].len()) as u64;
+            if applied != sent {
+                return Err(NetError::Protocol {
+                    shard: w as u32,
+                    detail: format!("commit ack applied {applied} of {sent} deltas"),
+                });
+            }
+        }
+        self.synced_mate = mate;
+        self.synced_level = levels;
+        self.synced_load = load;
+        self.note_wire(labels::NET_COMMIT, &before);
+        Ok(())
+    }
+
+    /// The coordinator's expectation of worker `w`'s slice checksum,
+    /// computed from its own mirror in the same id order the worker's
+    /// sorted maps use.
+    fn slice_checksum(&self, w: usize) -> u64 {
+        let map = self.inner.shard_map();
+        let mut wtr = ByteWriter::new();
+        for (u, &m) in self.synced_mate.iter().enumerate() {
+            if map.owner_of_left(u as u32) == w {
+                wtr.put_u32(u as u32);
+                wtr.put_u32(m);
+            }
+        }
+        for (v, (&level, &ld)) in self.synced_level.iter().zip(&self.synced_load).enumerate() {
+            if map.owner_of_right(v as u32) == w {
+                wtr.put_u32(v as u32);
+                wtr.put_i64(level);
+                wtr.put_u64(ld);
+            }
+        }
+        fnv1a64(&wtr.into_bytes())
+    }
+
+    // ------------------------------------------------------- serving
+
+    /// Apply one epoch's update batch. The batch is scattered to the
+    /// workers owning each update's anchor, echoed back, and the engine
+    /// consumes the echoed wire copies ([`labels::NET_ROUTE`]); the
+    /// resulting state deltas are committed to the owning workers
+    /// ([`labels::NET_COMMIT`]).
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, NetError> {
+        if updates.is_empty() {
+            return Ok(self.inner.apply_batch(updates)?);
+        }
+        let epoch = self.epoch;
+        let p = self.mesh.workers();
+        let map = *self.inner.shard_map();
+        let before = self.mesh.per_peer_bytes();
+
+        let mut groups: Vec<Vec<(u32, &Update)>> = vec![Vec::new(); p];
+        for (i, up) in updates.iter().enumerate() {
+            groups[anchor_owner(&map, up)].push((i as u32, up));
+        }
+        for (w, group) in groups.iter().enumerate() {
+            let mut wtr = ByteWriter::new();
+            wtr.put_u64(group.len() as u64);
+            for &(i, up) in group {
+                put_update(&mut wtr, i, up);
+            }
+            self.mesh.send_to(w, PH_ROUTE, epoch, &wtr.into_bytes())?;
+        }
+
+        let mut wire: Vec<Option<Update>> = vec![None; updates.len()];
+        for w in 0..p {
+            let payload = self.expect(w, PH_ROUTE_ACK, epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let n = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            for _ in 0..n {
+                let (i, up) = take_update(&mut r).map_err(|e| self.payload_err(w, e))?;
+                let slot = wire.get_mut(i as usize).ok_or_else(|| NetError::Protocol {
+                    shard: w as u32,
+                    detail: format!("echoed update index {i} out of range"),
+                })?;
+                if slot.replace(up).is_some() {
+                    return Err(NetError::Protocol {
+                        shard: w as u32,
+                        detail: format!("update {i} echoed twice"),
+                    });
+                }
+            }
+            r.expect_end().map_err(|e| self.payload_err(w, e))?;
+        }
+        let wire: Vec<Update> = wire
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| NetError::Protocol {
+                    shard: u32::MAX,
+                    detail: format!("update {i} never came back from its worker"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        self.note_wire(labels::NET_ROUTE, &before);
+
+        // The engine consumes what the wire delivered — a codec bug
+        // surfaces as divergence from serial, not silence.
+        let report = self.inner.apply_batch(&wire)?;
+        self.commit_deltas()?;
+        Ok(report)
+    }
+
+    /// Close the epoch: run the simulated engine's sweep phases, commit
+    /// the state deltas, cross-check every worker's census (slice sizes,
+    /// resident words, FNV slice checksum) against the coordinator's
+    /// mirror, and broadcast the epoch summary.
+    pub fn end_epoch(&mut self) -> Result<NetEpochReport, NetError> {
+        let epoch = self.epoch;
+        let p = self.mesh.workers();
+        let report = self.inner.end_epoch()?;
+        self.commit_deltas()?;
+
+        let before = self.mesh.per_peer_bytes();
+        for w in 0..p {
+            self.mesh.send_to(w, PH_CENSUS, epoch, &[])?;
+        }
+        let (mut total_lefts, mut total_rights) = (0u64, 0u64);
+        for w in 0..p {
+            let payload = self.expect(w, PH_CENSUS_ACK, epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let lefts = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let rights = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let words = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let sum = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let expect_words = 2 * lefts + 3 * rights;
+            if words != expect_words {
+                return Err(NetError::Protocol {
+                    shard: w as u32,
+                    detail: format!("census resident words {words}, expected {expect_words}"),
+                });
+            }
+            let expect_sum = self.slice_checksum(w);
+            if sum != expect_sum {
+                return Err(NetError::Protocol {
+                    shard: w as u32,
+                    detail: format!(
+                        "slice checksum diverged: worker {sum:#018x}, coordinator \
+                         {expect_sum:#018x}"
+                    ),
+                });
+            }
+            total_lefts += lefts;
+            total_rights += rights;
+        }
+        let (nl, nr) = (
+            self.synced_mate.len() as u64,
+            self.synced_level.len() as u64,
+        );
+        if total_lefts != nl || total_rights != nr {
+            return Err(NetError::Protocol {
+                shard: u32::MAX,
+                detail: format!(
+                    "census totals ({total_lefts}, {total_rights}) disagree with the engine \
+                     ({nl}, {nr})"
+                ),
+            });
+        }
+
+        let mut wtr = ByteWriter::new();
+        wtr.put_u64(report.serial.match_size as u64);
+        wtr.put_u64(report.migrations as u64);
+        let summary = wtr.into_bytes();
+        for w in 0..p {
+            self.mesh.send_to(w, PH_SUMMARY, epoch, &summary)?;
+        }
+        for w in 0..p {
+            let payload = self.expect(w, PH_SUMMARY_ACK, epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let echoed = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            if echoed != report.serial.match_size as u64 {
+                return Err(NetError::Protocol {
+                    shard: w as u32,
+                    detail: format!(
+                        "summary echo {echoed} disagrees with match size {}",
+                        report.serial.match_size
+                    ),
+                });
+            }
+        }
+        self.note_wire(labels::NET_CENSUS, &before);
+
+        let (bytes_now, frames_now) = self.wire_totals();
+        let rep = NetEpochReport {
+            inner: report,
+            wire_bytes: bytes_now - self.epoch_mark.0,
+            wire_frames: frames_now - self.epoch_mark.1,
+        };
+        self.epoch_mark = (bytes_now, frames_now);
+        self.epoch += 1;
+        Ok(rep)
+    }
+
+    /// Reassemble the full allocation **from the worker slices over the
+    /// wire** — the proof that the slices are authoritative. Every left
+    /// vertex must be reported exactly once by exactly its owner; the
+    /// result is what the equivalence proptests compare against serial.
+    pub fn gather_assignment(&mut self) -> Result<Assignment, NetError> {
+        let epoch = self.epoch;
+        let p = self.mesh.workers();
+        let map = *self.inner.shard_map();
+        let n_left = self.synced_mate.len();
+        for w in 0..p {
+            self.mesh.send_to(w, PH_GATHER, epoch, &[])?;
+        }
+        let mut mate: Vec<Option<u32>> = vec![None; n_left];
+        let mut seen = vec![false; n_left];
+        for w in 0..p {
+            let payload = self.expect(w, PH_GATHER_ACK, epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let n = r.take_len(8).map_err(|e| self.payload_err(w, e))?;
+            for _ in 0..n {
+                let u = r.take_u32().map_err(|e| self.payload_err(w, e))?;
+                let m = r.take_u32().map_err(|e| self.payload_err(w, e))?;
+                let protocol = |detail: String| NetError::Protocol {
+                    shard: w as u32,
+                    detail,
+                };
+                if u as usize >= n_left {
+                    return Err(protocol(format!("gathered left {u} out of range")));
+                }
+                if map.owner_of_left(u) != w {
+                    return Err(protocol(format!("worker {w} reported unowned left {u}")));
+                }
+                if std::mem::replace(&mut seen[u as usize], true) {
+                    return Err(protocol(format!("left {u} gathered twice")));
+                }
+                mate[u as usize] = if m == UNMATCHED { None } else { Some(m) };
+            }
+            r.expect_end().map_err(|e| self.payload_err(w, e))?;
+        }
+        if let Some(u) = seen.iter().position(|&s| !s) {
+            return Err(NetError::Protocol {
+                shard: u32::MAX,
+                detail: format!("left {u} was gathered by no worker"),
+            });
+        }
+        Ok(Assignment { mate })
+    }
+
+    // -------------------------------------------------------- queries
+
+    /// The current match of left vertex `u` (coordinator mirror;
+    /// [`NetServeLoop::gather_assignment`] asks the workers). `O(1)`.
+    #[inline]
+    pub fn query(&self, u: LeftId) -> Option<RightId> {
+        self.inner.query(u)
+    }
+
+    /// Current matching cardinality. `O(1)`.
+    #[inline]
+    pub fn match_size(&self) -> usize {
+        self.inner.match_size()
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.mesh.workers()
+    }
+
+    /// Which wire the mesh runs on.
+    pub fn transport(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// The underlying simulated engine (its ledger carries both the
+    /// simulated word rounds and the measured `net_*` wire rounds).
+    pub fn serial(&self) -> &ServeLoop {
+        self.inner.serial()
+    }
+
+    /// The accumulated accounting: simulated phases plus measured
+    /// `net_*` wire phases.
+    pub fn ledger(&self) -> &Ledger {
+        self.inner.ledger()
+    }
+
+    /// Measured wire traffic counters.
+    pub fn net_stats(&self) -> NetStats {
+        let (bytes_sent, bytes_received) = self.mesh.bytes_moved();
+        let (frames_sent, frames_received) = self.mesh.frames_moved();
+        NetStats {
+            bytes_sent,
+            bytes_received,
+            frames_sent,
+            frames_received,
+            ..self.stats
+        }
+    }
+
+    /// The simulated engine underneath (sharding counters, space
+    /// budget, snapshot access).
+    pub fn inner(&self) -> &ShardedServeLoop {
+        &self.inner
+    }
+
+    /// Full consistency check of the engine state (tests/debugging).
+    pub fn validate(&self) -> Result<(), String> {
+        self.inner.validate()
+    }
+
+    /// Arm `fault` on the channel to worker `shard`: the next frame the
+    /// coordinator sends there is corrupted in transit. The failure
+    /// surfaces as a typed [`NetError`] on the operation that trips it.
+    pub fn inject_fault(&mut self, shard: usize, fault: Fault) {
+        self.mesh.peer_mut(shard).inject(fault);
+    }
+
+    /// Cap how long coordinator receives wait (tests shrink this so
+    /// stalled-channel faults surface fast).
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.mesh.set_recv_timeout(timeout);
+    }
+
+    /// Orderly shutdown: ask every worker to exit and join the threads.
+    /// Dead channels are ignored — shutdown after a fault still joins.
+    pub fn shutdown(&mut self) {
+        for w in 0..self.mesh.workers() {
+            let _ = self.mesh.send_to(w, PH_SHUTDOWN, self.epoch, &[]);
+        }
+        for w in 0..self.mesh.workers() {
+            let _ = self.mesh.recv_from(w);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServeLoop {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::{churn_stream, ChurnMix};
+    use crate::serve::ServeLoop;
+    use sparse_alloc_graph::generators::union_of_spanning_trees;
+
+    fn drive(kind: TransportKind, shards: usize, seed: u64) -> (NetServeLoop, ServeLoop) {
+        let g = union_of_spanning_trees(60, 45, 2, 2, seed).graph;
+        let updates = churn_stream(&g, 90, &ChurnMix::default(), seed);
+        let cfg = ShardedConfig::for_eps(0.25, shards);
+        let dynamic = cfg.dynamic.clone();
+        let mut net = NetServeLoop::new(g.clone(), cfg, kind).unwrap();
+        let mut serial = ServeLoop::new(g, dynamic);
+        for chunk in updates.chunks(30) {
+            net.apply_batch(chunk).unwrap();
+            net.end_epoch().unwrap();
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+        }
+        (net, serial)
+    }
+
+    #[test]
+    fn loopback_gathered_assignment_equals_serial() {
+        for shards in [1usize, 3, 4] {
+            let (mut net, serial) = drive(TransportKind::Loopback, shards, 7 + shards as u64);
+            net.validate().unwrap();
+            let gathered = net.gather_assignment().unwrap();
+            assert_eq!(
+                gathered.mate,
+                serial.assignment().mate,
+                "{shards} shards diverged from serial over loopback"
+            );
+            assert_eq!(gathered.mate, net.inner().assignment().mate);
+        }
+    }
+
+    #[test]
+    fn tcp_gathered_assignment_equals_serial() {
+        let (mut net, serial) = drive(TransportKind::Tcp, 3, 11);
+        let gathered = net.gather_assignment().unwrap();
+        assert_eq!(gathered.mate, serial.assignment().mate);
+    }
+
+    #[test]
+    fn wire_phases_land_on_the_ledger() {
+        let (net, _) = drive(TransportKind::Loopback, 3, 13);
+        let l = net.ledger();
+        assert!(l.rounds_labeled(labels::NET_INIT) >= 1);
+        assert!(l.rounds_labeled(labels::NET_ROUTE) >= 1);
+        assert!(l.rounds_labeled(labels::NET_COMMIT) >= 1);
+        assert!(l.rounds_labeled(labels::NET_CENSUS) >= 1);
+        let s = net.net_stats();
+        assert!(s.bytes_sent > 0 && s.bytes_received > 0);
+        assert!(s.route_bytes > 0 && s.commit_bytes > 0 && s.census_bytes > 0);
+        assert!(s.init_bytes > 0);
+        assert_eq!(s.frames_sent, s.frames_received, "lockstep star protocol");
+    }
+
+    #[test]
+    fn epoch_report_carries_wire_bytes() {
+        let g = union_of_spanning_trees(40, 30, 2, 2, 5).graph;
+        let updates = churn_stream(&g, 30, &ChurnMix::default(), 5);
+        let mut net =
+            NetServeLoop::new(g, ShardedConfig::for_eps(0.25, 2), TransportKind::Loopback).unwrap();
+        net.apply_batch(&updates).unwrap();
+        let rep = net.end_epoch().unwrap();
+        assert!(rep.wire_bytes > 0, "an epoch moves real bytes");
+        assert!(
+            rep.wire_frames >= 8,
+            "route/commit/census/summary × 2 shards"
+        );
+    }
+}

@@ -212,6 +212,13 @@ impl ByteWriter {
             self.put_i64(x);
         }
     }
+
+    /// Append a `u64` length prefix followed by the raw bytes (nested
+    /// payloads, strings).
+    pub fn put_bytes(&mut self, xs: &[u8]) {
+        self.put_u64(xs.len() as u64);
+        self.buf.extend_from_slice(xs);
+    }
 }
 
 /// Cursor over a [`ByteWriter`]-encoded payload. Every `take_*` verifies
@@ -298,6 +305,12 @@ impl<'a> ByteReader<'a> {
     pub fn take_vec_i64(&mut self) -> Result<Vec<i64>, IoError> {
         let n = self.take_len(8)?;
         (0..n).map(|_| self.take_i64()).collect()
+    }
+
+    /// Read a length-prefixed byte string ([`ByteWriter::put_bytes`]).
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, IoError> {
+        let n = self.take_len(1)?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Require that the payload was consumed exactly.
@@ -387,6 +400,260 @@ pub fn from_json(s: &str) -> Result<Bipartite, IoError> {
     let g: Bipartite = serde_json::from_str(s).map_err(|e| IoError::Parse(format!("json: {e}")))?;
     g.validate().map_err(IoError::Parse)?;
     Ok(g)
+}
+
+// ------------------------------------------------------------ frame codec
+
+/// Magic prefix of every transport frame (`"SALF"` little-endian).
+pub const FRAME_MAGIC: u32 = 0x464c_4153;
+/// The frame format version this build writes and the only one it reads.
+pub const FRAME_VERSION: u32 = 1;
+/// Hard cap on a frame payload: a corrupted length field must bound the
+/// allocation it can provoke, not request exabytes.
+pub const MAX_FRAME_PAYLOAD: u64 = 1 << 30;
+/// Fixed byte length of the frame header (magic, version, src, phase,
+/// epoch, seq, payload length).
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4 + 4 + 8 + 8 + 8;
+
+/// Routing metadata of one transport frame.
+///
+/// The wire layout is fixed-width little-endian, checksummed end to end:
+///
+/// ```text
+/// [ 0.. 4)  magic "SALF"                [ 4.. 8)  format version (u32)
+/// [ 8..12)  src machine id (u32)        [12..16)  protocol phase (u32)
+/// [16..24)  epoch (u64)                 [24..32)  channel sequence (u64)
+/// [32..40)  payload length (u64)        [40.. n)  payload bytes
+/// [ n..n+8) FNV-1a-64 over bytes [0..n)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Sender machine id (`u32::MAX` conventionally marks a coordinator).
+    pub src: u32,
+    /// Protocol phase tag; the transport does not interpret it.
+    pub phase: u32,
+    /// Epoch the frame belongs to.
+    pub epoch: u64,
+    /// Per-directed-channel sequence number (receivers detect reordering).
+    pub seq: u64,
+}
+
+/// Why a byte stream is not a well-formed frame. Every corruption mode —
+/// short reads, wrong magic, version skew, an absurd length field, a
+/// flipped bit anywhere — maps to its own variant; none of them panics.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended before the frame did.
+    Truncated {
+        /// Bytes the frame needed.
+        wanted: usize,
+        /// Bytes the stream delivered.
+        got: usize,
+    },
+    /// The first word is not [`FRAME_MAGIC`].
+    BadMagic {
+        /// The word found instead.
+        found: u32,
+    },
+    /// The frame was written by an unsupported format version.
+    Version {
+        /// Version recorded in the frame.
+        found: u32,
+        /// The only version this build reads.
+        expected: u32,
+    },
+    /// The payload length field exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// Length the frame claimed.
+        len: u64,
+        /// The cap it violated.
+        cap: u64,
+    },
+    /// The trailing FNV-1a-64 does not match the received bytes.
+    Checksum {
+        /// Checksum recomputed over the received bytes.
+        expected: u64,
+        /// Checksum the frame carried.
+        found: u64,
+    },
+    /// Underlying I/O failure while reading from a stream.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { wanted, got } => {
+                write!(f, "truncated frame: wanted {wanted} bytes, got {got}")
+            }
+            FrameError::BadMagic { found } => write!(f, "bad frame magic {found:#010x}"),
+            FrameError::Version { found, expected } => {
+                write!(f, "frame version {found}, this build reads {expected}")
+            }
+            FrameError::Oversized { len, cap } => {
+                write!(f, "frame payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+            FrameError::Checksum { expected, found } => write!(
+                f,
+                "frame checksum mismatch: computed {expected:#018x}, carried {found:#018x}"
+            ),
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one frame: header, payload, trailing checksum. The inverse of
+/// [`decode_frame`].
+///
+/// # Panics
+///
+/// If `payload` exceeds [`MAX_FRAME_PAYLOAD`] — senders own their payload
+/// sizes; the cap exists to bound what a *corrupted length field* can
+/// demand of a receiver.
+pub fn encode_frame(h: &FrameHeader, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() as u64 <= MAX_FRAME_PAYLOAD,
+        "frame payload exceeds MAX_FRAME_PAYLOAD"
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&h.src.to_le_bytes());
+    out.extend_from_slice(&h.phase.to_le_bytes());
+    out.extend_from_slice(&h.epoch.to_le_bytes());
+    out.extend_from_slice(&h.seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn header_of(bytes: &[u8; FRAME_HEADER_LEN]) -> Result<(FrameHeader, u64), FrameError> {
+    let word_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let word_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    let magic = word_u32(0);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = word_u32(4);
+    if version != FRAME_VERSION {
+        return Err(FrameError::Version {
+            found: version,
+            expected: FRAME_VERSION,
+        });
+    }
+    let len = word_u64(32);
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized {
+            len,
+            cap: MAX_FRAME_PAYLOAD,
+        });
+    }
+    Ok((
+        FrameHeader {
+            src: word_u32(8),
+            phase: word_u32(12),
+            epoch: word_u64(16),
+            seq: word_u64(24),
+        },
+        len,
+    ))
+}
+
+/// Decode one frame from a complete in-memory buffer (the loopback
+/// transport's receive path). Trailing bytes after the frame are an
+/// error: a frame buffer carries exactly one frame.
+pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, Vec<u8>), FrameError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated {
+            wanted: FRAME_HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let head: &[u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+    let (header, len) = header_of(head)?;
+    let total = FRAME_HEADER_LEN + len as usize + 8;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated {
+            wanted: total,
+            got: bytes.len(),
+        });
+    }
+    if bytes.len() > total {
+        return Err(FrameError::Truncated {
+            wanted: total,
+            got: bytes.len(),
+        });
+    }
+    let body = &bytes[..total - 8];
+    let carried = u64::from_le_bytes(bytes[total - 8..total].try_into().unwrap());
+    let computed = fnv1a64(body);
+    if carried != computed {
+        return Err(FrameError::Checksum {
+            expected: computed,
+            found: carried,
+        });
+    }
+    Ok((header, bytes[FRAME_HEADER_LEN..total - 8].to_vec()))
+}
+
+/// Read exactly `buf.len()` bytes; distinguish a clean end-of-stream at
+/// offset 0 (`Ok(false)`) from a mid-frame truncation (typed error).
+fn read_full(
+    r: &mut impl std::io::Read,
+    buf: &mut [u8],
+    wanted: usize,
+    already: usize,
+) -> Result<bool, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && already == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated {
+                    wanted,
+                    got: already + got,
+                });
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame from a byte stream (the TCP transport's receive path).
+/// A clean end-of-stream at a frame boundary returns `Ok(None)`; ending
+/// *inside* a frame is [`FrameError::Truncated`]; every other corruption
+/// is its typed variant.
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+) -> Result<Option<(FrameHeader, Vec<u8>)>, FrameError> {
+    let mut head = [0u8; FRAME_HEADER_LEN];
+    if !read_full(r, &mut head, FRAME_HEADER_LEN, 0)? {
+        return Ok(None);
+    }
+    let (header, len) = header_of(&head)?;
+    let total = FRAME_HEADER_LEN + len as usize + 8;
+    let mut rest = vec![0u8; len as usize + 8];
+    read_full(r, &mut rest, total, FRAME_HEADER_LEN)?;
+    let mut body = head.to_vec();
+    body.extend_from_slice(&rest[..len as usize]);
+    let carried = u64::from_le_bytes(rest[len as usize..].try_into().unwrap());
+    let computed = fnv1a64(&body);
+    if carried != computed {
+        return Err(FrameError::Checksum {
+            expected: computed,
+            found: carried,
+        });
+    }
+    Ok(Some((header, rest[..len as usize].to_vec())))
 }
 
 #[cfg(test)]
@@ -514,5 +781,107 @@ mod tests {
         assert_eq!(r.take_vec_i64().unwrap(), vec![-1, 0, 9]);
         r.expect_end().unwrap();
         assert!(r.take_u32().is_err(), "reading past the end errors");
+    }
+
+    fn a_header() -> FrameHeader {
+        FrameHeader {
+            src: 3,
+            phase: 11,
+            epoch: 42,
+            seq: 7,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrips_through_buffer_and_stream() {
+        let payload = b"route batch for shard 3".to_vec();
+        let bytes = encode_frame(&a_header(), &payload);
+        assert_eq!(bytes.len(), FRAME_HEADER_LEN + payload.len() + 8);
+
+        let (h, p) = decode_frame(&bytes).unwrap();
+        assert_eq!(h, a_header());
+        assert_eq!(p, payload);
+
+        // Streaming path: two frames back to back, then clean EOF.
+        let mut stream = bytes.clone();
+        stream.extend_from_slice(&encode_frame(&a_header(), b""));
+        let mut r = &stream[..];
+        let (h1, p1) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((h1, p1), (a_header(), payload));
+        let (_, p2) = read_frame(&mut r).unwrap().unwrap();
+        assert!(p2.is_empty());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF is None");
+    }
+
+    #[test]
+    fn every_frame_prefix_is_a_typed_truncation() {
+        let bytes = encode_frame(&a_header(), b"payload");
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes decoded to {other:?}"),
+            }
+            if cut > 0 {
+                // Mid-frame EOF on the stream path, too (cut 0 is a clean
+                // end-of-stream, reported as None).
+                match read_frame(&mut &bytes[..cut]) {
+                    Err(FrameError::Truncated { .. }) => {}
+                    other => panic!("stream prefix of {cut} bytes read as {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_typed_error() {
+        let bytes = encode_frame(&a_header(), b"bits");
+        for i in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[i / 8] ^= 1 << (i % 8);
+            assert!(
+                decode_frame(&bad).is_err(),
+                "bit flip at {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_and_magic_and_oversize_are_typed() {
+        let mut bytes = encode_frame(&a_header(), b"x");
+        bytes[4..8].copy_from_slice(&(FRAME_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Version { found, expected })
+                if found == FRAME_VERSION + 1 && expected == FRAME_VERSION
+        ));
+
+        let mut bytes = encode_frame(&a_header(), b"x");
+        bytes[0] = 0;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::BadMagic { .. })
+        ));
+
+        let mut bytes = encode_frame(&a_header(), b"x");
+        bytes[32..40].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_flip_is_a_checksum_error() {
+        let mut bytes = encode_frame(&a_header(), b"checked");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Checksum { .. })
+        ));
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(FrameError::Checksum { .. })
+        ));
     }
 }

@@ -1,0 +1,206 @@
+//! Adversarial-bytes property tests for the binary codecs: the frame
+//! codec and the `Bipartite`/`DeltaGraph` byte codecs must round-trip
+//! every valid value, and must answer **any** corrupted byte stream —
+//! truncation, bit flips, checksum damage, version skew, or outright
+//! garbage — with a typed error, never a panic and never an unbounded
+//! allocation. (The `take_len` readers bound every length prefix by the
+//! bytes actually remaining, which is what makes "64-bit length says
+//! 2^60 elements" safe to feed the decoder.)
+
+use proptest::prelude::*;
+use sparse_alloc_graph::io::{
+    self, decode_frame, encode_frame, read_frame, ByteReader, ByteWriter, FrameError, FrameHeader,
+    FRAME_VERSION,
+};
+use sparse_alloc_graph::{Bipartite, BipartiteBuilder, DeltaGraph};
+
+fn instance() -> impl Strategy<Value = Bipartite> {
+    (1usize..20, 1usize..16).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..90);
+        let caps = proptest::collection::vec(1u64..=4, nr);
+        (Just(nl), edges, caps).prop_map(|(nl, edges, caps)| {
+            let mut b = BipartiteBuilder::new(nl, caps.len());
+            b.extend_edges(edges);
+            b.build(caps).expect("in-range instance")
+        })
+    })
+}
+
+fn header() -> impl Strategy<Value = FrameHeader> {
+    (
+        0u32..=u32::MAX,
+        0u32..=u32::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+    )
+        .prop_map(|(src, phase, epoch, seq)| FrameHeader {
+            src,
+            phase,
+            epoch,
+            seq,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_roundtrip_any_header_and_payload(
+        h in header(),
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let bytes = encode_frame(&h, &payload);
+        let (h2, p2) = decode_frame(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(h, h2);
+        prop_assert_eq!(&payload, &p2);
+        // Stream form agrees, and a clean EOF afterwards is None.
+        let mut cursor = &bytes[..];
+        let (h3, p3) = read_frame(&mut cursor).unwrap().expect("one frame");
+        prop_assert_eq!(h, h3);
+        prop_assert_eq!(&payload, &p3);
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_frame_prefix_is_a_typed_error(
+        h in header(),
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(&h, &payload);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(decode_frame(&bytes[..cut]).is_err());
+        // Stream form: a prefix that dies inside a frame is Truncated
+        // (an *empty* prefix is clean EOF between frames — Ok(None)).
+        match read_frame(&mut &bytes[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0, "EOF mid-frame must not look clean"),
+            Ok(Some(_)) => prop_assert!(false, "decoded a cut frame"),
+            Err(FrameError::Truncated { .. }) => {}
+            Err(e) => prop_assert!(false, "prefix surfaced as {e:?}"),
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_frame_is_a_typed_error(
+        h in header(),
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        bit_frac in 0.0f64..1.0,
+    ) {
+        let mut bytes = encode_frame(&h, &payload);
+        let bit = ((bytes.len() * 8 - 1) as f64 * bit_frac) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // The FNV-1a trailer makes every single-bit flip detectable; which
+        // typed error it is depends on the field hit (magic, version,
+        // length, checksum, …).
+        prop_assert!(decode_frame(&bytes).is_err(), "flip at bit {bit} passed");
+    }
+
+    #[test]
+    fn version_skew_is_a_typed_version_error(
+        h in header(),
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        skew in 1u32..0x7fff_ffff,
+    ) {
+        let mut bytes = encode_frame(&h, &payload);
+        let other = FRAME_VERSION.wrapping_add(skew);
+        bytes[4..8].copy_from_slice(&other.to_le_bytes());
+        // Patch the trailing checksum so the version field is the *only*
+        // disagreement — skew must be diagnosed as skew, not as damage.
+        let body = bytes.len() - 8;
+        let sum = io::fnv1a64(&bytes[..body]);
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(FrameError::Version { found, expected }) => {
+                prop_assert_eq!(found, other);
+                prop_assert_eq!(expected, FRAME_VERSION);
+            }
+            other => prop_assert!(false, "version skew surfaced as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_the_frame_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        // Any outcome is fine except a panic or an unbounded allocation.
+        let _ = decode_frame(&bytes);
+        let _ = read_frame(&mut &bytes[..]);
+    }
+
+    #[test]
+    fn bipartite_codec_roundtrips(g in instance()) {
+        let mut w = ByteWriter::new();
+        io::write_bipartite(&g, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let g2 = io::read_bipartite(&mut r).expect("own encoding decodes");
+        r.expect_end().unwrap();
+        prop_assert_eq!(g.m(), g2.m());
+        prop_assert_eq!(g.capacities(), g2.capacities());
+        prop_assert_eq!(g.edge_right_endpoints(), g2.edge_right_endpoints());
+    }
+
+    #[test]
+    fn corrupted_bipartite_bytes_never_panic(
+        g in instance(),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let mut w = ByteWriter::new();
+        io::write_bipartite(&g, &mut w);
+        let bytes = w.into_bytes();
+        // Every truncation is a typed parse error (never Ok: the codec's
+        // trailing sections make any strict prefix incomplete).
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(io::read_bipartite(&mut ByteReader::new(&bytes[..cut])).is_err());
+        // A bit flip has no checksum to trip — it may decode to a
+        // *different valid* graph — but it must never panic, and
+        // whatever decodes must pass structural validation.
+        let bit = ((bytes.len() * 8 - 1) as f64 * flip_frac) as usize;
+        let mut flipped = bytes;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(g2) = io::read_bipartite(&mut ByteReader::new(&flipped)) {
+            g2.validate().expect("decoder accepted a structurally broken graph");
+        }
+    }
+
+    #[test]
+    fn delta_codec_roundtrips_and_survives_corruption(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..4, 0u32..=u32::MAX, 0u32..=u32::MAX), 0..20),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        // Build an overlay with real churn so the encoding exercises
+        // tombstones, arrivals, and capacity changes.
+        let mut dg = DeltaGraph::new(g);
+        for &(kind, a, b) in &ops {
+            let nl = dg.n_left() as u32;
+            let nr = dg.n_right() as u32;
+            match kind {
+                0 => { dg.arrive(&[a % nr, b % nr]); }
+                1 => { dg.insert_edge(a % nl, b % nr); }
+                2 => { dg.delete_edge(a % nl, b % nr); }
+                _ => { dg.set_capacity(a % nr, 1 + (b % 4) as u64); }
+            }
+        }
+        let mut w = ByteWriter::new();
+        dg.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let dg2 = DeltaGraph::decode(&mut r).expect("own encoding decodes");
+        r.expect_end().unwrap();
+        prop_assert_eq!(dg.n_left(), dg2.n_left());
+        prop_assert_eq!(dg.m(), dg2.m());
+        prop_assert_eq!(dg.compact().edge_right_endpoints(),
+                        dg2.compact().edge_right_endpoints());
+        // Adversarial bytes: truncations and flips are typed or benign,
+        // never a panic.
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(DeltaGraph::decode(&mut ByteReader::new(&bytes[..cut])).is_err());
+        let bit = ((bytes.len() * 8 - 1) as f64 * flip_frac) as usize;
+        let mut flipped = bytes;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let _ = DeltaGraph::decode(&mut ByteReader::new(&flipped));
+    }
+}

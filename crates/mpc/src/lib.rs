@@ -49,10 +49,12 @@ pub mod error;
 pub mod ledger;
 pub mod primitives;
 pub mod shard;
+pub mod transport;
 pub mod words;
 
 pub use cluster::{Cluster, MachineId, MpcConfig};
 pub use error::MpcError;
 pub use ledger::Ledger;
 pub use shard::{ShardManifest, ShardMap};
+pub use transport::{Fault, Frame, Mesh, Peer, TransportError};
 pub use words::Words;

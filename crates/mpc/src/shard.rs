@@ -133,6 +133,19 @@ pub mod labels {
     /// and re-validates its manifest (round-free; storage accounting
     /// only).
     pub const RESTORE: &str = "restore";
+    /// Measured wire traffic of the networked route phase (update batch
+    /// scattered to worker processes and echoed back; words =
+    /// ⌈bytes/8⌉ actually framed onto the transport).
+    pub const NET_ROUTE: &str = "net_route";
+    /// Measured wire traffic of the networked commit phase (mate/level/
+    /// load deltas shipped to the owning workers).
+    pub const NET_COMMIT: &str = "net_commit";
+    /// Measured wire traffic of the networked census + summary phases
+    /// (per-worker slice checksums up, epoch summary down).
+    pub const NET_CENSUS: &str = "net_census";
+    /// Measured wire traffic of scattering initial state slices to
+    /// worker processes (construction and restore).
+    pub const NET_INIT: &str = "net_init";
 }
 
 #[cfg(test)]

@@ -1,0 +1,957 @@
+//! Real message transports for sharded serving: framed byte channels
+//! between a coordinator and its shard workers.
+//!
+//! The [`Cluster`](crate::Cluster) simulator *accounts* communication in
+//! words; this module *moves* it in bytes. A [`Mesh`] is the
+//! coordinator's side of a star topology — one bidirectional channel per
+//! worker — and a [`Peer`] is one endpoint of one channel. Every message
+//! travels as one checksummed frame
+//! ([`graph::io`](sparse_alloc_graph::io)'s frame codec: magic, version,
+//! source, phase, epoch, per-channel sequence number, length-prefixed
+//! payload, trailing FNV-1a-64), so the receive path can prove what it
+//! got: wrong bytes surface as a typed
+//! [`FrameError`] inside [`TransportError::Frame`], a dead channel as
+//! [`TransportError::Closed`], delivery reordering as
+//! [`TransportError::OutOfOrder`] — never as a panic, and never as
+//! silently wrong data.
+//!
+//! Two interchangeable implementations:
+//!
+//! * **Loopback** — deterministic in-process byte queues
+//!   (mutex + condvar). What tests and proptests drive: same frames,
+//!   same sequence discipline, no sockets.
+//! * **TCP** — length-prefixed frames over real `127.0.0.1` sockets
+//!   between threads (Nagle disabled, bounded read timeouts so a dead
+//!   peer is a typed error, not a hang).
+//!
+//! Both ends count the bytes and frames they actually moved
+//! ([`Peer::bytes_sent`] and friends), which is what lets the dynamic
+//! subsystem's ledger record **measured** wire traffic next to the
+//! simulator's word accounting.
+//!
+//! # Fault injection
+//!
+//! [`Peer::inject`] arms a [`Fault`] that corrupts the *next outgoing
+//! frame* — the channel misbehaves, the endpoints keep their contract.
+//! The four faults map onto the four failure taxa the fault-injection
+//! suite (`tests/transport.rs`) proves are typed:
+//! a dropped peer ([`Fault::Drop`] ⇒ [`TransportError::Closed`]), a
+//! truncated frame ([`Fault::Truncate`] ⇒ [`FrameError::Truncated`]), a
+//! flipped bit ([`Fault::FlipBit`] ⇒ a typed [`FrameError`], usually
+//! `Checksum`), and out-of-order delivery ([`Fault::Reorder`] ⇒
+//! [`TransportError::OutOfOrder`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_alloc_mpc::transport::{Peer, COORDINATOR};
+//!
+//! let (mut coord, mut worker) = Peer::loopback_pair(COORDINATOR, 0);
+//! coord.send(7, 1, b"route batch").unwrap();
+//! let frame = worker.recv().unwrap();
+//! assert_eq!(frame.src, COORDINATOR);
+//! assert_eq!((frame.phase, frame.epoch), (7, 1));
+//! assert_eq!(frame.payload, b"route batch");
+//!
+//! // The reply direction is an independent channel.
+//! worker.send(7, 1, b"ack").unwrap();
+//! assert_eq!(coord.recv().unwrap().payload, b"ack");
+//! ```
+//!
+//! Injected faults surface as typed errors on the receiving end:
+//!
+//! ```
+//! use sparse_alloc_mpc::transport::{Fault, Peer, TransportError, COORDINATOR};
+//!
+//! let (mut coord, mut worker) = Peer::loopback_pair(COORDINATOR, 0);
+//! coord.inject(Fault::FlipBit { bit: 300 });
+//! coord.send(1, 0, b"payload bytes").unwrap();
+//! assert!(matches!(
+//!     worker.recv(),
+//!     Err(TransportError::Frame { .. })
+//! ));
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sparse_alloc_graph::io::{
+    decode_frame, encode_frame, read_frame, ByteReader, ByteWriter, FrameError, FrameHeader,
+    IoError,
+};
+
+/// Conventional source id of the coordinator end of a channel (worker
+/// ids are their shard indices; `u32::MAX` can never be one).
+pub const COORDINATOR: u32 = u32::MAX;
+
+/// Default receive timeout: long enough for any in-process exchange,
+/// short enough that a wedged peer becomes a typed error, not a hang.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One received message: the frame header's routing fields plus the
+/// payload, checksum-verified and sequence-checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender id the frame was stamped with.
+    pub src: u32,
+    /// Protocol phase tag (the transport does not interpret it).
+    pub phase: u32,
+    /// Epoch the frame belongs to.
+    pub epoch: u64,
+    /// Position in the sender's channel order.
+    pub seq: u64,
+    /// The message body.
+    pub payload: Vec<u8>,
+}
+
+/// Why a transport operation failed. Every variant names the remote peer
+/// it failed against; all of them are errors a caller can match on —
+/// the fault-injection suite proves none of the injected failure modes
+/// escapes this type.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The received bytes are not a well-formed frame (truncation, bad
+    /// magic, version skew, oversized length, checksum mismatch).
+    Frame {
+        /// The peer the bytes came from.
+        peer: u32,
+        /// What was wrong with them.
+        err: FrameError,
+    },
+    /// The channel is closed (peer gone, socket shut down).
+    Closed {
+        /// The peer whose channel died.
+        peer: u32,
+    },
+    /// A frame arrived outside the sender's channel order.
+    OutOfOrder {
+        /// The peer that sent it.
+        peer: u32,
+        /// The sequence number the channel expected next.
+        expected: u64,
+        /// The sequence number the frame carried.
+        got: u64,
+    },
+    /// Underlying socket/queue failure (including receive timeouts).
+    Io {
+        /// The peer the operation targeted.
+        peer: u32,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The bytes framed correctly but violated the protocol (wrong
+    /// source id, malformed payload, a worker's relayed failure).
+    Protocol {
+        /// The peer that misbehaved.
+        peer: u32,
+        /// What the violation was.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Frame { peer, err } => write!(f, "peer {peer}: bad frame: {err}"),
+            TransportError::Closed { peer } => write!(f, "peer {peer}: channel closed"),
+            TransportError::OutOfOrder {
+                peer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "peer {peer}: frame out of order: expected seq {expected}, got {got}"
+            ),
+            TransportError::Io { peer, detail } => write!(f, "peer {peer}: io: {detail}"),
+            TransportError::Protocol { peer, detail } => {
+                write!(f, "peer {peer}: protocol: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    /// The remote peer the error names.
+    pub fn peer(&self) -> u32 {
+        match self {
+            TransportError::Frame { peer, .. }
+            | TransportError::Closed { peer }
+            | TransportError::OutOfOrder { peer, .. }
+            | TransportError::Io { peer, .. }
+            | TransportError::Protocol { peer, .. } => *peer,
+        }
+    }
+
+    /// Wire form of the error, so a worker that hit a transport failure
+    /// can relay it to the coordinator in a NACK payload and the
+    /// coordinator re-surfaces the *original* typed variant
+    /// ([`TransportError::decode`] round-trips it).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        let (code, peer, a, b, detail): (u32, u32, u64, u64, &str) = match self {
+            TransportError::Frame { peer, err } => {
+                let (sub, a, b, det): (u64, u64, u64, String) = match err {
+                    FrameError::Truncated { wanted, got } => {
+                        (0, *wanted as u64, *got as u64, String::new())
+                    }
+                    FrameError::BadMagic { found } => (1, *found as u64, 0, String::new()),
+                    FrameError::Version { found, expected } => {
+                        (2, *found as u64, *expected as u64, String::new())
+                    }
+                    FrameError::Oversized { len, cap } => (3, *len, *cap, String::new()),
+                    FrameError::Checksum { expected, found } => {
+                        (4, *expected, *found, String::new())
+                    }
+                    FrameError::Io(e) => (5, 0, 0, e.to_string()),
+                };
+                w.put_u32(0);
+                w.put_u32(*peer);
+                w.put_u64(sub);
+                w.put_u64(a);
+                w.put_u64(b);
+                w.put_bytes(det.as_bytes());
+                return w.into_bytes();
+            }
+            TransportError::Closed { peer } => (1, *peer, 0, 0, ""),
+            TransportError::OutOfOrder {
+                peer,
+                expected,
+                got,
+            } => (2, *peer, *expected, *got, ""),
+            TransportError::Io { peer, detail } => (3, *peer, 0, 0, detail.as_str()),
+            TransportError::Protocol { peer, detail } => (4, *peer, 0, 0, detail.as_str()),
+        };
+        w.put_u32(code);
+        w.put_u32(peer);
+        w.put_u64(a);
+        w.put_u64(b);
+        w.put_bytes(detail.as_bytes());
+        w.into_bytes()
+    }
+
+    /// Rebuild an error from its [wire form](TransportError::encode).
+    pub fn decode(bytes: &[u8]) -> Result<TransportError, IoError> {
+        let mut r = ByteReader::new(bytes);
+        let code = r.take_u32()?;
+        let peer = r.take_u32()?;
+        let err = if code == 0 {
+            let sub = r.take_u64()?;
+            let a = r.take_u64()?;
+            let b = r.take_u64()?;
+            let detail = String::from_utf8_lossy(&r.take_bytes()?).into_owned();
+            let err = match sub {
+                0 => FrameError::Truncated {
+                    wanted: a as usize,
+                    got: b as usize,
+                },
+                1 => FrameError::BadMagic { found: a as u32 },
+                2 => FrameError::Version {
+                    found: a as u32,
+                    expected: b as u32,
+                },
+                3 => FrameError::Oversized { len: a, cap: b },
+                4 => FrameError::Checksum {
+                    expected: a,
+                    found: b,
+                },
+                5 => FrameError::Io(std::io::Error::other(detail)),
+                other => return Err(IoError::Parse(format!("unknown frame-error code {other}"))),
+            };
+            TransportError::Frame { peer, err }
+        } else {
+            let a = r.take_u64()?;
+            let b = r.take_u64()?;
+            let detail = String::from_utf8_lossy(&r.take_bytes()?).into_owned();
+            match code {
+                1 => TransportError::Closed { peer },
+                2 => TransportError::OutOfOrder {
+                    peer,
+                    expected: a,
+                    got: b,
+                },
+                3 => TransportError::Io { peer, detail },
+                4 => TransportError::Protocol { peer, detail },
+                other => {
+                    return Err(IoError::Parse(format!(
+                        "unknown transport-error code {other}"
+                    )))
+                }
+            }
+        };
+        r.expect_end()?;
+        Ok(err)
+    }
+}
+
+/// A deliverable channel corruption, armed with [`Peer::inject`] and
+/// applied to the next outgoing frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Close the channel instead of delivering (a peer that died).
+    Drop,
+    /// Deliver only the first half of the frame, then close (a
+    /// connection cut mid-message).
+    Truncate,
+    /// Flip one bit of the encoded frame (link-level corruption). The
+    /// bit index is taken modulo the frame length.
+    FlipBit {
+        /// Which bit to flip.
+        bit: usize,
+    },
+    /// Hold this frame and deliver it *after* the next one (reordered
+    /// delivery; the receiver's sequence check catches it).
+    Reorder,
+}
+
+// ----------------------------------------------------------- byte links
+
+#[derive(Debug, Default)]
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// One direction of a loopback channel.
+#[derive(Debug, Default)]
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn push(&self, bytes: Vec<u8>) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return false;
+        }
+        st.frames.push_back(bytes);
+        self.ready.notify_all();
+        true
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// `Ok(Some(bytes))` on delivery, `Ok(None)` when closed and fully
+    /// drained, `Err(())` on timeout.
+    fn pop(&self, timeout: Duration) -> Result<Option<Vec<u8>>, ()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(bytes) = st.frames.pop_front() {
+                return Ok(Some(bytes));
+            }
+            if st.closed {
+                return Ok(None);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (next, timed_out) = self.ready.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+            let _ = timed_out;
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Link {
+    Loopback { tx: Arc<Queue>, rx: Arc<Queue> },
+    Tcp(TcpStream),
+}
+
+// ----------------------------------------------------------------- peer
+
+/// One endpoint of one framed channel: stamps outgoing frames with its
+/// id and a per-channel sequence number, verifies both on receive, and
+/// counts the bytes it actually moved.
+#[derive(Debug)]
+pub struct Peer {
+    local: u32,
+    remote: u32,
+    link: Link,
+    send_seq: u64,
+    recv_seq: u64,
+    held: Option<Vec<u8>>,
+    faults: VecDeque<Fault>,
+    recv_timeout: Duration,
+    bytes_sent: u64,
+    bytes_received: u64,
+    frames_sent: u64,
+    frames_received: u64,
+}
+
+impl Peer {
+    fn new(local: u32, remote: u32, link: Link) -> Self {
+        Peer {
+            local,
+            remote,
+            link,
+            send_seq: 0,
+            recv_seq: 0,
+            held: None,
+            faults: VecDeque::new(),
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+            bytes_sent: 0,
+            bytes_received: 0,
+            frames_sent: 0,
+            frames_received: 0,
+        }
+    }
+
+    /// A connected loopback pair: what `a` sends, `b` receives, and vice
+    /// versa, over deterministic in-process queues.
+    pub fn loopback_pair(a: u32, b: u32) -> (Peer, Peer) {
+        let ab = Arc::new(Queue::default());
+        let ba = Arc::new(Queue::default());
+        (
+            Peer::new(
+                a,
+                b,
+                Link::Loopback {
+                    tx: Arc::clone(&ab),
+                    rx: Arc::clone(&ba),
+                },
+            ),
+            Peer::new(b, a, Link::Loopback { tx: ba, rx: ab }),
+        )
+    }
+
+    /// A connected TCP pair over `127.0.0.1` (Nagle disabled, bounded
+    /// read timeouts on both ends).
+    pub fn tcp_pair(a: u32, b: u32) -> Result<(Peer, Peer), TransportError> {
+        let io_err = |peer: u32, e: std::io::Error| TransportError::Io {
+            peer,
+            detail: e.to_string(),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| io_err(b, e))?;
+        let addr = listener.local_addr().map_err(|e| io_err(b, e))?;
+        let out = TcpStream::connect(addr).map_err(|e| io_err(b, e))?;
+        let (inn, _) = listener.accept().map_err(|e| io_err(a, e))?;
+        for s in [&out, &inn] {
+            s.set_nodelay(true).map_err(|e| io_err(b, e))?;
+            s.set_read_timeout(Some(DEFAULT_RECV_TIMEOUT))
+                .map_err(|e| io_err(b, e))?;
+        }
+        Ok((
+            Peer::new(a, b, Link::Tcp(out)),
+            Peer::new(b, a, Link::Tcp(inn)),
+        ))
+    }
+
+    /// Id of the other end.
+    pub fn remote(&self) -> u32 {
+        self.remote
+    }
+
+    /// Arm `fault` for an upcoming outgoing frame (one fault per frame,
+    /// in injection order).
+    pub fn inject(&mut self, fault: Fault) {
+        self.faults.push_back(fault);
+    }
+
+    /// Cap how long [`Peer::recv`] waits before reporting a typed
+    /// timeout ([`TransportError::Io`]).
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.recv_timeout = timeout.max(Duration::from_millis(1));
+        if let Link::Tcp(s) = &self.link {
+            let _ = s.set_read_timeout(Some(self.recv_timeout));
+        }
+    }
+
+    /// Bytes this endpoint put on the wire.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Bytes this endpoint took off the wire.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Frames this endpoint delivered to the channel.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Frames this endpoint received and verified.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    fn push_bytes(&mut self, bytes: Vec<u8>) -> Result<(), TransportError> {
+        let n = bytes.len() as u64;
+        match &mut self.link {
+            Link::Loopback { tx, .. } => {
+                if !tx.push(bytes) {
+                    return Err(TransportError::Closed { peer: self.remote });
+                }
+            }
+            Link::Tcp(s) => {
+                s.write_all(&bytes).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::BrokenPipe
+                        || e.kind() == std::io::ErrorKind::ConnectionReset
+                        || e.kind() == std::io::ErrorKind::NotConnected
+                    {
+                        TransportError::Closed { peer: self.remote }
+                    } else {
+                        TransportError::Io {
+                            peer: self.remote,
+                            detail: e.to_string(),
+                        }
+                    }
+                })?;
+            }
+        }
+        self.bytes_sent += n;
+        self.frames_sent += 1;
+        Ok(())
+    }
+
+    fn close_link(&mut self) {
+        match &self.link {
+            Link::Loopback { tx, .. } => tx.close(),
+            Link::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Frame and deliver one message. An armed [`Fault`] is applied to
+    /// this frame; the send itself still reports `Ok` (faults model the
+    /// *channel* failing after the bytes left the sender — the receiving
+    /// end is where they surface, as typed errors).
+    pub fn send(&mut self, phase: u32, epoch: u64, payload: &[u8]) -> Result<(), TransportError> {
+        let header = FrameHeader {
+            src: self.local,
+            phase,
+            epoch,
+            seq: self.send_seq,
+        };
+        self.send_seq += 1;
+        let bytes = encode_frame(&header, payload);
+        // A frame held back by a Reorder fault rides out *after* the
+        // frame that overtook it.
+        let flush = self.held.take();
+        match self.faults.pop_front() {
+            None => {
+                self.push_bytes(bytes)?;
+            }
+            Some(Fault::Drop) => {
+                self.close_link();
+                return Ok(());
+            }
+            Some(Fault::Truncate) => {
+                let half = bytes.len() / 2;
+                // Deliver the torn prefix, then cut the channel: the
+                // receiver sees a frame that ends mid-payload.
+                let _ = self.push_bytes(bytes[..half].to_vec());
+                self.close_link();
+                return Ok(());
+            }
+            Some(Fault::FlipBit { bit }) => {
+                let mut bad = bytes;
+                let i = bit % (bad.len() * 8);
+                bad[i / 8] ^= 1 << (i % 8);
+                self.push_bytes(bad)?;
+            }
+            Some(Fault::Reorder) => {
+                debug_assert!(flush.is_none(), "one held frame at a time");
+                self.held = Some(bytes);
+                return Ok(());
+            }
+        }
+        if let Some(late) = flush {
+            self.push_bytes(late)?;
+        }
+        Ok(())
+    }
+
+    /// Receive, verify, and sequence-check one frame.
+    pub fn recv(&mut self) -> Result<Frame, TransportError> {
+        let peer = self.remote;
+        let (header, payload) = match &mut self.link {
+            Link::Loopback { rx, .. } => {
+                let bytes = match rx.pop(self.recv_timeout) {
+                    Ok(Some(bytes)) => bytes,
+                    Ok(None) => return Err(TransportError::Closed { peer }),
+                    Err(()) => {
+                        return Err(TransportError::Io {
+                            peer,
+                            detail: format!("recv timed out after {:?}", self.recv_timeout),
+                        })
+                    }
+                };
+                self.bytes_received += bytes.len() as u64;
+                decode_frame(&bytes).map_err(|err| TransportError::Frame { peer, err })?
+            }
+            Link::Tcp(s) => match read_frame(s) {
+                Ok(Some((header, payload))) => {
+                    self.bytes_received +=
+                        (sparse_alloc_graph::io::FRAME_HEADER_LEN + payload.len() + 8) as u64;
+                    (header, payload)
+                }
+                Ok(None) => return Err(TransportError::Closed { peer }),
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(TransportError::Io {
+                        peer,
+                        detail: format!("recv timed out after {:?}", self.recv_timeout),
+                    })
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::ConnectionReset
+                        || e.kind() == std::io::ErrorKind::ConnectionAborted =>
+                {
+                    return Err(TransportError::Closed { peer })
+                }
+                Err(err) => return Err(TransportError::Frame { peer, err }),
+            },
+        };
+        if header.seq != self.recv_seq {
+            return Err(TransportError::OutOfOrder {
+                peer,
+                expected: self.recv_seq,
+                got: header.seq,
+            });
+        }
+        if header.src != peer {
+            return Err(TransportError::Protocol {
+                peer,
+                detail: format!("frame stamped by {} on the channel of {peer}", header.src),
+            });
+        }
+        self.recv_seq += 1;
+        self.frames_received += 1;
+        Ok(Frame {
+            src: header.src,
+            phase: header.phase,
+            epoch: header.epoch,
+            seq: header.seq,
+            payload,
+        })
+    }
+}
+
+impl Drop for Peer {
+    fn drop(&mut self) {
+        // A vanished endpoint must look *closed* to the other side, not
+        // silent: loopback receivers drain and get `Closed`, TCP readers
+        // get EOF.
+        self.close_link();
+    }
+}
+
+// ----------------------------------------------------------------- mesh
+
+/// The coordinator's side of a star mesh: one [`Peer`] per worker,
+/// indexed by shard. Workers get the matching endpoints.
+#[derive(Debug)]
+pub struct Mesh {
+    peers: Vec<Peer>,
+}
+
+impl Mesh {
+    /// A loopback mesh over `workers` shards. Returns the coordinator's
+    /// mesh and the per-worker endpoints (index = shard id).
+    pub fn loopback(workers: usize) -> (Mesh, Vec<Peer>) {
+        let mut peers = Vec::with_capacity(workers);
+        let mut ends = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (c, e) = Peer::loopback_pair(COORDINATOR, w as u32);
+            peers.push(c);
+            ends.push(e);
+        }
+        (Mesh { peers }, ends)
+    }
+
+    /// A TCP mesh over `workers` shards (one `127.0.0.1` socket each).
+    pub fn tcp(workers: usize) -> Result<(Mesh, Vec<Peer>), TransportError> {
+        let mut peers = Vec::with_capacity(workers);
+        let mut ends = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (c, e) = Peer::tcp_pair(COORDINATOR, w as u32)?;
+            peers.push(c);
+            ends.push(e);
+        }
+        Ok((Mesh { peers }, ends))
+    }
+
+    /// Number of workers in the mesh.
+    pub fn workers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Send one frame to worker `w`.
+    pub fn send_to(
+        &mut self,
+        w: usize,
+        phase: u32,
+        epoch: u64,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
+        self.peers[w].send(phase, epoch, payload)
+    }
+
+    /// Receive one frame from worker `w`.
+    pub fn recv_from(&mut self, w: usize) -> Result<Frame, TransportError> {
+        self.peers[w].recv()
+    }
+
+    /// Direct access to the channel of worker `w` (fault injection,
+    /// timeouts).
+    pub fn peer_mut(&mut self, w: usize) -> &mut Peer {
+        &mut self.peers[w]
+    }
+
+    /// Cap every channel's receive wait.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        for p in &mut self.peers {
+            p.set_recv_timeout(timeout);
+        }
+    }
+
+    /// Total `(sent, received)` bytes the coordinator moved across all
+    /// channels.
+    pub fn bytes_moved(&self) -> (u64, u64) {
+        self.peers.iter().fold((0, 0), |(s, r), p| {
+            (s + p.bytes_sent(), r + p.bytes_received())
+        })
+    }
+
+    /// Total `(sent, received)` frames across all channels.
+    pub fn frames_moved(&self) -> (u64, u64) {
+        self.peers.iter().fold((0, 0), |(s, r), p| {
+            (s + p.frames_sent(), r + p.frames_received())
+        })
+    }
+
+    /// Per-worker `(sent, received)` byte counters, indexed by shard —
+    /// what per-machine wire accounting diffs around a phase.
+    pub fn per_peer_bytes(&self) -> Vec<(u64, u64)> {
+        self.peers
+            .iter()
+            .map(|p| (p.bytes_sent(), p.bytes_received()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> Vec<(&'static str, Peer, Peer)> {
+        let (la, lb) = Peer::loopback_pair(COORDINATOR, 0);
+        let (ta, tb) = Peer::tcp_pair(COORDINATOR, 0).unwrap();
+        vec![("loopback", la, lb), ("tcp", ta, tb)]
+    }
+
+    #[test]
+    fn frames_flow_in_order_both_transports() {
+        for (name, mut a, mut b) in pairs() {
+            for i in 0..5u64 {
+                a.send(2, i, format!("msg {i}").as_bytes()).unwrap();
+            }
+            for i in 0..5u64 {
+                let f = b.recv().unwrap();
+                assert_eq!(f.seq, i, "{name}: sequence");
+                assert_eq!(f.payload, format!("msg {i}").into_bytes(), "{name}");
+            }
+            // Reply direction is independent.
+            b.send(3, 9, b"up").unwrap();
+            let f = a.recv().unwrap();
+            assert_eq!((f.src, f.phase, f.epoch), (0, 3, 9), "{name}");
+            assert!(
+                a.bytes_sent() > 0 && b.bytes_received() == a.bytes_sent(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_peer_is_closed() {
+        for (name, mut a, mut b) in pairs() {
+            a.inject(Fault::Drop);
+            a.send(1, 0, b"never arrives").unwrap();
+            match b.recv() {
+                Err(TransportError::Closed { peer }) => assert_eq!(peer, COORDINATOR, "{name}"),
+                other => panic!("{name}: dropped peer surfaced as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_typed() {
+        for (name, mut a, mut b) in pairs() {
+            a.inject(Fault::Truncate);
+            a.send(1, 0, b"a payload that gets cut").unwrap();
+            match b.recv() {
+                Err(TransportError::Frame {
+                    err: FrameError::Truncated { .. },
+                    ..
+                }) => {}
+                other => panic!("{name}: truncation surfaced as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_typed_never_wrong_data() {
+        // Exhaustive over loopback: every bit position of a frame, one
+        // fresh channel pair per flip, must surface as a typed frame
+        // error — never delivered data.
+        let frame_bits = (sparse_alloc_graph::io::FRAME_HEADER_LEN + 4 + 8) * 8;
+        for bit in 0..frame_bits {
+            let (mut a, mut b) = Peer::loopback_pair(COORDINATOR, 0);
+            a.inject(Fault::FlipBit { bit });
+            a.send(1, 0, b"abcd").unwrap();
+            match b.recv() {
+                Err(TransportError::Frame { .. }) => {}
+                Ok(f) => panic!("loopback: bit {bit} delivered {f:?}"),
+                Err(e) => panic!("loopback: bit {bit} surfaced as {e:?}"),
+            }
+        }
+        // Spot positions over TCP, with a bounded timeout: a flipped
+        // length field makes the reader wait for bytes that never come,
+        // which must become a typed timeout rather than a hang.
+        for bit in [3usize, 90, 170, 290, 500] {
+            let (mut a, mut b) = Peer::tcp_pair(COORDINATOR, 0).unwrap();
+            b.set_recv_timeout(Duration::from_millis(150));
+            a.inject(Fault::FlipBit { bit });
+            a.send(1, 0, b"thirty-two bytes of payload data").unwrap();
+            match b.recv() {
+                Err(_) => {}
+                Ok(f) => panic!("tcp: bit {bit} delivered {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_delivery_is_out_of_order() {
+        for (name, mut a, mut b) in pairs() {
+            a.inject(Fault::Reorder);
+            a.send(1, 0, b"first").unwrap();
+            a.send(1, 0, b"second").unwrap();
+            match b.recv() {
+                Err(TransportError::OutOfOrder { expected, got, .. }) => {
+                    assert_eq!((expected, got), (0, 1), "{name}");
+                }
+                other => panic!("{name}: reorder surfaced as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recv_timeout_is_typed() {
+        for (name, mut a, mut b) in pairs() {
+            b.set_recv_timeout(Duration::from_millis(30));
+            match b.recv() {
+                Err(TransportError::Io { detail, .. }) => {
+                    assert!(detail.contains("timed out"), "{name}: {detail}");
+                }
+                other => panic!("{name}: timeout surfaced as {other:?}"),
+            }
+            // The channel still works afterwards.
+            a.send(1, 0, b"late").unwrap();
+            assert_eq!(b.recv().unwrap().payload, b"late", "{name}");
+        }
+    }
+
+    #[test]
+    fn dropping_an_endpoint_closes_the_channel() {
+        for (name, a, mut b) in pairs() {
+            drop(a);
+            match b.recv() {
+                Err(TransportError::Closed { .. }) => {}
+                other => panic!("{name}: dropped endpoint surfaced as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transport_errors_roundtrip_the_wire() {
+        let cases = vec![
+            TransportError::Frame {
+                peer: 2,
+                err: FrameError::Truncated { wanted: 48, got: 7 },
+            },
+            TransportError::Frame {
+                peer: 3,
+                err: FrameError::Checksum {
+                    expected: 0xdead,
+                    found: 0xbeef,
+                },
+            },
+            TransportError::Frame {
+                peer: 1,
+                err: FrameError::Version {
+                    found: 9,
+                    expected: 1,
+                },
+            },
+            TransportError::Closed { peer: 5 },
+            TransportError::OutOfOrder {
+                peer: 0,
+                expected: 3,
+                got: 7,
+            },
+            TransportError::Io {
+                peer: 4,
+                detail: "recv timed out".into(),
+            },
+            TransportError::Protocol {
+                peer: 6,
+                detail: "census totals disagree".into(),
+            },
+        ];
+        for e in cases {
+            let bytes = e.encode();
+            let back = TransportError::decode(&bytes).unwrap();
+            assert_eq!(format!("{e}"), format!("{back}"), "roundtrip of {e:?}");
+            assert_eq!(e.peer(), back.peer());
+        }
+        assert!(TransportError::decode(b"").is_err(), "empty NACK is typed");
+        assert!(
+            TransportError::decode(&[9, 0, 0, 0]).is_err(),
+            "short NACK is typed"
+        );
+    }
+
+    #[test]
+    fn mesh_star_reaches_every_worker() {
+        let (mut mesh, ends) = Mesh::loopback(4);
+        let handles: Vec<_> = ends
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut p)| {
+                std::thread::spawn(move || {
+                    let f = p.recv().unwrap();
+                    p.send(f.phase, f.epoch, &[f.payload[0] + w as u8]).unwrap();
+                })
+            })
+            .collect();
+        for w in 0..4 {
+            mesh.send_to(w, 1, 0, &[10]).unwrap();
+        }
+        for w in 0..4 {
+            let f = mesh.recv_from(w).unwrap();
+            assert_eq!(f.payload, vec![10 + w as u8]);
+            assert_eq!(f.src, w as u32);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (sent, recv) = mesh.frames_moved();
+        assert_eq!((sent, recv), (4, 4));
+    }
+}

@@ -24,7 +24,10 @@ use sparse_alloc_core::loadbalance::{
 use sparse_alloc_core::params::Schedule;
 use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
-use sparse_alloc_dynamic::{snapshot, DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop};
+use sparse_alloc_dynamic::{
+    snapshot, DynamicConfig, NetServeLoop, ServeLoop, ShardedConfig, ShardedServeLoop,
+    TransportKind,
+};
 use sparse_alloc_flow::opt::opt_value;
 use sparse_alloc_graph::generators::{
     escape_blocks, power_law, random_bipartite, star, union_of_spanning_trees, Generated,
@@ -144,9 +147,9 @@ const USAGE: &str = "usage: salloc <command>
                                           first-fit|random-fit|balance|ranking|
                                           prop-serve, O ∈ natural|reversed|random
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
-               [--shards P] [--eager-budget B] [--footprint-cap N] [--waves]
-               [--checkpoint SNAP] [--checkpoint-every N] [--restore SNAP]
-               [--assign OUT]
+               [--shards P] [--net] [--eager-budget B] [--footprint-cap N]
+               [--waves] [--checkpoint SNAP] [--checkpoint-every N]
+               [--restore SNAP] [--assign OUT]
                                           serve a churn stream incrementally
                                           (K events/epoch), comparing against
                                           per-epoch full recomputes; with
@@ -171,7 +174,14 @@ const USAGE: &str = "usage: salloc <command>
                                           config comes from the snapshot;
                                           --shards P re-shards onto P
                                           machines). --assign dumps the final
-                                          matching, one \"u v\" pair per line";
+                                          matching, one \"u v\" pair per line.
+                                          --net (requires --shards) runs the
+                                          shards as real worker threads
+                                          exchanging checksummed frames over
+                                          TCP; the final matching is gathered
+                                          from the worker slices over the
+                                          wire, and the report adds measured
+                                          wire bytes per epoch";
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &[])?;
@@ -466,7 +476,7 @@ impl PersistOpts {
 }
 
 fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
-    let f = parse_flags(args, &["no-full", "waves"])?;
+    let f = parse_flags(args, &["no-full", "waves", "net"])?;
     let path = f
         .positional
         .first()
@@ -499,10 +509,19 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         let mut scfg = ShardedConfig::for_eps(eps, shards);
         scfg.dynamic = cfg;
         scfg.footprint_cap = footprint_cap;
+        if f.has("net") {
+            if f.has("waves") {
+                return Err(err("--waves is a simulator report; drop it with --net"));
+            }
+            return cmd_dynamic_net(&g, epochs, events, seed, scfg, &persist);
+        }
         return cmd_dynamic_sharded(&g, epochs, events, seed, scfg, f.has("waves"), &persist);
     }
     // Scheduling knobs only exist in sharded mode; ignoring them silently
     // would misreport what actually ran.
+    if f.has("net") {
+        return Err(err("--net requires --shards"));
+    }
     if f.has("waves") {
         return Err(err("--waves requires --shards"));
     }
@@ -773,6 +792,139 @@ fn cmd_dynamic_sharded(
     Ok(out)
 }
 
+fn cmd_dynamic_net(
+    g: &Bipartite,
+    epochs: usize,
+    events: usize,
+    seed: u64,
+    cfg: ShardedConfig,
+    persist: &PersistOpts,
+) -> Result<String, CliError> {
+    let updates = churn_stream(g, epochs * events, &ChurnMix::default(), seed);
+    let shards = cfg.shards;
+    let mut serve = match &persist.restore {
+        Some(snap) => NetServeLoop::restore(snap, Some(shards), TransportKind::Tcp)
+            .map_err(|e| err(format!("{snap}: {e}")))?,
+        None => NetServeLoop::new(g.clone(), cfg, TransportKind::Tcp)
+            .map_err(|e| err(format!("networked serving failed to start: {e}")))?,
+    };
+    let done = if persist.restore.is_some() {
+        serve.inner().serve_stats().epochs
+    } else {
+        0
+    };
+    let eps = serve.serial().config().eps;
+    let k = serve.serial().config().walk_budget;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "networked serving: {epochs} epochs × ~{events} events on {shards} TCP workers \
+         (ε {eps}, walk budget k = {k})"
+    );
+    if let Some(snap) = &persist.restore {
+        let _ = writeln!(
+            out,
+            "restored           : {snap} (resuming after epoch {done} on {shards} workers)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>7}  {:>7}  {:>5}  {:>7}  {:>10}  {:>7}",
+        "epoch", "events", "matched", "waves", "rounds", "wire-bytes", "frames"
+    );
+    let mut rounds_before = serve.ledger().rounds;
+    let mut saved_at: Option<usize> = None;
+    for (e, chunk) in updates
+        .chunks(events.max(1))
+        .take(epochs)
+        .enumerate()
+        .skip(done)
+    {
+        let batch = serve
+            .apply_batch(chunk)
+            .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
+        let report = serve
+            .end_epoch()
+            .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
+        if let Some(cp) = &persist.checkpoint {
+            if persist.every > 0 && (e + 1) % persist.every == 0 {
+                serve
+                    .checkpoint(cp)
+                    .map_err(|me| err(format!("{cp}: {me}")))?;
+                saved_at = Some(e + 1);
+            }
+        }
+        let rounds = serve.ledger().rounds;
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>7}  {:>7}  {:>5}  {:>7}  {:>10}  {:>7}",
+            e + 1,
+            chunk.len(),
+            report.inner.serial.match_size,
+            batch.waves,
+            rounds - rounds_before,
+            report.wire_bytes,
+            report.wire_frames,
+        );
+        rounds_before = rounds;
+    }
+    serve
+        .validate()
+        .map_err(|e| err(format!("internal: inconsistent serve state: {e}")))?;
+
+    // The reported allocation is gathered from the worker slices over the
+    // wire — not read out of the coordinator's engine.
+    let assignment = serve
+        .gather_assignment()
+        .map_err(|e| err(format!("gathering the allocation failed: {e}")))?;
+    let live = serve.inner().snapshot();
+    assignment
+        .validate(&live)
+        .map_err(|e| err(format!("internal: infeasible gathered allocation: {e}")))?;
+    let opt = opt_value(&live);
+    let ledger = serve.ledger();
+    let stats = serve.net_stats();
+    let _ = writeln!(
+        out,
+        "gathered matched   : {} of {} live clients (OPT {}, ratio {:.4})",
+        assignment.size(),
+        live.n_left(),
+        opt,
+        assignment.size() as f64 / opt.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "MPC rounds         : {} total ({} words moved, peak machine storage {} words)",
+        ledger.rounds, ledger.words_total, ledger.peak_storage
+    );
+    let _ = writeln!(
+        out,
+        "wire traffic       : {} bytes in {} frames \
+         (route {} / commit {} / census {} / init {})",
+        stats.bytes_sent + stats.bytes_received,
+        stats.frames_sent + stats.frames_received,
+        stats.route_bytes,
+        stats.commit_bytes,
+        stats.census_bytes,
+        stats.init_bytes,
+    );
+    if let Some(cp) = &persist.checkpoint {
+        if saved_at != Some(serve.inner().serve_stats().epochs) {
+            serve
+                .checkpoint(cp)
+                .map_err(|me| err(format!("{cp}: {me}")))?;
+        }
+        let _ = writeln!(
+            out,
+            "checkpoint         : wrote {cp} (after epoch {})",
+            serve.inner().serve_stats().epochs
+        );
+    }
+    persist.dump_assignment(&assignment)?;
+    Ok(out)
+}
+
 /// Convenience used by tests: the approximation ratio for a report line.
 pub fn ratio_line(g: &Bipartite, matched: usize) -> String {
     let opt = opt_value(g);
@@ -915,6 +1067,46 @@ mod tests {
         };
         assert_eq!(matched(&sharded), matched(&serial));
         let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn dynamic_net_matches_serial_and_reports_wire_bytes() {
+        let file = temp("dynnet.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 8 --out {file}"
+        )))
+        .unwrap();
+        let net_assign = temp("dynnet-net.txt");
+        let net = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --shards 3 --net \
+             --assign {net_assign}"
+        )))
+        .unwrap();
+        assert!(net.contains("networked serving"), "{net}");
+        assert!(net.contains("3 TCP workers"), "{net}");
+        assert!(net.contains("wire traffic"), "{net}");
+        assert!(net.contains("gathered matched"), "{net}");
+        // The wire-gathered allocation must equal the serial engine's.
+        let serial_assign = temp("dynnet-serial.txt");
+        run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --no-full \
+             --assign {serial_assign}"
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&net_assign).unwrap(),
+            std::fs::read_to_string(&serial_assign).unwrap(),
+            "networked allocation diverged from serial"
+        );
+        // --net needs --shards; --waves is simulator-only.
+        assert!(run(&args(&format!("dynamic {file} --net")))
+            .unwrap_err()
+            .0
+            .contains("--net requires --shards"));
+        assert!(run(&args(&format!("dynamic {file} --shards 2 --net --waves"))).is_err());
+        for f in [&file, &net_assign, &serial_assign] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub mod prelude {
     pub use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
     pub use sparse_alloc_core::sampled::{run_sampled, SampleBudget, SampledConfig};
     pub use sparse_alloc_dynamic::{
-        DynamicConfig, ServeLoop, ShardedConfig, ShardedServeLoop, Update,
+        DynamicConfig, NetServeLoop, ServeLoop, ShardedConfig, ShardedServeLoop, TransportKind,
+        Update,
     };
     pub use sparse_alloc_flow::greedy::greedy_allocation;
     pub use sparse_alloc_flow::opt::{max_allocation, opt_value};

@@ -184,3 +184,80 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Checkpoint while networked: snapshot an engine whose shards are
+    /// live worker threads on a transport, restore the bytes onto a
+    /// fresh loopback mesh (same and different shard counts), and the
+    /// restored engine (a) re-snapshots **byte-identically** — scattering
+    /// state to a new mesh is observably free — and (b) finishes the
+    /// stream with the exact per-epoch sizes and the exact wire-gathered
+    /// matching of the engine that never stopped.
+    #[test]
+    fn networked_restore_is_warm_and_resnapshot_is_byte_identical(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 1..24),
+        epoch_every in 2usize..8,
+        cut_pct in 0usize..=100,
+    ) {
+        let eps = 0.25;
+        let updates = materialize(&g, &ops);
+        let chunks: Vec<&[Update]> = updates.chunks(epoch_every).collect();
+        let cut_epoch = chunks.len() * cut_pct / 100;
+
+        for &shards in &[2usize, 3] {
+            let target = if shards == 2 { 3 } else { 2 };
+
+            let mut uninterrupted = NetServeLoop::new(
+                g.clone(), ShardedConfig::for_eps(eps, shards), TransportKind::Loopback,
+            ).unwrap();
+            let mut sizes = Vec::new();
+            for chunk in &chunks {
+                uninterrupted.apply_batch(chunk).unwrap();
+                sizes.push(uninterrupted.end_epoch().unwrap().inner.serial.match_size);
+            }
+            let reference = uninterrupted.gather_assignment().unwrap();
+
+            for &restore_shards in &[shards, target] {
+                let mut serve = NetServeLoop::new(
+                    g.clone(), ShardedConfig::for_eps(eps, shards), TransportKind::Loopback,
+                ).unwrap();
+                let mut resumed_sizes = Vec::new();
+                for (e, chunk) in chunks.iter().enumerate() {
+                    if e == cut_epoch {
+                        // Mid-stream: checkpoint the live mesh, tear it
+                        // down, restore onto a brand-new one.
+                        let bytes = serve.checkpoint_bytes().unwrap();
+                        let inner = snapshot::read_sharded(
+                            &mut &bytes[..], Some(restore_shards),
+                        ).expect("restore");
+                        serve = NetServeLoop::from_inner(inner, TransportKind::Loopback)
+                            .expect("fresh mesh");
+                        prop_assert_eq!(serve.shards(), restore_shards);
+                        // The restored engine's immediate re-snapshot is
+                        // byte-for-byte the original checkpoint (under
+                        // the same recorded shard map).
+                        if restore_shards == shards {
+                            let again = serve.checkpoint_bytes().unwrap();
+                            prop_assert_eq!(&bytes, &again, "re-snapshot diverged");
+                        }
+                    }
+                    serve.apply_batch(chunk).unwrap();
+                    resumed_sizes.push(serve.end_epoch().unwrap().inner.serial.match_size);
+                }
+                serve.validate().unwrap();
+                prop_assert_eq!(
+                    &resumed_sizes, &sizes,
+                    "{} → {} workers: epoch sizes diverged", shards, restore_shards
+                );
+                let gathered = serve.gather_assignment().unwrap();
+                prop_assert_eq!(
+                    &gathered.mate, &reference.mate,
+                    "{} → {} workers: wire-gathered matching diverged", shards, restore_shards
+                );
+            }
+        }
+    }
+}

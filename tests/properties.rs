@@ -372,3 +372,120 @@ proptest! {
         }
     }
 }
+
+/// Materialize the proptest op tuples into a concrete update stream
+/// (arrival ids are allocated in order, so the stream is
+/// engine-independent). Shared by the sharded and networked
+/// equivalence tests.
+fn materialize_ops(g: &Bipartite, ops: &[(u8, u32, u32, u64)]) -> Vec<Update> {
+    let mut nl = g.n_left() as u32;
+    let nr = g.n_right() as u32;
+    ops.iter()
+        .map(|&(kind, a, b, cap)| match kind {
+            0 => {
+                nl += 1;
+                Update::Arrive {
+                    neighbors: vec![a % nr, b % nr],
+                }
+            }
+            1 => Update::Depart { u: a % nl },
+            2 => Update::InsertEdge {
+                u: a % nl,
+                v: b % nr,
+            },
+            3 => Update::DeleteEdge {
+                u: a % nl,
+                v: b % nr,
+            },
+            _ => Update::SetCapacity { v: a % nr, cap },
+        })
+        .collect()
+}
+
+/// Drive a networked engine and the serial reference over the same
+/// stream; assert per-epoch sizes and the final *wire-gathered* matching
+/// are identical. Returns proptest-style failure via panic (the caller
+/// is inside `proptest!`).
+fn assert_net_equals_serial(
+    g: &Bipartite,
+    updates: &[Update],
+    epoch_every: usize,
+    shards: usize,
+    kind: TransportKind,
+) {
+    let eps = 0.25;
+    let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, shards).dynamic);
+    let mut serial_sizes = Vec::new();
+    for chunk in updates.chunks(epoch_every) {
+        for up in chunk {
+            serial.apply(up);
+        }
+        serial.end_epoch();
+        serial_sizes.push(serial.match_size());
+    }
+
+    let mut net = NetServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, shards), kind)
+        .unwrap_or_else(|e| panic!("{shards} shards over {kind:?}: startup failed: {e}"));
+    let mut sizes = Vec::new();
+    for chunk in updates.chunks(epoch_every) {
+        net.apply_batch(chunk)
+            .unwrap_or_else(|e| panic!("{shards} shards over {kind:?}: batch failed: {e}"));
+        let rep = net
+            .end_epoch()
+            .unwrap_or_else(|e| panic!("{shards} shards over {kind:?}: epoch failed: {e}"));
+        sizes.push(rep.inner.serial.match_size);
+    }
+    net.validate().unwrap();
+    assert_eq!(
+        sizes, serial_sizes,
+        "{shards} shards over {kind:?}: epoch sizes diverged"
+    );
+    // The headline comparison is against the allocation gathered from
+    // the worker slices over the transport, not the coordinator's copy.
+    let gathered = net
+        .gather_assignment()
+        .unwrap_or_else(|e| panic!("{shards} shards over {kind:?}: gather failed: {e}"));
+    assert_eq!(
+        gathered.mate,
+        serial.assignment().mate,
+        "{shards} shards over {kind:?}: wire-gathered matching diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded≡serial contract survives the move onto a real
+    /// transport: per-shard worker threads exchanging checksummed frames
+    /// over in-process loopback maintain (and report over the wire) the
+    /// identical allocation for any update sequence and shard count.
+    #[test]
+    fn networked_serving_over_loopback_equals_serial(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 0..26),
+        epoch_every in 2usize..8,
+    ) {
+        let updates = materialize_ops(&g, &ops);
+        for &shards in &[1usize, 2, 4, 7] {
+            assert_net_equals_serial(&g, &updates, epoch_every, shards, TransportKind::Loopback);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same contract over real TCP sockets between threads (fewer cases
+    /// and shard counts: each case opens `2 × shards` sockets).
+    #[test]
+    fn networked_serving_over_tcp_equals_serial(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 0..26),
+        epoch_every in 2usize..8,
+    ) {
+        let updates = materialize_ops(&g, &ops);
+        for &shards in &[2usize, 3] {
+            assert_net_equals_serial(&g, &updates, epoch_every, shards, TransportKind::Tcp);
+        }
+    }
+}
