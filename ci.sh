@@ -55,6 +55,23 @@ if [ "${1:-}" != "fast" ]; then
         || { echo "wire-gathered allocation diverged from the serial engine"; exit 1; }
     rm -rf "$tmp"
 
+    step "CLI trace smoke (salloc dynamic --trace + salloc report)"
+    # Eager budget 1 for the same reason as the smokes above: keep the
+    # staged footprints inside the 4-shard space budget at this size.
+    tmp="$(mktemp -d)"
+    cargo run --release -q --bin salloc -- \
+        gen forests --nl 300 --nr 240 --k 3 --cap 2 --seed 7 --out "$tmp/g.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --shards 4 \
+        --eager-budget 1 --trace "$tmp/trace.jsonl" | grep -q 'trace              : wrote' \
+        || { echo "--trace did not report a written trace"; exit 1; }
+    cargo run --release -q --bin salloc -- report "$tmp/trace.jsonl" > "$tmp/report.txt"
+    grep -q 'events verified' "$tmp/report.txt" \
+        || { echo "salloc report did not checksum-verify the trace"; exit 1; }
+    grep -q 'repair_wave' "$tmp/report.txt" \
+        || { echo "salloc report is missing the per-phase latency table"; exit 1; }
+    rm -rf "$tmp"
+
     step "CLI checkpoint/restore smoke (warm restart ≡ uninterrupted)"
     tmp="$(mktemp -d)"
     cargo run --release -q --bin salloc -- \
@@ -120,6 +137,17 @@ if [ "${1:-}" != "fast" ]; then
             printf "e19 throughput gate: sharded/serial overhead %.3f vs recorded %.3f (limit %.3f) — OK\n", new, prev, prev * 1.25
         }' || exit 1
     fi
+    # Observability must be ~free on the hot path: the same e19 run A/Bs
+    # the serving loop with the metrics registry disabled vs enabled
+    # (interleaved, best-of-2) and records the ratio; gate it at ≤ 5%.
+    metrics_ratio="$(grep -o '"metrics_overhead_ratio": [0-9.]*' BENCH_batching.json | awk '{print $2}')"
+    awk -v r="$metrics_ratio" 'BEGIN {
+        if (r > 1.05) {
+            printf "e19 metrics overhead gate: enabled/disabled ratio %.3f > 1.05\n", r
+            exit 1
+        }
+        printf "e19 metrics overhead gate: enabled/disabled ratio %.3f (limit 1.05) — OK\n", r
+    }' || exit 1
 
     step "e20 persistence (warm-restart fidelity + snapshot size, gated)"
     cargo run --release -q -p sparse-alloc-bench --bin experiments -- e20

@@ -36,7 +36,9 @@ use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
 use sparse_alloc_dynamic::{DynamicConfig, ServeLoop};
 use sparse_alloc_graph::generators::union_of_spanning_trees;
+use sparse_alloc_obs::Registry;
 
+use super::phase_latency_json;
 use crate::table::{f1, f3, json_object, json_str, Table};
 
 const EPS: f64 = 0.25;
@@ -82,6 +84,7 @@ pub fn run() {
     let mut incr_totals = Vec::new();
     let mut full_totals = Vec::new();
     let mut quality = Vec::new();
+    let mut phase_reg = Registry::new();
 
     for &rate in &churn_rates {
         let events_per_epoch = ((m as f64) * rate).round().max(1.0) as usize;
@@ -124,6 +127,7 @@ pub fn run() {
         incr_totals.push(incr_total);
         full_totals.push(full_total);
         quality.push(last_quality);
+        phase_reg.merge(serve.obs());
     }
     t.print();
 
@@ -158,6 +162,7 @@ pub fn run() {
 
     let record = json_object(&[
         ("experiment", json_str("e17_dynamic")),
+        ("phase_latency_us", phase_latency_json(&phase_reg)),
         ("n", n.to_string()),
         ("m", m.to_string()),
         ("eps", EPS.to_string()),

@@ -21,7 +21,9 @@ use std::time::Instant;
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
 use sparse_alloc_dynamic::{ServeLoop, ShardedConfig, ShardedServeLoop};
 use sparse_alloc_graph::generators::union_of_spanning_trees;
+use sparse_alloc_obs::Registry;
 
+use super::phase_latency_json;
 use crate::table::{f1, json_object, json_str, Table};
 
 const EPS: f64 = 0.25;
@@ -78,6 +80,7 @@ pub fn run() {
     let mut peaks = Vec::new();
     let mut budgets = Vec::new();
     let mut all_equal = true;
+    let mut phase_reg = Registry::new();
     for &shards in &shard_counts {
         let mut serve = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, shards))
             .expect("initial state fits the space budget");
@@ -113,6 +116,7 @@ pub fn run() {
         rounds.push(l.rounds);
         peaks.push(last_peak);
         budgets.push(last_budget);
+        phase_reg.merge(serve.obs());
     }
     t.print();
 
@@ -129,6 +133,7 @@ pub fn run() {
     let join = |xs: &[String]| format!("[{}]", xs.join(", "));
     let record = json_object(&[
         ("experiment", json_str("e18_distributed")),
+        ("phase_latency_us", phase_latency_json(&phase_reg)),
         ("n", n.to_string()),
         ("m", m.to_string()),
         ("eps", EPS.to_string()),

@@ -19,8 +19,10 @@ use std::time::Instant;
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
 use sparse_alloc_dynamic::{ServeLoop, ShardedConfig, ShardedServeLoop};
 use sparse_alloc_graph::generators::union_of_spanning_trees;
+use sparse_alloc_obs::{Phase, Registry};
 
-use crate::table::{f1, json_object, json_str, Table};
+use super::phase_latency_json;
+use crate::table::{f1, f3, json_object, json_str, Table};
 
 const EPS: f64 = 0.25;
 const EPOCHS: usize = 3;
@@ -90,6 +92,7 @@ pub fn run() {
     let mut peaks = Vec::new();
     let mut budgets = Vec::new();
     let mut all_equal = true;
+    let mut phase_reg = Registry::new();
     for &shards in &shard_counts {
         let mut serve = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, shards))
             .expect("initial state fits the space budget");
@@ -110,6 +113,7 @@ pub fn run() {
             "{shards}-shard allocation size {} diverged from serial {serial_size}",
             serve.match_size()
         );
+        phase_reg.merge(serve.obs());
         let s = serve.stats();
         let mean = s.routed_updates as f64 / (s.waves.max(1)) as f64;
         t.row(vec![
@@ -132,6 +136,53 @@ pub fn run() {
         budgets.push(last_budget);
     }
     t.print();
+
+    // Where the milliseconds go: per-phase latency percentiles from the
+    // engines' metrics registries, merged across the sharded runs.
+    let mut pt = Table::new(&["phase", "spans", "p50-µs", "p99-µs", "max-µs"]);
+    for p in Phase::ALL {
+        let h = phase_reg.phase(p);
+        if h.is_empty() {
+            continue;
+        }
+        pt.row(vec![
+            p.label().to_string(),
+            h.count().to_string(),
+            f1(h.quantile(0.50) as f64 / 1e3),
+            f1(h.quantile(0.99) as f64 / 1e3),
+            f1(h.max() as f64 / 1e3),
+        ]);
+    }
+    pt.print();
+
+    // The hot-path registry must be ~free when turned off: identical
+    // 2-shard drives with metrics disabled vs enabled, interleaved,
+    // best-of-2 each, gated at ≤ 5% overhead by ci.sh.
+    let ab_drive = |enabled: bool| {
+        let mut serve = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, 2))
+            .expect("initial state fits the space budget");
+        serve.obs_mut().set_enabled(enabled);
+        let t = Instant::now();
+        for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
+            serve.apply_batch(chunk).expect("batch within budget");
+            serve.end_epoch().expect("epoch within budget");
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let (mut off_ms, mut on_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..2 {
+        off_ms = off_ms.min(ab_drive(false));
+        on_ms = on_ms.min(ab_drive(true));
+    }
+    let metrics_overhead = on_ms / off_ms.max(1e-9);
+    let metrics_pass = metrics_overhead <= 1.05;
+    println!(
+        "  metrics overhead: disabled {} ms, enabled {} ms, ratio {} (gate ≤ 1.05) — {}",
+        f1(off_ms),
+        f1(on_ms),
+        f3(metrics_overhead),
+        if metrics_pass { "PASS" } else { "FAIL" }
+    );
 
     let worst_ms = sharded_ms.iter().copied().fold(0.0f64, f64::max);
     let speedup = E18_PR3_SHARDED_MS / worst_ms.max(1e-9);
@@ -211,6 +262,11 @@ pub fn run() {
         ("speedup_vs_e18", format!("{speedup:.1}")),
         ("overhead_ratio", format!("{overhead:.3}")),
         ("speedup_vs_e18_normalized", format!("{normalized:.1}")),
+        ("phase_latency_us", phase_latency_json(&phase_reg)),
+        ("metrics_disabled_ms", f1(off_ms)),
+        ("metrics_enabled_ms", f1(on_ms)),
+        ("metrics_overhead_ratio", f3(metrics_overhead)),
+        ("metrics_overhead_pass", metrics_pass.to_string()),
         ("pass", pass.to_string()),
     ]);
     match std::fs::write("BENCH_batching.json", format!("{record}\n")) {

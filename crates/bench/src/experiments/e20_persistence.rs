@@ -23,7 +23,9 @@ use std::time::Instant;
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
 use sparse_alloc_dynamic::{snapshot, ServeLoop, ShardedConfig, ShardedServeLoop};
 use sparse_alloc_graph::generators::union_of_spanning_trees;
+use sparse_alloc_obs::Registry;
 
+use super::phase_latency_json;
 use crate::table::{f1, f3, json_object, json_str, Table};
 
 const EPS: f64 = 0.25;
@@ -145,6 +147,15 @@ pub fn run() {
     ]);
     t.print();
 
+    // Phase latency across the pre-checkpoint and post-restore drives of
+    // all four engines (the restored pair's registries start empty, so
+    // their spans cover exactly the warm part of the run).
+    let mut phase_reg = Registry::new();
+    phase_reg.merge(serial.obs());
+    phase_reg.merge(serial_restored.obs());
+    phase_reg.merge(sharded.obs());
+    phase_reg.merge(resharded.obs());
+
     let size_ok = serial_bpw <= SIZE_CRITERION && sharded_bpw <= SIZE_CRITERION;
     let pass = serial_fidelity && sharded_fidelity && size_ok;
     println!(
@@ -174,6 +185,7 @@ pub fn run() {
         ("fidelity_serial", serial_fidelity.to_string()),
         ("fidelity_resharded", sharded_fidelity.to_string()),
         ("size_criterion_bytes_per_word", SIZE_CRITERION.to_string()),
+        ("phase_latency_us", phase_latency_json(&phase_reg)),
         ("pass", pass.to_string()),
     ]);
     match std::fs::write("BENCH_persistence.json", format!("{record}\n")) {

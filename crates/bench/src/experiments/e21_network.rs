@@ -22,7 +22,9 @@ use std::time::Instant;
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
 use sparse_alloc_dynamic::{NetServeLoop, ServeLoop, ShardedConfig, TransportKind};
 use sparse_alloc_graph::generators::union_of_spanning_trees;
+use sparse_alloc_obs::Registry;
 
+use super::phase_latency_json;
 use crate::table::{f1, f3, json_object, json_str, Table};
 
 const EPS: f64 = 0.25;
@@ -77,6 +79,8 @@ pub fn run() {
     let mut total_ms = Vec::new();
     let mut overheads = Vec::new();
     let mut all_equal = true;
+    let mut phase_reg = Registry::new();
+    let mut peer_lines = Vec::new();
     for (name, kind) in kinds {
         let mut serve = NetServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, SHARDS), kind)
             .expect("networked engine starts within budget");
@@ -134,8 +138,37 @@ pub fn run() {
         overheads.push(bytes as f64 / (8 * sim_words.max(1)) as f64);
         total_bytes.push(bytes);
         total_ms.push(ms_sum);
+        phase_reg.merge(serve.obs());
+        for p in &serve.metrics_snapshot().peers {
+            peer_lines.push(json_object(&[
+                ("transport", json_str(name)),
+                ("peer", p.peer.to_string()),
+                ("bytes_sent", p.bytes_sent.to_string()),
+                ("bytes_received", p.bytes_received.to_string()),
+                ("frames_sent", p.frames_sent.to_string()),
+                ("frames_received", p.frames_received.to_string()),
+            ]));
+        }
     }
     t.print();
+
+    // Where the wall time goes on the wire: net_* phases (frame
+    // round-trips) next to the simulator phases, merged over transports.
+    let mut pt = Table::new(&["phase", "spans", "p50-µs", "p99-µs", "max-µs"]);
+    for p in sparse_alloc_obs::Phase::ALL {
+        let h = phase_reg.phase(p);
+        if h.is_empty() {
+            continue;
+        }
+        pt.row(vec![
+            p.label().to_string(),
+            h.count().to_string(),
+            f1(h.quantile(0.50) as f64 / 1e3),
+            f1(h.quantile(0.99) as f64 / 1e3),
+            f1(h.max() as f64 / 1e3),
+        ]);
+    }
+    pt.print();
 
     println!(
         "  correctness: wire-gathered allocations equal serial over both transports — {}",
@@ -173,6 +206,8 @@ pub fn run() {
             "bytes_per_sim_word",
             join(&overheads.iter().map(|x| f3(*x)).collect::<Vec<_>>()),
         ),
+        ("phase_latency_us", phase_latency_json(&phase_reg)),
+        ("per_peer_wire", join(&peer_lines)),
         ("matched", serial_size.to_string()),
         ("gathered_equal_serial", all_equal.to_string()),
     ]);

@@ -46,6 +46,36 @@ pub mod e19_batching;
 pub mod e20_persistence;
 pub mod e21_network;
 
+/// Render the non-empty per-phase latency histograms of a metrics
+/// registry as one JSON object: `{"<phase>": {"count": …, "p50": …,
+/// "p99": …, "max": …}, …}` with latencies in microseconds. Shared by
+/// the system experiments (e17–e21) so their `BENCH_*.json` records all
+/// carry the same latency fields.
+pub fn phase_latency_json(reg: &sparse_alloc_obs::Registry) -> String {
+    use crate::table::{f1, json_object};
+    let fields: Vec<(String, String)> = sparse_alloc_obs::Phase::ALL
+        .iter()
+        .filter(|&&p| !reg.phase(p).is_empty())
+        .map(|&p| {
+            let h = reg.phase(p);
+            (
+                p.label().to_string(),
+                json_object(&[
+                    ("count", h.count().to_string()),
+                    ("p50", f1(h.quantile(0.50) as f64 / 1e3)),
+                    ("p99", f1(h.quantile(0.99) as f64 / 1e3)),
+                    ("max", f1(h.max() as f64 / 1e3)),
+                ]),
+            )
+        })
+        .collect();
+    let refs: Vec<(&str, String)> = fields
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    json_object(&refs)
+}
+
 /// Run one experiment by id (`"e1"`, …, `"e21"`), or `"all"`.
 pub fn dispatch(id: &str) -> Result<(), String> {
     let all = [

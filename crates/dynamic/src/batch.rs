@@ -139,6 +139,12 @@ pub struct UpdatePlan {
     pub global: bool,
     /// Left id this update's `Arrive` will allocate (`None` otherwise).
     pub arrive_id: Option<u32>,
+    /// Right-to-right hops the footprint expansion actually used before
+    /// the ball closed (`≤` the configured eager radius; a pure placement
+    /// whose seeds already cover its reach reports 0). Diagnostics and
+    /// metrics only — it plays no role in wave assignment, and the
+    /// clone-based test oracle leaves it 0.
+    pub depth: usize,
 }
 
 /// The wave schedule of one update batch.
@@ -240,7 +246,9 @@ fn seeds_of(
 /// by hop until `radius` is exhausted or the ball holds `max_ball`
 /// vertices (seeds always included). Unsorted. Mirrors
 /// [`crate::repair::ball_of_capped`], with stamped membership (`in_ball`
-/// is cleared on entry) instead of a fresh dense array per call.
+/// is cleared on entry) instead of a fresh dense array per call. The
+/// second return is the hop count that last grew the ball — the radius
+/// this footprint actually needed.
 fn ball_on_gplus(
     gplus: &InsertOverlay<'_>,
     seeds: &[RightId],
@@ -248,7 +256,7 @@ fn ball_on_gplus(
     max_ball: usize,
     in_ball: &mut StampSet,
     seen_left: &mut StampSet,
-) -> Vec<RightId> {
+) -> (Vec<RightId>, usize) {
     in_ball.clear();
     seen_left.clear();
     let mut ball: Vec<RightId> = Vec::with_capacity(seeds.len());
@@ -257,9 +265,10 @@ fn ball_on_gplus(
             ball.push(v);
         }
     }
+    let mut depth = 0usize;
     let mut frontier = ball.clone();
     let mut next: Vec<RightId> = Vec::new();
-    'grow: for _ in 0..radius {
+    'grow: for hop in 0..radius {
         if ball.len() >= max_ball {
             break;
         }
@@ -275,6 +284,7 @@ fn ball_on_gplus(
                     if in_ball.insert(w as usize) {
                         ball.push(w);
                         next.push(w);
+                        depth = hop + 1;
                         if ball.len() >= max_ball {
                             break 'grow;
                         }
@@ -287,7 +297,7 @@ fn ball_on_gplus(
         }
         std::mem::swap(&mut frontier, &mut next);
     }
-    ball
+    (ball, depth)
 }
 
 /// Routing destination of one update.
@@ -344,9 +354,10 @@ pub fn schedule(
         // inside the deep ball must still expand to its own radius), then
         // merge; truncation can therefore only make the union *larger*
         // than the cap, never hide a global escalation.
-        let mut footprint = ball_on_gplus(&gplus, &deep, radius, cap, &mut in_ball, &mut seen_left);
+        let (mut footprint, mut depth) =
+            ball_on_gplus(&gplus, &deep, radius, cap, &mut in_ball, &mut seen_left);
         if footprint.len() < cap {
-            let tail = ball_on_gplus(
+            let (tail, shallow_depth) = ball_on_gplus(
                 &gplus,
                 &shallow,
                 radius.saturating_sub(1),
@@ -355,6 +366,7 @@ pub fn schedule(
                 &mut seen_left,
             );
             footprint.extend(tail);
+            depth = depth.max(shallow_depth);
         }
         footprint.sort_unstable();
         footprint.dedup();
@@ -401,6 +413,7 @@ pub fn schedule(
             footprint,
             global,
             arrive_id: arrive_ids[i],
+            depth,
         });
     }
 
@@ -541,6 +554,7 @@ pub(crate) fn schedule_cloned(
             footprint,
             global,
             arrive_id: arrive_ids[i],
+            depth: 0,
         });
     }
 
@@ -672,6 +686,22 @@ mod tests {
             "insert's footprint spans the shortcut"
         );
         assert!(s.plans[1].wave > s.plans[0].wave, "shared v20 serializes");
+    }
+
+    #[test]
+    fn footprint_depth_counts_the_hops_used() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::SetCapacity { v: 20, cap: 2 },
+            Update::Arrive { neighbors: vec![5] },
+        ];
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
+        assert_eq!(s.plans[0].depth, 2, "deep seeds expand the full radius");
+        assert_eq!(s.plans[1].depth, 1, "shallow seeds expand one hop less");
+        for p in &s.plans {
+            assert!(p.depth <= cfg_k(2).eager_radius());
+        }
     }
 
     #[test]

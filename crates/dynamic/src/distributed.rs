@@ -45,6 +45,7 @@ use sparse_alloc_mpc::ledger::RoundRecord;
 use sparse_alloc_mpc::primitives::{aggregate_by_key, broadcast_value, sort_by_key};
 use sparse_alloc_mpc::shard::labels;
 use sparse_alloc_mpc::{Cluster, Ledger, MpcConfig, MpcError, ShardMap, Words};
+use sparse_alloc_obs::{Counter, Dist, Phase, Registry, Tracer};
 
 use crate::batch::{schedule, BatchSchedule};
 use crate::serve::{DynamicConfig, EpochReport, ServeLoop, ServeParts, ServePartsRef, ServeStats};
@@ -244,6 +245,11 @@ pub struct ShardedServeLoop {
     wave_threads: usize,
     ledger: Ledger,
     stats: ShardedStats,
+    /// Phase tracer: the sharded loop spans its MPC phases
+    /// (schedule/route/wave/commit/census) on the same stream the serial
+    /// engine spans its sweeps, each span carrying measured nanoseconds
+    /// *and* the ledger's simulated words for the phase.
+    tracer: Tracer,
 }
 
 impl ShardedServeLoop {
@@ -271,6 +277,7 @@ impl ShardedServeLoop {
             wave_threads,
             ledger: Ledger::default(),
             stats: ShardedStats::default(),
+            tracer: Tracer::default(),
         };
         // Cross-check the ownership invariant against the materialized
         // per-shard compactions — debug builds only: release builds derive
@@ -362,6 +369,7 @@ impl ShardedServeLoop {
             wave_threads: p.wave_threads,
             ledger: Ledger::default(),
             stats: p.stats,
+            tracer: Tracer::default(),
         };
         let words = this.shard_state_words();
         let budget = this.space_budget();
@@ -482,7 +490,9 @@ impl ShardedServeLoop {
             return Ok(BatchReport::default());
         }
         self.stats.batches += 1;
+        let batch_no = self.stats.batches as u64;
         let budget = self.space_budget();
+        let mut sp = self.tracer.span(Phase::BatchSchedule, batch_no);
         let sched: BatchSchedule = schedule(
             self.inner.graph(),
             updates,
@@ -499,15 +509,28 @@ impl ShardedServeLoop {
         for plan in &sched.plans {
             staged[plan.owner] += plan.footprint.len();
         }
+        let staged_total: u64 = staged.iter().map(|&w| w as u64).sum();
         epoch.observe_local(
             labels::BATCH_SCHEDULE,
             staged.iter().copied().max().unwrap_or(0),
-            staged.iter().map(|&w| w as u64).sum(),
+            staged_total,
         );
+        sp.set_words(staged_total);
+        let ns = sp.close();
+        {
+            let obs = self.inner.obs_mut();
+            obs.phase_ns(Phase::BatchSchedule, ns);
+            obs.observe(Dist::BatchSize, updates.len() as u64);
+            for plan in &sched.plans {
+                obs.observe(Dist::BallSize, plan.footprint.len() as u64);
+                obs.observe(Dist::FootprintRadius, plan.depth as u64);
+            }
+        }
 
         // Phase 1 — route the batch to the owning shards. The engine
         // consumes the *delivered* copies, not the caller's slice: a
         // routing bug would surface as divergence from serial, not vanish.
+        let mut sp = self.tracer.span(Phase::RouteUpdates, batch_no);
         let msgs: Vec<(u32, u32, UpdateMsg)> = updates
             .iter()
             .zip(&sched.plans)
@@ -526,6 +549,11 @@ impl ShardedServeLoop {
             routed[*i as usize] = Some(msg.decode());
         }
         self.stats.routed_updates += updates.len();
+        sp.set_words(epoch.words_labeled(labels::ROUTE_UPDATES));
+        let ns = sp.close();
+        let obs = self.inner.obs_mut();
+        obs.phase_ns(Phase::RouteUpdates, ns);
+        obs.inc(Counter::RoutedUpdates, updates.len() as u64);
 
         // Phase 2 — repair waves. Waves run in order; inside a wave,
         // non-global nonempty-footprint repairs fan out over worker
@@ -542,6 +570,7 @@ impl ShardedServeLoop {
                 at += 1;
             }
             let idxs = &order[begin..at];
+            let mut spw = self.tracer.span(Phase::RepairWave, batch_no);
             let wave_updates: Vec<&Update> = idxs
                 .iter()
                 .map(|&i| routed[i].as_ref().expect("every update was delivered"))
@@ -581,9 +610,17 @@ impl ShardedServeLoop {
             });
             handoff_total += words;
             self.stats.waves += 1;
+            spw.set_words(words);
+            let nsw = spw.close();
+            let obs = self.inner.obs_mut();
+            obs.phase_ns(Phase::RepairWave, nsw);
+            obs.observe(Dist::WaveWidth, idxs.len() as u64);
         }
         self.stats.handoff_words += handoff_total;
         self.stats.escalations += sched.escalations;
+        let obs = self.inner.obs_mut();
+        obs.inc(Counter::HandoffWords, handoff_total);
+        obs.inc(Counter::Escalations, sched.escalations as u64);
         let widest = sched.widths.iter().copied().max().unwrap_or(0);
         self.stats.widest_wave = self.stats.widest_wave.max(widest);
 
@@ -638,6 +675,11 @@ impl ShardedServeLoop {
         }
         let n_migrations = migrations.len();
         self.stats.migrations += n_migrations;
+        let epoch_no = self.inner.stats().epochs as u64;
+        // The serial core already spanned the sweep half of SweepCommit;
+        // this sibling span times the distributed commit of its
+        // migrations (same phase, same histogram, no nesting).
+        let mut sp = self.tracer.span(Phase::SweepCommit, epoch_no);
         let map = self.map;
         let committed = self.route_chunked(
             &mut epoch,
@@ -653,8 +695,12 @@ impl ShardedServeLoop {
             budget,
         )?;
         debug_assert_eq!(committed.len(), n_migrations);
+        sp.set_words(epoch.words_labeled(labels::SWEEP_COMMIT));
+        let ns = sp.close();
+        self.inner.obs_mut().phase_ns(Phase::SweepCommit, ns);
 
         // State census (aggregate) + epoch summary (broadcast).
+        let mut spc = self.tracer.span(Phase::ShardState, epoch_no);
         let words = self.shard_state_words();
         let census: Vec<Vec<(u32, u64)>> = words.iter().map(|&w| vec![(0u32, w as u64)]).collect();
         let cluster = Cluster::from_partitioned(MpcConfig::strict(p, budget), census)?;
@@ -667,11 +713,11 @@ impl ShardedServeLoop {
 
         // Space accounting: resident per-shard state must fit the budget.
         let peak = words.iter().copied().max().unwrap_or(0);
-        epoch.observe_local(
-            labels::SHARD_STATE,
-            peak,
-            words.iter().map(|&w| w as u64).sum(),
-        );
+        let resident: u64 = words.iter().map(|&w| w as u64).sum();
+        epoch.observe_local(labels::SHARD_STATE, peak, resident);
+        spc.set_words(resident);
+        let nsc = spc.close();
+        self.inner.obs_mut().phase_ns(Phase::ShardState, nsc);
         epoch.assert_space_within(budget)?;
         self.ledger.absorb(&epoch);
 
@@ -723,6 +769,29 @@ impl ShardedServeLoop {
     /// Sharding counters.
     pub fn stats(&self) -> &ShardedStats {
         &self.stats
+    }
+
+    /// The hot-path metrics registry — one per engine stack, owned by the
+    /// serial core so eager repairs and sharded phases share counters.
+    pub fn obs(&self) -> &Registry {
+        self.inner.obs()
+    }
+
+    /// Mutable access to the metrics registry (see [`Self::obs`]).
+    pub fn obs_mut(&mut self) -> &mut Registry {
+        self.inner.obs_mut()
+    }
+
+    /// Install a phase tracer on the whole stack: the sharded loop and
+    /// the serial core span onto the same (shared) sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The stack's phase tracer (clones share one sink).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The serial engine's lifetime counters.
@@ -817,6 +886,45 @@ mod tests {
         let s = sharded.stats();
         assert!(s.batches >= 1 && s.routed_updates > 0);
         assert!(s.waves >= s.batches, "≥ one wave per batch");
+    }
+
+    #[test]
+    fn serving_fills_the_metrics_registry() {
+        let (sharded, _) = drive(3, 19);
+        let obs = sharded.obs();
+        assert!(obs.counter(Counter::RoutedUpdates) > 0, "routed counter");
+        assert!(obs.counter(Counter::WalkExpansions) > 0, "walk expansions");
+        assert!(obs.dist(Dist::BatchSize).count() > 0, "batch sizes");
+        assert!(obs.dist(Dist::WaveWidth).count() > 0, "wave widths");
+        assert!(obs.dist(Dist::BallSize).count() > 0, "ball sizes");
+        for p in [
+            Phase::BatchSchedule,
+            Phase::RouteUpdates,
+            Phase::RepairWave,
+            Phase::SweepCommit,
+            Phase::ShardState,
+        ] {
+            assert!(obs.phase(p).count() > 0, "phase {} timed", p.label());
+        }
+    }
+
+    #[test]
+    fn disabled_registry_stays_empty_while_serving() {
+        let g = union_of_spanning_trees(30, 20, 2, 2, 5).graph;
+        let updates = churn_stream(&g, 40, &ChurnMix::default(), 5);
+        let mut s = ShardedServeLoop::new(g, ShardedConfig::for_eps(0.25, 2)).unwrap();
+        *s.obs_mut() = Registry::disabled();
+        for chunk in updates.chunks(20) {
+            s.apply_batch(chunk).unwrap();
+            s.end_epoch().unwrap();
+        }
+        let obs = s.obs();
+        for c in Counter::ALL {
+            assert_eq!(obs.counter(c), 0, "counter {} stayed zero", c.name());
+        }
+        for p in Phase::ALL {
+            assert!(obs.phase(p).is_empty(), "phase {} stayed empty", p.label());
+        }
     }
 
     #[test]

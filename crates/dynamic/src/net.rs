@@ -48,6 +48,7 @@ use sparse_alloc_mpc::ledger::RoundRecord;
 use sparse_alloc_mpc::shard::labels;
 use sparse_alloc_mpc::transport::{Fault, Mesh, Peer, TransportError};
 use sparse_alloc_mpc::{Ledger, MpcError, ShardMap};
+use sparse_alloc_obs::{Counter, MetricsSnapshot, Phase, Registry, Tracer};
 
 use crate::distributed::{BatchReport, ShardedConfig, ShardedEpochReport, ShardedServeLoop};
 use crate::serve::ServeLoop;
@@ -442,6 +443,42 @@ pub struct NetServeLoop {
     epoch: u64,
     stats: NetStats,
     epoch_mark: (u64, u64),
+    /// Phase tracer for the `net_*` wire phases (shares the stack's sink).
+    tracer: Tracer,
+    /// The most recent flight-recorder dump — written (and printed to
+    /// stderr) whenever a wire operation fails, so a post-mortem names
+    /// the failing peer and protocol phase without re-running the fault.
+    last_flight_dump: Option<String>,
+}
+
+/// Human name of a protocol phase tag (frame headers and flight dumps).
+fn phase_name(phase: u32) -> &'static str {
+    match phase {
+        PH_INIT => "INIT",
+        PH_INIT_ACK => "INIT_ACK",
+        PH_ROUTE => "ROUTE",
+        PH_ROUTE_ACK => "ROUTE_ACK",
+        PH_COMMIT => "COMMIT",
+        PH_COMMIT_ACK => "COMMIT_ACK",
+        PH_CENSUS => "CENSUS",
+        PH_CENSUS_ACK => "CENSUS_ACK",
+        PH_SUMMARY => "SUMMARY",
+        PH_SUMMARY_ACK => "SUMMARY_ACK",
+        PH_GATHER => "GATHER",
+        PH_GATHER_ACK => "GATHER_ACK",
+        PH_SHUTDOWN => "SHUTDOWN",
+        PH_SHUTDOWN_ACK => "SHUTDOWN_ACK",
+        PH_NACK => "NACK",
+        _ => "UNKNOWN",
+    }
+}
+
+/// Wire counters at the start of a phase ([`NetServeLoop::mark`]): the
+/// per-peer byte totals plus the global frame totals, so the phase's
+/// deltas can be attributed when it ends.
+struct WireMark {
+    per_peer: Vec<(u64, u64)>,
+    frames: (u64, u64),
 }
 
 impl NetServeLoop {
@@ -458,6 +495,7 @@ impl NetServeLoop {
     /// per shard and scatter the current state slices.
     pub fn from_inner(inner: ShardedServeLoop, kind: TransportKind) -> Result<Self, NetError> {
         let p = inner.shards();
+        let tracer = inner.tracer().clone();
         let (mesh, ends) = match kind {
             TransportKind::Loopback => Mesh::loopback(p),
             TransportKind::Tcp => Mesh::tcp(p)?,
@@ -477,6 +515,8 @@ impl NetServeLoop {
             epoch: 0,
             stats: NetStats::default(),
             epoch_mark: (0, 0),
+            tracer,
+            last_flight_dump: None,
         };
         this.scatter_init()?;
         this.epoch_mark = this.wire_totals();
@@ -518,44 +558,96 @@ impl NetServeLoop {
         (bs + br, fs + fr)
     }
 
+    /// Snapshot the wire counters at the start of a phase.
+    fn mark(&self) -> WireMark {
+        WireMark {
+            per_peer: self.mesh.per_peer_bytes(),
+            frames: self.mesh.frames_moved(),
+        }
+    }
+
     /// Record one phase's measured wire traffic on the inner ledger
-    /// (⌈bytes/8⌉ words) and on the phase counters.
-    fn note_wire(&mut self, label: &'static str, before: &[(u64, u64)]) {
+    /// (⌈bytes/8⌉ words), the phase byte counters, and the metrics
+    /// registry. Returns the words moved, for the phase span to carry.
+    fn note_wire(&mut self, label: &'static str, mark: &WireMark) -> u64 {
         let after = self.mesh.per_peer_bytes();
-        let mut total = 0u64;
+        let (mut sent_total, mut recv_total) = (0u64, 0u64);
         let (mut max_sent, mut max_recv) = (0u64, 0u64);
-        for ((s0, r0), (s1, r1)) in before.iter().zip(&after) {
+        for ((s0, r0), (s1, r1)) in mark.per_peer.iter().zip(&after) {
             let sent = s1 - s0;
             let recv = r1 - r0;
-            total += sent + recv;
+            sent_total += sent;
+            recv_total += recv;
             max_sent = max_sent.max(sent);
             max_recv = max_recv.max(recv);
         }
+        let total = sent_total + recv_total;
         match label {
             labels::NET_ROUTE => self.stats.route_bytes += total,
             labels::NET_COMMIT => self.stats.commit_bytes += total,
             labels::NET_CENSUS => self.stats.census_bytes += total,
             _ => self.stats.init_bytes += total,
         }
+        let (fs, fr) = self.mesh.frames_moved();
+        let obs = self.inner.obs_mut();
+        obs.inc(Counter::BytesSent, sent_total);
+        obs.inc(Counter::BytesReceived, recv_total);
+        obs.inc(Counter::FramesSent, fs - mark.frames.0);
+        obs.inc(Counter::FramesReceived, fr - mark.frames.1);
+        let words = total.div_ceil(8);
         self.inner.ledger_mut().record(RoundRecord {
-            words_moved: total.div_ceil(8),
+            words_moved: words,
             max_sent: max_sent.div_ceil(8) as usize,
             max_received: max_recv.div_ceil(8) as usize,
             max_storage: 0,
             total_storage: 0,
             label,
         });
+        words
+    }
+
+    /// Capture the mesh's flight recorders after a wire failure: what
+    /// happened (`cause`) during which protocol exchange, with which
+    /// worker, followed by every peer's recent-event ring. Printed to
+    /// stderr immediately and kept for [`NetServeLoop::flight_dump`].
+    fn record_flight(&mut self, w: usize, phase: u32, epoch: u64, cause: &str) {
+        let dump = format!(
+            "flight recorder: {cause} during {} (phase {phase}, epoch {epoch}) with worker {w}\n{}",
+            phase_name(phase),
+            self.mesh.flight_dump(|p| phase_name(p as u32))
+        );
+        eprintln!("{dump}");
+        self.last_flight_dump = Some(dump);
+    }
+
+    /// Send `payload` to worker `w`, dumping the flight recorders if the
+    /// channel fails (the send-side twin of [`Self::expect`]).
+    fn send(&mut self, w: usize, phase: u32, epoch: u64, payload: &[u8]) -> Result<(), NetError> {
+        if let Err(e) = self.mesh.send_to(w, phase, epoch, payload) {
+            self.record_flight(w, phase, epoch, "the send failed");
+            return Err(e.into());
+        }
+        Ok(())
     }
 
     /// Receive worker `w`'s reply to `phase` of `epoch`; NACKs re-surface
     /// as the worker's typed error, anything else off-script is a
-    /// protocol error.
+    /// protocol error. Every failure path dumps the flight recorders
+    /// first — this is the post-mortem funnel for all recv-side faults.
     fn expect(&mut self, w: usize, phase: u32, epoch: u64) -> Result<Vec<u8>, NetError> {
-        let f = self.mesh.recv_from(w)?;
+        let f = match self.mesh.recv_from(w) {
+            Ok(f) => f,
+            Err(e) => {
+                self.record_flight(w, phase, epoch, "the channel failed");
+                return Err(e.into());
+            }
+        };
         if f.phase == PH_NACK {
+            self.record_flight(w, phase, epoch, "the worker reported a fault");
             return Err(decode_nack(w as u32, &f.payload));
         }
         if f.phase != phase || f.epoch != epoch {
+            self.record_flight(w, phase, epoch, "the reply was off-script");
             return Err(NetError::Protocol {
                 shard: w as u32,
                 detail: format!(
@@ -590,7 +682,8 @@ impl NetServeLoop {
     }
 
     fn scatter_init(&mut self) -> Result<(), NetError> {
-        let before = self.mesh.per_peer_bytes();
+        let mut sp = self.tracer.span(Phase::NetInit, self.epoch);
+        let mark = self.mark();
         let (mate, levels, load) = self.engine_state();
         let p = self.mesh.workers();
         let map = *self.inner.shard_map();
@@ -616,8 +709,7 @@ impl NetServeLoop {
                 wtr.put_i64(level);
                 wtr.put_u64(ld);
             }
-            self.mesh
-                .send_to(w, PH_INIT, self.epoch, &wtr.into_bytes())?;
+            self.send(w, PH_INIT, self.epoch, &wtr.into_bytes())?;
         }
         for (w, (lefts, rights)) in writers.iter().enumerate() {
             let payload = self.expect(w, PH_INIT_ACK, self.epoch)?;
@@ -641,7 +733,10 @@ impl NetServeLoop {
         self.synced_mate = mate;
         self.synced_level = levels;
         self.synced_load = load;
-        self.note_wire(labels::NET_INIT, &before);
+        let words = self.note_wire(labels::NET_INIT, &mark);
+        sp.set_words(words);
+        let ns = sp.close();
+        self.inner.obs_mut().phase_ns(Phase::NetInit, ns);
         Ok(())
     }
 
@@ -655,7 +750,8 @@ impl NetServeLoop {
     /// Ship the engine's state changes since the last commit to the
     /// owning workers, and advance the coordinator's mirror.
     fn commit_deltas(&mut self) -> Result<(), NetError> {
-        let before = self.mesh.per_peer_bytes();
+        let mut sp = self.tracer.span(Phase::NetCommit, self.epoch);
+        let mark = self.mark();
         let (mate, levels, load) = self.engine_state();
         let p = self.mesh.workers();
         let map = *self.inner.shard_map();
@@ -697,7 +793,7 @@ impl NetServeLoop {
                 wtr.put_u32(v);
                 wtr.put_i64(level);
             }
-            self.mesh.send_to(w, PH_COMMIT, epoch, &wtr.into_bytes())?;
+            self.send(w, PH_COMMIT, epoch, &wtr.into_bytes())?;
         }
         for w in 0..p {
             let payload = self.expect(w, PH_COMMIT_ACK, epoch)?;
@@ -714,7 +810,10 @@ impl NetServeLoop {
         self.synced_mate = mate;
         self.synced_level = levels;
         self.synced_load = load;
-        self.note_wire(labels::NET_COMMIT, &before);
+        let words = self.note_wire(labels::NET_COMMIT, &mark);
+        sp.set_words(words);
+        let ns = sp.close();
+        self.inner.obs_mut().phase_ns(Phase::NetCommit, ns);
         Ok(())
     }
 
@@ -754,7 +853,8 @@ impl NetServeLoop {
         let epoch = self.epoch;
         let p = self.mesh.workers();
         let map = *self.inner.shard_map();
-        let before = self.mesh.per_peer_bytes();
+        let mut sp = self.tracer.span(Phase::NetRoute, epoch);
+        let mark = self.mark();
 
         let mut groups: Vec<Vec<(u32, &Update)>> = vec![Vec::new(); p];
         for (i, up) in updates.iter().enumerate() {
@@ -766,7 +866,7 @@ impl NetServeLoop {
             for &(i, up) in group {
                 put_update(&mut wtr, i, up);
             }
-            self.mesh.send_to(w, PH_ROUTE, epoch, &wtr.into_bytes())?;
+            self.send(w, PH_ROUTE, epoch, &wtr.into_bytes())?;
         }
 
         let mut wire: Vec<Option<Update>> = vec![None; updates.len()];
@@ -799,7 +899,10 @@ impl NetServeLoop {
                 })
             })
             .collect::<Result<_, _>>()?;
-        self.note_wire(labels::NET_ROUTE, &before);
+        let words = self.note_wire(labels::NET_ROUTE, &mark);
+        sp.set_words(words);
+        let ns = sp.close();
+        self.inner.obs_mut().phase_ns(Phase::NetRoute, ns);
 
         // The engine consumes what the wire delivered — a codec bug
         // surfaces as divergence from serial, not silence.
@@ -818,9 +921,10 @@ impl NetServeLoop {
         let report = self.inner.end_epoch()?;
         self.commit_deltas()?;
 
-        let before = self.mesh.per_peer_bytes();
+        let mut sp = self.tracer.span(Phase::NetCensus, epoch);
+        let mark = self.mark();
         for w in 0..p {
-            self.mesh.send_to(w, PH_CENSUS, epoch, &[])?;
+            self.send(w, PH_CENSUS, epoch, &[])?;
         }
         let (mut total_lefts, mut total_rights) = (0u64, 0u64);
         for w in 0..p {
@@ -869,7 +973,7 @@ impl NetServeLoop {
         wtr.put_u64(report.migrations as u64);
         let summary = wtr.into_bytes();
         for w in 0..p {
-            self.mesh.send_to(w, PH_SUMMARY, epoch, &summary)?;
+            self.send(w, PH_SUMMARY, epoch, &summary)?;
         }
         for w in 0..p {
             let payload = self.expect(w, PH_SUMMARY_ACK, epoch)?;
@@ -885,7 +989,10 @@ impl NetServeLoop {
                 });
             }
         }
-        self.note_wire(labels::NET_CENSUS, &before);
+        let words = self.note_wire(labels::NET_CENSUS, &mark);
+        sp.set_words(words);
+        let ns = sp.close();
+        self.inner.obs_mut().phase_ns(Phase::NetCensus, ns);
 
         let (bytes_now, frames_now) = self.wire_totals();
         let rep = NetEpochReport {
@@ -908,7 +1015,7 @@ impl NetServeLoop {
         let map = *self.inner.shard_map();
         let n_left = self.synced_mate.len();
         for w in 0..p {
-            self.mesh.send_to(w, PH_GATHER, epoch, &[])?;
+            self.send(w, PH_GATHER, epoch, &[])?;
         }
         let mut mate: Vec<Option<u32>> = vec![None; n_left];
         let mut seen = vec![false; n_left];
@@ -999,6 +1106,37 @@ impl NetServeLoop {
     /// budget, snapshot access).
     pub fn inner(&self) -> &ShardedServeLoop {
         &self.inner
+    }
+
+    /// The stack's metrics registry (one per engine stack, shared with
+    /// the simulated and serial layers underneath).
+    pub fn obs(&self) -> &Registry {
+        self.inner.obs()
+    }
+
+    /// Mutable access to the metrics registry (see [`Self::obs`]).
+    pub fn obs_mut(&mut self) -> &mut Registry {
+        self.inner.obs_mut()
+    }
+
+    /// Install a phase tracer on the whole stack, including the `net_*`
+    /// wire phases.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Per-peer wire counters as the mesh counted them — the source the
+    /// e21 wire report and `salloc report` read.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.mesh.metrics_snapshot()
+    }
+
+    /// The flight-recorder dump of the most recent wire failure: which
+    /// protocol exchange failed, with which worker, and every peer's
+    /// recent frame history. `None` until a failure happens.
+    pub fn flight_dump(&self) -> Option<&str> {
+        self.last_flight_dump.as_deref()
     }
 
     /// Full consistency check of the engine state (tests/debugging).

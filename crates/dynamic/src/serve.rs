@@ -22,6 +22,7 @@ use sparse_alloc_core::guessing::run_with_guessing;
 use sparse_alloc_core::levels::PowTable;
 use sparse_alloc_core::rounding;
 use sparse_alloc_graph::{Assignment, Bipartite, DeltaGraph, LeftId, RightId};
+use sparse_alloc_obs::{Counter, Dist, Phase, Registry, Tracer};
 
 use crate::repair::{ball_of_capped_with, repair_levels, BallScratch, LevelRepairConfig};
 use crate::scheduler::{CompactionPolicy, DriftTracker};
@@ -283,6 +284,14 @@ pub struct ServeLoop {
     /// sized; workers reuse these across waves so repairs allocate
     /// nothing per update).
     wave_scratch: Vec<SearchScratch>,
+    /// Hot-path metrics (counters, distributions, per-phase latency).
+    /// Always carried; a disabled registry turns every record call into
+    /// one predictable branch (the e19 overhead A/B).
+    obs: Registry,
+    /// Phase tracer. Disabled (and allocation-free) unless a caller
+    /// attaches a sink via [`ServeLoop::set_tracer`]; spans still measure
+    /// so the registry's latency histograms fill either way.
+    tracer: Tracer,
 }
 
 /// The deferred (repair) half of one update: everything
@@ -446,6 +455,8 @@ impl ServeLoop {
             stats: ServeStats::default(),
             frac: RefCell::new(FracState::default()),
             wave_scratch: Vec::new(),
+            obs: Registry::new(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -462,6 +473,7 @@ impl ServeLoop {
     /// Apply one update with its local repairs. Returns the id assigned
     /// to an [`Update::Arrive`], `None` otherwise.
     pub fn apply(&mut self, update: &Update) -> Option<LeftId> {
+        let (exp0, cap0) = (self.matching.expansions(), self.matching.cap_hits());
         let (plan, arrived) = self.apply_structural(update);
         let out = {
             let ServeLoop {
@@ -478,6 +490,10 @@ impl ServeLoop {
             )
         };
         self.absorb_outcome(out);
+        self.obs
+            .inc(Counter::WalkExpansions, self.matching.expansions() - exp0);
+        self.obs
+            .inc(Counter::SearchCapHits, self.matching.cap_hits() - cap0);
         arrived
     }
 
@@ -546,9 +562,12 @@ impl ServeLoop {
 
     /// Fold a repair's effects into the serial state, in arrival order.
     fn absorb_outcome(&mut self, out: RepairOutcome) {
-        self.matching.absorb_wave(out.size_delta, 0);
+        self.matching.absorb_wave(out.size_delta, 0, 0);
         self.stats.augmentations += out.augmentations;
         self.stats.evictions += out.evictions;
+        self.obs
+            .inc(Counter::Augmentations, out.augmentations as u64);
+        self.obs.inc(Counter::Evictions, out.evictions as u64);
         self.sweep_dirty.extend_from_slice(&out.dirty);
     }
 
@@ -583,6 +602,7 @@ impl ServeLoop {
         threads: usize,
     ) -> Vec<WaveUpdateResult> {
         debug_assert_eq!(updates.len(), parallel_ok.len());
+        let (exp0, cap0) = (self.matching.expansions(), self.matching.cap_hits());
         let eager_k = self.cfg.eager_budget();
         let ecap = self.cfg.eager_search_cap;
 
@@ -668,13 +688,14 @@ impl ServeLoop {
             for (i, out) in done.into_iter().flatten() {
                 outcomes[i] = Some(out);
             }
-            // Workers counted expansions on their own scratch; fold the
-            // totals back into the serial counter.
-            let mut expansions = 0u64;
+            // Workers counted search work on their own scratch; fold the
+            // totals back into the serial counters.
+            let (mut expansions, mut cap_hits) = (0u64, 0u64);
             for s in &mut self.wave_scratch[..workers] {
                 expansions += std::mem::take(&mut s.expansions);
+                cap_hits += std::mem::take(&mut s.cap_hits);
             }
-            self.matching.absorb_wave(0, expansions);
+            self.matching.absorb_wave(0, expansions, cap_hits);
         }
         // Narrow waves, global escalations, and no-op plans run here, in
         // arrival order (they commute with the threaded repairs).
@@ -693,6 +714,10 @@ impl ServeLoop {
                 self.absorb_outcome(out);
             }
         }
+        self.obs
+            .inc(Counter::WalkExpansions, self.matching.expansions() - exp0);
+        self.obs
+            .inc(Counter::SearchCapHits, self.matching.cap_hits() - cap0);
         results
     }
 
@@ -701,6 +726,14 @@ impl ServeLoop {
     /// scheduler says so.
     pub fn end_epoch(&mut self) -> EpochReport {
         self.stats.epochs += 1;
+        // The sweep half of the epoch's `sweep_commit` phase: one span
+        // carrying the measured nanoseconds (the sharded loop adds the
+        // commit half, and the ledger the simulated words).
+        let sp = self
+            .tracer
+            .span(Phase::SweepCommit, self.stats.epochs as u64);
+        self.obs
+            .observe(Dist::SweepSize, self.sweep_dirty.len() as u64);
         let mut report = EpochReport::default();
 
         if self.drift.should_rebuild(self.dg.m()) {
@@ -710,9 +743,12 @@ impl ServeLoop {
             let exp0 = self.matching.expansions();
             let (aug, starts) = self.certificate_sweep();
             self.stats.augmentations += aug;
+            self.obs.inc(Counter::Augmentations, aug as u64);
             report.sweep_augmentations = aug;
             report.sweep_starts = starts;
             report.sweep_expansions = self.matching.expansions() - exp0;
+            self.obs
+                .inc(Counter::SweepExpansions, report.sweep_expansions);
             if !self.dirty.is_empty() {
                 let rep = repair_levels(
                     &self.dg,
@@ -746,6 +782,8 @@ impl ServeLoop {
         self.dirty.clear();
         self.sweep_dirty.clear();
         report.match_size = self.matching.size();
+        let ns = sp.close();
+        self.obs.phase_ns(Phase::SweepCommit, ns);
         report
     }
 
@@ -1042,6 +1080,30 @@ impl ServeLoop {
         &self.stats
     }
 
+    /// The hot-path metrics registry (counters, distributions, per-phase
+    /// latency histograms). Always present; disabled registries record
+    /// nothing.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Mutable registry access (toggling, merging, external records).
+    pub fn obs_mut(&mut self) -> &mut Registry {
+        &mut self.obs
+    }
+
+    /// Attach a phase tracer. [`Tracer`]s are cheap clones of one shared
+    /// sink, so the same tracer can be attached to several engines and
+    /// their spans interleave (with depths) in one stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached phase tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// The configuration this loop runs with.
     pub fn config(&self) -> &DynamicConfig {
         &self.cfg
@@ -1121,6 +1183,8 @@ impl ServeLoop {
             stats: p.stats,
             frac: RefCell::new(FracState::default()),
             wave_scratch: Vec::new(),
+            obs: Registry::new(),
+            tracer: Tracer::default(),
         })
     }
 

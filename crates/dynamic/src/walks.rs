@@ -91,6 +91,10 @@ pub(crate) struct SearchScratch {
     pub(crate) last_walk: Vec<RightId>,
     /// Lifetime count of BFS right-vertex expansions across all searches.
     pub(crate) expansions: u64,
+    /// Lifetime count of searches abandoned by the visit cap — each one a
+    /// walk the eager path gave up on and deferred to the epoch sweep, so
+    /// the rate measures escalation pressure on the serving hot path.
+    pub(crate) cap_hits: u64,
 }
 
 impl SearchScratch {
@@ -268,6 +272,7 @@ pub(crate) fn augment_from_left(
                 visits += 1;
                 scratch.expansions += 1;
                 if visits > visit_cap {
+                    scratch.cap_hits += 1;
                     return false;
                 }
                 for i in 0..slots.matched_count(w) {
@@ -315,6 +320,7 @@ pub(crate) fn reclaim_into(
         visits += 1;
         scratch.expansions += 1;
         if visits > visit_cap {
+            scratch.cap_hits += 1;
             return false;
         }
         for x in dg.right_neighbors_iter(w) {
@@ -526,11 +532,20 @@ impl Matching {
         self.scratch.expansions
     }
 
+    /// Lifetime count of searches the visit cap cut off before they found
+    /// a walk (deferred to the epoch sweep). Monotone, like
+    /// [`Matching::expansions`].
+    #[inline]
+    pub fn cap_hits(&self) -> u64 {
+        self.scratch.cap_hits
+    }
+
     /// Fold a threaded wave's deferred effects into the serial state: the
-    /// net matching growth and the workers' expansion counts.
-    pub(crate) fn absorb_wave(&mut self, size_delta: i64, expansions: u64) {
+    /// net matching growth and the workers' search counters.
+    pub(crate) fn absorb_wave(&mut self, size_delta: i64, expansions: u64, cap_hits: u64) {
         self.size = (self.size as i64 + size_delta) as usize;
         self.scratch.expansions += expansions;
+        self.scratch.cap_hits += cap_hits;
     }
 
     /// Export as a plain [`Assignment`].

@@ -1,55 +1,27 @@
 //! Round and message accounting for LOCAL executions.
+//!
+//! The type itself lives in the workspace observability crate as
+//! [`sparse_alloc_obs::RoundMetrics`], so the whole workspace shares one
+//! metrics vocabulary (see `crates/obs`); this module re-exports it
+//! under the name this crate has always used.
 
-/// Metrics accumulated by a [`crate::LocalEngine`] run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Metrics {
-    /// Number of synchronous rounds executed.
-    pub rounds: usize,
-    /// Total messages sent across all rounds.
-    pub messages: u64,
-    /// Messages sent per round (length = `rounds`).
-    pub messages_per_round: Vec<u64>,
-    /// Whether the run ended because every vertex voted to halt (as opposed
-    /// to hitting the round limit).
-    pub halted: bool,
-}
-
-impl Metrics {
-    /// Peak per-round message volume.
-    pub fn peak_messages(&self) -> u64 {
-        self.messages_per_round.iter().copied().max().unwrap_or(0)
-    }
-
-    /// Mean messages per round (0 if no rounds ran).
-    pub fn mean_messages(&self) -> f64 {
-        if self.rounds == 0 {
-            0.0
-        } else {
-            self.messages as f64 / self.rounds as f64
-        }
-    }
-}
+pub use sparse_alloc_obs::RoundMetrics as Metrics;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The re-export keeps the historical construction and aggregate
+    /// surface (the obs crate holds the behavioral tests).
     #[test]
-    fn aggregates() {
+    fn reexport_preserves_the_metrics_surface() {
         let m = Metrics {
-            rounds: 3,
-            messages: 60,
-            messages_per_round: vec![10, 30, 20],
+            rounds: 2,
+            messages: 30,
+            messages_per_round: vec![10, 20],
             halted: true,
         };
-        assert_eq!(m.peak_messages(), 30);
-        assert!((m.mean_messages() - 20.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_metrics() {
-        let m = Metrics::default();
-        assert_eq!(m.peak_messages(), 0);
-        assert_eq!(m.mean_messages(), 0.0);
+        assert_eq!(m.peak_messages(), 20);
+        assert!((m.mean_messages() - 15.0).abs() < 1e-12);
     }
 }

@@ -41,6 +41,30 @@ pub struct Ledger {
     /// them zero rounds — but they still appear here so cost tables can
     /// attribute storage peaks to the step that caused them.
     pub local_steps: Vec<&'static str>,
+    /// Roll-up threshold: `Some(n)` folds `history`/`local_steps` into
+    /// per-label aggregates whenever either exceeds `n` entries, so a
+    /// long-lived serve loop keeps O(labels) accounting state instead of
+    /// one record per round forever. `None` (the default) keeps the full
+    /// in-order history.
+    rollup_after: Option<usize>,
+    /// Per-label aggregates of rolled-up records (empty until a roll-up
+    /// fires). Bounded by the number of distinct labels.
+    rolled: Vec<LabelTotals>,
+}
+
+/// Per-label aggregate a roll-up folds old records into. Totals and
+/// labeled counts are preserved exactly; only per-record order is given
+/// up (the running peaks in [`Ledger`] never lived in `history`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelTotals {
+    /// The round/local-step label.
+    pub label: &'static str,
+    /// Rounds rolled up under this label.
+    pub rounds: usize,
+    /// Words moved by those rounds.
+    pub words_moved: u64,
+    /// Local (round-free) steps rolled up under this label.
+    pub local_steps: usize,
 }
 
 impl Ledger {
@@ -52,6 +76,52 @@ impl Ledger {
         self.peak_storage = self.peak_storage.max(rec.max_storage);
         self.peak_total_storage = self.peak_total_storage.max(rec.total_storage);
         self.history.push(rec);
+        self.maybe_rollup();
+    }
+
+    /// Enable roll-up mode: once `history` or `local_steps` holds more
+    /// than `n` entries, fold the surplus into per-label [`LabelTotals`].
+    /// Every total and labeled count this ledger reports is unchanged by
+    /// the mode (`ledger::tests::rollup_matches_the_unbounded_ledger`).
+    pub fn rollup_after(&mut self, n: usize) {
+        self.rollup_after = Some(n.max(1));
+        self.maybe_rollup();
+    }
+
+    /// Per-label aggregates accumulated by roll-ups so far.
+    pub fn rolled(&self) -> &[LabelTotals] {
+        &self.rolled
+    }
+
+    fn rolled_entry<'a>(
+        rolled: &'a mut Vec<LabelTotals>,
+        label: &'static str,
+    ) -> &'a mut LabelTotals {
+        if let Some(at) = rolled.iter().position(|t| t.label == label) {
+            &mut rolled[at]
+        } else {
+            rolled.push(LabelTotals {
+                label,
+                ..LabelTotals::default()
+            });
+            rolled.last_mut().unwrap()
+        }
+    }
+
+    fn maybe_rollup(&mut self) {
+        let Some(n) = self.rollup_after else { return };
+        if self.history.len() > n {
+            for rec in self.history.drain(..) {
+                let t = Self::rolled_entry(&mut self.rolled, rec.label);
+                t.rounds += 1;
+                t.words_moved += rec.words_moved;
+            }
+        }
+        if self.local_steps.len() > n {
+            for label in self.local_steps.drain(..) {
+                Self::rolled_entry(&mut self.rolled, label).local_steps += 1;
+            }
+        }
     }
 
     /// Update the storage peaks without charging a round (local phases).
@@ -65,16 +135,49 @@ impl Ledger {
     pub fn observe_local(&mut self, label: &'static str, max_storage: usize, total_storage: u64) {
         self.local_steps.push(label);
         self.observe_storage(max_storage, total_storage);
+        self.maybe_rollup();
     }
 
-    /// Count of local phases whose label equals `label`.
+    /// Count of local phases whose label equals `label`, including any
+    /// folded into roll-up aggregates.
     pub fn local_steps_labeled(&self, label: &str) -> usize {
-        self.local_steps.iter().filter(|l| **l == label).count()
+        let rolled: usize = self
+            .rolled
+            .iter()
+            .filter(|t| t.label == label)
+            .map(|t| t.local_steps)
+            .sum();
+        rolled + self.local_steps.iter().filter(|l| **l == label).count()
     }
 
-    /// Count of rounds whose label equals `label`.
+    /// Count of rounds whose label equals `label`, including any folded
+    /// into roll-up aggregates.
     pub fn rounds_labeled(&self, label: &str) -> usize {
-        self.history.iter().filter(|r| r.label == label).count()
+        let rolled: usize = self
+            .rolled
+            .iter()
+            .filter(|t| t.label == label)
+            .map(|t| t.rounds)
+            .sum();
+        rolled + self.history.iter().filter(|r| r.label == label).count()
+    }
+
+    /// Words moved by rounds whose label equals `label`, including any
+    /// folded into roll-up aggregates.
+    pub fn words_labeled(&self, label: &str) -> u64 {
+        let rolled: u64 = self
+            .rolled
+            .iter()
+            .filter(|t| t.label == label)
+            .map(|t| t.words_moved)
+            .sum();
+        rolled
+            + self
+                .history
+                .iter()
+                .filter(|r| r.label == label)
+                .map(|r| r.words_moved)
+                .sum::<u64>()
     }
 
     /// Assert that every per-machine quantity this ledger observed —
@@ -115,14 +218,25 @@ impl Ledger {
     }
 
     /// Merge another ledger's history after this one (used when an algorithm
-    /// runs sub-clusters).
+    /// runs sub-clusters). Roll-up aggregates on either side are merged
+    /// aggregate-to-aggregate, so totals and labeled counts survive.
     pub fn absorb(&mut self, other: &Ledger) {
+        for t in &other.rolled {
+            self.rounds += t.rounds;
+            self.words_total += t.words_moved;
+            let mine = Self::rolled_entry(&mut self.rolled, t.label);
+            mine.rounds += t.rounds;
+            mine.words_moved += t.words_moved;
+            mine.local_steps += t.local_steps;
+        }
         for rec in &other.history {
             self.record(rec.clone());
         }
         self.local_steps.extend_from_slice(&other.local_steps);
+        self.peak_round_io = self.peak_round_io.max(other.peak_round_io);
         self.peak_storage = self.peak_storage.max(other.peak_storage);
         self.peak_total_storage = self.peak_total_storage.max(other.peak_total_storage);
+        self.maybe_rollup();
     }
 }
 
@@ -230,6 +344,122 @@ mod tests {
             Cluster::from_items(MpcConfig::lenient(4, 64), vec![0u32; 4]).expect("items fit");
         broadcast_value(&mut c, &3u64).unwrap();
         c.ledger().assert_space_within(64).unwrap();
+    }
+
+    #[test]
+    fn rollup_matches_the_unbounded_ledger() {
+        // Drive the same synthetic serving workload into an unbounded
+        // ledger and one rolling up after 4 records; every total and
+        // labeled count must agree while the rolled ledger's accounting
+        // state stays bounded.
+        let labels = ["route_updates", "repair_wave", "sweep_commit"];
+        let mut full = Ledger::default();
+        let mut rolled = Ledger::default();
+        rolled.rollup_after(4);
+        let mut x = 41u64;
+        for i in 0..200usize {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let label = labels[i % labels.len()];
+            let r = rec(
+                x % 100,
+                (x % 7) as usize,
+                (x % 11) as usize,
+                (x % 31) as usize,
+                label,
+            );
+            full.record(r.clone());
+            rolled.record(r);
+            if i % 5 == 0 {
+                full.observe_local("shard_state", (x % 17) as usize, x % 63);
+                rolled.observe_local("shard_state", (x % 17) as usize, x % 63);
+            }
+        }
+        assert_eq!(rolled.rounds, full.rounds);
+        assert_eq!(rolled.words_total, full.words_total);
+        assert_eq!(rolled.peak_round_io, full.peak_round_io);
+        assert_eq!(rolled.peak_storage, full.peak_storage);
+        assert_eq!(rolled.peak_total_storage, full.peak_total_storage);
+        for label in labels {
+            assert_eq!(rolled.rounds_labeled(label), full.rounds_labeled(label));
+            assert_eq!(rolled.words_labeled(label), full.words_labeled(label));
+        }
+        assert_eq!(
+            rolled.local_steps_labeled("shard_state"),
+            full.local_steps_labeled("shard_state")
+        );
+        // The point of the mode: bounded accounting state.
+        assert!(
+            rolled.history.len() <= 4,
+            "history kept {} records",
+            rolled.history.len()
+        );
+        assert!(rolled.local_steps.len() <= 4);
+        assert!(rolled.rolled().len() <= labels.len() + 1);
+        assert_eq!(full.history.len(), 200);
+    }
+
+    #[test]
+    fn rollup_survives_absorb_on_both_sides() {
+        let mut full = Ledger::default();
+        let mut rolled = Ledger::default();
+        rolled.rollup_after(2);
+        let mut sub_full = Ledger::default();
+        let mut sub_rolled = Ledger::default();
+        sub_rolled.rollup_after(2);
+        for i in 0..10u64 {
+            let r = rec(i, 1, 2, 3, if i % 2 == 0 { "x" } else { "y" });
+            full.record(r.clone());
+            rolled.record(r.clone());
+            sub_full.record(r.clone());
+            sub_rolled.record(r);
+            sub_full.observe_local("z", 1, 2);
+            sub_rolled.observe_local("z", 1, 2);
+        }
+        full.absorb(&sub_full);
+        rolled.absorb(&sub_rolled);
+        assert_eq!(rolled.rounds, full.rounds);
+        assert_eq!(rolled.words_total, full.words_total);
+        for label in ["x", "y"] {
+            assert_eq!(rolled.rounds_labeled(label), full.rounds_labeled(label));
+            assert_eq!(rolled.words_labeled(label), full.words_labeled(label));
+        }
+        assert_eq!(
+            rolled.local_steps_labeled("z"),
+            full.local_steps_labeled("z")
+        );
+        assert!(rolled.history.len() <= 2);
+    }
+
+    #[test]
+    fn obs_phase_vocabulary_matches_the_ledger_labels() {
+        // The trace phase names ARE the ledger labels — `salloc report`
+        // and ci.sh rely on the two vocabularies never drifting apart.
+        use crate::shard::labels;
+        use sparse_alloc_obs::Phase;
+        let expect = [
+            (Phase::BatchSchedule, labels::BATCH_SCHEDULE),
+            (Phase::RouteUpdates, labels::ROUTE_UPDATES),
+            (Phase::RepairWave, labels::REPAIR_WAVE),
+            (Phase::SweepCommit, labels::SWEEP_COMMIT),
+            (Phase::ShardState, labels::SHARD_STATE),
+            (Phase::Checkpoint, labels::CHECKPOINT),
+            (Phase::Restore, labels::RESTORE),
+            (Phase::NetRoute, labels::NET_ROUTE),
+            (Phase::NetCommit, labels::NET_COMMIT),
+            (Phase::NetCensus, labels::NET_CENSUS),
+            (Phase::NetInit, labels::NET_INIT),
+        ];
+        assert_eq!(
+            expect.len(),
+            Phase::ALL.len(),
+            "a phase is missing a label pairing"
+        );
+        for (phase, label) in expect {
+            assert_eq!(phase.label(), label);
+            assert_eq!(Phase::from_label(label), Some(phase));
+        }
     }
 
     #[test]

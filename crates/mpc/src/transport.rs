@@ -82,6 +82,7 @@ use sparse_alloc_graph::io::{
     decode_frame, encode_frame, read_frame, ByteReader, ByteWriter, FrameError, FrameHeader,
     IoError,
 };
+use sparse_alloc_obs::{FlightEvent, FlightKind, FlightRecorder, MetricsSnapshot, PeerWire};
 
 /// Conventional source id of the coordinator end of a channel (worker
 /// ids are their shard indices; `u32::MAX` can never be one).
@@ -387,6 +388,7 @@ pub struct Peer {
     bytes_received: u64,
     frames_sent: u64,
     frames_received: u64,
+    recorder: FlightRecorder,
 }
 
 impl Peer {
@@ -404,6 +406,7 @@ impl Peer {
             bytes_received: 0,
             frames_sent: 0,
             frames_received: 0,
+            recorder: FlightRecorder::default(),
         }
     }
 
@@ -487,6 +490,30 @@ impl Peer {
         self.frames_received
     }
 
+    /// This endpoint's flight recorder: the last
+    /// [`DEFAULT_RING`](sparse_alloc_obs::flight::DEFAULT_RING) frame
+    /// headers and faults it witnessed, for post-mortem dumps.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable flight-recorder access, so a protocol layer above the
+    /// transport can note its own events (NACK decodes, phase context)
+    /// into the same ring the post-mortem dump renders.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
+    fn fault_note(e: &TransportError) -> &'static str {
+        match e {
+            TransportError::Frame { .. } => "bad frame off the wire",
+            TransportError::Closed { .. } => "channel closed",
+            TransportError::OutOfOrder { .. } => "out-of-order frame",
+            TransportError::Io { .. } => "io failure / recv timeout",
+            TransportError::Protocol { .. } => "protocol violation",
+        }
+    }
+
     fn push_bytes(&mut self, bytes: Vec<u8>) -> Result<(), TransportError> {
         let n = bytes.len() as u64;
         match &mut self.link {
@@ -538,14 +565,29 @@ impl Peer {
         };
         self.send_seq += 1;
         let bytes = encode_frame(&header, payload);
+        let ev = FlightEvent {
+            peer: self.remote,
+            kind: FlightKind::Sent,
+            phase: header.phase as u16,
+            epoch,
+            seq: header.seq,
+            len: payload.len() as u32,
+            note: "",
+        };
         // A frame held back by a Reorder fault rides out *after* the
         // frame that overtook it.
         let flush = self.held.take();
         match self.faults.pop_front() {
             None => {
                 self.push_bytes(bytes)?;
+                self.recorder.note(ev);
             }
             Some(Fault::Drop) => {
+                self.recorder.note(FlightEvent {
+                    kind: FlightKind::Fault,
+                    note: "injected fault: drop — channel closed",
+                    ..ev
+                });
                 self.close_link();
                 return Ok(());
             }
@@ -554,6 +596,11 @@ impl Peer {
                 // Deliver the torn prefix, then cut the channel: the
                 // receiver sees a frame that ends mid-payload.
                 let _ = self.push_bytes(bytes[..half].to_vec());
+                self.recorder.note(FlightEvent {
+                    kind: FlightKind::Fault,
+                    note: "injected fault: frame truncated in transit",
+                    ..ev
+                });
                 self.close_link();
                 return Ok(());
             }
@@ -562,10 +609,20 @@ impl Peer {
                 let i = bit % (bad.len() * 8);
                 bad[i / 8] ^= 1 << (i % 8);
                 self.push_bytes(bad)?;
+                self.recorder.note(FlightEvent {
+                    kind: FlightKind::Fault,
+                    note: "injected fault: bit flipped in transit",
+                    ..ev
+                });
             }
             Some(Fault::Reorder) => {
                 debug_assert!(flush.is_none(), "one held frame at a time");
                 self.held = Some(bytes);
+                self.recorder.note(FlightEvent {
+                    kind: FlightKind::Fault,
+                    note: "injected fault: frame held for reorder",
+                    ..ev
+                });
                 return Ok(());
             }
         }
@@ -575,8 +632,35 @@ impl Peer {
         Ok(())
     }
 
-    /// Receive, verify, and sequence-check one frame.
+    /// Receive, verify, and sequence-check one frame. Every outcome —
+    /// the verified header or the typed failure — is noted in the
+    /// flight recorder for post-mortem.
     pub fn recv(&mut self) -> Result<Frame, TransportError> {
+        let res = self.recv_inner();
+        match &res {
+            Ok(f) => self.recorder.note(FlightEvent {
+                peer: self.remote,
+                kind: FlightKind::Received,
+                phase: f.phase as u16,
+                epoch: f.epoch,
+                seq: f.seq,
+                len: f.payload.len() as u32,
+                note: "",
+            }),
+            Err(e) => self.recorder.note(FlightEvent {
+                peer: self.remote,
+                kind: FlightKind::Fault,
+                phase: 0,
+                epoch: 0,
+                seq: self.recv_seq,
+                len: 0,
+                note: Self::fault_note(e),
+            }),
+        }
+        res
+    }
+
+    fn recv_inner(&mut self) -> Result<Frame, TransportError> {
         let peer = self.remote;
         let (header, payload) = match &mut self.link {
             Link::Loopback { rx, .. } => {
@@ -743,6 +827,43 @@ impl Mesh {
             .iter()
             .map(|p| (p.bytes_sent(), p.bytes_received()))
             .collect()
+    }
+
+    /// Export every channel's wire counters as one
+    /// [`MetricsSnapshot`] — the single source the e21 wire-traffic
+    /// report, the trace stream, and `salloc report` all read.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            peers: self
+                .peers
+                .iter()
+                .map(|p| PeerWire {
+                    peer: p.remote(),
+                    bytes_sent: p.bytes_sent(),
+                    bytes_received: p.bytes_received(),
+                    frames_sent: p.frames_sent(),
+                    frames_received: p.frames_received(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render every channel's flight-recorder ring into one post-mortem
+    /// dump. `phase_name` maps the protocol's phase ids to names (the
+    /// transport does not interpret phases; the serving layer does).
+    pub fn flight_dump(&self, phase_name: impl Fn(u16) -> &'static str) -> String {
+        let mut out = String::new();
+        for p in &self.peers {
+            use std::fmt::Write;
+            let _ = writeln!(
+                out,
+                "channel to worker {} ({} events witnessed):",
+                p.remote(),
+                p.flight().total_noted()
+            );
+            p.flight().dump_with(&phase_name, &mut out);
+        }
+        out
     }
 }
 
@@ -925,6 +1046,53 @@ mod tests {
             TransportError::decode(&[9, 0, 0, 0]).is_err(),
             "short NACK is typed"
         );
+    }
+
+    #[test]
+    fn flight_recorder_witnesses_frames_and_faults() {
+        let (mut a, mut b) = Peer::loopback_pair(COORDINATOR, 0);
+        a.send(3, 1, b"healthy").unwrap();
+        b.recv().unwrap();
+        a.inject(Fault::FlipBit { bit: 200 });
+        a.send(4, 1, b"corrupted").unwrap();
+        assert!(b.recv().is_err());
+        // The sender's ring names the injected fault; the receiver's ring
+        // names the detected one.
+        let mut sent = String::new();
+        a.flight().dump_with(|_| "?", &mut sent);
+        assert!(sent.contains("injected fault: bit flipped"), "{sent}");
+        let mut got = String::new();
+        b.flight().dump_with(|_| "?", &mut got);
+        assert!(got.contains("bad frame off the wire"), "{got}");
+        assert!(got.contains("recv phase"), "{got}");
+    }
+
+    #[test]
+    fn mesh_snapshot_reads_the_same_counters_as_the_peers() {
+        let (mut mesh, mut ends) = Mesh::loopback(2);
+        mesh.send_to(0, 1, 0, b"to worker zero").unwrap();
+        mesh.send_to(1, 1, 0, b"to worker one, longer").unwrap();
+        ends[0].recv().unwrap();
+        ends[1].recv().unwrap();
+        ends[1].send(2, 0, b"reply").unwrap();
+        mesh.recv_from(1).unwrap();
+        let snap = mesh.metrics_snapshot();
+        assert_eq!(snap.peers.len(), 2);
+        assert_eq!(snap.peers[0].peer, 0);
+        assert_eq!(snap.peers[1].peer, 1);
+        assert_eq!(snap.peers[0].frames_sent, 1);
+        assert_eq!(snap.peers[1].frames_received, 1);
+        let (sent, recv) = mesh.bytes_moved();
+        assert_eq!(
+            snap.peers.iter().map(|p| p.bytes_sent).sum::<u64>(),
+            sent,
+            "snapshot and mesh totals agree"
+        );
+        assert_eq!(
+            snap.peers.iter().map(|p| p.bytes_received).sum::<u64>(),
+            recv
+        );
+        assert_eq!(snap.total_frames(), 3);
     }
 
     #[test]

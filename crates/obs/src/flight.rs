@@ -1,0 +1,210 @@
+//! The flight recorder: a fixed-size ring of recent protocol events.
+//!
+//! Every transport endpoint keeps one of these and notes each frame
+//! header it sends or receives (plus injected faults and decode errors).
+//! Recording is an O(1) slot write into storage allocated at
+//! construction — it never grows, so it can sit on the wire hot path —
+//! and on any transport/serving fault the mesh's rings are rendered
+//! into a human-readable dump naming the failing peer and phase.
+
+/// What a flight-recorder entry witnessed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A frame was put on the wire.
+    Sent,
+    /// A frame was taken off the wire and verified.
+    Received,
+    /// A wire fault: injected, detected on decode, or a dead channel.
+    Fault,
+}
+
+impl FlightKind {
+    fn tag(self) -> &'static str {
+        match self {
+            FlightKind::Sent => "send",
+            FlightKind::Received => "recv",
+            FlightKind::Fault => "FAULT",
+        }
+    }
+}
+
+/// One recorded protocol event: a frame header plus direction, or a
+/// fault with a static describing note. `Copy` and fixed-size, so the
+/// ring never allocates after construction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Remote endpoint id (the worker the frame went to / came from).
+    pub peer: u32,
+    /// Direction or fault marker.
+    pub kind: FlightKind,
+    /// Protocol phase id from the frame header.
+    pub phase: u16,
+    /// Epoch stamp from the frame header.
+    pub epoch: u64,
+    /// Per-direction sequence number from the frame header.
+    pub seq: u64,
+    /// Payload length in bytes (0 for faults without a frame).
+    pub len: u32,
+    /// Static note: `""` for plain frames, a short cause for faults.
+    pub note: &'static str,
+}
+
+/// Fixed-capacity ring buffer of [`FlightEvent`]s (oldest overwritten).
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    ring: Vec<FlightEvent>,
+    cap: usize,
+    /// Total events ever noted; `head = written % cap` is the next slot.
+    written: u64,
+}
+
+/// Default ring capacity per endpoint.
+pub const DEFAULT_RING: usize = 64;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_RING)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `cap` events (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder {
+            ring: Vec::with_capacity(cap),
+            cap,
+            written: 0,
+        }
+    }
+
+    /// Note one event. O(1), allocation-free once the ring is full.
+    #[inline]
+    pub fn note(&mut self, ev: FlightEvent) {
+        if self.ring.len() < self.cap {
+            self.ring.push(ev);
+        } else {
+            let slot = (self.written % self.cap as u64) as usize;
+            self.ring[slot] = ev;
+        }
+        self.written += 1;
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever noted (including overwritten ones).
+    pub fn total_noted(&self) -> u64 {
+        self.written
+    }
+
+    /// Events oldest → newest.
+    pub fn iter_recent(&self) -> impl Iterator<Item = &FlightEvent> {
+        let head = (self.written % self.cap as u64) as usize;
+        let (tail, front) = if self.ring.len() < self.cap {
+            (&self.ring[..0], &self.ring[..])
+        } else {
+            (&self.ring[head..], &self.ring[..head])
+        };
+        tail.iter().chain(front.iter())
+    }
+
+    /// Render the ring into dump lines, mapping protocol phase ids to
+    /// names via `phase_name` (the transport layer does not know the
+    /// serving protocol's vocabulary; its caller does).
+    pub fn dump_with(&self, phase_name: impl Fn(u16) -> &'static str, out: &mut String) {
+        use std::fmt::Write;
+        if self.written > self.ring.len() as u64 {
+            let _ = writeln!(
+                out,
+                "  … {} earlier events overwritten",
+                self.written - self.ring.len() as u64
+            );
+        }
+        for ev in self.iter_recent() {
+            let _ = write!(
+                out,
+                "  [{:5}] peer {:>2} {:>5} phase {} (#{}) epoch {} seq {} len {}",
+                ev.seq,
+                ev.peer,
+                ev.kind.tag(),
+                phase_name(ev.phase),
+                ev.phase,
+                ev.epoch,
+                ev.seq,
+                ev.len
+            );
+            if !ev.note.is_empty() {
+                let _ = write!(out, "  — {}", ev.note);
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> FlightEvent {
+        FlightEvent {
+            peer: 1,
+            kind: FlightKind::Sent,
+            phase: 3,
+            epoch: 0,
+            seq,
+            len: 8,
+            note: "",
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for s in 0..10 {
+            r.note(ev(s));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_noted(), 10);
+        let seqs: Vec<u64> = r.iter_recent().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_ring_iterates_in_insertion_order() {
+        let mut r = FlightRecorder::new(8);
+        for s in 0..3 {
+            r.note(ev(s));
+        }
+        let seqs: Vec<u64> = r.iter_recent().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dump_names_faults_and_notes_overwrites() {
+        let mut r = FlightRecorder::new(2);
+        r.note(ev(0));
+        r.note(ev(1));
+        r.note(FlightEvent {
+            peer: 7,
+            kind: FlightKind::Fault,
+            phase: 5,
+            epoch: 2,
+            seq: 2,
+            len: 0,
+            note: "checksum mismatch",
+        });
+        let mut out = String::new();
+        r.dump_with(|p| if p == 5 { "net_route" } else { "?" }, &mut out);
+        assert!(out.contains("1 earlier events overwritten"));
+        assert!(out.contains("peer  7 FAULT phase net_route (#5)"));
+        assert!(out.contains("checksum mismatch"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Fixed-size log₂-bucketed histograms.
+//!
+//! Bucket 0 holds the value 0; bucket `b ≥ 1` holds values in
+//! `[2^(b-1), 2^b)`. 64 buckets cover the full `u64` range, so
+//! [`Histogram::record`] is branch + increment — no allocation, ever —
+//! which is what lets the registry sit on the serving hot path.
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram with exact count/sum/min/max sidecars.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive-exclusive value range `[lo, hi)` of bucket `b` (bucket 0 is
+/// the singleton `{0}`, reported as `[0, 1)`).
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < BUCKETS, "bucket {b} out of range");
+    if b == 0 {
+        (0, 1)
+    } else if b == BUCKETS - 1 {
+        (1u64 << (b - 1), u64::MAX)
+    } else {
+        (1u64 << (b - 1), 1u64 << b)
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one; the result is identical to
+    /// having recorded both observation streams into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`): the upper bound of the
+    /// bucket containing the `⌈q·count⌉`-th observation, clamped to the
+    /// exact recorded `[min, max]`. Within a factor of 2 by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(b);
+                return hi.saturating_sub(1).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` triples, low to high.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let (lo, hi) = bucket_bounds(b);
+                (lo, hi, c)
+            })
+    }
+
+    /// Rebuild a histogram from `(lo, hi, count)` triples plus exact
+    /// sidecars, as serialized in a trace stream.
+    pub fn from_parts(buckets: &[(u64, u64, u64)], sum: u64, min: u64, max: u64) -> Histogram {
+        let mut h = Histogram::new();
+        for &(lo, _, c) in buckets {
+            let b = bucket_of(lo);
+            h.counts[b] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.min = if h.count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 is its own bucket; 1 opens bucket 1; every 2^k opens bucket k+1.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        for k in 0..63 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_of(v), k + 1, "2^{k} must open bucket {}", k + 1);
+            if k >= 1 {
+                assert_eq!(bucket_of(v - 1), k, "2^{k}-1 must close bucket {k}");
+            }
+            let (lo, hi) = bucket_bounds(k + 1);
+            assert_eq!(lo, v);
+            assert!(hi > lo);
+        }
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_lands_in_the_documented_bucket() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // (lo, hi, count): 0; 1; [2,4)x2; [4,8); [512,1024); [1024,2048); top.
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 4, 2),
+                (4, 8, 1),
+                (512, 1024, 1),
+                (1024, 2048, 1),
+                (1u64 << 63, u64::MAX, 1),
+            ]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let xs = [3u64, 0, 17, 900, 900, 5];
+        let ys = [1u64, 64, 63, 4096];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate_and_clamped() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Exact p100 = 100; the bucketed answer may not exceed max.
+        assert_eq!(h.quantile(1.0), 100);
+        // p50 of 1..=100 is 50: bucket [32,64) upper bound 63.
+        assert_eq!(h.quantile(0.5), 63);
+        assert!(h.quantile(0.99) >= 64);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_through_triples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 5, 70, 900] {
+            h.record(v);
+        }
+        let triples: Vec<_> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(&triples, h.sum(), h.min(), h.max());
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,41 @@
+//! Workspace observability: one metrics vocabulary, phase tracing, and a
+//! post-mortem flight recorder.
+//!
+//! The `mpc::Ledger` meters exactly the quantities the paper's theorems
+//! bound — simulated rounds, words, and space. This crate adds the
+//! *system* side of the picture without replacing that cost model:
+//!
+//! * [`Histogram`] — a fixed-size, log₂-bucketed histogram; recording is
+//!   a few integer ops, no allocation ever.
+//! * [`Registry`] — the workspace metrics vocabulary: named counters
+//!   ([`Counter`]), distributions ([`Dist`]), and per-phase latency
+//!   histograms keyed by [`Phase`]. Backed by fixed arrays, so the hot
+//!   path never allocates (the same discipline as `dynamic::stamp`'s
+//!   epoch-stamped scratch).
+//! * [`Phase`] — the phase vocabulary, whose string labels are *the
+//!   ledger's labels* (`mpc::shard::labels`), so a trace and the
+//!   simulated cost model speak the same names.
+//! * [`Tracer`] / [`Span`] — monotonic-clock phase spans emitted as a
+//!   checksummed JSONL stream ([`trace`] documents the format). A
+//!   disabled tracer emits zero events and allocates nothing.
+//! * [`FlightRecorder`] — a fixed-size ring of recent protocol events
+//!   and frame headers, kept per peer by the transport and dumped on
+//!   any wire fault for post-mortem.
+//! * [`RoundMetrics`] — LOCAL-model round/message accounting (re-exported
+//!   by `sparse_alloc_local` as its `Metrics`).
+//! * [`MetricsSnapshot`] — per-peer wire counters exported by the
+//!   transport mesh, the single source for e21 and `salloc report`.
+
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod hist;
+pub mod registry;
+pub mod rounds;
+pub mod trace;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+pub use hist::Histogram;
+pub use registry::{Counter, Dist, MetricsSnapshot, PeerWire, Phase, Registry};
+pub use rounds::RoundMetrics;
+pub use trace::{read_trace, Span, TraceEvent, Tracer};

@@ -1,0 +1,392 @@
+//! The workspace metrics vocabulary: counters, distributions, and
+//! per-phase latency histograms behind one allocation-free registry.
+//!
+//! Everything is backed by fixed arrays indexed by small enums, so a
+//! hot-path update is an array index plus an integer add — the same
+//! "pre-size once, never allocate while serving" discipline as
+//! `dynamic::stamp`. Export (iterating names, producing snapshots) is
+//! the only place that allocates.
+
+use crate::hist::Histogram;
+
+/// Monotonic counters the engines bump on the serving hot path.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Augmenting-walk expansions spent by eager repair searches.
+    WalkExpansions,
+    /// Eager searches the visit cap cut off before they found a walk
+    /// (deferred to the epoch sweep).
+    SearchCapHits,
+    /// Expansions spent by per-epoch certificate sweeps.
+    SweepExpansions,
+    /// Augmenting walks that succeeded (matching grew or rewired).
+    Augmentations,
+    /// Matched clients evicted by capacity-shrink repairs.
+    Evictions,
+    /// Update balls escalated to a global (whole-graph) wave.
+    Escalations,
+    /// Updates routed to owner shards by the batch scheduler.
+    RoutedUpdates,
+    /// Simulated words handed off between shards by repair waves.
+    HandoffWords,
+    /// Frames put on the wire by the networked engine.
+    FramesSent,
+    /// Frames taken off the wire by the networked engine.
+    FramesReceived,
+    /// Bytes put on the wire by the networked engine.
+    BytesSent,
+    /// Bytes taken off the wire by the networked engine.
+    BytesReceived,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 12] = [
+        Counter::WalkExpansions,
+        Counter::SearchCapHits,
+        Counter::SweepExpansions,
+        Counter::Augmentations,
+        Counter::Evictions,
+        Counter::Escalations,
+        Counter::RoutedUpdates,
+        Counter::HandoffWords,
+        Counter::FramesSent,
+        Counter::FramesReceived,
+        Counter::BytesSent,
+        Counter::BytesReceived,
+    ];
+
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::WalkExpansions => "walk_expansions",
+            Counter::SearchCapHits => "search_cap_hits",
+            Counter::SweepExpansions => "sweep_expansions",
+            Counter::Augmentations => "augmentations",
+            Counter::Evictions => "evictions",
+            Counter::Escalations => "escalations",
+            Counter::RoutedUpdates => "routed_updates",
+            Counter::HandoffWords => "handoff_words",
+            Counter::FramesSent => "frames_sent",
+            Counter::FramesReceived => "frames_received",
+            Counter::BytesSent => "bytes_sent",
+            Counter::BytesReceived => "bytes_received",
+        }
+    }
+}
+
+/// Distributions the engines observe per event (log₂-bucketed).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Dist {
+    /// Width (ball count) of each conflict-free repair wave.
+    WaveWidth,
+    /// Staged footprint size (vertices) of each scheduled update ball.
+    BallSize,
+    /// Eager-search radius each repaired update actually needed.
+    FootprintRadius,
+    /// Vertices visited by each per-epoch certificate sweep.
+    SweepSize,
+    /// Updates per applied batch.
+    BatchSize,
+}
+
+impl Dist {
+    /// Every distribution, in export order.
+    pub const ALL: [Dist; 5] = [
+        Dist::WaveWidth,
+        Dist::BallSize,
+        Dist::FootprintRadius,
+        Dist::SweepSize,
+        Dist::BatchSize,
+    ];
+
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dist::WaveWidth => "wave_width",
+            Dist::BallSize => "ball_size",
+            Dist::FootprintRadius => "footprint_radius",
+            Dist::SweepSize => "sweep_size",
+            Dist::BatchSize => "batch_size",
+        }
+    }
+}
+
+/// The phase vocabulary. **Labels are the ledger's labels**
+/// (`mpc::shard::labels`): a span in a trace and a `RoundRecord` in the
+/// simulated cost model that describe the same work carry the same
+/// string (asserted by a cross-crate test in `sparse-alloc-mpc`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Conflict-scheduling an update batch into waves.
+    BatchSchedule,
+    /// Routing an update batch to the shards owning its balls.
+    RouteUpdates,
+    /// One conflict-free parallel repair wave.
+    RepairWave,
+    /// Certificate sweep + cross-shard migration commit.
+    SweepCommit,
+    /// Per-shard resident state observation (census).
+    ShardState,
+    /// Writing a warm-restart snapshot.
+    Checkpoint,
+    /// Restoring from a snapshot.
+    Restore,
+    /// Networked route phase (scatter + echo) on the wire.
+    NetRoute,
+    /// Networked commit phase (delta shipping) on the wire.
+    NetCommit,
+    /// Networked census + summary phases on the wire.
+    NetCensus,
+    /// Networked initial state scatter on the wire.
+    NetInit,
+}
+
+impl Phase {
+    /// Every phase, in export order.
+    pub const ALL: [Phase; 11] = [
+        Phase::BatchSchedule,
+        Phase::RouteUpdates,
+        Phase::RepairWave,
+        Phase::SweepCommit,
+        Phase::ShardState,
+        Phase::Checkpoint,
+        Phase::Restore,
+        Phase::NetRoute,
+        Phase::NetCommit,
+        Phase::NetCensus,
+        Phase::NetInit,
+    ];
+
+    /// The ledger label this phase shares with the simulated cost model.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::BatchSchedule => "batch_schedule",
+            Phase::RouteUpdates => "route_updates",
+            Phase::RepairWave => "repair_wave",
+            Phase::SweepCommit => "sweep_commit",
+            Phase::ShardState => "shard_state",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Restore => "restore",
+            Phase::NetRoute => "net_route",
+            Phase::NetCommit => "net_commit",
+            Phase::NetCensus => "net_census",
+            Phase::NetInit => "net_init",
+        }
+    }
+
+    /// Inverse of [`Phase::label`]; `None` for a name outside the
+    /// vocabulary (how `salloc report` flags a foreign trace).
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.label() == label)
+    }
+}
+
+/// The allocation-free metrics registry both engines carry.
+///
+/// `enabled` gates every record call (a single predictable branch); the
+/// disabled registry is behaviorally the pre-observability engine, which
+/// is what e19's ≤ 5 % overhead gate measures against.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    enabled: bool,
+    counters: [u64; Counter::ALL.len()],
+    dists: [Histogram; Dist::ALL.len()],
+    phases: [Histogram; Phase::ALL.len()],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry (the shipped default).
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            counters: [0; Counter::ALL.len()],
+            dists: std::array::from_fn(|_| Histogram::new()),
+            phases: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// A registry whose record calls are no-ops (seed-equivalent path).
+    pub fn disabled() -> Self {
+        let mut r = Registry::new();
+        r.enabled = false;
+        r
+    }
+
+    /// Toggle recording at runtime (used by the e19 overhead A/B).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether record calls are live.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Bump a counter by `n`.
+    #[inline]
+    pub fn inc(&mut self, c: Counter, n: u64) {
+        if self.enabled {
+            self.counters[c as usize] += n;
+        }
+    }
+
+    /// Record one observation of a distribution.
+    #[inline]
+    pub fn observe(&mut self, d: Dist, v: u64) {
+        if self.enabled {
+            self.dists[d as usize].record(v);
+        }
+    }
+
+    /// Record a measured phase latency in nanoseconds.
+    #[inline]
+    pub fn phase_ns(&mut self, p: Phase, ns: u64) {
+        if self.enabled {
+            self.phases[p as usize].record(ns);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Distribution histogram.
+    pub fn dist(&self, d: Dist) -> &Histogram {
+        &self.dists[d as usize]
+    }
+
+    /// Per-phase latency histogram (nanoseconds).
+    pub fn phase(&self, p: Phase) -> &Histogram {
+        &self.phases[p as usize]
+    }
+
+    /// Fold another registry into this one (counters add, histograms
+    /// merge). `enabled` is untouched.
+    pub fn merge(&mut self, other: &Registry) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.dists.iter_mut().zip(other.dists.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.phases.iter_mut().zip(other.phases.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Wire counters of one transport endpoint, as counted by the mesh.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerWire {
+    /// Worker id the coordinator-side endpoint talks to.
+    pub peer: u32,
+    /// Bytes sent to that worker.
+    pub bytes_sent: u64,
+    /// Bytes received from that worker.
+    pub bytes_received: u64,
+    /// Frames sent to that worker.
+    pub frames_sent: u64,
+    /// Frames received from that worker.
+    pub frames_received: u64,
+}
+
+/// Per-peer wire counters exported by `mpc::transport::Mesh` — the one
+/// source both the e21 wire-traffic report and `salloc report` read.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// One row per worker endpoint, ordered by worker id.
+    pub peers: Vec<PeerWire>,
+}
+
+impl MetricsSnapshot {
+    /// Total bytes moved in either direction across all peers.
+    pub fn total_bytes(&self) -> u64 {
+        self.peers
+            .iter()
+            .map(|p| p.bytes_sent + p.bytes_received)
+            .sum()
+    }
+
+    /// Total frames moved in either direction across all peers.
+    pub fn total_frames(&self) -> u64 {
+        self.peers
+            .iter()
+            .map(|p| p.frames_sent + p.frames_received)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_and_are_unique() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("no_such_phase"), None);
+        let mut names: Vec<_> = Phase::ALL.iter().map(|p| p.label()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn registry_records_and_merges() {
+        let mut a = Registry::new();
+        a.inc(Counter::Escalations, 2);
+        a.observe(Dist::WaveWidth, 7);
+        a.phase_ns(Phase::RouteUpdates, 1500);
+        let mut b = Registry::new();
+        b.inc(Counter::Escalations, 3);
+        b.observe(Dist::WaveWidth, 9);
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::Escalations), 5);
+        assert_eq!(a.dist(Dist::WaveWidth).count(), 2);
+        assert_eq!(a.phase(Phase::RouteUpdates).count(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = Registry::disabled();
+        r.inc(Counter::WalkExpansions, 10);
+        r.observe(Dist::BallSize, 10);
+        r.phase_ns(Phase::SweepCommit, 10);
+        assert_eq!(r.counter(Counter::WalkExpansions), 0);
+        assert!(r.dist(Dist::BallSize).is_empty());
+        assert!(r.phase(Phase::SweepCommit).is_empty());
+    }
+
+    #[test]
+    fn snapshot_totals() {
+        let snap = MetricsSnapshot {
+            peers: vec![
+                PeerWire {
+                    peer: 0,
+                    bytes_sent: 10,
+                    bytes_received: 5,
+                    frames_sent: 2,
+                    frames_received: 1,
+                },
+                PeerWire {
+                    peer: 1,
+                    bytes_sent: 1,
+                    bytes_received: 2,
+                    frames_sent: 3,
+                    frames_received: 4,
+                },
+            ],
+        };
+        assert_eq!(snap.total_bytes(), 18);
+        assert_eq!(snap.total_frames(), 10);
+    }
+}

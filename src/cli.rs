@@ -13,7 +13,7 @@
 //! returning the printable report, so it is unit-testable; `bin/salloc.rs`
 //! is a thin wrapper.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use sparse_alloc_core::algo1;
@@ -35,6 +35,7 @@ use sparse_alloc_graph::generators::{
 };
 use sparse_alloc_graph::sparsity::arboricity_bracket;
 use sparse_alloc_graph::{io, Bipartite};
+use sparse_alloc_obs::{read_trace, Phase, TraceEvent, Tracer};
 use sparse_alloc_online::arrival;
 use sparse_alloc_online::balance::Balance;
 use sparse_alloc_online::driver::{run_online, OnlineAllocator};
@@ -128,6 +129,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "balance" => cmd_balance(rest),
         "online" => cmd_online(rest),
         "dynamic" => cmd_dynamic(rest),
+        "report" => cmd_report(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -149,7 +151,7 @@ const USAGE: &str = "usage: salloc <command>
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
                [--shards P] [--net] [--eager-budget B] [--footprint-cap N]
                [--waves] [--checkpoint SNAP] [--checkpoint-every N]
-               [--restore SNAP] [--assign OUT]
+               [--restore SNAP] [--assign OUT] [--trace OUT.jsonl]
                                           serve a churn stream incrementally
                                           (K events/epoch), comparing against
                                           per-epoch full recomputes; with
@@ -181,7 +183,16 @@ const USAGE: &str = "usage: salloc <command>
                                           TCP; the final matching is gathered
                                           from the worker slices over the
                                           wire, and the report adds measured
-                                          wire bytes per epoch";
+                                          wire bytes per epoch. --trace
+                                          writes every engine phase as a
+                                          checksummed JSONL span (measured
+                                          nanoseconds + simulated words) plus
+                                          final counters; summarize it with
+                                          `salloc report`
+  report TRACE.jsonl                      checksum-verify a --trace file and
+                                          print per-phase p50/p95/p99 latency,
+                                          the wave-width histogram, counters,
+                                          and per-peer wire bytes";
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &[])?;
@@ -492,6 +503,11 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     let compare_full = !f.has("no-full");
     let shards: usize = f.get("shards", 0)?;
     let persist = PersistOpts::parse(&f)?;
+    let trace_path = f.named.get("trace").cloned();
+    let tracer = match &trace_path {
+        Some(p) => Tracer::to_file(p).map_err(|e| err(format!("{p}: {e}")))?,
+        None => Tracer::disabled(),
+    };
     // Both modes run the same engine config, so a serial run stays the
     // reference for a sharded run under identical flags. 0 = the serial
     // default (the full walk budget).
@@ -513,9 +529,28 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
             if f.has("waves") {
                 return Err(err("--waves is a simulator report; drop it with --net"));
             }
-            return cmd_dynamic_net(&g, epochs, events, seed, scfg, &persist);
+            return cmd_dynamic_net(
+                &g,
+                epochs,
+                events,
+                seed,
+                scfg,
+                &persist,
+                &tracer,
+                &trace_path,
+            );
         }
-        return cmd_dynamic_sharded(&g, epochs, events, seed, scfg, f.has("waves"), &persist);
+        return cmd_dynamic_sharded(
+            &g,
+            epochs,
+            events,
+            seed,
+            scfg,
+            f.has("waves"),
+            &persist,
+            &tracer,
+            &trace_path,
+        );
     }
     // Scheduling knobs only exist in sharded mode; ignoring them silently
     // would misreport what actually ran.
@@ -534,6 +569,7 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         Some(snap) => snapshot::load_serial(snap).map_err(|e| err(format!("{snap}: {e}")))?,
         None => ServeLoop::new(g, cfg),
     };
+    serve.set_tracer(tracer.clone());
     // A restored engine resumes where the snapshot left off: its epoch
     // counter says how much of the (identically regenerated) stream was
     // already consumed.
@@ -652,10 +688,30 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
             serve.stats().epochs
         );
     }
+    finish_trace(&mut out, &tracer, &trace_path, serve.obs());
     persist.dump_assignment(&serve.assignment())?;
     Ok(out)
 }
 
+/// Finish a `--trace` stream: serialize the final metrics registry,
+/// flush the JSONL writer, and append the report line.
+fn finish_trace(
+    out: &mut String,
+    tracer: &Tracer,
+    trace_path: &Option<String>,
+    obs: &sparse_alloc_obs::Registry,
+) {
+    let Some(p) = trace_path else { return };
+    tracer.emit_registry(obs);
+    tracer.flush();
+    let _ = writeln!(
+        out,
+        "trace              : wrote {p} ({} events)",
+        tracer.events()
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
 fn cmd_dynamic_sharded(
     g: &Bipartite,
     epochs: usize,
@@ -664,6 +720,8 @@ fn cmd_dynamic_sharded(
     cfg: ShardedConfig,
     report_waves: bool,
     persist: &PersistOpts,
+    tracer: &Tracer,
+    trace_path: &Option<String>,
 ) -> Result<String, CliError> {
     let updates = churn_stream(g, epochs * events, &ChurnMix::default(), seed);
     let shards = cfg.shards;
@@ -674,6 +732,7 @@ fn cmd_dynamic_sharded(
         None => ShardedServeLoop::new(g.clone(), cfg)
             .map_err(|e| err(format!("sharded serving left the MPC regime: {e}")))?,
     };
+    serve.set_tracer(tracer.clone());
     let done = if persist.restore.is_some() {
         serve.serve_stats().epochs
     } else {
@@ -788,10 +847,12 @@ fn cmd_dynamic_sharded(
             serve.serve_stats().epochs
         );
     }
+    finish_trace(&mut out, tracer, trace_path, serve.obs());
     persist.dump_assignment(&serve.assignment())?;
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_dynamic_net(
     g: &Bipartite,
     epochs: usize,
@@ -799,15 +860,23 @@ fn cmd_dynamic_net(
     seed: u64,
     cfg: ShardedConfig,
     persist: &PersistOpts,
+    tracer: &Tracer,
+    trace_path: &Option<String>,
 ) -> Result<String, CliError> {
     let updates = churn_stream(g, epochs * events, &ChurnMix::default(), seed);
     let shards = cfg.shards;
-    let mut serve = match &persist.restore {
-        Some(snap) => NetServeLoop::restore(snap, Some(shards), TransportKind::Tcp)
-            .map_err(|e| err(format!("{snap}: {e}")))?,
-        None => NetServeLoop::new(g.clone(), cfg, TransportKind::Tcp)
+    // The tracer goes onto the *inner* sharded engine before the mesh
+    // comes up, so the scatter-init span on construction is captured too.
+    let mut inner = match &persist.restore {
+        Some(snap) => {
+            snapshot::load_sharded(snap, Some(shards)).map_err(|e| err(format!("{snap}: {e}")))?
+        }
+        None => ShardedServeLoop::new(g.clone(), cfg)
             .map_err(|e| err(format!("networked serving failed to start: {e}")))?,
     };
+    inner.set_tracer(tracer.clone());
+    let mut serve = NetServeLoop::from_inner(inner, TransportKind::Tcp)
+        .map_err(|e| err(format!("networked serving failed to start: {e}")))?;
     let done = if persist.restore.is_some() {
         serve.inner().serve_stats().epochs
     } else {
@@ -921,7 +990,151 @@ fn cmd_dynamic_net(
             serve.inner().serve_stats().epochs
         );
     }
+    if tracer.enabled() {
+        tracer.emit_snapshot(&serve.metrics_snapshot());
+    }
+    finish_trace(&mut out, tracer, trace_path, serve.obs());
     persist.dump_assignment(&assignment)?;
+    Ok(out)
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Count, min, max, and `(lo, hi, n)` buckets of the wave-width histogram.
+type WaveSummary = (u64, u64, u64, Vec<(u64, u64, u64)>);
+
+/// `salloc report TRACE.jsonl` — checksum-verify a `--trace` file and
+/// summarize it: per-phase latency percentiles alongside the simulated
+/// word totals, the wave-width histogram, final counters, and per-peer
+/// wire traffic.
+fn cmd_report(rest: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(rest, &[])?;
+    let [path] = f.positional.as_slice() else {
+        return Err(err("usage: salloc report TRACE.jsonl"));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    let events = read_trace(&text).map_err(|e| err(format!("{path}: {e}")))?;
+
+    // Aggregate spans per phase. Labels outside the ledger vocabulary
+    // mean the file is not one of our traces — refuse, don't guess.
+    let mut spans: BTreeMap<usize, (&str, Vec<u64>, u64)> = BTreeMap::new();
+    let mut wave: Option<WaveSummary> = None;
+    let mut counters: Vec<(&str, u64)> = Vec::new();
+    let mut peers: Vec<(u64, u64, u64, u64, u64)> = Vec::new();
+    for ev in &events {
+        match ev {
+            TraceEvent::Span {
+                phase,
+                dur_ns,
+                words,
+                ..
+            } => {
+                let p = Phase::from_label(phase).ok_or_else(|| {
+                    err(format!(
+                        "{path}: span phase '{phase}' is not in the ledger vocabulary"
+                    ))
+                })?;
+                let slot = spans
+                    .entry(p as usize)
+                    .or_insert((p.label(), Vec::new(), 0));
+                slot.1.push(*dur_ns);
+                slot.2 += *words;
+            }
+            TraceEvent::Hist {
+                name,
+                count,
+                min,
+                max,
+                buckets,
+                ..
+            } if name == "wave_width" => {
+                wave = Some((*count, *min, *max, buckets.clone()));
+            }
+            TraceEvent::Counter { name, value } => counters.push((name, *value)),
+            TraceEvent::Peer {
+                peer,
+                bytes_sent,
+                bytes_received,
+                frames_sent,
+                frames_received,
+            } => peers.push((
+                *peer,
+                *bytes_sent,
+                *bytes_received,
+                *frames_sent,
+                *frames_received,
+            )),
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace report: {path} — {} events verified",
+        events.len()
+    );
+
+    if !spans.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<16}  {:>6}  {:>10}  {:>10}  {:>10}  {:>12}",
+            "phase", "spans", "p50 µs", "p95 µs", "p99 µs", "sim words"
+        );
+        for (_, (label, durs, words)) in spans.iter_mut() {
+            durs.sort_unstable();
+            let _ = writeln!(
+                out,
+                "{:<16}  {:>6}  {:>10.1}  {:>10.1}  {:>10.1}  {:>12}",
+                label,
+                durs.len(),
+                percentile(durs, 0.50) as f64 / 1e3,
+                percentile(durs, 0.95) as f64 / 1e3,
+                percentile(durs, 0.99) as f64 / 1e3,
+                words
+            );
+        }
+    }
+
+    if let Some((count, min, max, buckets)) = wave {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "wave width: {count} waves, min {min}, max {max}");
+        for (lo, hi, n) in buckets {
+            if n > 0 {
+                let _ = writeln!(out, "  [{lo:>6}, {hi:>6}]  {n}");
+            }
+        }
+    }
+
+    if !counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {name:<18} {value:>12}");
+        }
+    }
+
+    if !peers.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "wire bytes per peer:");
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>12}  {:>12}  {:>8}  {:>8}",
+            "peer", "sent", "received", "fr-out", "fr-in"
+        );
+        for (peer, bs, br, fs, fr) in &peers {
+            let _ = writeln!(out, "{peer:>6}  {bs:>12}  {br:>12}  {fs:>8}  {fr:>8}");
+        }
+    }
+
     Ok(out)
 }
 
@@ -1067,6 +1280,61 @@ mod tests {
         };
         assert_eq!(matched(&sharded), matched(&serial));
         let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn dynamic_trace_and_report_roundtrip() {
+        let file = temp("dyntr.txt");
+        run(&args(&format!(
+            "gen forests --nl 120 --nr 90 --k 3 --cap 2 --seed 8 --out {file}"
+        )))
+        .unwrap();
+
+        // Sharded: every simulator phase lands in the trace.
+        let trace = temp("dyntr.jsonl");
+        let report = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --shards 4 \
+             --trace {trace}"
+        )))
+        .unwrap();
+        assert!(report.contains("trace              : wrote"), "{report}");
+        let summary = run(&args(&format!("report {trace}"))).unwrap();
+        assert!(summary.contains("events verified"), "{summary}");
+        assert!(summary.contains("route_updates"), "{summary}");
+        assert!(summary.contains("repair_wave"), "{summary}");
+        assert!(summary.contains("wave width"), "{summary}");
+
+        // Networked: net phases plus per-peer wire totals.
+        let net_trace = temp("dyntr-net.jsonl");
+        run(&args(&format!(
+            "dynamic {file} --epochs 1 --events 40 --eps 0.25 --seed 5 --shards 2 --net \
+             --trace {net_trace}"
+        )))
+        .unwrap();
+        let summary = run(&args(&format!("report {net_trace}"))).unwrap();
+        assert!(summary.contains("net_route"), "{summary}");
+        assert!(summary.contains("wire bytes per peer"), "{summary}");
+
+        // Serial: the sweep/commit phase is spanned by the inner engine.
+        let serial_trace = temp("dyntr-serial.jsonl");
+        run(&args(&format!(
+            "dynamic {file} --epochs 1 --events 40 --eps 0.25 --seed 5 --no-full \
+             --trace {serial_trace}"
+        )))
+        .unwrap();
+        let summary = run(&args(&format!("report {serial_trace}"))).unwrap();
+        assert!(summary.contains("sweep_commit"), "{summary}");
+
+        // Any flipped byte fails the checksum verification, loudly.
+        let mut bytes = std::fs::read(&trace).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&trace, &bytes).unwrap();
+        assert!(run(&args(&format!("report {trace}"))).is_err());
+
+        for f in [&file, &trace, &net_trace, &serial_trace] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -204,6 +204,49 @@ fn serving_over_reordered_delivery_is_a_typed_error() {
     }
 }
 
+/// Acceptance criterion of the observability layer's post-mortem path:
+/// injecting **any** transport fault on a live mesh leaves a
+/// flight-recorder dump that identifies the failing peer and the
+/// protocol phase the exchange died in, plus the recent frame history
+/// of every channel.
+#[test]
+fn any_fault_leaves_a_flight_dump_naming_peer_and_phase() {
+    for fault in [
+        Fault::Drop,
+        Fault::Truncate,
+        Fault::FlipBit { bit: 101 },
+        Fault::Reorder,
+    ] {
+        let (mut net, updates) = small_engine(TransportKind::Loopback);
+        net.apply_batch(&updates[..8]).expect("healthy epoch");
+        net.end_epoch().expect("healthy epoch end");
+        assert!(
+            net.flight_dump().is_none(),
+            "no dump before any failure ({fault:?})"
+        );
+
+        net.inject_fault(1, fault.clone());
+        net.apply_batch(&updates[8..16])
+            .expect_err("a corrupted wire must not serve silently");
+
+        let dump = net
+            .flight_dump()
+            .unwrap_or_else(|| panic!("{fault:?} left no flight-recorder dump"));
+        assert!(
+            dump.contains("with worker 1"),
+            "{fault:?} dump does not name the failing peer:\n{dump}"
+        );
+        assert!(
+            dump.contains("ROUTE"),
+            "{fault:?} dump does not name the protocol phase:\n{dump}"
+        );
+        assert!(
+            dump.contains("channel to worker 0") && dump.contains("channel to worker 2"),
+            "{fault:?} dump omits the healthy peers' frame history:\n{dump}"
+        );
+    }
+}
+
 /// Positive control for the harness: the identical drive sequence with
 /// no fault injected completes on both transports and the wire-gathered
 /// matching agrees with the engine — so the failures above are caused by
