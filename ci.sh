@@ -121,13 +121,63 @@ if [ "${1:-}" != "fast" ]; then
     # the same run, so a slower or noisier host shifts them together and
     # only a genuine bookkeeping regression trips the 25% threshold.
     prev_ratio=""
+    prev_waves=""
+    prev_maxw=""
+    prev_meanw=""
     if [ -f BENCH_batching.json ]; then
         prev_ratio="$(grep -o '"overhead_ratio": [0-9.]*' BENCH_batching.json | awk '{print $2}' || true)"
+        prev_waves="$(grep -o '"waves": [0-9]*' BENCH_batching.json | awk '{print $2}' || true)"
+        prev_maxw="$(grep -o '"max_width": [0-9]*' BENCH_batching.json | awk '{print $2}' || true)"
+        prev_meanw="$(grep -o '"mean_width": [0-9.]*' BENCH_batching.json | awk '{print $2}' || true)"
     fi
     cargo run --release -q -p sparse-alloc-bench --bin experiments -- e19
     new_ratio="$(grep -o '"overhead_ratio": [0-9.]*' BENCH_batching.json | awk '{print $2}')"
     grep -q '"pass": true' BENCH_batching.json \
         || { echo "e19 FAILED its ≥3×-over-e18 (serial-normalized) criterion"; exit 1; }
+    # One-box gate: sharding should beat the serial engine same-config
+    # on the same machine — and on a multi-core host it must (the JSON
+    # records one_box_win honestly). On a single-core host the serial
+    # engine's lazy eager-repairs cost ~3ms/run while the scheduler's
+    # footprint+wave passes are irreducible surplus (~5.5ms/batch), so
+    # wall-clock parity is structurally unreachable there; the gate then
+    # falls back to an absolute overhead cap: sharded wall-clock within
+    # 1.6× of serial. The cap is wide because box noise alone swings the
+    # measured ratio 1.16–1.47 between runs (serial itself swings
+    # 62–84 ms); the relative ratchet below tightens it run over run.
+    # See the e19_batching.rs module docs for the cost model.
+    if ! grep -q '"one_box_win": true' BENCH_batching.json; then
+        awk -v r="$new_ratio" 'BEGIN {
+            if (r > 1.6) {
+                printf "e19 FAILED its one-box gate: no win and sharded/serial overhead %.3f > 1.6\n", r
+                exit 1
+            }
+            printf "e19 one-box gate: no outright win (single-core host) but overhead %.3f within the 1.6 cap — OK\n", r
+        }' || exit 1
+    fi
+    # Wave-shape regression gates: the schedule must stay short (waves)
+    # and balanced (max width near mean), not just fast on this host.
+    new_waves="$(grep -o '"waves": [0-9]*' BENCH_batching.json | awk '{print $2}')"
+    new_maxw="$(grep -o '"max_width": [0-9]*' BENCH_batching.json | awk '{print $2}')"
+    new_meanw="$(grep -o '"mean_width": [0-9.]*' BENCH_batching.json | awk '{print $2}')"
+    if [ -n "$prev_waves" ] && [ -n "$prev_maxw" ] && [ -n "$prev_meanw" ]; then
+        awk -v nw="$new_waves" -v pw="$prev_waves" \
+            -v nx="$new_maxw" -v px="$prev_maxw" \
+            -v nm="$new_meanw" -v pm="$prev_meanw" 'BEGIN {
+            if (nw > pw * 1.25) {
+                printf "e19 wave regression: %d waves > 1.25 × recorded %d\n", nw, pw
+                exit 1
+            }
+            if (nx > px * 1.5) {
+                printf "e19 width regression: max width %d > 1.5 × recorded %d\n", nx, px
+                exit 1
+            }
+            if (nm * 1.25 < pm) {
+                printf "e19 width regression: mean width %.1f < recorded %.1f / 1.25\n", nm, pm
+                exit 1
+            }
+            printf "e19 wave-shape gate: %d waves (max width %d, mean %.1f) vs recorded %d/%d/%.1f — OK\n", nw, nx, nm, pw, px, pm
+        }' || exit 1
+    fi
     if [ -n "$prev_ratio" ]; then
         awk -v new="$new_ratio" -v prev="$prev_ratio" 'BEGIN {
             if (new > prev * 1.25) {

@@ -13,6 +13,23 @@
 //! wave occupancy (waves, max/mean width, escalations) next to that
 //! baseline. `BENCH_batching.json` is the record `ci.sh` gates
 //! regressions against.
+//!
+//! # Cost model (why `one_box_win` can honestly read `false` here)
+//!
+//! Phase-latency traces on this workload put ~95% of *serial* wall time
+//! in the end-of-epoch sweeps (`certificate_sweep` + `repair_levels`,
+//! ~23 ms/epoch) — code both engines share verbatim — because the serial
+//! engine's eager repairs early-exit on the count-guarded `DeltaGraph`
+//! and cost only ~3 ms across the whole run. The sharded path pays the
+//! same sweeps *plus* its scheduling surplus: footprint growth + three
+//! wave passes (~5.5 ms/batch), routing, and shard-state aggregation.
+//! On a multi-core host the threaded waves buy that surplus back; on a
+//! single-core CI box there is nothing to parallelize into, so sharded
+//! wall-clock is structurally serial-plus-overhead and the honest record
+//! is `one_box_win: false` with `overhead_ratio` as the ratcheted
+//! quantity (`ci.sh` caps it at 1.6× serial absolute, 1.25× recorded
+//! relative; the wide absolute cap absorbs the ±20% run-to-run noise
+//! this shared box shows on both sides of the ratio).
 
 use std::time::Instant;
 
@@ -56,16 +73,25 @@ pub fn run() {
     let events_per_epoch = ((m as f64) * CHURN).round().max(1.0) as usize;
     let updates = churn_stream(&g, EPOCHS * events_per_epoch, &ChurnMix::default(), 31);
 
-    // Serial baseline, same engine config as the sharded runs.
-    let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, 2).dynamic);
-    let t0 = Instant::now();
-    for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
-        for up in chunk {
-            serial.apply(up);
+    // Serial baseline, same engine config as the sharded runs. The box a
+    // CI run lands on is noisy (one core, shared with the harness), so
+    // every wall-clock sample here — serial and sharded alike — is
+    // best-of-2, the same discipline the metrics A/B below uses. The
+    // drives are deterministic, so repeating one changes only the clock.
+    let serial_drive = || {
+        let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, 2).dynamic);
+        let t0 = Instant::now();
+        for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
         }
-        serial.end_epoch();
-    }
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (t0.elapsed().as_secs_f64() * 1e3, serial)
+    };
+    let (ms_a, _) = serial_drive();
+    let (ms_b, serial) = serial_drive();
+    let serial_ms = ms_a.min(ms_b);
     let serial_size = serial.match_size();
 
     let shard_counts = [2usize, 4];
@@ -94,18 +120,24 @@ pub fn run() {
     let mut all_equal = true;
     let mut phase_reg = Registry::new();
     for &shards in &shard_counts {
-        let mut serve = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, shards))
-            .expect("initial state fits the space budget");
-        let t1 = Instant::now();
-        let mut last_peak = 0usize;
-        let mut last_budget = 0usize;
-        for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
-            serve.apply_batch(chunk).expect("batch within budget");
-            let rep = serve.end_epoch().expect("epoch within budget");
-            last_peak = rep.peak_shard_words;
-            last_budget = rep.budget;
-        }
-        let ms = t1.elapsed().as_secs_f64() * 1e3;
+        let sharded_drive = || {
+            let mut serve = ShardedServeLoop::new(g.clone(), ShardedConfig::for_eps(EPS, shards))
+                .expect("initial state fits the space budget");
+            let t1 = Instant::now();
+            let mut last_peak = 0usize;
+            let mut last_budget = 0usize;
+            for chunk in updates.chunks(events_per_epoch).take(EPOCHS) {
+                serve.apply_batch(chunk).expect("batch within budget");
+                let rep = serve.end_epoch().expect("epoch within budget");
+                last_peak = rep.peak_shard_words;
+                last_budget = rep.budget;
+            }
+            let ms = t1.elapsed().as_secs_f64() * 1e3;
+            (ms, serve, last_peak, last_budget)
+        };
+        let (ms_a, _, _, _) = sharded_drive();
+        let (ms_b, serve, last_peak, last_budget) = sharded_drive();
+        let ms = ms_a.min(ms_b);
         let equal = serve.match_size() == serial_size;
         all_equal &= equal;
         assert!(
@@ -185,6 +217,23 @@ pub fn run() {
     );
 
     let worst_ms = sharded_ms.iter().copied().fold(0.0f64, f64::max);
+    // The one-box-win criterion: sharding pays for itself on a single
+    // machine — the slowest sharded config still beats the serial engine
+    // on the identical workload. Recorded honestly: on a single-core box
+    // this is structurally unreachable (see the module docs) and ci.sh
+    // falls back to the overhead-ratio cap. Scalar wave-shape fields
+    // (worst case over the shard counts) ride along so ci.sh can
+    // regression-gate the schedule's shape, not just its wall time.
+    let one_box_win = all_equal && worst_ms <= serial_ms;
+    let waves_worst = waves.iter().copied().max().unwrap_or(0);
+    let max_width_worst = widest.iter().copied().max().unwrap_or(0);
+    let mean_width_worst = mean_width.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "  one-box win: slowest sharded {} ms vs serial {} ms — {}",
+        f1(worst_ms),
+        f1(serial_ms),
+        if one_box_win { "PASS" } else { "FAIL" }
+    );
     let speedup = E18_PR3_SHARDED_MS / worst_ms.max(1e-9);
     // Host-independent form of the same claim: the baseline ran the
     // sharded path at 15.7× its own serial engine; compare that overhead
@@ -231,8 +280,14 @@ pub fn run() {
             join(&sharded_ms.iter().map(|x| f1(*x)).collect::<Vec<_>>()),
         ),
         ("sharded_ms_max", f1(worst_ms)),
+        ("one_box_win", one_box_win.to_string()),
+        // Scalar worst-case wave shape (ci.sh regression-gates these);
+        // the *_by_shards arrays carry the per-config detail.
+        ("waves", waves_worst.to_string()),
+        ("max_width", max_width_worst.to_string()),
+        ("mean_width", f1(mean_width_worst)),
         (
-            "waves",
+            "waves_by_shards",
             join(&waves.iter().map(usize::to_string).collect::<Vec<_>>()),
         ),
         (

@@ -17,25 +17,75 @@
 //! `G⁺` itself is an [`InsertOverlay`] — a thin view staging the batch's
 //! arrivals and inserts over the live [`DeltaGraph`] — so scheduling a
 //! batch costs `O(n)` index arrays plus the footprint work, not an
-//! `O(n + m)` graph clone. Footprint membership and the per-right
-//! conflict index use epoch-stamped arrays ([`StampSet`], [`StampMap`]):
+//! `O(n + m)` graph clone. Footprint membership and the per-arrival-id
+//! resource index use epoch-stamped arrays ([`StampSet`], [`StampMap`]):
 //! no hashing on the per-edge path, `O(1)` clear between updates.
+//! Right-vertex conflicts are carried by **per-right toucher chains**:
+//! pass 1 threads `prev_of`/`next_of` links through the footprint arena
+//! (a scatter into a per-right "last toucher" array), and because wave
+//! numbers increase strictly along a chain, the later passes read each
+//! entry's floor or ceiling from its immediate chain neighbor — probing
+//! only batch-indexed arrays, never a per-right map. Footprints
+//! themselves live in one flat arena on the returned [`BatchSchedule`]
+//! (see [`BatchSchedule::footprint`]),
+//! not in a `Vec` per plan — scheduling a batch performs `O(1)` heap
+//! allocations, independent of the batch size.
 //!
-//! Three conservative escalations keep the rule airtight:
+//! # Wave assignment: critical-path layering + slack balancing
 //!
-//! * **Arrivals serialize among themselves** — the id allocator is a
-//!   shared resource (ids are assigned in arrival order).
-//! * An update referencing a left id created by an in-batch arrival is
-//!   scheduled after **all** earlier arrivals.
+//! Each update's *conflict floor* is one past the latest wave of any
+//! earlier conflicting update (footprint overlap, shared arrival-id
+//! resource, or a global below). Wave assignment runs in three passes
+//! over the batch:
+//!
+//! 1. **Forward, first-fit**: place every update *at* its floor. This is
+//!    the longest-chain layering of the conflict partial order, so the
+//!    wave count equals the batch's conflict critical path — the minimum
+//!    any order-preserving schedule can achieve. Call this wave the
+//!    update's `earliest`.
+//! 2. **Backward, slack**: compute each update's `latest` feasible wave —
+//!    one *before* the `earliest` of any later conflicting update (or the
+//!    last wave when nothing conflicts downstream). Since every update's
+//!    final wave lands at or above its `earliest`, moving an update
+//!    anywhere in `[earliest, latest]` cannot break batch order.
+//! 3. **Forward, balanced**: place each update on the **least-loaded
+//!    wave in its slack window** (earliest on ties), re-deriving the
+//!    floor from actual placements. Globals stay pinned to their
+//!    `earliest` (their window is a point).
+//!
+//! The result keeps the pass-1 wave count — balancing never opens a wave
+//! — while spreading commuting updates across the chain's waves instead
+//! of first-fit's front-loaded pile-up. (A single greedy least-loaded
+//! pass is *not* equivalent: parking a floor-0 update on a late thin wave
+//! raises every later conflicting update's floor past it, and measured
+//! batches nearly doubled their critical path that way.)
+//!
+//! Ordering rules beyond footprint overlap:
+//!
+//! * **Arrival ids are precomputed, not serialized.** Staging assigns
+//!   every in-batch arrival the id the serial engine would (sequential,
+//!   batch order), and the wave executor passes that id down to
+//!   [`DeltaGraph::arrive_at`] — so footprint-disjoint arrivals share a
+//!   wave, where the old scheduler gave every arrival a singleton wave.
+//! * **The arrival id space is a per-id resource.** An `Arrive` touches
+//!   its own id; any update referencing an in-batch id touches that id.
+//!   Touches chain in batch order through a stamped last-touch map, which
+//!   keeps "arrive, then edit the arrival" sequences serial-equivalent
+//!   even when their footprints miss each other (e.g. an arrival with no
+//!   neighbors).
+//! * **Forward references escalate to global.** An update referencing an
+//!   id no earlier in-batch arrival allocates is a structural no-op in
+//!   the serial order; running it in a singleton wave before any later
+//!   arrival keeps it a no-op under reordering too (a later arrival's
+//!   edge-free placeholder slots never become visible early).
 //! * A footprint that hits the cap ([`FOOTPRINT_CAP`] by default,
 //!   [`ShardedConfig::footprint_cap`] to tune) is treated as *global*:
 //!   the update conflicts with everything before and after it.
 //!
-//! Waves are assigned greedily in arrival order: each update lands on the
-//! earliest wave after every earlier conflicting update, so any
-//! linearization that plays waves in order (and keeps arrival order inside
-//! a wave) is equivalent to the serial order — the property
-//! `tests/properties.rs` checks exhaustively.
+//! Any linearization that plays waves in order (and keeps batch order
+//! inside a wave) is equivalent to the serial order — the property
+//! `tests/properties.rs` checks exhaustively against the engine, and the
+//! clone-based conflict-freedom oracle below checks structurally.
 //!
 //! # The two-tier footprint derivation
 //!
@@ -57,11 +107,11 @@
 //!   every cell it can read or write lies within `r − 1` hops of those
 //!   seeds — one hop less.
 //!
-//! The tiers grow with *shared* ball membership but independent radii,
-//! then merge. The split is not cosmetic: under the sharded default
-//! (eager budget 1) it keeps a pure placement's footprint down to its
-//! seed set exactly, which is the difference between near-serialized
-//! batches and the wide waves e19 measures on degree-heavy instances.
+//! The tiers grow with independent membership but a shared arena, then
+//! merge. The split is not cosmetic: under the sharded default (eager
+//! budget 1) it keeps a pure placement's footprint down to its seed set
+//! exactly, which is the difference between near-serialized batches and
+//! the wide waves e19 measures on degree-heavy instances.
 //!
 //! # Example
 //!
@@ -91,18 +141,22 @@
 //!     &DynamicConfig::for_eps(0.25),
 //!     &ShardMap::new(2),
 //!     FOOTPRINT_CAP,
-//! );
+//!     1, // footprint worker threads; the schedule is thread-count-invariant
+//! )
+//! .unwrap();
+//! assert_eq!(s.waves, 2, "wave count = conflict chain length");
 //! assert_eq!(s.plans[0].wave, 0);
-//! assert_eq!(s.plans[1].wave, 0, "disjoint footprints share a wave");
 //! assert_eq!(s.plans[2].wave, 1, "overlapping footprints serialize");
-//! assert_eq!(s.widths, vec![2, 1]);
+//! // The commuting update at v40 balances onto the emptier second wave.
+//! assert_eq!(s.plans[1].wave, 1);
+//! assert_eq!(s.widths, vec![1, 2]);
 //! ```
 //!
 //! [`DynamicConfig::eager_radius`]: crate::serve::DynamicConfig::eager_radius
 //! [`ShardedConfig::footprint_cap`]: crate::distributed::ShardedConfig::footprint_cap
 
 use sparse_alloc_graph::{DeltaGraph, InsertOverlay, RightId};
-use sparse_alloc_mpc::ShardMap;
+use sparse_alloc_mpc::{MpcError, ShardMap};
 
 use crate::serve::DynamicConfig;
 use crate::stamp::{StampMap, StampSet};
@@ -122,28 +176,31 @@ use crate::update::Update;
 pub const FOOTPRINT_CAP: usize = 4096;
 
 /// One update's placement in the epoch schedule.
+///
+/// The footprint itself lives in the owning [`BatchSchedule`]'s flat
+/// arena; read it through [`BatchSchedule::footprint`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdatePlan {
     /// Wave this update repairs in (0-based; waves run in order).
     pub wave: usize,
     /// Machine owning the update's ball (routing destination).
     pub owner: usize,
-    /// Conservative influence region (sorted right vertices). Empty for
-    /// pure no-ops (e.g. departing an isolated vertex). For a `global`
-    /// plan this holds the cap-truncated ball (diagnostics only — the
-    /// truncated content depends on traversal order and plays no role in
-    /// wave assignment).
-    pub footprint: Vec<RightId>,
-    /// Did the footprint hit the cap (update treated as conflicting with
-    /// everything)?
+    /// Start of this plan's footprint in the schedule's arena.
+    pub footprint_start: u32,
+    /// Number of footprint rights (0 for pure no-ops, e.g. departing an
+    /// isolated vertex). For a `global` plan the stored slice is the
+    /// cap-truncated ball (diagnostics only — the truncated content
+    /// depends on traversal order and plays no role in wave assignment).
+    pub footprint_len: u32,
+    /// Does this plan conflict with everything before and after it
+    /// (footprint hit the cap, or a forward id reference)?
     pub global: bool,
     /// Left id this update's `Arrive` will allocate (`None` otherwise).
     pub arrive_id: Option<u32>,
     /// Right-to-right hops the footprint expansion actually used before
     /// the ball closed (`≤` the configured eager radius; a pure placement
     /// whose seeds already cover its reach reports 0). Diagnostics and
-    /// metrics only — it plays no role in wave assignment, and the
-    /// clone-based test oracle leaves it 0.
+    /// metrics only — it plays no role in wave assignment.
     pub depth: usize,
 }
 
@@ -154,16 +211,35 @@ pub struct BatchSchedule {
     pub plans: Vec<UpdatePlan>,
     /// Number of waves (`max wave + 1`; 0 for an empty batch).
     pub waves: usize,
-    /// Updates forced off wave 0 by a conflict.
+    /// Updates with a nonzero conflict floor — i.e. updates some earlier
+    /// conflicting update forced off wave 0. (Balancing may *also* move a
+    /// floor-0 update to an emptier later wave; that is a free choice,
+    /// not a conflict delay, and is not counted here.)
     pub delayed: usize,
     /// Updates per wave (`widths.len() == waves`).
     pub widths: Vec<usize>,
     /// Updates escalated to global conflicts by the footprint cap.
     pub escalations: usize,
+    /// Flat footprint arena; plans index into it by range.
+    footprints: Vec<RightId>,
+}
+
+impl BatchSchedule {
+    /// The footprint of plan `i` (deduplicated, unordered; empty for pure
+    /// no-ops).
+    pub fn footprint(&self, i: usize) -> &[RightId] {
+        let p = &self.plans[i];
+        let start = p.footprint_start as usize;
+        &self.footprints[start..start + p.footprint_len as usize]
+    }
 }
 
 /// Stage the batch's arrivals and inserts on the union-graph view,
-/// recording the id each arrival will be assigned.
+/// recording the id each arrival will be assigned. Ids are sequential in
+/// batch order — exactly the ids the serial engine would allocate — and
+/// the wave executor replays them via [`DeltaGraph::arrive_at`], so
+/// scheduling an arrival off its batch position cannot scramble the id
+/// space.
 fn stage_gplus<'a>(
     dg: &'a DeltaGraph,
     updates: &[Update],
@@ -185,8 +261,10 @@ fn stage_gplus<'a>(
     (gplus, arrive_ids)
 }
 
-/// The two seed tiers of one update on the union graph, plus whether it
-/// references a left id allocated by an in-batch arrival.
+/// The two seed tiers of one update on the union graph, plus the left id
+/// at or above the pre-batch id space the update references (`None` when
+/// it only touches pre-existing lefts; every update references at most
+/// one left).
 ///
 /// *Deep* seeds are the starting rights of backward reclaims and
 /// eviction cascades: their reach is the full eager radius `r`. *Shallow*
@@ -204,13 +282,13 @@ fn seeds_of(
     base_n_left: u32,
     deep: &mut Vec<RightId>,
     shallow: &mut Vec<RightId>,
-) -> bool {
+) -> Option<u32> {
     deep.clear();
     shallow.clear();
-    let mut references_arrival = false;
+    let mut referenced = None;
     let mut note_left = |u: u32, into: &mut Vec<RightId>| {
         if u >= base_n_left {
-            references_arrival = true;
+            referenced = Some(u);
         }
         if (u as usize) < gplus.n_left() {
             into.extend(gplus.left_neighbors_iter(u));
@@ -239,16 +317,17 @@ fn seeds_of(
     let n_right = gplus.n_right();
     deep.retain(|&v| (v as usize) < n_right);
     shallow.retain(|&v| (v as usize) < n_right);
-    references_arrival
+    referenced
 }
 
-/// The right-vertex ball around `seeds` on the union graph, expanded hop
-/// by hop until `radius` is exhausted or the ball holds `max_ball`
-/// vertices (seeds always included). Unsorted. Mirrors
-/// [`crate::repair::ball_of_capped`], with stamped membership (`in_ball`
-/// is cleared on entry) instead of a fresh dense array per call. The
-/// second return is the hop count that last grew the ball — the radius
-/// this footprint actually needed.
+/// Grow the right-vertex ball around `seeds` on the union graph, hop by
+/// hop until `radius` is exhausted or the ball holds `max_ball` vertices
+/// (seeds always included), **appending** the (unsorted) ball to `arena`.
+/// Mirrors [`crate::repair::ball_of_capped`], with stamped membership
+/// (`in_ball` is cleared on entry) and caller-owned frontier scratch
+/// instead of fresh allocations per call. Returns the hop count that last
+/// grew the ball — the radius this footprint actually needed.
+#[allow(clippy::too_many_arguments)]
 fn ball_on_gplus(
     gplus: &InsertOverlay<'_>,
     seeds: &[RightId],
@@ -256,66 +335,214 @@ fn ball_on_gplus(
     max_ball: usize,
     in_ball: &mut StampSet,
     seen_left: &mut StampSet,
-) -> (Vec<RightId>, usize) {
+    arena: &mut Vec<RightId>,
+    frontier: &mut Vec<RightId>,
+    next: &mut Vec<RightId>,
+) -> usize {
     in_ball.clear();
     seen_left.clear();
-    let mut ball: Vec<RightId> = Vec::with_capacity(seeds.len());
+    let start = arena.len();
+    frontier.clear();
     for &v in seeds {
         if in_ball.insert(v as usize) {
-            ball.push(v);
+            arena.push(v);
+            frontier.push(v);
         }
     }
     let mut depth = 0usize;
-    let mut frontier = ball.clone();
-    let mut next: Vec<RightId> = Vec::new();
     'grow: for hop in 0..radius {
-        if ball.len() >= max_ball {
+        if arena.len() - start >= max_ball {
             break;
         }
         next.clear();
-        for &v in &frontier {
-            for u in gplus.right_neighbors_iter(v) {
+        for &v in frontier.iter() {
+            gplus.for_each_right_neighbor(v, |u| {
                 // A left's rights all joined the ball the first time it
                 // was scanned: later scans cannot add anything.
                 if !seen_left.insert(u as usize) {
-                    continue;
+                    return;
                 }
-                for w in gplus.left_neighbors_iter(u) {
+                gplus.for_each_left_neighbor(u, |w| {
                     if in_ball.insert(w as usize) {
-                        ball.push(w);
+                        arena.push(w);
                         next.push(w);
                         depth = hop + 1;
-                        if ball.len() >= max_ball {
-                            break 'grow;
-                        }
                     }
-                }
+                });
+            });
+            // The closures cannot break out of the hop, so the cap is
+            // enforced between frontier vertices: the segment may
+            // overshoot `max_ball` by one vertex's two-hop expansion.
+            // Sound, because the capped verdict (`len ≥ cap`) is
+            // traversal-order independent, capped footprints escalate to
+            // global plans whose content is diagnostics-only, and
+            // non-capped balls still enumerate exactly.
+            if arena.len() - start >= max_ball {
+                break 'grow;
             }
         }
         if next.is_empty() {
             break;
         }
-        std::mem::swap(&mut frontier, &mut next);
+        std::mem::swap(frontier, next);
     }
-    (ball, depth)
+    depth
 }
 
-/// Routing destination of one update.
-fn owner_of(up: &Update, arrive_id: Option<u32>, map: &ShardMap) -> usize {
+/// Routing destination of one update (`index` is its batch position, for
+/// diagnostics). An `Arrive` routes by the left id staging allocated for
+/// it; a plan that reaches routing without one is malformed and surfaces
+/// as [`MpcError::MissingArriveId`] — typed, like every other routing
+/// path — instead of a panic.
+pub fn owner_of(
+    up: &Update,
+    arrive_id: Option<u32>,
+    map: &ShardMap,
+    index: usize,
+) -> Result<usize, MpcError> {
     match up {
-        Update::Arrive { .. } => map.owner_of_left(arrive_id.expect("arrive id")),
-        Update::Depart { u } => map.owner_of_left(*u),
+        Update::Arrive { .. } => match arrive_id {
+            Some(id) => Ok(map.owner_of_left(id)),
+            None => Err(MpcError::MissingArriveId { index }),
+        },
+        Update::Depart { u } => Ok(map.owner_of_left(*u)),
         Update::InsertEdge { v, .. }
         | Update::DeleteEdge { v, .. }
-        | Update::SetCapacity { v, .. } => map.owner_of_right(*v),
+        | Update::SetCapacity { v, .. } => Ok(map.owner_of_right(*v)),
     }
 }
 
-/// Compute footprints on the union graph and assign conflict-free waves.
+/// One worker's share of phase A: footprints for a contiguous run of
+/// updates, in a chunk-local arena (stitched by offset afterwards).
+struct FootprintChunk {
+    arena: Vec<RightId>,
+    /// Per-update footprint length (starts are prefix sums).
+    lens: Vec<u32>,
+    depths: Vec<usize>,
+    capped: Vec<bool>,
+    referenced: Vec<Option<u32>>,
+}
+
+/// Grow, sort, and dedup the footprints of `updates` (a contiguous slice
+/// of the batch) on the shared union-graph view. Pure function of the
+/// slice: chunk boundaries cannot change any footprint, so the parallel
+/// split is exact, not approximate.
+fn footprint_chunk(
+    gplus: &InsertOverlay<'_>,
+    updates: &[Update],
+    base_n_left: u32,
+    radius: usize,
+    cap: usize,
+) -> FootprintChunk {
+    let mut in_ball = StampSet::new(gplus.n_right());
+    let mut seen_left = StampSet::new(gplus.n_left());
+    let mut deep: Vec<RightId> = Vec::new();
+    let mut shallow: Vec<RightId> = Vec::new();
+    let mut frontier: Vec<RightId> = Vec::new();
+    let mut next: Vec<RightId> = Vec::new();
+    let mut out = FootprintChunk {
+        arena: Vec::new(),
+        lens: Vec::with_capacity(updates.len()),
+        depths: Vec::with_capacity(updates.len()),
+        capped: Vec::with_capacity(updates.len()),
+        referenced: Vec::with_capacity(updates.len()),
+    };
+    for up in updates {
+        let referenced = seeds_of(gplus, up, base_n_left, &mut deep, &mut shallow);
+        // The two tiers grow with independent membership (a shallow seed
+        // inside the deep ball must still expand to its own radius), then
+        // merge; truncation can therefore only make the union *larger*
+        // than the cap, never hide a global escalation.
+        let start = out.arena.len();
+        let mut depth = ball_on_gplus(
+            gplus,
+            &deep,
+            radius,
+            cap,
+            &mut in_ball,
+            &mut seen_left,
+            &mut out.arena,
+            &mut frontier,
+            &mut next,
+        );
+        if out.arena.len() - start < cap {
+            if radius <= 1 {
+                // The shallow tier's radius is 0: no expansion, the tier
+                // is its seed set. Growing it inside the deep ball's
+                // membership (no clear) keeps the segment duplicate-free,
+                // so the sort + dedup below is skipped entirely — the
+                // scheduler's common case (the sharded default runs at
+                // eager radius 1).
+                for &v in shallow.iter() {
+                    if in_ball.insert(v as usize) {
+                        out.arena.push(v);
+                    }
+                }
+            } else {
+                let shallow_depth = ball_on_gplus(
+                    gplus,
+                    &shallow,
+                    radius - 1,
+                    cap,
+                    &mut in_ball,
+                    &mut seen_left,
+                    &mut out.arena,
+                    &mut frontier,
+                    &mut next,
+                );
+                depth = depth.max(shallow_depth);
+            }
+        }
+        if radius > 1 {
+            // Sort + dedup the arena segment in place: the tiers grew
+            // with independent membership (a shallow seed inside the deep
+            // ball must still expand to its own radius) and overlap.
+            let fp = &mut out.arena[start..];
+            fp.sort_unstable();
+            let mut keep = 0usize;
+            for j in 0..fp.len() {
+                if j == 0 || fp[j] != fp[keep - 1] {
+                    fp[keep] = fp[j];
+                    keep += 1;
+                }
+            }
+            out.arena.truncate(start + keep);
+        }
+        let len = out.arena.len() - start;
+        out.lens.push(len as u32);
+        out.depths.push(depth);
+        out.capped.push(len >= cap);
+        out.referenced.push(referenced);
+    }
+    out
+}
+
+/// Batches below this size compute footprints on the calling thread:
+/// chunk scratch (four stamped arrays over the graph) costs more to set
+/// up than the parallelism recovers.
+const PARALLEL_FOOTPRINT_MIN: usize = 256;
+
+/// How many waves past the conflict floor the balancing pass inspects
+/// when picking the least-loaded wave in an update's slack window.
+const BALANCE_WINDOW: usize = 32;
+
+/// Compute footprints on the union graph and assign conflict-free,
+/// width-balanced waves.
 ///
 /// `cfg` supplies the eager repair bounds (the footprint radius,
 /// [`DynamicConfig::eager_radius`]); `footprint_cap` is the global
-/// escalation threshold (see [`FOOTPRINT_CAP`]).
+/// escalation threshold (see [`FOOTPRINT_CAP`]). `threads` bounds the
+/// worker threads footprint growth fans out over (0 and 1 both mean
+/// "stay on the calling thread") — footprints are independent per
+/// update, so the schedule is **identical for every thread count**; only
+/// the wave-assignment passes are inherently sequential, and they touch
+/// precomputed footprints only.
+///
+/// # Errors
+///
+/// [`MpcError::MissingArriveId`] if an `Arrive` reaches routing without
+/// its staged id — impossible for plans built by this function (staging
+/// allocates every id up front), kept typed for the routing contract.
 ///
 /// [`DynamicConfig::eager_radius`]: crate::serve::DynamicConfig::eager_radius
 pub fn schedule(
@@ -324,131 +551,294 @@ pub fn schedule(
     cfg: &DynamicConfig,
     map: &ShardMap,
     footprint_cap: usize,
-) -> BatchSchedule {
+    threads: usize,
+) -> Result<BatchSchedule, MpcError> {
     let base_n_left = dg.n_left() as u32;
     let (gplus, arrive_ids) = stage_gplus(dg, updates);
     let radius = cfg.eager_radius();
     let cap = footprint_cap.max(1);
 
-    let mut plans: Vec<UpdatePlan> = Vec::with_capacity(updates.len());
-    // Stamped conflict index: the max wave of any earlier non-global
-    // update touching a given right. (Global updates skip it — their
-    // wave floor already dominates anything a touch entry could impose,
-    // so recording their truncated footprints would only write dead
-    // entries.)
-    let mut touch: StampMap<usize> = StampMap::new(gplus.n_right());
-    let mut in_ball = StampSet::new(gplus.n_right());
-    let mut seen_left = StampSet::new(gplus.n_left());
-    let mut deep: Vec<RightId> = Vec::new();
-    let mut shallow: Vec<RightId> = Vec::new();
-    // Wave floor imposed by the latest global update (conflicts with all).
-    let mut floor = 0usize;
-    let mut max_wave_seen: Option<usize> = None;
-    let mut max_arrive_wave: Option<usize> = None;
-    let mut delayed = 0usize;
-    let mut escalations = 0usize;
+    // Batch position of the arrival allocating each in-batch id (the
+    // k-th arrival gets id `base_n_left + k`).
+    let arrival_at: Vec<usize> = arrive_ids
+        .iter()
+        .enumerate()
+        .filter_map(|(i, id)| id.map(|_| i))
+        .collect();
 
+    let n = updates.len();
+
+    // ---- Phase A: footprints, fanned out over worker threads. This is
+    // the scheduler's dominant cost (ball growth on the overlay), and it
+    // is embarrassingly parallel; the sequential wave passes below only
+    // walk the precomputed arena.
+    let t = threads.max(1).min(n / PARALLEL_FOOTPRINT_MIN.max(1)).max(1);
+    let chunks: Vec<FootprintChunk> = if t <= 1 {
+        vec![footprint_chunk(&gplus, updates, base_n_left, radius, cap)]
+    } else {
+        let chunk_size = n.div_ceil(t);
+        std::thread::scope(|s| {
+            let gp = &gplus;
+            let handles: Vec<_> = updates
+                .chunks(chunk_size)
+                .map(|c| s.spawn(move || footprint_chunk(gp, c, base_n_left, radius, cap)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("footprint worker panicked"))
+                .collect()
+        })
+    };
+    let mut footprints: Vec<RightId> =
+        Vec::with_capacity(chunks.iter().map(|c| c.arena.len()).sum());
+    let mut seg: Vec<(u32, u32)> = Vec::with_capacity(n);
+    let mut depths: Vec<usize> = Vec::with_capacity(n);
+    let mut capped: Vec<bool> = Vec::with_capacity(n);
+    let mut referenced_of: Vec<Option<u32>> = Vec::with_capacity(n);
+    for mut c in chunks {
+        let mut off = footprints.len() as u32;
+        for &len in &c.lens {
+            seg.push((off, len));
+            off += len;
+        }
+        footprints.append(&mut c.arena);
+        depths.append(&mut c.depths);
+        capped.append(&mut c.capped);
+        referenced_of.append(&mut c.referenced);
+    }
+    let escalations = capped.iter().filter(|&&c| c).count();
+
+    // Global flags and arrival-id resources, needed before the chain
+    // build below (globals stay out of the conflict chains — their wave
+    // floor already dominates anything a chain link could impose).
+    let mut globals: Vec<bool> = Vec::with_capacity(n);
+    let mut resources: Vec<Option<u32>> = Vec::with_capacity(n);
     for (i, up) in updates.iter().enumerate() {
-        let references_arrival = seeds_of(&gplus, up, base_n_left, &mut deep, &mut shallow);
-        // The two tiers grow with independent membership (a shallow seed
-        // inside the deep ball must still expand to its own radius), then
-        // merge; truncation can therefore only make the union *larger*
-        // than the cap, never hide a global escalation.
-        let (mut footprint, mut depth) =
-            ball_on_gplus(&gplus, &deep, radius, cap, &mut in_ball, &mut seen_left);
-        if footprint.len() < cap {
-            let (tail, shallow_depth) = ball_on_gplus(
-                &gplus,
-                &shallow,
-                radius.saturating_sub(1),
-                cap,
-                &mut in_ball,
-                &mut seen_left,
-            );
-            footprint.extend(tail);
-            depth = depth.max(shallow_depth);
-        }
-        footprint.sort_unstable();
-        footprint.dedup();
-        let global = footprint.len() >= cap;
-
-        let mut wave = floor;
-        if global {
-            escalations += 1;
-            if let Some(w) = max_wave_seen {
-                wave = wave.max(w + 1);
-            }
-        }
-        let is_arrive = matches!(up, Update::Arrive { .. });
-        if is_arrive || references_arrival {
-            if let Some(w) = max_arrive_wave {
-                wave = wave.max(w + 1);
-            }
-        }
-        if !global {
-            for &r in &footprint {
-                if let Some(w) = touch.get(r as usize) {
-                    wave = wave.max(w + 1);
-                }
-            }
-            for &r in &footprint {
-                let e = touch.get(r as usize).unwrap_or(0).max(wave);
-                touch.set(r as usize, e);
-            }
-        }
-        if is_arrive {
-            max_arrive_wave = Some(max_arrive_wave.map_or(wave, |w| w.max(wave)));
-        }
-        if global {
-            floor = wave + 1;
-        }
-        max_wave_seen = Some(max_wave_seen.map_or(wave, |w| w.max(wave)));
-        if wave > 0 {
-            delayed += 1;
-        }
-
-        plans.push(UpdatePlan {
-            wave,
-            owner: owner_of(up, arrive_ids[i], map),
-            footprint,
-            global,
-            arrive_id: arrive_ids[i],
-            depth,
+        let referenced = referenced_of[i];
+        // A reference to an id no earlier in-batch arrival allocates is a
+        // structural no-op serially; a singleton wave before every later
+        // arrival keeps it one under reordering (see module docs).
+        let forward_ref = referenced.is_some_and(|x| {
+            let k = (x - base_n_left) as usize;
+            arrival_at.get(k).is_none_or(|&at| at > i)
+        });
+        globals.push(capped[i] || forward_ref);
+        // The arrival-id resource this update allocates or references.
+        resources.push(match up {
+            Update::Arrive { .. } => arrive_ids[i],
+            _ => referenced,
         });
     }
 
-    let waves = max_wave_seen.map_or(0, |w| w + 1);
-    let mut widths = vec![0usize; waves];
-    for p in &plans {
-        widths[p.wave] += 1;
+    // Per-right toucher chains over the footprint arena. For arena entry
+    // `p` (update `i` touching right `r`), `prev_of[p]`/`next_of[p]` name
+    // the adjacent non-global touchers of `r` in batch order. One scatter
+    // through a per-right `(last pair, last toucher)` array — fused into
+    // pass 1, which walks the arena in the same order anyway — replaces
+    // the stamped touch map the three passes below used to probe: wave
+    // numbers along one right's chain increase strictly (each toucher's
+    // floor clears its predecessor), so the immediate neighbor already
+    // carries the max (earlier side) or min (later side) the passes need,
+    // and their probes collapse to reads of batch-indexed arrays small
+    // enough to stay cache-resident.
+    const NO_LINK: u32 = u32::MAX;
+    let mut prev_of: Vec<u32> = vec![NO_LINK; footprints.len()];
+    let mut next_of: Vec<u32> = vec![NO_LINK; footprints.len()];
+    let mut last: Vec<(u32, u32)> = vec![(NO_LINK, 0); gplus.n_right()];
+
+    // Stamped index for the arrival-id resource space (a handful of ids,
+    // one per in-batch arrival — cache-resident, chains buy nothing).
+    let mut left_touch: StampMap<u32> = StampMap::new(arrival_at.len());
+    let mut earliest: Vec<usize> = Vec::with_capacity(n);
+    // Wave floor imposed by the latest global update (conflicts with all).
+    let mut floor = 0usize;
+    let mut n_waves = 0usize;
+
+    // ---- Pass 1: first-fit (earliest) waves. Placing every update at
+    // its conflict floor is the longest-chain layering, so `n_waves`
+    // ends at the batch's conflict critical path — the minimum wave
+    // count any order-preserving schedule can reach.
+    for i in 0..n {
+        let (start, len) = seg[i];
+        let e = if globals[i] {
+            let w = floor.max(n_waves);
+            floor = w + 1;
+            w
+        } else {
+            // Conflict floor: one past every earlier conflicting wave.
+            // The chain predecessor — linked in the same sweep — has the
+            // latest (and, waves increasing along a chain, the largest)
+            // earliest wave among earlier touchers.
+            let mut lo = floor;
+            for p in start as usize..(start + len) as usize {
+                let r = footprints[p] as usize;
+                let (q, j) = last[r];
+                if q != NO_LINK {
+                    prev_of[p] = j;
+                    next_of[q as usize] = i as u32;
+                    lo = lo.max(earliest[j as usize] + 1);
+                }
+                last[r] = (p as u32, i as u32);
+            }
+            if let Some(x) = resources[i] {
+                let k = (x - base_n_left) as usize;
+                if let Some(w) = left_touch.get(k) {
+                    lo = lo.max(w as usize + 1);
+                }
+                left_touch.set(k, lo as u32);
+            }
+            lo
+        };
+        n_waves = n_waves.max(e + 1);
+        earliest.push(e);
     }
-    BatchSchedule {
-        waves,
+    drop(last);
+
+    // ---- Pass 2: backward slack. `hi[i]` is the latest wave `i` can
+    // take without overtaking a later conflicting update: one before the
+    // min `earliest` of later touchers of its rights/resource (the chain
+    // successor — the minimum, waves increasing along a chain), and one
+    // before the nearest later global. Every final wave lands at or above
+    // its `earliest` (pass-3 floors only ever rise above pass-1 floors),
+    // so placements within `[earliest, hi]` preserve batch order pairwise.
+    let mut hi: Vec<usize> = vec![0; n];
+    left_touch.clear();
+    let mut next_global_e = usize::MAX;
+    for i in (0..n).rev() {
+        let (start, len) = seg[i];
+        hi[i] = if globals[i] {
+            earliest[i] // pinned: a global's slack window is a point
+        } else {
+            let mut h = n_waves - 1;
+            if next_global_e != usize::MAX {
+                h = h.min(next_global_e.saturating_sub(1));
+            }
+            for p in start as usize..(start + len) as usize {
+                if next_of[p] != NO_LINK {
+                    h = h.min(earliest[next_of[p] as usize].saturating_sub(1));
+                }
+            }
+            if let Some(x) = resources[i] {
+                if let Some(w) = left_touch.get((x - base_n_left) as usize) {
+                    h = h.min((w as usize).saturating_sub(1));
+                }
+            }
+            h
+        };
+        if globals[i] {
+            // Scanning backward, the nearest later global always has the
+            // smallest earliest; plain overwrite keeps the min.
+            next_global_e = earliest[i];
+        } else if let Some(x) = resources[i] {
+            left_touch.fetch_min((x - base_n_left) as usize, earliest[i] as u32);
+        }
+    }
+
+    // ---- Pass 3: forward balanced placement — the least-loaded wave in
+    // `[conflict floor, hi]`, earliest on ties. Floors re-derive from the
+    // *actual* placements (the chain predecessor's assigned wave — the
+    // maximum, placements increasing along a chain), and the slack bound
+    // guarantees floor ≤ hi, so balancing can never extend a chain or
+    // open a wave beyond pass 1's.
+    left_touch.clear();
+    floor = 0;
+    let mut widths = vec![0usize; n_waves];
+    let mut wave_of: Vec<u32> = Vec::with_capacity(n);
+    let mut delayed = 0usize;
+    let mut plans: Vec<UpdatePlan> = Vec::with_capacity(n);
+    for (i, up) in updates.iter().enumerate() {
+        let (start, len) = seg[i];
+        let wave = if globals[i] {
+            let w = earliest[i];
+            debug_assert!(w >= floor, "global slipped below an earlier global");
+            floor = w + 1;
+            if w > 0 {
+                delayed += 1;
+            }
+            w
+        } else {
+            let mut lo = floor;
+            for p in start as usize..(start + len) as usize {
+                if prev_of[p] != NO_LINK {
+                    lo = lo.max(wave_of[prev_of[p] as usize] as usize + 1);
+                }
+            }
+            if let Some(x) = resources[i] {
+                if let Some(w) = left_touch.get((x - base_n_left) as usize) {
+                    lo = lo.max(w as usize + 1);
+                }
+            }
+            if lo > 0 {
+                delayed += 1;
+            }
+            debug_assert!(lo <= hi[i], "slack window inverted at update {i}");
+            // Scan a bounded window past the floor, not the whole slack
+            // range: slack spans hundreds of waves on long-chain batches,
+            // and an unbounded scan makes this pass O(n · waves). A small
+            // window already finds an emptier wave whenever one exists
+            // nearby, which is where balancing pays.
+            let mut best = lo;
+            for w in lo + 1..=hi[i].min(n_waves - 1).min(lo + BALANCE_WINDOW) {
+                if widths[w] < widths[best] {
+                    best = w;
+                }
+            }
+            if let Some(x) = resources[i] {
+                left_touch.fetch_max((x - base_n_left) as usize, best as u32);
+            }
+            best
+        };
+        widths[wave] += 1;
+        wave_of.push(wave as u32);
+
+        plans.push(UpdatePlan {
+            wave,
+            owner: owner_of(up, arrive_ids[i], map, i)?,
+            footprint_start: start,
+            footprint_len: len,
+            global: globals[i],
+            arrive_id: arrive_ids[i],
+            depth: depths[i],
+        });
+    }
+
+    Ok(BatchSchedule {
+        waves: n_waves,
         delayed,
         widths,
         escalations,
         plans,
-    }
+        footprints,
+    })
 }
 
-/// The pre-overlay scheduler — clones the live graph into `G⁺` and tracks
-/// conflicts through hash maps. Kept as the oracle for
-/// [`schedule`]: identical wave plans on every input, at `O(n + m)` per
-/// batch. (The one intended divergence: cap-truncated footprints of
-/// *global* plans may differ in content, because adjacency-iteration
-/// order differs between a cloned graph and the insert overlay for
-/// re-staged deleted base edges. Global escalation itself, and every
-/// wave, are traversal-order independent.)
+/// Clone-based conflict-freedom oracle: recompute every footprint on an
+/// `O(n + m)` copy of `G⁺` (the independent path — dense graph clone,
+/// [`crate::repair::ball_of_capped`] growth) and check the schedule's
+/// structural soundness against it:
+///
+/// * bookkeeping: one plan per update, `widths` sums to the plan count,
+///   `waves == widths.len()`, every plan's wave in range, arrive ids
+///   sequential in batch order;
+/// * footprints: non-global plans' arena slices equal the clone-derived
+///   balls; global flags agree (cap escalation or forward reference);
+/// * conflict-freedom: two plans may share a wave only if both are
+///   non-global and their clone-derived footprints are disjoint;
+/// * order: every conflicting pair (footprint overlap, shared arrival-id
+///   resource, or either side global) keeps batch order across waves.
+///
+/// Plans legitimately differ from any particular greedy order — this
+/// checks the *invariants* that make wave execution serial-equivalent,
+/// not a specific placement.
 #[cfg(test)]
-pub(crate) fn schedule_cloned(
+pub(crate) fn check_schedule_sound(
     dg: &DeltaGraph,
     updates: &[Update],
     cfg: &DynamicConfig,
-    map: &ShardMap,
     footprint_cap: usize,
-) -> BatchSchedule {
+    sched: &BatchSchedule,
+) {
     use crate::repair::ball_of_capped;
-    use std::collections::HashMap;
 
     let mut gplus = dg.clone();
     let base_n_left = dg.n_left() as u32;
@@ -465,24 +855,24 @@ pub(crate) fn schedule_cloned(
             _ => arrive_ids.push(None),
         }
     }
+    let arrival_at: Vec<usize> = arrive_ids
+        .iter()
+        .enumerate()
+        .filter_map(|(i, id)| id.map(|_| i))
+        .collect();
 
     let radius = cfg.eager_radius();
     let cap = footprint_cap.max(1);
-    let mut plans: Vec<UpdatePlan> = Vec::with_capacity(updates.len());
-    let mut touch: HashMap<RightId, usize> = HashMap::new();
-    let mut floor = 0usize;
-    let mut max_wave_seen: Option<usize> = None;
-    let mut max_arrive_wave: Option<usize> = None;
-    let mut delayed = 0usize;
-    let mut escalations = 0usize;
-
+    let mut fps: Vec<Vec<RightId>> = Vec::with_capacity(updates.len());
+    let mut globals: Vec<bool> = Vec::with_capacity(updates.len());
+    let mut resources: Vec<Option<u32>> = Vec::with_capacity(updates.len());
     for (i, up) in updates.iter().enumerate() {
         let mut deep: Vec<RightId> = Vec::new();
         let mut shallow: Vec<RightId> = Vec::new();
-        let mut references_arrival = false;
+        let mut referenced = None;
         let mut note_left = |u: u32, into: &mut Vec<RightId>| {
             if u >= base_n_left {
-                references_arrival = true;
+                referenced = Some(u);
             }
             if (u as usize) < gplus.n_left() {
                 into.extend(gplus.left_neighbors_iter(u));
@@ -503,72 +893,70 @@ pub(crate) fn schedule_cloned(
         }
         deep.retain(|&v| (v as usize) < gplus.n_right());
         shallow.retain(|&v| (v as usize) < gplus.n_right());
-        // Two independently grown balls, merged: the union closure (and
-        // hence the global flag and every non-truncated footprint) agrees
-        // with the shared-membership growth of the incremental scheduler.
         let mut footprint = ball_of_capped(&gplus, &deep, radius, cap);
         if footprint.len() < cap {
-            let tail = ball_of_capped(&gplus, &shallow, radius.saturating_sub(1), cap);
-            footprint.extend(tail);
+            footprint.extend(ball_of_capped(
+                &gplus,
+                &shallow,
+                radius.saturating_sub(1),
+                cap,
+            ));
             footprint.sort_unstable();
             footprint.dedup();
         }
-        let global = footprint.len() >= cap;
-
-        let mut wave = floor;
-        if global {
-            escalations += 1;
-            if let Some(w) = max_wave_seen {
-                wave = wave.max(w + 1);
-            }
-        }
-        let is_arrive = matches!(up, Update::Arrive { .. });
-        if is_arrive || references_arrival {
-            if let Some(w) = max_arrive_wave {
-                wave = wave.max(w + 1);
-            }
-        }
-        for &r in &footprint {
-            if let Some(&w) = touch.get(&r) {
-                wave = wave.max(w + 1);
-            }
-        }
-        for &r in &footprint {
-            let e = touch.entry(r).or_insert(wave);
-            *e = (*e).max(wave);
-        }
-        if is_arrive {
-            max_arrive_wave = Some(max_arrive_wave.map_or(wave, |w| w.max(wave)));
-        }
-        if global {
-            floor = wave + 1;
-        }
-        max_wave_seen = Some(max_wave_seen.map_or(wave, |w| w.max(wave)));
-        if wave > 0 {
-            delayed += 1;
-        }
-
-        plans.push(UpdatePlan {
-            wave,
-            owner: owner_of(up, arrive_ids[i], map),
-            footprint,
-            global,
-            arrive_id: arrive_ids[i],
-            depth: 0,
+        let capped = footprint.len() >= cap;
+        let forward_ref = referenced.is_some_and(|x| {
+            let k = (x - base_n_left) as usize;
+            arrival_at.get(k).is_none_or(|&at| at > i)
         });
+        globals.push(capped || forward_ref);
+        resources.push(match up {
+            Update::Arrive { .. } => arrive_ids[i],
+            _ => referenced,
+        });
+        fps.push(footprint);
     }
 
-    let waves = max_wave_seen.map_or(0, |w| w + 1);
-    let mut widths = vec![0usize; waves];
-    for p in &plans {
+    // Bookkeeping.
+    assert_eq!(sched.plans.len(), updates.len(), "one plan per update");
+    assert_eq!(
+        sched.widths.iter().sum::<usize>(),
+        sched.plans.len(),
+        "widths sum to the plan count"
+    );
+    assert_eq!(sched.waves, sched.widths.len());
+    let mut widths = vec![0usize; sched.waves];
+    for (i, p) in sched.plans.iter().enumerate() {
+        assert!(p.wave < sched.waves, "plan {i}: wave out of range");
         widths[p.wave] += 1;
+        assert_eq!(p.arrive_id, arrive_ids[i], "plan {i}: arrive id");
+        assert_eq!(p.global, globals[i], "plan {i}: global flag");
+        if !p.global {
+            let mut got = sched.footprint(i).to_vec();
+            got.sort_unstable();
+            assert_eq!(
+                got, fps[i],
+                "plan {i}: footprint differs from the clone-derived ball"
+            );
+        }
     }
-    BatchSchedule {
-        waves,
-        delayed,
-        widths,
-        escalations,
-        plans,
+    assert_eq!(widths, sched.widths, "recounted widths");
+
+    // Conflict-freedom and batch order.
+    for j in 0..sched.plans.len() {
+        for i in 0..j {
+            let (wi, wj) = (sched.plans[i].wave, sched.plans[j].wave);
+            let overlap = fps[i].iter().any(|r| fps[j].binary_search(r).is_ok());
+            let shared_resource = resources[i].is_some() && resources[i] == resources[j];
+            let conflict = globals[i] || globals[j] || overlap || shared_resource;
+            if conflict {
+                assert!(
+                    wi < wj,
+                    "conflicting updates {i} (wave {wi}) and {j} (wave {wj}) \
+                     left batch order"
+                );
+            }
+        }
     }
 }
 
@@ -606,15 +994,13 @@ mod tests {
             Update::SetCapacity { v: 0, cap: 2 },
             Update::SetCapacity { v: 40, cap: 2 },
         ];
-        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
         assert_eq!(s.waves, 1, "disjoint balls repair in parallel");
         assert_eq!(s.delayed, 0);
         assert_eq!(s.widths, vec![2]);
         assert_eq!(s.escalations, 0);
-        assert!(s.plans[0]
-            .footprint
-            .iter()
-            .all(|r| !s.plans[1].footprint.contains(r)));
+        assert!(s.footprint(0).iter().all(|r| !s.footprint(1).contains(r)));
+        check_schedule_sound(&dg, &updates, &cfg_k(2), FOOTPRINT_CAP, &s);
     }
 
     #[test]
@@ -626,17 +1012,21 @@ mod tests {
             Update::SetCapacity { v: 11, cap: 3 },
             Update::SetCapacity { v: 12, cap: 1 },
         ];
-        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
         assert_eq!(s.plans[0].wave, 0);
         assert_eq!(s.plans[1].wave, 1);
         assert_eq!(s.plans[2].wave, 2);
         assert_eq!(s.waves, 3);
         assert_eq!(s.delayed, 2);
         assert_eq!(s.widths, vec![1, 1, 1]);
+        check_schedule_sound(&dg, &updates, &cfg_k(2), FOOTPRINT_CAP, &s);
     }
 
     #[test]
-    fn arrivals_serialize_for_id_allocation() {
+    fn disjoint_arrivals_share_a_wave() {
+        // The old scheduler serialized every arrival behind every other
+        // ("the id allocator is a shared resource"); staged ids plus
+        // `arrive_at` retire that, so only *conflicting* arrivals chain.
         let dg = path_graph(40);
         let map = ShardMap::new(2);
         let updates = vec![
@@ -645,14 +1035,30 @@ mod tests {
                 neighbors: vec![30],
             },
         ];
-        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
-        assert_eq!(
-            s.plans[1].wave,
-            s.plans[0].wave + 1,
-            "the id allocator is a shared resource"
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
+        assert_eq!(s.plans[0].wave, 0);
+        assert_eq!(s.plans[1].wave, 0, "commuting arrivals share a wave");
+        assert_eq!(s.plans[0].arrive_id, Some(40));
+        assert_eq!(s.plans[1].arrive_id, Some(41));
+        check_schedule_sound(&dg, &updates, &cfg_k(2), FOOTPRINT_CAP, &s);
+    }
+
+    #[test]
+    fn conflicting_arrivals_keep_batch_order() {
+        let dg = path_graph(40);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::Arrive { neighbors: vec![5] },
+            Update::Arrive { neighbors: vec![5] },
+        ];
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
+        assert!(
+            s.plans[1].wave > s.plans[0].wave,
+            "shared right v5 serializes the pair in batch order"
         );
         assert_eq!(s.plans[0].arrive_id, Some(40));
         assert_eq!(s.plans[1].arrive_id, Some(41));
+        check_schedule_sound(&dg, &updates, &cfg_k(2), FOOTPRINT_CAP, &s);
     }
 
     #[test]
@@ -665,8 +1071,49 @@ mod tests {
             // is far from v9 — ordering must still hold.
             Update::InsertEdge { u: 10, v: 0 },
         ];
-        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP);
+        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP, 1).unwrap();
         assert!(s.plans[1].wave > s.plans[0].wave);
+        check_schedule_sound(&dg, &updates, &cfg_k(1), FOOTPRINT_CAP, &s);
+    }
+
+    #[test]
+    fn forward_references_escalate_to_global() {
+        // The insert references id 10 *before* the arrival that allocates
+        // it: serially a structural no-op. A singleton wave ahead of the
+        // arrival keeps it one under reordering (no placeholder slot can
+        // exist yet when it runs).
+        let dg = path_graph(10);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::InsertEdge { u: 10, v: 0 },
+            Update::Arrive { neighbors: vec![9] },
+        ];
+        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP, 1).unwrap();
+        assert!(s.plans[0].global, "forward reference is global");
+        assert_eq!(s.escalations, 0, "not a cap escalation");
+        assert!(s.plans[1].wave > s.plans[0].wave);
+        check_schedule_sound(&dg, &updates, &cfg_k(1), FOOTPRINT_CAP, &s);
+    }
+
+    #[test]
+    fn width_balancing_spreads_commuting_updates() {
+        // A 3-deep conflict chain at v10..=v12 plus three pairwise-distant
+        // singles: first-fit-by-arrival would pile the singles onto wave 0
+        // (widths [4, 1, 1]); least-loaded placement spreads them.
+        let dg = path_graph(60);
+        let map = ShardMap::new(2);
+        let updates = vec![
+            Update::SetCapacity { v: 10, cap: 2 },
+            Update::SetCapacity { v: 11, cap: 3 },
+            Update::SetCapacity { v: 12, cap: 1 },
+            Update::SetCapacity { v: 30, cap: 2 },
+            Update::SetCapacity { v: 40, cap: 2 },
+            Update::SetCapacity { v: 50, cap: 2 },
+        ];
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
+        assert_eq!(s.waves, 3, "waves equal the conflict chain length");
+        assert_eq!(s.widths, vec![2, 2, 2], "commuting updates balance");
+        check_schedule_sound(&dg, &updates, &cfg_k(2), FOOTPRINT_CAP, &s);
     }
 
     #[test]
@@ -680,12 +1127,13 @@ mod tests {
             Update::InsertEdge { u: 5, v: 20 },
             Update::SetCapacity { v: 20, cap: 3 },
         ];
-        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP);
+        let s = schedule(&dg, &updates, &cfg_k(1), &map, FOOTPRINT_CAP, 1).unwrap();
         assert!(
-            s.plans[0].footprint.contains(&20),
+            s.footprint(0).contains(&20),
             "insert's footprint spans the shortcut"
         );
         assert!(s.plans[1].wave > s.plans[0].wave, "shared v20 serializes");
+        check_schedule_sound(&dg, &updates, &cfg_k(1), FOOTPRINT_CAP, &s);
     }
 
     #[test]
@@ -696,7 +1144,7 @@ mod tests {
             Update::SetCapacity { v: 20, cap: 2 },
             Update::Arrive { neighbors: vec![5] },
         ];
-        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
         assert_eq!(s.plans[0].depth, 2, "deep seeds expand the full radius");
         assert_eq!(s.plans[1].depth, 1, "shallow seeds expand one hop less");
         for p in &s.plans {
@@ -707,7 +1155,7 @@ mod tests {
     #[test]
     fn empty_batch_schedules_nothing() {
         let dg = path_graph(4);
-        let s = schedule(&dg, &[], &cfg_k(2), &ShardMap::new(2), FOOTPRINT_CAP);
+        let s = schedule(&dg, &[], &cfg_k(2), &ShardMap::new(2), FOOTPRINT_CAP, 4).unwrap();
         assert_eq!(s.waves, 0);
         assert!(s.plans.is_empty());
         assert!(s.widths.is_empty());
@@ -723,13 +1171,14 @@ mod tests {
             Update::SetCapacity { v: 20, cap: 2 },
         ];
         // Radius-3 balls on the path have ~7 rights; cap 3 truncates.
-        let s = schedule(&dg, &updates, &cfg_k(2), &map, 3);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, 3, 1).unwrap();
         assert_eq!(s.escalations, 3, "all balls hit the cap");
         assert!(s.plans.iter().all(|p| p.global));
         assert_eq!(s.waves, 3, "global updates get singleton waves");
         assert_eq!(s.widths, vec![1, 1, 1]);
+        check_schedule_sound(&dg, &updates, &cfg_k(2), 3, &s);
         // The same batch under the default cap shares one wave.
-        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP);
+        let s = schedule(&dg, &updates, &cfg_k(2), &map, FOOTPRINT_CAP, 1).unwrap();
         assert_eq!(s.escalations, 0);
         assert_eq!(s.waves, 1);
     }
@@ -743,14 +1192,31 @@ mod tests {
             Update::SetCapacity { v: 15, cap: 2 },
         ];
         // Full radius (k = 4 ⇒ 5 hops): the two balls overlap.
-        let wide = schedule(&dg, &updates, &cfg_k(4), &map, FOOTPRINT_CAP);
+        let wide = schedule(&dg, &updates, &cfg_k(4), &map, FOOTPRINT_CAP, 1).unwrap();
         assert_eq!(wide.waves, 2, "radius-5 balls at distance 5 collide");
         // Eager budget 1 (radius 2): they are disjoint and share a wave.
         let mut cfg = cfg_k(4);
         cfg.eager_walk_budget = 1;
         assert_eq!(cfg.eager_radius(), 1);
-        let tight = schedule(&dg, &updates, &cfg, &map, FOOTPRINT_CAP);
+        let tight = schedule(&dg, &updates, &cfg, &map, FOOTPRINT_CAP, 1).unwrap();
         assert_eq!(tight.waves, 1, "eager-radius footprints are disjoint");
+    }
+
+    #[test]
+    fn missing_arrive_id_surfaces_as_a_typed_error() {
+        // The routing path for a malformed plan (an `Arrive` without its
+        // staged id) must surface MpcError::MissingArriveId, not panic —
+        // the regression the old `.expect("arrive id")` hid.
+        let map = ShardMap::new(2);
+        let up = Update::Arrive { neighbors: vec![3] };
+        let err = owner_of(&up, None, &map, 7).unwrap_err();
+        assert_eq!(err, MpcError::MissingArriveId { index: 7 });
+        assert!(err.to_string().contains("update 7"), "{err}");
+        // The well-formed path still routes by the staged id.
+        assert_eq!(
+            owner_of(&up, Some(4), &map, 0).unwrap(),
+            map.owner_of_left(4)
+        );
     }
 }
 
@@ -797,13 +1263,15 @@ mod oracle_proptests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
-        /// The incremental-`G⁺` scheduler produces wave plans identical to
-        /// the clone-based oracle — same waves, owners, escalations, and
-        /// (for non-global plans) the same footprints — for every update
+        /// Every schedule the width-balancing scheduler emits passes the
+        /// clone-based conflict-freedom oracle — footprints match the
+        /// independent `O(n + m)` computation, same-wave plans never
+        /// share a right, and every conflicting pair (overlap, shared
+        /// arrival id, or a global) keeps batch order — for every update
         /// stream, shard count in {1, 2, 4, 7}, eager budget, and
         /// footprint cap (including caps small enough to truncate).
         #[test]
-        fn overlay_scheduler_matches_the_clone_oracle(
+        fn scheduler_passes_the_conflict_freedom_oracle(
             dg in live_graph(),
             ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=3), 0..22),
             eager in 1usize..4,
@@ -826,21 +1294,14 @@ mod oracle_proptests {
             for &shards in &[1usize, 2, 4, 7] {
                 let map = ShardMap::new(shards);
                 for &cap in &[cap_small, FOOTPRINT_CAP] {
-                    let got = schedule(&dg, &updates, &cfg, &map, cap);
-                    let want = schedule_cloned(&dg, &updates, &cfg, &map, cap);
-                    prop_assert_eq!(got.waves, want.waves, "waves ({} shards, cap {})", shards, cap);
-                    prop_assert_eq!(got.delayed, want.delayed);
-                    prop_assert_eq!(&got.widths, &want.widths);
-                    prop_assert_eq!(got.escalations, want.escalations);
-                    prop_assert_eq!(got.plans.len(), want.plans.len());
-                    for (i, (g, w)) in got.plans.iter().zip(&want.plans).enumerate() {
-                        prop_assert_eq!(g.wave, w.wave, "wave of update {}", i);
-                        prop_assert_eq!(g.owner, w.owner, "owner of update {}", i);
-                        prop_assert_eq!(g.global, w.global, "global flag of update {}", i);
-                        prop_assert_eq!(g.arrive_id, w.arrive_id, "arrive id of update {}", i);
-                        if !g.global {
-                            prop_assert_eq!(&g.footprint, &w.footprint, "footprint of update {}", i);
-                        }
+                    let got = schedule(&dg, &updates, &cfg, &map, cap, 1 + (shards % 3)).unwrap();
+                    check_schedule_sound(&dg, &updates, &cfg, cap, &got);
+                    for (i, (up, plan)) in updates.iter().zip(&got.plans).enumerate() {
+                        prop_assert_eq!(
+                            plan.owner,
+                            owner_of(up, plan.arrive_id, &map, i).unwrap(),
+                            "owner of update {} ({} shards)", i, shards
+                        );
                     }
                 }
             }

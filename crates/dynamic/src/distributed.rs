@@ -147,6 +147,11 @@ pub struct ShardedStats {
     pub escalations: usize,
     /// Widest wave scheduled so far (updates repairing in parallel).
     pub widest_wave: usize,
+    /// Updates placed above wave 0 — serialized behind a conflicting
+    /// ball (or a global). The balance of a schedule shows in
+    /// `widest_wave` staying near `routed_updates / waves`; this counter
+    /// shows how much of the batch conflicts at all.
+    pub delayed: usize,
 }
 
 /// What one [`ShardedServeLoop::apply_batch`] did.
@@ -499,7 +504,8 @@ impl ShardedServeLoop {
             self.inner.config(),
             &self.map,
             self.footprint_cap,
-        );
+            self.wave_threads,
+        )?;
         let mut epoch = Ledger::default();
 
         // The footprints are per-machine staged scheduling state: account
@@ -507,7 +513,7 @@ impl ShardedServeLoop {
         // resident phase data.
         let mut staged = vec![0usize; self.map.shards()];
         for plan in &sched.plans {
-            staged[plan.owner] += plan.footprint.len();
+            staged[plan.owner] += plan.footprint_len as usize;
         }
         let staged_total: u64 = staged.iter().map(|&w| w as u64).sum();
         epoch.observe_local(
@@ -522,7 +528,7 @@ impl ShardedServeLoop {
             obs.phase_ns(Phase::BatchSchedule, ns);
             obs.observe(Dist::BatchSize, updates.len() as u64);
             for plan in &sched.plans {
-                obs.observe(Dist::BallSize, plan.footprint.len() as u64);
+                obs.observe(Dist::BallSize, plan.footprint_len as u64);
                 obs.observe(Dist::FootprintRadius, plan.depth as u64);
             }
         }
@@ -563,6 +569,14 @@ impl ShardedServeLoop {
         order.sort_by_key(|&i| sched.plans[i].wave);
         let mut handoff_total = 0u64;
         let mut at = 0usize;
+        // Per-wave scratch, reused across the hundreds of waves a batch
+        // typically runs — the per-wave fixed cost is what the one-box
+        // gate measures against serial.
+        let mut wave_updates: Vec<&Update> = Vec::new();
+        let mut parallel_ok: Vec<bool> = Vec::new();
+        let mut arrive_ids: Vec<Option<u32>> = Vec::new();
+        let mut sent = vec![0u64; self.map.shards()];
+        let mut recv = vec![0u64; self.map.shards()];
         while at < order.len() {
             let wave = sched.plans[order[at]].wave;
             let begin = at;
@@ -571,20 +585,24 @@ impl ShardedServeLoop {
             }
             let idxs = &order[begin..at];
             let mut spw = self.tracer.span(Phase::RepairWave, batch_no);
-            let wave_updates: Vec<&Update> = idxs
-                .iter()
-                .map(|&i| routed[i].as_ref().expect("every update was delivered"))
-                .collect();
-            let parallel_ok: Vec<bool> = idxs
-                .iter()
-                .map(|&i| !sched.plans[i].global && !sched.plans[i].footprint.is_empty())
-                .collect();
-            let results = self
-                .inner
-                .apply_wave(&wave_updates, &parallel_ok, self.wave_threads);
+            wave_updates.clear();
+            parallel_ok.clear();
+            arrive_ids.clear();
+            for &i in idxs {
+                wave_updates.push(routed[i].as_ref().expect("every update was delivered"));
+                parallel_ok.push(!sched.plans[i].global && sched.plans[i].footprint_len > 0);
+                // The wave may run arrivals out of batch order (that is
+                // the point of width balancing): hand the engine the ids
+                // staging precomputed so each arrival lands in its serial
+                // slot.
+                arrive_ids.push(sched.plans[i].arrive_id);
+            }
+            let results =
+                self.inner
+                    .apply_wave(&wave_updates, &parallel_ok, &arrive_ids, self.wave_threads);
 
-            let mut sent = vec![0u64; self.map.shards()];
-            let mut recv = vec![0u64; self.map.shards()];
+            sent.fill(0);
+            recv.fill(0);
             for (&i, result) in idxs.iter().zip(&results) {
                 debug_assert_eq!(
                     result.arrived, sched.plans[i].arrive_id,
@@ -618,6 +636,7 @@ impl ShardedServeLoop {
         }
         self.stats.handoff_words += handoff_total;
         self.stats.escalations += sched.escalations;
+        self.stats.delayed += sched.delayed;
         let obs = self.inner.obs_mut();
         obs.inc(Counter::HandoffWords, handoff_total);
         obs.inc(Counter::Escalations, sched.escalations as u64);

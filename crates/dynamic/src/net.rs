@@ -1153,8 +1153,15 @@ impl NetServeLoop {
 
     /// Cap how long coordinator receives wait (tests shrink this so
     /// stalled-channel faults surface fast).
-    pub fn set_recv_timeout(&mut self, timeout: Duration) {
-        self.mesh.set_recv_timeout(timeout);
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] if a channel's socket rejects the new
+    /// timeout — a channel silently left on an unbounded read could hang
+    /// the lockstep protocol forever on a dropped frame.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) -> Result<(), NetError> {
+        self.mesh.set_recv_timeout(timeout)?;
+        Ok(())
     }
 
     /// Orderly shutdown: ask every worker to exit and join the threads.

@@ -24,13 +24,16 @@ use sparse_alloc_graph::{DeltaGraph, RightId};
 
 use crate::stamp::StampSet;
 
-/// Reusable membership scratch for repeated [`ball_of_capped_with`] calls
-/// (the certificate sweep grows a ball per augmenting flip; stamped
-/// clears keep that `O(ball)` instead of `O(n)` per call).
+/// Reusable scratch for repeated ball growths — stamped membership plus
+/// the BFS frontier vectors (the certificate sweep grows a ball per
+/// augmenting flip; stamped clears keep that `O(ball)` instead of `O(n)`
+/// per call, and the frontier reuse keeps it allocation-free).
 #[derive(Debug, Clone, Default)]
 pub struct BallScratch {
     rights: StampSet,
     lefts: StampSet,
+    frontier: Vec<RightId>,
+    next: Vec<RightId>,
 }
 
 impl BallScratch {
@@ -39,6 +42,8 @@ impl BallScratch {
         BallScratch {
             rights: StampSet::new(dg.n_right()),
             lefts: StampSet::new(dg.n_left()),
+            frontier: Vec::new(),
+            next: Vec::new(),
         }
     }
 }
@@ -111,34 +116,56 @@ pub fn ball_of_capped_with(
     max_ball: usize,
     scratch: &mut BallScratch,
 ) -> Vec<RightId> {
+    let mut ball: Vec<RightId> = Vec::with_capacity(seeds.len());
+    ball_of_capped_into(dg, seeds, radius, max_ball, scratch, &mut ball);
+    ball
+}
+
+/// [`ball_of_capped`] writing into a caller-owned output vector (cleared
+/// on entry) — with the scratch's frontier reuse this makes repeated
+/// growths fully allocation-free, which is what keeps the per-epoch
+/// certificate sweep off the allocator.
+pub fn ball_of_capped_into(
+    dg: &DeltaGraph,
+    seeds: &[RightId],
+    radius: usize,
+    max_ball: usize,
+    scratch: &mut BallScratch,
+    out: &mut Vec<RightId>,
+) {
+    out.clear();
     scratch.rights.grow(dg.n_right());
     scratch.lefts.grow(dg.n_left());
     scratch.rights.clear();
     scratch.lefts.clear();
-    let in_ball = &mut scratch.rights;
-    let seen_left = &mut scratch.lefts;
-    let mut ball: Vec<RightId> = Vec::with_capacity(seeds.len());
+    let BallScratch {
+        rights: in_ball,
+        lefts: seen_left,
+        frontier,
+        next,
+    } = scratch;
+    frontier.clear();
     for &v in seeds {
         if (v as usize) < dg.n_right() && in_ball.insert(v as usize) {
-            ball.push(v);
+            out.push(v);
+            frontier.push(v);
         }
     }
-    let mut frontier = ball.clone();
     'grow: for _ in 0..radius {
-        if ball.len() >= max_ball {
+        if out.len() >= max_ball {
             break;
         }
-        let mut next = Vec::new();
-        for &v in &frontier {
+        next.clear();
+        for &v in frontier.iter() {
             for u in dg.right_neighbors_iter(v) {
                 if !seen_left.insert(u as usize) {
                     continue;
                 }
                 for w in dg.left_neighbors_iter(u) {
                     if in_ball.insert(w as usize) {
-                        ball.push(w);
+                        out.push(w);
                         next.push(w);
-                        if ball.len() >= max_ball {
+                        if out.len() >= max_ball {
                             break 'grow;
                         }
                     }
@@ -148,10 +175,9 @@ pub fn ball_of_capped_with(
         if next.is_empty() {
             break;
         }
-        frontier = next;
+        std::mem::swap(frontier, next);
     }
-    ball.sort_unstable();
-    ball
+    out.sort_unstable();
 }
 
 /// Re-run the proportional level dynamics on the ball around `seeds`,

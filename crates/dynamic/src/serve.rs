@@ -24,8 +24,9 @@ use sparse_alloc_core::rounding;
 use sparse_alloc_graph::{Assignment, Bipartite, DeltaGraph, LeftId, RightId};
 use sparse_alloc_obs::{Counter, Dist, Phase, Registry, Tracer};
 
-use crate::repair::{ball_of_capped_with, repair_levels, BallScratch, LevelRepairConfig};
+use crate::repair::{ball_of_capped_into, repair_levels, BallScratch, LevelRepairConfig};
 use crate::scheduler::{CompactionPolicy, DriftTracker};
+use crate::stamp::StampSet;
 use crate::update::Update;
 use crate::walks::{
     augment_from_left, reclaim_into, MatchSlots, Matching, MatchingState, SearchScratch,
@@ -284,6 +285,10 @@ pub struct ServeLoop {
     /// sized; workers reuse these across waves so repairs allocate
     /// nothing per update).
     wave_scratch: Vec<SearchScratch>,
+    /// Persistent scratch for the per-epoch certificate sweep (stamped
+    /// membership + reusable vectors), so an epoch close performs no
+    /// `O(n)` dense allocations.
+    sweep_scratch: SweepScratch,
     /// Hot-path metrics (counters, distributions, per-phase latency).
     /// Always carried; a disabled registry turns every record call into
     /// one predictable branch (the e19 overhead A/B).
@@ -292,6 +297,20 @@ pub struct ServeLoop {
     /// attaches a sink via [`ServeLoop::set_tracer`]; spans still measure
     /// so the registry's latency histograms fill either way.
     tracer: Tracer,
+}
+
+/// Persistent scratch of [`ServeLoop::certificate_sweep`]: the dirty
+/// region and candidate membership (stamped, `O(1)` clear), the candidate
+/// worklist, and the ball-growth scratch + output. Rebuilt empty on
+/// restore — like `wave_scratch`, it is ephemeral state no snapshot
+/// carries.
+#[derive(Debug, Default)]
+struct SweepScratch {
+    region: StampSet,
+    is_candidate: StampSet,
+    candidates: Vec<u32>,
+    ball: BallScratch,
+    ball_out: Vec<RightId>,
 }
 
 /// The deferred (repair) half of one update: everything
@@ -455,6 +474,7 @@ impl ServeLoop {
             stats: ServeStats::default(),
             frac: RefCell::new(FracState::default()),
             wave_scratch: Vec::new(),
+            sweep_scratch: SweepScratch::default(),
             obs: Registry::new(),
             tracer: Tracer::default(),
         }
@@ -474,7 +494,7 @@ impl ServeLoop {
     /// to an [`Update::Arrive`], `None` otherwise.
     pub fn apply(&mut self, update: &Update) -> Option<LeftId> {
         let (exp0, cap0) = (self.matching.expansions(), self.matching.cap_hits());
-        let (plan, arrived) = self.apply_structural(update);
+        let (plan, arrived) = self.apply_structural(update, None);
         let out = {
             let ServeLoop {
                 dg, matching, cfg, ..
@@ -501,11 +521,26 @@ impl ServeLoop {
     /// the drift budget, mark dirty rights — everything that must happen
     /// serially in arrival order. Returns the deferred repair plan and
     /// the id an arrival was assigned.
-    fn apply_structural(&mut self, update: &Update) -> (RepairPlan, Option<LeftId>) {
+    ///
+    /// `forced_arrive` is the left id a batch scheduler staged for an
+    /// `Arrive` (waves may run arrivals out of batch order — the staged
+    /// id pins each to its serial slot via [`DeltaGraph::arrive_at`]);
+    /// `None` allocates the next id, as the serial path always does.
+    fn apply_structural(
+        &mut self,
+        update: &Update,
+        forced_arrive: Option<LeftId>,
+    ) -> (RepairPlan, Option<LeftId>) {
         self.stats.updates += 1;
         match update {
             Update::Arrive { neighbors } => {
-                let u = self.dg.arrive(neighbors);
+                let u = match forced_arrive {
+                    Some(id) => {
+                        self.dg.arrive_at(id, neighbors);
+                        id
+                    }
+                    None => self.dg.arrive(neighbors),
+                };
                 self.matching.ensure_left(self.dg.n_left());
                 self.drift.charge(neighbors.len().max(1) as f64);
                 self.frac.get_mut().structural = true;
@@ -599,20 +634,24 @@ impl ServeLoop {
         &mut self,
         updates: &[&Update],
         parallel_ok: &[bool],
+        arrive_ids: &[Option<u32>],
         threads: usize,
     ) -> Vec<WaveUpdateResult> {
         debug_assert_eq!(updates.len(), parallel_ok.len());
+        debug_assert_eq!(updates.len(), arrive_ids.len());
         let (exp0, cap0) = (self.matching.expansions(), self.matching.cap_hits());
         let eager_k = self.cfg.eager_budget();
         let ecap = self.cfg.eager_search_cap;
 
-        // Phase A — structural, serial, arrival order.
+        // Phase A — structural, serial, wave order. Arrivals land in
+        // their scheduler-staged id slots, so running a wave's arrivals
+        // out of batch order cannot scramble the id space.
         let mut plans: Vec<RepairPlan> = Vec::with_capacity(updates.len());
         let mut results: Vec<WaveUpdateResult> = Vec::with_capacity(updates.len());
         let mut mark_from: Vec<usize> = Vec::with_capacity(updates.len());
-        for up in updates {
+        for (i, up) in updates.iter().enumerate() {
             mark_from.push(self.sweep_dirty.len());
-            let (plan, arrived) = self.apply_structural(up);
+            let (plan, arrived) = self.apply_structural(up, arrive_ids[i]);
             plans.push(plan);
             results.push(WaveUpdateResult {
                 arrived,
@@ -821,74 +860,87 @@ impl ServeLoop {
         }
         let k = self.cfg.walk_budget;
         self.matching.ensure_left(self.dg.n_left());
-        let mut region = vec![false; self.dg.n_right()];
-        let mut is_candidate = vec![false; self.dg.n_left()];
-        let mut candidates: Vec<u32> = Vec::new();
-        let mut ball_scratch = BallScratch::for_graph(&self.dg);
-        let absorb = |ball: Vec<RightId>,
+        // The scratch persists across epochs (stamped membership clears
+        // in `O(1)`, the vectors keep their capacity): the sweep performs
+        // no dense `O(n)` allocation per epoch close. Moved out of `self`
+        // for the duration so the absorb closure can borrow the graph.
+        let mut scr = std::mem::take(&mut self.sweep_scratch);
+        scr.region.grow(self.dg.n_right());
+        scr.region.clear();
+        scr.is_candidate.grow(self.dg.n_left());
+        scr.is_candidate.clear();
+        scr.candidates.clear();
+        let dg = &self.dg;
+        let absorb = |ball: &[RightId],
                       matching: &Matching,
-                      region: &mut [bool],
-                      is_candidate: &mut [bool],
+                      region: &mut StampSet,
+                      is_candidate: &mut StampSet,
                       candidates: &mut Vec<u32>| {
-            for v in ball {
-                if !std::mem::replace(&mut region[v as usize], true) {
-                    for u in self.dg.right_neighbors_iter(v) {
-                        if matching.mate(u).is_none()
-                            && !std::mem::replace(&mut is_candidate[u as usize], true)
-                        {
+            for &v in ball {
+                if region.insert(v as usize) {
+                    for u in dg.right_neighbors_iter(v) {
+                        if matching.mate(u).is_none() && is_candidate.insert(u as usize) {
                             candidates.push(u);
                         }
                     }
                 }
             }
         };
+        ball_of_capped_into(
+            dg,
+            &self.sweep_dirty,
+            k,
+            usize::MAX,
+            &mut scr.ball,
+            &mut scr.ball_out,
+        );
         absorb(
-            ball_of_capped_with(
-                &self.dg,
-                &self.sweep_dirty,
-                k,
-                usize::MAX,
-                &mut ball_scratch,
-            ),
+            &scr.ball_out,
             &self.matching,
-            &mut region,
-            &mut is_candidate,
-            &mut candidates,
+            &mut scr.region,
+            &mut scr.is_candidate,
+            &mut scr.candidates,
         );
         let mut total = 0usize;
         let mut starts = 0usize;
-        loop {
-            candidates.sort_unstable();
+        'sweep: loop {
+            scr.candidates.sort_unstable();
             let mut progressed = 0usize;
             let mut at = 0usize;
-            while at < candidates.len() {
-                let u = candidates[at];
+            while at < scr.candidates.len() {
+                let u = scr.candidates[at];
                 at += 1;
                 if self.matching.mate(u).is_some() {
                     continue;
                 }
                 starts += 1;
                 // Searches are uncapped: the certificate must be exact.
-                if self
-                    .matching
-                    .try_augment_from_left(&self.dg, u, k, usize::MAX)
-                {
+                if self.matching.try_augment_from_left(dg, u, k, usize::MAX) {
                     progressed += 1;
-                    let walk = self.matching.last_walk().to_vec();
+                    ball_of_capped_into(
+                        dg,
+                        self.matching.last_walk(),
+                        k,
+                        usize::MAX,
+                        &mut scr.ball,
+                        &mut scr.ball_out,
+                    );
                     absorb(
-                        ball_of_capped_with(&self.dg, &walk, k, usize::MAX, &mut ball_scratch),
+                        &scr.ball_out,
                         &self.matching,
-                        &mut region,
-                        &mut is_candidate,
-                        &mut candidates,
+                        &mut scr.region,
+                        &mut scr.is_candidate,
+                        &mut scr.candidates,
                     );
                 }
             }
             total += progressed;
             if progressed == 0 {
-                return (total, starts);
+                break 'sweep;
             }
         }
+        self.sweep_scratch = scr;
+        (total, starts)
     }
 
     /// Force a full static rebuild from the compacted live graph.
@@ -1183,6 +1235,7 @@ impl ServeLoop {
             stats: p.stats,
             frac: RefCell::new(FracState::default()),
             wave_scratch: Vec::new(),
+            sweep_scratch: SweepScratch::default(),
             obs: Registry::new(),
             tracer: Tracer::default(),
         })

@@ -424,6 +424,7 @@ fn encode_sharded_payload(p: &ShardedPartsRef<'_>, manifests: &[ShardManifest]) 
         p.stats.migrations,
         p.stats.escalations,
         p.stats.widest_wave,
+        p.stats.delayed,
     ] {
         w.put_u64(c as u64);
     }
@@ -447,7 +448,7 @@ fn decode_sharded_payload(
     let slack = r.take_u64()? as usize;
     let footprint_cap = r.take_u64()? as usize;
     let wave_threads = r.take_u64()? as usize;
-    let mut counters = [0usize; 6];
+    let mut counters = [0usize; 7];
     for c in &mut counters {
         *c = r.take_u64()? as usize;
     }
@@ -491,6 +492,7 @@ fn decode_sharded_payload(
             migrations: counters[3],
             escalations: counters[4],
             widest_wave: counters[5],
+            delayed: counters[6],
         },
     };
     Ok((parts, manifests))

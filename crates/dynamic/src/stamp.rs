@@ -112,11 +112,15 @@ impl StampSet {
 
 /// A map from `0..n` to `T` with `O(1)` insert/get/clear — the stamped
 /// analogue of `HashMap<u32, T>` for dense key spaces.
+///
+/// Mark and value live in one slot, not two parallel arrays: a probe on
+/// the scheduler's conflict indexes is a random access into a few hundred
+/// kilobytes, and the interleaved layout pays one cache line for the
+/// mark-check-then-read instead of two.
 #[derive(Debug, Clone)]
 pub struct StampMap<T> {
     stamp: u32,
-    marks: Vec<u32>,
-    vals: Vec<T>,
+    slots: Vec<(u32, T)>,
 }
 
 impl<T: Copy + Default> StampMap<T> {
@@ -124,16 +128,14 @@ impl<T: Copy + Default> StampMap<T> {
     pub fn new(n: usize) -> Self {
         StampMap {
             stamp: 1,
-            marks: vec![0; n],
-            vals: vec![T::default(); n],
+            slots: vec![(0, T::default()); n],
         }
     }
 
     /// Grow the key space to at least `n`.
     pub fn grow(&mut self, n: usize) {
-        if self.marks.len() < n {
-            self.marks.resize(n, 0);
-            self.vals.resize(n, T::default());
+        if self.slots.len() < n {
+            self.slots.resize(n, (0, T::default()));
         }
     }
 
@@ -141,7 +143,7 @@ impl<T: Copy + Default> StampMap<T> {
     pub fn clear(&mut self) {
         self.stamp = self.stamp.wrapping_add(1);
         if self.stamp == 0 {
-            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.slots.iter_mut().for_each(|s| s.0 = 0);
             self.stamp = 1;
         }
     }
@@ -149,14 +151,36 @@ impl<T: Copy + Default> StampMap<T> {
     /// The value at `i`, if this generation wrote one.
     #[inline]
     pub fn get(&self, i: usize) -> Option<T> {
-        (self.marks[i] == self.stamp).then_some(self.vals[i])
+        let (mark, v) = self.slots[i];
+        (mark == self.stamp).then_some(v)
     }
 
     /// Set the value at `i`.
     #[inline]
     pub fn set(&mut self, i: usize, v: T) {
-        self.marks[i] = self.stamp;
-        self.vals[i] = v;
+        self.slots[i] = (self.stamp, v);
+    }
+}
+
+impl<T: Copy + Default + Ord> StampMap<T> {
+    /// Raise the value at `i` to at least `v` (sets it if absent) — the
+    /// last-writer-wins pattern of the scheduler's conflict indexes.
+    #[inline]
+    pub fn fetch_max(&mut self, i: usize, v: T) {
+        match self.get(i) {
+            Some(old) if old >= v => {}
+            _ => self.set(i, v),
+        }
+    }
+
+    /// Lower the value at `i` to at most `v` (sets it if absent) — the
+    /// mirror of [`StampMap::fetch_max`], for backward scans.
+    #[inline]
+    pub fn fetch_min(&mut self, i: usize, v: T) {
+        match self.get(i) {
+            Some(old) if old <= v => {}
+            _ => self.set(i, v),
+        }
     }
 }
 
@@ -239,6 +263,27 @@ mod tests {
         for i in 0..n {
             assert_eq!(s.contains(i), reference.contains(&i), "final state {i}");
         }
+    }
+
+    #[test]
+    fn fetch_max_raises_and_never_lowers() {
+        let mut m: StampMap<usize> = StampMap::new(4);
+        m.fetch_max(1, 5);
+        assert_eq!(m.get(1), Some(5), "absent slot takes the value");
+        m.fetch_max(1, 3);
+        assert_eq!(m.get(1), Some(5), "smaller value never lowers");
+        m.fetch_max(1, 9);
+        assert_eq!(m.get(1), Some(9), "larger value raises");
+        m.clear();
+        assert_eq!(m.get(1), None);
+        m.fetch_max(1, 2);
+        assert_eq!(m.get(1), Some(2), "cleared slot takes the value again");
+        m.fetch_min(2, 8);
+        assert_eq!(m.get(2), Some(8), "absent slot takes the value");
+        m.fetch_min(2, 11);
+        assert_eq!(m.get(2), Some(8), "larger value never raises");
+        m.fetch_min(2, 3);
+        assert_eq!(m.get(2), Some(3), "smaller value lowers");
     }
 
     #[test]

@@ -244,8 +244,11 @@ pub(crate) fn augment_from_left(
 
     while let Some(x) = scratch.queue_left.pop_front() {
         let d = scratch.depth_left[x as usize];
+        // x's mate is loop-invariant: the scan flips nothing until it
+        // finds residual capacity, and then it returns.
+        let mx = slots.mate(x);
         for w in dg.left_neighbors_iter(x) {
-            if slots.mate(x) == Some(w) {
+            if mx == Some(w) {
                 continue; // the matched edge of x is not traversable here
             }
             if slots.residual(dg, w) > 0 {

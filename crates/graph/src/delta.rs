@@ -50,6 +50,13 @@ pub struct DeltaGraph {
     removed_right: Vec<u32>,
     /// Reverse index of all overlay edges, per right vertex.
     added_right: HashMap<RightId, Vec<LeftId>>,
+    /// Per-vertex counts of overlay edges, the additive mirror of
+    /// `removed_left`/`removed_right`: adjacency scans hash into
+    /// `added`/`added_right` only for vertices that actually carry staged
+    /// edges. (`added_left_n` covers base lefts; arrivals live in
+    /// `extra_adj` and never hash.)
+    added_left_n: Vec<u32>,
+    added_right_n: Vec<u32>,
     /// Live capacities (base capacities with in-place overrides).
     caps: Vec<u64>,
     /// Live edge count.
@@ -63,6 +70,8 @@ impl DeltaGraph {
         let m_live = base.m();
         let removed_left = vec![0; base.n_left()];
         let removed_right = vec![0; base.n_right()];
+        let added_left_n = vec![0; base.n_left()];
+        let added_right_n = vec![0; base.n_right()];
         DeltaGraph {
             base,
             extra_adj: Vec::new(),
@@ -71,6 +80,8 @@ impl DeltaGraph {
             removed_left,
             removed_right,
             added_right: HashMap::new(),
+            added_left_n,
+            added_right_n,
             caps,
             m_live,
         }
@@ -124,7 +135,9 @@ impl DeltaGraph {
         if (u as usize) < self.base.n_left() {
             let in_base = self.base.left_neighbors(u).binary_search(&v).is_ok()
                 && (self.removed_left[u as usize] == 0 || !self.removed.contains(&(u, v)));
-            in_base || self.added.get(&u).is_some_and(|a| a.contains(&v))
+            in_base
+                || (self.added_left_n[u as usize] != 0
+                    && self.added.get(&u).is_some_and(|a| a.contains(&v)))
         } else {
             self.extra_adj
                 .get(u as usize - self.base.n_left())
@@ -138,7 +151,11 @@ impl DeltaGraph {
         let (base_slice, overlay): (&[RightId], &[RightId]) = if (u as usize) < self.base.n_left() {
             (
                 self.base.left_neighbors(u),
-                self.added.get(&u).map_or(&EMPTY[..], Vec::as_slice),
+                if self.added_left_n[u as usize] == 0 {
+                    &EMPTY[..]
+                } else {
+                    self.added.get(&u).map_or(&EMPTY[..], Vec::as_slice)
+                },
             )
         } else {
             (
@@ -164,12 +181,76 @@ impl DeltaGraph {
             .copied()
             .filter(move |&u| untouched || !self.removed.contains(&(u, v)))
             .chain(
-                self.added_right
-                    .get(&v)
-                    .map_or(&EMPTY[..], Vec::as_slice)
-                    .iter()
-                    .copied(),
+                if self.added_right_n[v as usize] == 0 {
+                    &EMPTY[..]
+                } else {
+                    self.added_right.get(&v).map_or(&EMPTY[..], Vec::as_slice)
+                }
+                .iter()
+                .copied(),
             )
+    }
+
+    /// Visit every live neighbor of left vertex `u` — the closure-based
+    /// mirror of [`DeltaGraph::left_neighbors_iter`], same edges in the
+    /// same order. On hot paths (the conflict scheduler's ball growth
+    /// calls this once per scanned vertex) the visitor form beats the
+    /// chained iterator: the deleted-edge branch and the overlay hash
+    /// probe are hoisted out of the per-edge loop, which runs over plain
+    /// slices.
+    #[inline]
+    pub fn for_each_left_neighbor(&self, u: LeftId, mut f: impl FnMut(RightId)) {
+        if (u as usize) < self.base.n_left() {
+            let base = self.base.left_neighbors(u);
+            if self.removed_left[u as usize] == 0 {
+                for &v in base {
+                    f(v);
+                }
+            } else {
+                for &v in base {
+                    if !self.removed.contains(&(u, v)) {
+                        f(v);
+                    }
+                }
+            }
+            if self.added_left_n[u as usize] != 0 {
+                if let Some(extra) = self.added.get(&u) {
+                    for &v in extra {
+                        f(v);
+                    }
+                }
+            }
+        } else if let Some(extra) = self.extra_adj.get(u as usize - self.base.n_left()) {
+            for &v in extra {
+                f(v);
+            }
+        }
+    }
+
+    /// Visit every live neighbor of right vertex `v` — the closure-based
+    /// mirror of [`DeltaGraph::right_neighbors_iter`] (see
+    /// [`DeltaGraph::for_each_left_neighbor`] for why it exists).
+    #[inline]
+    pub fn for_each_right_neighbor(&self, v: RightId, mut f: impl FnMut(LeftId)) {
+        let base = self.base.right_neighbors(v);
+        if self.removed_right[v as usize] == 0 {
+            for &u in base {
+                f(u);
+            }
+        } else {
+            for &u in base {
+                if !self.removed.contains(&(u, v)) {
+                    f(u);
+                }
+            }
+        }
+        if self.added_right_n[v as usize] != 0 {
+            if let Some(extra) = self.added_right.get(&v) {
+                for &u in extra {
+                    f(u);
+                }
+            }
+        }
     }
 
     /// Live degree of left vertex `u` (0 after departure).
@@ -207,10 +288,12 @@ impl DeltaGraph {
         }
         if (u as usize) < self.base.n_left() {
             self.added.entry(u).or_default().push(v);
+            self.added_left_n[u as usize] += 1;
         } else {
             self.extra_adj[u as usize - self.base.n_left()].push(v);
         }
         self.added_right.entry(v).or_default().push(u);
+        self.added_right_n[v as usize] += 1;
         self.m_live += 1;
         true
     }
@@ -233,6 +316,7 @@ impl DeltaGraph {
                     .get_mut(&u)
                     .expect("overlay edge")
                     .retain(|&w| w != v);
+                self.added_left_n[u as usize] -= 1;
             } else {
                 self.extra_adj[u as usize - self.base.n_left()].retain(|&w| w != v);
             }
@@ -240,6 +324,7 @@ impl DeltaGraph {
                 .get_mut(&v)
                 .expect("reverse overlay edge")
                 .retain(|&w| w != u);
+            self.added_right_n[v as usize] -= 1;
         }
         self.m_live -= 1;
         true
@@ -252,6 +337,37 @@ impl DeltaGraph {
     /// Panics if any neighbor is out of range.
     pub fn arrive(&mut self, neighbors: &[RightId]) -> LeftId {
         let u = self.n_left() as LeftId;
+        self.arrive_at(u, neighbors);
+        u
+    }
+
+    /// A new left vertex arrives under a *caller-assigned* id `u` — the id
+    /// the serial engine would have handed out in batch order. The wave
+    /// scheduler precomputes those ids, which lets commuting (footprint-
+    /// disjoint) arrivals execute out of batch order: if a later-id arrival
+    /// runs first, the id space grows with edge-free placeholder slots that
+    /// stay invisible to every traversal (degree 0, unmatched) until their
+    /// own arrival fills them. Within one batch every scheduled arrival
+    /// executes, so no placeholder outlives the batch.
+    ///
+    /// # Panics
+    /// Panics if `u` addresses a base (pre-overlay) vertex, if the slot is
+    /// already occupied by an arrival with edges, or if any neighbor is out
+    /// of range.
+    pub fn arrive_at(&mut self, u: LeftId, neighbors: &[RightId]) {
+        let base = self.base.n_left();
+        assert!(
+            (u as usize) >= base,
+            "arrive_at({u}) addresses a base vertex"
+        );
+        let slot = u as usize - base;
+        if slot >= self.extra_adj.len() {
+            self.extra_adj.resize_with(slot + 1, Vec::new);
+        }
+        assert!(
+            self.extra_adj[slot].is_empty(),
+            "arrive_at({u}) would overwrite an occupied slot"
+        );
         let mut adj: Vec<RightId> = neighbors.to_vec();
         adj.sort_unstable();
         adj.dedup();
@@ -261,10 +377,10 @@ impl DeltaGraph {
                 "right vertex {v} out of range"
             );
             self.added_right.entry(v).or_default().push(u);
+            self.added_right_n[v as usize] += 1;
         }
         self.m_live += adj.len();
-        self.extra_adj.push(adj);
-        u
+        self.extra_adj[slot] = adj;
     }
 
     /// Left vertex `u` departs: all its incident edges are removed. Its id
@@ -504,6 +620,14 @@ impl DeltaGraph {
         let staged: usize = added.values().map(Vec::len).sum::<usize>()
             + extra_adj.iter().map(Vec::len).sum::<usize>();
         let m_live = base.m() - removed.len() + staged;
+        let mut added_left_n = vec![0u32; base.n_left()];
+        for (&u, vs) in &added {
+            added_left_n[u as usize] = vs.len() as u32;
+        }
+        let mut added_right_n = vec![0u32; base.n_right()];
+        for (&v, us) in &added_right {
+            added_right_n[v as usize] = us.len() as u32;
+        }
         Ok(DeltaGraph {
             base,
             extra_adj,
@@ -512,6 +636,8 @@ impl DeltaGraph {
             removed_left,
             removed_right,
             added_right,
+            added_left_n,
+            added_right_n,
             caps,
             m_live,
         })
@@ -713,6 +839,42 @@ impl<'a> InsertOverlay<'a> {
             at: self.right_head[v as usize],
         })
     }
+
+    /// Visit every union-graph neighbor of left vertex `u` — the
+    /// closure-based mirror of [`InsertOverlay::left_neighbors_iter`],
+    /// same edges in the same order. The scheduler's ball growth calls
+    /// this once per scanned vertex; the visitor form skips the chained
+    /// iterator state machine and runs the base slice, the link chain,
+    /// and the arrival slice as three plain loops.
+    #[inline]
+    pub fn for_each_left_neighbor(&self, u: LeftId, mut f: impl FnMut(RightId)) {
+        if (u as usize) < self.base_n_left {
+            self.dg.for_each_left_neighbor(u, &mut f);
+            let mut at = self.left_head[u as usize];
+            while at != NO_LINK {
+                let (v, next) = self.left_links[at as usize];
+                f(v);
+                at = next;
+            }
+        } else {
+            for &v in &self.extra[u as usize - self.base_n_left] {
+                f(v);
+            }
+        }
+    }
+
+    /// Visit every union-graph neighbor of right vertex `v` — the
+    /// closure-based mirror of [`InsertOverlay::right_neighbors_iter`].
+    #[inline]
+    pub fn for_each_right_neighbor(&self, v: RightId, mut f: impl FnMut(LeftId)) {
+        self.dg.for_each_right_neighbor(v, &mut f);
+        let mut at = self.right_head[v as usize];
+        while at != NO_LINK {
+            let (u, next) = self.right_links[at as usize];
+            f(u);
+            at = next;
+        }
+    }
 }
 
 /// Iterator over one vertex's staged-edge chain.
@@ -811,6 +973,45 @@ mod tests {
         d.depart(u);
         assert_eq!(d.right_neighbors_iter(0).collect::<Vec<_>>(), [1]);
         assert_eq!(d.right_neighbors_iter(1).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_converge_to_batch_order() {
+        // Serial: arrive([0]) = id 3, arrive([1]) = id 4. Out-of-order
+        // execution of the commuting pair must land on the same state.
+        let mut serial = DeltaGraph::new(base());
+        serial.arrive(&[0]);
+        serial.arrive(&[1]);
+
+        let mut d = DeltaGraph::new(base());
+        d.arrive_at(4, &[1]); // later id first: slot 3 becomes a placeholder
+        assert_eq!(d.n_left(), 5);
+        assert_eq!(d.left_degree(3), 0, "placeholder is edge-free");
+        assert_eq!(d.right_neighbors_iter(1).collect::<Vec<_>>(), [0, 2, 4]);
+        d.arrive_at(3, &[0]); // its own arrival fills the placeholder
+        assert_eq!(d.n_left(), serial.n_left());
+        assert_eq!(d.m(), serial.m());
+        for u in 0..d.n_left() as u32 {
+            assert_eq!(
+                d.left_neighbors_iter(u).collect::<Vec<_>>(),
+                serial.left_neighbors_iter(u).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "would overwrite an occupied slot")]
+    fn arrive_at_rejects_double_fill() {
+        let mut d = DeltaGraph::new(base());
+        d.arrive_at(3, &[0]);
+        d.arrive_at(3, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "addresses a base vertex")]
+    fn arrive_at_rejects_base_ids() {
+        let mut d = DeltaGraph::new(base());
+        d.arrive_at(1, &[0]);
     }
 
     #[test]
@@ -1106,5 +1307,61 @@ mod tests {
         d.insert_edge(2, 0);
         d.arrive(&[1]);
         assert_eq!(d.overlay_edges(), 3);
+    }
+
+    #[test]
+    fn visitors_agree_with_iterators_across_every_overlay_shape() {
+        // A graph exercising all adjacency sources at once: removed base
+        // edges, added edges on both sides, a departed vertex, a live
+        // arrival, and on top of it an overlay with staged inserts plus
+        // a staged arrival.
+        let mut d = DeltaGraph::new(base());
+        d.delete_edge(0, 0); // removed base edge
+        d.insert_edge(2, 0); // delta-added edge
+        d.depart(1); // all of 1's edges removed
+        let a = d.arrive(&[0, 1]); // live arrival (id 3, extra_adj)
+        let mut ov = d.insert_overlay();
+        ov.insert(0, 0); // staged re-insert of a deleted base edge
+        ov.insert(2, 0); // no-op: already live, must stage nothing
+        ov.insert(a, 1); // no-op: arrival already has it
+        let s = ov.arrive(&[0, 1]); // staged arrival (id 4)
+        ov.insert(s, 1); // no-op: staged arrival already has it
+
+        for u in 0..d.n_left() as LeftId {
+            let mut seen = Vec::new();
+            d.for_each_left_neighbor(u, |v| seen.push(v));
+            assert_eq!(
+                seen,
+                d.left_neighbors_iter(u).collect::<Vec<_>>(),
+                "DeltaGraph left {u}"
+            );
+        }
+        for v in 0..d.n_right() as RightId {
+            let mut seen = Vec::new();
+            d.for_each_right_neighbor(v, |u| seen.push(u));
+            assert_eq!(
+                seen,
+                d.right_neighbors_iter(v).collect::<Vec<_>>(),
+                "DeltaGraph right {v}"
+            );
+        }
+        for u in 0..ov.n_left() as LeftId {
+            let mut seen = Vec::new();
+            ov.for_each_left_neighbor(u, |v| seen.push(v));
+            assert_eq!(
+                seen,
+                ov.left_neighbors_iter(u).collect::<Vec<_>>(),
+                "overlay left {u}"
+            );
+        }
+        for v in 0..ov.n_right() as RightId {
+            let mut seen = Vec::new();
+            ov.for_each_right_neighbor(v, |u| seen.push(u));
+            assert_eq!(
+                seen,
+                ov.right_neighbors_iter(v).collect::<Vec<_>>(),
+                "overlay right {v}"
+            );
+        }
     }
 }

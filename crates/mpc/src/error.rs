@@ -35,6 +35,12 @@ pub enum MpcError {
         /// Number of machines in the cluster.
         machines: usize,
     },
+    /// An arrival update reached routing without the left id its batch
+    /// staging should have assigned — the plan is malformed.
+    MissingArriveId {
+        /// Batch position of the malformed update.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for MpcError {
@@ -68,6 +74,9 @@ impl std::fmt::Display for MpcError {
             }
             MpcError::BadRoute { dest, machines } => {
                 write!(f, "route to machine {dest} but cluster has {machines}")
+            }
+            MpcError::MissingArriveId { index } => {
+                write!(f, "arrival at update {index} has no staged left id")
             }
         }
     }

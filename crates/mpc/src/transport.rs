@@ -463,11 +463,24 @@ impl Peer {
 
     /// Cap how long [`Peer::recv`] waits before reporting a typed
     /// timeout ([`TransportError::Io`]).
-    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if the socket rejects the new read timeout.
+    /// The error must surface: swallowing it would leave a TCP peer
+    /// armed with an unbounded (or stale) read, and a dropped frame
+    /// would then hang the lockstep star protocol forever instead of
+    /// tripping the timeout.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) -> Result<(), TransportError> {
         self.recv_timeout = timeout.max(Duration::from_millis(1));
         if let Link::Tcp(s) = &self.link {
-            let _ = s.set_read_timeout(Some(self.recv_timeout));
+            s.set_read_timeout(Some(self.recv_timeout))
+                .map_err(|e| TransportError::Io {
+                    peer: self.remote,
+                    detail: e.to_string(),
+                })?;
         }
+        Ok(())
     }
 
     /// Bytes this endpoint put on the wire.
@@ -799,10 +812,17 @@ impl Mesh {
     }
 
     /// Cap every channel's receive wait.
-    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] from the first channel whose socket rejects
+    /// the new timeout (see [`Peer::set_recv_timeout`]); earlier channels
+    /// keep the successfully-armed value.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) -> Result<(), TransportError> {
         for p in &mut self.peers {
-            p.set_recv_timeout(timeout);
+            p.set_recv_timeout(timeout)?;
         }
+        Ok(())
     }
 
     /// Total `(sent, received)` bytes the coordinator moved across all
@@ -900,6 +920,38 @@ mod tests {
     }
 
     #[test]
+    fn failed_timeout_set_surfaces_as_a_typed_error() {
+        // A TCP peer whose socket rejects the new read timeout must say
+        // so: silently keeping the old (or no) timeout would let a
+        // dropped frame hang the lockstep protocol forever. Forcing the
+        // rejection needs a dead descriptor, so close the socket out
+        // from under the peer.
+        let (mut a, b) = Peer::tcp_pair(COORDINATOR, 0).unwrap();
+        if let Link::Tcp(s) = &a.link {
+            use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+            // SAFETY: `a` is forgotten below, so the descriptor is
+            // closed exactly once (here) and never reused by a double
+            // close in `a`'s drop.
+            drop(unsafe { OwnedFd::from_raw_fd(s.as_raw_fd()) });
+        }
+        let err = a
+            .set_recv_timeout(Duration::from_millis(50))
+            .expect_err("timeout set on a dead socket must fail");
+        match &err {
+            TransportError::Io { peer, detail } => {
+                assert_eq!(*peer, 0, "the error names the remote peer");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("timeout failure surfaced as {other:?}"),
+        }
+        std::mem::forget(a);
+        drop(b);
+        // Loopback channels have no socket: arming always succeeds.
+        let (mut la, _lb) = Peer::loopback_pair(COORDINATOR, 0);
+        la.set_recv_timeout(Duration::from_millis(50)).unwrap();
+    }
+
+    #[test]
     fn dropped_peer_is_closed() {
         for (name, mut a, mut b) in pairs() {
             a.inject(Fault::Drop);
@@ -947,7 +999,7 @@ mod tests {
         // which must become a typed timeout rather than a hang.
         for bit in [3usize, 90, 170, 290, 500] {
             let (mut a, mut b) = Peer::tcp_pair(COORDINATOR, 0).unwrap();
-            b.set_recv_timeout(Duration::from_millis(150));
+            b.set_recv_timeout(Duration::from_millis(150)).unwrap();
             a.inject(Fault::FlipBit { bit });
             a.send(1, 0, b"thirty-two bytes of payload data").unwrap();
             match b.recv() {
@@ -975,7 +1027,7 @@ mod tests {
     #[test]
     fn recv_timeout_is_typed() {
         for (name, mut a, mut b) in pairs() {
-            b.set_recv_timeout(Duration::from_millis(30));
+            b.set_recv_timeout(Duration::from_millis(30)).unwrap();
             match b.recv() {
                 Err(TransportError::Io { detail, .. }) => {
                     assert!(detail.contains("timed out"), "{name}: {detail}");

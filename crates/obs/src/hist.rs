@@ -118,9 +118,12 @@ impl Histogram {
         self.count == 0
     }
 
-    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`): the upper bound of the
-    /// bucket containing the `⌈q·count⌉`-th observation, clamped to the
-    /// exact recorded `[min, max]`. Within a factor of 2 by construction.
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`): linear interpolation at
+    /// the `⌈q·count⌉`-th observation's rank *within* its bucket
+    /// (uniform-in-bucket assumption), clamped to the exact recorded
+    /// `[min, max]`. The old bucket-upper-bound answer overstated
+    /// percentiles by up to ~2× for wide power-of-two buckets — e.g. p50
+    /// of `1..=100` reported 63; interpolation reports 51 (exact: 50).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -130,8 +133,12 @@ impl Histogram {
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let (_, hi) = bucket_bounds(b);
-                return hi.saturating_sub(1).clamp(self.min, self.max);
+                let (lo, hi) = bucket_bounds(b);
+                // 1-based rank within this bucket; pos == c lands on the
+                // bucket's upper edge (then the [min, max] clamp applies).
+                let pos = rank - (seen - c);
+                let est = lo + (((hi - lo) as u128 * pos as u128) / c as u128) as u64;
+                return est.clamp(self.min, self.max);
             }
         }
         self.max
@@ -237,17 +244,42 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_are_bucket_accurate_and_clamped() {
+    fn quantiles_interpolate_within_the_bucket_and_clamp() {
         let mut h = Histogram::new();
         for v in 1..=100u64 {
             h.record(v);
         }
-        // Exact p100 = 100; the bucketed answer may not exceed max.
+        // Exact p100 = 100; the interpolated answer may not exceed max.
         assert_eq!(h.quantile(1.0), 100);
-        // p50 of 1..=100 is 50: bucket [32,64) upper bound 63.
-        assert_eq!(h.quantile(0.5), 63);
+        // p50 of 1..=100 is 50: rank 50 is the 19th of 32 values in
+        // bucket [32,64), so 32 + 32·19/32 = 51 — not the bucket's upper
+        // bound 63 the pre-interpolation quantile reported.
+        assert_eq!(h.quantile(0.5), 51);
         assert!(h.quantile(0.99) >= 64);
         assert_eq!(Histogram::new().quantile(0.5), 0);
+        // Quantiles are monotone in q.
+        let mut prev = 0;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            assert!(v >= prev, "quantile must not decrease (q={})", i);
+            prev = v;
+        }
+        // A uniform stream inside one wide bucket interpolates through
+        // it instead of pinning every percentile to the upper bound.
+        let mut w = Histogram::new();
+        for v in 1024..1024 + 512u64 {
+            w.record(v);
+        }
+        // Exact p25 is 1151; interpolating across the full [1024, 2048)
+        // bucket estimates 1280 — versus 2047 from the old upper-bound
+        // rule, which overstated by nearly 2×.
+        let p25 = w.quantile(0.25);
+        assert_eq!(p25, 1280, "rank 128 of 512 across a width-1024 bucket");
+        // Single observation: every quantile is that observation.
+        let mut one = Histogram::new();
+        one.record(77);
+        assert_eq!(one.quantile(0.01), 77);
+        assert_eq!(one.quantile(0.99), 77);
     }
 
     #[test]

@@ -828,9 +828,10 @@ fn cmd_dynamic_sharded(
         let mean = s.routed_updates as f64 / s.waves.max(1) as f64;
         let _ = writeln!(
             out,
-            "waves              : {:.1} per epoch, width max {} mean {mean:.1}, {} global escalations",
+            "waves              : {:.1} per epoch, width max {} mean {mean:.1}, {} delayed, {} global escalations",
             s.waves as f64 / s.batches.max(1) as f64,
             s.widest_wave,
+            s.delayed,
             s.escalations
         );
     }

@@ -489,3 +489,110 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The schedule-invariant contract of the width-balancing wave
+    /// scheduler, checked on the public API (replacing the retired
+    /// plans-identical oracle): for arbitrary batches and shard counts —
+    ///
+    /// * no two same-wave non-global plans share a footprint right;
+    /// * every global plan's wave exceeds all prior plans' waves (and
+    ///   every later plan's wave exceeds the global's);
+    /// * `widths` sums to the plan count and `waves == widths.len()`;
+    /// * applying the schedule through the sharded engine yields the
+    ///   serial engine's mate vector.
+    #[test]
+    fn wave_schedules_are_conflict_free_and_serial_equivalent(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 0..26),
+        epoch_every in 2usize..8,
+    ) {
+        use sparse_alloc::dynamic::batch::{schedule, FOOTPRINT_CAP};
+        use sparse_alloc::mpc::ShardMap;
+
+        let eps = 0.25;
+        let mut nl = g.n_left() as u32;
+        let nr = g.n_right() as u32;
+        let mut updates: Vec<Update> = Vec::with_capacity(ops.len());
+        for &(kind, a, b, cap) in &ops {
+            updates.push(match kind {
+                0 => { nl += 1; Update::Arrive { neighbors: vec![a % nr, b % nr] } }
+                1 => Update::Depart { u: a % nl },
+                2 => Update::InsertEdge { u: a % nl, v: b % nr },
+                3 => Update::DeleteEdge { u: a % nl, v: b % nr },
+                _ => Update::SetCapacity { v: a % nr, cap },
+            });
+        }
+
+        // Serial reference under the sharded default config (the
+        // equivalence contract is per-config).
+        let mut serial = ServeLoop::new(g.clone(), ShardedConfig::for_eps(eps, 1).dynamic);
+        for chunk in updates.chunks(epoch_every) {
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+        }
+        let serial_mate = serial.assignment().mate;
+
+        for &shards in &[1usize, 2, 4, 7] {
+            // Structural invariants of the schedule itself, on the
+            // pre-batch graph (exactly what apply_batch schedules on).
+            let cfg = ShardedConfig::for_eps(eps, shards);
+            let dg = DeltaGraph::new(g.clone());
+            let map = ShardMap::new(shards);
+            let sched = schedule(&dg, &updates, &cfg.dynamic, &map, FOOTPRINT_CAP, shards).unwrap();
+            prop_assert_eq!(sched.plans.len(), updates.len());
+            prop_assert_eq!(sched.widths.iter().sum::<usize>(), sched.plans.len(),
+                "{} shards: widths must sum to the plan count", shards);
+            prop_assert_eq!(sched.waves, sched.widths.len());
+            for (j, p) in sched.plans.iter().enumerate() {
+                prop_assert!(p.wave < sched.waves);
+                if p.global {
+                    for (i, q) in sched.plans.iter().enumerate() {
+                        if i < j {
+                            prop_assert!(q.wave < p.wave,
+                                "{} shards: global plan {} (wave {}) does not exceed prior plan {} (wave {})",
+                                shards, j, p.wave, i, q.wave);
+                        } else if i > j {
+                            prop_assert!(q.wave > p.wave,
+                                "{} shards: plan {} (wave {}) does not follow global plan {} (wave {})",
+                                shards, i, q.wave, j, p.wave);
+                        }
+                    }
+                }
+            }
+            for j in 0..sched.plans.len() {
+                for i in 0..j {
+                    if sched.plans[i].wave != sched.plans[j].wave
+                        || sched.plans[i].global
+                        || sched.plans[j].global
+                    {
+                        continue;
+                    }
+                    let fj = sched.footprint(j);
+                    let shared = sched.footprint(i).iter().find(|r| fj.binary_search(r).is_ok());
+                    prop_assert!(shared.is_none(),
+                        "{} shards: same-wave plans {} and {} share right {:?}",
+                        shards, i, j, shared);
+                }
+            }
+
+            // Applying the schedule (through the sharded engine's wave
+            // executor, epoch-chunked like the serial reference so the
+            // staged footprints stay inside the space budget) reproduces
+            // the serial mate vector.
+            let mut cfg = ShardedConfig::for_eps(eps, shards);
+            cfg.wave_threads = 2 + shards % 2;
+            let mut sharded = ShardedServeLoop::new(g.clone(), cfg).unwrap();
+            for chunk in updates.chunks(epoch_every) {
+                prop_assert!(sharded.apply_batch(chunk).is_ok(), "{} shards: batch over budget", shards);
+                prop_assert!(sharded.end_epoch().is_ok(), "{} shards: epoch over budget", shards);
+            }
+            prop_assert_eq!(&sharded.assignment().mate, &serial_mate,
+                "{} shards: schedule application diverged from serial", shards);
+        }
+    }
+}

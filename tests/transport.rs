@@ -22,8 +22,10 @@ fn each_pair(test: impl Fn(&'static str, Peer, Peer)) {
     let (a, b) = Peer::loopback_pair(0, 1);
     test("loopback", a, b);
     let (mut a, mut b) = Peer::tcp_pair(0, 1).expect("tcp pair on 127.0.0.1");
-    a.set_recv_timeout(std::time::Duration::from_millis(500));
-    b.set_recv_timeout(std::time::Duration::from_millis(500));
+    a.set_recv_timeout(std::time::Duration::from_millis(500))
+        .unwrap();
+    b.set_recv_timeout(std::time::Duration::from_millis(500))
+        .unwrap();
     test("tcp", a, b);
 }
 
@@ -75,7 +77,8 @@ fn flipped_bit_is_a_typed_frame_error() {
     // mid-stream flip (framing desync), so further positions on the same
     // sockets would not test anything new.
     let (mut a, mut b) = Peer::tcp_pair(0, 1).unwrap();
-    b.set_recv_timeout(std::time::Duration::from_millis(300));
+    b.set_recv_timeout(std::time::Duration::from_millis(300))
+        .unwrap();
     let bit = 170usize;
     a.inject(Fault::FlipBit { bit });
     a.send(7, 0, b"abcd").unwrap();
@@ -109,7 +112,8 @@ fn small_engine(kind: TransportKind) -> (NetServeLoop, Vec<Update>) {
     );
     let mut net = NetServeLoop::new(g, ShardedConfig::for_eps(0.25, 3), kind)
         .expect("engine starts on a healthy mesh");
-    net.set_recv_timeout(std::time::Duration::from_millis(500));
+    net.set_recv_timeout(std::time::Duration::from_millis(500))
+        .unwrap();
     (net, updates)
 }
 
