@@ -105,6 +105,29 @@ if [ "${1:-}" != "fast" ]; then
         || { echo "re-sharded warm restart diverged from the uninterrupted run"; exit 1; }
     rm -rf "$tmp"
 
+    step "CLI chaos smoke (mid-stream fault recovered, WAL'd run ≡ serial)"
+    # A fault is injected into a live 2-shard mesh before epoch 2; the
+    # supervisor must respawn the worker and the run must finish with
+    # the exact serial assignment, while logging every batch to a WAL.
+    tmp="$(mktemp -d)"
+    cargo run --release -q --bin salloc -- \
+        gen forests --nl 300 --nr 240 --k 3 --cap 2 --seed 7 --out "$tmp/g.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 3 --events 150 --eps 0.25 --seed 1 --no-full \
+        --eager-budget 1 --assign "$tmp/serial.txt"
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 3 --events 150 --eps 0.25 --seed 1 --shards 2 --net \
+        --eager-budget 1 --wal "$tmp/wal.log" --max-respawns 3 --retry-budget 1 \
+        --chaos flip@2 --assign "$tmp/chaos.txt" > "$tmp/out.txt"
+    grep -q 'chaos' "$tmp/out.txt" \
+        || { echo "--chaos did not report an injected fault"; exit 1; }
+    grep -q 'respawns' "$tmp/out.txt" \
+        || { echo "the supervisor did not report its recovery"; exit 1; }
+    cmp "$tmp/serial.txt" "$tmp/chaos.txt" \
+        || { echo "faulted run diverged from the serial engine"; exit 1; }
+    [ -s "$tmp/wal.log" ] || { echo "--wal wrote no log"; exit 1; }
+    rm -rf "$tmp"
+
     step "e17 dynamic maintenance (incremental ≥ 4× full recompute, gated)"
     # The threshold is a same-box rebase of the original ≥ 5× record —
     # see the module docs of e17_dynamic.rs for the measured baseline.
@@ -208,6 +231,26 @@ if [ "${1:-}" != "fast" ]; then
     cargo run --release -q -p sparse-alloc-bench --bin experiments -- e21
     grep -q '"gathered_equal_serial": true' BENCH_network.json \
         || { echo "e21 FAILED: wire-gathered allocation diverged from serial"; exit 1; }
+
+    step "e22 self-healing (recovery ≡ serial, WAL + delta cost, gated)"
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e22
+    grep -q '"survived_equal_serial": true' BENCH_recovery.json \
+        || { echo "e22 FAILED: the supervised run diverged from serial"; exit 1; }
+    grep -q '"replay_equal_serial": true' BENCH_recovery.json \
+        || { echo "e22 FAILED: crash replay diverged from serial"; exit 1; }
+    wal_cost="$(grep -o '"wal_bytes_per_update": [0-9.]*' BENCH_recovery.json | awk '{print $2}')"
+    delta_ratio="$(grep -o '"delta_ratio": [0-9.]*' BENCH_recovery.json | awk '{print $2}')"
+    awk -v w="$wal_cost" -v d="$delta_ratio" 'BEGIN {
+        if (w > 16.0) {
+            printf "e22 FAILED: WAL amortized cost %.1f B/update > 16\n", w
+            exit 1
+        }
+        if (d > 0.3) {
+            printf "e22 FAILED: delta checkpoint %.3f of full size > 0.3\n", d
+            exit 1
+        }
+        printf "e22 durability gate: %.1f B/update (limit 16), delta %.3f of full (limit 0.3) — OK\n", w, d
+    }' || exit 1
 
     step "sharded ≡ serial proptest under --release (threaded wave execution)"
     cargo test --release -q --test properties \

@@ -21,6 +21,7 @@
 //! | sharded serving across the MPC simulator | [`distributed`] |
 //! | shard workers on a real transport (loopback / TCP) | [`net`] |
 //! | checkpoint/restore snapshots for warm restarts | [`snapshot`] |
+//! | write-ahead delta log + crash recovery by replay | [`wal`] |
 //! | adapters from `sparse-alloc-online` streams, churn generator | [`adapter`] |
 //!
 //! The graph side lives in `sparse_alloc_graph::delta`: the frozen
@@ -72,6 +73,11 @@
 //! (`tests/persistence.rs` proves both). The CLI exposes the path as
 //! `salloc dynamic --checkpoint/--restore`.
 //!
+//! Between snapshots, a write-ahead log ([`wal`]) records every update
+//! batch and epoch boundary in checksummed frames; crash recovery is
+//! `last base snapshot + log tail replay`, with torn tails repaired and
+//! every corruption mode surfacing as a typed [`wal::WalError`].
+//!
 //! # Example
 //!
 //! ```
@@ -103,11 +109,13 @@ pub mod serve;
 pub mod snapshot;
 pub mod stamp;
 pub mod update;
+pub mod wal;
 pub mod walks;
 
 pub use distributed::{ShardedConfig, ShardedServeLoop};
-pub use net::{NetEpochReport, NetError, NetServeLoop, NetStats, TransportKind};
+pub use net::{NetEpochReport, NetError, NetServeLoop, NetStats, SupervisorConfig, TransportKind};
 pub use serve::{DynamicConfig, EpochReport, ServeLoop, ServeStats};
-pub use snapshot::SnapshotError;
+pub use snapshot::{DeltaBase, DeltaCheckpoint, SnapshotError};
 pub use update::Update;
+pub use wal::{WalError, WalRecord, WalWriter};
 pub use walks::Matching;

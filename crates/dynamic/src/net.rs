@@ -36,11 +36,38 @@
 //! coordinator — surfaces as a typed [`NetError`]; the fault-injection
 //! suite (`tests/transport.rs`) proves there is no panic path and no
 //! silently wrong matching.
+//!
+//! # Supervision and recovery
+//!
+//! With a [`SupervisorConfig`] installed the coordinator *heals* instead
+//! of failing: transient faults (receive timeouts) are retried in place
+//! with bounded exponential backoff and jitter; everything else — a dead
+//! channel, a corrupted frame, a worker whose slice diverged — burns one
+//! respawn from the budget. A respawn replaces the poisoned channel
+//! ([`Mesh::respawn`]) and thread, then re-scatters the coordinator's
+//! full state to **every** worker (`INIT` resets a worker's slice), so
+//! the retried phase lands on a mesh that is state-identical to one that
+//! never faulted; a fault mid-batch therefore makes
+//! [`NetServeLoop::apply_batch`] at-least-once on the wire with
+//! exactly-once effects. The wire cost of recovery is metered under
+//! [`labels::NET_RECOVER`]. When the respawn budget is exhausted the
+//! engine **quarantines**: queries keep answering from the coordinator
+//! mirror, every further wire operation fails as
+//! [`NetError::Quarantined`], and the fault that exhausted the budget is
+//! surfaced verbatim. With the default config (zero budget) the first
+//! fault quarantines immediately — exactly the fail-fast behavior the
+//! fault-taxonomy tests pin down.
+//!
+//! Durability rides the same layer: [`NetServeLoop::attach_wal`] logs
+//! every batch and epoch boundary write-ahead ([`crate::wal`]), and
+//! [`NetServeLoop::checkpoint_delta`] persists the diff against the last
+//! full checkpoint, so a crashed coordinator recovers as
+//! `base + log tail` and verifies the replay against the last delta.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sparse_alloc_graph::io::{fnv1a64, ByteReader, ByteWriter, IoError};
 use sparse_alloc_graph::{Assignment, Bipartite, LeftId, RightId};
@@ -52,8 +79,9 @@ use sparse_alloc_obs::{Counter, MetricsSnapshot, Phase, Registry, Tracer};
 
 use crate::distributed::{BatchReport, ShardedConfig, ShardedEpochReport, ShardedServeLoop};
 use crate::serve::ServeLoop;
-use crate::snapshot::{self, SnapshotError};
-use crate::update::Update;
+use crate::snapshot::{self, DeltaBase, DeltaCheckpoint, SnapshotError};
+use crate::update::{put_update, take_update, Update};
+use crate::wal::{WalError, WalWriter};
 
 /// `mate` wire value for an unmatched left vertex.
 const UNMATCHED: u32 = u32::MAX;
@@ -112,6 +140,15 @@ pub enum NetError {
         /// What went wrong.
         detail: String,
     },
+    /// The write-ahead log failed.
+    Wal(WalError),
+    /// The engine is in read-only quarantine: a previous fault exhausted
+    /// the respawn budget. Queries keep answering from the coordinator
+    /// mirror; every wire operation fails with this variant.
+    Quarantined {
+        /// The fault that exhausted the budget.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -121,11 +158,31 @@ impl std::fmt::Display for NetError {
             NetError::Space(e) => write!(f, "space: {e}"),
             NetError::Snapshot(e) => write!(f, "snapshot: {e}"),
             NetError::Protocol { shard, detail } => write!(f, "shard {shard}: {detail}"),
+            NetError::Wal(e) => write!(f, "wal: {e}"),
+            NetError::Quarantined { reason } => {
+                write!(f, "engine quarantined (read-only) after: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for NetError {}
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Transport(e) => Some(e),
+            NetError::Space(e) => Some(e),
+            NetError::Snapshot(e) => Some(e),
+            NetError::Wal(e) => Some(e),
+            NetError::Protocol { .. } | NetError::Quarantined { .. } => None,
+        }
+    }
+}
+
+impl From<WalError> for NetError {
+    fn from(e: WalError) -> Self {
+        NetError::Wal(e)
+    }
+}
 
 impl From<TransportError> for NetError {
     fn from(e: TransportError) -> Self {
@@ -142,6 +199,35 @@ impl From<MpcError> for NetError {
 impl From<SnapshotError> for NetError {
     fn from(e: SnapshotError) -> Self {
         NetError::Snapshot(e)
+    }
+}
+
+/// How the coordinator supervises its workers (see the
+/// [module docs](self#supervision-and-recovery)).
+///
+/// The default is fail-fast: zero retries, zero respawns — the first
+/// fault surfaces typed and quarantines the engine, which is what the
+/// fault-taxonomy tests pin down. Serving deployments raise both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker respawns the engine may spend over its lifetime before it
+    /// degrades to read-only quarantine.
+    pub max_respawns: u64,
+    /// In-place retries of a *transient* fault (receive timeout) before
+    /// it is escalated to a respawn.
+    pub retry_budget: u32,
+    /// First-retry backoff; retry `k` waits `2^(k−1) ×` this, plus
+    /// deterministic jitter of up to half of it.
+    pub backoff_base: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_respawns: 0,
+            retry_budget: 0,
+            backoff_base: Duration::from_millis(10),
+        }
     }
 }
 
@@ -165,6 +251,17 @@ pub struct NetStats {
     pub census_bytes: u64,
     /// Both-direction bytes of initial state scattering.
     pub init_bytes: u64,
+    /// Transient faults retried in place (receive timeouts).
+    pub retries: u64,
+    /// Workers respawned after non-transient faults.
+    pub respawns: u64,
+    /// Both-direction bytes of recovery re-scatters (state replayed to
+    /// respawned meshes, [`labels::NET_RECOVER`]).
+    pub replayed_bytes: u64,
+    /// Wall-clock nanoseconds spent inside recovery (respawn + re-init),
+    /// cumulative — `recovery_ns / respawns` is the mean recovery
+    /// latency experiment `e22` reports.
+    pub recovery_ns: u64,
 }
 
 /// What one [`NetServeLoop::end_epoch`] did.
@@ -177,43 +274,6 @@ pub struct NetEpochReport {
     pub wire_bytes: u64,
     /// Frames this epoch moved.
     pub wire_frames: u64,
-}
-
-// -------------------------------------------------------- wire payloads
-
-fn put_update(w: &mut ByteWriter, idx: u32, up: &Update) {
-    let empty: &[u32] = &[];
-    let (kind, a, b, cap, neighbors): (u32, u32, u32, u64, &[u32]) = match up {
-        Update::Arrive { neighbors } => (0, 0, 0, 0, neighbors.as_slice()),
-        Update::Depart { u } => (1, *u, 0, 0, empty),
-        Update::InsertEdge { u, v } => (2, *u, *v, 0, empty),
-        Update::DeleteEdge { u, v } => (3, *u, *v, 0, empty),
-        Update::SetCapacity { v, cap } => (4, *v, 0, *cap, empty),
-    };
-    w.put_u32(idx);
-    w.put_u32(kind);
-    w.put_u32(a);
-    w.put_u32(b);
-    w.put_u64(cap);
-    w.put_vec_u32(neighbors);
-}
-
-fn take_update(r: &mut ByteReader) -> Result<(u32, Update), IoError> {
-    let idx = r.take_u32()?;
-    let kind = r.take_u32()?;
-    let a = r.take_u32()?;
-    let b = r.take_u32()?;
-    let cap = r.take_u64()?;
-    let neighbors = r.take_vec_u32()?;
-    let up = match kind {
-        0 => Update::Arrive { neighbors },
-        1 => Update::Depart { u: a },
-        2 => Update::InsertEdge { u: a, v: b },
-        3 => Update::DeleteEdge { u: a, v: b },
-        4 => Update::SetCapacity { v: a, cap },
-        other => return Err(IoError::Parse(format!("unknown update kind {other}"))),
-    };
-    Ok((idx, up))
 }
 
 // --------------------------------------------------------- worker side
@@ -250,6 +310,11 @@ impl WorkerState {
         let mut r = ByteReader::new(payload);
         match phase {
             PH_INIT => {
+                // A re-INIT (recovery re-scatter) replaces the slice
+                // wholesale: stale rows from before the fault must not
+                // survive into the healed mesh.
+                self.lefts.clear();
+                self.rights.clear();
                 let nl = r.take_len(8).map_err(parse)?;
                 for _ in 0..nl {
                     let u = r.take_u32().map_err(parse)?;
@@ -273,7 +338,7 @@ impl WorkerState {
                 // Decode every routed update and re-encode it from the
                 // decoded structures: the echo the coordinator consumes
                 // has round-tripped the codec in both directions.
-                let n = r.take_len(24).map_err(parse)?;
+                let n = r.take_len(8).map_err(parse)?;
                 let mut w = ByteWriter::new();
                 w.put_u64(n as u64);
                 for _ in 0..n {
@@ -449,6 +514,20 @@ pub struct NetServeLoop {
     /// stderr) whenever a wire operation fails, so a post-mortem names
     /// the failing peer and protocol phase without re-running the fault.
     last_flight_dump: Option<String>,
+    sup: SupervisorConfig,
+    respawns_left: u64,
+    /// `Some(reason)` once the respawn budget is exhausted: read-only.
+    quarantined: Option<String>,
+    /// The worker of the most recent flight-recorded failure — which
+    /// channel a recovery respawns when the error itself names no shard.
+    last_failed: Option<usize>,
+    /// Write-ahead log, if attached.
+    wal: Option<WalWriter<std::fs::File>>,
+    /// Reference captured at the last full checkpoint; what
+    /// [`NetServeLoop::checkpoint_delta`] diffs against.
+    base: Option<DeltaBase>,
+    /// xorshift state for backoff jitter (no RNG dependency).
+    jitter: u64,
 }
 
 /// Human name of a protocol phase tag (frame headers and flight dumps).
@@ -471,6 +550,19 @@ fn phase_name(phase: u32) -> &'static str {
         PH_NACK => "NACK",
         _ => "UNKNOWN",
     }
+}
+
+/// Write `bytes` to `path` atomically (temp file, fsync, rename), so a
+/// crash mid-checkpoint can never leave a half-written snapshot behind.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Wire counters at the start of a phase ([`NetServeLoop::mark`]): the
@@ -517,8 +609,15 @@ impl NetServeLoop {
             epoch_mark: (0, 0),
             tracer,
             last_flight_dump: None,
+            sup: SupervisorConfig::default(),
+            respawns_left: 0,
+            quarantined: None,
+            last_failed: None,
+            wal: None,
+            base: None,
+            jitter: 0x9e37_79b9_7f4a_7c15,
         };
-        this.scatter_init()?;
+        this.scatter_init(labels::NET_INIT)?;
         this.epoch_mark = this.wire_totals();
         Ok(this)
     }
@@ -536,10 +635,62 @@ impl NetServeLoop {
 
     /// Atomically checkpoint the engine to `path` (the sharded snapshot
     /// format; restorable by [`NetServeLoop::restore`] or
-    /// [`snapshot::load_sharded`]).
+    /// [`snapshot::load_sharded`]). Also captures the written state as
+    /// the **base** that [`NetServeLoop::checkpoint_delta`] diffs
+    /// against, and logs a base marker (snapshot checksum) to the WAL if
+    /// one is attached — replay then knows which records the base
+    /// already covers.
     pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), NetError> {
-        snapshot::save_sharded(&mut self.inner, path)?;
+        let bytes = self.checkpoint_bytes()?;
+        let checksum = fnv1a64(&bytes);
+        write_file_atomic(path.as_ref(), &bytes).map_err(SnapshotError::Io)?;
+        self.base = Some(DeltaBase::of_sharded(&self.inner, checksum));
+        let appended = match self.wal.as_mut() {
+            Some(w) => Some(w.append_base(self.epoch, checksum)?),
+            None => None,
+        };
+        if let Some(n) = appended {
+            self.inner.obs_mut().inc(Counter::WalBytes, n);
+        }
         Ok(())
+    }
+
+    /// Write a **delta checkpoint** — the diff of the current state
+    /// against the last full [`NetServeLoop::checkpoint`] — to `path`,
+    /// returning the bytes written. Deltas replace full-state writes on
+    /// the periodic path: recovery itself is `base + WAL tail`
+    /// ([`crate::wal`]), and the delta is the verification artifact that
+    /// proves the replayed engine landed where the live one was
+    /// ([`DeltaCheckpoint::verify_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Snapshot`] if no base checkpoint was taken yet.
+    pub fn checkpoint_delta(&mut self, path: impl AsRef<Path>) -> Result<u64, NetError> {
+        let base = self.base.as_ref().ok_or_else(|| {
+            SnapshotError::Invalid(
+                "no base checkpoint: call checkpoint() before checkpoint_delta()".into(),
+            )
+        })?;
+        let delta = DeltaCheckpoint::of_sharded(&self.inner, base);
+        let mut bytes = Vec::new();
+        snapshot::write_delta(&delta, &mut bytes)?;
+        write_file_atomic(path.as_ref(), &bytes).map_err(SnapshotError::Io)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Attach a write-ahead log: every subsequent update batch, epoch
+    /// boundary, and base checkpoint is appended (and fsynced) *before*
+    /// the engine acts on it, so crash recovery is `last base + log
+    /// tail` ([`crate::wal`]).
+    pub fn attach_wal(&mut self, wal: WalWriter<std::fs::File>) {
+        self.wal = Some(wal);
+    }
+
+    /// Total bytes appended to the attached WAL (0 when none is
+    /// attached).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.bytes_appended())
     }
 
     /// Serialize a checkpoint to bytes (tests: byte-identical
@@ -586,6 +737,7 @@ impl NetServeLoop {
             labels::NET_ROUTE => self.stats.route_bytes += total,
             labels::NET_COMMIT => self.stats.commit_bytes += total,
             labels::NET_CENSUS => self.stats.census_bytes += total,
+            labels::NET_RECOVER => self.stats.replayed_bytes += total,
             _ => self.stats.init_bytes += total,
         }
         let (fs, fr) = self.mesh.frames_moved();
@@ -594,6 +746,9 @@ impl NetServeLoop {
         obs.inc(Counter::BytesReceived, recv_total);
         obs.inc(Counter::FramesSent, fs - mark.frames.0);
         obs.inc(Counter::FramesReceived, fr - mark.frames.1);
+        if label == labels::NET_RECOVER {
+            obs.inc(Counter::ReplayedBytes, total);
+        }
         let words = total.div_ceil(8);
         self.inner.ledger_mut().record(RoundRecord {
             words_moved: words,
@@ -618,6 +773,7 @@ impl NetServeLoop {
         );
         eprintln!("{dump}");
         self.last_flight_dump = Some(dump);
+        self.last_failed = Some(w);
     }
 
     /// Send `payload` to worker `w`, dumping the flight recorders if the
@@ -635,11 +791,24 @@ impl NetServeLoop {
     /// protocol error. Every failure path dumps the flight recorders
     /// first — this is the post-mortem funnel for all recv-side faults.
     fn expect(&mut self, w: usize, phase: u32, epoch: u64) -> Result<Vec<u8>, NetError> {
-        let f = match self.mesh.recv_from(w) {
-            Ok(f) => f,
-            Err(e) => {
-                self.record_flight(w, phase, epoch, "the channel failed");
-                return Err(e.into());
+        let mut tries = 0u32;
+        let f = loop {
+            match self.mesh.recv_from(w) {
+                Ok(f) => break f,
+                // Transient faults (recv timeouts) leave the channel's
+                // sequence numbers intact, so a plain retry can succeed.
+                // Anything else poisons the channel — escalate.
+                Err(e) if e.is_transient() && tries < self.sup.retry_budget => {
+                    tries += 1;
+                    self.stats.retries += 1;
+                    self.inner.obs_mut().inc(Counter::NetRetries, 1);
+                    let pause = self.backoff(tries);
+                    std::thread::sleep(pause);
+                }
+                Err(e) => {
+                    self.record_flight(w, phase, epoch, "the channel failed");
+                    return Err(e.into());
+                }
             }
         };
         if f.phase == PH_NACK {
@@ -681,8 +850,18 @@ impl NetServeLoop {
         (mate, levels, load)
     }
 
-    fn scatter_init(&mut self) -> Result<(), NetError> {
-        let mut sp = self.tracer.span(Phase::NetInit, self.epoch);
+    /// Scatter the engine's full state to every worker. Called once at
+    /// construction (`label` = [`labels::NET_INIT`]) and again after
+    /// every respawn (`label` = [`labels::NET_RECOVER`]) — re-INIT is the
+    /// recovery primitive, so the label decides which phase the traffic
+    /// is metered under.
+    fn scatter_init(&mut self, label: &'static str) -> Result<(), NetError> {
+        let phase = if label == labels::NET_RECOVER {
+            Phase::NetRecover
+        } else {
+            Phase::NetInit
+        };
+        let mut sp = self.tracer.span(phase, self.epoch);
         let mark = self.mark();
         let (mate, levels, load) = self.engine_state();
         let p = self.mesh.workers();
@@ -733,10 +912,10 @@ impl NetServeLoop {
         self.synced_mate = mate;
         self.synced_level = levels;
         self.synced_load = load;
-        let words = self.note_wire(labels::NET_INIT, &mark);
+        let words = self.note_wire(label, &mark);
         sp.set_words(words);
         let ns = sp.close();
-        self.inner.obs_mut().phase_ns(Phase::NetInit, ns);
+        self.inner.obs_mut().phase_ns(phase, ns);
         Ok(())
     }
 
@@ -839,17 +1018,166 @@ impl NetServeLoop {
         fnv1a64(&wtr.into_bytes())
     }
 
+    // --------------------------------------------------- supervision
+
+    /// Exponential backoff with xorshift jitter for transient-fault
+    /// retries: `base · 2^min(attempt−1, 6)` plus up to half a base of
+    /// jitter, so retrying coordinators don't re-collide in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let base = self.sup.backoff_base.as_micros() as u64;
+        let exp = base.saturating_mul(1 << attempt.saturating_sub(1).min(6));
+        Duration::from_micros(exp + self.jitter % (base / 2 + 1))
+    }
+
+    /// Install a supervision policy (see [`SupervisorConfig`]) and
+    /// refill the respawn budget to `cfg.max_respawns`.
+    pub fn set_supervisor(&mut self, cfg: SupervisorConfig) {
+        self.respawns_left = cfg.max_respawns;
+        self.sup = cfg;
+    }
+
+    /// Why the engine is quarantined (read-only), or `None` while it is
+    /// still serving.
+    pub fn quarantine_reason(&self) -> Option<&str> {
+        self.quarantined.as_deref()
+    }
+
+    /// Mutating operations refuse to run on a quarantined engine.
+    fn check_quarantine(&self) -> Result<(), NetError> {
+        match &self.quarantined {
+            Some(reason) => Err(NetError::Quarantined {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Which worker a wire failure implicates: the error's shard when it
+    /// names a real one, else the last flight-recorded peer.
+    fn failed_worker(&self, err: &NetError) -> usize {
+        let p = self.mesh.workers();
+        match err {
+            NetError::Protocol { shard, .. } if (*shard as usize) < p => *shard as usize,
+            _ => self.last_failed.unwrap_or(0).min(p.saturating_sub(1)),
+        }
+    }
+
+    /// The supervisor's decision point after a failed wire operation:
+    /// spend one respawn recovering the implicated worker, or — if the
+    /// fault isn't a wire fault, or the budget is exhausted — quarantine
+    /// the engine and surface the **original** error. `Ok(())` means the
+    /// caller should retry the operation that failed; a recovery that
+    /// itself fails loops back here until the budget runs out.
+    fn recover_or_quarantine(&mut self, err: NetError) -> Result<(), NetError> {
+        let mut cause = err;
+        loop {
+            let wire_fault = matches!(cause, NetError::Transport(_) | NetError::Protocol { .. });
+            if !wire_fault || self.respawns_left == 0 {
+                self.quarantined = Some(cause.to_string());
+                return Err(cause);
+            }
+            self.respawns_left -= 1;
+            self.stats.respawns += 1;
+            self.inner.obs_mut().inc(Counter::NetRespawns, 1);
+            let failed = self.failed_worker(&cause);
+            let t0 = Instant::now();
+            let outcome = self.respawn_and_reinit(failed);
+            self.stats.recovery_ns += t0.elapsed().as_nanos() as u64;
+            match outcome {
+                Ok(()) => return Ok(()),
+                Err(e) => cause = e,
+            }
+        }
+    }
+
+    /// Replace worker `failed` with a fresh thread on a fresh channel —
+    /// a corrupted frame burns a sequence number on the old channel, so
+    /// recovery **must** re-channel, never just retry — then re-INIT
+    /// *every* worker from the coordinator's authoritative state (the
+    /// respawned worker lost its slice; its peers' slices are cheap to
+    /// refresh and re-INIT is idempotent). Metered as
+    /// [`Phase::NetRecover`] / [`labels::NET_RECOVER`].
+    fn respawn_and_reinit(&mut self, failed: usize) -> Result<(), NetError> {
+        let endpoint = self.mesh.respawn(failed, self.kind == TransportKind::Tcp)?;
+        let old = std::mem::replace(
+            &mut self.workers[failed],
+            std::thread::spawn(move || worker_main(endpoint)),
+        );
+        // The old worker sees its channel close and exits; its NACK (if
+        // any) died with the old channel.
+        let _ = old.join();
+        // Surviving workers may have uncollected replies in flight from
+        // the exchange that died: drain them now, or the re-INIT below
+        // would read them as off-script frames and escalate against
+        // perfectly healthy workers.
+        for w in 0..self.mesh.workers() {
+            if w != failed {
+                self.last_failed = Some(w);
+                self.mesh.drain(w, Duration::from_millis(50))?;
+            }
+        }
+        self.last_failed = Some(failed);
+        // The fresh channel's wire counters start at zero, so the mesh
+        // totals just moved backwards: re-baseline the epoch mark or the
+        // next epoch report's subtraction would underflow.
+        let (bytes_now, frames_now) = self.wire_totals();
+        self.epoch_mark.0 = self.epoch_mark.0.min(bytes_now);
+        self.epoch_mark.1 = self.epoch_mark.1.min(frames_now);
+        self.scatter_init(labels::NET_RECOVER)
+    }
+
     // ------------------------------------------------------- serving
 
-    /// Apply one epoch's update batch. The batch is scattered to the
-    /// workers owning each update's anchor, echoed back, and the engine
-    /// consumes the echoed wire copies ([`labels::NET_ROUTE`]); the
-    /// resulting state deltas are committed to the owning workers
-    /// ([`labels::NET_COMMIT`]).
+    /// Apply one epoch's update batch. The batch is appended to the WAL
+    /// (if attached), scattered to the workers owning each update's
+    /// anchor, echoed back, and the engine consumes the echoed wire
+    /// copies ([`labels::NET_ROUTE`]); the resulting state deltas are
+    /// committed to the owning workers ([`labels::NET_COMMIT`]).
+    ///
+    /// Under a [`SupervisorConfig`] with a respawn budget, a wire fault
+    /// in either exchange triggers respawn + re-INIT and the exchange is
+    /// retried — the route phase is a stateless echo and the commit
+    /// diffs against the freshly re-synced mirror, so the retry is
+    /// **at-least-once delivery with exactly-once effects**. The engine
+    /// itself mutates only after the route succeeds.
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, NetError> {
+        self.check_quarantine()?;
         if updates.is_empty() {
             return Ok(self.inner.apply_batch(updates)?);
         }
+        let appended = match self.wal.as_mut() {
+            Some(w) => Some(w.append_batch(self.epoch, updates)?),
+            None => None,
+        };
+        if let Some(n) = appended {
+            self.inner.obs_mut().inc(Counter::WalBytes, n);
+        }
+        let wire = loop {
+            match self.route_batch(updates) {
+                Ok(wire) => break wire,
+                Err(e) => self.recover_or_quarantine(e)?,
+            }
+        };
+        // The engine consumes what the wire delivered — a codec bug
+        // surfaces as divergence from serial, not silence.
+        let report = self.inner.apply_batch(&wire)?;
+        loop {
+            match self.commit_deltas() {
+                Ok(()) => break,
+                Err(e) => self.recover_or_quarantine(e)?,
+            }
+        }
+        Ok(report)
+    }
+
+    /// The route exchange of [`Self::apply_batch`]: scatter the batch to
+    /// the anchor owners, collect the echoes, and hand back the wire
+    /// copies in batch order. Touches no engine state — safe to retry
+    /// wholesale after a recovery.
+    fn route_batch(&mut self, updates: &[Update]) -> Result<Vec<Update>, NetError> {
         let epoch = self.epoch;
         let p = self.mesh.workers();
         let map = *self.inner.shard_map();
@@ -903,22 +1231,47 @@ impl NetServeLoop {
         sp.set_words(words);
         let ns = sp.close();
         self.inner.obs_mut().phase_ns(Phase::NetRoute, ns);
-
-        // The engine consumes what the wire delivered — a codec bug
-        // surfaces as divergence from serial, not silence.
-        let report = self.inner.apply_batch(&wire)?;
-        self.commit_deltas()?;
-        Ok(report)
+        Ok(wire)
     }
 
-    /// Close the epoch: run the simulated engine's sweep phases, commit
-    /// the state deltas, cross-check every worker's census (slice sizes,
-    /// resident words, FNV slice checksum) against the coordinator's
-    /// mirror, and broadcast the epoch summary.
+    /// Close the epoch: run the simulated engine's sweep phases, log the
+    /// epoch boundary to the WAL (if attached), commit the state deltas,
+    /// cross-check every worker's census (slice sizes, resident words,
+    /// FNV slice checksum) against the coordinator's mirror, and
+    /// broadcast the epoch summary. Wire faults recover like
+    /// [`Self::apply_batch`]: the engine's own sweep runs exactly once
+    /// (locally, first), and the wire tail is retried after respawn +
+    /// re-INIT.
     pub fn end_epoch(&mut self) -> Result<NetEpochReport, NetError> {
+        self.check_quarantine()?;
+        let report = self.inner.end_epoch()?;
+        let appended = match self.wal.as_mut() {
+            Some(w) => Some(w.append_epoch_end(self.epoch, report.serial.match_size as u64)?),
+            None => None,
+        };
+        if let Some(n) = appended {
+            self.inner.obs_mut().inc(Counter::WalBytes, n);
+        }
+        let rep = loop {
+            match self.close_epoch_wire(&report) {
+                Ok(rep) => break rep,
+                Err(e) => self.recover_or_quarantine(e)?,
+            }
+        };
+        self.epoch += 1;
+        Ok(rep)
+    }
+
+    /// The wire tail of [`Self::end_epoch`]: delta commit, census
+    /// cross-check, summary broadcast. The commit diffs against the
+    /// synced mirror, so after a recovery's re-INIT (which syncs the
+    /// mirror to the full current state) a retry commits nothing twice.
+    fn close_epoch_wire(
+        &mut self,
+        report: &ShardedEpochReport,
+    ) -> Result<NetEpochReport, NetError> {
         let epoch = self.epoch;
         let p = self.mesh.workers();
-        let report = self.inner.end_epoch()?;
         self.commit_deltas()?;
 
         let mut sp = self.tracer.span(Phase::NetCensus, epoch);
@@ -996,12 +1349,11 @@ impl NetServeLoop {
 
         let (bytes_now, frames_now) = self.wire_totals();
         let rep = NetEpochReport {
-            inner: report,
-            wire_bytes: bytes_now - self.epoch_mark.0,
-            wire_frames: frames_now - self.epoch_mark.1,
+            inner: report.clone(),
+            wire_bytes: bytes_now.saturating_sub(self.epoch_mark.0),
+            wire_frames: frames_now.saturating_sub(self.epoch_mark.1),
         };
         self.epoch_mark = (bytes_now, frames_now);
-        self.epoch += 1;
         Ok(rep)
     }
 
@@ -1010,6 +1362,18 @@ impl NetServeLoop {
     /// vertex must be reported exactly once by exactly its owner; the
     /// result is what the equivalence proptests compare against serial.
     pub fn gather_assignment(&mut self) -> Result<Assignment, NetError> {
+        self.check_quarantine()?;
+        loop {
+            match self.gather_once() {
+                Ok(a) => return Ok(a),
+                Err(e) => self.recover_or_quarantine(e)?,
+            }
+        }
+    }
+
+    /// One attempt at the gather exchange — read-only on both sides, so
+    /// a retry after recovery is trivially safe.
+    fn gather_once(&mut self) -> Result<Assignment, NetError> {
         let epoch = self.epoch;
         let p = self.mesh.workers();
         let map = *self.inner.shard_map();
@@ -1151,6 +1515,14 @@ impl NetServeLoop {
         self.mesh.peer_mut(shard).inject(fault);
     }
 
+    /// Arm `fault` to be re-injected on the fresh channel every time
+    /// worker `shard` is respawned — a persistently faulty slot, so
+    /// tests can exhaust the supervisor's respawn budget (recovery
+    /// itself keeps failing) and assert the quarantine path.
+    pub fn arm_fault_on_respawn(&mut self, shard: usize, fault: Fault) {
+        self.mesh.arm_on_respawn(shard, fault);
+    }
+
     /// Cap how long coordinator receives wait (tests shrink this so
     /// stalled-channel faults surface fast).
     ///
@@ -1164,17 +1536,29 @@ impl NetServeLoop {
         Ok(())
     }
 
-    /// Orderly shutdown: ask every worker to exit and join the threads.
-    /// Dead channels are ignored — shutdown after a fault still joins.
+    /// Orderly shutdown with a bounded wait: best-effort SHUTDOWN to
+    /// every worker (dead channels are ignored), receives capped by a
+    /// short timeout, and joins bounded by a deadline — a wedged worker
+    /// is detached rather than allowed to hang the coordinator's exit.
+    /// Runs on [`Drop`], so even a quarantined engine tears down
+    /// promptly.
     pub fn shutdown(&mut self) {
+        let _ = self.mesh.set_recv_timeout(Duration::from_millis(250));
         for w in 0..self.mesh.workers() {
             let _ = self.mesh.send_to(w, PH_SHUTDOWN, self.epoch, &[]);
         }
         for w in 0..self.mesh.workers() {
             let _ = self.mesh.recv_from(w);
         }
+        let deadline = Instant::now() + Duration::from_secs(2);
         for h in self.workers.drain(..) {
-            let _ = h.join();
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // else: drop the handle; the thread is detached, not joined.
         }
     }
 }
@@ -1260,5 +1644,150 @@ mod tests {
             rep.wire_frames >= 8,
             "route/commit/census/summary × 2 shards"
         );
+    }
+
+    #[test]
+    fn a_supervised_engine_recovers_from_a_mid_stream_fault() {
+        let g = union_of_spanning_trees(60, 45, 2, 2, 21).graph;
+        let updates = churn_stream(&g, 90, &ChurnMix::default(), 21);
+        let cfg = ShardedConfig::for_eps(0.25, 3);
+        let dynamic = cfg.dynamic.clone();
+        let mut net = NetServeLoop::new(g.clone(), cfg, TransportKind::Loopback).unwrap();
+        net.set_supervisor(SupervisorConfig {
+            max_respawns: 4,
+            retry_budget: 1,
+            backoff_base: Duration::from_micros(100),
+        });
+        let mut serial = ServeLoop::new(g, dynamic);
+        for (i, chunk) in updates.chunks(30).enumerate() {
+            if i == 1 {
+                net.inject_fault(1, Fault::FlipBit { bit: 200 });
+            }
+            net.apply_batch(chunk).unwrap();
+            net.end_epoch().unwrap();
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+        }
+        let stats = net.net_stats();
+        assert!(stats.respawns >= 1, "the fault must have cost a respawn");
+        assert!(stats.replayed_bytes > 0, "re-INIT traffic is metered");
+        assert!(stats.recovery_ns > 0, "recovery wall time is metered");
+        assert!(net.ledger().rounds_labeled(labels::NET_RECOVER) >= 1);
+        assert!(net.quarantine_reason().is_none());
+        let gathered = net.gather_assignment().unwrap();
+        assert_eq!(
+            gathered.mate,
+            serial.assignment().mate,
+            "a recovered run must equal the uninterrupted serial run"
+        );
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn transient_timeouts_are_retried_before_respawning() {
+        let g = union_of_spanning_trees(40, 30, 2, 2, 23).graph;
+        let updates = churn_stream(&g, 30, &ChurnMix::default(), 23);
+        let mut net =
+            NetServeLoop::new(g, ShardedConfig::for_eps(0.25, 2), TransportKind::Loopback).unwrap();
+        net.set_recv_timeout(Duration::from_millis(40)).unwrap();
+        net.set_supervisor(SupervisorConfig {
+            max_respawns: 2,
+            retry_budget: 1,
+            backoff_base: Duration::from_micros(100),
+        });
+        // Reorder holds the next outbound frame hostage: the worker never
+        // hears the request, so the coordinator's recv times out — a
+        // transient error that retries, then escalates to a respawn
+        // (which discards the held frame with the old channel).
+        net.inject_fault(1, Fault::Reorder);
+        net.apply_batch(&updates).unwrap();
+        net.end_epoch().unwrap();
+        let stats = net.net_stats();
+        assert!(stats.retries >= 1, "timeouts retry before escalating");
+        assert!(stats.respawns >= 1, "a held frame is not retryable");
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn the_default_supervisor_fails_fast_into_read_only_quarantine() {
+        let (mut net, _serial) = drive(TransportKind::Loopback, 2, 25);
+        let size_before = net.match_size();
+        net.inject_fault(1, Fault::Drop);
+        let batch = vec![Update::InsertEdge { u: 0, v: 0 }];
+        let err = net.apply_batch(&batch).unwrap_err();
+        assert!(
+            !matches!(err, NetError::Quarantined { .. }),
+            "the first failure surfaces the original fault, got: {err}"
+        );
+        assert!(net.quarantine_reason().is_some());
+        // Every further mutation is refused with the typed variant …
+        assert!(matches!(
+            net.apply_batch(&batch),
+            Err(NetError::Quarantined { .. })
+        ));
+        assert!(matches!(net.end_epoch(), Err(NetError::Quarantined { .. })));
+        assert!(matches!(
+            net.gather_assignment(),
+            Err(NetError::Quarantined { .. })
+        ));
+        // … while reads keep answering from the coordinator mirror.
+        assert_eq!(net.match_size(), size_before);
+        let _ = net.query(0);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn wal_plus_base_checkpoint_recovers_the_engine_verbatim() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let wal_path = dir.join(format!("salloc-net-wal-{pid}.log"));
+        let base_path = dir.join(format!("salloc-net-base-{pid}.bin"));
+        let delta_path = dir.join(format!("salloc-net-delta-{pid}.bin"));
+        let _ = std::fs::remove_file(&wal_path);
+
+        let g = union_of_spanning_trees(50, 40, 2, 2, 27).graph;
+        let updates = churn_stream(&g, 60, &ChurnMix::default(), 27);
+        let mut net =
+            NetServeLoop::new(g, ShardedConfig::for_eps(0.25, 2), TransportKind::Loopback).unwrap();
+        net.attach_wal(WalWriter::create(&wal_path).unwrap());
+
+        let chunks: Vec<_> = updates.chunks(15).collect();
+        for chunk in &chunks[..2] {
+            net.apply_batch(chunk).unwrap();
+            net.end_epoch().unwrap();
+        }
+        net.checkpoint(&base_path).unwrap();
+        for chunk in &chunks[2..] {
+            net.apply_batch(chunk).unwrap();
+            net.end_epoch().unwrap();
+        }
+        assert!(net.checkpoint_delta(&delta_path).unwrap() > 0);
+        assert!(net.wal_bytes() > 0);
+        let live = net.gather_assignment().unwrap();
+
+        // Crash. Recovery = last base snapshot + WAL tail replay.
+        drop(net);
+        let mut rec = crate::snapshot::load_sharded(&base_path, None).unwrap();
+        let base_bytes = std::fs::read(&base_path).unwrap();
+        let base = DeltaBase::of_sharded(&rec, fnv1a64(&base_bytes));
+        let replay = crate::wal::read_wal_file(&wal_path).unwrap();
+        assert!(!replay.torn, "a clean shutdown leaves no torn tail");
+        let stats =
+            crate::wal::replay_sharded(&mut rec, &replay.records[replay.tail_start()..]).unwrap();
+        assert!(stats.batches >= 2, "the tail holds the post-base epochs");
+        assert_eq!(
+            rec.assignment().mate,
+            live.mate,
+            "base + tail replay must reconstruct the crashed engine"
+        );
+        // The delta checkpoint is the recovery's verification artifact.
+        let delta = crate::snapshot::load_delta(&delta_path).unwrap();
+        delta.verify_sharded(&rec, &base).unwrap();
+
+        for p in [&wal_path, &base_path, &delta_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! The update vocabulary of the dynamic engine.
 
+use sparse_alloc_graph::io::{ByteReader, ByteWriter, IoError};
 use sparse_alloc_graph::{LeftId, RightId};
 
 /// One mutation of the live allocation instance.
@@ -46,4 +47,89 @@ pub enum Update {
         /// The new capacity.
         cap: u64,
     },
+}
+
+// The one wire form of an update, shared by the networked route phase
+// (`net`) and the write-ahead log (`wal`): a packed position+kind word
+// followed by only the operands the variant actually carries. One codec
+// means a batch that round-tripped the wire and a batch replayed from
+// the log are byte-for-byte the same input to the engine, and the
+// variant-shaped layout is what keeps the WAL's amortized cost at a few
+// bytes per update (the log is append-fsynced on the serving hot path).
+
+/// Batch positions share a `u32` with the 3-bit kind tag, capping a
+/// single encoded batch at `2^29` updates — far beyond any epoch.
+const MAX_BATCH: u32 = 1 << 29;
+
+/// Encode `(idx, up)` into `w` (`idx` is the update's batch position).
+pub(crate) fn put_update(w: &mut ByteWriter, idx: u32, up: &Update) {
+    debug_assert!(
+        idx < MAX_BATCH,
+        "batch position {idx} overflows the tag word"
+    );
+    let mut tagged = |kind: u32| w.put_u32(idx << 3 | kind);
+    match up {
+        Update::Arrive { neighbors } => {
+            tagged(0);
+            w.put_u32(neighbors.len() as u32);
+            for &v in neighbors {
+                w.put_u32(v);
+            }
+        }
+        Update::Depart { u } => {
+            tagged(1);
+            w.put_u32(*u);
+        }
+        Update::InsertEdge { u, v } => {
+            tagged(2);
+            w.put_u32(*u);
+            w.put_u32(*v);
+        }
+        Update::DeleteEdge { u, v } => {
+            tagged(3);
+            w.put_u32(*u);
+            w.put_u32(*v);
+        }
+        Update::SetCapacity { v, cap } => {
+            tagged(4);
+            w.put_u32(*v);
+            w.put_u64(*cap);
+        }
+    }
+}
+
+/// Decode one [`put_update`] record; a kind tag outside the vocabulary
+/// or a neighbor count past the payload is a typed parse error, never a
+/// panic.
+pub(crate) fn take_update(r: &mut ByteReader) -> Result<(u32, Update), IoError> {
+    let word = r.take_u32()?;
+    let (idx, kind) = (word >> 3, word & 7);
+    let up = match kind {
+        0 => {
+            let n = r.take_u32()? as usize;
+            if n * 4 > r.remaining() {
+                return Err(IoError::Parse(format!(
+                    "neighbor count {n} exceeds the remaining {} bytes",
+                    r.remaining()
+                )));
+            }
+            let neighbors = (0..n).map(|_| r.take_u32()).collect::<Result<_, _>>()?;
+            Update::Arrive { neighbors }
+        }
+        1 => Update::Depart { u: r.take_u32()? },
+        2 => Update::InsertEdge {
+            u: r.take_u32()?,
+            v: r.take_u32()?,
+        },
+        3 => Update::DeleteEdge {
+            u: r.take_u32()?,
+            v: r.take_u32()?,
+        },
+        4 => Update::SetCapacity {
+            v: r.take_u32()?,
+            cap: r.take_u64()?,
+        },
+        other => return Err(IoError::Parse(format!("unknown update kind {other}"))),
+    };
+    Ok((idx, up))
 }

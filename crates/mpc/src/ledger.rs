@@ -450,6 +450,7 @@ mod tests {
             (Phase::NetCommit, labels::NET_COMMIT),
             (Phase::NetCensus, labels::NET_CENSUS),
             (Phase::NetInit, labels::NET_INIT),
+            (Phase::NetRecover, labels::NET_RECOVER),
         ];
         assert_eq!(
             expect.len(),

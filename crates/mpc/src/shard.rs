@@ -146,6 +146,10 @@ pub mod labels {
     /// Measured wire traffic of scattering initial state slices to
     /// worker processes (construction and restore).
     pub const NET_INIT: &str = "net_init";
+    /// Measured wire traffic of worker recovery: respawning a dead
+    /// shard worker, re-scattering state, and replaying logged updates
+    /// (transient retries ride under this label too).
+    pub const NET_RECOVER: &str = "net_recover";
 }
 
 #[cfg(test)]

@@ -39,7 +39,11 @@
 //! truncated frame ([`Fault::Truncate`] ⇒ [`FrameError::Truncated`]), a
 //! flipped bit ([`Fault::FlipBit`] ⇒ a typed [`FrameError`], usually
 //! `Checksum`), and out-of-order delivery ([`Fault::Reorder`] ⇒
-//! [`TransportError::OutOfOrder`]).
+//! [`TransportError::OutOfOrder`]). [`Fault::Every`] schedules any of
+//! them persistently (every `n`-th frame, never consumed), and
+//! [`Mesh::respawn`] + [`Mesh::arm_on_respawn`] let a supervisor replace
+//! a dead worker's channel — with faults re-armed on the replacement, so
+//! recovery itself is tested under fire.
 //!
 //! # Example
 //!
@@ -177,6 +181,18 @@ impl std::fmt::Display for TransportError {
 impl std::error::Error for TransportError {}
 
 impl TransportError {
+    /// Whether the failure is worth retrying on the *same* channel.
+    ///
+    /// Only a receive timeout qualifies: the peer may merely be slow,
+    /// and the channel stays usable afterwards (proved by
+    /// `recv_timeout_is_typed`). Everything else — torn frames, closed
+    /// links, sequence gaps, protocol violations — poisons the channel's
+    /// framing or ordering state, so a retry can only be served by
+    /// respawning the peer on a fresh channel.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TransportError::Io { detail, .. } if detail.contains("timed out"))
+    }
+
     /// The remote peer the error names.
     pub fn peer(&self) -> u32 {
         match self {
@@ -307,6 +323,18 @@ pub enum Fault {
     /// Hold this frame and deliver it *after* the next one (reordered
     /// delivery; the receiver's sequence check catches it).
     Reorder,
+    /// Apply `fault` to every `n`-th outgoing frame, forever. Unlike the
+    /// one-shot faults above, a schedule is **not consumed** when it
+    /// fires — it models a persistently flaky channel, so recovery
+    /// machinery is itself tested under fire. Injecting a new schedule
+    /// replaces the old one.
+    Every {
+        /// Fire on every `n`-th send (clamped to ≥ 1).
+        n: u64,
+        /// The fault to apply when the schedule fires. A nested
+        /// schedule re-arms instead of corrupting a frame.
+        fault: Box<Fault>,
+    },
 }
 
 // ----------------------------------------------------------- byte links
@@ -383,6 +411,9 @@ pub struct Peer {
     recv_seq: u64,
     held: Option<Vec<u8>>,
     faults: VecDeque<Fault>,
+    /// Armed [`Fault::Every`] schedule: period, sends since last fire,
+    /// and the fault to apply when it fires.
+    scheduled: Option<(u64, u64, Fault)>,
     recv_timeout: Duration,
     bytes_sent: u64,
     bytes_received: u64,
@@ -401,6 +432,7 @@ impl Peer {
             recv_seq: 0,
             held: None,
             faults: VecDeque::new(),
+            scheduled: None,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             bytes_sent: 0,
             bytes_received: 0,
@@ -456,9 +488,28 @@ impl Peer {
     }
 
     /// Arm `fault` for an upcoming outgoing frame (one fault per frame,
-    /// in injection order).
+    /// in injection order). A [`Fault::Every`] schedule is armed
+    /// persistently instead: it fires on every `n`-th send without being
+    /// consumed (a new schedule replaces the old one).
     pub fn inject(&mut self, fault: Fault) {
-        self.faults.push_back(fault);
+        match fault {
+            Fault::Every { n, fault } => self.scheduled = Some((n.max(1), 0, *fault)),
+            f => self.faults.push_back(f),
+        }
+    }
+
+    /// Advance the armed schedule by one send; `Some(fault)` when it
+    /// fires. One-shot injected faults take precedence (the schedule
+    /// does not tick on a send another fault already corrupted).
+    fn scheduled_fire(&mut self) -> Option<Fault> {
+        let (n, count, fault) = self.scheduled.as_mut()?;
+        *count += 1;
+        if *count >= *n {
+            *count = 0;
+            Some(fault.clone())
+        } else {
+            None
+        }
     }
 
     /// Cap how long [`Peer::recv`] waits before reporting a typed
@@ -590,7 +641,11 @@ impl Peer {
         // A frame held back by a Reorder fault rides out *after* the
         // frame that overtook it.
         let flush = self.held.take();
-        match self.faults.pop_front() {
+        let armed = match self.faults.pop_front() {
+            Some(f) => Some(f),
+            None => self.scheduled_fire(),
+        };
+        match armed {
             None => {
                 self.push_bytes(bytes)?;
                 self.recorder.note(ev);
@@ -629,14 +684,26 @@ impl Peer {
                 });
             }
             Some(Fault::Reorder) => {
-                debug_assert!(flush.is_none(), "one held frame at a time");
                 self.held = Some(bytes);
                 self.recorder.note(FlightEvent {
                     kind: FlightKind::Fault,
                     note: "injected fault: frame held for reorder",
                     ..ev
                 });
+                // A frame displaced by back-to-back reorders still rides
+                // out (in its original position, so the *next* healthy
+                // send trips the sequence check) rather than vanishing.
+                if let Some(late) = flush {
+                    self.push_bytes(late)?;
+                }
                 return Ok(());
+            }
+            Some(Fault::Every { n, fault }) => {
+                // A schedule in the one-shot queue (or nested inside a
+                // firing schedule) re-arms; this frame goes out clean.
+                self.scheduled = Some((n.max(1), 0, *fault));
+                self.push_bytes(bytes)?;
+                self.recorder.note(ev);
             }
         }
         if let Some(late) = flush {
@@ -756,6 +823,10 @@ impl Drop for Peer {
 #[derive(Debug)]
 pub struct Mesh {
     peers: Vec<Peer>,
+    /// Faults to arm on the *replacement* channel when a worker is
+    /// respawned ([`Mesh::arm_on_respawn`]) — how the harness tests
+    /// recovery itself under fire.
+    on_respawn: Vec<Vec<Fault>>,
 }
 
 impl Mesh {
@@ -769,7 +840,8 @@ impl Mesh {
             peers.push(c);
             ends.push(e);
         }
-        (Mesh { peers }, ends)
+        let on_respawn = (0..workers).map(|_| Vec::new()).collect();
+        (Mesh { peers, on_respawn }, ends)
     }
 
     /// A TCP mesh over `workers` shards (one `127.0.0.1` socket each).
@@ -781,7 +853,43 @@ impl Mesh {
             peers.push(c);
             ends.push(e);
         }
-        Ok((Mesh { peers }, ends))
+        let on_respawn = (0..workers).map(|_| Vec::new()).collect();
+        Ok((Mesh { peers, on_respawn }, ends))
+    }
+
+    /// Replace the channel to worker `w` with a fresh one (loopback or
+    /// TCP to match the mesh) and return the new worker-side endpoint
+    /// for the respawned worker to run on. The old coordinator-side
+    /// peer is dropped, which closes the old link — a worker still
+    /// blocked on it sees a typed `Closed` and exits. Faults armed via
+    /// [`Mesh::arm_on_respawn`] are injected into the new channel; the
+    /// old channel's receive timeout carries over to the coordinator
+    /// side only (the worker end keeps the spawn-time default).
+    pub fn respawn(&mut self, w: usize, tcp: bool) -> Result<Peer, TransportError> {
+        let (mut c, e) = if tcp {
+            Peer::tcp_pair(COORDINATOR, w as u32)?
+        } else {
+            Peer::loopback_pair(COORDINATOR, w as u32)
+        };
+        // Only the coordinator side inherits the configured timeout: the
+        // replacement worker endpoint keeps the long default, exactly
+        // like an originally-spawned worker — a coordinator running with
+        // an aggressively short timeout must not hand its respawned
+        // workers a clock that expires during its own recovery pauses.
+        c.set_recv_timeout(self.peers[w].recv_timeout)?;
+        for f in &self.on_respawn[w] {
+            c.inject(f.clone());
+        }
+        self.peers[w] = c;
+        Ok(e)
+    }
+
+    /// Arm `fault` to be injected into worker `w`'s **replacement**
+    /// channel on *every* [`Mesh::respawn`] — a persistently faulty
+    /// slot, so the harness can prove recovery survives faults during
+    /// recovery itself and that a respawn budget really exhausts.
+    pub fn arm_on_respawn(&mut self, w: usize, fault: Fault) {
+        self.on_respawn[w].push(fault);
     }
 
     /// Number of workers in the mesh.
@@ -803,6 +911,33 @@ impl Mesh {
     /// Receive one frame from worker `w`.
     pub fn recv_from(&mut self, w: usize) -> Result<Frame, TransportError> {
         self.peers[w].recv()
+    }
+
+    /// Discard every frame already queued (or arriving within `timeout`)
+    /// on the channel to worker `w`, returning how many were thrown
+    /// away.
+    ///
+    /// This is the coordinator's post-fault cleanup: when a lockstep
+    /// exchange dies partway through its collection sweep, the surviving
+    /// workers' uncollected replies are already in flight and would read
+    /// as off-script frames once the protocol restarts. Sequence
+    /// tracking advances normally, so the channel stays usable, and the
+    /// configured receive timeout is restored before returning. Any
+    /// failure other than the terminating timeout is the channel's own
+    /// typed error.
+    pub fn drain(&mut self, w: usize, timeout: Duration) -> Result<u64, TransportError> {
+        let prev = self.peers[w].recv_timeout;
+        self.peers[w].set_recv_timeout(timeout)?;
+        let mut n = 0u64;
+        let out = loop {
+            match self.peers[w].recv() {
+                Ok(_) => n += 1,
+                Err(e) if e.is_transient() => break Ok(n),
+                Err(e) => break Err(e),
+            }
+        };
+        self.peers[w].set_recv_timeout(prev)?;
+        out
     }
 
     /// Direct access to the channel of worker `w` (fault injection,
@@ -1145,6 +1280,111 @@ mod tests {
             recv
         );
         assert_eq!(snap.total_frames(), 3);
+    }
+
+    #[test]
+    fn only_recv_timeouts_are_transient() {
+        assert!(TransportError::Io {
+            peer: 1,
+            detail: "recv timed out after 500ms".into()
+        }
+        .is_transient());
+        for e in [
+            TransportError::Io {
+                peer: 1,
+                detail: "connection refused".into(),
+            },
+            TransportError::Closed { peer: 1 },
+            TransportError::OutOfOrder {
+                peer: 1,
+                expected: 0,
+                got: 2,
+            },
+            TransportError::Frame {
+                peer: 1,
+                err: FrameError::Truncated { wanted: 48, got: 7 },
+            },
+            TransportError::Protocol {
+                peer: 1,
+                detail: "census totals disagree".into(),
+            },
+        ] {
+            assert!(!e.is_transient(), "{e} must not be retryable in place");
+        }
+    }
+
+    #[test]
+    fn scheduled_fault_fires_every_nth_send_without_being_consumed() {
+        let (mut a, mut b) = Peer::loopback_pair(COORDINATOR, 0);
+        a.inject(Fault::Every {
+            n: 3,
+            fault: Box::new(Fault::FlipBit { bit: 200 }),
+        });
+        let mut outcomes = Vec::new();
+        for i in 0..9u64 {
+            a.send(1, i, b"payload").unwrap();
+            outcomes.push(b.recv().is_ok());
+        }
+        // The first two frames are clean; the 3rd send fires the
+        // schedule and corrupts the frame, and because a corrupted frame
+        // burns a sequence number, every later frame on the same channel
+        // is out of order — exactly why the serving layer respawns on a
+        // fresh channel instead of limping on.
+        assert_eq!(&outcomes[..3], &[true, true, false]);
+        assert!(outcomes[3..].iter().all(|ok| !ok));
+        // The schedule kept firing (sends 3, 6, 9): the sender's flight
+        // ring witnessed three injected flips, not one.
+        let mut dump = String::new();
+        a.flight().dump_with(|_| "?", &mut dump);
+        assert_eq!(dump.matches("bit flipped in transit").count(), 3);
+    }
+
+    #[test]
+    fn one_shot_faults_take_precedence_over_the_schedule() {
+        let (mut a, mut b) = Peer::loopback_pair(COORDINATOR, 0);
+        a.inject(Fault::Every {
+            n: 1,
+            fault: Box::new(Fault::FlipBit { bit: 200 }),
+        });
+        a.inject(Fault::Drop);
+        // The one-shot Drop wins and the schedule does not tick.
+        a.send(1, 0, b"dropped").unwrap();
+        assert!(matches!(b.recv(), Err(TransportError::Closed { .. })));
+    }
+
+    #[test]
+    fn mesh_respawn_replaces_a_dead_channel_and_rearms_faults() {
+        let (mut mesh, mut ends) = Mesh::loopback(2);
+        mesh.send_to(0, 1, 0, b"healthy").unwrap();
+        ends[0].recv().unwrap();
+
+        // Kill the channel to worker 0.
+        mesh.peer_mut(0).inject(Fault::Drop);
+        mesh.send_to(0, 1, 0, b"lost").unwrap();
+        assert!(matches!(ends[0].recv(), Err(TransportError::Closed { .. })));
+
+        // Respawn: the old worker end sees Closed, the new pair works
+        // with fresh sequence numbers.
+        let mut new_end = mesh.respawn(0, false).unwrap();
+        assert!(matches!(ends[0].recv(), Err(TransportError::Closed { .. })));
+        mesh.send_to(0, 2, 1, b"reborn").unwrap();
+        let f = new_end.recv().unwrap();
+        assert_eq!((f.seq, &f.payload[..]), (0, &b"reborn"[..]));
+        new_end.send(2, 1, b"ack").unwrap();
+        assert_eq!(mesh.recv_from(0).unwrap().payload, b"ack");
+        // Worker 1's channel was untouched.
+        mesh.send_to(1, 1, 0, b"still here").unwrap();
+        assert_eq!(ends[1].recv().unwrap().payload, b"still here");
+
+        // Fault-on-respawn: the queued fault corrupts the replacement
+        // channel's first frame.
+        mesh.arm_on_respawn(0, Fault::Drop);
+        let mut third_end = mesh.respawn(0, false).unwrap();
+        mesh.send_to(0, 3, 2, b"doomed").unwrap();
+        assert!(matches!(
+            third_end.recv(),
+            Err(TransportError::Closed { .. })
+        ));
     }
 
     #[test]

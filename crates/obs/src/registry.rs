@@ -37,11 +37,21 @@ pub enum Counter {
     BytesSent,
     /// Bytes taken off the wire by the networked engine.
     BytesReceived,
+    /// Transient wire operations retried in place (recv timeouts the
+    /// supervisor absorbed with backoff instead of failing the batch).
+    NetRetries,
+    /// Shard workers respawned on a fresh channel after a fatal fault.
+    NetRespawns,
+    /// Bytes re-scattered or replayed to re-initialize respawned
+    /// workers (the wire cost of recovery).
+    ReplayedBytes,
+    /// Bytes appended to the write-ahead log.
+    WalBytes,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::WalkExpansions,
         Counter::SearchCapHits,
         Counter::SweepExpansions,
@@ -54,6 +64,10 @@ impl Counter {
         Counter::FramesReceived,
         Counter::BytesSent,
         Counter::BytesReceived,
+        Counter::NetRetries,
+        Counter::NetRespawns,
+        Counter::ReplayedBytes,
+        Counter::WalBytes,
     ];
 
     /// Stable export name.
@@ -71,6 +85,10 @@ impl Counter {
             Counter::FramesReceived => "frames_received",
             Counter::BytesSent => "bytes_sent",
             Counter::BytesReceived => "bytes_received",
+            Counter::NetRetries => "net_retries",
+            Counter::NetRespawns => "net_respawns",
+            Counter::ReplayedBytes => "replayed_bytes",
+            Counter::WalBytes => "wal_bytes",
         }
     }
 }
@@ -140,11 +158,13 @@ pub enum Phase {
     NetCensus,
     /// Networked initial state scatter on the wire.
     NetInit,
+    /// Worker recovery on the wire: respawn, state re-scatter, replay.
+    NetRecover,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::BatchSchedule,
         Phase::RouteUpdates,
         Phase::RepairWave,
@@ -156,6 +176,7 @@ impl Phase {
         Phase::NetCommit,
         Phase::NetCensus,
         Phase::NetInit,
+        Phase::NetRecover,
     ];
 
     /// The ledger label this phase shares with the simulated cost model.
@@ -172,6 +193,7 @@ impl Phase {
             Phase::NetCommit => "net_commit",
             Phase::NetCensus => "net_census",
             Phase::NetInit => "net_init",
+            Phase::NetRecover => "net_recover",
         }
     }
 

@@ -25,8 +25,8 @@ use sparse_alloc_core::params::Schedule;
 use sparse_alloc_core::pipeline::{solve, Booster, PipelineConfig, Rounder};
 use sparse_alloc_dynamic::adapter::{churn_stream, ChurnMix};
 use sparse_alloc_dynamic::{
-    snapshot, DynamicConfig, NetServeLoop, ServeLoop, ShardedConfig, ShardedServeLoop,
-    TransportKind,
+    snapshot, wal, DynamicConfig, NetServeLoop, ServeLoop, ShardedConfig, ShardedServeLoop,
+    SupervisorConfig, TransportKind, WalWriter,
 };
 use sparse_alloc_flow::opt::opt_value;
 use sparse_alloc_graph::generators::{
@@ -35,6 +35,7 @@ use sparse_alloc_graph::generators::{
 };
 use sparse_alloc_graph::sparsity::arboricity_bracket;
 use sparse_alloc_graph::{io, Bipartite};
+use sparse_alloc_mpc::transport::Fault;
 use sparse_alloc_obs::{read_trace, Phase, TraceEvent, Tracer};
 use sparse_alloc_online::arrival;
 use sparse_alloc_online::balance::Balance;
@@ -151,7 +152,8 @@ const USAGE: &str = "usage: salloc <command>
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
                [--shards P] [--net] [--eager-budget B] [--footprint-cap N]
                [--waves] [--checkpoint SNAP] [--checkpoint-every N]
-               [--restore SNAP] [--assign OUT] [--trace OUT.jsonl]
+               [--restore SNAP] [--wal LOG] [--max-respawns N]
+               [--retry-budget N] [--assign OUT] [--trace OUT.jsonl]
                                           serve a churn stream incrementally
                                           (K events/epoch), comparing against
                                           per-epoch full recomputes; with
@@ -183,7 +185,22 @@ const USAGE: &str = "usage: salloc <command>
                                           TCP; the final matching is gathered
                                           from the worker slices over the
                                           wire, and the report adds measured
-                                          wire bytes per epoch. --trace
+                                          wire bytes per epoch. --wal LOG
+                                          appends every update batch and
+                                          epoch boundary to a write-ahead
+                                          log (fsynced, checksummed) before
+                                          acting on it; with --restore, the
+                                          log tail past the snapshot is
+                                          replayed first — crash recovery is
+                                          last base + log tail. With --net,
+                                          --max-respawns N / --retry-budget N
+                                          let the coordinator retry transient
+                                          faults and respawn dead workers
+                                          (re-initialized over the wire)
+                                          before quarantining read-only, and
+                                          periodic --checkpoint-every writes
+                                          become cheap deltas against the
+                                          first full base snapshot. --trace
                                           writes every engine phase as a
                                           checksummed JSONL span (measured
                                           nanoseconds + simulated words) plus
@@ -486,6 +503,105 @@ impl PersistOpts {
     }
 }
 
+/// Durability and supervision flags of `salloc dynamic`.
+struct RobustOpts {
+    /// `--wal LOG`: append every batch and epoch boundary to a
+    /// write-ahead log before acting on it; with `--restore`, replay the
+    /// log tail past the snapshot first.
+    wal: Option<String>,
+    /// `--max-respawns N` (`--net` only): workers the coordinator may
+    /// respawn before quarantining.
+    max_respawns: u64,
+    /// `--retry-budget N` (`--net` only): transient-fault receive
+    /// retries per exchange.
+    retry_budget: u32,
+    /// Hidden `--chaos KIND@EPOCH` test hook (`--net` only): inject a
+    /// transport fault just before the given 1-based epoch. KIND ∈
+    /// drop|truncate|flip|reorder|every:N. Used by the ci.sh chaos
+    /// smoke; deliberately absent from USAGE.
+    chaos: Option<(Fault, usize)>,
+}
+
+impl RobustOpts {
+    fn parse(f: &Flags) -> Result<RobustOpts, CliError> {
+        Ok(RobustOpts {
+            wal: f.named.get("wal").cloned(),
+            max_respawns: f.get("max-respawns", 0)?,
+            retry_budget: f.get("retry-budget", 0)?,
+            chaos: match f.named.get("chaos") {
+                Some(spec) => Some(parse_chaos(spec)?),
+                None => None,
+            },
+        })
+    }
+}
+
+fn parse_chaos(spec: &str) -> Result<(Fault, usize), CliError> {
+    let (kind, at) = spec
+        .split_once('@')
+        .ok_or_else(|| err("--chaos wants KIND@EPOCH (e.g. flip@2)"))?;
+    let epoch: usize = at
+        .parse()
+        .map_err(|_| err(format!("--chaos: cannot parse epoch '{at}'")))?;
+    if epoch == 0 {
+        return Err(err("--chaos: EPOCH is 1-based"));
+    }
+    let fault = match kind {
+        "drop" => Fault::Drop,
+        "truncate" => Fault::Truncate,
+        "flip" => Fault::FlipBit { bit: 127 },
+        "reorder" => Fault::Reorder,
+        other => match other.strip_prefix("every:") {
+            Some(n) => Fault::Every {
+                n: n.parse()
+                    .map_err(|_| err(format!("--chaos: cannot parse period '{n}'")))?,
+                fault: Box::new(Fault::FlipBit { bit: 127 }),
+            },
+            None => return Err(err(format!("--chaos: unknown fault kind '{kind}'"))),
+        },
+    };
+    Ok((fault, epoch))
+}
+
+/// Open (or create) the `--wal` log. On a `--restore` run the log is
+/// opened in place (torn tail repaired), the records past the last base
+/// marker are handed to `replay` — crash recovery's `base + log tail` —
+/// and the returned note says what was replayed. A fresh run truncates
+/// the log and starts over.
+fn open_wal<F>(
+    wal: &Option<String>,
+    replaying: bool,
+    replay: F,
+) -> Result<(Option<WalWriter<std::fs::File>>, Option<String>), CliError>
+where
+    F: FnOnce(&[wal::WalRecord]) -> Result<wal::ReplayStats, wal::WalError>,
+{
+    let Some(wp) = wal else {
+        return Ok((None, None));
+    };
+    let p = std::path::Path::new(wp);
+    if replaying {
+        let (log, w) = WalWriter::open(p).map_err(|e| err(format!("{wp}: {e}")))?;
+        let stats = replay(&log.records[log.tail_start()..])
+            .map_err(|e| err(format!("{wp}: replay: {e}")))?;
+        let note = format!(
+            "replayed {} batches / {} updates over {} epochs from {wp}{}",
+            stats.batches,
+            stats.updates,
+            stats.epochs,
+            if log.torn {
+                " (torn tail repaired)"
+            } else {
+                ""
+            }
+        );
+        Ok((Some(w), Some(note)))
+    } else {
+        let w = WalWriter::create(p).map_err(|e| err(format!("{wp}: {e}")))?;
+        Ok((Some(w), Some(format!("logging to {wp}"))))
+    }
+}
+
 fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     let f = parse_flags(args, &["no-full", "waves", "net"])?;
     let path = f
@@ -503,6 +619,16 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     let compare_full = !f.has("no-full");
     let shards: usize = f.get("shards", 0)?;
     let persist = PersistOpts::parse(&f)?;
+    let robust = RobustOpts::parse(&f)?;
+    // Supervision only exists where there are real workers to supervise;
+    // accepting these flags elsewhere would silently do nothing.
+    if !(shards > 0 && f.has("net")) {
+        for flag in ["max-respawns", "retry-budget", "chaos"] {
+            if f.named.contains_key(flag) {
+                return Err(err(format!("--{flag} requires --net")));
+            }
+        }
+    }
     let trace_path = f.named.get("trace").cloned();
     let tracer = match &trace_path {
         Some(p) => Tracer::to_file(p).map_err(|e| err(format!("{p}: {e}")))?,
@@ -536,6 +662,7 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
                 seed,
                 scfg,
                 &persist,
+                &robust,
                 &tracer,
                 &trace_path,
             );
@@ -548,6 +675,7 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
             scfg,
             f.has("waves"),
             &persist,
+            &robust,
             &tracer,
             &trace_path,
         );
@@ -570,14 +698,17 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         None => ServeLoop::new(g, cfg),
     };
     serve.set_tracer(tracer.clone());
-    // A restored engine resumes where the snapshot left off: its epoch
-    // counter says how much of the (identically regenerated) stream was
-    // already consumed.
-    let done = if persist.restore.is_some() {
-        serve.stats().epochs
-    } else {
-        0
-    };
+    let restored_at = serve.stats().epochs;
+    // Crash recovery: a restored engine first replays the WAL tail past
+    // its snapshot, then resumes the (identically regenerated) stream
+    // from wherever base + tail left off.
+    let (mut walw, wal_note) = open_wal(&robust.wal, persist.restore.is_some(), |records| {
+        wal::replay_serial(&mut serve, records)
+    })?;
+    // A restored engine resumes where the snapshot (plus any replayed
+    // log tail) left off: its epoch counter says how much of the stream
+    // was already consumed.
+    let done = serve.stats().epochs;
     let eps = serve.config().eps;
     let k = serve.config().walk_budget;
 
@@ -589,8 +720,11 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     if let Some(snap) = &persist.restore {
         let _ = writeln!(
             out,
-            "restored           : {snap} (resuming after epoch {done})"
+            "restored           : {snap} (resuming after epoch {restored_at})"
         );
+    }
+    if let Some(note) = wal_note {
+        let _ = writeln!(out, "wal                : {note}");
     }
     let _ = writeln!(
         out,
@@ -607,10 +741,19 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
         .skip(done)
     {
         let t0 = std::time::Instant::now();
+        let ep = serve.stats().epochs as u64;
+        if let Some(w) = walw.as_mut() {
+            w.append_batch(ep, chunk)
+                .map_err(|me| err(format!("wal: {me}")))?;
+        }
         for up in chunk {
             serve.apply(up);
         }
         let report = serve.end_epoch();
+        if let Some(w) = walw.as_mut() {
+            w.append_epoch_end(ep, report.match_size as u64)
+                .map_err(|me| err(format!("wal: {me}")))?;
+        }
         let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
         incr_total += incr_ms;
         if let Some(cp) = &persist.checkpoint {
@@ -688,6 +831,14 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
             serve.stats().epochs
         );
     }
+    if let Some(w) = &walw {
+        let _ = writeln!(
+            out,
+            "wal                : {} bytes appended ({} records)",
+            w.bytes_appended(),
+            w.seq()
+        );
+    }
     finish_trace(&mut out, &tracer, &trace_path, serve.obs());
     persist.dump_assignment(&serve.assignment())?;
     Ok(out)
@@ -720,6 +871,7 @@ fn cmd_dynamic_sharded(
     cfg: ShardedConfig,
     report_waves: bool,
     persist: &PersistOpts,
+    robust: &RobustOpts,
     tracer: &Tracer,
     trace_path: &Option<String>,
 ) -> Result<String, CliError> {
@@ -733,11 +885,11 @@ fn cmd_dynamic_sharded(
             .map_err(|e| err(format!("sharded serving left the MPC regime: {e}")))?,
     };
     serve.set_tracer(tracer.clone());
-    let done = if persist.restore.is_some() {
-        serve.serve_stats().epochs
-    } else {
-        0
-    };
+    let restored_at = serve.serve_stats().epochs;
+    let (mut walw, wal_note) = open_wal(&robust.wal, persist.restore.is_some(), |records| {
+        wal::replay_sharded(&mut serve, records)
+    })?;
+    let done = serve.serve_stats().epochs;
     let eps = serve.serial().config().eps;
     let k = serve.serial().config().walk_budget;
     let eager = serve.serial().config().eager_budget();
@@ -751,8 +903,11 @@ fn cmd_dynamic_sharded(
     if let Some(snap) = &persist.restore {
         let _ = writeln!(
             out,
-            "restored           : {snap} (resuming after epoch {done} on {shards} machines)"
+            "restored           : {snap} (resuming after epoch {restored_at} on {shards} machines)"
         );
+    }
+    if let Some(note) = wal_note {
+        let _ = writeln!(out, "wal                : {note}");
     }
     let _ = writeln!(
         out,
@@ -767,12 +922,21 @@ fn cmd_dynamic_sharded(
         .enumerate()
         .skip(done)
     {
+        let ep = serve.serve_stats().epochs as u64;
+        if let Some(w) = walw.as_mut() {
+            w.append_batch(ep, chunk)
+                .map_err(|me| err(format!("wal: {me}")))?;
+        }
         let batch = serve
             .apply_batch(chunk)
             .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
         let report = serve
             .end_epoch()
             .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
+        if let Some(w) = walw.as_mut() {
+            w.append_epoch_end(ep, report.serial.match_size as u64)
+                .map_err(|me| err(format!("wal: {me}")))?;
+        }
         if let Some(cp) = &persist.checkpoint {
             if persist.every > 0 && (e + 1) % persist.every == 0 {
                 snapshot::save_sharded(&mut serve, cp).map_err(|me| err(format!("{cp}: {me}")))?;
@@ -848,6 +1012,14 @@ fn cmd_dynamic_sharded(
             serve.serve_stats().epochs
         );
     }
+    if let Some(w) = &walw {
+        let _ = writeln!(
+            out,
+            "wal                : {} bytes appended ({} records)",
+            w.bytes_appended(),
+            w.seq()
+        );
+    }
     finish_trace(&mut out, tracer, trace_path, serve.obs());
     persist.dump_assignment(&serve.assignment())?;
     Ok(out)
@@ -861,6 +1033,7 @@ fn cmd_dynamic_net(
     seed: u64,
     cfg: ShardedConfig,
     persist: &PersistOpts,
+    robust: &RobustOpts,
     tracer: &Tracer,
     trace_path: &Option<String>,
 ) -> Result<String, CliError> {
@@ -876,13 +1049,26 @@ fn cmd_dynamic_net(
             .map_err(|e| err(format!("networked serving failed to start: {e}")))?,
     };
     inner.set_tracer(tracer.clone());
+    let restored_at = inner.serve_stats().epochs;
+    // Crash recovery happens *before* the mesh comes up: the log tail is
+    // replayed onto the restored engine, and the workers then INIT from
+    // the recovered state.
+    let (walw, wal_note) = open_wal(&robust.wal, persist.restore.is_some(), |records| {
+        wal::replay_sharded(&mut inner, records)
+    })?;
     let mut serve = NetServeLoop::from_inner(inner, TransportKind::Tcp)
         .map_err(|e| err(format!("networked serving failed to start: {e}")))?;
-    let done = if persist.restore.is_some() {
-        serve.inner().serve_stats().epochs
-    } else {
-        0
-    };
+    if let Some(w) = walw {
+        serve.attach_wal(w);
+    }
+    if robust.max_respawns > 0 || robust.retry_budget > 0 {
+        serve.set_supervisor(SupervisorConfig {
+            max_respawns: robust.max_respawns,
+            retry_budget: robust.retry_budget,
+            ..SupervisorConfig::default()
+        });
+    }
+    let done = serve.inner().serve_stats().epochs;
     let eps = serve.serial().config().eps;
     let k = serve.serial().config().walk_budget;
 
@@ -895,7 +1081,17 @@ fn cmd_dynamic_net(
     if let Some(snap) = &persist.restore {
         let _ = writeln!(
             out,
-            "restored           : {snap} (resuming after epoch {done} on {shards} workers)"
+            "restored           : {snap} (resuming after epoch {restored_at} on {shards} workers)"
+        );
+    }
+    if let Some(note) = wal_note {
+        let _ = writeln!(out, "wal                : {note}");
+    }
+    if robust.max_respawns > 0 || robust.retry_budget > 0 {
+        let _ = writeln!(
+            out,
+            "supervision        : up to {} respawns, {} transient retries per exchange",
+            robust.max_respawns, robust.retry_budget
         );
     }
     let _ = writeln!(
@@ -905,12 +1101,25 @@ fn cmd_dynamic_net(
     );
     let mut rounds_before = serve.ledger().rounds;
     let mut saved_at: Option<usize> = None;
+    let mut delta_count = 0usize;
+    let mut delta_bytes = 0u64;
+    let mut chaos_note: Option<String> = None;
     for (e, chunk) in updates
         .chunks(events.max(1))
         .take(epochs)
         .enumerate()
         .skip(done)
     {
+        if let Some((fault, at)) = &robust.chaos {
+            if e + 1 == *at {
+                let target = 1.min(shards.saturating_sub(1));
+                serve.inject_fault(target, fault.clone());
+                chaos_note = Some(format!(
+                    "injected {fault:?} on the channel to worker {target} before epoch {}",
+                    e + 1
+                ));
+            }
+        }
         let batch = serve
             .apply_batch(chunk)
             .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
@@ -919,10 +1128,21 @@ fn cmd_dynamic_net(
             .map_err(|me| err(format!("epoch {}: {me}", e + 1)))?;
         if let Some(cp) = &persist.checkpoint {
             if persist.every > 0 && (e + 1) % persist.every == 0 {
-                serve
-                    .checkpoint(cp)
-                    .map_err(|me| err(format!("{cp}: {me}")))?;
-                saved_at = Some(e + 1);
+                // The first periodic write is the full base; every later
+                // one is a delta against it — the cheap periodic path,
+                // since recovery is base + WAL tail anyway.
+                if saved_at.is_none() {
+                    serve
+                        .checkpoint(cp)
+                        .map_err(|me| err(format!("{cp}: {me}")))?;
+                    saved_at = Some(e + 1);
+                } else {
+                    let dp = format!("{cp}.delta");
+                    delta_bytes += serve
+                        .checkpoint_delta(&dp)
+                        .map_err(|me| err(format!("{dp}: {me}")))?;
+                    delta_count += 1;
+                }
             }
         }
         let rounds = serve.ledger().rounds;
@@ -979,6 +1199,35 @@ fn cmd_dynamic_net(
         stats.census_bytes,
         stats.init_bytes,
     );
+    if let Some(note) = &chaos_note {
+        let _ = writeln!(out, "chaos              : {note}");
+    }
+    if stats.retries + stats.respawns > 0 {
+        let _ = writeln!(
+            out,
+            "recovery           : {} transient retries, {} respawns, {} bytes re-scattered, \
+             {:.2} ms",
+            stats.retries,
+            stats.respawns,
+            stats.replayed_bytes,
+            stats.recovery_ns as f64 / 1e6,
+        );
+    }
+    if robust.wal.is_some() {
+        let _ = writeln!(
+            out,
+            "wal                : {} bytes appended",
+            serve.wal_bytes()
+        );
+    }
+    if delta_count > 0 {
+        let _ = writeln!(
+            out,
+            "delta checkpoints  : {delta_count} written, {delta_bytes} bytes \
+             (full base at epoch {})",
+            saved_at.unwrap_or(0)
+        );
+    }
     if let Some(cp) = &persist.checkpoint {
         if saved_at != Some(serve.inner().serve_stats().epochs) {
             serve

@@ -11,7 +11,7 @@
 //! restores that re-shard onto a *different* machine count.
 
 use proptest::prelude::*;
-use sparse_alloc::dynamic::snapshot;
+use sparse_alloc::dynamic::{snapshot, wal};
 use sparse_alloc::flow::opt::opt_value;
 use sparse_alloc::prelude::*;
 
@@ -258,6 +258,158 @@ proptest! {
                     "{} → {} workers: wire-gathered matching diverged", shards, restore_shards
                 );
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The write-ahead log's cut-anywhere contract, for ANY proptest-built
+    /// record stream: truncating the encoded log at ANY byte yields the
+    /// verbatim clean record prefix with the torn tail flagged — never a
+    /// panic, never a half-decoded record — and flipping ANY single bit
+    /// never smuggles an altered record through (it is either a typed
+    /// corruption or, when it lands in the final frame's length words, a
+    /// torn tail over the same verbatim prefix).
+    #[test]
+    fn wal_truncation_is_prefix_consistent_and_corruption_is_typed(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 1..16),
+        epoch_every in 2usize..6,
+        cut_pct in 0usize..=100,
+        flip_pos in 0usize..1_000_000,
+        flip_bit in 0u8..8,
+    ) {
+        let updates = materialize(&g, &ops);
+        let mut w = wal::WalWriter::new(Vec::new());
+        for (e, chunk) in updates.chunks(epoch_every).enumerate() {
+            w.append_batch(e as u64, chunk).unwrap();
+            w.append_epoch_end(e as u64, 0).unwrap();
+        }
+        w.append_base(updates.len() as u64, 0xfeed).unwrap();
+        let bytes = w.into_inner();
+        let full = wal::read_wal(&mut &bytes[..]).expect("the untouched log is clean");
+        prop_assert!(!full.torn);
+        prop_assert_eq!(full.clean_len as usize, bytes.len());
+
+        // Cut anywhere: a verbatim record prefix, torn iff mid-record.
+        let cut = bytes.len() * cut_pct / 100;
+        let cut_log = wal::read_wal(&mut &bytes[..cut]).expect("truncation is never corruption");
+        prop_assert!(cut_log.records.len() <= full.records.len());
+        prop_assert_eq!(
+            &cut_log.records[..], &full.records[..cut_log.records.len()],
+            "the surviving prefix must be verbatim"
+        );
+        prop_assert!(cut_log.clean_len as usize <= cut);
+        prop_assert_eq!(cut_log.torn, cut_log.clean_len as usize != cut);
+
+        // Flip any single bit: typed corruption, or a torn tail / strict
+        // prefix — never a successful parse of altered content.
+        let mut flipped = bytes.clone();
+        let pos = flip_pos % flipped.len();
+        flipped[pos] ^= 1 << flip_bit;
+        match wal::read_wal(&mut &flipped[..]) {
+            Err(wal::WalError::Corrupt { .. }) => {}
+            Err(e) => prop_assert!(false, "flip at byte {} surfaced as {}", pos, e),
+            Ok(r) => {
+                prop_assert!(r.records.len() < full.records.len());
+                prop_assert_eq!(
+                    &r.records[..], &full.records[..r.records.len()],
+                    "a bit flip must never alter a surviving record"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end crash recovery ≡ uninterrupted, over shard counts
+    /// {1, 2, 4, 7}: a supervised net engine logs every batch to a WAL,
+    /// cuts one base checkpoint mid-stream, absorbs a proptest-chosen
+    /// transport fault in a proptest-chosen later batch (respawn +
+    /// re-INIT), then "crashes" at the end of the stream; a fresh engine
+    /// restored from `base + log tail` carries the exact mate vector of
+    /// an uninterrupted serial run over the same stream.
+    #[test]
+    fn recovery_equals_uninterrupted_for_every_shard_count(
+        g in instance(),
+        ops in proptest::collection::vec((0u8..5, 0u32..1_000_000, 0u32..1_000_000, 1u64..=4), 4..20),
+        epoch_every in 2usize..6,
+        fault_pick in 0usize..4,
+        fault_pct in 0usize..=100,
+    ) {
+        use sparse_alloc::dynamic::SupervisorConfig;
+        use sparse_alloc::mpc::transport::Fault;
+        let eps = 0.25;
+        let updates = materialize(&g, &ops);
+        let chunks: Vec<&[Update]> = updates.chunks(epoch_every).collect();
+        let base_epoch = (chunks.len() / 2).max(1);
+        let fault_epoch = ((chunks.len() - 1) * fault_pct / 100).min(chunks.len() - 1);
+        let fault = match fault_pick {
+            0 => Fault::Drop,
+            1 => Fault::Truncate,
+            2 => Fault::FlipBit { bit: 170 },
+            _ => Fault::Reorder,
+        };
+
+        let cfg = ShardedConfig::for_eps(eps, 1);
+        let mut serial = ServeLoop::new(g.clone(), cfg.dynamic);
+        for chunk in &chunks {
+            for up in *chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+        }
+
+        for &shards in &[1usize, 2, 4, 7] {
+            let dir = std::env::temp_dir();
+            let pid = std::process::id();
+            let wal_path = dir.join(format!("salloc-prop-wal-{pid}-{shards}.log"));
+            let base_path = dir.join(format!("salloc-prop-base-{pid}-{shards}.bin"));
+
+            let mut net = NetServeLoop::new(
+                g.clone(), ShardedConfig::for_eps(eps, shards), TransportKind::Loopback,
+            ).unwrap();
+            net.set_recv_timeout(std::time::Duration::from_millis(100)).unwrap();
+            net.set_supervisor(SupervisorConfig {
+                max_respawns: 3,
+                retry_budget: 1,
+                backoff_base: std::time::Duration::from_micros(100),
+            });
+            net.attach_wal(wal::WalWriter::create(&wal_path).unwrap());
+            for (e, chunk) in chunks.iter().enumerate() {
+                if e == fault_epoch {
+                    net.inject_fault(1.min(shards - 1), fault.clone());
+                }
+                net.apply_batch(chunk).unwrap();
+                net.end_epoch().unwrap();
+                if e + 1 == base_epoch {
+                    net.checkpoint(&base_path).unwrap();
+                }
+            }
+            prop_assert!(
+                net.net_stats().respawns >= 1,
+                "{} shards / {:?}: the fault must have tripped a respawn", shards, fault
+            );
+            prop_assert!(net.quarantine_reason().is_none());
+            drop(net); // the "crash"
+
+            let mut recovered = snapshot::load_sharded(&base_path, Some(shards)).unwrap();
+            let log = wal::read_wal_file(&wal_path).unwrap();
+            prop_assert!(!log.torn, "fsynced appends leave no torn tail");
+            wal::replay_sharded(&mut recovered, &log.records[log.tail_start()..]).unwrap();
+            recovered.validate().unwrap();
+            prop_assert_eq!(
+                recovered.assignment().mate, serial.assignment().mate,
+                "{} shards / {:?}: recovery diverged from the uninterrupted run",
+                shards, fault
+            );
+
+            let _ = std::fs::remove_file(&wal_path);
+            let _ = std::fs::remove_file(&base_path);
         }
     }
 }

@@ -251,6 +251,130 @@ fn any_fault_leaves_a_flight_dump_naming_peer_and_phase() {
     }
 }
 
+// --------------------------------------------------------- self-healing
+
+/// Drive the same churn stream through a *supervised* net engine with
+/// `fault` injected mid-stream, and through an uninterrupted serial
+/// engine. The supervisor must absorb the fault (respawn the worker on a
+/// fresh channel, re-INIT, retry), the run must complete, and the final
+/// wire-gathered matching must equal the uninterrupted serial run
+/// **verbatim**.
+fn chaos_recovers_to_serial(kind: TransportKind, shards: usize, fault: Fault) {
+    use sparse_alloc::dynamic::SupervisorConfig;
+    let label = format!("{kind:?}/{shards} shards/{fault:?}");
+    let g = union_of_spanning_trees(40, 30, 2, 2, 9).graph;
+    let updates = sparse_alloc::dynamic::adapter::churn_stream(
+        &g,
+        48,
+        &sparse_alloc::dynamic::adapter::ChurnMix::default(),
+        9,
+    );
+    let cfg = ShardedConfig::for_eps(0.25, shards);
+    let dynamic_cfg = cfg.dynamic.clone();
+    let mut net = NetServeLoop::new(g.clone(), cfg, kind).expect("engine starts");
+    net.set_recv_timeout(std::time::Duration::from_millis(300))
+        .unwrap();
+    net.set_supervisor(SupervisorConfig {
+        max_respawns: 4,
+        retry_budget: 1,
+        backoff_base: std::time::Duration::from_micros(200),
+    });
+    let mut serial = ServeLoop::new(g, dynamic_cfg);
+    for (i, chunk) in updates.chunks(12).enumerate() {
+        if i == 1 {
+            net.inject_fault(1.min(shards - 1), fault.clone());
+        }
+        net.apply_batch(chunk)
+            .unwrap_or_else(|e| panic!("{label}: epoch {}: {e}", i + 1));
+        net.end_epoch()
+            .unwrap_or_else(|e| panic!("{label}: epoch {} end: {e}", i + 1));
+        for up in chunk {
+            serial.apply(up);
+        }
+        serial.end_epoch();
+    }
+    assert!(
+        net.net_stats().respawns >= 1,
+        "{label}: the fault must have cost at least one respawn"
+    );
+    assert!(
+        net.quarantine_reason().is_none(),
+        "{label}: recovery must not have exhausted the budget"
+    );
+    net.validate().expect("engine state stays consistent");
+    let gathered = net.gather_assignment().expect("gather after recovery");
+    assert_eq!(
+        gathered.mate,
+        serial.assignment().mate,
+        "{label}: recovered run diverged from the uninterrupted serial run"
+    );
+}
+
+/// The chaos proof: every fault class, injected mid-epoch on a live 2-
+/// and 4-shard mesh, is absorbed by respawn + re-INIT and the run ends
+/// in exactly the serial state.
+#[test]
+fn every_fault_class_recovers_on_two_and_four_shard_meshes() {
+    for shards in [2usize, 4] {
+        for fault in [
+            Fault::Drop,
+            Fault::Truncate,
+            Fault::FlipBit { bit: 170 },
+            Fault::Reorder,
+        ] {
+            chaos_recovers_to_serial(TransportKind::Loopback, shards, fault);
+        }
+    }
+    // Spot-check the recovery path over real TCP sockets too.
+    chaos_recovers_to_serial(TransportKind::Tcp, 2, Fault::FlipBit { bit: 170 });
+}
+
+/// Exhausting the respawn budget must land the engine in *read-only*
+/// quarantine: the original typed error surfaces, queries keep answering
+/// from the coordinator mirror, and every further mutation is a typed
+/// [`NetError::Quarantined`] — never a panic, never a limp-on.
+#[test]
+fn exhausting_the_respawn_budget_quarantines_read_only() {
+    use sparse_alloc::dynamic::SupervisorConfig;
+    let (mut net, updates) = small_engine(TransportKind::Loopback);
+    net.set_supervisor(SupervisorConfig {
+        max_respawns: 2,
+        retry_budget: 0,
+        backoff_base: std::time::Duration::from_micros(100),
+    });
+    net.apply_batch(&updates[..8]).expect("healthy epoch");
+    net.end_epoch().expect("healthy epoch end");
+    let before = net.match_size();
+
+    // A persistently faulty slot: the fault re-arms on every respawn, so
+    // each recovery's re-INIT is corrupted too and the budget drains.
+    net.inject_fault(1, Fault::FlipBit { bit: 170 });
+    net.arm_fault_on_respawn(1, Fault::FlipBit { bit: 170 });
+    let err = net
+        .apply_batch(&updates[8..16])
+        .expect_err("a dead slot must not serve");
+    assert!(
+        matches!(err, NetError::Transport(_) | NetError::Protocol { .. }),
+        "exhaustion surfaces the underlying wire fault, got {err:?}"
+    );
+    assert_eq!(net.net_stats().respawns, 2, "the whole budget was spent");
+    assert!(net.quarantine_reason().is_some());
+
+    // Read-only: the mirror still answers, state is consistent …
+    assert_eq!(net.match_size(), before);
+    net.validate().expect("quarantined state stays consistent");
+    // … and every mutation path refuses with the typed variant.
+    assert!(matches!(
+        net.apply_batch(&updates[16..24]),
+        Err(NetError::Quarantined { .. })
+    ));
+    assert!(matches!(net.end_epoch(), Err(NetError::Quarantined { .. })));
+    assert!(matches!(
+        net.gather_assignment(),
+        Err(NetError::Quarantined { .. })
+    ));
+}
+
 /// Positive control for the harness: the identical drive sequence with
 /// no fault injected completes on both transports and the wire-gathered
 /// matching agrees with the engine — so the failures above are caused by
