@@ -53,6 +53,14 @@ if [ "${1:-}" != "fast" ]; then
         --eager-budget 1 --assign "$tmp/net.txt"
     cmp "$tmp/serial.txt" "$tmp/net.txt" \
         || { echo "wire-gathered allocation diverged from the serial engine"; exit 1; }
+    # p2p repair waves: walks run on the workers, cross-shard state moves
+    # worker↔worker — the gathered allocation must still equal serial.
+    cargo run --release -q --bin salloc -- \
+        dynamic "$tmp/g.txt" --epochs 2 --events 150 --eps 0.25 --seed 1 --shards 4 --net \
+        --p2p --eager-budget 1 --assign "$tmp/p2p.txt" | grep -q 'p2p repair traffic' \
+        || { echo "--p2p did not report its handoff traffic"; exit 1; }
+    cmp "$tmp/serial.txt" "$tmp/p2p.txt" \
+        || { echo "p2p wire-gathered allocation diverged from the serial engine"; exit 1; }
     rm -rf "$tmp"
 
     step "CLI trace smoke (salloc dynamic --trace + salloc report)"
@@ -252,6 +260,15 @@ if [ "${1:-}" != "fast" ]; then
         printf "e22 durability gate: %.1f B/update (limit 16), delta %.3f of full (limit 0.3) — OK\n", w, d
     }' || exit 1
 
+    step "e23 p2p repair waves (handoffs metered, coordinator bytes < star, ≡ serial, gated)"
+    cargo run --release -q -p sparse-alloc-bench --bin experiments -- e23
+    grep -q '"p2p_equal_serial": true' BENCH_p2p.json \
+        || { echo "e23 FAILED: p2p wire-gathered allocation diverged from serial"; exit 1; }
+    grep -q '"handoffs_nonzero": true' BENCH_p2p.json \
+        || { echo "e23 FAILED: no cross-shard walk state ever moved worker↔worker"; exit 1; }
+    grep -q '"commit_bytes_below_star": true' BENCH_p2p.json \
+        || { echo "e23 FAILED: p2p coordinator commit bytes did not drop below the star's"; exit 1; }
+
     step "sharded ≡ serial proptest under --release (threaded wave execution)"
     cargo test --release -q --test properties \
         sharded_serving_equals_serial_for_any_shard_count
@@ -262,7 +279,15 @@ if [ "${1:-}" != "fast" ]; then
     cargo test --release -q --test properties \
         networked_serving_over_tcp_equals_serial
 
-    step "transport fault-injection harness under --release"
+    step "p2p ≡ serial proptests under --release (worker↔worker walk handoffs)"
+    cargo test --release -q --test properties \
+        p2p_serving_over_loopback_equals_serial
+    cargo test --release -q --test properties \
+        p2p_serving_over_tcp_equals_serial
+    cargo test --release -q --test properties \
+        p2p_epochs_with_cross_shard_walks_stay_serial_identical
+
+    step "transport fault-injection harness under --release (star spokes + p2p peer links)"
     cargo test --release -q --test transport
 
     step "examples (release) — none may bit-rot"

@@ -24,6 +24,7 @@
 //! | E20 | (system) persistence: snapshot size, latency, warm-restart fidelity |
 //! | E21 | (system) networked serving: measured wire bytes vs simulated words |
 //! | E22 | (system) self-healing: supervised recovery, crash replay, WAL cost |
+//! | E23 | (system) p2p repair waves: worker↔worker handoffs vs the star |
 
 pub mod e01_rounds_vs_lambda;
 pub mod e02_n_independence;
@@ -47,6 +48,7 @@ pub mod e19_batching;
 pub mod e20_persistence;
 pub mod e21_network;
 pub mod e22_recovery;
+pub mod e23_p2p;
 
 /// Render the non-empty per-phase latency histograms of a metrics
 /// registry as one JSON object: `{"<phase>": {"count": …, "p50": …,
@@ -78,11 +80,11 @@ pub fn phase_latency_json(reg: &sparse_alloc_obs::Registry) -> String {
     json_object(&refs)
 }
 
-/// Run one experiment by id (`"e1"`, …, `"e22"`), or `"all"`.
+/// Run one experiment by id (`"e1"`, …, `"e23"`), or `"all"`.
 pub fn dispatch(id: &str) -> Result<(), String> {
     let all = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+        "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
     ];
     let run_one = |name: &str| match name {
         "e1" => e01_rounds_vs_lambda::run(),
@@ -107,6 +109,7 @@ pub fn dispatch(id: &str) -> Result<(), String> {
         "e20" => e20_persistence::run(),
         "e21" => e21_network::run(),
         "e22" => e22_recovery::run(),
+        "e23" => e23_p2p::run(),
         other => panic!("unknown experiment {other}"),
     };
     match id {

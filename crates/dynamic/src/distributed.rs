@@ -47,8 +47,10 @@ use sparse_alloc_mpc::shard::labels;
 use sparse_alloc_mpc::{Cluster, Ledger, MpcConfig, MpcError, ShardMap, Words};
 use sparse_alloc_obs::{Counter, Dist, Phase, Registry, Tracer};
 
-use crate::batch::{schedule, BatchSchedule};
-use crate::serve::{DynamicConfig, EpochReport, ServeLoop, ServeParts, ServePartsRef, ServeStats};
+use crate::batch::{schedule, BatchSchedule, UpdatePlan};
+use crate::serve::{
+    DynamicConfig, EpochReport, ServeLoop, ServeParts, ServePartsRef, ServeStats, WaveUpdateResult,
+};
 use crate::update::Update;
 
 /// Everything a warm restart persists of a [`ShardedServeLoop`]: the
@@ -237,6 +239,44 @@ impl UpdateMsg {
                 cap: self.cap,
             },
         }
+    }
+}
+
+/// One update batch after scheduling + routing but before any wave ran:
+/// the state [`ShardedServeLoop::stage_batch`] hands whichever executor
+/// drives the waves (the in-process threaded one, or the p2p engine
+/// shipping each wave to its owning shard worker).
+#[derive(Debug)]
+pub(crate) struct StagedBatch {
+    /// The conflict-wave schedule.
+    pub(crate) sched: BatchSchedule,
+    /// The *delivered* update copies (the engine consumes these, not the
+    /// caller's slice — a routing bug surfaces as divergence, not
+    /// vanishes).
+    pub(crate) routed: Vec<Option<Update>>,
+    /// Batch ordinal, for trace spans.
+    pub(crate) batch_no: u64,
+    budget: usize,
+    n_updates: usize,
+    /// The batch's simulated-cost ledger (absorbed on finish).
+    epoch: Ledger,
+    /// Update indices sorted by wave.
+    order: Vec<usize>,
+    /// `order` ranges of the waves, in execution order.
+    bounds: Vec<(usize, usize)>,
+    handoff_total: u64,
+}
+
+impl StagedBatch {
+    /// Number of waves.
+    pub(crate) fn waves(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Batch-order update indices of wave `w`.
+    pub(crate) fn wave_idxs(&self, w: usize) -> &[usize] {
+        let (b, e) = self.bounds[w];
+        &self.order[b..e]
     }
 }
 
@@ -484,15 +524,18 @@ impl ShardedServeLoop {
         Ok(delivered)
     }
 
-    /// Apply one epoch's update batch: schedule conflict-free waves,
-    /// route every update to the shard owning its ball, and repair wave
-    /// by wave — the disjoint-footprint repairs of a wave on real worker
-    /// threads ([`ServeLoop`]'s wave executor; disjoint balls commute, so
-    /// the engine state equals serial application of the batch in arrival
-    /// order for every thread count).
-    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, MpcError> {
+    /// Schedule + route one epoch's update batch without running any
+    /// wave: everything the coordinator does before repairs execute,
+    /// shared by the threaded wave executor ([`Self::apply_batch`]) and
+    /// the p2p engine (which ships each wave to the shard workers and
+    /// drives [`Self::finish_wave`] / [`Self::finish_batch`] itself).
+    /// Returns `None` for an empty batch.
+    pub(crate) fn stage_batch(
+        &mut self,
+        updates: &[Update],
+    ) -> Result<Option<StagedBatch>, MpcError> {
         if updates.is_empty() {
-            return Ok(BatchReport::default());
+            return Ok(None);
         }
         self.stats.batches += 1;
         let batch_no = self.stats.batches as u64;
@@ -561,64 +604,183 @@ impl ShardedServeLoop {
         obs.phase_ns(Phase::RouteUpdates, ns);
         obs.inc(Counter::RoutedUpdates, updates.len() as u64);
 
-        // Phase 2 — repair waves. Waves run in order; inside a wave,
-        // non-global nonempty-footprint repairs fan out over worker
-        // threads (any order would do: the balls are disjoint), while
-        // globals and pure no-ops stay on this thread.
+        // Wave order: update indices grouped by wave, waves ascending.
         let mut order: Vec<usize> = (0..updates.len()).collect();
         order.sort_by_key(|&i| sched.plans[i].wave);
-        let mut handoff_total = 0u64;
+        let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(sched.waves);
         let mut at = 0usize;
-        // Per-wave scratch, reused across the hundreds of waves a batch
-        // typically runs — the per-wave fixed cost is what the one-box
-        // gate measures against serial.
-        let mut wave_updates: Vec<&Update> = Vec::new();
-        let mut parallel_ok: Vec<bool> = Vec::new();
-        let mut arrive_ids: Vec<Option<u32>> = Vec::new();
-        let mut sent = vec![0u64; self.map.shards()];
-        let mut recv = vec![0u64; self.map.shards()];
         while at < order.len() {
             let wave = sched.plans[order[at]].wave;
             let begin = at;
             while at < order.len() && sched.plans[order[at]].wave == wave {
                 at += 1;
             }
-            let idxs = &order[begin..at];
-            let mut spw = self.tracer.span(Phase::RepairWave, batch_no);
+            bounds.push((begin, at));
+        }
+        Ok(Some(StagedBatch {
+            sched,
+            routed,
+            batch_no,
+            budget,
+            n_updates: updates.len(),
+            epoch,
+            order,
+            bounds,
+            handoff_total: 0,
+        }))
+    }
+
+    /// Tally one executed wave's simulated cross-shard repair traffic
+    /// (rights touched outside the owning shard) into `sent`/`recv`.
+    /// Returns the moved words. Shared by both executors so the
+    /// simulated cost model cannot drift between them.
+    fn tally_wave(
+        map: &ShardMap,
+        plans: &[UpdatePlan],
+        idxs: &[usize],
+        results: &[WaveUpdateResult],
+        sent: &mut [u64],
+        recv: &mut [u64],
+    ) -> u64 {
+        sent.fill(0);
+        recv.fill(0);
+        for (&i, result) in idxs.iter().zip(results) {
+            debug_assert_eq!(
+                result.arrived, plans[i].arrive_id,
+                "scheduler and engine agree on arrival ids"
+            );
+            let owner = plans[i].owner;
+            for &r in &result.touched {
+                let o = map.owner_of_right(r);
+                if o != owner {
+                    sent[owner] += 1;
+                    recv[o] += 1;
+                }
+            }
+        }
+        recv.iter().sum()
+    }
+
+    /// Absorb one executed wave into the staged batch's accounting: the
+    /// simulated `repair_wave` round, the wave counters, and the width
+    /// observation. The p2p engine calls this after replaying a remote
+    /// wave's outcomes; `ns` is the wave's measured wall time.
+    pub(crate) fn finish_wave(
+        &mut self,
+        staged: &mut StagedBatch,
+        idxs: &[usize],
+        results: &[WaveUpdateResult],
+        ns: u64,
+    ) -> u64 {
+        let p = self.map.shards();
+        let mut sent = vec![0u64; p];
+        let mut recv = vec![0u64; p];
+        let words = Self::tally_wave(
+            &self.map,
+            &staged.sched.plans,
+            idxs,
+            results,
+            &mut sent,
+            &mut recv,
+        );
+        staged.epoch.record(RoundRecord {
+            words_moved: words,
+            max_sent: sent.iter().copied().max().unwrap_or(0) as usize,
+            max_received: recv.iter().copied().max().unwrap_or(0) as usize,
+            max_storage: 0,
+            total_storage: 0,
+            label: labels::REPAIR_WAVE,
+        });
+        staged.handoff_total += words;
+        self.stats.waves += 1;
+        let obs = self.inner.obs_mut();
+        obs.phase_ns(Phase::RepairWave, ns);
+        obs.observe(Dist::WaveWidth, idxs.len() as u64);
+        words
+    }
+
+    /// Close out a staged batch after every wave ran: fold the schedule
+    /// stats, assert the space budget, absorb the epoch ledger.
+    pub(crate) fn finish_batch(&mut self, staged: StagedBatch) -> Result<BatchReport, MpcError> {
+        self.stats.handoff_words += staged.handoff_total;
+        self.stats.escalations += staged.sched.escalations;
+        self.stats.delayed += staged.sched.delayed;
+        let obs = self.inner.obs_mut();
+        obs.inc(Counter::HandoffWords, staged.handoff_total);
+        obs.inc(Counter::Escalations, staged.sched.escalations as u64);
+        let widest = staged.sched.widths.iter().copied().max().unwrap_or(0);
+        self.stats.widest_wave = self.stats.widest_wave.max(widest);
+
+        staged.epoch.assert_space_within(staged.budget)?;
+        self.ledger.absorb(&staged.epoch);
+        Ok(BatchReport {
+            updates: staged.n_updates,
+            waves: staged.sched.waves,
+            delayed: staged.sched.delayed,
+            handoff_words: staged.handoff_total,
+            escalations: staged.sched.escalations,
+            widest_wave: widest,
+        })
+    }
+
+    /// Apply one epoch's update batch: schedule conflict-free waves,
+    /// route every update to the shard owning its ball, and repair wave
+    /// by wave — the disjoint-footprint repairs of a wave on real worker
+    /// threads ([`ServeLoop`]'s wave executor; disjoint balls commute, so
+    /// the engine state equals serial application of the batch in arrival
+    /// order for every thread count).
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, MpcError> {
+        let Some(mut staged) = self.stage_batch(updates)? else {
+            return Ok(BatchReport::default());
+        };
+
+        // Repair waves run in order; inside a wave, non-global
+        // nonempty-footprint repairs fan out over worker threads (any
+        // order would do: the balls are disjoint), while globals and
+        // pure no-ops stay on this thread. Per-wave scratch is reused
+        // across the hundreds of waves a batch typically runs — the
+        // per-wave fixed cost is what the one-box gate measures against
+        // serial. The wave tally writes only disjoint `staged` fields
+        // (`epoch`, `handoff_total`), so the borrow of `routed` held by
+        // `wave_updates` can persist across it.
+        let mut wave_updates: Vec<&Update> = Vec::new();
+        let mut parallel_ok: Vec<bool> = Vec::new();
+        let mut arrive_ids: Vec<Option<u32>> = Vec::new();
+        let mut sent = vec![0u64; self.map.shards()];
+        let mut recv = vec![0u64; self.map.shards()];
+        for &(begin, end) in &staged.bounds {
+            let idxs = &staged.order[begin..end];
+            let mut spw = self.tracer.span(Phase::RepairWave, staged.batch_no);
             wave_updates.clear();
             parallel_ok.clear();
             arrive_ids.clear();
             for &i in idxs {
-                wave_updates.push(routed[i].as_ref().expect("every update was delivered"));
-                parallel_ok.push(!sched.plans[i].global && sched.plans[i].footprint_len > 0);
+                wave_updates.push(
+                    staged.routed[i]
+                        .as_ref()
+                        .expect("every update was delivered"),
+                );
+                parallel_ok
+                    .push(!staged.sched.plans[i].global && staged.sched.plans[i].footprint_len > 0);
                 // The wave may run arrivals out of batch order (that is
                 // the point of width balancing): hand the engine the ids
                 // staging precomputed so each arrival lands in its serial
                 // slot.
-                arrive_ids.push(sched.plans[i].arrive_id);
+                arrive_ids.push(staged.sched.plans[i].arrive_id);
             }
             let results =
                 self.inner
                     .apply_wave(&wave_updates, &parallel_ok, &arrive_ids, self.wave_threads);
 
-            sent.fill(0);
-            recv.fill(0);
-            for (&i, result) in idxs.iter().zip(&results) {
-                debug_assert_eq!(
-                    result.arrived, sched.plans[i].arrive_id,
-                    "scheduler and engine agree on arrival ids"
-                );
-                let owner = sched.plans[i].owner;
-                for &r in &result.touched {
-                    let o = self.map.owner_of_right(r);
-                    if o != owner {
-                        sent[owner] += 1;
-                        recv[o] += 1;
-                    }
-                }
-            }
-            let words: u64 = recv.iter().sum();
-            epoch.record(RoundRecord {
+            let words = Self::tally_wave(
+                &self.map,
+                &staged.sched.plans,
+                idxs,
+                &results,
+                &mut sent,
+                &mut recv,
+            );
+            staged.epoch.record(RoundRecord {
                 words_moved: words,
                 max_sent: sent.iter().copied().max().unwrap_or(0) as usize,
                 max_received: recv.iter().copied().max().unwrap_or(0) as usize,
@@ -626,7 +788,7 @@ impl ShardedServeLoop {
                 total_storage: 0,
                 label: labels::REPAIR_WAVE,
             });
-            handoff_total += words;
+            staged.handoff_total += words;
             self.stats.waves += 1;
             spw.set_words(words);
             let nsw = spw.close();
@@ -634,25 +796,7 @@ impl ShardedServeLoop {
             obs.phase_ns(Phase::RepairWave, nsw);
             obs.observe(Dist::WaveWidth, idxs.len() as u64);
         }
-        self.stats.handoff_words += handoff_total;
-        self.stats.escalations += sched.escalations;
-        self.stats.delayed += sched.delayed;
-        let obs = self.inner.obs_mut();
-        obs.inc(Counter::HandoffWords, handoff_total);
-        obs.inc(Counter::Escalations, sched.escalations as u64);
-        let widest = sched.widths.iter().copied().max().unwrap_or(0);
-        self.stats.widest_wave = self.stats.widest_wave.max(widest);
-
-        epoch.assert_space_within(budget)?;
-        self.ledger.absorb(&epoch);
-        Ok(BatchReport {
-            updates: updates.len(),
-            waves: sched.waves,
-            delayed: sched.delayed,
-            handoff_words: handoff_total,
-            escalations: sched.escalations,
-            widest_wave: widest,
-        })
+        self.finish_batch(staged)
     }
 
     /// Close the epoch as a ledger-accounted MPC phase: sort the free-left
@@ -773,6 +917,13 @@ impl ShardedServeLoop {
     /// The underlying serial engine (state queries, configuration).
     pub fn serial(&self) -> &ServeLoop {
         &self.inner
+    }
+
+    /// Mutable access to the serial engine — the p2p executor drives the
+    /// wave primitives (`wave_structural`, outcome absorption, row
+    /// replay) on it directly.
+    pub(crate) fn serial_mut(&mut self) -> &mut ServeLoop {
+        &mut self.inner
     }
 
     /// Number of shards.

@@ -63,8 +63,40 @@
 //! [`NetServeLoop::checkpoint_delta`] persists the diff against the last
 //! full checkpoint, so a crashed coordinator recovers as
 //! `base + log tail` and verifies the replay against the last delta.
+//!
+//! # Peer-to-peer repair waves
+//!
+//! The star protocol runs every repair on the coordinator and ships only
+//! the resulting deltas, so the coordinator's wire traffic grows with
+//! the repair volume. [`NetServeLoop::new_p2p`] keeps the star for
+//! scheduling, routing, and epoch barriers, but moves the repair work
+//! itself onto the workers, connected pairwise by the same framed
+//! channels ([`Mesh::loopback_mesh`] / [`Mesh::tcp_mesh`]):
+//!
+//! | phase | direction | payload |
+//! |---|---|---|
+//! | `WAVE` | down / up | one wave's disjoint-footprint plans, each shipped to the worker owning its ball: plan args, footprint topology (capacities + full adjacency), and *state overrides* for rows where the coordinator's engine has moved past the worker slices; the ack carries each plan's `RepairOutcome` plus the changed mate/matched rows and the worker's own peer-wire counters |
+//! | `HANDOFF_REQ` | worker → worker | frontier rows a bounded walk needs from another shard's slice — left mates and right matched-lists, fetched level by level as the walk expands; the ping-pong is bounded by the walk radius |
+//! | `HANDOFF_ACK` | worker → worker | the owned rows answered in request order |
+//! | `FLIP` | worker → worker | match flips a finished plan wrote into *another* shard's rows, committed directly to the owner |
+//! | `FLIP_ACK` | worker → worker | applied-row count |
+//! | `ARM` | down / up | test-only: arm a [`Fault`] on a worker's peer link, or override the handoff deadline |
+//!
+//! Wave disjointness is what makes this sound: within one wave no two
+//! plans' footprints share a right vertex, and a bounded walk only ever
+//! reads/writes rights inside its plan's footprint (lefts one step
+//! around it), so concurrent workers never race on a row, and a worker
+//! can serve `HANDOFF_REQ`/`FLIP` for its slice *while* running its own
+//! plans. Spoke traffic of the dispatch is metered under
+//! [`labels::NET_WAVE`]; the worker↔worker bytes — which never touch
+//! the coordinator — are reported back on the acks and metered under
+//! [`labels::NET_HANDOFF`]. A wire fault mid-wave tears down and
+//! rebuilds the whole mesh ([`Mesh::rebuild_p2p`]), re-scatters the
+//! coordinator's engine state, and re-dispatches the interrupted wave;
+//! outcomes fold only after a full ack barrier, so a retried wave lands
+//! exactly once.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -73,18 +105,39 @@ use sparse_alloc_graph::io::{fnv1a64, ByteReader, ByteWriter, IoError};
 use sparse_alloc_graph::{Assignment, Bipartite, LeftId, RightId};
 use sparse_alloc_mpc::ledger::RoundRecord;
 use sparse_alloc_mpc::shard::labels;
-use sparse_alloc_mpc::transport::{Fault, Mesh, Peer, TransportError};
+use sparse_alloc_mpc::transport::{Fault, Frame, Mesh, Peer, TransportError, WorkerLinks};
 use sparse_alloc_mpc::{Ledger, MpcError, ShardMap};
 use sparse_alloc_obs::{Counter, MetricsSnapshot, Phase, Registry, Tracer};
 
-use crate::distributed::{BatchReport, ShardedConfig, ShardedEpochReport, ShardedServeLoop};
-use crate::serve::ServeLoop;
+use crate::distributed::{
+    BatchReport, ShardedConfig, ShardedEpochReport, ShardedServeLoop, StagedBatch,
+};
+use crate::serve::{run_repair, RepairOutcome, RepairPlan, ServeLoop};
 use crate::snapshot::{self, DeltaBase, DeltaCheckpoint, SnapshotError};
 use crate::update::{put_update, take_update, Update};
 use crate::wal::{WalError, WalWriter};
+use crate::walks::{MatchSlots, SearchScratch, WalkTopology};
 
 /// `mate` wire value for an unmatched left vertex.
 const UNMATCHED: u32 = u32::MAX;
+
+/// Mirror sentinel for a left the coordinator has never synced: when a
+/// wave fold lands rows past the mirror's horizon, the gap rows in
+/// between get this value so the commit diff still ships them (a fresh
+/// left that stayed unmatched must reach its owner), while the folded
+/// rows themselves — already applied worker-side — do not re-ship.
+/// Never a legal mate: right ids stay far below it, and "no mate" is
+/// [`UNMATCHED`].
+const NEVER_SYNCED: u32 = u32::MAX - 1;
+
+/// Matched-list delta ops on the p2p commit wire. The engine only ever
+/// mutates a list by `push` and `swap_remove`, so a single-flip change
+/// replays from a 12-byte op — the same price the star wire pays for a
+/// bare load row. `LIST_SET` (full replacement) is the fallback when a
+/// batch's net effect on one list is not a single op.
+const LIST_PUSH: u32 = 0;
+const LIST_SWAP_REMOVE: u32 = 1;
+const LIST_SET: u32 = 2;
 
 /// One worker's scatter slice: `(u, mate)` rows for owned lefts and
 /// `(v, level, load)` rows for owned rights.
@@ -108,8 +161,37 @@ const PH_SHUTDOWN: u32 = 13;
 const PH_SHUTDOWN_ACK: u32 = 14;
 const PH_NACK: u32 = 15;
 
+// Peer-to-peer phases. WAVE and ARM ride the coordinator spokes;
+// HANDOFF_REQ/ACK and FLIP/FLIP_ACK ride the worker↔worker links.
+const PH_WAVE: u32 = 16;
+const PH_WAVE_ACK: u32 = 17;
+const PH_HANDOFF_REQ: u32 = 18;
+const PH_HANDOFF_ACK: u32 = 19;
+const PH_FLIP: u32 = 20;
+const PH_FLIP_ACK: u32 = 21;
+const PH_ARM: u32 = 22;
+const PH_ARM_ACK: u32 = 23;
+
 const NACK_TRANSPORT: u32 = 0;
 const NACK_PROTOCOL: u32 = 1;
+
+/// How long a worker waits for a peer's `HANDOFF_ACK`/`FLIP_ACK` before
+/// giving up and NACKing the coordinator. Kept well under the
+/// coordinator's receive timeout so the typed failure — naming the peer
+/// pair and protocol phase — wins the race against a bare spoke timeout.
+const DEFAULT_HANDOFF_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Bound on one plan's fetch ping-pong, in frontier alternations: every
+/// row a radius-`r` walk can read lies within `2r + 2` alternation
+/// levels of its seeds (rights at right-hop `h` sit at level `2h + 1`,
+/// their occupant lists one level deeper), so the preload stops
+/// expanding — and thereby stops ping-ponging — at `2r + 4`. A footprint
+/// may well contain alternating chains deeper than that (a snake through
+/// a radius-1 ball can alternate once per row), but the budget-bounded
+/// walk cannot reach them, so cutting them loses nothing.
+fn handoff_round_cap(radius: u64) -> u64 {
+    2 * radius + 4
+}
 
 /// Which wire the mesh runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +344,18 @@ pub struct NetStats {
     /// cumulative — `recovery_ns / respawns` is the mean recovery
     /// latency experiment `e22` reports.
     pub recovery_ns: u64,
+    /// Both-direction spoke bytes of p2p wave dispatch/ack
+    /// ([`labels::NET_WAVE`]); zero on a star mesh.
+    pub wave_bytes: u64,
+    /// Worker↔worker bytes of cross-shard walk handoffs and flips
+    /// ([`labels::NET_HANDOFF`]) — traffic the coordinator never
+    /// carries, as the workers themselves metered and reported it.
+    pub handoff_bytes: u64,
+    /// Worker↔worker frames of handoffs and flips.
+    pub handoff_frames: u64,
+    /// Deepest fetch ping-pong any single plan needed (bounded by the
+    /// walk radius; see [`labels::NET_HANDOFF`]).
+    pub max_handoff_rounds: u64,
 }
 
 /// What one [`NetServeLoop::end_epoch`] did.
@@ -284,6 +378,12 @@ pub struct NetEpochReport {
 struct WorkerState {
     lefts: BTreeMap<u32, u32>,
     rights: BTreeMap<u32, (i64, u64)>,
+    /// Peer-to-peer mode: this worker also holds the full matched list
+    /// of each owned right — the walk state its peers fetch over
+    /// `HANDOFF` links — and the `INIT`/`COMMIT`/`CENSUS` payloads grow
+    /// a matched-list section.
+    p2p: bool,
+    matched: BTreeMap<u32, Vec<u32>>,
 }
 
 impl WorkerState {
@@ -297,6 +397,22 @@ impl WorkerState {
             w.put_u32(v);
             w.put_i64(level);
             w.put_u64(load);
+        }
+        fnv1a64(&w.into_bytes())
+    }
+
+    /// Order-sensitive checksum over the matched lists (p2p census): the
+    /// list order is behaviorally observable (evictions pop the last
+    /// member), so a worker whose lists hold the right *sets* in the
+    /// wrong *order* must still fail the census.
+    fn matched_checksum(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        for (&v, list) in &self.matched {
+            w.put_u32(v);
+            w.put_u64(list.len() as u64);
+            for &u in list {
+                w.put_u32(u);
+            }
         }
         fnv1a64(&w.into_bytes())
     }
@@ -315,6 +431,7 @@ impl WorkerState {
                 // survive into the healed mesh.
                 self.lefts.clear();
                 self.rights.clear();
+                self.matched.clear();
                 let nl = r.take_len(8).map_err(parse)?;
                 for _ in 0..nl {
                     let u = r.take_u32().map_err(parse)?;
@@ -327,6 +444,30 @@ impl WorkerState {
                     let level = r.take_i64().map_err(parse)?;
                     let load = r.take_u64().map_err(parse)?;
                     self.rights.insert(v, (level, load));
+                }
+                if self.p2p {
+                    let rows = take_right_rows(&mut r).map_err(parse)?;
+                    for (v, list) in rows {
+                        let entry = self
+                            .rights
+                            .get(&v)
+                            .ok_or_else(|| format!("matched list for unowned right {v}"))?;
+                        if entry.1 != list.len() as u64 {
+                            return Err(format!(
+                                "matched list for right {v} has {} members, load says {}",
+                                list.len(),
+                                entry.1
+                            ));
+                        }
+                        self.matched.insert(v, list);
+                    }
+                    if self.matched.len() != self.rights.len() {
+                        return Err(format!(
+                            "INIT shipped {} matched lists for {} owned rights",
+                            self.matched.len(),
+                            self.rights.len()
+                        ));
+                    }
                 }
                 r.expect_end().map_err(parse)?;
                 let mut w = ByteWriter::new();
@@ -357,16 +498,21 @@ impl WorkerState {
                     self.lefts.insert(u, m);
                     applied += 1;
                 }
-                let nload = r.take_len(12).map_err(parse)?;
-                for _ in 0..nload {
-                    let v = r.take_u32().map_err(parse)?;
-                    let load = r.take_u64().map_err(parse)?;
-                    let entry = self
-                        .rights
-                        .get_mut(&v)
-                        .ok_or_else(|| format!("load delta for unowned right {v}"))?;
-                    entry.1 = load;
-                    applied += 1;
+                // p2p commits carry no loads section: load is the
+                // matched-list length by invariant, so the list ops
+                // below already determine it.
+                if !self.p2p {
+                    let nload = r.take_len(12).map_err(parse)?;
+                    for _ in 0..nload {
+                        let v = r.take_u32().map_err(parse)?;
+                        let load = r.take_u64().map_err(parse)?;
+                        let entry = self
+                            .rights
+                            .get_mut(&v)
+                            .ok_or_else(|| format!("load delta for unowned right {v}"))?;
+                        entry.1 = load;
+                        applied += 1;
+                    }
                 }
                 let nlvl = r.take_len(12).map_err(parse)?;
                 for _ in 0..nlvl {
@@ -378,6 +524,46 @@ impl WorkerState {
                         .ok_or_else(|| format!("level delta for unowned right {v}"))?;
                     entry.0 = level;
                     applied += 1;
+                }
+                if self.p2p {
+                    let nops = r.take_len(8).map_err(parse)?;
+                    for _ in 0..nops {
+                        let v = r.take_u32().map_err(parse)?;
+                        let tag = r.take_u32().map_err(parse)?;
+                        let list = self
+                            .matched
+                            .get_mut(&v)
+                            .ok_or_else(|| format!("list op for unowned right {v}"))?;
+                        match tag {
+                            LIST_PUSH => {
+                                let u = r.take_u32().map_err(parse)?;
+                                list.push(u);
+                            }
+                            LIST_SWAP_REMOVE => {
+                                let u = r.take_u32().map_err(parse)?;
+                                let pos = list.iter().position(|&x| x == u).ok_or_else(|| {
+                                    format!("list op removes absent left {u} from right {v}")
+                                })?;
+                                list.swap_remove(pos);
+                            }
+                            LIST_SET => {
+                                let n = r.take_len(4).map_err(parse)?;
+                                let mut fresh = Vec::with_capacity(n);
+                                for _ in 0..n {
+                                    fresh.push(r.take_u32().map_err(parse)?);
+                                }
+                                *list = fresh;
+                            }
+                            other => return Err(format!("unknown list op tag {other}")),
+                        }
+                        let len = list.len() as u64;
+                        let entry = self
+                            .rights
+                            .get_mut(&v)
+                            .ok_or_else(|| format!("list op for unowned right {v}"))?;
+                        entry.1 = len;
+                        applied += 1;
+                    }
                 }
                 r.expect_end().map_err(parse)?;
                 let mut w = ByteWriter::new();
@@ -391,6 +577,9 @@ impl WorkerState {
                 w.put_u64(self.rights.len() as u64);
                 w.put_u64(self.resident_words());
                 w.put_u64(self.checksum());
+                if self.p2p {
+                    w.put_u64(self.matched_checksum());
+                }
                 Ok((PH_CENSUS_ACK, w.into_bytes()))
             }
             PH_SUMMARY => {
@@ -459,6 +648,954 @@ fn worker_main(mut peer: Peer) {
     }
 }
 
+// ------------------------------------------------ p2p worker side
+
+/// Left rows on the wire: `(u, mate)` with [`UNMATCHED`] for none.
+fn put_left_rows(w: &mut ByteWriter, rows: &[(u32, u32)]) {
+    w.put_u64(rows.len() as u64);
+    for &(u, m) in rows {
+        w.put_u32(u);
+        w.put_u32(m);
+    }
+}
+
+fn take_left_rows(r: &mut ByteReader) -> Result<Vec<(u32, u32)>, IoError> {
+    let n = r.take_len(8)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = r.take_u32()?;
+        let m = r.take_u32()?;
+        rows.push((u, m));
+    }
+    Ok(rows)
+}
+
+/// Right rows on the wire: `(v, full matched list in slot order)`.
+fn put_right_rows(w: &mut ByteWriter, rows: &[(u32, Vec<u32>)]) {
+    w.put_u64(rows.len() as u64);
+    for (v, list) in rows {
+        w.put_u32(*v);
+        w.put_u64(list.len() as u64);
+        for &u in list {
+            w.put_u32(u);
+        }
+    }
+}
+
+fn take_right_rows(r: &mut ByteReader) -> Result<Vec<(u32, Vec<u32>)>, IoError> {
+    let n = r.take_len(12)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.take_u32()?;
+        let len = r.take_len(4)?;
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            list.push(r.take_u32()?);
+        }
+        rows.push((v, list));
+    }
+    Ok(rows)
+}
+
+fn encode_plan(w: &mut ByteWriter, plan: &RepairPlan) {
+    let (tag, a, b) = match *plan {
+        RepairPlan::Noop => (0, 0, 0),
+        RepairPlan::Place { u } => (1, u, 0),
+        RepairPlan::Release { u } => (2, u, 0),
+        RepairPlan::Rematch { u, v } => (3, u, v),
+        RepairPlan::Evict { v } => (4, v, 0),
+        RepairPlan::Fill { v } => (5, v, 0),
+    };
+    w.put_u32(tag);
+    w.put_u32(a);
+    w.put_u32(b);
+}
+
+fn decode_plan(r: &mut ByteReader) -> Result<RepairPlan, IoError> {
+    let tag = r.take_u32()?;
+    let a = r.take_u32()?;
+    let b = r.take_u32()?;
+    Ok(match tag {
+        0 => RepairPlan::Noop,
+        1 => RepairPlan::Place { u: a },
+        2 => RepairPlan::Release { u: a },
+        3 => RepairPlan::Rematch { u: a, v: b },
+        4 => RepairPlan::Evict { v: a },
+        5 => RepairPlan::Fill { v: a },
+        other => return Err(IoError::Parse(format!("unknown repair plan tag {other}"))),
+    })
+}
+
+/// The footprint topology a `WAVE` frame ships, merged over the frame's
+/// plans into one id-keyed view the worker's bounded walks read exactly
+/// like the coordinator reads its live graph.
+#[derive(Debug, Default)]
+struct WaveTopology {
+    /// Left id → its full right-neighbor list (live-graph order).
+    lefts: HashMap<u32, Vec<u32>>,
+    /// Right id → `(capacity, full left-neighbor list)`.
+    rights: HashMap<u32, (u64, Vec<u32>)>,
+}
+
+impl WalkTopology for WaveTopology {
+    fn left_neighbors(&self, u: LeftId) -> impl Iterator<Item = RightId> + '_ {
+        self.lefts
+            .get(&u)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+    }
+
+    fn right_neighbors(&self, v: RightId) -> impl Iterator<Item = LeftId> + '_ {
+        self.rights
+            .get(&v)
+            .map(|(_, l)| l.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+    }
+
+    fn capacity(&self, v: RightId) -> u64 {
+        self.rights.get(&v).map_or(0, |&(c, _)| c)
+    }
+}
+
+/// Per-owner flip buckets: left rows and right rows a finished plan
+/// wrote into foreign slices, keyed by the owning shard.
+type FlipBuckets = BTreeMap<u32, (Vec<(u32, u32)>, Vec<(u32, Vec<u32>)>)>;
+
+/// One plan as shipped in a `WAVE` frame: its wave-local index (the
+/// coordinator folds acks back by this), the plan itself, and the ids of
+/// the rows the plan may write (its pre-image snapshot domain).
+#[derive(Debug)]
+struct ShippedPlan {
+    j: u32,
+    plan: RepairPlan,
+    rights: Vec<u32>,
+    lefts: Vec<u32>,
+}
+
+/// A worker's dense scratch state for one `WAVE` frame: mate/matched
+/// rows over every id the frame's plans can touch, filled from the
+/// worker's own slice first, then the frame's state overrides, then
+/// `HANDOFF` fetches — later sources win.
+#[derive(Debug, Default)]
+struct WaveState {
+    mate: Vec<Option<RightId>>,
+    matched: Vec<Vec<LeftId>>,
+    have_left: Vec<bool>,
+    have_right: Vec<bool>,
+}
+
+impl WaveState {
+    fn ensure(&mut self, n_left: usize, n_right: usize) {
+        if self.mate.len() < n_left {
+            self.mate.resize(n_left, None);
+            self.have_left.resize(n_left, false);
+        }
+        if self.matched.len() < n_right {
+            self.matched.resize_with(n_right, Vec::new);
+            self.have_right.resize(n_right, false);
+        }
+    }
+
+    fn set_left(&mut self, u: u32, m: u32) {
+        self.ensure(u as usize + 1, 0);
+        if m != UNMATCHED {
+            // The walk may unmatch through this mate pointer, so the
+            // right side must be addressable too.
+            self.ensure(0, m as usize + 1);
+        }
+        self.mate[u as usize] = (m != UNMATCHED).then_some(m);
+        self.have_left[u as usize] = true;
+    }
+
+    fn set_right(&mut self, v: u32, list: Vec<u32>) {
+        self.ensure(0, v as usize + 1);
+        if let Some(&mx) = list.iter().max() {
+            self.ensure(mx as usize + 1, 0);
+        }
+        self.matched[v as usize] = list;
+        self.have_right[v as usize] = true;
+    }
+
+    fn loaded_left(&self, u: u32) -> bool {
+        self.have_left.get(u as usize).copied().unwrap_or(false)
+    }
+
+    fn loaded_right(&self, v: u32) -> bool {
+        self.have_right.get(v as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Sum of the sent-side wire counters over a worker's peer links. Each
+/// worker reports its *sent* deltas on the wave ack; summing only sent
+/// sides across workers counts every worker↔worker channel exactly once.
+fn peer_sent(links: &WorkerLinks) -> (u64, u64) {
+    links.peers.iter().flatten().fold((0, 0), |(f, b), p| {
+        (f + p.frames_sent(), b + p.bytes_sent())
+    })
+}
+
+/// Answer a peer's `HANDOFF_REQ` from this worker's authoritative slice.
+/// Every requested id must be owned here and present — a fetch for a row
+/// the owner does not have is a protocol violation, never an empty row.
+fn answer_handoff(
+    st: &WorkerState,
+    map: &ShardMap,
+    me: u32,
+    payload: &[u8],
+) -> Result<Vec<u8>, String> {
+    let parse = |e: IoError| format!("bad HANDOFF_REQ: {e}");
+    let mut r = ByteReader::new(payload);
+    let mut w = ByteWriter::new();
+    let nl = r.take_len(4).map_err(parse)?;
+    w.put_u64(nl as u64);
+    for _ in 0..nl {
+        let u = r.take_u32().map_err(parse)?;
+        if map.owner_of_left(u) as u32 != me {
+            return Err(format!(
+                "asked for left {u}, owned by shard {}",
+                map.owner_of_left(u)
+            ));
+        }
+        let m = st
+            .lefts
+            .get(&u)
+            .copied()
+            .ok_or_else(|| format!("asked for unknown owned left {u}"))?;
+        w.put_u32(u);
+        w.put_u32(m);
+    }
+    let nr = r.take_len(4).map_err(parse)?;
+    w.put_u64(nr as u64);
+    for _ in 0..nr {
+        let v = r.take_u32().map_err(parse)?;
+        if map.owner_of_right(v) as u32 != me {
+            return Err(format!(
+                "asked for right {v}, owned by shard {}",
+                map.owner_of_right(v)
+            ));
+        }
+        let list = st
+            .matched
+            .get(&v)
+            .ok_or_else(|| format!("asked for unknown owned right {v}"))?;
+        w.put_u32(v);
+        w.put_u64(list.len() as u64);
+        for &x in list {
+            w.put_u32(x);
+        }
+    }
+    r.expect_end().map_err(parse)?;
+    Ok(w.into_bytes())
+}
+
+/// Apply a peer's `FLIP` — match rows its finished plan wrote into this
+/// worker's slice. Wave disjointness guarantees no concurrent writer, so
+/// the rows commit immediately.
+fn apply_flip(
+    st: &mut WorkerState,
+    map: &ShardMap,
+    me: u32,
+    payload: &[u8],
+) -> Result<Vec<u8>, String> {
+    let parse = |e: IoError| format!("bad FLIP: {e}");
+    let mut r = ByteReader::new(payload);
+    let lrows = take_left_rows(&mut r).map_err(parse)?;
+    let rrows = take_right_rows(&mut r).map_err(parse)?;
+    r.expect_end().map_err(parse)?;
+    let mut applied = 0u64;
+    for (u, m) in lrows {
+        if map.owner_of_left(u) as u32 != me {
+            return Err(format!(
+                "flip for left {u}, owned by shard {}",
+                map.owner_of_left(u)
+            ));
+        }
+        st.lefts.insert(u, m);
+        applied += 1;
+    }
+    for (v, list) in rrows {
+        if map.owner_of_right(v) as u32 != me {
+            return Err(format!(
+                "flip for right {v}, owned by shard {}",
+                map.owner_of_right(v)
+            ));
+        }
+        let entry = st
+            .rights
+            .get_mut(&v)
+            .ok_or_else(|| format!("flip for unknown owned right {v}"))?;
+        entry.1 = list.len() as u64;
+        st.matched.insert(v, list);
+        applied += 1;
+    }
+    let mut w = ByteWriter::new();
+    w.put_u64(applied);
+    Ok(w.into_bytes())
+}
+
+/// Serve one frame that arrived on a worker↔worker link. Anything other
+/// than a `HANDOFF_REQ` or `FLIP` on a peer link is a protocol
+/// violation named after the pair.
+fn serve_peer_frame(
+    st: &mut WorkerState,
+    links: &mut WorkerLinks,
+    map: &ShardMap,
+    from: u32,
+    frame: Frame,
+) -> Result<(), String> {
+    let me = links.shard();
+    let fail = |d: String| format!("HANDOFF {me}<->{from}: {d}");
+    let (reply_phase, reply) = match frame.phase {
+        PH_HANDOFF_REQ => (
+            PH_HANDOFF_ACK,
+            answer_handoff(st, map, me, &frame.payload).map_err(fail)?,
+        ),
+        PH_FLIP => (
+            PH_FLIP_ACK,
+            apply_flip(st, map, me, &frame.payload).map_err(fail)?,
+        ),
+        other => {
+            return Err(fail(format!(
+                "unexpected {} frame on a worker link",
+                phase_name(other)
+            )))
+        }
+    };
+    links
+        .peer_to(from)
+        .ok_or_else(|| fail("no direct link".into()))?
+        .send(reply_phase, frame.epoch, &reply)
+        .map_err(|e| fail(e.to_string()))
+}
+
+/// Answer at most one pending frame on every worker↔worker link —
+/// non-blocking; the idle half of the worker's multiplexing loop.
+/// `busy_with` marks a peer whose reply the caller is collecting, so
+/// its frames are left for [`await_acks`] to pick up in order.
+fn service_peers(
+    st: &mut WorkerState,
+    links: &mut WorkerLinks,
+    map: &ShardMap,
+    busy_with: Option<u32>,
+) -> Result<(), String> {
+    let me = links.shard();
+    for s in 0..links.peers.len() as u32 {
+        if Some(s) == busy_with {
+            continue;
+        }
+        let got = {
+            let Some(peer) = links.peer_to(s) else {
+                continue;
+            };
+            peer.poll_recv(Duration::ZERO)
+                .map_err(|e| format!("HANDOFF {me}<->{s}: {e}"))?
+        };
+        if let Some(f) = got {
+            serve_peer_frame(st, links, map, s, f)?;
+        }
+    }
+    Ok(())
+}
+
+/// Block until every owner in `pending` has sent a `want` frame,
+/// collecting the payloads per owner. Acks are taken in *arrival* order
+/// — with requests outstanding to several owners at once, nothing says
+/// which answers first — and every other peer frame (another worker's
+/// fetch or flip) is served in the meantime: two workers waiting on each
+/// other's fetches must both keep answering, so waiting *is* serving.
+fn await_acks(
+    st: &mut WorkerState,
+    links: &mut WorkerLinks,
+    map: &ShardMap,
+    want: u32,
+    owners: &[u32],
+    deadline: Instant,
+) -> Result<BTreeMap<u32, Vec<u8>>, String> {
+    let me = links.shard();
+    let mut pending: HashSet<u32> = owners.iter().copied().collect();
+    let mut out = BTreeMap::new();
+    while !pending.is_empty() {
+        for s in 0..links.peers.len() as u32 {
+            let waiting = pending.contains(&s);
+            let got = {
+                let Some(peer) = links.peer_to(s) else {
+                    continue;
+                };
+                // Linger only on peers we still expect an ack from; the
+                // rest get a non-blocking drain so their fetches keep
+                // being answered.
+                let wait = if waiting {
+                    Duration::from_micros(500)
+                } else {
+                    Duration::ZERO
+                };
+                peer.poll_recv(wait).map_err(|e| {
+                    format!("HANDOFF {me}<->{s}: awaiting {}: {e}", phase_name(want))
+                })?
+            };
+            let Some(f) = got else { continue };
+            if waiting && f.phase == want {
+                pending.remove(&s);
+                out.insert(s, f.payload);
+            } else {
+                serve_peer_frame(st, links, map, s, f)?;
+            }
+        }
+        if Instant::now() >= deadline {
+            let p = pending.iter().min().copied().unwrap_or(me);
+            return Err(format!(
+                "HANDOFF {me}<->{p}: timed out awaiting {}",
+                phase_name(want)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Load everything one plan's bounded walk can read into `ws`,
+/// expanding a frontier from the plan's seed vertices one alternation at
+/// a time and fetching foreign rows from their owners level by level
+/// (`HANDOFF_REQ`/`HANDOFF_ACK`, batched per owner). The frontier
+/// follows topology edges *and* match pointers — a departed left has no
+/// live edges, so only its mate pointer still reaches its footprint.
+/// Returns the number of fetch rounds; expansion (and with it the
+/// ping-pong) truncates at the walk-radius cap ([`handoff_round_cap`]) —
+/// deeper rows are unreadable, not fetched.
+#[allow(clippy::too_many_arguments)]
+fn fetch_plan_state(
+    ws: &mut WaveState,
+    st: &mut WorkerState,
+    links: &mut WorkerLinks,
+    map: &ShardMap,
+    topo: &WaveTopology,
+    plan: &RepairPlan,
+    epoch: u64,
+    radius: u64,
+    timeout: Duration,
+) -> Result<u64, String> {
+    let me = links.shard();
+    let cap = handoff_round_cap(radius);
+    let mut rounds = 0u64;
+    let mut seen_l: HashSet<u32> = HashSet::new();
+    let mut seen_r: HashSet<u32> = HashSet::new();
+    let (mut frontier_l, mut frontier_r): (Vec<u32>, Vec<u32>) = match *plan {
+        RepairPlan::Noop => (vec![], vec![]),
+        RepairPlan::Place { u } | RepairPlan::Release { u } => (vec![u], vec![]),
+        RepairPlan::Rematch { u, v } => (vec![u], vec![v]),
+        RepairPlan::Evict { v } | RepairPlan::Fill { v } => (vec![], vec![v]),
+    };
+    seen_l.extend(&frontier_l);
+    seen_r.extend(&frontier_r);
+    let mut level = 0u64;
+    while !frontier_l.is_empty() || !frontier_r.is_empty() {
+        level += 1;
+        if level > cap {
+            // Rows beyond the cap are unreachable by the budget-bounded
+            // walk (see [`handoff_round_cap`]): stop expanding instead
+            // of chasing an alternating chain the repair cannot use.
+            break;
+        }
+        // Rows this level needs but does not have, grouped by owning
+        // shard. Own rows were seeded up front, so a missing owned id
+        // is a violated footprint contract, not something to fetch.
+        let mut need: BTreeMap<u32, (Vec<u32>, Vec<u32>)> = BTreeMap::new();
+        for &u in &frontier_l {
+            if ws.loaded_left(u) {
+                continue;
+            }
+            let owner = map.owner_of_left(u) as u32;
+            if owner == me {
+                return Err(format!(
+                    "wave walk reached owned left {u} missing from the slice"
+                ));
+            }
+            need.entry(owner).or_default().0.push(u);
+        }
+        for &v in &frontier_r {
+            if ws.loaded_right(v) {
+                continue;
+            }
+            let owner = map.owner_of_right(v) as u32;
+            if owner == me {
+                return Err(format!(
+                    "wave walk reached owned right {v} missing from the slice"
+                ));
+            }
+            need.entry(owner).or_default().1.push(v);
+        }
+        if !need.is_empty() {
+            rounds += 1;
+            for (&owner, (ls, rs)) in &need {
+                let mut w = ByteWriter::new();
+                w.put_u64(ls.len() as u64);
+                for &u in ls {
+                    w.put_u32(u);
+                }
+                w.put_u64(rs.len() as u64);
+                for &v in rs {
+                    w.put_u32(v);
+                }
+                links
+                    .peer_to(owner)
+                    .ok_or_else(|| format!("HANDOFF {me}<->{owner}: no direct link"))?
+                    .send(PH_HANDOFF_REQ, epoch, &w.into_bytes())
+                    .map_err(|e| format!("HANDOFF {me}<->{owner}: {e}"))?;
+            }
+            let owners: Vec<u32> = need.keys().copied().collect();
+            let deadline = Instant::now() + timeout;
+            let acks = await_acks(st, links, map, PH_HANDOFF_ACK, &owners, deadline)?;
+            for (&owner, (ls, rs)) in &need {
+                let parse = |e: IoError| format!("HANDOFF {me}<->{owner}: bad ack: {e}");
+                let mut r = ByteReader::new(&acks[&owner]);
+                let lrows = take_left_rows(&mut r).map_err(parse)?;
+                let rrows = take_right_rows(&mut r).map_err(parse)?;
+                r.expect_end().map_err(parse)?;
+                if lrows.len() != ls.len() || rrows.len() != rs.len() {
+                    return Err(format!(
+                        "HANDOFF {me}<->{owner}: ack rows ({}, {}) disagree with the request ({}, {})",
+                        lrows.len(),
+                        rrows.len(),
+                        ls.len(),
+                        rs.len()
+                    ));
+                }
+                for (k, (u, m)) in lrows.into_iter().enumerate() {
+                    if u != ls[k] {
+                        return Err(format!(
+                            "HANDOFF {me}<->{owner}: ack answered left {u}, asked {}",
+                            ls[k]
+                        ));
+                    }
+                    ws.set_left(u, m);
+                }
+                for (k, (v, list)) in rrows.into_iter().enumerate() {
+                    if v != rs[k] {
+                        return Err(format!(
+                            "HANDOFF {me}<->{owner}: ack answered right {v}, asked {}",
+                            rs[k]
+                        ));
+                    }
+                    ws.set_right(v, list);
+                }
+            }
+        }
+        // One alternation outward, gated on footprint membership: the
+        // walk itself never leaves the shipped topology, so neither
+        // does the fetch.
+        let (mut next_l, mut next_r) = (Vec::new(), Vec::new());
+        for &u in &frontier_l {
+            for v in topo.left_neighbors(u) {
+                if topo.rights.contains_key(&v) && seen_r.insert(v) {
+                    next_r.push(v);
+                }
+            }
+            if let Some(m) = ws.mate.get(u as usize).copied().flatten() {
+                if topo.rights.contains_key(&m) && seen_r.insert(m) {
+                    next_r.push(m);
+                }
+            }
+        }
+        for &v in &frontier_r {
+            for x in topo.right_neighbors(v) {
+                if topo.lefts.contains_key(&x) && seen_l.insert(x) {
+                    next_l.push(x);
+                }
+            }
+            if let Some(list) = ws.matched.get(v as usize) {
+                for &x in list {
+                    if topo.lefts.contains_key(&x) && seen_l.insert(x) {
+                        next_l.push(x);
+                    }
+                }
+            }
+        }
+        frontier_l = next_l;
+        frontier_r = next_r;
+    }
+    Ok(rounds)
+}
+
+/// One shipped plan's executed outcome, as reported on the wave ack.
+#[derive(Debug)]
+struct PlanAck {
+    j: u32,
+    out: RepairOutcome,
+    lefts: Vec<(u32, u32)>,
+    rights: Vec<(u32, Vec<u32>)>,
+    rounds: u64,
+}
+
+/// Execute one `WAVE` frame: decode the plans and their footprint
+/// topology, seed the dense scratch from the worker's own slice plus
+/// the coordinator's overrides, then per plan fetch the reachable
+/// foreign rows, run the bounded walk, and diff the touched rows. Own
+/// changes commit to the slice, foreign changes push to their owners as
+/// `FLIP`s, and everything is reported back on the ack together with
+/// this worker's sent-side peer wire counters.
+fn run_wave(
+    st: &mut WorkerState,
+    links: &mut WorkerLinks,
+    map: &ShardMap,
+    epoch: u64,
+    payload: &[u8],
+    timeout: Duration,
+) -> Result<Vec<u8>, String> {
+    let me = links.shard();
+    let parse = |e: IoError| format!("WAVE payload: {e}");
+    let mut r = ByteReader::new(payload);
+    let eager_k = r.take_u64().map_err(parse)? as usize;
+    let ecap = r.take_u64().map_err(parse)? as usize;
+    let radius = r.take_u64().map_err(parse)?;
+    let n_plans = r.take_len(12).map_err(parse)?;
+    let mut topo = WaveTopology::default();
+    let mut plans: Vec<ShippedPlan> = Vec::with_capacity(n_plans);
+    let mut override_l: Vec<(u32, u32)> = Vec::new();
+    let mut override_r: Vec<(u32, Vec<u32>)> = Vec::new();
+    for _ in 0..n_plans {
+        let j = r.take_u32().map_err(parse)?;
+        let plan = decode_plan(&mut r).map_err(parse)?;
+        let nr = r.take_len(16).map_err(parse)?;
+        let mut rights = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let v = r.take_u32().map_err(parse)?;
+            let cap = r.take_u64().map_err(parse)?;
+            let n = r.take_len(4).map_err(parse)?;
+            let mut nbrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                nbrs.push(r.take_u32().map_err(parse)?);
+            }
+            topo.rights.insert(v, (cap, nbrs));
+            rights.push(v);
+        }
+        let nl = r.take_len(8).map_err(parse)?;
+        let mut lefts = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            let u = r.take_u32().map_err(parse)?;
+            let n = r.take_len(4).map_err(parse)?;
+            let mut nbrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                nbrs.push(r.take_u32().map_err(parse)?);
+            }
+            topo.lefts.insert(u, nbrs);
+            lefts.push(u);
+        }
+        override_l.extend(take_left_rows(&mut r).map_err(parse)?);
+        override_r.extend(take_right_rows(&mut r).map_err(parse)?);
+        plans.push(ShippedPlan {
+            j,
+            plan,
+            rights,
+            lefts,
+        });
+    }
+    r.expect_end().map_err(parse)?;
+    for sp in &plans {
+        let named = match sp.plan {
+            RepairPlan::Rematch { v, .. } | RepairPlan::Evict { v } | RepairPlan::Fill { v } => {
+                Some(v)
+            }
+            _ => None,
+        };
+        if let Some(v) = named {
+            if !topo.rights.contains_key(&v) {
+                return Err(format!(
+                    "plan names right {v} outside its shipped footprint"
+                ));
+            }
+        }
+    }
+
+    // Peer wire counters at wave start; the ack carries the deltas.
+    let sent0 = peer_sent(links);
+
+    // Seed the scratch: own rows from the authoritative slice, then the
+    // coordinator's overrides on top (rows its engine moved past the
+    // synced slices — fresh arrivals and locally-run plans).
+    let mut ws = WaveState::default();
+    for &v in topo.rights.keys() {
+        if map.owner_of_right(v) as u32 == me {
+            let list = st.matched.get(&v).cloned().ok_or_else(|| {
+                format!("wave topology names owned right {v} missing from the slice")
+            })?;
+            ws.set_right(v, list);
+        }
+    }
+    for &u in topo.lefts.keys() {
+        if map.owner_of_left(u) as u32 == me {
+            // A missing owned left is a fresh arrival whose row rides
+            // the overrides below.
+            if let Some(&m) = st.lefts.get(&u) {
+                ws.set_left(u, m);
+            }
+        }
+    }
+    for &(u, m) in &override_l {
+        ws.set_left(u, m);
+    }
+    for (v, list) in override_r {
+        ws.set_right(v, list);
+    }
+
+    let mut scratch = SearchScratch::default();
+    let mut acks: Vec<PlanAck> = Vec::with_capacity(plans.len());
+    let mut own_l: Vec<(u32, u32)> = Vec::new();
+    let mut own_r: Vec<(u32, Vec<u32>)> = Vec::new();
+    let mut flips = FlipBuckets::new();
+    let mut max_rounds = 0u64;
+    for sp in &plans {
+        let rounds = fetch_plan_state(
+            &mut ws, st, links, map, &topo, &sp.plan, epoch, radius, timeout,
+        )?;
+        max_rounds = max_rounds.max(rounds);
+        // Pre-image of the rows this plan may write — the walk contract
+        // confines writes to the plan's own footprint and its
+        // one-step-around lefts, which is exactly the shipped id set.
+        let pre_l: Vec<(u32, Option<u32>)> = sp
+            .lefts
+            .iter()
+            .map(|&u| (u, ws.mate.get(u as usize).copied().flatten()))
+            .collect();
+        let pre_r: Vec<(u32, Vec<u32>)> = sp
+            .rights
+            .iter()
+            .map(|&v| (v, ws.matched.get(v as usize).cloned().unwrap_or_default()))
+            .collect();
+        scratch.ensure(ws.mate.len(), ws.matched.len());
+        let out = {
+            let slots = MatchSlots::over(&mut ws.mate, &mut ws.matched);
+            run_repair(&sp.plan, &topo, &slots, &mut scratch, eager_k, ecap)
+        };
+        let mut dl: Vec<(u32, u32)> = Vec::new();
+        for (u, before) in pre_l {
+            let now = ws.mate.get(u as usize).copied().flatten();
+            if now != before {
+                dl.push((u, now.unwrap_or(UNMATCHED)));
+            }
+        }
+        let mut dr: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (v, before) in pre_r {
+            let now = ws.matched.get(v as usize).cloned().unwrap_or_default();
+            if now != before {
+                dr.push((v, now));
+            }
+        }
+        for &(u, m) in &dl {
+            let owner = map.owner_of_left(u) as u32;
+            if owner == me {
+                own_l.push((u, m));
+            } else {
+                flips.entry(owner).or_default().0.push((u, m));
+            }
+        }
+        for (v, list) in &dr {
+            let owner = map.owner_of_right(*v) as u32;
+            if owner == me {
+                own_r.push((*v, list.clone()));
+            } else {
+                flips.entry(owner).or_default().1.push((*v, list.clone()));
+            }
+        }
+        acks.push(PlanAck {
+            j: sp.j,
+            out,
+            lefts: dl,
+            rights: dr,
+            rounds,
+        });
+    }
+
+    // Commit own changes to the authoritative slice.
+    for &(u, m) in &own_l {
+        st.lefts.insert(u, m);
+    }
+    for (v, list) in own_r {
+        let entry = st
+            .rights
+            .get_mut(&v)
+            .ok_or_else(|| format!("own flip for unknown right {v}"))?;
+        entry.1 = list.len() as u64;
+        st.matched.insert(v, list);
+    }
+
+    // Push foreign changes to their owners, then collect the acks —
+    // send-all-first so two workers flipping into each other cannot
+    // deadlock, and keep serving while waiting.
+    for (&owner, (ls, rs)) in &flips {
+        let mut w = ByteWriter::new();
+        put_left_rows(&mut w, ls);
+        put_right_rows(&mut w, rs);
+        links
+            .peer_to(owner)
+            .ok_or_else(|| format!("HANDOFF {me}<->{owner}: no direct link"))?
+            .send(PH_FLIP, epoch, &w.into_bytes())
+            .map_err(|e| format!("HANDOFF {me}<->{owner}: {e}"))?;
+    }
+    let owners: Vec<u32> = flips.keys().copied().collect();
+    let deadline = Instant::now() + timeout;
+    let flip_acks = await_acks(st, links, map, PH_FLIP_ACK, &owners, deadline)?;
+    for (&owner, (ls, rs)) in &flips {
+        let mut r = ByteReader::new(&flip_acks[&owner]);
+        let parse = |e: IoError| format!("HANDOFF {me}<->{owner}: bad flip ack: {e}");
+        let applied = r.take_u64().map_err(parse)?;
+        r.expect_end().map_err(parse)?;
+        let want = (ls.len() + rs.len()) as u64;
+        if applied != want {
+            return Err(format!(
+                "HANDOFF {me}<->{owner}: flip applied {applied} rows, sent {want}"
+            ));
+        }
+    }
+
+    let (sf, sb) = peer_sent(links);
+    let mut w = ByteWriter::new();
+    w.put_u64(acks.len() as u64);
+    for a in &acks {
+        w.put_u32(a.j);
+        w.put_i64(a.out.size_delta);
+        w.put_u64(a.out.augmentations as u64);
+        w.put_u64(a.out.evictions as u64);
+        w.put_u64(a.out.dirty.len() as u64);
+        for &v in &a.out.dirty {
+            w.put_u32(v);
+        }
+        put_left_rows(&mut w, &a.lefts);
+        put_right_rows(&mut w, &a.rights);
+        w.put_u64(a.rounds);
+    }
+    w.put_u64(scratch.expansions);
+    w.put_u64(scratch.cap_hits);
+    w.put_u64(sf - sent0.0);
+    w.put_u64(sb - sent0.1);
+    w.put_u64(max_rounds);
+    Ok(w.into_bytes())
+}
+
+/// Handle an `ARM` frame (test instrumentation): kind 0 arms a fault on
+/// the link to a named peer shard, kind 1 overrides the handoff
+/// deadline.
+fn arm_link(
+    links: &mut WorkerLinks,
+    payload: &[u8],
+    handoff_timeout: &mut Duration,
+) -> Result<(), String> {
+    let parse = |e: IoError| format!("ARM payload: {e}");
+    let mut r = ByteReader::new(payload);
+    match r.take_u32().map_err(parse)? {
+        0 => {
+            let target = r.take_u32().map_err(parse)?;
+            let fault = Fault::decode(&mut r).map_err(parse)?;
+            r.expect_end().map_err(parse)?;
+            links
+                .peer_to(target)
+                .ok_or_else(|| format!("ARM names shard {target} with no direct link"))?
+                .inject(fault);
+            Ok(())
+        }
+        1 => {
+            let micros = r.take_u64().map_err(parse)?;
+            r.expect_end().map_err(parse)?;
+            *handoff_timeout = Duration::from_micros(micros.max(1));
+            Ok(())
+        }
+        other => Err(format!("unknown ARM kind {other}")),
+    }
+}
+
+/// The p2p worker thread: multiplex the coordinator spoke (`WAVE`/`ARM`
+/// plus every star phase) with the worker↔worker links (`HANDOFF_REQ`/
+/// `FLIP` from peers executing their own plans). Failures NACK the
+/// coordinator with a detail naming the peer pair and protocol phase,
+/// then the worker exits — recovery rebuilds the whole mesh.
+fn worker_main_p2p(mut links: WorkerLinks, map: ShardMap) {
+    let mut st = WorkerState {
+        p2p: true,
+        ..WorkerState::default()
+    };
+    let mut handoff_timeout = DEFAULT_HANDOFF_TIMEOUT;
+    fn nack(links: &mut WorkerLinks, epoch: u64, detail: &str) {
+        let mut w = ByteWriter::new();
+        w.put_u32(NACK_PROTOCOL);
+        w.put_bytes(detail.as_bytes());
+        let _ = links.coordinator.send(PH_NACK, epoch, &w.into_bytes());
+    }
+    loop {
+        match links.coordinator.poll_recv(Duration::from_millis(2)) {
+            Ok(Some(frame)) => match frame.phase {
+                PH_WAVE => match run_wave(
+                    &mut st,
+                    &mut links,
+                    &map,
+                    frame.epoch,
+                    &frame.payload,
+                    handoff_timeout,
+                ) {
+                    Ok(ack) => {
+                        if links
+                            .coordinator
+                            .send(PH_WAVE_ACK, frame.epoch, &ack)
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(detail) => {
+                        nack(&mut links, frame.epoch, &detail);
+                        return;
+                    }
+                },
+                PH_ARM => match arm_link(&mut links, &frame.payload, &mut handoff_timeout) {
+                    Ok(()) => {
+                        if links
+                            .coordinator
+                            .send(PH_ARM_ACK, frame.epoch, &[])
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(detail) => {
+                        nack(&mut links, frame.epoch, &detail);
+                        return;
+                    }
+                },
+                other => match st.handle(other, &frame.payload) {
+                    Ok((phase, reply)) => {
+                        let done = phase == PH_SHUTDOWN_ACK;
+                        if links.coordinator.send(phase, frame.epoch, &reply).is_err() {
+                            return;
+                        }
+                        if done {
+                            return;
+                        }
+                    }
+                    Err(detail) => {
+                        nack(&mut links, frame.epoch, &detail);
+                        return;
+                    }
+                },
+            },
+            Ok(None) => {}
+            Err(err) => {
+                let mut w = ByteWriter::new();
+                w.put_u32(NACK_TRANSPORT);
+                w.put_bytes(&err.encode());
+                let _ = links.coordinator.send(PH_NACK, 0, &w.into_bytes());
+                return;
+            }
+        }
+        // Idle half: answer peers even when no wave of our own is
+        // running — another shard's walk may need our rows at any time.
+        if let Err(detail) = service_peers(&mut st, &mut links, &map, None) {
+            nack(&mut links, 0, &detail);
+            return;
+        }
+    }
+}
+
 // ---------------------------------------------------- coordinator side
 
 /// Owner of an update's *anchor* vertex: the worker its wire copy is
@@ -495,6 +1632,19 @@ fn decode_nack(shard: u32, payload: &[u8]) -> NetError {
     })
 }
 
+/// One shipped plan's outcome as its owning worker acked it: the
+/// [`RepairOutcome`] fields plus the changed mate/matched rows the
+/// coordinator replays into its engine and mirrors.
+#[derive(Debug)]
+struct RemotePlanOutcome {
+    size_delta: i64,
+    augmentations: u64,
+    evictions: u64,
+    dirty: Vec<u32>,
+    lefts: Vec<(u32, u32)>,
+    rights: Vec<(u32, Vec<u32>)>,
+}
+
 /// The networked serving engine. See the [module docs](self).
 #[derive(Debug)]
 pub struct NetServeLoop {
@@ -528,6 +1678,15 @@ pub struct NetServeLoop {
     base: Option<DeltaBase>,
     /// xorshift state for backoff jitter (no RNG dependency).
     jitter: u64,
+    /// Peer-to-peer mode: repair waves run on the workers (see the
+    /// [module docs](self)), and the mesh carries worker↔worker links.
+    p2p: bool,
+    /// p2p mirror of every right's matched list — the slot-order walk
+    /// state the workers hold, verified by the census matched checksum.
+    synced_matched: Vec<Vec<u32>>,
+    /// Handoff-deadline override to (re-)broadcast to the workers —
+    /// remembered so a mesh rebuild re-arms it.
+    handoff_timeout: Option<Duration>,
 }
 
 /// Human name of a protocol phase tag (frame headers and flight dumps).
@@ -548,6 +1707,14 @@ fn phase_name(phase: u32) -> &'static str {
         PH_SHUTDOWN => "SHUTDOWN",
         PH_SHUTDOWN_ACK => "SHUTDOWN_ACK",
         PH_NACK => "NACK",
+        PH_WAVE => "WAVE",
+        PH_WAVE_ACK => "WAVE_ACK",
+        PH_HANDOFF_REQ => "HANDOFF_REQ",
+        PH_HANDOFF_ACK => "HANDOFF_ACK",
+        PH_FLIP => "FLIP",
+        PH_FLIP_ACK => "FLIP_ACK",
+        PH_ARM => "ARM",
+        PH_ARM_ACK => "ARM_ACK",
         _ => "UNKNOWN",
     }
 }
@@ -586,16 +1753,58 @@ impl NetServeLoop {
     /// Put an existing simulated engine on the wire: spawn one worker
     /// per shard and scatter the current state slices.
     pub fn from_inner(inner: ShardedServeLoop, kind: TransportKind) -> Result<Self, NetError> {
+        Self::from_inner_with(inner, kind, false)
+    }
+
+    /// Peer-to-peer twin of [`NetServeLoop::new`]: same star for
+    /// scheduling, routing, and epoch barriers, but repair waves ship to
+    /// the shard workers owning their balls, and cross-shard walk state
+    /// moves directly over worker↔worker channels. See the
+    /// [module docs](self).
+    pub fn new_p2p(
+        base: Bipartite,
+        cfg: ShardedConfig,
+        kind: TransportKind,
+    ) -> Result<Self, NetError> {
+        let inner = ShardedServeLoop::new(base, cfg)?;
+        Self::from_inner_with(inner, kind, true)
+    }
+
+    /// Peer-to-peer twin of [`NetServeLoop::from_inner`].
+    pub fn from_inner_p2p(inner: ShardedServeLoop, kind: TransportKind) -> Result<Self, NetError> {
+        Self::from_inner_with(inner, kind, true)
+    }
+
+    fn from_inner_with(
+        inner: ShardedServeLoop,
+        kind: TransportKind,
+        p2p: bool,
+    ) -> Result<Self, NetError> {
         let p = inner.shards();
         let tracer = inner.tracer().clone();
-        let (mesh, ends) = match kind {
-            TransportKind::Loopback => Mesh::loopback(p),
-            TransportKind::Tcp => Mesh::tcp(p)?,
+        let (mesh, workers): (Mesh, Vec<JoinHandle<()>>) = if p2p {
+            let map = *inner.shard_map();
+            let pairs = Mesh::all_pairs(p);
+            let (mesh, links) = match kind {
+                TransportKind::Loopback => Mesh::loopback_mesh(p, &pairs),
+                TransportKind::Tcp => Mesh::tcp_mesh(p, &pairs)?,
+            };
+            let workers = links
+                .into_iter()
+                .map(|l| std::thread::spawn(move || worker_main_p2p(l, map)))
+                .collect();
+            (mesh, workers)
+        } else {
+            let (mesh, ends) = match kind {
+                TransportKind::Loopback => Mesh::loopback(p),
+                TransportKind::Tcp => Mesh::tcp(p)?,
+            };
+            let workers = ends
+                .into_iter()
+                .map(|peer| std::thread::spawn(move || worker_main(peer)))
+                .collect();
+            (mesh, workers)
         };
-        let workers = ends
-            .into_iter()
-            .map(|peer| std::thread::spawn(move || worker_main(peer)))
-            .collect();
         let mut this = NetServeLoop {
             inner,
             mesh,
@@ -616,6 +1825,9 @@ impl NetServeLoop {
             wal: None,
             base: None,
             jitter: 0x9e37_79b9_7f4a_7c15,
+            p2p,
+            synced_matched: Vec::new(),
+            handoff_timeout: None,
         };
         this.scatter_init(labels::NET_INIT)?;
         this.epoch_mark = this.wire_totals();
@@ -738,6 +1950,7 @@ impl NetServeLoop {
             labels::NET_COMMIT => self.stats.commit_bytes += total,
             labels::NET_CENSUS => self.stats.census_bytes += total,
             labels::NET_RECOVER => self.stats.replayed_bytes += total,
+            labels::NET_WAVE => self.stats.wave_bytes += total,
             _ => self.stats.init_bytes += total,
         }
         let (fs, fr) = self.mesh.frames_moved();
@@ -875,6 +2088,11 @@ impl NetServeLoop {
                 .1
                 .push((v as u32, level, ld));
         }
+        let matched: Vec<Vec<u32>> = if self.p2p {
+            self.inner.serial().matching().matched_at_slice().to_vec()
+        } else {
+            Vec::new()
+        };
         for (w, (lefts, rights)) in writers.iter().enumerate() {
             let mut wtr = ByteWriter::new();
             wtr.put_u64(lefts.len() as u64);
@@ -887,6 +2105,15 @@ impl NetServeLoop {
                 wtr.put_u32(v);
                 wtr.put_i64(level);
                 wtr.put_u64(ld);
+            }
+            if self.p2p {
+                // The worker's walk state: every owned right's full
+                // matched list in slot order.
+                let rows: Vec<(u32, Vec<u32>)> = rights
+                    .iter()
+                    .map(|&(v, _, _)| (v, matched[v as usize].clone()))
+                    .collect();
+                put_right_rows(&mut wtr, &rows);
             }
             self.send(w, PH_INIT, self.epoch, &wtr.into_bytes())?;
         }
@@ -912,11 +2139,29 @@ impl NetServeLoop {
         self.synced_mate = mate;
         self.synced_level = levels;
         self.synced_load = load;
+        self.synced_matched = matched;
         let words = self.note_wire(label, &mark);
         sp.set_words(words);
         let ns = sp.close();
         self.inner.obs_mut().phase_ns(phase, ns);
         Ok(())
+    }
+
+    /// The left whose engine-style `swap_remove` turns `old` into
+    /// `new`, if exactly one such op does — lists are a handful of
+    /// entries, so trying each position beats cleverness.
+    fn single_swap_remove(old: &[u32], new: &[u32]) -> Option<u32> {
+        if old.len() != new.len() + 1 {
+            return None;
+        }
+        for pos in 0..old.len() {
+            let mut sim = old.to_vec();
+            let u = sim.swap_remove(pos);
+            if sim[..] == *new {
+                return Some(u);
+            }
+        }
+        None
     }
 
     fn payload_err(&self, w: usize, e: IoError) -> NetError {
@@ -928,6 +2173,11 @@ impl NetServeLoop {
 
     /// Ship the engine's state changes since the last commit to the
     /// owning workers, and advance the coordinator's mirror.
+    ///
+    /// On a p2p mesh the frame carries no loads section (loads are list
+    /// lengths, and the lists travel as [`LIST_PUSH`]-family ops), and
+    /// rows a wave fold already advanced the mirror past are skipped —
+    /// the worker applied them itself, directly or via a peer `FLIP`.
     fn commit_deltas(&mut self) -> Result<(), NetError> {
         let mut sp = self.tracer.span(Phase::NetCommit, self.epoch);
         let mark = self.mark();
@@ -940,18 +2190,44 @@ impl NetServeLoop {
         for (u, &m) in mate.iter().enumerate() {
             // A left past the synced horizon arrived this batch: its
             // owner must learn it even if it is (still) unmatched.
+            // (Fold-synced fresh rows sit below the horizon already;
+            // the gap rows they skipped over read [`NEVER_SYNCED`] and
+            // so still ship.)
             if u >= self.synced_mate.len() || self.synced_mate[u] != m {
                 mates[map.owner_of_left(u as u32)].push((u as u32, m));
             }
         }
-        for (v, &ld) in load.iter().enumerate() {
-            if self.synced_load[v] != ld {
-                loads[map.owner_of_right(v as u32)].push((v as u32, ld));
+        // p2p workers derive loads from their matched lists (`load` is
+        // the list length, and every load change is a membership change,
+        // so the list row below already carries it) — the loads section
+        // would be pure redundancy on that wire.
+        if !self.p2p {
+            for (v, &ld) in load.iter().enumerate() {
+                if self.synced_load[v] != ld {
+                    loads[map.owner_of_right(v as u32)].push((v as u32, ld));
+                }
             }
         }
         for (v, &level) in levels.iter().enumerate() {
             if self.synced_level[v] != level {
                 lvls[map.owner_of_right(v as u32)].push((v as u32, level));
+            }
+        }
+        // p2p: the workers also hold matched lists; ship every list the
+        // engine changed since the last sync (waves folded remotely have
+        // already advanced the mirror, so this is only the structural /
+        // locally-run remainder).
+        let matched: Vec<Vec<u32>> = if self.p2p {
+            self.inner.serial().matching().matched_at_slice().to_vec()
+        } else {
+            Vec::new()
+        };
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); p];
+        if self.p2p {
+            for (v, list) in matched.iter().enumerate() {
+                if self.synced_matched.get(v) != Some(list) {
+                    lists[map.owner_of_right(v as u32)].push(v as u32);
+                }
             }
         }
         let epoch = self.epoch;
@@ -962,15 +2238,38 @@ impl NetServeLoop {
                 wtr.put_u32(u);
                 wtr.put_u32(m);
             }
-            wtr.put_u64(loads[w].len() as u64);
-            for &(v, ld) in &loads[w] {
-                wtr.put_u32(v);
-                wtr.put_u64(ld);
+            if !self.p2p {
+                wtr.put_u64(loads[w].len() as u64);
+                for &(v, ld) in &loads[w] {
+                    wtr.put_u32(v);
+                    wtr.put_u64(ld);
+                }
             }
             wtr.put_u64(lvls[w].len() as u64);
             for &(v, level) in &lvls[w] {
                 wtr.put_u32(v);
                 wtr.put_i64(level);
+            }
+            if self.p2p {
+                wtr.put_u64(lists[w].len() as u64);
+                for &v in &lists[w] {
+                    wtr.put_u32(v);
+                    let old = &self.synced_matched[v as usize];
+                    let new = &matched[v as usize];
+                    if new.len() == old.len() + 1 && new[..old.len()] == old[..] {
+                        wtr.put_u32(LIST_PUSH);
+                        wtr.put_u32(new[old.len()]);
+                    } else if let Some(u) = Self::single_swap_remove(old, new) {
+                        wtr.put_u32(LIST_SWAP_REMOVE);
+                        wtr.put_u32(u);
+                    } else {
+                        wtr.put_u32(LIST_SET);
+                        wtr.put_u64(new.len() as u64);
+                        for &u in new {
+                            wtr.put_u32(u);
+                        }
+                    }
+                }
             }
             self.send(w, PH_COMMIT, epoch, &wtr.into_bytes())?;
         }
@@ -978,7 +2277,7 @@ impl NetServeLoop {
             let payload = self.expect(w, PH_COMMIT_ACK, epoch)?;
             let mut r = ByteReader::new(&payload);
             let applied = r.take_u64().map_err(|e| self.payload_err(w, e))?;
-            let sent = (mates[w].len() + loads[w].len() + lvls[w].len()) as u64;
+            let sent = (mates[w].len() + loads[w].len() + lvls[w].len() + lists[w].len()) as u64;
             if applied != sent {
                 return Err(NetError::Protocol {
                     shard: w as u32,
@@ -989,6 +2288,9 @@ impl NetServeLoop {
         self.synced_mate = mate;
         self.synced_level = levels;
         self.synced_load = load;
+        if self.p2p {
+            self.synced_matched = matched;
+        }
         let words = self.note_wire(labels::NET_COMMIT, &mark);
         sp.set_words(words);
         let ns = sp.close();
@@ -1013,6 +2315,24 @@ impl NetServeLoop {
                 wtr.put_u32(v as u32);
                 wtr.put_i64(level);
                 wtr.put_u64(ld);
+            }
+        }
+        fnv1a64(&wtr.into_bytes())
+    }
+
+    /// The coordinator's expectation of a p2p worker's matched-list
+    /// checksum ([`WorkerState::matched_checksum`]), from the
+    /// [`Self::synced_matched`] mirror in the same sorted id order.
+    fn matched_checksum_of(&self, w: usize) -> u64 {
+        let map = self.inner.shard_map();
+        let mut wtr = ByteWriter::new();
+        for (v, list) in self.synced_matched.iter().enumerate() {
+            if map.owner_of_right(v as u32) == w {
+                wtr.put_u32(v as u32);
+                wtr.put_u64(list.len() as u64);
+                for &u in list {
+                    wtr.put_u32(u);
+                }
             }
         }
         fnv1a64(&wtr.into_bytes())
@@ -1101,6 +2421,9 @@ impl NetServeLoop {
     /// refresh and re-INIT is idempotent). Metered as
     /// [`Phase::NetRecover`] / [`labels::NET_RECOVER`].
     fn respawn_and_reinit(&mut self, failed: usize) -> Result<(), NetError> {
+        if self.p2p {
+            return self.rebuild_mesh_and_reinit();
+        }
         let endpoint = self.mesh.respawn(failed, self.kind == TransportKind::Tcp)?;
         let old = std::mem::replace(
             &mut self.workers[failed],
@@ -1127,6 +2450,45 @@ impl NetServeLoop {
         self.epoch_mark.0 = self.epoch_mark.0.min(bytes_now);
         self.epoch_mark.1 = self.epoch_mark.1.min(frames_now);
         self.scatter_init(labels::NET_RECOVER)
+    }
+
+    /// The p2p recovery primitive. A fault mid-wave leaves partial walk
+    /// state in flight on worker↔worker channels the coordinator cannot
+    /// see, let alone drain — so the only sound cut is wholesale: tear
+    /// down and rebuild the *entire* mesh ([`Mesh::rebuild_p2p`]),
+    /// respawn every worker thread on the fresh links, and re-scatter
+    /// the coordinator's authoritative engine state. The interrupted
+    /// wave is then re-dispatched by the caller; outcomes fold only
+    /// after a full ack barrier, so the retried wave lands exactly once.
+    fn rebuild_mesh_and_reinit(&mut self) -> Result<(), NetError> {
+        let links = self.mesh.rebuild_p2p(self.kind == TransportKind::Tcp)?;
+        let map = *self.inner.shard_map();
+        let old = std::mem::take(&mut self.workers);
+        self.workers = links
+            .into_iter()
+            .map(|l| std::thread::spawn(move || worker_main_p2p(l, map)))
+            .collect();
+        // Old threads see their channels close and exit; one still
+        // pumping a dead peer gives up at its handoff deadline — bound
+        // the join and detach stragglers rather than wedge recovery.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for h in old {
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+        }
+        // Fresh channels restart the wire counters from zero.
+        let (bytes_now, frames_now) = self.wire_totals();
+        self.epoch_mark.0 = self.epoch_mark.0.min(bytes_now);
+        self.epoch_mark.1 = self.epoch_mark.1.min(frames_now);
+        self.scatter_init(labels::NET_RECOVER)?;
+        if let Some(d) = self.handoff_timeout {
+            self.broadcast_handoff_timeout(d)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------- serving
@@ -1163,7 +2525,11 @@ impl NetServeLoop {
         };
         // The engine consumes what the wire delivered — a codec bug
         // surfaces as divergence from serial, not silence.
-        let report = self.inner.apply_batch(&wire)?;
+        let report = if self.p2p {
+            self.apply_batch_p2p(&wire)?
+        } else {
+            self.inner.apply_batch(&wire)?
+        };
         loop {
             match self.commit_deltas() {
                 Ok(()) => break,
@@ -1171,6 +2537,358 @@ impl NetServeLoop {
             }
         }
         Ok(report)
+    }
+
+    /// The p2p wave executor behind [`Self::apply_batch`]: stage the
+    /// batch once, then per wave run the structural half serially on the
+    /// coordinator, ship every disjoint-footprint repair plan to the
+    /// shard worker owning its ball (one `WAVE` frame per worker,
+    /// [`labels::NET_WAVE`]), and fold the acked outcomes back in
+    /// arrival order — byte-for-byte the order the simulated engine
+    /// folds its own waves, which is what the `p2p ≡ serial` property
+    /// tests pin down. Plans the scheduler kept serial (global
+    /// footprints, empty footprints, structural no-ops) run locally in
+    /// the same fold slot.
+    ///
+    /// A wire fault mid-wave rebuilds the whole mesh
+    /// ([`Self::rebuild_mesh_and_reinit`]) — the re-INIT scatters the
+    /// engine state that already includes this wave's structural half —
+    /// and re-dispatches the same wave. Outcomes fold only after *all*
+    /// acks arrive, so a retried wave lands exactly once.
+    fn apply_batch_p2p(&mut self, wire: &[Update]) -> Result<BatchReport, NetError> {
+        let Some(mut staged) = self.inner.stage_batch(wire)? else {
+            return Ok(BatchReport::default());
+        };
+        let (eager_k, ecap, radius) = {
+            let cfg = self.inner.serial().config();
+            (
+                cfg.eager_budget() as u64,
+                cfg.eager_search_cap as u64,
+                cfg.eager_radius() as u64,
+            )
+        };
+        for wave in 0..staged.waves() {
+            let idxs: Vec<usize> = staged.wave_idxs(wave).to_vec();
+            let t0 = Instant::now();
+            let (exp0, cap0) = self.inner.serial().wave_counters();
+            let (plans, mut results) = {
+                let ups: Vec<&Update> = idxs
+                    .iter()
+                    .map(|&i| {
+                        staged.routed[i]
+                            .as_ref()
+                            .expect("every update was delivered")
+                    })
+                    .collect();
+                let arrive_ids: Vec<Option<u32>> = idxs
+                    .iter()
+                    .map(|&i| staged.sched.plans[i].arrive_id)
+                    .collect();
+                self.inner.serial_mut().wave_structural(&ups, &arrive_ids)
+            };
+            // Which plans ship: disjoint footprint, non-empty, and a
+            // real repair to run. Everything else stays local.
+            let shipped: Vec<Option<usize>> = idxs
+                .iter()
+                .enumerate()
+                .map(|(j, &i)| {
+                    let pl = &staged.sched.plans[i];
+                    (!pl.global && pl.footprint_len > 0 && !matches!(plans[j], RepairPlan::Noop))
+                        .then_some(pl.owner)
+                })
+                .collect();
+            let (mut remote, exp_remote, cap_remote) = if shipped.iter().any(Option::is_some) {
+                let frames =
+                    self.build_wave_frames(&staged, &idxs, &plans, &shipped, eager_k, ecap, radius);
+                loop {
+                    match self.exchange_wave(&frames, &shipped) {
+                        Ok(folded) => break folded,
+                        Err(e) => self.recover_or_quarantine(e)?,
+                    }
+                }
+            } else {
+                ((0..idxs.len()).map(|_| None).collect(), 0, 0)
+            };
+            for j in 0..idxs.len() {
+                let out = match remote.get_mut(j).and_then(|o| o.take()) {
+                    Some(r) => {
+                        let lefts: Vec<(LeftId, Option<RightId>)> = r
+                            .lefts
+                            .iter()
+                            .map(|&(u, m)| (u, (m != UNMATCHED).then_some(m)))
+                            .collect();
+                        for &(u, m) in &r.lefts {
+                            let ui = u as usize;
+                            if ui >= self.synced_mate.len() {
+                                self.synced_mate.resize(ui + 1, NEVER_SYNCED);
+                            }
+                            self.synced_mate[ui] = m;
+                        }
+                        for (v, list) in &r.rights {
+                            self.synced_load[*v as usize] = list.len() as u64;
+                            self.synced_matched[*v as usize] = list.clone();
+                        }
+                        self.inner.serial_mut().replay_rows(&lefts, r.rights);
+                        RepairOutcome {
+                            size_delta: r.size_delta,
+                            augmentations: r.augmentations as usize,
+                            evictions: r.evictions as usize,
+                            dirty: r.dirty,
+                        }
+                    }
+                    None => self.inner.serial_mut().run_plan_local(&plans[j]),
+                };
+                results[j].touched.extend_from_slice(&out.dirty);
+                self.inner.serial_mut().absorb_outcome(out);
+            }
+            self.inner
+                .serial_mut()
+                .absorb_search_counters(exp_remote, cap_remote);
+            self.inner.serial_mut().wave_observe(exp0, cap0);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.inner.finish_wave(&mut staged, &idxs, &results, ns);
+        }
+        Ok(self.inner.finish_batch(staged)?)
+    }
+
+    /// Encode one wave's `WAVE` frame per worker: each shipped plan's
+    /// args, its footprint topology (right capacities and full adjacency
+    /// on both sides, straight from the live graph), and the *state
+    /// overrides* — rows in the plan's id set where the coordinator's
+    /// engine has moved past the worker slices (fresh arrivals, rows a
+    /// locally-run plan changed mid-batch). Workers treat overrides as
+    /// already-loaded rows, so nothing here is ever re-fetched over a
+    /// `HANDOFF` link.
+    #[allow(clippy::too_many_arguments)]
+    fn build_wave_frames(
+        &self,
+        staged: &StagedBatch,
+        idxs: &[usize],
+        plans: &[RepairPlan],
+        shipped: &[Option<usize>],
+        eager_k: u64,
+        ecap: u64,
+        radius: u64,
+    ) -> Vec<Vec<u8>> {
+        let p = self.mesh.workers();
+        let dg = self.inner.serial().graph();
+        let matching = self.inner.serial().matching();
+        let mate_now = matching.mate_slice();
+        let matched_now = matching.matched_at_slice();
+        let mut bodies: Vec<ByteWriter> = (0..p).map(|_| ByteWriter::new()).collect();
+        let mut counts = vec![0u64; p];
+        for (j, &i) in idxs.iter().enumerate() {
+            let Some(owner) = shipped[j] else { continue };
+            counts[owner] += 1;
+            let w = &mut bodies[owner];
+            w.put_u32(j as u32);
+            encode_plan(w, &plans[j]);
+            let foot = staged.sched.footprint(i);
+            let mut lefts: Vec<u32> = Vec::new();
+            let mut seen: HashSet<u32> = HashSet::new();
+            // Plan-argument lefts first: a departed left has no live
+            // edges, so collecting the footprint's neighborhoods alone
+            // would miss it (its mate pointer is how the walk enters).
+            if let RepairPlan::Place { u }
+            | RepairPlan::Release { u }
+            | RepairPlan::Rematch { u, .. } = plans[j]
+            {
+                if seen.insert(u) {
+                    lefts.push(u);
+                }
+            }
+            w.put_u64(foot.len() as u64);
+            for &v in foot {
+                w.put_u32(v);
+                w.put_u64(dg.capacity(v));
+                let nbrs: Vec<u32> = dg.right_neighbors_iter(v).collect();
+                w.put_u64(nbrs.len() as u64);
+                for &u in &nbrs {
+                    w.put_u32(u);
+                    if seen.insert(u) {
+                        lefts.push(u);
+                    }
+                }
+            }
+            w.put_u64(lefts.len() as u64);
+            for &u in &lefts {
+                w.put_u32(u);
+                let nbrs: Vec<u32> = dg.left_neighbors_iter(u).collect();
+                w.put_u64(nbrs.len() as u64);
+                for &v in &nbrs {
+                    w.put_u32(v);
+                }
+            }
+            let mut or_l: Vec<(u32, u32)> = Vec::new();
+            for &u in &lefts {
+                let now = mate_now
+                    .get(u as usize)
+                    .copied()
+                    .flatten()
+                    .map_or(UNMATCHED, |v| v);
+                if self.synced_mate.get(u as usize).copied() != Some(now) {
+                    or_l.push((u, now));
+                }
+            }
+            let mut or_r: Vec<(u32, Vec<u32>)> = Vec::new();
+            for &v in foot {
+                let now = &matched_now[v as usize];
+                if self.synced_matched.get(v as usize) != Some(now) {
+                    or_r.push((v, now.clone()));
+                }
+            }
+            put_left_rows(w, &or_l);
+            put_right_rows(w, &or_r);
+        }
+        bodies
+            .into_iter()
+            .enumerate()
+            .map(|(w, body)| {
+                let mut h = ByteWriter::new();
+                h.put_u64(eager_k);
+                h.put_u64(ecap);
+                h.put_u64(radius);
+                h.put_u64(counts[w]);
+                let mut bytes = h.into_bytes();
+                bytes.extend_from_slice(&body.into_bytes());
+                bytes
+            })
+            .collect()
+    }
+
+    /// One wave's wire round-trip: dispatch every worker's `WAVE` frame
+    /// (all workers get one — an empty frame is the wave barrier), then
+    /// collect and validate the acks. Returns the per-plan outcomes in
+    /// wave-slot order plus the summed remote search counters. Spoke
+    /// traffic is metered under [`labels::NET_WAVE`]; the
+    /// worker-reported peer traffic under [`labels::NET_HANDOFF`].
+    #[allow(clippy::type_complexity)]
+    fn exchange_wave(
+        &mut self,
+        frames: &[Vec<u8>],
+        shipped: &[Option<usize>],
+    ) -> Result<(Vec<Option<RemotePlanOutcome>>, u64, u64), NetError> {
+        let epoch = self.epoch;
+        let p = self.mesh.workers();
+        let mut sp = self.tracer.span(Phase::NetWave, epoch);
+        let mark = self.mark();
+        for (w, frame) in frames.iter().enumerate() {
+            self.send(w, PH_WAVE, epoch, frame)?;
+        }
+        let n_left = self.inner.serial().graph().n_left() as u32;
+        let n_right = self.inner.serial().graph().n_right() as u32;
+        let mut out: Vec<Option<RemotePlanOutcome>> = (0..shipped.len()).map(|_| None).collect();
+        let (mut exp, mut caps) = (0u64, 0u64);
+        let (mut hframes, mut hbytes, mut hrounds, mut hmax_worker) = (0u64, 0u64, 0u64, 0u64);
+        for w in 0..p {
+            let payload = self.expect(w, PH_WAVE_ACK, epoch)?;
+            let mut r = ByteReader::new(&payload);
+            let n = r.take_len(8).map_err(|e| self.payload_err(w, e))?;
+            for _ in 0..n {
+                let j = r.take_u32().map_err(|e| self.payload_err(w, e))? as usize;
+                if shipped.get(j).copied().flatten() != Some(w) {
+                    return Err(NetError::Protocol {
+                        shard: w as u32,
+                        detail: format!("wave ack claims plan {j}, which this worker does not own"),
+                    });
+                }
+                if out[j].is_some() {
+                    return Err(NetError::Protocol {
+                        shard: w as u32,
+                        detail: format!("plan {j} acked twice"),
+                    });
+                }
+                let size_delta = r.take_i64().map_err(|e| self.payload_err(w, e))?;
+                let augmentations = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+                let evictions = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+                let nd = r.take_len(4).map_err(|e| self.payload_err(w, e))?;
+                let mut dirty = Vec::with_capacity(nd);
+                for _ in 0..nd {
+                    let v = r.take_u32().map_err(|e| self.payload_err(w, e))?;
+                    if v >= n_right {
+                        return Err(NetError::Protocol {
+                            shard: w as u32,
+                            detail: format!("wave ack dirties unknown right {v}"),
+                        });
+                    }
+                    dirty.push(v);
+                }
+                let lefts = take_left_rows(&mut r).map_err(|e| self.payload_err(w, e))?;
+                let rights = take_right_rows(&mut r).map_err(|e| self.payload_err(w, e))?;
+                for &(u, m) in &lefts {
+                    if u >= n_left || (m != UNMATCHED && m >= n_right) {
+                        return Err(NetError::Protocol {
+                            shard: w as u32,
+                            detail: format!("wave ack rewrites unknown row ({u}, {m})"),
+                        });
+                    }
+                }
+                for (v, list) in &rights {
+                    if *v >= n_right || list.iter().any(|&u| u >= n_left) {
+                        return Err(NetError::Protocol {
+                            shard: w as u32,
+                            detail: format!("wave ack rewrites unknown right {v}"),
+                        });
+                    }
+                }
+                let rounds = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+                hrounds = hrounds.max(rounds);
+                out[j] = Some(RemotePlanOutcome {
+                    size_delta,
+                    augmentations,
+                    evictions,
+                    dirty,
+                    lefts,
+                    rights,
+                });
+            }
+            exp += r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            caps += r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let pf = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let pb = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            let mr = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+            r.expect_end().map_err(|e| self.payload_err(w, e))?;
+            hframes += pf;
+            hbytes += pb;
+            hrounds = hrounds.max(mr);
+            hmax_worker = hmax_worker.max(pb);
+        }
+        for (j, s) in shipped.iter().enumerate() {
+            if let Some(w) = s {
+                if out[j].is_none() {
+                    return Err(NetError::Protocol {
+                        shard: *w as u32,
+                        detail: format!("wave ack missing plan {j}"),
+                    });
+                }
+            }
+        }
+        let words = self.note_wire(labels::NET_WAVE, &mark);
+        sp.set_words(words);
+        let ns = sp.close();
+        self.inner.obs_mut().phase_ns(Phase::NetWave, ns);
+        self.stats.handoff_frames += hframes;
+        self.stats.handoff_bytes += hbytes;
+        self.stats.max_handoff_rounds = self.stats.max_handoff_rounds.max(hrounds);
+        if hbytes > 0 {
+            // The worker↔worker traffic never crosses the coordinator:
+            // it is metered from the workers' own counters, reported on
+            // the acks.
+            let mut hsp = self.tracer.span(Phase::NetHandoff, epoch);
+            let hwords = hbytes.div_ceil(8);
+            self.inner.ledger_mut().record(RoundRecord {
+                words_moved: hwords,
+                max_sent: hmax_worker.div_ceil(8) as usize,
+                max_received: hmax_worker.div_ceil(8) as usize,
+                max_storage: 0,
+                total_storage: 0,
+                label: labels::NET_HANDOFF,
+            });
+            hsp.set_words(hwords);
+            let hns = hsp.close();
+            self.inner.obs_mut().phase_ns(Phase::NetHandoff, hns);
+        }
+        Ok((out, exp, caps))
     }
 
     /// The route exchange of [`Self::apply_batch`]: scatter the batch to
@@ -1303,6 +3021,23 @@ impl NetServeLoop {
                          {expect_sum:#018x}"
                     ),
                 });
+            }
+            if self.p2p {
+                // p2p workers also hold matched lists: an order-sensitive
+                // checksum over them must match the coordinator's mirror
+                // (list *order* is behaviorally observable — evictions
+                // pop the last member).
+                let msum = r.take_u64().map_err(|e| self.payload_err(w, e))?;
+                let expect_msum = self.matched_checksum_of(w);
+                if msum != expect_msum {
+                    return Err(NetError::Protocol {
+                        shard: w as u32,
+                        detail: format!(
+                            "matched-list checksum diverged: worker {msum:#018x}, coordinator \
+                             {expect_msum:#018x}"
+                        ),
+                    });
+                }
             }
             total_lefts += lefts;
             total_rights += rights;
@@ -1513,6 +3248,72 @@ impl NetServeLoop {
     /// surfaces as a typed [`NetError`] on the operation that trips it.
     pub fn inject_fault(&mut self, shard: usize, fault: Fault) {
         self.mesh.peer_mut(shard).inject(fault);
+    }
+
+    /// Arm `fault` on the worker↔worker link **from** shard `from`
+    /// **to** shard `to` — the p2p counterpart of
+    /// [`Self::inject_fault`], delivered over the spoke as an `ARM`
+    /// frame so the fault lands on the worker's own end of the peer
+    /// link (the coordinator holds no end of it). Fails on a star mesh.
+    pub fn inject_peer_fault(
+        &mut self,
+        from: usize,
+        to: usize,
+        fault: Fault,
+    ) -> Result<(), NetError> {
+        if !self.p2p {
+            return Err(NetError::Protocol {
+                shard: from as u32,
+                detail: "peer faults need a p2p mesh (NetServeLoop::new_p2p)".into(),
+            });
+        }
+        let mut w = ByteWriter::new();
+        w.put_u32(0);
+        w.put_u32(to as u32);
+        fault.encode(&mut w);
+        let epoch = self.epoch;
+        self.send(from, PH_ARM, epoch, &w.into_bytes())?;
+        let payload = self.expect(from, PH_ARM_ACK, epoch)?;
+        let r = ByteReader::new(&payload);
+        r.expect_end().map_err(|e| self.payload_err(from, e))?;
+        Ok(())
+    }
+
+    /// Override how long p2p workers wait on a peer's `HANDOFF`/`FLIP`
+    /// reply before NACKing (tests shrink this so a dropped peer frame
+    /// surfaces as the typed handoff timeout fast). Remembered and
+    /// re-broadcast after every mesh rebuild.
+    pub fn set_handoff_timeout(&mut self, timeout: Duration) -> Result<(), NetError> {
+        if !self.p2p {
+            return Err(NetError::Protocol {
+                shard: u32::MAX,
+                detail: "the handoff deadline only exists on a p2p mesh".into(),
+            });
+        }
+        self.handoff_timeout = Some(timeout);
+        self.broadcast_handoff_timeout(timeout)
+    }
+
+    fn broadcast_handoff_timeout(&mut self, timeout: Duration) -> Result<(), NetError> {
+        let epoch = self.epoch;
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u64(timeout.as_micros() as u64);
+        let frame = w.into_bytes();
+        for s in 0..self.mesh.workers() {
+            self.send(s, PH_ARM, epoch, &frame)?;
+        }
+        for s in 0..self.mesh.workers() {
+            let payload = self.expect(s, PH_ARM_ACK, epoch)?;
+            let r = ByteReader::new(&payload);
+            r.expect_end().map_err(|e| self.payload_err(s, e))?;
+        }
+        Ok(())
+    }
+
+    /// Whether this engine runs peer-to-peer repair waves.
+    pub fn is_p2p(&self) -> bool {
+        self.p2p
     }
 
     /// Arm `fault` to be re-injected on the fresh channel every time
@@ -1789,5 +3590,384 @@ mod tests {
         for p in [&wal_path, &base_path, &delta_path] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    // ------------------------------------------------------ p2p waves
+
+    fn drive_p2p(kind: TransportKind, shards: usize, seed: u64) -> (NetServeLoop, ServeLoop) {
+        let g = union_of_spanning_trees(60, 45, 2, 2, seed).graph;
+        let updates = churn_stream(&g, 90, &ChurnMix::default(), seed);
+        let cfg = ShardedConfig::for_eps(0.25, shards);
+        let dynamic = cfg.dynamic.clone();
+        let mut net = NetServeLoop::new_p2p(g.clone(), cfg, kind).unwrap();
+        let mut serial = ServeLoop::new(g, dynamic);
+        for chunk in updates.chunks(30) {
+            net.apply_batch(chunk).unwrap();
+            net.end_epoch().unwrap();
+            for up in chunk {
+                serial.apply(up);
+            }
+            serial.end_epoch();
+        }
+        (net, serial)
+    }
+
+    #[test]
+    fn p2p_loopback_gathered_assignment_equals_serial() {
+        for shards in [1usize, 3, 4] {
+            let (mut net, serial) = drive_p2p(TransportKind::Loopback, shards, 7 + shards as u64);
+            assert!(net.is_p2p());
+            net.validate().unwrap();
+            let gathered = net.gather_assignment().unwrap();
+            assert_eq!(
+                gathered.mate,
+                serial.assignment().mate,
+                "{shards} p2p shards diverged from serial over loopback"
+            );
+            assert_eq!(gathered.mate, net.inner().assignment().mate);
+        }
+    }
+
+    #[test]
+    fn p2p_tcp_gathered_assignment_equals_serial() {
+        let (mut net, serial) = drive_p2p(TransportKind::Tcp, 3, 11);
+        let gathered = net.gather_assignment().unwrap();
+        assert_eq!(gathered.mate, serial.assignment().mate);
+    }
+
+    #[test]
+    fn p2p_waves_cross_shards_and_land_on_the_ledger() {
+        let (net, _) = drive_p2p(TransportKind::Loopback, 3, 13);
+        let l = net.ledger();
+        assert!(
+            l.rounds_labeled(labels::NET_WAVE) >= 1,
+            "waves were shipped"
+        );
+        assert!(
+            l.rounds_labeled(labels::NET_HANDOFF) >= 1,
+            "some walk crossed a shard boundary"
+        );
+        let s = net.net_stats();
+        assert!(s.wave_bytes > 0, "wave dispatch moved spoke bytes");
+        assert!(
+            s.handoff_frames > 0 && s.handoff_bytes > 0,
+            "cross-shard walk state moved worker↔worker"
+        );
+        assert!(s.max_handoff_rounds >= 1);
+        // The spoke protocol stays lockstep even with waves in it.
+        assert_eq!(s.frames_sent, s.frames_received, "lockstep spoke protocol");
+    }
+
+    #[test]
+    fn p2p_coordinator_repair_bytes_stay_below_star() {
+        // Same workload on both meshes: the star commits every repair's
+        // row changes over the spokes, while p2p folds them from wave
+        // acks and commits only the structural remainder — so the
+        // coordinator's commit traffic must drop. (Repair state still
+        // moves, but worker↔worker, metered under NET_HANDOFF.)
+        let (star, _) = drive(TransportKind::Loopback, 3, 29);
+        let (p2p, _) = drive_p2p(TransportKind::Loopback, 3, 29);
+        let (sb, pb) = (star.net_stats(), p2p.net_stats());
+        assert!(
+            pb.commit_bytes < sb.commit_bytes,
+            "p2p commit bytes {} must stay below star {}",
+            pb.commit_bytes,
+            sb.commit_bytes
+        );
+        assert!(
+            pb.handoff_bytes > 0,
+            "the comparison is vacuous without handoffs"
+        );
+    }
+
+    /// First unused left id owned by `shard`, skipping `taken`.
+    fn pick_left(map: &ShardMap, shard: usize, taken: &mut std::collections::HashSet<u32>) -> u32 {
+        (0u32..)
+            .find(|&u| map.owner_of_left(u) == shard && taken.insert(u))
+            .unwrap()
+    }
+
+    fn pick_right(map: &ShardMap, shard: usize, taken: &mut std::collections::HashSet<u32>) -> u32 {
+        (0u32..)
+            .find(|&v| map.owner_of_right(v) == shard && taken.insert(v))
+            .unwrap()
+    }
+
+    /// Hand-rolled p2p INIT frame: `(u, mate)` rows, `(v, 0, load)` rows
+    /// with load = matched-list length, and the matched-list section.
+    fn p2p_init_frame(lefts: &[(u32, u32)], rights: &[(u32, Vec<u32>)]) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(lefts.len() as u64);
+        for &(u, m) in lefts {
+            w.put_u32(u);
+            w.put_u32(m);
+        }
+        w.put_u64(rights.len() as u64);
+        for (v, list) in rights {
+            w.put_u32(*v);
+            w.put_i64(0);
+            w.put_u64(list.len() as u64);
+        }
+        put_right_rows(&mut w, rights);
+        w.into_bytes()
+    }
+
+    /// Hand-rolled WAVE frame holding exactly one plan.
+    #[allow(clippy::too_many_arguments)]
+    fn wave_frame(
+        radius: u64,
+        plan: &RepairPlan,
+        rights: &[(u32, u64, Vec<u32>)],
+        lefts: &[(u32, Vec<u32>)],
+    ) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(2); // eager_k
+        w.put_u64(100); // search cap
+        w.put_u64(radius);
+        w.put_u64(1); // n_plans
+        w.put_u32(0); // j
+        encode_plan(&mut w, plan);
+        w.put_u64(rights.len() as u64);
+        for (v, cap, nbrs) in rights {
+            w.put_u32(*v);
+            w.put_u64(*cap);
+            w.put_u64(nbrs.len() as u64);
+            for &u in nbrs {
+                w.put_u32(u);
+            }
+        }
+        w.put_u64(lefts.len() as u64);
+        for (u, nbrs) in lefts {
+            w.put_u32(*u);
+            w.put_u64(nbrs.len() as u64);
+            for &v in nbrs {
+                w.put_u32(v);
+            }
+        }
+        put_left_rows(&mut w, &[]); // no overrides
+        put_right_rows(&mut w, &[]);
+        w.into_bytes()
+    }
+
+    /// A walk that must hop shard boundaries twice: worker 0 owns the
+    /// arriving left `u` and the free right `v2`, worker 1 owns the full
+    /// right `v1` and its occupant `x`. `Place{u}` augments
+    /// `u → v1 → x → v2`, which takes exactly two fetch rounds (round 1:
+    /// `v1`'s matched list, round 2: `x`'s mate) and pushes `x`'s flip
+    /// back to worker 1 directly.
+    #[test]
+    fn a_two_boundary_walk_takes_two_handoff_rounds() {
+        let map = ShardMap::new(2);
+        let (mut tl, mut tr) = Default::default();
+        let u = pick_left(&map, 0, &mut tl);
+        let x = pick_left(&map, 1, &mut tl);
+        let v1 = pick_right(&map, 1, &mut tr);
+        let v2 = pick_right(&map, 0, &mut tr);
+        let (mut mesh, links) = Mesh::loopback_mesh(2, &Mesh::all_pairs(2));
+        let workers: Vec<_> = links
+            .into_iter()
+            .map(|l| std::thread::spawn(move || worker_main_p2p(l, map)))
+            .collect();
+        mesh.send_to(
+            0,
+            PH_INIT,
+            0,
+            &p2p_init_frame(&[(u, UNMATCHED)], &[(v2, vec![])]),
+        )
+        .unwrap();
+        mesh.send_to(1, PH_INIT, 0, &p2p_init_frame(&[(x, v1)], &[(v1, vec![x])]))
+            .unwrap();
+        for w in 0..2 {
+            assert_eq!(mesh.recv_from(w).unwrap().phase, PH_INIT_ACK);
+        }
+        let frame = wave_frame(
+            2,
+            &RepairPlan::Place { u },
+            &[(v1, 1, vec![u, x]), (v2, 1, vec![x])],
+            &[(u, vec![v1]), (x, vec![v1, v2])],
+        );
+        mesh.send_to(0, PH_WAVE, 0, &frame).unwrap();
+        let ack = mesh.recv_from(0).unwrap();
+        assert_eq!(ack.phase, PH_WAVE_ACK, "worker 0 must ack the wave");
+        let mut r = ByteReader::new(&ack.payload);
+        assert_eq!(r.take_u64().unwrap(), 1, "one plan acked");
+        assert_eq!(r.take_u32().unwrap(), 0, "plan slot 0");
+        assert_eq!(
+            r.take_i64().unwrap(),
+            1,
+            "the augmentation grew the matching"
+        );
+        let _augs = r.take_u64().unwrap();
+        let _evs = r.take_u64().unwrap();
+        let nd = r.take_len(4).unwrap();
+        for _ in 0..nd {
+            r.take_u32().unwrap();
+        }
+        let lrows = take_left_rows(&mut r).unwrap();
+        let rrows = take_right_rows(&mut r).unwrap();
+        assert_eq!(lrows, vec![(u, v1), (x, v2)], "both lefts moved");
+        assert_eq!(
+            rrows,
+            vec![(v1, vec![u]), (v2, vec![x])],
+            "the occupant shifted one right over"
+        );
+        let rounds = r.take_u64().unwrap();
+        assert_eq!(rounds, 2, "v1's list, then x's mate — two boundary hops");
+        // The flip to worker 1 moved peer bytes, reported on the ack.
+        let _exp = r.take_u64().unwrap();
+        let _caps = r.take_u64().unwrap();
+        let peer_frames = r.take_u64().unwrap();
+        let peer_bytes = r.take_u64().unwrap();
+        assert!(
+            peer_frames >= 3,
+            "two fetches and a flip, got {peer_frames}"
+        );
+        assert!(peer_bytes > 0);
+        assert_eq!(r.take_u64().unwrap(), 2, "max rounds across plans");
+        r.expect_end().unwrap();
+        for w in 0..2 {
+            mesh.send_to(w, PH_SHUTDOWN, 0, &[]).unwrap();
+            assert_eq!(mesh.recv_from(w).unwrap().phase, PH_SHUTDOWN_ACK);
+        }
+        for h in workers {
+            h.join().unwrap();
+        }
+    }
+
+    /// A fetch chain deeper than the radius bound stops ping-ponging at
+    /// the cap instead of chasing the alternating snake to its end: the
+    /// truncated rows are beyond the walk budget's reach, so the repair
+    /// outcome is unchanged (the walk fails, exactly as it does on the
+    /// full state).
+    #[test]
+    fn a_runaway_fetch_chain_truncates_at_the_radius_cap() {
+        let map = ShardMap::new(2);
+        let (mut tl, mut tr) = Default::default();
+        // Alternating chain u0 → v0 → x0 → v1 → x1 → v2 → x2 → v3 with
+        // every row on worker 1, driven from worker 0 — every level of
+        // the walk is another fetch.
+        let u0 = pick_left(&map, 0, &mut tl);
+        let xs: Vec<u32> = (0..3).map(|_| pick_left(&map, 1, &mut tl)).collect();
+        let vs: Vec<u32> = (0..4).map(|_| pick_right(&map, 1, &mut tr)).collect();
+        let (mut mesh, links) = Mesh::loopback_mesh(2, &Mesh::all_pairs(2));
+        let workers: Vec<_> = links
+            .into_iter()
+            .map(|l| std::thread::spawn(move || worker_main_p2p(l, map)))
+            .collect();
+        let w1_lefts: Vec<(u32, u32)> = xs.iter().zip(&vs).map(|(&x, &v)| (x, v)).collect();
+        let mut w1_rights: Vec<(u32, Vec<u32>)> =
+            vs.iter().zip(&xs).map(|(&v, &x)| (v, vec![x])).collect();
+        w1_rights.last_mut().unwrap().1 = vec![];
+        mesh.send_to(0, PH_INIT, 0, &p2p_init_frame(&[(u0, UNMATCHED)], &[]))
+            .unwrap();
+        mesh.send_to(1, PH_INIT, 0, &p2p_init_frame(&w1_lefts, &w1_rights))
+            .unwrap();
+        for w in 0..2 {
+            assert_eq!(mesh.recv_from(w).unwrap().phase, PH_INIT_ACK);
+        }
+        let rights: Vec<(u32, u64, Vec<u32>)> = vec![
+            (vs[0], 1, vec![u0, xs[0]]),
+            (vs[1], 1, vec![xs[0], xs[1]]),
+            (vs[2], 1, vec![xs[1], xs[2]]),
+            (vs[3], 1, vec![xs[2]]),
+        ];
+        let lefts: Vec<(u32, Vec<u32>)> = vec![
+            (u0, vec![vs[0]]),
+            (xs[0], vec![vs[0], vs[1]]),
+            (xs[1], vec![vs[1], vs[2]]),
+            (xs[2], vec![vs[2], vs[3]]),
+        ];
+        // radius 0 → cap 4 alternation levels; the chain alternates 7.
+        let frame = wave_frame(0, &RepairPlan::Place { u: u0 }, &rights, &lefts);
+        mesh.send_to(0, PH_WAVE, 0, &frame).unwrap();
+        let ack = mesh.recv_from(0).unwrap();
+        assert_eq!(ack.phase, PH_WAVE_ACK, "truncation is not a failure");
+        let mut r = ByteReader::new(&ack.payload);
+        assert_eq!(r.take_u64().unwrap(), 1);
+        assert_eq!(r.take_u32().unwrap(), 0);
+        assert_eq!(
+            r.take_i64().unwrap(),
+            0,
+            "the budget-2 walk cannot use the deep chain — no augmentation"
+        );
+        let _augs = r.take_u64().unwrap();
+        let _evs = r.take_u64().unwrap();
+        let nd = r.take_len(4).unwrap();
+        for _ in 0..nd {
+            r.take_u32().unwrap();
+        }
+        assert!(
+            take_left_rows(&mut r).unwrap().is_empty(),
+            "nothing flipped"
+        );
+        assert!(take_right_rows(&mut r).unwrap().is_empty());
+        let rounds = r.take_u64().unwrap();
+        // The seed level is local; every level after it fetched, until
+        // the frontier was cut at `cap` alternations — far short of the
+        // 7 round-trips the full snake would have cost.
+        assert_eq!(
+            rounds,
+            handoff_round_cap(0) - 1,
+            "the ping-pong stopped at the cap"
+        );
+        for w in 0..2 {
+            mesh.send_to(w, PH_SHUTDOWN, 0, &[]).unwrap();
+            assert_eq!(mesh.recv_from(w).unwrap().phase, PH_SHUTDOWN_ACK);
+        }
+        for h in workers {
+            h.join().unwrap();
+        }
+    }
+
+    /// Garbage on a worker↔worker link NACKs with an error naming the
+    /// peer pair and the HANDOFF protocol — the adversarial-payload path
+    /// of the handoff codec.
+    #[test]
+    fn a_malformed_handoff_payload_is_refused_with_the_peer_pair_named() {
+        let map = ShardMap::new(2);
+        let (mut mesh, mut links) = Mesh::loopback_mesh(2, &Mesh::all_pairs(2));
+        // Spawn only worker 1; the test plays worker 0 on its links.
+        let l1 = links.pop().unwrap();
+        let mut l0 = links.pop().unwrap();
+        let worker = std::thread::spawn(move || worker_main_p2p(l1, map));
+        mesh.send_to(1, PH_INIT, 0, &p2p_init_frame(&[], &[]))
+            .unwrap();
+        assert_eq!(mesh.recv_from(1).unwrap().phase, PH_INIT_ACK);
+        l0.peer_to(1)
+            .unwrap()
+            .send(PH_HANDOFF_REQ, 0, &[0xFF; 7])
+            .unwrap();
+        let nack = mesh.recv_from(1).unwrap();
+        assert_eq!(nack.phase, PH_NACK);
+        let detail = decode_nack(1, &nack.payload).to_string();
+        assert!(
+            detail.contains("HANDOFF 1<->0"),
+            "the error names the peer pair, got: {detail}"
+        );
+        drop(l0);
+        drop(mesh);
+        worker.join().unwrap();
+    }
+
+    /// An off-protocol phase on a peer link is refused the same way.
+    #[test]
+    fn an_unexpected_phase_on_a_peer_link_is_refused() {
+        let map = ShardMap::new(2);
+        let (mut mesh, mut links) = Mesh::loopback_mesh(2, &Mesh::all_pairs(2));
+        let l1 = links.pop().unwrap();
+        let mut l0 = links.pop().unwrap();
+        let worker = std::thread::spawn(move || worker_main_p2p(l1, map));
+        mesh.send_to(1, PH_INIT, 0, &p2p_init_frame(&[], &[]))
+            .unwrap();
+        assert_eq!(mesh.recv_from(1).unwrap().phase, PH_INIT_ACK);
+        // GATHER is a spoke phase; on a peer link it is off-protocol.
+        l0.peer_to(1).unwrap().send(PH_GATHER, 0, &[]).unwrap();
+        let nack = mesh.recv_from(1).unwrap();
+        assert_eq!(nack.phase, PH_NACK);
+        let detail = decode_nack(1, &nack.payload).to_string();
+        assert!(detail.contains("HANDOFF 1<->0") && detail.contains("GATHER"));
+        drop(l0);
+        drop(mesh);
+        worker.join().unwrap();
     }
 }

@@ -30,6 +30,7 @@ use crate::stamp::StampSet;
 use crate::update::Update;
 use crate::walks::{
     augment_from_left, reclaim_into, MatchSlots, Matching, MatchingState, SearchScratch,
+    WalkTopology,
 };
 
 /// Configuration of a [`ServeLoop`].
@@ -316,9 +317,10 @@ struct SweepScratch {
 /// The deferred (repair) half of one update: everything
 /// [`ServeLoop::apply_structural`] could not do because it touches
 /// matching state. Footprint-covered, so disjoint-footprint plans can run
-/// concurrently.
-#[derive(Debug, Clone)]
-enum RepairPlan {
+/// concurrently — on threads of this process or, in the p2p engine, on
+/// the shard worker owning the footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RepairPlan {
     /// Structural phase was a no-op (duplicate insert, dead delete).
     Noop,
     /// Try to place left `u` (fresh arrival or newly inserted edge).
@@ -335,33 +337,36 @@ enum RepairPlan {
 }
 
 /// What one repair did, recorded relative to the engine state so the
-/// effects can be folded in deterministically after a threaded wave.
-#[derive(Debug, Default)]
-struct RepairOutcome {
+/// effects can be folded in deterministically after a threaded wave (or
+/// shipped back over the wire after a p2p one).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub(crate) struct RepairOutcome {
     /// Net matching growth (augmentations minus releases).
-    size_delta: i64,
+    pub(crate) size_delta: i64,
     /// Successful augmenting walks.
-    augmentations: usize,
+    pub(crate) augmentations: usize,
     /// Matches released by departures, dead edges, and capacity cuts.
-    evictions: usize,
+    pub(crate) evictions: usize,
     /// Rights this repair perturbed (flipped walks, sweep hints), in the
     /// serial observation order.
-    dirty: Vec<RightId>,
+    pub(crate) dirty: Vec<RightId>,
 }
 
 /// Run one update's repair against the match cells. Callers uphold the
 /// [`MatchSlots`] disjointness contract; `k`/`cap` are the eager walk
-/// budget and visit cap.
-fn run_repair(
+/// budget and visit cap. Generic over the walked topology: the serial
+/// and threaded paths pass the live [`DeltaGraph`], a p2p shard worker
+/// passes its shipped footprint slice.
+pub(crate) fn run_repair<T: WalkTopology + ?Sized>(
     plan: &RepairPlan,
-    dg: &DeltaGraph,
+    dg: &T,
     slots: &MatchSlots<'_>,
     scratch: &mut SearchScratch,
     k: usize,
     cap: usize,
 ) -> RepairOutcome {
-    fn forward(
-        dg: &DeltaGraph,
+    fn forward<T: WalkTopology + ?Sized>(
+        dg: &T,
         slots: &MatchSlots<'_>,
         scratch: &mut SearchScratch,
         out: &mut RepairOutcome,
@@ -378,8 +383,8 @@ fn run_repair(
             false
         }
     }
-    fn backward(
-        dg: &DeltaGraph,
+    fn backward<T: WalkTopology + ?Sized>(
+        dg: &T,
         slots: &MatchSlots<'_>,
         scratch: &mut SearchScratch,
         out: &mut RepairOutcome,
@@ -423,7 +428,7 @@ fn run_repair(
                     // other path that frees a left keeps a live marked
                     // neighbor (evictions keep the capacity-cut right,
                     // arrivals mark their whole edge set).
-                    out.dirty.extend(dg.left_neighbors_iter(u));
+                    out.dirty.extend(dg.left_neighbors(u));
                 }
                 backward(dg, slots, scratch, &mut out, v, k, cap);
             }
@@ -596,7 +601,7 @@ impl ServeLoop {
     }
 
     /// Fold a repair's effects into the serial state, in arrival order.
-    fn absorb_outcome(&mut self, out: RepairOutcome) {
+    pub(crate) fn absorb_outcome(&mut self, out: RepairOutcome) {
         self.matching.absorb_wave(out.size_delta, 0, 0);
         self.stats.augmentations += out.augmentations;
         self.stats.evictions += out.evictions;
@@ -643,29 +648,7 @@ impl ServeLoop {
         let eager_k = self.cfg.eager_budget();
         let ecap = self.cfg.eager_search_cap;
 
-        // Phase A — structural, serial, wave order. Arrivals land in
-        // their scheduler-staged id slots, so running a wave's arrivals
-        // out of batch order cannot scramble the id space.
-        let mut plans: Vec<RepairPlan> = Vec::with_capacity(updates.len());
-        let mut results: Vec<WaveUpdateResult> = Vec::with_capacity(updates.len());
-        let mut mark_from: Vec<usize> = Vec::with_capacity(updates.len());
-        for (i, up) in updates.iter().enumerate() {
-            mark_from.push(self.sweep_dirty.len());
-            let (plan, arrived) = self.apply_structural(up, arrive_ids[i]);
-            plans.push(plan);
-            results.push(WaveUpdateResult {
-                arrived,
-                touched: Vec::new(),
-            });
-        }
-        for (i, r) in results.iter_mut().enumerate() {
-            let to = mark_from
-                .get(i + 1)
-                .copied()
-                .unwrap_or(self.sweep_dirty.len());
-            r.touched
-                .extend_from_slice(&self.sweep_dirty[mark_from[i]..to]);
-        }
+        let (plans, mut results) = self.wave_structural(updates, arrive_ids);
 
         // Phase B — repairs. Disjoint-footprint plans fan out over real
         // threads once the wave is wide enough to pay for the spawns.
@@ -758,6 +741,93 @@ impl ServeLoop {
         self.obs
             .inc(Counter::SearchCapHits, self.matching.cap_hits() - cap0);
         results
+    }
+
+    /// Phase A of a wave — structural mutations, serial, wave order.
+    /// Arrivals land in their scheduler-staged id slots, so running a
+    /// wave's arrivals out of batch order cannot scramble the id space.
+    /// Returns the deferred repair plans and the per-update results with
+    /// `touched` pre-filled from the structural dirty marks.
+    pub(crate) fn wave_structural(
+        &mut self,
+        updates: &[&Update],
+        arrive_ids: &[Option<u32>],
+    ) -> (Vec<RepairPlan>, Vec<WaveUpdateResult>) {
+        let mut plans: Vec<RepairPlan> = Vec::with_capacity(updates.len());
+        let mut results: Vec<WaveUpdateResult> = Vec::with_capacity(updates.len());
+        let mut mark_from: Vec<usize> = Vec::with_capacity(updates.len());
+        for (i, up) in updates.iter().enumerate() {
+            mark_from.push(self.sweep_dirty.len());
+            let (plan, arrived) = self.apply_structural(up, arrive_ids[i]);
+            plans.push(plan);
+            results.push(WaveUpdateResult {
+                arrived,
+                touched: Vec::new(),
+            });
+        }
+        for (i, r) in results.iter_mut().enumerate() {
+            let to = mark_from
+                .get(i + 1)
+                .copied()
+                .unwrap_or(self.sweep_dirty.len());
+            r.touched
+                .extend_from_slice(&self.sweep_dirty[mark_from[i]..to]);
+        }
+        (plans, results)
+    }
+
+    /// Run one deferred repair on this engine's own match cells, in the
+    /// caller's (arrival) order — how the p2p coordinator executes the
+    /// plans it does *not* ship (globals, no-ops, singleton waves).
+    pub(crate) fn run_plan_local(&mut self, plan: &RepairPlan) -> RepairOutcome {
+        let eager_k = self.cfg.eager_budget();
+        let ecap = self.cfg.eager_search_cap;
+        let ServeLoop { dg, matching, .. } = self;
+        let (slots, scratch) = matching.split();
+        run_repair(plan, dg, &slots, scratch, eager_k, ecap)
+    }
+
+    /// The matching's monotone search counters `(expansions, cap_hits)`:
+    /// sample before a wave, feed the diffs to
+    /// [`ServeLoop::wave_observe`] after.
+    pub(crate) fn wave_counters(&self) -> (u64, u64) {
+        (self.matching.expansions(), self.matching.cap_hits())
+    }
+
+    /// Record a wave's search-work observability against the counters
+    /// sampled at its start (remote counters must be absorbed first).
+    pub(crate) fn wave_observe(&mut self, exp0: u64, cap0: u64) {
+        self.obs
+            .inc(Counter::WalkExpansions, self.matching.expansions() - exp0);
+        self.obs
+            .inc(Counter::SearchCapHits, self.matching.cap_hits() - cap0);
+    }
+
+    /// Fold a remote wave's search counters into the matching's, exactly
+    /// like the threaded executor folds its workers' scratch counters.
+    pub(crate) fn absorb_search_counters(&mut self, expansions: u64, cap_hits: u64) {
+        self.matching.absorb_wave(0, expansions, cap_hits);
+    }
+
+    /// Overwrite match rows with remotely computed values (raw replay;
+    /// sizes ride in the outcomes, not the rows). Right rows replace the
+    /// full ordered partner list — order is behaviorally observable.
+    pub(crate) fn replay_rows(
+        &mut self,
+        lefts: &[(LeftId, Option<RightId>)],
+        rights: Vec<(RightId, Vec<LeftId>)>,
+    ) {
+        for &(u, m) in lefts {
+            self.matching.replay_left(u, m);
+        }
+        for (v, list) in rights {
+            self.matching.replay_right(v, list);
+        }
+    }
+
+    /// Read access to the maintained matching (p2p slice extraction).
+    pub(crate) fn matching(&self) -> &Matching {
+        &self.matching
     }
 
     /// Close the epoch: restore the global `k/(k+1)` certificate, repair

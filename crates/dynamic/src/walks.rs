@@ -72,6 +72,41 @@ use std::collections::VecDeque;
 
 use sparse_alloc_graph::{Assignment, DeltaGraph, LeftId, RightId};
 
+/// The adjacency a bounded walk search needs, abstracted from the full
+/// [`DeltaGraph`]: neighbor iteration on both sides plus right
+/// capacities.
+///
+/// The serial engine searches the live graph directly. A p2p shard
+/// worker searches a *shipped footprint slice* instead — the few rights
+/// and lefts a wave's ball can reach, extracted by the coordinator and
+/// sent over the wire — so the searches are generic over the topology
+/// they walk. The footprint argument (module docs) is what makes the
+/// slice sufficient: a bounded repair never reads adjacency outside its
+/// footprint's interior plus the lefts adjacent to it.
+pub(crate) trait WalkTopology {
+    /// Right neighbors of left vertex `u`, in the live graph's
+    /// deterministic iteration order (walk discovery order — and hence
+    /// the repaired state — depends on it).
+    fn left_neighbors(&self, u: LeftId) -> impl Iterator<Item = RightId> + '_;
+    /// Left neighbors of right vertex `v`, same order contract.
+    fn right_neighbors(&self, v: RightId) -> impl Iterator<Item = LeftId> + '_;
+    /// Capacity of right vertex `v`.
+    fn capacity(&self, v: RightId) -> u64;
+}
+
+impl WalkTopology for DeltaGraph {
+    fn left_neighbors(&self, u: LeftId) -> impl Iterator<Item = RightId> + '_ {
+        self.left_neighbors_iter(u)
+    }
+    fn right_neighbors(&self, v: RightId) -> impl Iterator<Item = LeftId> + '_ {
+        self.right_neighbors_iter(v)
+    }
+    fn capacity(&self, v: RightId) -> u64 {
+        // Inherent method, not trait recursion.
+        DeltaGraph::capacity(self, v)
+    }
+}
+
 /// Reusable per-caller search state: stamped visit buffers, BFS queues,
 /// and the observable outputs of the most recent search (walk, expansion
 /// counter). One instance per concurrent searcher; buffers grow once per
@@ -145,7 +180,21 @@ fn cells<T>(s: &mut [T]) -> &[UnsafeCell<T>] {
     unsafe { &*(s as *mut [T] as *const [UnsafeCell<T>]) }
 }
 
-impl MatchSlots<'_> {
+impl<'a> MatchSlots<'a> {
+    /// A view over caller-owned match arrays — how a p2p shard worker
+    /// runs the searches against its *local* dense mirror of the wave's
+    /// slice instead of a [`Matching`]. The unique borrows make the
+    /// single-user case of the contract hold by construction.
+    pub(crate) fn over(
+        mate: &'a mut [Option<RightId>],
+        matched_at: &'a mut [Vec<LeftId>],
+    ) -> MatchSlots<'a> {
+        MatchSlots {
+            mate: cells(mate),
+            matched_at: cells(matched_at),
+        }
+    }
+
     /// The match of left vertex `u` (`None` for unmatched or out-of-range).
     #[inline]
     pub(crate) fn mate(&self, u: LeftId) -> Option<RightId> {
@@ -160,9 +209,9 @@ impl MatchSlots<'_> {
         unsafe { (*self.matched_at[v as usize].get()).len() as u64 }
     }
 
-    /// Residual capacity of `v` on the live graph (0 if overfilled).
+    /// Residual capacity of `v` on the walked topology (0 if overfilled).
     #[inline]
-    pub(crate) fn residual(&self, dg: &DeltaGraph, v: RightId) -> u64 {
+    pub(crate) fn residual<T: WalkTopology + ?Sized>(&self, dg: &T, v: RightId) -> u64 {
         dg.capacity(v).saturating_sub(self.load(v))
     }
 
@@ -221,10 +270,10 @@ impl MatchSlots<'_> {
 /// failed unbounded search costs a whole `O(deg^k)` ball), while
 /// [`Matching::sweep`] passes `usize::MAX` because the certificate needs
 /// exact searches.
-pub(crate) fn augment_from_left(
+pub(crate) fn augment_from_left<T: WalkTopology + ?Sized>(
     slots: &MatchSlots<'_>,
     scratch: &mut SearchScratch,
-    dg: &DeltaGraph,
+    dg: &T,
     u: LeftId,
     k: usize,
     visit_cap: usize,
@@ -247,7 +296,7 @@ pub(crate) fn augment_from_left(
         // x's mate is loop-invariant: the scan flips nothing until it
         // finds residual capacity, and then it returns.
         let mx = slots.mate(x);
-        for w in dg.left_neighbors_iter(x) {
+        for w in dg.left_neighbors(x) {
             if mx == Some(w) {
                 continue; // the matched edge of x is not traversable here
             }
@@ -299,10 +348,10 @@ pub(crate) fn augment_from_left(
 ///
 /// `visit_cap` bounds the expanded right vertices, as in
 /// [`augment_from_left`].
-pub(crate) fn reclaim_into(
+pub(crate) fn reclaim_into<T: WalkTopology + ?Sized>(
     slots: &MatchSlots<'_>,
     scratch: &mut SearchScratch,
-    dg: &DeltaGraph,
+    dg: &T,
     v: RightId,
     k: usize,
     visit_cap: usize,
@@ -326,7 +375,7 @@ pub(crate) fn reclaim_into(
             scratch.cap_hits += 1;
             return false;
         }
-        for x in dg.right_neighbors_iter(w) {
+        for x in dg.right_neighbors(w) {
             match slots.mate(x) {
                 Some(mw) if mw == w => continue, // matched edge: not traversable
                 None => {
@@ -549,6 +598,23 @@ impl Matching {
         self.size = (self.size as i64 + size_delta) as usize;
         self.scratch.expansions += expansions;
         self.scratch.cap_hits += cap_hits;
+    }
+
+    /// Overwrite left `u`'s match cell with a remotely computed value.
+    /// Raw replay: `size` is *not* adjusted — the caller absorbs the
+    /// wave's net `size_delta` separately ([`Matching::absorb_wave`]),
+    /// exactly like the threaded wave executor.
+    pub(crate) fn replay_left(&mut self, u: LeftId, mate: Option<RightId>) {
+        self.ensure_left(u as usize + 1);
+        self.mate[u as usize] = mate;
+    }
+
+    /// Overwrite right `v`'s matched-partner list, **order included** —
+    /// eviction pops the most recently matched left, so replaying a
+    /// worker's list out of order would diverge from the run that
+    /// computed it.
+    pub(crate) fn replay_right(&mut self, v: RightId, list: Vec<LeftId>) {
+        self.matched_at[v as usize] = list;
     }
 
     /// Export as a plain [`Assignment`].

@@ -119,6 +119,35 @@ proptest! {
     }
 
     #[test]
+    fn p2p_phase_frames_roundtrip_and_reject_corruption(
+        phase in 16u32..=23,
+        src in 0u32..=u32::MAX,
+        epoch in 0u64..=u64::MAX,
+        seq in 0u64..=u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+        bit_frac in 0.0f64..1.0,
+    ) {
+        // The peer-to-peer repair protocol added frame phases 16–23
+        // (WAVE/WAVE_ACK over the spokes, HANDOFF_REQ/HANDOFF_ACK,
+        // FLIP/FLIP_ACK over the worker↔worker links, ARM/ARM_ACK for
+        // fault injection). The codec is phase-agnostic by design; this
+        // pins that the new range travels unchanged and that the FNV-1a
+        // trailer keeps every single-bit corruption of a handoff-sized
+        // payload a typed error — the serving layer's "malformed
+        // HANDOFF payload" refusals sit on top of exactly this
+        // guarantee.
+        let h = FrameHeader { src, phase, epoch, seq };
+        let bytes = encode_frame(&h, &payload);
+        let (h2, p2) = decode_frame(&bytes).expect("p2p phase frame decodes");
+        prop_assert_eq!(h, h2);
+        prop_assert_eq!(&payload, &p2);
+        let bit = ((bytes.len() * 8 - 1) as f64 * bit_frac) as usize;
+        let mut flipped = bytes;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(decode_frame(&flipped).is_err(), "flip at bit {bit} passed");
+    }
+
+    #[test]
     fn garbage_never_panics_the_frame_decoder(
         bytes in proptest::collection::vec(0u8..=255, 0..512),
     ) {

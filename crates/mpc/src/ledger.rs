@@ -451,6 +451,8 @@ mod tests {
             (Phase::NetCensus, labels::NET_CENSUS),
             (Phase::NetInit, labels::NET_INIT),
             (Phase::NetRecover, labels::NET_RECOVER),
+            (Phase::NetWave, labels::NET_WAVE),
+            (Phase::NetHandoff, labels::NET_HANDOFF),
         ];
         assert_eq!(
             expect.len(),

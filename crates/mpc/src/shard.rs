@@ -150,6 +150,14 @@ pub mod labels {
     /// shard worker, re-scattering state, and replaying logged updates
     /// (transient retries ride under this label too).
     pub const NET_RECOVER: &str = "net_recover";
+    /// Measured wire traffic of a peer-to-peer repair wave: footprint
+    /// state dispatched to the owning workers and per-plan outcomes +
+    /// flips acknowledged back over the coordinator spokes.
+    pub const NET_WAVE: &str = "net_wave";
+    /// Measured wire traffic of cross-shard walk handoffs: partial walk
+    /// state exchanged *directly* over worker↔worker channels (frontier
+    /// fetches and flip pushes), never through the coordinator.
+    pub const NET_HANDOFF: &str = "net_handoff";
 }
 
 #[cfg(test)]

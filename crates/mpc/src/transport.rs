@@ -337,6 +337,60 @@ pub enum Fault {
     },
 }
 
+/// Nesting bound of [`Fault::decode`]: a hostile ARM payload cannot
+/// recurse the decoder into a stack overflow.
+const FAULT_DECODE_DEPTH: u32 = 8;
+
+impl Fault {
+    /// Append the fault's wire form to `w`, so a coordinator can arm
+    /// faults on channels it does not own (the serving layer's ARM
+    /// control frame hands a fault to a worker, which injects it into
+    /// one of its own worker↔worker links).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Fault::Drop => w.put_u32(0),
+            Fault::Truncate => w.put_u32(1),
+            Fault::FlipBit { bit } => {
+                w.put_u32(2);
+                w.put_u64(*bit as u64);
+            }
+            Fault::Reorder => w.put_u32(3),
+            Fault::Every { n, fault } => {
+                w.put_u32(4);
+                w.put_u64(*n);
+                fault.encode(w);
+            }
+        }
+    }
+
+    /// Rebuild a fault from its [wire form](Fault::encode). Unknown tags
+    /// and over-nested schedules are typed parse errors, never panics.
+    pub fn decode(r: &mut ByteReader) -> Result<Fault, IoError> {
+        Self::decode_at(r, 0)
+    }
+
+    fn decode_at(r: &mut ByteReader, depth: u32) -> Result<Fault, IoError> {
+        if depth >= FAULT_DECODE_DEPTH {
+            return Err(IoError::Parse(format!(
+                "fault schedule nested deeper than {FAULT_DECODE_DEPTH}"
+            )));
+        }
+        Ok(match r.take_u32()? {
+            0 => Fault::Drop,
+            1 => Fault::Truncate,
+            2 => Fault::FlipBit {
+                bit: r.take_u64()? as usize,
+            },
+            3 => Fault::Reorder,
+            4 => Fault::Every {
+                n: r.take_u64()?,
+                fault: Box::new(Self::decode_at(r, depth + 1)?),
+            },
+            other => return Err(IoError::Parse(format!("unknown fault kind {other}"))),
+        })
+    }
+}
+
 // ----------------------------------------------------------- byte links
 
 #[derive(Debug, Default)]
@@ -717,7 +771,12 @@ impl Peer {
     /// flight recorder for post-mortem.
     pub fn recv(&mut self) -> Result<Frame, TransportError> {
         let res = self.recv_inner();
-        match &res {
+        self.note_recv(&res);
+        res
+    }
+
+    fn note_recv(&mut self, res: &Result<Frame, TransportError>) {
+        match res {
             Ok(f) => self.recorder.note(FlightEvent {
                 peer: self.remote,
                 kind: FlightKind::Received,
@@ -737,7 +796,66 @@ impl Peer {
                 note: Self::fault_note(e),
             }),
         }
-        res
+    }
+
+    /// Wait up to `wait` for a frame without committing to a blocking
+    /// receive: `Ok(None)` means the channel is healthy but idle.
+    ///
+    /// This is the primitive a worker needs to multiplex its coordinator
+    /// spoke and its worker↔worker links in one loop. A plain
+    /// [`Peer::recv`] with a short timeout would do for loopback, but a
+    /// short TCP read can tear: consuming half a frame header before the
+    /// clock expires poisons the stream position for every later
+    /// receive. Here the TCP path gates on a non-consuming `peek`, and
+    /// the full frame is only read — under the channel's configured
+    /// [`Peer::set_recv_timeout`] — once at least one byte is known to
+    /// have arrived. Idle polls skip the flight ring (a multiplexing
+    /// loop polling at millisecond cadence would otherwise flood the
+    /// post-mortem window with non-events).
+    pub fn poll_recv(&mut self, wait: Duration) -> Result<Option<Frame>, TransportError> {
+        let remote = self.remote;
+        if let Link::Tcp(s) = &self.link {
+            let io_err = |e: std::io::Error| TransportError::Io {
+                peer: remote,
+                detail: e.to_string(),
+            };
+            s.set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+                .map_err(io_err)?;
+            let mut probe = [0u8; 1];
+            let peeked = s.peek(&mut probe);
+            s.set_read_timeout(Some(self.recv_timeout))
+                .map_err(io_err)?;
+            return match peeked {
+                Ok(0) => Err(TransportError::Closed { peer: remote }),
+                Ok(_) => self.recv().map(Some),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    Ok(None)
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::ConnectionReset
+                        || e.kind() == std::io::ErrorKind::ConnectionAborted =>
+                {
+                    Err(TransportError::Closed { peer: remote })
+                }
+                Err(e) => Err(io_err(e)),
+            };
+        }
+        // Loopback queues pop whole frames, so a short wait cannot tear;
+        // borrow the timeout for one receive.
+        let prev = self.recv_timeout;
+        self.recv_timeout = wait.max(Duration::from_micros(1));
+        let res = self.recv_inner();
+        self.recv_timeout = prev;
+        match res {
+            Err(ref e) if e.is_transient() => Ok(None),
+            res => {
+                self.note_recv(&res);
+                res.map(Some)
+            }
+        }
     }
 
     fn recv_inner(&mut self) -> Result<Frame, TransportError> {
@@ -855,6 +973,65 @@ impl Mesh {
         }
         let on_respawn = (0..workers).map(|_| Vec::new()).collect();
         Ok((Mesh { peers, on_respawn }, ends))
+    }
+
+    /// Every unordered worker pair — the edge list of a *full* p2p mesh,
+    /// for [`Mesh::loopback_mesh`] / [`Mesh::tcp_mesh`].
+    pub fn all_pairs(workers: usize) -> Vec<(usize, usize)> {
+        let mut edges = Vec::with_capacity(workers * workers.saturating_sub(1) / 2);
+        for a in 0..workers {
+            for b in (a + 1)..workers {
+                edges.push((a, b));
+            }
+        }
+        edges
+    }
+
+    /// A loopback star plus direct worker↔worker channels along `edges`
+    /// (a full mesh when `edges` is [`Mesh::all_pairs`], a partial one
+    /// otherwise). Returns the coordinator's mesh and one
+    /// [`WorkerLinks`] bundle per worker.
+    pub fn loopback_mesh(workers: usize, edges: &[(usize, usize)]) -> (Mesh, Vec<WorkerLinks>) {
+        let (mesh, spokes) = Mesh::loopback(workers);
+        let links = link_matrix(workers, edges, false).expect("loopback links cannot fail");
+        (mesh, bundle(spokes, links))
+    }
+
+    /// The TCP twin of [`Mesh::loopback_mesh`]: every spoke and every
+    /// worker↔worker edge is its own `127.0.0.1` socket.
+    pub fn tcp_mesh(
+        workers: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<(Mesh, Vec<WorkerLinks>), TransportError> {
+        let (mesh, spokes) = Mesh::tcp(workers)?;
+        let links = link_matrix(workers, edges, true)?;
+        Ok((mesh, bundle(spokes, links)))
+    }
+
+    /// Tear down and rebuild the *entire* mesh — every spoke and every
+    /// worker↔worker channel of a full p2p mesh — returning fresh
+    /// [`WorkerLinks`] bundles for a full respawn of the worker pool.
+    ///
+    /// This is the p2p engine's recovery primitive. A star recovers one
+    /// spoke at a time ([`Mesh::respawn`]), but a wave in the p2p
+    /// protocol has state in flight on worker↔worker channels too;
+    /// after a mid-wave fault the only sound cut is to close everything
+    /// (workers blocked anywhere see typed `Closed` and exit) and
+    /// re-INIT on virgin channels. Each new spoke inherits the old
+    /// spoke's receive timeout and [`Mesh::arm_on_respawn`] faults,
+    /// exactly like a single-spoke respawn.
+    pub fn rebuild_p2p(&mut self, tcp: bool) -> Result<Vec<WorkerLinks>, TransportError> {
+        let n = self.peers.len();
+        let mut links = link_matrix(n, &Mesh::all_pairs(n), tcp)?;
+        let mut out = Vec::with_capacity(n);
+        for (w, row) in links.iter_mut().enumerate() {
+            let spoke = self.respawn(w, tcp)?;
+            out.push(WorkerLinks {
+                coordinator: spoke,
+                peers: std::mem::take(row),
+            });
+        }
+        Ok(out)
     }
 
     /// Replace the channel to worker `w` with a fresh one (loopback or
@@ -1020,6 +1197,88 @@ impl Mesh {
         }
         out
     }
+}
+
+// ------------------------------------------------------------ p2p links
+
+/// One worker's endpoints in a p2p mesh: its coordinator spoke plus a
+/// direct channel to each mesh neighbor (`None` at its own slot and at
+/// workers a partial mesh leaves unconnected). Worker↔worker channels
+/// are full [`Peer`]s — same frame codec, sequence numbers, byte/frame
+/// counters, flight ring, and fault arming as a spoke.
+#[derive(Debug)]
+pub struct WorkerLinks {
+    /// This worker's end of the coordinator channel.
+    pub coordinator: Peer,
+    /// Direct worker↔worker channels, indexed by shard id.
+    pub peers: Vec<Option<Peer>>,
+}
+
+impl WorkerLinks {
+    /// This worker's shard id (the coordinator channel knows it).
+    pub fn shard(&self) -> u32 {
+        self.coordinator.local
+    }
+
+    /// The direct channel to `shard`, if the mesh has one.
+    pub fn peer_to(&mut self, shard: u32) -> Option<&mut Peer> {
+        self.peers.get_mut(shard as usize)?.as_mut()
+    }
+
+    /// Shard ids this worker has direct channels to, ascending.
+    pub fn connected(&self) -> Vec<u32> {
+        (0..self.peers.len() as u32)
+            .filter(|&s| self.peers[s as usize].is_some())
+            .collect()
+    }
+
+    /// Bytes moved on worker↔worker channels only (sent + received),
+    /// excluding the coordinator spoke — the number the serving layer
+    /// meters as handoff traffic.
+    pub fn peer_bytes_moved(&self) -> u64 {
+        self.peers
+            .iter()
+            .flatten()
+            .map(|p| p.bytes_sent() + p.bytes_received())
+            .sum()
+    }
+}
+
+/// Build the worker↔worker channel matrix for `edges`:
+/// `rows[a][b]` holds `a`'s endpoint of the `a↔b` channel.
+fn link_matrix(
+    workers: usize,
+    edges: &[(usize, usize)],
+    tcp: bool,
+) -> Result<Vec<Vec<Option<Peer>>>, TransportError> {
+    let mut rows: Vec<Vec<Option<Peer>>> = (0..workers)
+        .map(|_| (0..workers).map(|_| None).collect())
+        .collect();
+    for &(a, b) in edges {
+        assert!(
+            a != b && a < workers && b < workers,
+            "bad mesh edge ({a},{b})"
+        );
+        let (pa, pb) = if tcp {
+            Peer::tcp_pair(a as u32, b as u32)?
+        } else {
+            Peer::loopback_pair(a as u32, b as u32)
+        };
+        rows[a][b] = Some(pa);
+        rows[b][a] = Some(pb);
+    }
+    Ok(rows)
+}
+
+fn bundle(spokes: Vec<Peer>, mut links: Vec<Vec<Option<Peer>>>) -> Vec<WorkerLinks> {
+    spokes
+        .into_iter()
+        .enumerate()
+        .map(|(w, coordinator)| WorkerLinks {
+            coordinator,
+            peers: std::mem::take(&mut links[w]),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1413,5 +1672,184 @@ mod tests {
         }
         let (sent, recv) = mesh.frames_moved();
         assert_eq!((sent, recv), (4, 4));
+    }
+
+    #[test]
+    fn fault_wire_roundtrip() {
+        let faults = [
+            Fault::Drop,
+            Fault::Truncate,
+            Fault::FlipBit { bit: 123 },
+            Fault::Reorder,
+            Fault::Every {
+                n: 3,
+                fault: Box::new(Fault::FlipBit { bit: 7 }),
+            },
+            Fault::Every {
+                n: 2,
+                fault: Box::new(Fault::Every {
+                    n: 5,
+                    fault: Box::new(Fault::Drop),
+                }),
+            },
+        ];
+        for f in &faults {
+            let mut w = ByteWriter::default();
+            f.encode(&mut w);
+            let bytes = w.into_bytes();
+            let got = Fault::decode(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(&got, f);
+        }
+        // Hostile payloads: unknown tag and unbounded nesting are typed
+        // parse errors, never panics or stack overflows.
+        let mut w = ByteWriter::default();
+        w.put_u32(9);
+        assert!(Fault::decode(&mut ByteReader::new(&w.into_bytes())).is_err());
+        let mut w = ByteWriter::default();
+        for _ in 0..64 {
+            w.put_u32(4);
+            w.put_u64(1);
+        }
+        w.put_u32(0);
+        assert!(Fault::decode(&mut ByteReader::new(&w.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn poll_recv_idle_frame_and_closed_both_transports() {
+        for (name, mut a, mut b) in pairs() {
+            // Idle: no frame within the window, channel unharmed.
+            assert!(
+                b.poll_recv(Duration::from_millis(2)).unwrap().is_none(),
+                "{name}: idle poll"
+            );
+            // A queued frame is picked up whole, with normal sequencing.
+            a.send(2, 7, b"over the top").unwrap();
+            a.send(4, 7, b"and again").unwrap();
+            let f = b.poll_recv(Duration::from_millis(500)).unwrap().unwrap();
+            assert_eq!(
+                (f.phase, f.seq, &f.payload[..]),
+                (2, 0, &b"over the top"[..]),
+                "{name}"
+            );
+            let f = b.poll_recv(Duration::from_millis(500)).unwrap().unwrap();
+            assert_eq!((f.phase, f.seq), (4, 1), "{name}");
+            // Blocking recv still works after polls (stream position and
+            // sequence tracking are intact).
+            a.send(6, 7, b"blocking").unwrap();
+            assert_eq!(b.recv().unwrap().payload, b"blocking");
+            // A closed channel surfaces as typed Closed, not idle.
+            drop(a);
+            let got = loop {
+                match b.poll_recv(Duration::from_millis(50)) {
+                    Ok(None) => continue, // close may race the poll
+                    other => break other,
+                }
+            };
+            assert!(
+                matches!(got, Err(TransportError::Closed { .. })),
+                "{name}: got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2p_mesh_links_every_pair_both_transports() {
+        for tcp in [false, true] {
+            let edges = Mesh::all_pairs(3);
+            assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+            let (mut mesh, mut links) = if tcp {
+                Mesh::tcp_mesh(3, &edges).unwrap()
+            } else {
+                Mesh::loopback_mesh(3, &edges)
+            };
+            for (w, l) in links.iter().enumerate() {
+                assert_eq!(l.shard(), w as u32);
+                assert_eq!(
+                    l.connected(),
+                    (0..3u32).filter(|&s| s != w as u32).collect::<Vec<_>>()
+                );
+            }
+            // Worker 0 talks straight to worker 2; the coordinator spoke
+            // still works and never saw the bytes.
+            let (mut l0, mut l2) = {
+                let mut it = links.drain(..);
+                let l0 = it.next().unwrap();
+                let _l1 = it.next().unwrap();
+                let l2 = it.next().unwrap();
+                (l0, l2)
+            };
+            l0.peer_to(2).unwrap().send(16, 1, b"direct").unwrap();
+            let f = l2.peer_to(0).unwrap().recv().unwrap();
+            assert_eq!((f.src, &f.payload[..]), (0, &b"direct"[..]));
+            assert!(l0.peer_bytes_moved() > 0);
+            assert!(l2.peer_bytes_moved() > 0);
+            mesh.send_to(0, 1, 0, b"spoke").unwrap();
+            assert_eq!(l0.coordinator.recv().unwrap().payload, b"spoke");
+            let (sent, _) = mesh.frames_moved();
+            assert_eq!(sent, 1, "coordinator never carried the direct frame");
+        }
+    }
+
+    #[test]
+    fn partial_mesh_leaves_unlisted_pairs_unconnected() {
+        let (_mesh, mut links) = Mesh::loopback_mesh(3, &[(0, 2)]);
+        assert!(links[0].peer_to(1).is_none());
+        assert!(links[1].peer_to(0).is_none());
+        assert!(links[1].peer_to(2).is_none());
+        assert!(links[0].peer_to(2).is_some());
+        assert_eq!(links[1].connected(), Vec::<u32>::new());
+        assert_eq!(links[1].peer_bytes_moved(), 0);
+    }
+
+    #[test]
+    fn peer_link_faults_surface_typed_mid_mesh() {
+        // Faults arm on worker↔worker channels exactly as on spokes.
+        let (_mesh, mut links) = Mesh::loopback_mesh(2, &Mesh::all_pairs(2));
+        let mut l1 = links.pop().unwrap();
+        let mut l0 = links.pop().unwrap();
+        l0.peer_to(1).unwrap().inject(Fault::FlipBit { bit: 77 });
+        l0.peer_to(1)
+            .unwrap()
+            .send(18, 0, b"handoff payload")
+            .unwrap();
+        assert!(matches!(
+            l1.peer_to(0).unwrap().recv(),
+            Err(TransportError::Frame { peer: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rebuild_p2p_replaces_every_channel() {
+        let (mut mesh, links) = Mesh::loopback_mesh(2, &Mesh::all_pairs(2));
+        mesh.set_recv_timeout(Duration::from_millis(250)).unwrap();
+        let mut fresh = mesh.rebuild_p2p(false).unwrap();
+        // Old spokes read as closed — that is what makes the old workers
+        // exit and drop their bundles...
+        let mut it = links.into_iter();
+        let mut l0 = it.next().unwrap();
+        let mut l1 = it.next().unwrap();
+        assert!(matches!(
+            l0.coordinator.recv(),
+            Err(TransportError::Closed { .. })
+        ));
+        assert!(matches!(
+            l1.coordinator.recv(),
+            Err(TransportError::Closed { .. })
+        ));
+        // ...and a dropped bundle closes its worker↔worker ends, so a
+        // mate still blocked on one sees typed Closed, not a hang.
+        drop(l0);
+        assert!(matches!(
+            l1.peer_to(0).unwrap().recv(),
+            Err(TransportError::Closed { .. })
+        ));
+        // New spokes and peer links carry frames with reset sequences.
+        mesh.send_to(1, 1, 5, b"fresh spoke").unwrap();
+        let f = fresh[1].coordinator.recv().unwrap();
+        assert_eq!((f.seq, &f.payload[..]), (0, &b"fresh spoke"[..]));
+        let mut f1 = fresh.pop().unwrap();
+        let mut f0 = fresh.pop().unwrap();
+        f0.peer_to(1).unwrap().send(18, 5, b"fresh link").unwrap();
+        assert_eq!(f1.peer_to(0).unwrap().recv().unwrap().seq, 0);
     }
 }

@@ -160,11 +160,16 @@ pub enum Phase {
     NetInit,
     /// Worker recovery on the wire: respawn, state re-scatter, replay.
     NetRecover,
+    /// Peer-to-peer repair wave on the wire: footprint dispatch +
+    /// outcome/flip acknowledgements over the coordinator spokes.
+    NetWave,
+    /// Cross-shard walk handoffs on worker↔worker channels.
+    NetHandoff,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 14] = [
         Phase::BatchSchedule,
         Phase::RouteUpdates,
         Phase::RepairWave,
@@ -177,6 +182,8 @@ impl Phase {
         Phase::NetCensus,
         Phase::NetInit,
         Phase::NetRecover,
+        Phase::NetWave,
+        Phase::NetHandoff,
     ];
 
     /// The ledger label this phase shares with the simulated cost model.
@@ -194,6 +201,8 @@ impl Phase {
             Phase::NetCensus => "net_census",
             Phase::NetInit => "net_init",
             Phase::NetRecover => "net_recover",
+            Phase::NetWave => "net_wave",
+            Phase::NetHandoff => "net_handoff",
         }
     }
 

@@ -150,7 +150,7 @@ const USAGE: &str = "usage: salloc <command>
                                           first-fit|random-fit|balance|ranking|
                                           prop-serve, O ∈ natural|reversed|random
   dynamic FILE [--epochs N] [--events K] [--eps E] [--seed S] [--no-full]
-               [--shards P] [--net] [--eager-budget B] [--footprint-cap N]
+               [--shards P] [--net] [--p2p] [--eager-budget B] [--footprint-cap N]
                [--waves] [--checkpoint SNAP] [--checkpoint-every N]
                [--restore SNAP] [--wal LOG] [--max-respawns N]
                [--retry-budget N] [--assign OUT] [--trace OUT.jsonl]
@@ -185,7 +185,14 @@ const USAGE: &str = "usage: salloc <command>
                                           TCP; the final matching is gathered
                                           from the worker slices over the
                                           wire, and the report adds measured
-                                          wire bytes per epoch. --wal LOG
+                                          wire bytes per epoch. --p2p
+                                          (requires --net) additionally runs
+                                          the repair waves *on* the workers:
+                                          bounded walks execute against the
+                                          owning shard's slice and cross-
+                                          shard walk state moves directly
+                                          over worker↔worker links, metered
+                                          in the report's handoff line. --wal LOG
                                           appends every update batch and
                                           epoch boundary to a write-ahead
                                           log (fsynced, checksummed) before
@@ -603,7 +610,7 @@ where
 }
 
 fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
-    let f = parse_flags(args, &["no-full", "waves", "net"])?;
+    let f = parse_flags(args, &["no-full", "waves", "net", "p2p"])?;
     let path = f
         .positional
         .first()
@@ -618,6 +625,9 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
     }
     let compare_full = !f.has("no-full");
     let shards: usize = f.get("shards", 0)?;
+    if f.has("p2p") && !f.has("net") {
+        return Err(err("--p2p requires --net"));
+    }
     let persist = PersistOpts::parse(&f)?;
     let robust = RobustOpts::parse(&f)?;
     // Supervision only exists where there are real workers to supervise;
@@ -661,6 +671,7 @@ fn cmd_dynamic(args: &[String]) -> Result<String, CliError> {
                 events,
                 seed,
                 scfg,
+                f.has("p2p"),
                 &persist,
                 &robust,
                 &tracer,
@@ -1032,6 +1043,7 @@ fn cmd_dynamic_net(
     events: usize,
     seed: u64,
     cfg: ShardedConfig,
+    p2p: bool,
     persist: &PersistOpts,
     robust: &RobustOpts,
     tracer: &Tracer,
@@ -1056,8 +1068,12 @@ fn cmd_dynamic_net(
     let (walw, wal_note) = open_wal(&robust.wal, persist.restore.is_some(), |records| {
         wal::replay_sharded(&mut inner, records)
     })?;
-    let mut serve = NetServeLoop::from_inner(inner, TransportKind::Tcp)
-        .map_err(|e| err(format!("networked serving failed to start: {e}")))?;
+    let mut serve = if p2p {
+        NetServeLoop::from_inner_p2p(inner, TransportKind::Tcp)
+    } else {
+        NetServeLoop::from_inner(inner, TransportKind::Tcp)
+    }
+    .map_err(|e| err(format!("networked serving failed to start: {e}")))?;
     if let Some(w) = walw {
         serve.attach_wal(w);
     }
@@ -1075,8 +1091,9 @@ fn cmd_dynamic_net(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "networked serving: {epochs} epochs × ~{events} events on {shards} TCP workers \
-         (ε {eps}, walk budget k = {k})"
+        "networked serving: {epochs} epochs × ~{events} events on {shards} TCP workers{} \
+         (ε {eps}, walk budget k = {k})",
+        if p2p { ", p2p repair waves" } else { "" }
     );
     if let Some(snap) = &persist.restore {
         let _ = writeln!(
@@ -1199,6 +1216,14 @@ fn cmd_dynamic_net(
         stats.census_bytes,
         stats.init_bytes,
     );
+    if p2p {
+        let _ = writeln!(
+            out,
+            "p2p repair traffic : {} wave bytes over the spokes, {} handoff bytes in {} \
+             worker↔worker frames (deepest fetch ping-pong {} rounds)",
+            stats.wave_bytes, stats.handoff_bytes, stats.handoff_frames, stats.max_handoff_rounds,
+        );
+    }
     if let Some(note) = &chaos_note {
         let _ = writeln!(out, "chaos              : {note}");
     }
@@ -1616,13 +1641,34 @@ mod tests {
             std::fs::read_to_string(&serial_assign).unwrap(),
             "networked allocation diverged from serial"
         );
-        // --net needs --shards; --waves is simulator-only.
+        // p2p mode: repair waves run on the workers, cross-shard walk
+        // state moves worker↔worker — and the gathered allocation is
+        // still byte-identical to serial.
+        let p2p_assign = temp("dynnet-p2p.txt");
+        let p2p = run(&args(&format!(
+            "dynamic {file} --epochs 2 --events 40 --eps 0.25 --seed 5 --shards 3 --net \
+             --p2p --assign {p2p_assign}"
+        )))
+        .unwrap();
+        assert!(p2p.contains("p2p repair waves"), "{p2p}");
+        assert!(p2p.contains("p2p repair traffic"), "{p2p}");
+        assert_eq!(
+            std::fs::read_to_string(&p2p_assign).unwrap(),
+            std::fs::read_to_string(&serial_assign).unwrap(),
+            "p2p allocation diverged from serial"
+        );
+        // --net needs --shards; --p2p needs --net; --waves is
+        // simulator-only.
         assert!(run(&args(&format!("dynamic {file} --net")))
             .unwrap_err()
             .0
             .contains("--net requires --shards"));
+        assert!(run(&args(&format!("dynamic {file} --p2p")))
+            .unwrap_err()
+            .0
+            .contains("--p2p requires --net"));
         assert!(run(&args(&format!("dynamic {file} --shards 2 --net --waves"))).is_err());
-        for f in [&file, &net_assign, &serial_assign] {
+        for f in [&file, &net_assign, &serial_assign, &p2p_assign] {
             let _ = std::fs::remove_file(f);
         }
     }

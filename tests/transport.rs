@@ -375,6 +375,211 @@ fn exhausting_the_respawn_budget_quarantines_read_only() {
     ));
 }
 
+// ------------------------------------------------- p2p peer-link faults
+
+/// A p2p engine plus a churn stream that provably drives walks across
+/// shard boundaries (the in-module metering tests pin this workload's
+/// handoff counts), with the handoff deadline shrunk so a dropped peer
+/// frame surfaces fast.
+fn p2p_engine(kind: TransportKind, shards: usize) -> (NetServeLoop, Vec<Update>) {
+    let g = union_of_spanning_trees(60, 45, 2, 2, 9).graph;
+    let updates = sparse_alloc::dynamic::adapter::churn_stream(
+        &g,
+        90,
+        &sparse_alloc::dynamic::adapter::ChurnMix::default(),
+        9,
+    );
+    let mut net = NetServeLoop::new_p2p(g, ShardedConfig::for_eps(0.25, shards), kind)
+        .expect("p2p engine starts on a healthy mesh");
+    net.set_handoff_timeout(std::time::Duration::from_millis(250))
+        .unwrap();
+    (net, updates)
+}
+
+/// Arm `fault` on **every** directed worker↔worker link, then keep
+/// driving epochs until the first wave whose walk crosses a boundary
+/// trips it. Returns the typed error. One-shot faults persist until a
+/// peer frame consumes them, so the harness needs no per-epoch knowledge
+/// of *which* link the next handoff crosses — and an error occurring at
+/// all proves real peer traffic existed (peer links carry nothing else).
+fn p2p_serve_under_peer_fault(kind: TransportKind, fault: Fault) -> NetError {
+    let shards = 3;
+    let (mut net, updates) = p2p_engine(kind, shards);
+    net.apply_batch(&updates[..18]).expect("healthy epoch");
+    net.end_epoch().expect("healthy epoch end");
+    for from in 0..shards {
+        for to in 0..shards {
+            if from != to {
+                net.inject_peer_fault(from, to, fault.clone())
+                    .expect("arming a peer fault on a p2p mesh");
+            }
+        }
+    }
+    let mut err = None;
+    for chunk in updates[18..].chunks(18) {
+        match net.apply_batch(chunk) {
+            Ok(_) => {
+                net.end_epoch().expect("un-faulted epoch end");
+            }
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    let err = err.expect("no wave ever crossed a faulted peer link — the matrix is vacuous");
+
+    // No respawn budget: the engine must quarantine read-only, never
+    // limp on over a poisoned mesh.
+    assert!(
+        net.quarantine_reason().is_some(),
+        "a peer-link fault without budget must quarantine"
+    );
+    let _ = net.match_size(); // the coordinator mirror still answers queries
+    assert!(
+        matches!(
+            net.apply_batch(&updates[..4]),
+            Err(NetError::Quarantined { .. })
+        ),
+        "mutations after a peer-link failure must refuse typed"
+    );
+    err
+    // `net` drops here: shutdown over a mesh with dead workers must not
+    // hang or panic either.
+}
+
+/// Assert the typed error names the worker↔worker pair and the HANDOFF
+/// phase — the coordinator holds no end of the failed link, so the
+/// diagnosis must have travelled from the worker as a NACK.
+fn assert_names_peer_pair_and_handoff(fault: &Fault, err: &NetError) {
+    match err {
+        NetError::Protocol { detail, .. } => {
+            assert!(
+                detail.contains("HANDOFF"),
+                "{fault:?}: error does not name the HANDOFF phase: {detail}"
+            );
+            assert!(
+                detail.contains("<->"),
+                "{fault:?}: error does not name the peer pair: {detail}"
+            );
+        }
+        other => panic!("{fault:?}: peer-link fault surfaced as {other:?}"),
+    }
+}
+
+/// The p2p fault matrix, error-shape half: every fault class, armed on
+/// the worker↔worker links mid-stream, surfaces as a typed [`NetError`]
+/// naming the peer pair and the HANDOFF phase — never a panic, never a
+/// silently wrong matching.
+#[test]
+fn every_peer_link_fault_class_is_a_typed_error_naming_the_pair() {
+    for fault in [
+        Fault::Drop,
+        Fault::Truncate,
+        Fault::FlipBit { bit: 170 },
+        Fault::Reorder,
+    ] {
+        let err = p2p_serve_under_peer_fault(TransportKind::Loopback, fault.clone());
+        assert_names_peer_pair_and_handoff(&fault, &err);
+    }
+    // Spot-check over real TCP sockets: teardown can race the NACK, so
+    // a typed transport error is also legitimate — but it must be typed.
+    match p2p_serve_under_peer_fault(TransportKind::Tcp, Fault::FlipBit { bit: 170 }) {
+        NetError::Protocol { detail, .. } => {
+            assert!(detail.contains("HANDOFF"), "tcp flip detail: {detail}")
+        }
+        NetError::Transport(_) => {}
+        other => panic!("tcp peer flip surfaced as {other:?}"),
+    }
+}
+
+/// Arming a peer fault on a star mesh is itself a typed refusal — the
+/// links do not exist there.
+#[test]
+fn peer_faults_need_a_p2p_mesh() {
+    let (mut net, _) = small_engine(TransportKind::Loopback);
+    assert!(matches!(
+        net.inject_peer_fault(0, 1, Fault::Drop),
+        Err(NetError::Protocol { .. })
+    ));
+}
+
+/// The p2p fault matrix, recovery half: with a supervisor budget, every
+/// fault class injected on the peer links mid-stream is absorbed — the
+/// supervisor rebuilds the whole mesh (p2p recovery re-channels every
+/// worker, since any of them may hold state of the in-flight wave),
+/// re-INITs the slices, re-dispatches the wave — and the run ends in
+/// exactly the uninterrupted serial engine's state.
+fn p2p_chaos_recovers_to_serial(kind: TransportKind, shards: usize, fault: Fault) {
+    use sparse_alloc::dynamic::SupervisorConfig;
+    let label = format!("p2p/{kind:?}/{shards} shards/{fault:?}");
+    let (mut net, updates) = p2p_engine(kind, shards);
+    net.set_supervisor(SupervisorConfig {
+        max_respawns: 3 * shards as u64,
+        retry_budget: 1,
+        backoff_base: std::time::Duration::from_micros(200),
+    });
+    let cfg = ShardedConfig::for_eps(0.25, shards);
+    let mut serial = ServeLoop::new(
+        union_of_spanning_trees(60, 45, 2, 2, 9).graph,
+        cfg.dynamic.clone(),
+    );
+    for (i, chunk) in updates.chunks(18).enumerate() {
+        if i == 1 {
+            for from in 0..shards {
+                for to in 0..shards {
+                    if from != to {
+                        net.inject_peer_fault(from, to, fault.clone())
+                            .unwrap_or_else(|e| panic!("{label}: arming: {e}"));
+                    }
+                }
+            }
+        }
+        net.apply_batch(chunk)
+            .unwrap_or_else(|e| panic!("{label}: epoch {}: {e}", i + 1));
+        net.end_epoch()
+            .unwrap_or_else(|e| panic!("{label}: epoch {} end: {e}", i + 1));
+        for up in chunk {
+            serial.apply(up);
+        }
+        serial.end_epoch();
+    }
+    let stats = net.net_stats();
+    assert!(
+        stats.respawns >= 1,
+        "{label}: the fault must have cost at least one mesh rebuild"
+    );
+    assert!(
+        stats.handoff_frames > 0,
+        "{label}: vacuous — no walk ever crossed a shard boundary"
+    );
+    assert!(
+        net.quarantine_reason().is_none(),
+        "{label}: recovery must not have exhausted the budget"
+    );
+    net.validate().expect("engine state stays consistent");
+    let gathered = net.gather_assignment().expect("gather after recovery");
+    assert_eq!(
+        gathered.mate,
+        serial.assignment().mate,
+        "{label}: recovered run diverged from the uninterrupted serial run"
+    );
+}
+
+#[test]
+fn every_peer_link_fault_class_recovers_to_serial() {
+    for fault in [
+        Fault::Drop,
+        Fault::Truncate,
+        Fault::FlipBit { bit: 170 },
+        Fault::Reorder,
+    ] {
+        p2p_chaos_recovers_to_serial(TransportKind::Loopback, 3, fault);
+    }
+    // Spot-check the p2p recovery path over real TCP sockets too.
+    p2p_chaos_recovers_to_serial(TransportKind::Tcp, 3, Fault::FlipBit { bit: 170 });
+}
+
 /// Positive control for the harness: the identical drive sequence with
 /// no fault injected completes on both transports and the wire-gathered
 /// matching agrees with the engine — so the failures above are caused by
